@@ -1,0 +1,50 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one table/figure of the paper.  Rendered
+tables are written to ``benchmarks/results/`` (pytest captures stdout,
+so files are the canonical artifact) and key aggregates are attached to
+pytest-benchmark's ``extra_info`` so they show up in its JSON exports.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_result():
+    def _save(name: str, text: str) -> Path:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        return path
+
+    return _save
+
+
+@pytest.fixture(scope="session")
+def tier():
+    """Benchmark tier: fast by default, full with REPRO_SUITE=full."""
+    return os.environ.get("REPRO_SUITE", "fast")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _write_summary(_results_dir):
+    """After the bench session, collate all artifacts into SUMMARY.md."""
+    yield
+    from repro.bench import generate_summary
+
+    try:
+        (RESULTS_DIR / "SUMMARY.md").write_text(generate_summary(RESULTS_DIR))
+    except Exception:  # pragma: no cover - summary is best-effort
+        pass

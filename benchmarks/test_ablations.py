@@ -1,0 +1,142 @@
+"""Ablation benches for COMPACT's design choices.
+
+Not figures from the paper, but quantifications of the knobs the paper
+discusses in prose:
+
+* alignment constraints (Eq. 7) — what do they cost?
+* variable ordering — static DFS vs interleaved vs sifted;
+* Nemhauser–Trotter kernelization — solver speedup for Method A;
+* exact vs greedy-heuristic labeling — quality gap.
+"""
+
+import time
+
+import pytest
+
+from repro.bdd import build_sbdd, sbdd_size_for_order, sift_order, static_order, interleaved_order
+from repro.bench.suites import circuit
+from repro.bench.tables import Table
+from repro.core import (
+    label_heuristic,
+    label_min_semiperimeter,
+    label_weighted,
+    preprocess,
+)
+from repro.graphs import cartesian_product_k2, minimum_vertex_cover
+
+CIRCUITS = ["c17", "parity16", "cmp8", "int2float", "priority32"]
+
+
+def graph_of(name):
+    return preprocess(build_sbdd(circuit(name)))
+
+
+def test_ablation_alignment_cost(benchmark, save_result):
+    """Alignment pins outputs/input to wordlines; measure its price."""
+
+    def run():
+        table = Table(
+            "Ablation: alignment constraints (gamma=0.5)",
+            ["benchmark", "S(free)", "S(aligned)", "D(free)", "D(aligned)"],
+        )
+        rows = []
+        for name in CIRCUITS:
+            bg = graph_of(name)
+            free = label_weighted(bg, gamma=0.5, alignment=False, time_limit=30)
+            pinned = label_weighted(bg, gamma=0.5, alignment=True, time_limit=30)
+            rows.append((free, pinned))
+            table.add_row(
+                name, free.semiperimeter, pinned.semiperimeter,
+                free.max_dimension, pinned.max_dimension,
+            )
+        return table, rows
+
+    table, rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result("ablation_alignment", table.render())
+    for free, pinned in rows:
+        # A constraint can never improve the optimum.
+        assert free.objective(0.5) <= pinned.objective(0.5) + 1e-9
+
+
+def test_ablation_variable_ordering(benchmark, save_result):
+    """BDD size (hence crossbar size) under three ordering strategies."""
+
+    def run():
+        table = Table(
+            "Ablation: variable ordering (SBDD nodes)",
+            ["benchmark", "natural", "static DFS", "interleaved", "sifted"],
+        )
+        data = []
+        for name in ("rca8", "cmp8", "mux16"):
+            nl = circuit(name)
+            natural = sbdd_size_for_order(nl, list(nl.inputs))
+            static = sbdd_size_for_order(nl, static_order(nl))
+            inter = sbdd_size_for_order(nl, interleaved_order(nl))
+            sifted = sbdd_size_for_order(
+                nl, sift_order(nl, max_rounds=1, time_budget=20)
+            )
+            data.append((name, natural, static, inter, sifted))
+            table.add_row(name, natural, static, inter, sifted)
+        return table, data
+
+    table, data = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result("ablation_ordering", table.render())
+    for _name, natural, static, _inter, sifted in data:
+        assert sifted <= static  # sifting starts from static and only improves
+    # On bus-structured arithmetic, interleaving must beat the natural order.
+    rca = next(d for d in data if d[0] == "rca8")
+    assert rca[3] < rca[1]
+
+
+def test_ablation_nt_kernelization(benchmark, save_result):
+    """Vertex cover with vs without the Nemhauser-Trotter kernel."""
+
+    def run():
+        table = Table(
+            "Ablation: NT kernelization for Method A's vertex cover",
+            ["benchmark", "|V(P)|", "t(kernel)", "t(raw)", "same optimum"],
+        )
+        rows = []
+        for name in ("cmp8", "int2float", "priority32"):
+            product = cartesian_product_k2(graph_of(name).graph)
+            t0 = time.monotonic()
+            with_k = minimum_vertex_cover(product, use_kernelization=True)
+            t_k = time.monotonic() - t0
+            t0 = time.monotonic()
+            without = minimum_vertex_cover(product, use_kernelization=False)
+            t_raw = time.monotonic() - t0
+            same = len(with_k.cover) == len(without.cover)
+            rows.append((name, t_k, t_raw, same))
+            table.add_row(name, len(product), round(t_k, 3), round(t_raw, 3), same)
+        return table, rows
+
+    table, rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result("ablation_kernelization", table.render())
+    for _name, _t_k, _t_raw, same in rows:
+        assert same  # kernelization must not change the optimum
+
+
+def test_ablation_exact_vs_heuristic(benchmark, save_result):
+    """Quality gap of the greedy labeler vs exact Method A."""
+
+    def run():
+        table = Table(
+            "Ablation: exact OCT vs greedy heuristic labeling",
+            ["benchmark", "S(exact)", "S(greedy)", "overhead"],
+        )
+        overheads = []
+        for name in CIRCUITS:
+            bg = graph_of(name)
+            exact = label_min_semiperimeter(bg, time_limit=30)
+            greedy = label_heuristic(bg)
+            over = greedy.semiperimeter / exact.semiperimeter - 1
+            overheads.append(over)
+            table.add_row(
+                name, exact.semiperimeter, greedy.semiperimeter, f"{over:.1%}"
+            )
+        return table, overheads
+
+    table, overheads = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result("ablation_heuristic", table.render())
+    assert all(o >= -1e-9 for o in overheads)  # greedy never beats exact
+    assert sum(overheads) / len(overheads) < 0.15  # ...and stays close

@@ -1,0 +1,30 @@
+"""Figure 9: non-dominated (rows, cols) designs across the gamma sweep.
+
+The paper sweeps gamma on cavlc and int2float and reports the Pareto
+front of (rows, columns) designs; we sweep our int2float and cmp8
+stand-ins (cavlc_like does not reach optimality within the fast budget).
+"""
+
+from repro.bench import fig9_pareto
+from repro.bench.tables import text_series
+
+
+def test_fig9(benchmark, save_result):
+    table, series = benchmark.pedantic(
+        lambda: fig9_pareto(
+            circuits=("int2float", "cmp8"), n_gammas=7, time_limit=20.0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    parts = [table.render()]
+    for name, points in series.items():
+        assert points, name
+        # Pareto front: strictly decreasing cols as rows increase.
+        rows = [p[0] for p in points]
+        cols = [p[1] for p in points]
+        assert rows == sorted(rows)
+        assert cols == sorted(cols, reverse=True)
+        parts.append(f"\n{name}:\n" + text_series(rows, cols))
+    save_result("fig9_pareto", "\n".join(parts))
+    benchmark.extra_info["fronts"] = {k: len(v) for k, v in series.items()}

@@ -1,0 +1,83 @@
+"""Micro-benchmarks of the pipeline stages (proper pytest-benchmark
+timing with multiple rounds): BDD construction, OCT labeling, MIP
+labeling, crossbar mapping, logical evaluation and analog simulation."""
+
+import pytest
+
+from repro import Compact
+from repro.baselines import staircase_map_netlist
+from repro.bdd import build_sbdd
+from repro.bench.suites import circuit
+from repro.core import label_min_semiperimeter, label_weighted, map_to_crossbar, preprocess
+from repro.crossbar import simulate
+
+
+@pytest.fixture(scope="module")
+def prepared():
+    nl = circuit("int2float")
+    sbdd = build_sbdd(nl)
+    bg = preprocess(sbdd)
+    labeling = label_weighted(bg, gamma=0.5, time_limit=30)
+    design = map_to_crossbar(bg, labeling)
+    env = {name: (i % 3 == 0) for i, name in enumerate(nl.inputs)}
+    return nl, sbdd, bg, labeling, design, env
+
+
+def test_bench_bdd_construction(benchmark):
+    nl = circuit("int2float")
+    sbdd = benchmark(lambda: build_sbdd(nl))
+    assert sbdd.node_count() > 100
+
+
+def test_bench_preprocess(benchmark, prepared):
+    _nl, sbdd, *_ = prepared
+    bg = benchmark(lambda: preprocess(sbdd))
+    assert bg.num_nodes == sbdd.node_count() - 1
+
+
+def test_bench_oct_labeling(benchmark, prepared):
+    _nl, _sbdd, bg, *_ = prepared
+    lab = benchmark.pedantic(
+        lambda: label_min_semiperimeter(bg), rounds=3, iterations=1
+    )
+    assert lab.is_valid(bg)
+
+
+def test_bench_mip_labeling(benchmark, prepared):
+    _nl, _sbdd, bg, *_ = prepared
+    lab = benchmark.pedantic(
+        lambda: label_weighted(bg, gamma=0.5, time_limit=30), rounds=1, iterations=1
+    )
+    assert lab.is_valid(bg)
+
+
+def test_bench_crossbar_mapping(benchmark, prepared):
+    _nl, _sbdd, bg, labeling, *_ = prepared
+    design = benchmark(lambda: map_to_crossbar(bg, labeling))
+    assert design.semiperimeter == labeling.semiperimeter
+
+
+def test_bench_logical_evaluation(benchmark, prepared):
+    nl, _sbdd, _bg, _lab, design, env = prepared
+    out = benchmark(lambda: design.evaluate(env))
+    assert out == nl.evaluate(env)
+
+
+def test_bench_analog_simulation(benchmark, prepared):
+    nl, _sbdd, _bg, _lab, design, env = prepared
+    result = benchmark.pedantic(lambda: simulate(design, env), rounds=3, iterations=1)
+    assert result.outputs == nl.evaluate(env)
+
+
+def test_bench_full_flow_small(benchmark):
+    nl = circuit("c17")
+    res = benchmark(lambda: Compact(gamma=0.5).synthesize_netlist(nl))
+    assert res.design.semiperimeter < 2 * res.bdd_graph.num_nodes
+
+
+def test_bench_staircase_baseline(benchmark):
+    nl = circuit("int2float")
+    res = benchmark.pedantic(
+        lambda: staircase_map_netlist(nl), rounds=3, iterations=1
+    )
+    assert res.design.semiperimeter == 2 * res.bdd_nodes

@@ -1,0 +1,65 @@
+"""Three-paradigm comparison: flow-based (COMPACT) vs MAGIC vs IMPLY.
+
+Extends the paper's Figure 13 with the IMPLY baseline its introduction
+discusses ("parallelism is inherently limited ... resulting in long,
+sequential executions"): the expected ordering on control circuits is
+
+    delay(COMPACT)  <<  delay(MAGIC)  <<  delay(IMPLY).
+"""
+
+from repro.baselines import imply_map, magic_map
+from repro.bench import run_compact, suite
+from repro.bench.tables import Table, normalised_average
+
+
+def test_paradigm_comparison(benchmark, save_result, tier):
+    def run():
+        table = Table(
+            "Paradigms: flow-based (COMPACT) vs MAGIC (CONTRA-like) vs IMPLY",
+            ["benchmark", "T(flow)", "T(magic)", "T(imply)", "P(flow)", "P(magic)", "P(imply)"],
+        )
+        rows = []
+        for bench in suite(tier, family="epfl-control-like"):
+            netlist = bench.build()
+            flow = run_compact(bench, gamma=0.5, time_limit=30)
+            magic = magic_map(netlist, k=4)
+            imply = imply_map(netlist)
+            rows.append({
+                "name": bench.name,
+                "t_flow": flow.rows,
+                "t_magic": magic.delay_steps,
+                "t_imply": imply.delay_steps,
+                "p_flow": flow.literals,
+                "p_magic": magic.total_ops,
+                "p_imply": imply.total_ops,
+            })
+            table.add_row(
+                bench.name, flow.rows, magic.delay_steps, imply.delay_steps,
+                flow.literals, magic.total_ops, imply.total_ops,
+            )
+        return table, rows
+
+    table, rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    flow_vs_magic = normalised_average(
+        [r["t_flow"] for r in rows], [r["t_magic"] for r in rows]
+    )
+    magic_vs_imply = normalised_average(
+        [r["t_magic"] for r in rows], [r["t_imply"] for r in rows]
+    )
+    summary = (
+        f"\ndelay(flow)/delay(magic) avg = {flow_vs_magic:.3f}"
+        f"\ndelay(magic)/delay(imply) avg = {magic_vs_imply:.3f}"
+    )
+    save_result("paradigm_comparison", table.render() + summary)
+
+    # The paradigm ordering the paper's introduction lays out.
+    assert flow_vs_magic < 1.0
+    assert magic_vs_imply < 1.0
+    # Power: flow programs far fewer devices than either op-counting style.
+    p_ratio = normalised_average(
+        [r["p_flow"] for r in rows], [r["p_imply"] for r in rows]
+    )
+    assert p_ratio < 0.5
+    benchmark.extra_info["flow_vs_magic_delay"] = round(flow_vs_magic, 4)
+    benchmark.extra_info["magic_vs_imply_delay"] = round(magic_vs_imply, 4)

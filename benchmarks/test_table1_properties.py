@@ -1,0 +1,16 @@
+"""Table I: benchmark properties (inputs, outputs, SBDD nodes, edges)."""
+
+from repro.bench import table1_properties
+
+
+def test_table1(benchmark, save_result, tier):
+    table, rows = benchmark.pedantic(
+        lambda: table1_properties(tier), rounds=1, iterations=1
+    )
+    save_result("table1_properties", table.render())
+    assert len(rows) >= 12
+    # Structural invariant from the BDD engine: edges = 2 * internal nodes.
+    for r in rows:
+        assert r["edges"] == 2 * (r["nodes"] - 2)
+    benchmark.extra_info["circuits"] = len(rows)
+    benchmark.extra_info["total_nodes"] = sum(r["nodes"] for r in rows)

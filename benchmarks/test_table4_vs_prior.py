@@ -1,0 +1,40 @@
+"""Table IV: COMPACT (gamma=0.5) vs the prior staircase mapping [16].
+
+Paper: rows -56 %, cols -77 %, D -85 %, S -55 %, area -89 %; COMPACT's
+S ~ 1.11 n vs ~1.9 n for the baseline (2n exactly in our all-VH
+realisation of it).
+"""
+
+from repro.bench import table4_vs_prior
+from repro.bench.tables import normalised_average
+
+
+def test_table4(benchmark, save_result, tier):
+    table, rows = benchmark.pedantic(
+        lambda: table4_vs_prior(tier, time_limit=30.0), rounds=1, iterations=1
+    )
+    save_result("table4_vs_prior", table.render())
+    assert rows
+
+    for r in rows:
+        assert r["S"] < r["prior_S"], r["benchmark"]
+        assert r["area"] < r["prior_area"], r["benchmark"]
+        assert r["D"] <= r["prior_D"], r["benchmark"]
+
+    s_ratio = normalised_average([r["S"] for r in rows], [r["prior_S"] for r in rows])
+    d_ratio = normalised_average([r["D"] for r in rows], [r["prior_D"] for r in rows])
+    area_ratio = normalised_average(
+        [r["area"] for r in rows], [r["prior_area"] for r in rows]
+    )
+    s_over_n = normalised_average([r["S"] for r in rows], [r["nodes"] for r in rows])
+
+    # Shape of the paper's claims: large reductions, S close to n.
+    assert s_ratio < 0.75
+    assert d_ratio < 0.75
+    assert area_ratio < 0.50
+    assert s_over_n < 1.25
+
+    benchmark.extra_info["semiperimeter_ratio"] = round(s_ratio, 4)
+    benchmark.extra_info["dimension_ratio"] = round(d_ratio, 4)
+    benchmark.extra_info["area_ratio"] = round(area_ratio, 4)
+    benchmark.extra_info["s_over_n"] = round(s_over_n, 4)

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Scalability: exact OCT/MIP labeling vs the greedy heuristic.
+
+Section VI-C of the paper: finding an odd cycle transversal is NP-hard,
+so exact synthesis times grow quickly; CPLEX-style solvers are given a
+time budget and report the remaining optimality gap.  This example
+sweeps priority encoders of growing size and compares
+
+* Method A (exact OCT via NT-kernelized vertex cover, HiGHS ILP),
+* the greedy heuristic labeler, and
+* the resulting semiperimeters.
+
+Run:  python examples/scalability.py
+"""
+
+import time
+
+from repro.bdd import build_sbdd
+from repro.circuits import array_multiplier, priority_encoder, round_robin_arbiter
+from repro.core import label_heuristic, label_min_semiperimeter, preprocess
+
+
+def main() -> None:
+    netlists = [
+        priority_encoder(16),
+        priority_encoder(64),
+        priority_encoder(128),
+        array_multiplier(4),
+        array_multiplier(5),
+        round_robin_arbiter(8),
+        round_robin_arbiter(16),
+    ]
+    print("circuit        nodes  S(exact)  t(exact)  S(greedy)  t(greedy)  gap")
+    for netlist in netlists:
+        bdd_graph = preprocess(build_sbdd(netlist))
+
+        t0 = time.monotonic()
+        exact = label_min_semiperimeter(bdd_graph, time_limit=60)
+        t_exact = time.monotonic() - t0
+
+        t0 = time.monotonic()
+        greedy = label_heuristic(bdd_graph)
+        t_greedy = time.monotonic() - t0
+
+        overhead = greedy.semiperimeter / exact.semiperimeter - 1
+        print(f"{netlist.name:12s} {bdd_graph.num_nodes:6d} "
+              f"{exact.semiperimeter:9d} {t_exact:8.2f}s "
+              f"{greedy.semiperimeter:10d} {t_greedy:9.3f}s "
+              f"{overhead:6.1%}")
+
+    print("\nThe exact method pays the NP-hard price (the paper reports a")
+    print("~2650x synthesis-time ratio vs the linear-time prior work);")
+    print("the greedy transversal trades a few percent of semiperimeter")
+    print("for near-linear runtime.")
+
+
+if __name__ == "__main__":
+    main()

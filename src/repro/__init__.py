@@ -1,0 +1,23 @@
+"""COMPACT: flow-based in-memory computing on nanoscale memristor crossbars.
+
+Reproduction of Thijssen, Jha & Ewetz, "COMPACT: Flow-Based Computing on
+Nanoscale Crossbars with Minimal Semiperimeter and Maximum Dimension"
+(DATE 2021), as a full-stack Python library:
+
+* :mod:`repro.expr` -- Boolean expression AST and parser
+* :mod:`repro.circuits` -- gate-level netlists and benchmark generators
+* :mod:`repro.io` -- PLA / BLIF / Verilog-subset readers and writers
+* :mod:`repro.bdd` -- ROBDD/SBDD engine
+* :mod:`repro.graphs` -- 2-coloring, vertex cover, odd cycle transversal
+* :mod:`repro.milp` -- MILP modeling layer and solvers
+* :mod:`repro.core` -- the COMPACT flow (labeling + mapping)
+* :mod:`repro.crossbar` -- crossbar designs, evaluation, analog model
+* :mod:`repro.baselines` -- prior-work staircase mapper, MAGIC/CONTRA-like
+* :mod:`repro.bench` -- experiment harness reproducing the paper's tables
+"""
+
+from .core import Compact, CompactResult
+
+__version__ = "1.0.0"
+
+__all__ = ["Compact", "CompactResult", "__version__"]

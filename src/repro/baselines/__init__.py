@@ -1,0 +1,25 @@
+"""Baselines: prior flow-based staircase mapping and MAGIC/CONTRA-like."""
+
+from .imply import ImplyOp, ImplyProgram, imply_map
+from .magic import Lut, MagicSchedule, cover_k_luts, decompose2, magic_map
+from .staircase import (
+    StaircaseResult,
+    merged_robdd_graph,
+    staircase_map_netlist,
+    staircase_map_sbdd,
+)
+
+__all__ = [
+    "StaircaseResult",
+    "staircase_map_netlist",
+    "staircase_map_sbdd",
+    "merged_robdd_graph",
+    "Lut",
+    "MagicSchedule",
+    "decompose2",
+    "cover_k_luts",
+    "magic_map",
+    "ImplyOp",
+    "ImplyProgram",
+    "imply_map",
+]

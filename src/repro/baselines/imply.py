@@ -1,0 +1,174 @@
+"""IMPLY-based in-memory computing baseline.
+
+The paper's introduction contrasts flow-based computing with material
+implication (IMPLY) logic [5], whose "major drawback is the number of
+complex computational steps required ... parallelism is inherently
+limited ... resulting in long, sequential executions".  This module
+makes that concrete: it compiles a netlist into an executable sequence
+of the two stateful crossbar primitives
+
+* ``FALSE q``    — unconditionally write 0 into memristor ``q``;
+* ``IMPLY p q``  — ``q <- (~p) | q`` (material implication with ``q``
+  as the state-holding target),
+
+using the classic 2-step NOT and 3-step NAND constructions (one work
+memristor each), executes them on a simulated register file, and counts
+steps.  Every operation writes state, so the schedule is fully serial:
+power ~ delay ~ the op count — the worst of the three paradigms the
+paper discusses, which is exactly its point.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from ..circuits.netlist import Netlist
+from .magic import decompose2
+
+__all__ = ["ImplyOp", "ImplyProgram", "imply_map"]
+
+
+@dataclass(frozen=True)
+class ImplyOp:
+    """One stateful primitive: FALSE(target) or IMPLY(source, target)."""
+
+    kind: str  # 'false' or 'imply'
+    target: str
+    source: str | None = None
+
+    def __post_init__(self):
+        if self.kind not in ("false", "imply"):
+            raise ValueError(f"unknown IMPLY op {self.kind!r}")
+        if self.kind == "imply" and self.source is None:
+            raise ValueError("IMPLY needs a source memristor")
+
+    def __str__(self) -> str:
+        if self.kind == "false":
+            return f"FALSE {self.target}"
+        return f"IMPLY {self.source} {self.target}"
+
+
+@dataclass
+class ImplyProgram:
+    """A compiled IMPLY schedule for one netlist."""
+
+    ops: list[ImplyOp]
+    outputs: dict[str, str]  # output name -> memristor holding it
+    inputs: list[str]
+    work_cells: int
+
+    @property
+    def total_ops(self) -> int:
+        """Power proxy: every op is a write."""
+        return len(self.ops)
+
+    @property
+    def delay_steps(self) -> int:
+        """IMPLY is stateful and serial: delay equals the op count,
+        plus one write per primary input to load the operands."""
+        return len(self.ops) + len(self.inputs)
+
+    def execute(self, assignment: Mapping[str, bool]) -> dict[str, bool]:
+        """Run the program on a simulated memristor register file."""
+        state: dict[str, bool] = {
+            name: bool(assignment[name]) for name in self.inputs
+        }
+        for op in self.ops:
+            if op.kind == "false":
+                state[op.target] = False
+            else:
+                p = state[op.source]
+                q = state.get(op.target, False)
+                state[op.target] = (not p) or q
+        return {out: state[cell] for out, cell in self.outputs.items()}
+
+
+def imply_map(netlist: Netlist) -> ImplyProgram:
+    """Compile ``netlist`` into an IMPLY program.
+
+    The circuit is first reduced to fan-in-2 gates, then each gate is
+    expanded over {NOT, NAND2} and realised with the canonical
+    single-work-cell sequences::
+
+        NOT a   -> w     : FALSE w; IMPLY a w                (2 ops)
+        NAND a b -> w    : FALSE w; IMPLY a w; IMPLY b w     (3 ops)
+
+    Derived gates: AND = NAND + NOT, OR = NAND of NOTs, XOR via four
+    NANDs — the textbook constructions.
+    """
+    nl = decompose2(netlist)
+    ops: list[ImplyOp] = []
+    counter = itertools.count()
+    value_cell: dict[str, str] = {name: name for name in nl.inputs}
+
+    def fresh() -> str:
+        return f"w{next(counter)}"
+
+    def emit_not(a: str) -> str:
+        w = fresh()
+        ops.append(ImplyOp("false", w))
+        ops.append(ImplyOp("imply", w, source=a))
+        return w
+
+    def emit_nand(a: str, b: str) -> str:
+        w = fresh()
+        ops.append(ImplyOp("false", w))
+        ops.append(ImplyOp("imply", w, source=a))
+        ops.append(ImplyOp("imply", w, source=b))
+        return w
+
+    def emit_const(value: bool) -> str:
+        w = fresh()
+        ops.append(ImplyOp("false", w))
+        if value:
+            # 1 = NOT 0: implement as w2 <- w IMP w2 with w = 0.
+            w2 = fresh()
+            ops.append(ImplyOp("false", w2))
+            ops.append(ImplyOp("imply", w2, source=w))
+            return w2
+        return w
+
+    for gate in nl.topological_gates():
+        ins = [value_cell[i] for i in gate.inputs]
+        t = gate.gate_type
+        if len(ins) == 1 and t in ("AND", "OR", "XOR"):
+            t = "BUF"
+        elif len(ins) == 1 and t in ("NAND", "NOR", "XNOR"):
+            t = "INV"
+        if t == "BUF":
+            cell = ins[0]
+        elif t == "INV":
+            cell = emit_not(ins[0])
+        elif t == "AND":
+            cell = emit_not(emit_nand(ins[0], ins[1]))
+        elif t == "NAND":
+            cell = emit_nand(ins[0], ins[1])
+        elif t == "OR":
+            cell = emit_nand(emit_not(ins[0]), emit_not(ins[1]))
+        elif t == "NOR":
+            cell = emit_not(emit_nand(emit_not(ins[0]), emit_not(ins[1])))
+        elif t == "XOR":
+            # Four-NAND construction.
+            nab = emit_nand(ins[0], ins[1])
+            cell = emit_nand(emit_nand(ins[0], nab), emit_nand(ins[1], nab))
+        elif t == "XNOR":
+            nab = emit_nand(ins[0], ins[1])
+            x = emit_nand(emit_nand(ins[0], nab), emit_nand(ins[1], nab))
+            cell = emit_not(x)
+        elif t == "CONST0":
+            cell = emit_const(False)
+        elif t == "CONST1":
+            cell = emit_const(True)
+        else:  # pragma: no cover - decompose2 leaves only the above
+            raise ValueError(f"unsupported gate {t} after decomposition")
+        value_cell[gate.output] = cell
+
+    outputs = {out: value_cell[out] for out in nl.outputs}
+    return ImplyProgram(
+        ops=ops,
+        outputs=outputs,
+        inputs=list(nl.inputs),
+        work_cells=next(counter),
+    )

@@ -1,0 +1,46 @@
+"""Graphviz (dot) export for BDDs — handy for debugging and papers."""
+
+from __future__ import annotations
+
+from .manager import FALSE_ID, TRUE_ID
+from .sbdd import SBDD
+
+__all__ = ["sbdd_to_dot"]
+
+
+def sbdd_to_dot(sbdd: SBDD, include_false: bool = True) -> str:
+    """Render an SBDD in Graphviz dot syntax.
+
+    Then-edges are solid, else-edges dashed; roots are annotated with
+    their output names.  Set ``include_false`` False to render the graph
+    the crossbar mapping actually sees (0-terminal removed).
+    """
+    m = sbdd.manager
+    lines = ["digraph sbdd {", "  rankdir=TB;"]
+    reachable = sorted(sbdd.reachable())
+    root_names: dict[int, list[str]] = {}
+    for name, root in sbdd.roots.items():
+        root_names.setdefault(root, []).append(name)
+
+    for n in reachable:
+        if n == FALSE_ID:
+            if include_false:
+                lines.append('  n0 [shape=box, label="0"];')
+            continue
+        if n == TRUE_ID:
+            lines.append('  n1 [shape=box, label="1"];')
+            continue
+        label = m.var_of(n)
+        if n in root_names:
+            label += "\\n(" + ",".join(root_names[n]) + ")"
+        lines.append(f'  n{n} [shape=circle, label="{label}"];')
+    for n in reachable:
+        if n <= TRUE_ID:
+            continue
+        lo, hi = m.low(n), m.high(n)
+        if include_false or lo != FALSE_ID:
+            lines.append(f"  n{n} -> n{lo} [style=dashed];")
+        if include_false or hi != FALSE_ID:
+            lines.append(f"  n{n} -> n{hi};")
+    lines.append("}")
+    return "\n".join(lines)

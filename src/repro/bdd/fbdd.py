@@ -1,0 +1,213 @@
+"""Free binary decision diagrams (FBDDs).
+
+Prior flow-based work explored mapping FBDDs as well as ROBDDs (the
+paper cites [17]; Section II-A: "ROBDDs and FBDDs are extensions of
+BDDs ... optimized to minimize number of nodes and edges").  An FBDD
+relaxes the global variable order: each root-to-leaf path may test
+variables in its own order (each at most once), which can be
+exponentially smaller than any ROBDD.
+
+This implementation uses the ROBDD manager as a *function identity
+oracle*: every subfunction is named by its canonical ROBDD id, so FBDD
+construction is a memoised recursion over function ids that greedily
+picks, per subfunction, the branch variable minimising the resulting
+ROBDD cofactor sizes.  Nodes are hash-consed on (variable, low, high),
+giving a reduced FBDD whose graph plugs straight into COMPACT's
+pipeline via :func:`fbdd_to_bdd_graph`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from ..crossbar.literals import Lit
+from ..graphs import UGraph
+from .manager import FALSE_ID, TRUE_ID
+from .sbdd import SBDD
+
+__all__ = ["FBDD", "build_fbdd", "fbdd_to_bdd_graph"]
+
+#: FBDD terminal ids mirror the ROBDD convention.
+_F_FALSE = 0
+_F_TRUE = 1
+
+
+@dataclass
+class FBDD:
+    """A multi-rooted free BDD.
+
+    Node ``i > 1`` tests ``var[i]`` with children ``low[i]``/``high[i]``;
+    ids 0/1 are the terminals.  Variables along any path are distinct by
+    construction, but different paths may order them differently.
+    """
+
+    var: list[str | None]
+    low: list[int]
+    high: list[int]
+    roots: dict[str, int]
+    name: str = "fbdd"
+    #: Which netlist inputs the construction considered.
+    support: tuple[str, ...] = ()
+    meta: dict = field(default_factory=dict)
+
+    # -- sizes -----------------------------------------------------------------
+    def reachable(self) -> set[int]:
+        seen: set[int] = set()
+        stack = list(self.roots.values())
+        while stack:
+            n = stack.pop()
+            if n in seen:
+                continue
+            seen.add(n)
+            if n > _F_TRUE:
+                stack.append(self.low[n])
+                stack.append(self.high[n])
+        return seen
+
+    def node_count(self) -> int:
+        """Reachable nodes, terminals included."""
+        return len(self.reachable())
+
+    def internal_count(self) -> int:
+        return sum(1 for n in self.reachable() if n > _F_TRUE)
+
+    # -- semantics ----------------------------------------------------------------
+    def evaluate_root(self, root: int, assignment: Mapping[str, bool]) -> bool:
+        node = root
+        while node > _F_TRUE:
+            node = self.high[node] if assignment[self.var[node]] else self.low[node]
+        return node == _F_TRUE
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> dict[str, bool]:
+        return {
+            out: self.evaluate_root(root, assignment)
+            for out, root in self.roots.items()
+        }
+
+    def check_free(self) -> None:
+        """Verify no variable repeats along any path (the FBDD property)."""
+
+        def rec(node: int, seen: frozenset[str]) -> None:
+            if node <= _F_TRUE:
+                return
+            name = self.var[node]
+            if name in seen:
+                raise AssertionError(f"variable {name} repeats on a path")
+            rec(self.low[node], seen | {name})
+            rec(self.high[node], seen | {name})
+
+        for root in self.roots.values():
+            rec(root, frozenset())
+
+    def __repr__(self) -> str:
+        return f"FBDD({self.name!r}, outputs={len(self.roots)}, nodes={self.node_count()})"
+
+
+def build_fbdd(
+    sbdd: SBDD,
+    candidate_limit: int | None = 8,
+) -> FBDD:
+    """Construct an FBDD for an SBDD's outputs by greedy branch choice.
+
+    For each distinct subfunction (identified by its ROBDD id) the
+    branch variable is the support variable minimising
+    ``|f_lo| + |f_hi|`` (ROBDD node counts of the cofactors), probing at
+    most ``candidate_limit`` support variables (the shallowest ones in
+    the manager's order; None probes all).  Memoised per function id, so
+    shared subfunctions share FBDD nodes.
+    """
+    manager = sbdd.manager
+
+    var: list[str | None] = [None, None]
+    low: list[int] = [_F_FALSE, _F_TRUE]
+    high: list[int] = [_F_FALSE, _F_TRUE]
+    unique: dict[tuple[str, int, int], int] = {}
+    by_function: dict[int, int] = {FALSE_ID: _F_FALSE, TRUE_ID: _F_TRUE}
+
+    def mk(name: str, lo: int, hi: int) -> int:
+        if lo == hi:
+            return lo
+        key = (name, lo, hi)
+        node = unique.get(key)
+        if node is None:
+            node = len(var)
+            var.append(name)
+            low.append(lo)
+            high.append(hi)
+            unique[key] = node
+        return node
+
+    def cone_size(f: int) -> int:
+        return manager.node_count([f])
+
+    def rec(f: int) -> int:
+        node = by_function.get(f)
+        if node is not None:
+            return node
+        support = sorted(manager.support(f), key=manager.level_of)
+        if candidate_limit is not None:
+            support = support[:candidate_limit]
+        best_name, best_cost, best_pair = None, None, None
+        for name in support:
+            f0 = manager.restrict(f, name, False)
+            f1 = manager.restrict(f, name, True)
+            cost = cone_size(f0) + cone_size(f1)
+            if best_cost is None or cost < best_cost:
+                best_name, best_cost, best_pair = name, cost, (f0, f1)
+        assert best_name is not None and best_pair is not None
+        node = mk(best_name, rec(best_pair[0]), rec(best_pair[1]))
+        by_function[f] = node
+        return node
+
+    roots = {out: rec(root) for out, root in sbdd.roots.items()}
+    return FBDD(
+        var=var,
+        low=low,
+        high=high,
+        roots=roots,
+        name=f"{sbdd.name}:fbdd",
+        support=tuple(sbdd.support()),
+        meta={"candidate_limit": candidate_limit},
+    )
+
+
+def fbdd_to_bdd_graph(fbdd: FBDD):
+    """Convert an FBDD into COMPACT's :class:`~repro.core.preprocess.BddGraph`.
+
+    The 0-terminal and its incoming edges are dropped exactly as in the
+    ROBDD pre-processing; every surviving decision edge carries its
+    literal.
+    """
+    from ..core.preprocess import BddGraph
+
+    graph = UGraph()
+    reachable = fbdd.reachable()
+    terminal = _F_TRUE if _F_TRUE in reachable else None
+
+    roots: dict[str, int] = {}
+    constant_outputs: dict[str, bool] = {}
+    for out, root in fbdd.roots.items():
+        if root == _F_TRUE:
+            constant_outputs[out] = True
+        elif root == _F_FALSE:
+            constant_outputs[out] = False
+        else:
+            roots[out] = root
+
+    if not roots:
+        return BddGraph(UGraph(), {}, None, constant_outputs)
+
+    for n in reachable:
+        if n <= _F_TRUE:
+            continue
+        graph.add_node(n)
+        name = fbdd.var[n]
+        assert name is not None
+        if fbdd.low[n] != _F_FALSE:
+            graph.add_edge(n, fbdd.low[n], Lit(name, False))
+        if fbdd.high[n] != _F_FALSE:
+            graph.add_edge(n, fbdd.high[n], Lit(name, True))
+    if terminal is not None:
+        graph.add_node(terminal)
+    return BddGraph(graph, roots, terminal, constant_outputs)

@@ -1,0 +1,491 @@
+"""Reduced ordered binary decision diagrams (ROBDDs).
+
+A hash-consed, table-based BDD manager in the CUDD tradition, but without
+complement edges: flow-based crossbar mapping needs every BDD edge to
+carry a plain literal (``x`` on the then-edge, ``~x`` on the else-edge),
+and the 0-terminal to be physically removable.  Nodes are integer ids
+into an append-only node table; id 0 is the constant FALSE terminal and
+id 1 the constant TRUE terminal.
+
+Multiple functions built in the same manager share subgraphs through the
+unique table, which is exactly the paper's *shared BDD* (SBDD): an SBDD
+is simply a set of root ids in one manager.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+from ..expr import Expr
+
+__all__ = ["BDD", "FALSE_ID", "TRUE_ID", "LEAF_LEVEL"]
+
+#: Terminal node ids (fixed for every manager).
+FALSE_ID = 0
+TRUE_ID = 1
+
+#: Sentinel level for terminal nodes; larger than any variable level.
+LEAF_LEVEL = 1 << 30
+
+
+class BDD:
+    """A BDD manager over a fixed variable order.
+
+    Parameters
+    ----------
+    var_order:
+        Variable names from the top level (0) downwards.  Variables can be
+        appended later with :meth:`add_var` but never reordered in place;
+        use :func:`repro.bdd.ordering.sift_order` to search for better
+        orders and rebuild.
+    """
+
+    def __init__(self, var_order: Iterable[str] = ()):
+        self._order: list[str] = []
+        self._level: dict[str, int] = {}
+        # Node table: _var_level[i], _low[i], _high[i].  Terminals first.
+        self._var_level: list[int] = [LEAF_LEVEL, LEAF_LEVEL]
+        self._low: list[int] = [FALSE_ID, TRUE_ID]
+        self._high: list[int] = [FALSE_ID, TRUE_ID]
+        self._unique: dict[tuple[int, int, int], int] = {}
+        self._cache: dict[tuple, int] = {}
+        for name in var_order:
+            self.add_var(name)
+
+    # -- variables -----------------------------------------------------------
+    @property
+    def var_order(self) -> tuple[str, ...]:
+        """The variable order, top level first."""
+        return tuple(self._order)
+
+    def add_var(self, name: str) -> int:
+        """Declare ``name`` at the bottom of the order; returns its level."""
+        if name in self._level:
+            raise ValueError(f"variable {name!r} already declared")
+        level = len(self._order)
+        self._order.append(name)
+        self._level[name] = level
+        return level
+
+    def level_of(self, name: str) -> int:
+        return self._level[name]
+
+    def var_at_level(self, level: int) -> str:
+        return self._order[level]
+
+    def var(self, name: str) -> int:
+        """The BDD for the single variable ``name`` (declared on demand)."""
+        if name not in self._level:
+            self.add_var(name)
+        return self._mk(self._level[name], FALSE_ID, TRUE_ID)
+
+    def nvar(self, name: str) -> int:
+        """The BDD for ``~name``."""
+        if name not in self._level:
+            self.add_var(name)
+        return self._mk(self._level[name], TRUE_ID, FALSE_ID)
+
+    # -- node table ----------------------------------------------------------
+    @property
+    def false(self) -> int:
+        return FALSE_ID
+
+    @property
+    def true(self) -> int:
+        return TRUE_ID
+
+    def _mk(self, level: int, low: int, high: int) -> int:
+        """Hash-consed node constructor with redundant-test elimination."""
+        if low == high:
+            return low
+        key = (level, low, high)
+        node = self._unique.get(key)
+        if node is None:
+            node = len(self._var_level)
+            self._var_level.append(level)
+            self._low.append(low)
+            self._high.append(high)
+            self._unique[key] = node
+        return node
+
+    def level(self, node: int) -> int:
+        """Variable level of ``node`` (``LEAF_LEVEL`` for terminals)."""
+        return self._var_level[node]
+
+    def var_of(self, node: int) -> str:
+        """Variable name tested at ``node`` (terminals raise)."""
+        lvl = self._var_level[node]
+        if lvl == LEAF_LEVEL:
+            raise ValueError("terminal nodes test no variable")
+        return self._order[lvl]
+
+    def low(self, node: int) -> int:
+        """Else-child (edge labelled with the negated variable)."""
+        return self._low[node]
+
+    def high(self, node: int) -> int:
+        """Then-child (edge labelled with the plain variable)."""
+        return self._high[node]
+
+    def is_terminal(self, node: int) -> bool:
+        return node <= TRUE_ID
+
+    def table_size(self) -> int:
+        """Total number of nodes ever created (including both terminals)."""
+        return len(self._var_level)
+
+    # -- boolean operations ----------------------------------------------------
+    def not_(self, f: int) -> int:
+        """Negation.  O(|f|) without complement edges (result is cached)."""
+        if f == FALSE_ID:
+            return TRUE_ID
+        if f == TRUE_ID:
+            return FALSE_ID
+        key = ("not", f)
+        result = self._cache.get(key)
+        if result is None:
+            result = self._mk(
+                self._var_level[f], self.not_(self._low[f]), self.not_(self._high[f])
+            )
+            self._cache[key] = result
+        return result
+
+    def apply_and(self, f: int, g: int) -> int:
+        if f == FALSE_ID or g == FALSE_ID:
+            return FALSE_ID
+        if f == TRUE_ID:
+            return g
+        if g == TRUE_ID or f == g:
+            return f
+        if f > g:
+            f, g = g, f
+        key = ("and", f, g)
+        result = self._cache.get(key)
+        if result is None:
+            lvl, fl, fh, gl, gh = self._split(f, g)
+            result = self._mk(lvl, self.apply_and(fl, gl), self.apply_and(fh, gh))
+            self._cache[key] = result
+        return result
+
+    def apply_or(self, f: int, g: int) -> int:
+        if f == TRUE_ID or g == TRUE_ID:
+            return TRUE_ID
+        if f == FALSE_ID:
+            return g
+        if g == FALSE_ID or f == g:
+            return f
+        if f > g:
+            f, g = g, f
+        key = ("or", f, g)
+        result = self._cache.get(key)
+        if result is None:
+            lvl, fl, fh, gl, gh = self._split(f, g)
+            result = self._mk(lvl, self.apply_or(fl, gl), self.apply_or(fh, gh))
+            self._cache[key] = result
+        return result
+
+    def apply_xor(self, f: int, g: int) -> int:
+        if f == g:
+            return FALSE_ID
+        if f == FALSE_ID:
+            return g
+        if g == FALSE_ID:
+            return f
+        if f == TRUE_ID:
+            return self.not_(g)
+        if g == TRUE_ID:
+            return self.not_(f)
+        if f > g:
+            f, g = g, f
+        key = ("xor", f, g)
+        result = self._cache.get(key)
+        if result is None:
+            lvl, fl, fh, gl, gh = self._split(f, g)
+            result = self._mk(lvl, self.apply_xor(fl, gl), self.apply_xor(fh, gh))
+            self._cache[key] = result
+        return result
+
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else: ``f ? g : h``."""
+        if f == TRUE_ID:
+            return g
+        if f == FALSE_ID:
+            return h
+        if g == h:
+            return g
+        if g == TRUE_ID and h == FALSE_ID:
+            return f
+        if g == FALSE_ID and h == TRUE_ID:
+            return self.not_(f)
+        key = ("ite", f, g, h)
+        result = self._cache.get(key)
+        if result is None:
+            lvl = min(self._var_level[f], self._var_level[g], self._var_level[h])
+            fl, fh = self._cofactors(f, lvl)
+            gl, gh = self._cofactors(g, lvl)
+            hl, hh = self._cofactors(h, lvl)
+            result = self._mk(lvl, self.ite(fl, gl, hl), self.ite(fh, gh, hh))
+            self._cache[key] = result
+        return result
+
+    def _split(self, f: int, g: int) -> tuple[int, int, int, int, int]:
+        lvl = min(self._var_level[f], self._var_level[g])
+        fl, fh = self._cofactors(f, lvl)
+        gl, gh = self._cofactors(g, lvl)
+        return lvl, fl, fh, gl, gh
+
+    def _cofactors(self, f: int, level: int) -> tuple[int, int]:
+        if self._var_level[f] == level:
+            return self._low[f], self._high[f]
+        return f, f
+
+    # -- derived operations ----------------------------------------------------
+    def apply(self, op: str, f: int, g: int) -> int:
+        """Binary operation by name: and/or/xor/nand/nor/xnor/imp."""
+        op = op.lower()
+        if op == "and":
+            return self.apply_and(f, g)
+        if op == "or":
+            return self.apply_or(f, g)
+        if op == "xor":
+            return self.apply_xor(f, g)
+        if op == "nand":
+            return self.not_(self.apply_and(f, g))
+        if op == "nor":
+            return self.not_(self.apply_or(f, g))
+        if op == "xnor":
+            return self.not_(self.apply_xor(f, g))
+        if op in ("imp", "implies"):
+            return self.apply_or(self.not_(f), g)
+        raise ValueError(f"unknown operation {op!r}")
+
+    def restrict(self, f: int, name: str, value: bool) -> int:
+        """Cofactor of ``f`` with respect to ``name = value``."""
+        target = self._level[name]
+        key = ("restrict", f, target, value)
+
+        def rec(n: int) -> int:
+            lvl = self._var_level[n]
+            if lvl > target:
+                return n
+            k = ("restrict", n, target, value)
+            r = self._cache.get(k)
+            if r is not None:
+                return r
+            if lvl == target:
+                r = self._high[n] if value else self._low[n]
+            else:
+                r = self._mk(lvl, rec(self._low[n]), rec(self._high[n]))
+            self._cache[k] = r
+            return r
+
+        result = self._cache.get(key)
+        if result is None:
+            result = rec(f)
+        return result
+
+    def exists(self, names: Sequence[str], f: int) -> int:
+        """Existential quantification over ``names``."""
+        levels = frozenset(self._level[n] for n in names)
+        if not levels:
+            return f
+        top = max(levels)
+
+        def rec(n: int) -> int:
+            lvl = self._var_level[n]
+            if lvl > top:
+                return n
+            k = ("exists", n, levels)
+            r = self._cache.get(k)
+            if r is not None:
+                return r
+            lo, hi = rec(self._low[n]), rec(self._high[n])
+            if lvl in levels:
+                r = self.apply_or(lo, hi)
+            else:
+                r = self._mk(lvl, lo, hi)
+            self._cache[k] = r
+            return r
+
+        return rec(f)
+
+    def forall(self, names: Sequence[str], f: int) -> int:
+        """Universal quantification over ``names``."""
+        return self.not_(self.exists(names, self.not_(f)))
+
+    def compose(self, f: int, name: str, g: int) -> int:
+        """Substitute function ``g`` for variable ``name`` in ``f``."""
+        target = self._level[name]
+
+        def rec(n: int) -> int:
+            lvl = self._var_level[n]
+            if lvl > target:
+                return n
+            k = ("compose", n, target, g)
+            r = self._cache.get(k)
+            if r is not None:
+                return r
+            if lvl == target:
+                r = self.ite(g, self._high[n], self._low[n])
+            else:
+                lo, hi = rec(self._low[n]), rec(self._high[n])
+                v = self._mk(lvl, FALSE_ID, TRUE_ID)
+                r = self.ite(v, hi, lo)
+            self._cache[k] = r
+            return r
+
+        return rec(f)
+
+    def from_expr(self, expr: Expr) -> int:
+        """Compile an :class:`~repro.expr.ast.Expr` into this manager."""
+        from ..expr import And, Const, Ite, Not, Or, Var, Xor
+
+        def rec(e: Expr) -> int:
+            if isinstance(e, Const):
+                return TRUE_ID if e.value else FALSE_ID
+            if isinstance(e, Var):
+                return self.var(e.name)
+            if isinstance(e, Not):
+                return self.not_(rec(e.operand))
+            if isinstance(e, And):
+                acc = TRUE_ID
+                for op in e.operands:
+                    acc = self.apply_and(acc, rec(op))
+                return acc
+            if isinstance(e, Or):
+                acc = FALSE_ID
+                for op in e.operands:
+                    acc = self.apply_or(acc, rec(op))
+                return acc
+            if isinstance(e, Xor):
+                acc = FALSE_ID
+                for op in e.operands:
+                    acc = self.apply_xor(acc, rec(op))
+                return acc
+            if isinstance(e, Ite):
+                return self.ite(rec(e.cond), rec(e.then), rec(e.other))
+            raise TypeError(f"cannot compile {type(e).__name__}")
+
+        return rec(expr)
+
+    # -- inspection --------------------------------------------------------------
+    def evaluate(self, f: int, assignment: Mapping[str, bool]) -> bool:
+        """Evaluate ``f`` under a full assignment of its support."""
+        node = f
+        while node > TRUE_ID:
+            name = self._order[self._var_level[node]]
+            node = self._high[node] if assignment[name] else self._low[node]
+        return node == TRUE_ID
+
+    def reachable(self, roots: Iterable[int]) -> set[int]:
+        """All node ids reachable from ``roots`` (terminals included)."""
+        seen: set[int] = set()
+        stack = list(roots)
+        while stack:
+            n = stack.pop()
+            if n in seen:
+                continue
+            seen.add(n)
+            if n > TRUE_ID:
+                stack.append(self._low[n])
+                stack.append(self._high[n])
+        return seen
+
+    def node_count(self, roots: Iterable[int]) -> int:
+        """Number of reachable nodes, terminals included (SBDD size)."""
+        return len(self.reachable(roots))
+
+    def edges(self, roots: Iterable[int]) -> list[tuple[int, int, str, bool]]:
+        """All BDD edges reachable from ``roots``.
+
+        Each entry is ``(parent, child, variable, polarity)`` where
+        polarity True means the then-edge (literal ``variable``) and
+        False the else-edge (literal ``~variable``).
+        """
+        out = []
+        for n in self.reachable(roots):
+            if n > TRUE_ID:
+                name = self._order[self._var_level[n]]
+                out.append((n, self._low[n], name, False))
+                out.append((n, self._high[n], name, True))
+        return out
+
+    def support(self, f: int) -> frozenset[str]:
+        """Variable names on which ``f`` structurally depends."""
+        return frozenset(
+            self._order[self._var_level[n]] for n in self.reachable([f]) if n > TRUE_ID
+        )
+
+    def sat_count(self, f: int, nvars: int | None = None) -> int:
+        """Number of satisfying assignments over ``nvars`` variables.
+
+        ``nvars`` defaults to the number of declared variables.
+        """
+        if nvars is None:
+            nvars = len(self._order)
+        cache: dict[int, int] = {}
+
+        def weight(n: int) -> int:
+            # Number of sat assignments of the cone below n, counting the
+            # variables strictly below n's level as free ones later.
+            if n == FALSE_ID:
+                return 0
+            if n == TRUE_ID:
+                return 1
+            r = cache.get(n)
+            if r is not None:
+                return r
+            lvl = self._var_level[n]
+            lo, hi = self._low[n], self._high[n]
+            lo_gap = (self._var_level[lo] if lo > TRUE_ID else nvars) - lvl - 1
+            hi_gap = (self._var_level[hi] if hi > TRUE_ID else nvars) - lvl - 1
+            r = weight(lo) * (1 << lo_gap) + weight(hi) * (1 << hi_gap)
+            cache[n] = r
+            return r
+
+        top_gap = self._var_level[f] if f > TRUE_ID else nvars
+        if f == TRUE_ID:
+            return 1 << nvars
+        if f == FALSE_ID:
+            return 0
+        return weight(f) * (1 << top_gap)
+
+    def pick_sat(self, f: int) -> dict[str, bool] | None:
+        """One satisfying assignment of ``f``'s support, or None."""
+        if f == FALSE_ID:
+            return None
+        env: dict[str, bool] = {}
+        node = f
+        while node > TRUE_ID:
+            name = self._order[self._var_level[node]]
+            if self._high[node] != FALSE_ID:
+                env[name] = True
+                node = self._high[node]
+            else:
+                env[name] = False
+                node = self._low[node]
+        return env
+
+    def one_paths(self, f: int) -> int:
+        """Number of distinct root-to-1 paths (crossbar sneak paths)."""
+        cache: dict[int, int] = {}
+
+        def rec(n: int) -> int:
+            if n == TRUE_ID:
+                return 1
+            if n == FALSE_ID:
+                return 0
+            r = cache.get(n)
+            if r is None:
+                r = rec(self._low[n]) + rec(self._high[n])
+                cache[n] = r
+            return r
+
+        return rec(f)
+
+    def clear_cache(self) -> None:
+        """Drop the operation cache (the unique table is kept)."""
+        self._cache.clear()
+
+    def __repr__(self) -> str:
+        return f"BDD(vars={len(self._order)}, nodes={len(self._var_level)})"

@@ -1,0 +1,184 @@
+"""Dynamic (in-place) BDD variable reordering.
+
+Implements the classic adjacent-level swap and Rudell's sifting on top
+of the table-based manager in :mod:`repro.bdd.manager`.  Unlike the
+rebuild-based :func:`repro.bdd.ordering.sift_order`, these operate on a
+live manager: node *ids keep denoting the same Boolean functions*, so
+existing root handles (e.g. an SBDD's outputs) stay valid across
+reordering.
+
+The swap rewrites every node testing the upper variable ``x`` through
+the identity
+
+    (x, f0, f1)  ==  (y, (x, f00, f10), (x, f01, f11))
+
+where ``fij`` is the cofactor of ``fi`` at ``y = j``.  Reduction
+guarantees no canonicity collisions (see the inline proofs), so the
+unique table only needs re-keying at the two affected levels.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+
+from .manager import BDD, TRUE_ID
+
+__all__ = ["swap_adjacent", "sift", "sift_sbdd"]
+
+
+def swap_adjacent(manager: BDD, level: int) -> None:
+    """Swap the variables at ``level`` and ``level + 1`` in place.
+
+    All node ids continue to denote the same Boolean functions; only
+    the internal (level, low, high) triples and the unique table keys
+    at the two levels change.  The operation cache is dropped (cached
+    cofactor/quantifier entries embed levels).
+    """
+    order = manager._order
+    if not 0 <= level < len(order) - 1:
+        raise IndexError(f"no adjacent pair at level {level}")
+    upper = level
+    lower = level + 1
+
+    var_level = manager._var_level
+    low = manager._low
+    high = manager._high
+    unique = manager._unique
+
+    nodes_x = [n for n in range(2, len(var_level)) if var_level[n] == upper]
+    nodes_y = [n for n in range(2, len(var_level)) if var_level[n] == lower]
+
+    # Drop stale keys for both levels.
+    for n in nodes_x:
+        unique.pop((upper, low[n], high[n]), None)
+    for n in nodes_y:
+        unique.pop((lower, low[n], high[n]), None)
+
+    # The variables trade places.
+    x_name, y_name = order[upper], order[lower]
+    order[upper], order[lower] = y_name, x_name
+    manager._level[x_name] = lower
+    manager._level[y_name] = upper
+
+    # y-nodes move up unchanged: same children, new level.
+    for m in nodes_y:
+        var_level[m] = upper
+        unique[(upper, low[m], high[m])] = m
+
+    # x-nodes that do not test y: same children, new level.  Registering
+    # them *before* rewriting the dependent nodes lets the rewrite share
+    # them instead of duplicating (x, f0, f1) at the new level.
+    dependent = []
+    for n in nodes_x:
+        if var_level[low[n]] == upper or var_level[high[n]] == upper:
+            # (child was a y-node, which now sits at `upper`)
+            dependent.append(n)
+        else:
+            var_level[n] = lower
+            unique[(lower, low[n], high[n])] = n
+
+    # Dependent x-nodes become y-nodes via the swap identity.
+    for n in dependent:
+        f0, f1 = low[n], high[n]
+        f00, f01 = _cofactor_pair(manager, f0, upper)
+        f10, f11 = _cofactor_pair(manager, f1, upper)
+        a = manager._mk(lower, f00, f10)
+        b = manager._mk(lower, f01, f11)
+        # A rewritten node can never collide with an existing y-node:
+        # that would force f0 == f1 (both (y, f00, f01)), which reduction
+        # forbids.  Distinct rewritten nodes stay distinct because node
+        # ids denote functions and the function is unchanged.
+        var_level[n] = upper
+        low[n] = a
+        high[n] = b
+        unique[(upper, a, b)] = n
+
+    manager._cache.clear()
+
+
+def _cofactor_pair(manager: BDD, node: int, y_level: int) -> tuple[int, int]:
+    if manager._var_level[node] == y_level:
+        return manager._low[node], manager._high[node]
+    return node, node
+
+
+def _live_size(manager: BDD, roots: Sequence[int]) -> int:
+    return len(manager.reachable(roots))
+
+
+def move_var(manager: BDD, name: str, target_level: int, roots: Sequence[int]) -> int:
+    """Move ``name`` to ``target_level`` by adjacent swaps.
+
+    Returns the live node count (reachable from ``roots``) afterwards.
+    """
+    current = manager._level[name]
+    while current < target_level:
+        swap_adjacent(manager, current)
+        current += 1
+    while current > target_level:
+        swap_adjacent(manager, current - 1)
+        current -= 1
+    return _live_size(manager, roots)
+
+
+def sift(
+    manager: BDD,
+    roots: Sequence[int],
+    max_growth: float = 2.0,
+    time_budget: float | None = None,
+    max_rounds: int = 1,
+) -> int:
+    """Rudell sifting on a live manager.
+
+    Each variable (largest level population first) is moved through
+    every position by adjacent swaps and parked where the live node
+    count (reachable from ``roots``) is smallest.  A move is aborted
+    early when the table grows past ``max_growth`` times the best size
+    seen.  Returns the final live size.
+    """
+    deadline = None if time_budget is None else time.monotonic() + time_budget
+    best_total = _live_size(manager, roots)
+    n_levels = len(manager._order)
+
+    for _ in range(max_rounds):
+        improved = False
+        # Order variables by how many live nodes test them (big first).
+        live = manager.reachable(roots)
+        population: dict[str, int] = {}
+        for node in live:
+            if node > TRUE_ID:
+                population[manager.var_of(node)] = population.get(manager.var_of(node), 0) + 1
+        names = sorted(manager._order, key=lambda v: -population.get(v, 0))
+
+        for name in names:
+            if deadline is not None and time.monotonic() > deadline:
+                return _live_size(manager, roots)
+            start_level = manager._level[name]
+            best_level, best_size = start_level, _live_size(manager, roots)
+
+            # Sweep to the bottom, then to the top, tracking the best spot.
+            for target in range(start_level + 1, n_levels):
+                size = move_var(manager, name, target, roots)
+                if size < best_size:
+                    best_size, best_level = size, target
+                elif size > max_growth * best_size:
+                    break
+            for target in range(manager._level[name] - 1, -1, -1):
+                size = move_var(manager, name, target, roots)
+                if size < best_size:
+                    best_size, best_level = size, target
+                elif size > max_growth * best_size:
+                    break
+            move_var(manager, name, best_level, roots)
+            if best_size < best_total:
+                best_total = best_size
+                improved = True
+        if not improved:
+            break
+    return _live_size(manager, roots)
+
+
+def sift_sbdd(sbdd, **kwargs) -> int:
+    """Sift an SBDD's manager in place; root handles stay valid."""
+    return sift(sbdd.manager, list(sbdd.roots.values()), **kwargs)

@@ -1,0 +1,210 @@
+"""Shared BDDs (SBDDs) and netlist compilation.
+
+An :class:`SBDD` bundles one BDD manager with a set of named roots —
+one per primary output of a circuit.  Because all roots live in the same
+unique table, logic shared between outputs is represented once, which is
+exactly the size advantage Section VII-A of the paper measures
+(Table III: SBDD vs per-output ROBDDs).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from ..circuits.netlist import Netlist
+from ..expr import Expr
+from .manager import BDD, FALSE_ID, TRUE_ID
+
+__all__ = ["SBDD", "build_sbdd", "build_robdds"]
+
+
+class SBDD:
+    """A multi-rooted shared BDD.
+
+    Attributes
+    ----------
+    manager:
+        The owning :class:`~repro.bdd.manager.BDD` manager.
+    roots:
+        Ordered mapping from output name to root node id.
+    """
+
+    def __init__(self, manager: BDD, roots: Mapping[str, int], name: str = "sbdd"):
+        self.manager = manager
+        self.roots: dict[str, int] = dict(roots)
+        self.name = name
+
+    # -- sizes -----------------------------------------------------------------
+    def reachable(self) -> set[int]:
+        """Node ids reachable from any root (terminals included)."""
+        return self.manager.reachable(self.roots.values())
+
+    def node_count(self) -> int:
+        """Reachable node count, terminals included (the paper's 'nodes')."""
+        return len(self.reachable())
+
+    def internal_count(self) -> int:
+        """Reachable non-terminal node count."""
+        return sum(1 for n in self.reachable() if n > TRUE_ID)
+
+    def edge_count(self) -> int:
+        """Number of BDD edges (two per internal node)."""
+        return 2 * self.internal_count()
+
+    def edges(self) -> list[tuple[int, int, str, bool]]:
+        """All reachable edges as ``(parent, child, var, polarity)``."""
+        return self.manager.edges(self.roots.values())
+
+    # -- semantics ---------------------------------------------------------------
+    def evaluate(self, assignment: Mapping[str, bool]) -> dict[str, bool]:
+        """Evaluate every output under ``assignment``."""
+        return {
+            name: self.manager.evaluate(root, assignment)
+            for name, root in self.roots.items()
+        }
+
+    def support(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for root in self.roots.values():
+            out |= self.manager.support(root)
+        return out
+
+    def __repr__(self) -> str:
+        return f"SBDD({self.name!r}, outputs={len(self.roots)}, nodes={self.node_count()})"
+
+
+def build_sbdd(
+    netlist: Netlist,
+    order: Sequence[str] | None = None,
+    manager: BDD | None = None,
+) -> SBDD:
+    """Compile a netlist into a shared BDD.
+
+    Parameters
+    ----------
+    netlist:
+        The combinational circuit to compile.
+    order:
+        Variable order (defaults to :func:`~repro.bdd.ordering.static_order`).
+    manager:
+        Optional existing manager to build into (its order must cover the
+        netlist inputs).
+    """
+    from .ordering import static_order
+
+    if manager is None:
+        manager = BDD(order if order is not None else static_order(netlist))
+    node: dict[str, int] = {}
+    for name in netlist.inputs:
+        node[name] = manager.var(name)
+
+    for gate in netlist.topological_gates():
+        ins = [node[i] for i in gate.inputs]
+        t = gate.gate_type
+        if t == "AND":
+            acc = TRUE_ID
+            for f in ins:
+                acc = manager.apply_and(acc, f)
+        elif t == "OR":
+            acc = FALSE_ID
+            for f in ins:
+                acc = manager.apply_or(acc, f)
+        elif t == "NAND":
+            acc = TRUE_ID
+            for f in ins:
+                acc = manager.apply_and(acc, f)
+            acc = manager.not_(acc)
+        elif t == "NOR":
+            acc = FALSE_ID
+            for f in ins:
+                acc = manager.apply_or(acc, f)
+            acc = manager.not_(acc)
+        elif t == "XOR":
+            acc = FALSE_ID
+            for f in ins:
+                acc = manager.apply_xor(acc, f)
+        elif t == "XNOR":
+            acc = FALSE_ID
+            for f in ins:
+                acc = manager.apply_xor(acc, f)
+            acc = manager.not_(acc)
+        elif t == "INV":
+            acc = manager.not_(ins[0])
+        elif t == "BUF":
+            acc = ins[0]
+        elif t == "MUX":
+            acc = manager.ite(ins[0], ins[1], ins[2])
+        elif t == "MAJ":
+            # Majority via threshold recursion: OR of AND-pairs is fine
+            # for fan-in 3; general case builds a sorted adder chain.
+            acc = _majority(manager, ins)
+        elif t == "CONST0":
+            acc = FALSE_ID
+        elif t == "CONST1":
+            acc = TRUE_ID
+        else:  # pragma: no cover - Gate.__post_init__ rejects unknown types
+            raise ValueError(f"unsupported gate type {t}")
+        node[gate.output] = acc
+
+    roots = {out: node[out] for out in netlist.outputs}
+    return SBDD(manager, roots, name=netlist.name)
+
+
+def _majority(manager: BDD, ins: list[int]) -> int:
+    """Majority of an odd number of functions, by dynamic programming.
+
+    ``count[k]`` is the BDD for "at least k of the inputs seen so far are
+    true"; processing inputs one at a time keeps intermediate BDDs small.
+    """
+    need = len(ins) // 2 + 1
+    # count[k] for k in 0..need, initially: at-least-0 = TRUE, others FALSE.
+    count = [TRUE_ID] + [FALSE_ID] * need
+    for f in ins:
+        for k in range(need, 0, -1):
+            count[k] = manager.apply_or(
+                count[k], manager.apply_and(count[k - 1], f)
+            )
+    return count[need]
+
+
+def build_robdds(
+    netlist: Netlist,
+    order: Sequence[str] | None = None,
+) -> list[tuple[str, SBDD]]:
+    """Compile one *separate* ROBDD per primary output.
+
+    This reproduces the prior-work flow (Section VII-A, Figure 8(a)):
+    each output gets its own manager, so no logic is shared.  All
+    managers use the same global variable order so sizes are comparable
+    to the shared build.  Returns ``[(output_name, single-root SBDD)]``.
+    """
+    from .ordering import static_order
+
+    if order is None:
+        order = static_order(netlist)
+    results: list[tuple[str, SBDD]] = []
+    for out in netlist.outputs:
+        sub = Netlist(f"{netlist.name}:{out}", inputs=list(netlist.inputs), outputs=[out])
+        sub.gates = list(netlist.gates)
+        sub._driver = dict(netlist._driver)
+        sbdd = build_sbdd(sub, order=list(order))
+        results.append((out, sbdd))
+    return results
+
+
+def sbdd_from_exprs(
+    exprs: Mapping[str, Expr],
+    order: Sequence[str] | None = None,
+    name: str = "sbdd",
+) -> SBDD:
+    """Build a shared BDD directly from named expressions."""
+    if order is None:
+        seen: list[str] = []
+        for e in exprs.values():
+            for v in sorted(e.variables()):
+                if v not in seen:
+                    seen.append(v)
+        order = seen
+    manager = BDD(order)
+    roots = {out: manager.from_expr(e) for out, e in exprs.items()}
+    return SBDD(manager, roots, name=name)

@@ -1,0 +1,40 @@
+"""Experiment harness: suites, runners and table/figure reproduction."""
+
+from .experiments import (
+    CompactRun,
+    fig9_pareto,
+    fig10_convergence,
+    fig11_gaps,
+    fig12_power_delay,
+    fig13_vs_magic,
+    run_compact,
+    table1_properties,
+    table2_gamma,
+    table3_sbdd_vs_robdds,
+    table4_vs_prior,
+)
+from .report import generate_summary
+from .suites import BenchCircuit, circuit, suite
+from .tables import Table, geometric_mean, normalised_average, text_series
+
+__all__ = [
+    "generate_summary",
+    "BenchCircuit",
+    "suite",
+    "circuit",
+    "Table",
+    "geometric_mean",
+    "normalised_average",
+    "text_series",
+    "CompactRun",
+    "run_compact",
+    "table1_properties",
+    "table2_gamma",
+    "table3_sbdd_vs_robdds",
+    "table4_vs_prior",
+    "fig9_pareto",
+    "fig10_convergence",
+    "fig11_gaps",
+    "fig12_power_delay",
+    "fig13_vs_magic",
+]

@@ -1,0 +1,131 @@
+"""Benchmark suites.
+
+Stand-ins for the paper's ISCAS85 and EPFL-control circuits (Table I),
+generated from scratch at sizes the pure-Python stack solves to
+optimality in seconds-to-minutes (see DESIGN.md for the substitution
+rationale).  Two tiers:
+
+* ``fast`` — used by the default test/bench runs;
+* ``full`` — adds the larger instances (select with
+  ``REPRO_SUITE=full``).
+
+``dec8`` reproduces the paper's ``dec`` benchmark *exactly* (8-to-256
+decoder: 512 SBDD nodes, 1020 edges — identical to Table I).
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..circuits import (
+    alu_slice,
+    array_multiplier,
+    c17,
+    comparator,
+    decoder,
+    i2c_control,
+    int2float,
+    majority_voter,
+    mux_tree,
+    parity_tree,
+    priority_encoder,
+    random_control,
+    ripple_carry_adder,
+    round_robin_arbiter,
+    router_lookup,
+)
+from ..circuits.netlist import Netlist
+
+__all__ = ["BenchCircuit", "suite", "circuit", "SUITE_TIERS"]
+
+
+@dataclass(frozen=True)
+class BenchCircuit:
+    """One suite entry: a named, lazily-built benchmark circuit."""
+
+    name: str
+    family: str  # 'iscas85-like' or 'epfl-control-like'
+    factory: Callable[[], Netlist]
+    #: Paper benchmark this one stands in for (None = extra).
+    stands_in_for: str | None = None
+
+    def build(self) -> Netlist:
+        nl = self.factory()
+        nl.name = self.name
+        return nl
+
+
+def _cavlc_like() -> Netlist:
+    return random_control("cavlc_like", 10, 11, 24, seed=21, literals=(2, 6))
+
+
+def _ctrl_like() -> Netlist:
+    return random_control("ctrl_like", 7, 26, 18, seed=23, literals=(2, 5))
+
+
+_FAST: list[BenchCircuit] = [
+    # ISCAS85-like arithmetic/logic
+    BenchCircuit("c17", "iscas85-like", c17, "c17"),
+    BenchCircuit("rca8", "iscas85-like", lambda: ripple_carry_adder(8), "c432 (arith.)"),
+    BenchCircuit("parity16", "iscas85-like", lambda: parity_tree(16), "c499 (ECC/XOR)"),
+    BenchCircuit("cmp8", "iscas85-like", lambda: comparator(8), "c880 (comparator part)"),
+    BenchCircuit("alu4", "iscas85-like", lambda: alu_slice(4), "c3540 (ALU)"),
+    BenchCircuit("mult4", "iscas85-like", lambda: array_multiplier(4), "c6288-class (mult.)"),
+    BenchCircuit("mux16", "iscas85-like", lambda: mux_tree(4), "selector logic"),
+    BenchCircuit("voter9", "iscas85-like", lambda: majority_voter(9), "voting logic"),
+    # EPFL-control-like
+    BenchCircuit("arbiter8", "epfl-control-like", lambda: round_robin_arbiter(8), "arbiter"),
+    BenchCircuit("cavlc_like", "epfl-control-like", _cavlc_like, "cavlc"),
+    BenchCircuit("ctrl_like", "epfl-control-like", _ctrl_like, "ctrl"),
+    BenchCircuit("dec6", "epfl-control-like", lambda: decoder(6), "dec (scaled)"),
+    BenchCircuit("i2c_like", "epfl-control-like", lambda: i2c_control(5, 8, seed=11), "i2c"),
+    BenchCircuit("int2float", "epfl-control-like", lambda: int2float(11), "int2float"),
+    BenchCircuit("priority32", "epfl-control-like", lambda: priority_encoder(32), "priority (scaled)"),
+    BenchCircuit("router24", "epfl-control-like", lambda: router_lookup(24, 16), "router"),
+]
+
+def _hamming_dec() -> Netlist:
+    from ..circuits import hamming74_decoder
+
+    return hamming74_decoder()
+
+
+_FULL_EXTRA: list[BenchCircuit] = [
+    BenchCircuit("rca16", "iscas85-like", lambda: ripple_carry_adder(16), "c432 (arith.)"),
+    BenchCircuit("mult5", "iscas85-like", lambda: array_multiplier(5), "c6288-class (mult.)"),
+    BenchCircuit("hamming_dec", "iscas85-like", _hamming_dec, "c499 (true SEC decoder)"),
+    BenchCircuit("dec8", "epfl-control-like", lambda: decoder(8), "dec (exact size)"),
+    BenchCircuit("priority128", "epfl-control-like", lambda: priority_encoder(128), "priority (exact inputs)"),
+    BenchCircuit("arbiter16", "epfl-control-like", lambda: round_robin_arbiter(16), "arbiter"),
+]
+
+SUITE_TIERS = ("fast", "full")
+
+
+def suite(tier: str | None = None, family: str | None = None) -> list[BenchCircuit]:
+    """The benchmark suite.
+
+    ``tier`` defaults to the ``REPRO_SUITE`` environment variable (or
+    ``fast``); ``family`` optionally filters to one circuit family.
+    """
+    tier = tier or os.environ.get("REPRO_SUITE", "fast")
+    if tier not in SUITE_TIERS:
+        raise ValueError(f"unknown suite tier {tier!r} (use one of {SUITE_TIERS})")
+    entries = list(_FAST)
+    if tier == "full":
+        entries += _FULL_EXTRA
+    if family is not None:
+        entries = [e for e in entries if e.family == family]
+    return entries
+
+
+@lru_cache(maxsize=None)
+def circuit(name: str) -> Netlist:
+    """Build (and cache) one suite circuit by name."""
+    for entry in _FAST + _FULL_EXTRA:
+        if entry.name == name:
+            return entry.build()
+    raise KeyError(f"no suite circuit named {name!r}")

@@ -1,0 +1,89 @@
+"""Plain-text tables and series for experiment reports.
+
+The bench harness prints the same rows the paper's tables report; this
+module holds the small formatting helpers (fixed-width ASCII tables,
+normalised averages, text sparklines for the figure-style series).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+__all__ = ["Table", "geometric_mean", "normalised_average", "text_series"]
+
+
+class Table:
+    """A fixed-width ASCII table with a title."""
+
+    def __init__(self, title: str, columns: Sequence[str]):
+        self.title = title
+        self.columns = list(columns)
+        self.rows: list[list[str]] = []
+
+    def add_row(self, *cells) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} cells, got {len(cells)}"
+            )
+        self.rows.append([_fmt(c) for c in cells])
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [self.title, "=" * len(self.title)]
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(self.columns, widths)))
+        lines.append(sep)
+        for row in self.rows:
+            lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell != cell:  # NaN
+            return "-"
+        if abs(cell) >= 100 or cell == int(cell):
+            return f"{cell:.0f}" if cell == int(cell) else f"{cell:.1f}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean (ignores non-positive entries defensively)."""
+    logs = [math.log(v) for v in values if v > 0]
+    if not logs:
+        return float("nan")
+    return math.exp(sum(logs) / len(logs))
+
+
+def normalised_average(ours: Sequence[float], baseline: Sequence[float]) -> float:
+    """Mean of per-benchmark ratios ours/baseline (the paper's metric)."""
+    ratios = [o / b for o, b in zip(ours, baseline) if b]
+    if not ratios:
+        return float("nan")
+    return sum(ratios) / len(ratios)
+
+
+def text_series(xs: Sequence[float], ys: Sequence[float], width: int = 60, height: int = 12) -> str:
+    """Rough text plot of a series — keeps figure benches self-contained."""
+    if not xs:
+        return "(empty series)"
+    xmin, xmax = min(xs), max(xs)
+    ymin, ymax = min(ys), max(ys)
+    xspan = (xmax - xmin) or 1.0
+    yspan = (ymax - ymin) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        col = int((x - xmin) / xspan * (width - 1))
+        row = height - 1 - int((y - ymin) / yspan * (height - 1))
+        grid[row][col] = "*"
+    lines = ["".join(r) for r in grid]
+    lines.append(f"x: [{xmin:g}, {xmax:g}]  y: [{ymin:g}, {ymax:g}]")
+    return "\n".join(lines)

@@ -1,0 +1,131 @@
+"""Coding/decoding benchmark circuits.
+
+The ISCAS85 circuits c499/c1355 are single-error-correcting (SEC) code
+circuits; this module provides genuine ECC and code-converter netlists
+in the same family:
+
+* Hamming(7,4) encoder and decoder (with single-error correction),
+* binary <-> Gray code converters,
+* BCD to seven-segment decoder.
+
+All generators come with exact semantics that the tests verify
+end-to-end (encode -> corrupt one bit -> decode recovers the data).
+"""
+
+from __future__ import annotations
+
+from .netlist import Netlist
+
+__all__ = [
+    "hamming74_encoder",
+    "hamming74_decoder",
+    "binary_to_gray",
+    "gray_to_binary",
+    "bcd_to_7seg",
+]
+
+
+def hamming74_encoder(name: str | None = None) -> Netlist:
+    """Hamming(7,4) encoder: data d0..d3 -> codeword c0..c6.
+
+    Codeword layout (1-indexed positions): p1 p2 d1 p3 d2 d3 d4 with
+    even parity; here c0..c6 map to positions 1..7 and d0..d3 to
+    d1..d4.
+    """
+    nl = Netlist(name or "hamming74_enc", inputs=[f"d{i}" for i in range(4)],
+                 outputs=[f"c{i}" for i in range(7)])
+    # Positions: c0=p1, c1=p2, c2=d0, c3=p3, c4=d1, c5=d2, c6=d3.
+    nl.add_gate("c2", "BUF", ["d0"])
+    nl.add_gate("c4", "BUF", ["d1"])
+    nl.add_gate("c5", "BUF", ["d2"])
+    nl.add_gate("c6", "BUF", ["d3"])
+    nl.add_gate("c0", "XOR", ["d0", "d1", "d3"])  # p1 covers 3,5,7
+    nl.add_gate("c1", "XOR", ["d0", "d2", "d3"])  # p2 covers 3,6,7
+    nl.add_gate("c3", "XOR", ["d1", "d2", "d3"])  # p3 covers 5,6,7
+    nl.check()
+    return nl
+
+
+def hamming74_decoder(name: str | None = None) -> Netlist:
+    """Hamming(7,4) decoder with single-error correction.
+
+    Inputs c0..c6 (possibly with one flipped bit); outputs the corrected
+    data bits q0..q3 plus the three syndrome bits s0..s2.
+    """
+    ins = [f"c{i}" for i in range(7)]
+    outs = [f"q{i}" for i in range(4)] + [f"s{i}" for i in range(3)]
+    nl = Netlist(name or "hamming74_dec", inputs=ins, outputs=outs)
+    # Syndrome: s0 checks positions 1,3,5,7 -> c0,c2,c4,c6 etc.
+    nl.add_gate("s0", "XOR", ["c0", "c2", "c4", "c6"])
+    nl.add_gate("s1", "XOR", ["c1", "c2", "c5", "c6"])
+    nl.add_gate("s2", "XOR", ["c3", "c4", "c5", "c6"])
+    # Error position = s2 s1 s0 (binary, 1-indexed); flip that bit.
+    inv = {}
+    for j, s in enumerate(["s0", "s1", "s2"]):
+        inv[s] = nl.add_gate(f"n{s}", "INV", [s])
+    # err_k high when syndrome == k (k = 1..7).
+    for k in range(1, 8):
+        lits = []
+        for j, s in enumerate(["s0", "s1", "s2"]):
+            lits.append(s if (k >> j) & 1 else inv[s])
+        nl.add_gate(f"err{k}", "AND", lits)
+    # Data positions: d0@3, d1@5, d2@6, d3@7.
+    for q, pos, c in (("q0", 3, "c2"), ("q1", 5, "c4"), ("q2", 6, "c5"), ("q3", 7, "c6")):
+        nl.add_gate(q, "XOR", [c, f"err{pos}"])
+    nl.check()
+    return nl
+
+
+def binary_to_gray(n: int, name: str | None = None) -> Netlist:
+    """``n``-bit binary to Gray code: g_i = b_i ^ b_{i+1}."""
+    if n < 1:
+        raise ValueError("need n >= 1")
+    ins = [f"b{i}" for i in range(n)]
+    outs = [f"g{i}" for i in range(n)]
+    nl = Netlist(name or f"bin2gray{n}", inputs=ins, outputs=outs)
+    for i in range(n - 1):
+        nl.add_gate(f"g{i}", "XOR", [f"b{i}", f"b{i + 1}"])
+    nl.add_gate(f"g{n - 1}", "BUF", [f"b{n - 1}"])
+    nl.check()
+    return nl
+
+
+def gray_to_binary(n: int, name: str | None = None) -> Netlist:
+    """``n``-bit Gray to binary: b_i = g_i ^ g_{i+1} ^ ... ^ g_{n-1}."""
+    if n < 1:
+        raise ValueError("need n >= 1")
+    ins = [f"g{i}" for i in range(n)]
+    outs = [f"b{i}" for i in range(n)]
+    nl = Netlist(name or f"gray2bin{n}", inputs=ins, outputs=outs)
+    nl.add_gate(f"b{n - 1}", "BUF", [f"g{n - 1}"])
+    prev = f"g{n - 1}"
+    for i in range(n - 2, -1, -1):
+        prev = nl.add_gate(f"x{i}", "XOR", [f"g{i}", prev])
+        nl.add_gate(f"b{i}", "BUF", [prev])
+    nl.check()
+    return nl
+
+
+#: Segment patterns for digits 0-9 (a..g, 1 = lit), then don't-care-free
+#: blank for 10-15.
+_SEGMENTS = {
+    0: "1111110", 1: "0110000", 2: "1101101", 3: "1111001", 4: "0110011",
+    5: "1011011", 6: "1011111", 7: "1110000", 8: "1111111", 9: "1111011",
+}
+
+
+def bcd_to_7seg(name: str | None = None) -> Netlist:
+    """BCD (4-bit) to seven-segment decoder; digits > 9 blank the display."""
+    ins = [f"b{i}" for i in range(4)]
+    outs = [f"seg_{s}" for s in "abcdefg"]
+    nl = Netlist(name or "bcd7seg", inputs=ins, outputs=outs)
+    inv = [nl.add_gate(f"nb{i}", "INV", [f"b{i}"]) for i in range(4)]
+    digit = []
+    for value in range(10):
+        lits = [ins[i] if (value >> i) & 1 else inv[i] for i in range(4)]
+        digit.append(nl.add_gate(f"is{value}", "AND", lits))
+    for si, seg in enumerate("abcdefg"):
+        terms = [digit[v] for v in range(10) if _SEGMENTS[v][si] == "1"]
+        nl.add_gate(f"seg_{seg}", "OR", terms)
+    nl.check()
+    return nl

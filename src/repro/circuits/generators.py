@@ -1,0 +1,527 @@
+"""Synthetic benchmark circuit generators.
+
+The paper evaluates COMPACT on ISCAS85 and the EPFL control benchmarks.
+Those files are not redistributable here, so this module generates the
+same *families* of circuits from scratch, at parameterisable sizes:
+
+* EPFL-control-like: decoder (``dec``), priority encoder (``priority``),
+  round-robin arbiter (``arbiter``), prefix-match router (``router``),
+  bus-controller command logic (``i2c``-like), integer-to-float converter
+  (``int2float``), and seeded two-level control tables (``cavlc``/``ctrl``
+  stand-ins).
+* ISCAS85-like arithmetic: the exact classic ``c17``, ripple-carry adders,
+  comparators, ALU slices, parity/ECC trees (``c499`` flavour), array
+  multipliers and mux trees.
+
+Every generator returns a checked :class:`~repro.circuits.netlist.Netlist`
+whose semantics is independently testable (e.g. the adder really adds).
+"""
+
+from __future__ import annotations
+
+import random
+
+from .netlist import Netlist
+
+__all__ = [
+    "c17",
+    "decoder",
+    "priority_encoder",
+    "round_robin_arbiter",
+    "router_lookup",
+    "i2c_control",
+    "int2float",
+    "random_control",
+    "ripple_carry_adder",
+    "comparator",
+    "alu_slice",
+    "parity_tree",
+    "array_multiplier",
+    "mux_tree",
+    "majority_voter",
+    "random_netlist",
+]
+
+
+def _bits(name: str, n: int) -> list[str]:
+    return [f"{name}{i}" for i in range(n)]
+
+
+def c17() -> Netlist:
+    """The classic ISCAS85 c17 benchmark (6 NAND gates, 5 in, 2 out)."""
+    nl = Netlist("c17", inputs=["G1", "G2", "G3", "G6", "G7"], outputs=["G22", "G23"])
+    nl.add_gate("G10", "NAND", ["G1", "G3"])
+    nl.add_gate("G11", "NAND", ["G3", "G6"])
+    nl.add_gate("G16", "NAND", ["G2", "G11"])
+    nl.add_gate("G19", "NAND", ["G11", "G7"])
+    nl.add_gate("G22", "NAND", ["G10", "G16"])
+    nl.add_gate("G23", "NAND", ["G16", "G19"])
+    nl.check()
+    return nl
+
+
+def decoder(n: int, name: str | None = None) -> Netlist:
+    """``n``-to-``2^n`` line decoder (the EPFL ``dec`` circuit family).
+
+    Output ``d<i>`` is high iff the input word equals ``i``.
+    """
+    if n < 1:
+        raise ValueError("decoder needs n >= 1")
+    ins = _bits("a", n)
+    outs = [f"d{i}" for i in range(2**n)]
+    nl = Netlist(name or f"dec{n}", inputs=ins, outputs=outs)
+    inv = []
+    for i, a in enumerate(ins):
+        inv.append(nl.add_gate(f"na{i}", "INV", [a]))
+    for code in range(2**n):
+        terms = []
+        for bit in range(n):
+            terms.append(ins[bit] if (code >> bit) & 1 else inv[bit])
+        nl.add_gate(f"d{code}", "AND", terms)
+    nl.check()
+    return nl
+
+
+def priority_encoder(n: int, name: str | None = None) -> Netlist:
+    """``n``-request priority encoder (the EPFL ``priority`` family).
+
+    Input ``r0`` has the highest priority.  Outputs are ``valid`` plus the
+    binary index (LSB first) of the highest-priority asserted request.
+    """
+    if n < 2:
+        raise ValueError("priority encoder needs n >= 2")
+    ins = _bits("r", n)
+    width = (n - 1).bit_length()
+    outs = ["valid"] + [f"y{j}" for j in range(width)]
+    nl = Netlist(name or f"priority{n}", inputs=ins, outputs=outs)
+
+    # blocked_i = r_0 | ... | r_{i-1}; grant_i = r_i & ~blocked_i
+    grants = [ins[0]]
+    prev_any = ins[0]
+    for i in range(1, n):
+        nb = nl.add_gate(f"nblk{i}", "INV", [prev_any])
+        grants.append(nl.add_gate(f"g{i}", "AND", [ins[i], nb]))
+        if i < n - 1:
+            prev_any = nl.add_gate(f"any{i}", "OR", [prev_any, ins[i]])
+    nl.add_gate("valid", "OR", list(ins))
+    for j in range(width):
+        sources = [grants[i] for i in range(n) if (i >> j) & 1]
+        if sources:
+            nl.add_gate(f"y{j}", "OR", sources)
+        else:
+            nl.add_gate(f"y{j}", "CONST0", [])
+    nl.check()
+    return nl
+
+
+def round_robin_arbiter(n: int, name: str | None = None) -> Netlist:
+    """Combinational round-robin arbiter (EPFL ``arbiter`` flavour).
+
+    Inputs: ``n`` request lines and ``log2 n`` pointer bits selecting the
+    highest-priority requester.  Outputs: ``n`` one-hot grant lines plus
+    an ``ack``.  Priority rotates with the pointer: requester ``p`` is
+    highest, then ``p+1`` (mod n), etc.
+    """
+    if n < 2 or n & (n - 1):
+        raise ValueError("arbiter size must be a power of two >= 2")
+    width = n.bit_length() - 1
+    reqs = _bits("r", n)
+    ptr = _bits("p", width)
+    outs = [f"gnt{i}" for i in range(n)] + ["ack"]
+    nl = Netlist(name or f"arbiter{n}", inputs=reqs + ptr, outputs=outs)
+
+    # ptr_is[k]: pointer equals k (one-hot decode of the pointer).
+    pinv = [nl.add_gate(f"np{j}", "INV", [ptr[j]]) for j in range(width)]
+    ptr_is = []
+    for k in range(n):
+        lits = [ptr[j] if (k >> j) & 1 else pinv[j] for j in range(width)]
+        ptr_is.append(nl.add_gate(f"ptr_is{k}", "AND", lits))
+
+    # For each pointer value k, fixed-priority chain over the rotation
+    # (k, k+1, ..., k+n-1); gnt_i = OR_k [ ptr_is_k & grant-under-k_i ].
+    grant_terms: list[list[str]] = [[] for _ in range(n)]
+    for k in range(n):
+        order = [(k + d) % n for d in range(n)]
+        prev_any: str | None = None
+        for rank, i in enumerate(order):
+            if rank == 0:
+                g = nl.add_gate(f"g_{k}_{i}", "AND", [ptr_is[k], reqs[i]])
+            else:
+                nb = nl.add_gate(f"nb_{k}_{rank}", "INV", [prev_any])  # type: ignore[list-item]
+                g = nl.add_gate(f"g_{k}_{i}", "AND", [ptr_is[k], reqs[i], nb])
+            grant_terms[i].append(g)
+            if rank == 0:
+                prev_any = reqs[i]
+            elif rank < n - 1:
+                prev_any = nl.add_gate(f"anyk{k}_{rank}", "OR", [prev_any, reqs[i]])  # type: ignore[list-item]
+    for i in range(n):
+        nl.add_gate(f"gnt{i}", "OR", grant_terms[i])
+    nl.add_gate("ack", "OR", list(reqs))
+    nl.check()
+    return nl
+
+
+def router_lookup(addr_bits: int, n_rules: int, seed: int = 7, name: str | None = None) -> Netlist:
+    """Prefix-match routing table (EPFL ``router`` flavour).
+
+    A deterministic, seeded set of ``n_rules`` (prefix, length) rules is
+    generated; output ``m<i>`` asserts when the address matches rule ``i``
+    and no longer (more specific) rule also matches — a longest-prefix
+    match with ties broken by rule index.  A ``hit`` output asserts when
+    any rule matches.
+    """
+    rng = random.Random(seed)
+    ins = _bits("a", addr_bits)
+    outs = [f"m{i}" for i in range(n_rules)] + ["hit"]
+    nl = Netlist(name or f"router{addr_bits}x{n_rules}", inputs=ins, outputs=outs)
+    inv = [nl.add_gate(f"na{j}", "INV", [a]) for j, a in enumerate(ins)]
+
+    rules: list[tuple[int, int]] = []  # (value, prefix_len)
+    seen = set()
+    while len(rules) < n_rules:
+        length = rng.randint(1, addr_bits)
+        value = rng.getrandbits(length)
+        if (value, length) in seen:
+            continue
+        seen.add((value, length))
+        rules.append((value, length))
+
+    raw = []
+    for i, (value, length) in enumerate(rules):
+        lits = []
+        for bit in range(length):
+            # Prefix compares the most-significant `length` bits.
+            pos = addr_bits - 1 - bit
+            lits.append(ins[pos] if (value >> (length - 1 - bit)) & 1 else inv[pos])
+        raw.append(nl.add_gate(f"raw{i}", "AND", lits))
+
+    for i, (_, length) in enumerate(rules):
+        # Suppressed by any strictly longer matching rule (or earlier equal-length).
+        better = [
+            raw[j]
+            for j, (_, lj) in enumerate(rules)
+            if lj > length or (lj == length and j < i)
+        ]
+        if better:
+            anyb = nl.add_gate(f"anyb{i}", "OR", better)
+            nb = nl.add_gate(f"nob{i}", "INV", [anyb])
+            nl.add_gate(f"m{i}", "AND", [raw[i], nb])
+        else:
+            nl.add_gate(f"m{i}", "BUF", [raw[i]])
+    nl.add_gate("hit", "OR", raw)
+    nl.check()
+    return nl
+
+
+def i2c_control(n_state: int = 4, n_cond: int = 6, seed: int = 11, name: str | None = None) -> Netlist:
+    """Bus-controller command/next-state logic (EPFL ``i2c`` flavour).
+
+    Inputs are ``n_state`` state bits and ``n_cond`` condition signals;
+    outputs are the next-state bits and a handful of control strobes.
+    The transition table is a deterministic, seeded function built from
+    muxes so the logic has the narrow, control-dominated structure of the
+    real ``i2c`` core.
+    """
+    rng = random.Random(seed)
+    state = _bits("s", n_state)
+    cond = _bits("c", n_cond)
+    outs = [f"ns{i}" for i in range(n_state)] + ["start", "stop", "wr", "acko"]
+    nl = Netlist(name or "i2c_ctrl", inputs=state + cond, outputs=outs)
+
+    # Per-state condition selection: each next-state bit muxes between two
+    # seeded condition expressions depending on a state predicate.
+    def cond_term(tag: str) -> str:
+        k = rng.randint(1, 3)
+        picks = rng.sample(range(n_cond), k)
+        lits = []
+        for p in picks:
+            if rng.random() < 0.5:
+                lits.append(nl.add_gate(nl.fresh_net(f"nc_{tag}_"), "INV", [cond[p]]))
+            else:
+                lits.append(cond[p])
+        return nl.add_gate(nl.fresh_net(f"ct_{tag}_"), "AND" if rng.random() < 0.6 else "OR", lits)
+
+    for i in range(n_state):
+        sel_bits = rng.sample(range(n_state), 2)
+        sel = nl.add_gate(nl.fresh_net(f"sel{i}_"), "XOR", [state[sel_bits[0]], state[sel_bits[1]]])
+        t_true = cond_term(f"{i}t")
+        t_false = cond_term(f"{i}f")
+        nl.add_gate(f"ns{i}", "MUX", [sel, t_true, t_false])
+
+    for strobe in ("start", "stop", "wr", "acko"):
+        sbits = rng.sample(range(n_state), 2)
+        cpick = rng.randrange(n_cond)
+        st = nl.add_gate(nl.fresh_net(f"{strobe}_st_"), "AND", [state[sbits[0]], state[sbits[1]]])
+        nl.add_gate(strobe, "AND" if rng.random() < 0.5 else "OR", [st, cond[cpick]])
+    nl.check()
+    return nl
+
+
+def int2float(in_bits: int = 11, exp_bits: int = 4, man_bits: int = 3, name: str | None = None) -> Netlist:
+    """Unsigned integer to tiny floating-point converter (``int2float``).
+
+    The output is ``exp_bits`` of exponent and ``man_bits`` of mantissa:
+    ``exp`` is the position of the leading one (0 when the input is 0),
+    and ``man`` holds the bits immediately below the leading one, left
+    aligned.  Built from a leading-one detector plus mux selection —
+    the same structure as the EPFL ``int2float`` circuit.
+    """
+    if 2**exp_bits < in_bits:
+        raise ValueError("exponent field too narrow for the input width")
+    ins = _bits("x", in_bits)
+    outs = [f"e{j}" for j in range(exp_bits)] + [f"f{j}" for j in range(man_bits)]
+    nl = Netlist(name or f"int2float{in_bits}", inputs=ins, outputs=outs)
+    inv = [nl.add_gate(f"nx{i}", "INV", [x]) for i, x in enumerate(ins)]
+
+    # lead[p]: bit p is the most significant set bit.
+    lead = []
+    for p in range(in_bits):
+        lits = [ins[p]] + [inv[q] for q in range(p + 1, in_bits)]
+        if len(lits) == 1:
+            lead.append(nl.add_gate(f"lead{p}", "BUF", [ins[p]]))
+        else:
+            lead.append(nl.add_gate(f"lead{p}", "AND", lits))
+
+    for j in range(exp_bits):
+        srcs = [lead[p] for p in range(in_bits) if (p >> j) & 1]
+        if srcs:
+            nl.add_gate(f"e{j}", "OR", srcs)
+        else:
+            nl.add_gate(f"e{j}", "CONST0", [])
+    for j in range(man_bits):
+        # Mantissa bit j is input bit (p - 1 - j) when the leading one is at p.
+        terms = []
+        for p in range(in_bits):
+            src = p - 1 - j
+            if src >= 0:
+                terms.append(nl.add_gate(f"mt{j}_{p}", "AND", [lead[p], ins[src]]))
+        if terms:
+            nl.add_gate(f"f{j}", "OR", terms)
+        else:
+            nl.add_gate(f"f{j}", "CONST0", [])
+    nl.check()
+    return nl
+
+
+def random_control(
+    name: str,
+    n_inputs: int,
+    n_outputs: int,
+    n_cubes: int,
+    seed: int,
+    literals: tuple[int, int] = (2, 5),
+) -> Netlist:
+    """Seeded two-level (PLA-style) control logic.
+
+    Generates ``n_cubes`` random product terms over the inputs and wires a
+    random subset of them into each output's OR plane — the canonical
+    shape of flat control tables such as ``cavlc`` and ``ctrl``.
+    Deterministic for a given seed.
+    """
+    rng = random.Random(seed)
+    ins = _bits("i", n_inputs)
+    outs = [f"o{j}" for j in range(n_outputs)]
+    nl = Netlist(name, inputs=ins, outputs=outs)
+    inv = [nl.add_gate(f"ni{i}", "INV", [x]) for i, x in enumerate(ins)]
+
+    cubes = []
+    for c in range(n_cubes):
+        k = rng.randint(literals[0], min(literals[1], n_inputs))
+        picks = rng.sample(range(n_inputs), k)
+        lits = [ins[p] if rng.random() < 0.5 else inv[p] for p in picks]
+        cubes.append(nl.add_gate(f"cube{c}", "AND", lits))
+
+    for j in range(n_outputs):
+        k = rng.randint(1, max(1, n_cubes // 2))
+        picks = rng.sample(range(n_cubes), k)
+        nl.add_gate(f"o{j}", "OR", [cubes[p] for p in picks])
+    nl.check()
+    return nl
+
+
+def ripple_carry_adder(n: int, name: str | None = None) -> Netlist:
+    """``n``-bit ripple-carry adder: a + b + cin -> sum, cout."""
+    if n < 1:
+        raise ValueError("adder needs n >= 1")
+    a, b = _bits("a", n), _bits("b", n)
+    outs = [f"s{i}" for i in range(n)] + ["cout"]
+    nl = Netlist(name or f"rca{n}", inputs=a + b + ["cin"], outputs=outs)
+    carry = "cin"
+    for i in range(n):
+        p = nl.add_gate(f"p{i}", "XOR", [a[i], b[i]])
+        nl.add_gate(f"s{i}", "XOR", [p, carry])
+        g = nl.add_gate(f"g{i}", "AND", [a[i], b[i]])
+        t = nl.add_gate(f"t{i}", "AND", [p, carry])
+        carry = nl.add_gate(f"c{i + 1}", "OR", [g, t])
+    nl.add_gate("cout", "BUF", [carry])
+    nl.check()
+    return nl
+
+
+def comparator(n: int, name: str | None = None) -> Netlist:
+    """``n``-bit magnitude comparator: outputs ``lt``, ``eq``, ``gt``."""
+    a, b = _bits("a", n), _bits("b", n)
+    nl = Netlist(name or f"cmp{n}", inputs=a + b, outputs=["lt", "eq", "gt"])
+    eq_bits = []
+    for i in range(n):
+        eq_bits.append(nl.add_gate(f"eqb{i}", "XNOR", [a[i], b[i]]))
+    # gt = OR_i ( a_i & ~b_i & eq on all higher bits )
+    gt_terms, lt_terms = [], []
+    for i in range(n - 1, -1, -1):
+        nb = nl.add_gate(f"nb{i}", "INV", [b[i]])
+        na = nl.add_gate(f"na{i}", "INV", [a[i]])
+        higher = [eq_bits[j] for j in range(i + 1, n)]
+        gt_terms.append(nl.add_gate(f"gtt{i}", "AND", [a[i], nb] + higher))
+        lt_terms.append(nl.add_gate(f"ltt{i}", "AND", [na, b[i]] + higher))
+    nl.add_gate("gt", "OR", gt_terms)
+    nl.add_gate("lt", "OR", lt_terms)
+    nl.add_gate("eq", "AND", eq_bits)
+    nl.check()
+    return nl
+
+
+def alu_slice(n: int, name: str | None = None) -> Netlist:
+    """Small ``n``-bit ALU: op selects among ADD, AND, OR, XOR.
+
+    Inputs: ``a``, ``b`` (n bits each) and 2 op bits; outputs ``y`` (n
+    bits) plus carry-out for the ADD case.
+    """
+    a, b = _bits("a", n), _bits("b", n)
+    op = _bits("op", 2)
+    outs = [f"y{i}" for i in range(n)] + ["cout"]
+    nl = Netlist(name or f"alu{n}", inputs=a + b + op, outputs=outs)
+
+    carry = nl.add_gate("c0", "CONST0", [])
+    add_bits = []
+    for i in range(n):
+        p = nl.add_gate(f"p{i}", "XOR", [a[i], b[i]])
+        add_bits.append(nl.add_gate(f"add{i}", "XOR", [p, carry]))
+        g = nl.add_gate(f"g{i}", "AND", [a[i], b[i]])
+        t = nl.add_gate(f"t{i}", "AND", [p, carry])
+        carry = nl.add_gate(f"c{i + 1}", "OR", [g, t])
+    nl.add_gate("cout", "BUF", [carry])
+
+    for i in range(n):
+        andv = nl.add_gate(f"andv{i}", "AND", [a[i], b[i]])
+        orv = nl.add_gate(f"orv{i}", "OR", [a[i], b[i]])
+        xorv = nl.add_gate(f"xorv{i}", "XOR", [a[i], b[i]])
+        lo = nl.add_gate(f"lo{i}", "MUX", [op[0], andv, add_bits[i]])
+        hi = nl.add_gate(f"hi{i}", "MUX", [op[0], xorv, orv])
+        nl.add_gate(f"y{i}", "MUX", [op[1], hi, lo])
+    nl.check()
+    return nl
+
+
+def parity_tree(n: int, name: str | None = None) -> Netlist:
+    """``n``-input XOR (parity) tree — the ECC flavour of c499/c1355."""
+    ins = _bits("x", n)
+    nl = Netlist(name or f"parity{n}", inputs=ins, outputs=["par"])
+    layer = list(ins)
+    lvl = 0
+    while len(layer) > 1:
+        nxt = []
+        for i in range(0, len(layer) - 1, 2):
+            nxt.append(nl.add_gate(f"x{lvl}_{i // 2}", "XOR", [layer[i], layer[i + 1]]))
+        if len(layer) % 2:
+            nxt.append(layer[-1])
+        layer = nxt
+        lvl += 1
+    nl.add_gate("par", "BUF", [layer[0]])
+    nl.check()
+    return nl
+
+
+def array_multiplier(n: int, name: str | None = None) -> Netlist:
+    """``n x n`` array multiplier producing a ``2n``-bit product."""
+    a, b = _bits("a", n), _bits("b", n)
+    outs = [f"p{i}" for i in range(2 * n)]
+    nl = Netlist(name or f"mult{n}", inputs=a + b, outputs=outs)
+
+    # Partial products.
+    pp = [[nl.add_gate(f"pp{i}_{j}", "AND", [a[i], b[j]]) for j in range(n)] for i in range(n)]
+
+    # Column-wise carry-save reduction with full adders.
+    cols: list[list[str]] = [[] for _ in range(2 * n)]
+    for i in range(n):
+        for j in range(n):
+            cols[i + j].append(pp[i][j])
+    fa = 0
+    for col in range(2 * n):
+        while len(cols[col]) > 1:
+            if len(cols[col]) >= 3:
+                x, y, z = cols[col].pop(), cols[col].pop(), cols[col].pop()
+                s = nl.add_gate(f"fs{fa}", "XOR", [x, y, z])
+                c = nl.add_gate(f"fc{fa}", "MAJ", [x, y, z])
+            else:
+                x, y = cols[col].pop(), cols[col].pop()
+                s = nl.add_gate(f"hs{fa}", "XOR", [x, y])
+                c = nl.add_gate(f"hc{fa}", "AND", [x, y])
+            fa += 1
+            cols[col].append(s)
+            if col + 1 < 2 * n:
+                cols[col + 1].append(c)
+        if cols[col]:
+            nl.add_gate(f"p{col}", "BUF", [cols[col][0]])
+        else:
+            # Top column may be empty when no carry reaches it.
+            nl.add_gate(f"p{col}", "CONST0", [])
+    nl.check()
+    return nl
+
+
+def mux_tree(sel_bits: int, name: str | None = None) -> Netlist:
+    """``2^k``-to-1 multiplexer tree with ``k`` select lines."""
+    n = 2**sel_bits
+    data = _bits("d", n)
+    sel = _bits("s", sel_bits)
+    nl = Netlist(name or f"mux{n}", inputs=data + sel, outputs=["y"])
+    layer = list(data)
+    for level in range(sel_bits):
+        nxt = []
+        for i in range(0, len(layer), 2):
+            nxt.append(nl.add_gate(f"m{level}_{i // 2}", "MUX", [sel[level], layer[i + 1], layer[i]]))
+        layer = nxt
+    nl.add_gate("y", "BUF", [layer[0]])
+    nl.check()
+    return nl
+
+
+def majority_voter(n: int, name: str | None = None) -> Netlist:
+    """``n``-input majority voter (n odd), e.g. TMR logic."""
+    if n % 2 == 0 or n < 3:
+        raise ValueError("majority voter needs odd n >= 3")
+    ins = _bits("v", n)
+    nl = Netlist(name or f"voter{n}", inputs=ins, outputs=["maj"])
+    nl.add_gate("maj", "MAJ", ins)
+    nl.check()
+    return nl
+
+
+def random_netlist(
+    n_inputs: int,
+    n_gates: int,
+    n_outputs: int,
+    seed: int,
+    name: str | None = None,
+) -> Netlist:
+    """Seeded random AIG-style netlist for property-based testing."""
+    rng = random.Random(seed)
+    ins = _bits("i", n_inputs)
+    nl = Netlist(name or f"rand_{seed}", inputs=ins)
+    nets = list(ins)
+    for g in range(n_gates):
+        gate_type = rng.choice(["AND", "OR", "NAND", "NOR", "XOR", "INV", "MUX"])
+        if gate_type == "INV":
+            srcs = [rng.choice(nets)]
+        elif gate_type == "MUX":
+            srcs = [rng.choice(nets) for _ in range(3)]
+        else:
+            k = rng.randint(2, 3)
+            srcs = [rng.choice(nets) for _ in range(k)]
+        nets.append(nl.add_gate(f"g{g}", gate_type, srcs))
+    pool = nets[n_inputs:] or nets
+    for j in range(n_outputs):
+        nl.add_gate(f"o{j}", "BUF", [rng.choice(pool)])
+        nl.add_output(f"o{j}")
+    nl.check()
+    return nl

@@ -1,0 +1,296 @@
+"""Gate-level combinational netlists.
+
+A :class:`Netlist` is a named DAG of logic gates over primary inputs,
+mirroring what a BLIF/Verilog structural description contains.  It is the
+unit the BDD compiler consumes and the synthetic benchmark generators
+produce.
+
+Nets are identified by name.  Every gate drives exactly one net; primary
+inputs are nets driven by the environment.  Primary outputs name existing
+nets.  The class enforces acyclicity and single drivers at construction
+time (``check()``) and supports evaluation, per-output expression
+extraction, and simple structural statistics.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+
+from ..expr import FALSE, TRUE, And, Expr, Ite, Not, Or, Var, Xor
+
+__all__ = ["Gate", "Netlist", "NetlistError", "GATE_TYPES"]
+
+#: Supported gate types.  Symmetric types accept arbitrary fan-in >= 1,
+#: INV/BUF take exactly one input, MUX takes (sel, then, else) in order,
+#: MAJ takes an odd number of inputs, CONST0/CONST1 take none.
+GATE_TYPES = frozenset(
+    {
+        "AND",
+        "OR",
+        "NAND",
+        "NOR",
+        "XOR",
+        "XNOR",
+        "INV",
+        "BUF",
+        "MUX",
+        "MAJ",
+        "CONST0",
+        "CONST1",
+    }
+)
+
+
+class NetlistError(ValueError):
+    """Raised for structurally invalid netlists."""
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One logic gate: ``output = type(inputs...)``."""
+
+    output: str
+    gate_type: str
+    inputs: tuple[str, ...]
+
+    def __post_init__(self):
+        if self.gate_type not in GATE_TYPES:
+            raise NetlistError(f"unknown gate type {self.gate_type!r}")
+        arity = len(self.inputs)
+        if self.gate_type in ("INV", "BUF") and arity != 1:
+            raise NetlistError(f"{self.gate_type} gate {self.output!r} needs 1 input, got {arity}")
+        if self.gate_type == "MUX" and arity != 3:
+            raise NetlistError(f"MUX gate {self.output!r} needs 3 inputs (sel, then, else)")
+        if self.gate_type == "MAJ" and (arity < 3 or arity % 2 == 0):
+            raise NetlistError(f"MAJ gate {self.output!r} needs an odd fan-in >= 3")
+        if self.gate_type in ("CONST0", "CONST1") and arity != 0:
+            raise NetlistError(f"{self.gate_type} gate {self.output!r} takes no inputs")
+        if self.gate_type in ("AND", "OR", "NAND", "NOR", "XOR", "XNOR") and arity < 1:
+            raise NetlistError(f"{self.gate_type} gate {self.output!r} needs at least 1 input")
+
+    def evaluate(self, values: Mapping[str, bool]) -> bool:
+        """Evaluate the gate given values of its input nets."""
+        ins = [bool(values[i]) for i in self.inputs]
+        t = self.gate_type
+        if t == "AND":
+            return all(ins)
+        if t == "OR":
+            return any(ins)
+        if t == "NAND":
+            return not all(ins)
+        if t == "NOR":
+            return not any(ins)
+        if t == "XOR":
+            acc = False
+            for v in ins:
+                acc ^= v
+            return acc
+        if t == "XNOR":
+            acc = True
+            for v in ins:
+                acc ^= v
+            return acc
+        if t == "INV":
+            return not ins[0]
+        if t == "BUF":
+            return ins[0]
+        if t == "MUX":
+            return ins[1] if ins[0] else ins[2]
+        if t == "MAJ":
+            return sum(ins) * 2 > len(ins)
+        if t == "CONST0":
+            return False
+        if t == "CONST1":
+            return True
+        raise AssertionError(f"unhandled gate type {t}")
+
+    def expr(self, operands: Sequence[Expr]) -> Expr:
+        """Build the gate function as an expression over ``operands``."""
+        t = self.gate_type
+        if t == "AND":
+            return And(*operands)
+        if t == "OR":
+            return Or(*operands)
+        if t == "NAND":
+            return Not(And(*operands))
+        if t == "NOR":
+            return Not(Or(*operands))
+        if t == "XOR":
+            return Xor(*operands)
+        if t == "XNOR":
+            return Not(Xor(*operands))
+        if t == "INV":
+            return Not(operands[0])
+        if t == "BUF":
+            return operands[0]
+        if t == "MUX":
+            return Ite(operands[0], operands[1], operands[2])
+        if t == "MAJ":
+            terms = []
+            n = len(operands)
+            need = n // 2 + 1
+            # Majority as OR over AND of all `need`-subsets; fine for fan-in 3/5.
+            import itertools
+
+            for combo in itertools.combinations(range(n), need):
+                terms.append(And(*[operands[i] for i in combo]))
+            return Or(*terms)
+        if t == "CONST0":
+            return FALSE
+        if t == "CONST1":
+            return TRUE
+        raise AssertionError(f"unhandled gate type {t}")
+
+
+class Netlist:
+    """A combinational gate-level netlist.
+
+    Parameters
+    ----------
+    name:
+        Circuit name (used in reports and file writers).
+    inputs:
+        Primary input net names, in declaration order.
+    outputs:
+        Primary output net names; each must be a primary input or be
+        driven by a gate once construction finishes.
+    """
+
+    def __init__(self, name: str, inputs: Iterable[str] = (), outputs: Iterable[str] = ()):
+        self.name = name
+        self.inputs: list[str] = list(inputs)
+        self.outputs: list[str] = list(outputs)
+        self.gates: list[Gate] = []
+        self._driver: dict[str, Gate] = {}
+
+    # -- construction --------------------------------------------------------
+    def add_input(self, name: str) -> str:
+        if name in self.inputs:
+            raise NetlistError(f"duplicate input {name!r}")
+        if name in self._driver:
+            raise NetlistError(f"net {name!r} already driven by a gate")
+        self.inputs.append(name)
+        return name
+
+    def add_output(self, name: str) -> str:
+        self.outputs.append(name)
+        return name
+
+    def add_gate(self, output: str, gate_type: str, inputs: Sequence[str] = ()) -> str:
+        """Add a gate driving net ``output``; returns the output net name."""
+        if output in self._driver:
+            raise NetlistError(f"net {output!r} already driven")
+        if output in self.inputs:
+            raise NetlistError(f"net {output!r} is a primary input")
+        gate = Gate(output, gate_type, tuple(inputs))
+        self.gates.append(gate)
+        self._driver[output] = gate
+        return output
+
+    def fresh_net(self, prefix: str = "n") -> str:
+        """Return a net name not yet used in the netlist."""
+        used = set(self.inputs) | set(self._driver)
+        i = len(self._driver)
+        while f"{prefix}{i}" in used:
+            i += 1
+        return f"{prefix}{i}"
+
+    # -- structure -----------------------------------------------------------
+    def driver(self, net: str) -> Gate | None:
+        """The gate driving ``net``, or None for primary inputs."""
+        return self._driver.get(net)
+
+    def nets(self) -> list[str]:
+        """All nets: inputs first, then gate outputs in insertion order."""
+        return self.inputs + [g.output for g in self.gates]
+
+    def check(self) -> None:
+        """Validate the netlist; raises :class:`NetlistError` on problems."""
+        known = set(self.inputs)
+        for gate in self.topological_gates():
+            for net in gate.inputs:
+                if net not in known and net not in self._driver:
+                    raise NetlistError(f"gate {gate.output!r} reads undriven net {net!r}")
+            known.add(gate.output)
+        for out in self.outputs:
+            if out not in known:
+                raise NetlistError(f"output {out!r} is not driven")
+
+    def topological_gates(self) -> list[Gate]:
+        """Gates in topological order; raises on combinational cycles."""
+        order: list[Gate] = []
+        state: dict[str, int] = {}  # 0 = visiting, 1 = done
+
+        for root in [g.output for g in self.gates]:
+            if state.get(root) == 1:
+                continue
+            stack = [(root, False)]
+            while stack:
+                net, processed = stack.pop()
+                gate = self._driver.get(net)
+                if gate is None:
+                    continue
+                if processed:
+                    state[net] = 1
+                    order.append(gate)
+                    continue
+                mark = state.get(net)
+                if mark == 1:
+                    continue
+                if mark == 0:
+                    raise NetlistError(f"combinational cycle through net {net!r}")
+                state[net] = 0
+                stack.append((net, True))
+                for src in gate.inputs:
+                    if state.get(src) != 1:
+                        stack.append((src, False))
+        return order
+
+    # -- semantics -----------------------------------------------------------
+    def evaluate(self, assignment: Mapping[str, bool]) -> dict[str, bool]:
+        """Simulate the netlist; returns values of the primary outputs."""
+        values: dict[str, bool] = {}
+        for name in self.inputs:
+            try:
+                values[name] = bool(assignment[name])
+            except KeyError:
+                raise KeyError(f"assignment missing primary input {name!r}") from None
+        for gate in self.topological_gates():
+            values[gate.output] = gate.evaluate(values)
+        return {out: values[out] for out in self.outputs}
+
+    def output_expressions(self) -> dict[str, Expr]:
+        """Flatten each primary output into an expression over the inputs.
+
+        Shared logic is shared in the returned expression DAGs (the same
+        ``Expr`` object appears in several outputs), but printed sizes can
+        still be exponential; intended for small circuits and testing.
+        The BDD compiler works directly on the netlist instead.
+        """
+        exprs: dict[str, Expr] = {name: Var(name) for name in self.inputs}
+        for gate in self.topological_gates():
+            exprs[gate.output] = gate.expr([exprs[i] for i in gate.inputs])
+        return {out: exprs[out] for out in self.outputs}
+
+    # -- statistics ----------------------------------------------------------
+    def num_gates(self) -> int:
+        return len(self.gates)
+
+    def stats(self) -> dict[str, int]:
+        """Simple structural statistics (used by reports)."""
+        depth: dict[str, int] = {name: 0 for name in self.inputs}
+        for gate in self.topological_gates():
+            depth[gate.output] = 1 + max((depth[i] for i in gate.inputs), default=0)
+        return {
+            "inputs": len(self.inputs),
+            "outputs": len(self.outputs),
+            "gates": len(self.gates),
+            "depth": max((depth[o] for o in self.outputs), default=0),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Netlist({self.name!r}, inputs={len(self.inputs)}, "
+            f"outputs={len(self.outputs)}, gates={len(self.gates)})"
+        )

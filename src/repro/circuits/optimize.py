@@ -1,0 +1,236 @@
+"""Netlist clean-up passes.
+
+Light structural optimizations applied before BDD construction, in the
+spirit of what ABC does for the paper's flow:
+
+* **constant propagation** — CONST0/CONST1 folded through gates;
+* **buffer sweeping** — BUF chains collapsed to their sources;
+* **structural hashing (strash)** — identical (type, inputs) gates
+  merged, with input sorting for symmetric gates;
+* **dead-logic removal** — gates not in any output cone dropped.
+
+:func:`optimize` runs them to a fixpoint and returns an equivalent
+netlist over the same primary inputs/outputs.
+"""
+
+from __future__ import annotations
+
+from .netlist import Netlist
+
+__all__ = ["optimize", "sweep_buffers", "propagate_constants", "strash", "remove_dead"]
+
+_SYMMETRIC = {"AND", "OR", "NAND", "NOR", "XOR", "XNOR", "MAJ"}
+
+
+def _rebuild(netlist: Netlist, replace: dict[str, str], drop: set[str]) -> Netlist:
+    """Copy the netlist applying net substitutions and gate drops."""
+
+    def resolve(net: str) -> str:
+        seen = set()
+        while net in replace:
+            if net in seen:  # pragma: no cover - substitutions are acyclic
+                break
+            seen.add(net)
+            net = replace[net]
+        return net
+
+    out = Netlist(netlist.name, inputs=list(netlist.inputs), outputs=list(netlist.outputs))
+    for gate in netlist.topological_gates():
+        if gate.output in drop or gate.output in replace:
+            continue
+        out.add_gate(gate.output, gate.gate_type, [resolve(i) for i in gate.inputs])
+    # Outputs replaced by another net get a BUF to keep their name.
+    for out_name in netlist.outputs:
+        target = resolve(out_name)
+        if target != out_name and out.driver(out_name) is None and out_name not in out.inputs:
+            out.add_gate(out_name, "BUF", [target])
+    return out
+
+
+def sweep_buffers(netlist: Netlist) -> Netlist:
+    """Collapse BUF gates into their sources (output BUFs are kept)."""
+    replace: dict[str, str] = {}
+    outputs = set(netlist.outputs)
+    for gate in netlist.gates:
+        if gate.gate_type == "BUF" and gate.output not in outputs:
+            replace[gate.output] = gate.inputs[0]
+    return _rebuild(netlist, replace, set())
+
+
+def propagate_constants(netlist: Netlist) -> Netlist:
+    """Fold constants through the netlist (one full forward pass)."""
+    const: dict[str, bool] = {}
+    replace: dict[str, str] = {}
+    drop: set[str] = set()
+    new_gates: list[tuple[str, str, list[str]]] = []
+    outputs = set(netlist.outputs)
+
+    def known(net: str) -> bool | None:
+        return const.get(net)
+
+    for gate in netlist.topological_gates():
+        t = gate.gate_type
+        ins = list(gate.inputs)
+        vals = [known(i) for i in ins]
+
+        if t == "CONST0":
+            const[gate.output] = False
+            continue
+        if t == "CONST1":
+            const[gate.output] = True
+            continue
+        if all(v is not None for v in vals) and t not in ("BUF",):
+            const[gate.output] = gate.evaluate(dict(zip(ins, vals)))  # type: ignore[arg-type]
+            continue
+
+        if t == "AND" and any(v is False for v in vals):
+            const[gate.output] = False
+            continue
+        if t == "OR" and any(v is True for v in vals):
+            const[gate.output] = True
+            continue
+        if t == "NAND" and any(v is False for v in vals):
+            const[gate.output] = True
+            continue
+        if t == "NOR" and any(v is True for v in vals):
+            const[gate.output] = False
+            continue
+        if t in ("AND", "OR", "NAND", "NOR"):
+            live = [i for i, v in zip(ins, vals) if v is None]
+            if len(live) < len(ins):
+                if not live:  # all identities folded
+                    const[gate.output] = gate.evaluate(dict(zip(ins, vals)))  # type: ignore[arg-type]
+                    continue
+                if len(live) == 1 and t in ("AND", "OR"):
+                    replace[gate.output] = live[0]
+                    continue
+                if len(live) == 1 and t in ("NAND", "NOR"):
+                    new_gates.append((gate.output, "INV", live))
+                    continue
+                new_gates.append((gate.output, t, live))
+                continue
+        if t in ("XOR", "XNOR"):
+            parity = t == "XNOR"
+            live = []
+            for i, v in zip(ins, vals):
+                if v is None:
+                    live.append(i)
+                else:
+                    parity ^= v
+            if not live:
+                const[gate.output] = parity
+                continue
+            if len(live) == 1:
+                if parity:
+                    new_gates.append((gate.output, "INV", live))
+                else:
+                    replace[gate.output] = live[0]
+                continue
+            new_gates.append((gate.output, "XNOR" if parity else "XOR", live))
+            continue
+        if t == "MUX" and vals[0] is not None:
+            replace[gate.output] = ins[1] if vals[0] else ins[2]
+            continue
+        if t == "INV" and vals[0] is not None:
+            const[gate.output] = not vals[0]
+            continue
+        if t == "BUF" and vals[0] is not None:
+            const[gate.output] = vals[0]
+            continue
+        new_gates.append((gate.output, t, ins))
+
+    out = Netlist(netlist.name, inputs=list(netlist.inputs), outputs=list(netlist.outputs))
+
+    def resolve(net: str) -> str:
+        seen = set()
+        while net in replace and net not in seen:
+            seen.add(net)
+            net = replace[net]
+        return net
+
+    # Materialise constants still referenced (as outputs or gate inputs).
+    needed_consts: dict[str, bool] = {}
+
+    def use(net: str) -> str:
+        net = resolve(net)
+        if net in const:
+            needed_consts[net] = const[net]
+        return net
+
+    pending = []
+    for name, t, ins in new_gates:
+        pending.append((name, t, [use(i) for i in ins]))
+    for out_name in netlist.outputs:
+        use(out_name)
+
+    for net, value in needed_consts.items():
+        out.add_gate(net, "CONST1" if value else "CONST0", [])
+    for name, t, ins in pending:
+        out.add_gate(name, t, ins)
+    for out_name in netlist.outputs:
+        target = resolve(out_name)
+        if target != out_name and out.driver(out_name) is None and out_name not in out.inputs:
+            out.add_gate(out_name, "BUF", [target])
+    return out
+
+
+def strash(netlist: Netlist) -> Netlist:
+    """Structural hashing: merge gates with identical (type, inputs)."""
+    canon: dict[tuple, str] = {}
+    replace: dict[str, str] = {}
+    outputs = set(netlist.outputs)
+
+    def resolve(net: str) -> str:
+        while net in replace:
+            net = replace[net]
+        return net
+
+    for gate in netlist.topological_gates():
+        ins = tuple(resolve(i) for i in gate.inputs)
+        if gate.gate_type in _SYMMETRIC:
+            key = (gate.gate_type, tuple(sorted(ins)))
+        else:
+            key = (gate.gate_type, ins)
+        existing = canon.get(key)
+        if existing is not None and gate.output not in outputs:
+            replace[gate.output] = existing
+        elif existing is not None:
+            # Keep the output name but reuse the computed net.
+            replace[gate.output] = existing
+        else:
+            canon[key] = gate.output
+    return _rebuild(netlist, replace, set())
+
+
+def remove_dead(netlist: Netlist) -> Netlist:
+    """Drop gates outside every output cone."""
+    live: set[str] = set()
+    stack = list(netlist.outputs)
+    while stack:
+        net = stack.pop()
+        if net in live:
+            continue
+        live.add(net)
+        gate = netlist.driver(net)
+        if gate is not None:
+            stack.extend(gate.inputs)
+    out = Netlist(netlist.name, inputs=list(netlist.inputs), outputs=list(netlist.outputs))
+    for gate in netlist.topological_gates():
+        if gate.output in live:
+            out.add_gate(gate.output, gate.gate_type, list(gate.inputs))
+    return out
+
+
+def optimize(netlist: Netlist, max_passes: int = 8) -> Netlist:
+    """Run all passes to a fixpoint (bounded by ``max_passes``)."""
+    current = netlist
+    for _ in range(max_passes):
+        before = current.num_gates()
+        current = propagate_constants(current)
+        current = sweep_buffers(current)
+        current = strash(current)
+        current = remove_dead(current)
+        if current.num_gates() >= before:
+            break
+    current.check()
+    return current

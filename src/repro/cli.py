@@ -1,0 +1,209 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+synth
+    Synthesize a crossbar from a Verilog/BLIF/PLA file (or an
+    expression with ``--expr``); print metrics and optionally the
+    rendered crossbar, a JSON artifact, or a SPICE deck.
+report
+    Circuit and (S)BDD statistics for a file.
+validate
+    Re-check a saved design JSON against its source circuit.
+bench
+    Run one of the paper's experiments (table1..table4, fig9..fig13)
+    and print the resulting table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .bdd import build_sbdd
+from .core import Compact
+from .crossbar import design_from_json, design_to_json, measure, to_spice_netlist, validate_design
+from .io import read_blif, read_pla, read_verilog
+
+__all__ = ["main", "build_parser"]
+
+_READERS = {
+    ".v": read_verilog,
+    ".verilog": read_verilog,
+    ".blif": read_blif,
+    ".pla": read_pla,
+}
+
+
+def load_circuit(path: str, fmt: str = "auto"):
+    """Read a circuit file by extension (or forced format)."""
+    text = Path(path).read_text()
+    if fmt != "auto":
+        reader = {"verilog": read_verilog, "blif": read_blif, "pla": read_pla}[fmt]
+        return reader(text)
+    suffix = Path(path).suffix.lower()
+    reader = _READERS.get(suffix)
+    if reader is None:
+        raise SystemExit(
+            f"cannot infer format of {path!r} (use --format verilog|blif|pla)"
+        )
+    return reader(text)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command tree (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="COMPACT: flow-based crossbar synthesis (DATE 2021 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    synth = sub.add_parser("synth", help="synthesize a crossbar design")
+    src = synth.add_mutually_exclusive_group(required=True)
+    src.add_argument("circuit", nargs="?", help="Verilog/BLIF/PLA file")
+    src.add_argument("--expr", help="Boolean expression, e.g. '(a & b) | c'")
+    synth.add_argument("--format", default="auto", choices=["auto", "verilog", "blif", "pla"])
+    synth.add_argument("--gamma", type=float, default=0.5)
+    synth.add_argument("--method", default="auto", choices=["auto", "mip", "oct", "heuristic"])
+    synth.add_argument("--backend", default="highs", choices=["highs", "bnb"])
+    synth.add_argument("--time-limit", type=float, default=60.0)
+    synth.add_argument("--no-validate", action="store_true", help="skip the equivalence check")
+    synth.add_argument("--render", action="store_true", help="print the crossbar grid")
+    synth.add_argument("--json", metavar="PATH", help="write the design as JSON")
+    synth.add_argument("--spice", metavar="PATH", help="write a SPICE deck (all-ones assignment)")
+
+    report = sub.add_parser("report", help="circuit + BDD statistics")
+    report.add_argument("circuit")
+    report.add_argument("--format", default="auto", choices=["auto", "verilog", "blif", "pla"])
+
+    validate = sub.add_parser("validate", help="check a saved design JSON")
+    validate.add_argument("design", help="design JSON produced by synth --json")
+    validate.add_argument("--circuit", required=True, help="source circuit file")
+    validate.add_argument("--format", default="auto", choices=["auto", "verilog", "blif", "pla"])
+
+    bench = sub.add_parser("bench", help="run one paper experiment")
+    bench.add_argument(
+        "experiment",
+        choices=[
+            "table1", "table2", "table3", "table4",
+            "fig9", "fig10", "fig11", "fig12", "fig13",
+        ],
+    )
+    bench.add_argument("--tier", default=None, choices=[None, "fast", "full"])
+    return parser
+
+
+def _cmd_synth(args) -> int:
+    if args.expr:
+        from .expr import parse as parse_expr
+
+        expr = parse_expr(args.expr)
+        compact = Compact(
+            gamma=args.gamma, method=args.method,
+            backend=args.backend, time_limit=args.time_limit,
+        )
+        result = compact.synthesize_expr(expr, name="f")
+        inputs = sorted(expr.variables())
+        reference = lambda env: {"f": expr.evaluate(env)}  # noqa: E731
+    else:
+        netlist = load_circuit(args.circuit, args.format)
+        compact = Compact(
+            gamma=args.gamma, method=args.method,
+            backend=args.backend, time_limit=args.time_limit,
+        )
+        result = compact.synthesize_netlist(netlist)
+        inputs = netlist.inputs
+        reference = netlist.evaluate
+
+    design = result.design
+    metrics = measure(design)
+    print(f"design     : {design.name}")
+    print(f"crossbar   : {metrics.rows} x {metrics.cols}")
+    print(f"semiperim. : {metrics.semiperimeter}")
+    print(f"max dim    : {metrics.max_dimension}")
+    print(f"area       : {metrics.area}")
+    print(f"memristors : {metrics.memristors} ({metrics.literals} literals)")
+    print(f"delay      : {metrics.delay_steps} steps")
+    print(f"BDD nodes  : {result.bdd_graph.num_nodes} "
+          f"(VH labels: {result.labeling.vh_count})")
+    print(f"optimal    : {result.optimal}")
+    print(f"synth time : {result.synthesis_time:.3f} s")
+
+    if not args.no_validate:
+        report = validate_design(design, reference, inputs)
+        status = "OK" if report.ok else f"FAILED at {report.counterexample}"
+        print(f"validation : {status} ({report.checked} assignments, "
+              f"exhaustive={report.exhaustive})")
+        if not report.ok:
+            return 1
+
+    if args.render:
+        print()
+        print(design.render())
+    if args.json:
+        Path(args.json).write_text(design_to_json(design, indent=2))
+        print(f"wrote {args.json}")
+    if args.spice:
+        env = {name: True for name in inputs}
+        Path(args.spice).write_text(to_spice_netlist(design, env))
+        print(f"wrote {args.spice}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    netlist = load_circuit(args.circuit, args.format)
+    stats = netlist.stats()
+    sbdd = build_sbdd(netlist)
+    print(f"circuit : {netlist.name}")
+    for key, value in stats.items():
+        print(f"{key:8s}: {value}")
+    print(f"SBDD    : {sbdd.node_count()} nodes, {sbdd.edge_count()} edges")
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    design = design_from_json(Path(args.design).read_text())
+    netlist = load_circuit(args.circuit, args.format)
+    report = validate_design(design, netlist.evaluate, netlist.inputs)
+    if report.ok:
+        print(f"OK: {design.name} matches {netlist.name} "
+              f"({report.checked} assignments)")
+        return 0
+    print(f"MISMATCH at {report.counterexample} on {report.mismatched_outputs}")
+    return 1
+
+
+def _cmd_bench(args) -> int:
+    from . import bench as b
+
+    runner = {
+        "table1": lambda: b.table1_properties(args.tier),
+        "table2": lambda: b.table2_gamma(args.tier),
+        "table3": lambda: b.table3_sbdd_vs_robdds(args.tier),
+        "table4": lambda: b.table4_vs_prior(args.tier),
+        "fig9": lambda: b.fig9_pareto(),
+        "fig10": lambda: b.fig10_convergence(),
+        "fig11": lambda: b.fig11_gaps(),
+        "fig12": lambda: b.fig12_power_delay(tier=args.tier),
+        "fig13": lambda: b.fig13_vs_magic(tier=args.tier),
+    }[args.experiment]
+    table, _data = runner()
+    print(table.render())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handler = {
+        "synth": _cmd_synth,
+        "report": _cmd_report,
+        "validate": _cmd_validate,
+        "bench": _cmd_bench,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,214 @@
+"""The COMPACT framework facade.
+
+Ties the full pipeline together (Figure 3 of the paper):
+
+    netlist/exprs --> (S)BDD --> graph pre-processing --> VH-labeling
+                  --> crossbar mapping --> CrossbarDesign
+
+Typical use::
+
+    from repro import Compact
+    from repro.circuits import priority_encoder
+
+    result = Compact(gamma=0.5).synthesize_netlist(priority_encoder(16))
+    print(result.design.semiperimeter, result.design.max_dimension)
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+from ..bdd import SBDD, build_sbdd, sbdd_from_exprs
+from ..circuits.netlist import Netlist
+from ..crossbar.design import CrossbarDesign
+from ..expr import Expr
+from .labeling import VHLabeling
+from .mapping import map_to_crossbar
+from .preprocess import BddGraph, preprocess
+from .semiperimeter import label_heuristic, label_min_semiperimeter
+from .weighted import label_weighted
+
+__all__ = ["Compact", "CompactResult"]
+
+
+@dataclass
+class CompactResult:
+    """Everything COMPACT produced for one function."""
+
+    design: CrossbarDesign
+    labeling: VHLabeling
+    bdd_graph: BddGraph
+    sbdd: SBDD
+    #: Per-stage wall-clock seconds: bdd, preprocess, labeling, mapping.
+    times: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def synthesis_time(self) -> float:
+        return sum(self.times.values())
+
+    @property
+    def optimal(self) -> bool:
+        return bool(self.labeling.meta.get("optimal", False))
+
+
+class Compact:
+    """COMPACT synthesis flow with the paper's knobs.
+
+    Parameters
+    ----------
+    gamma:
+        Weight of the semiperimeter vs the maximum dimension in the
+        objective ``gamma*S + (1-gamma)*D`` (paper default 0.5).
+    alignment:
+        Force the outputs and the input feed onto wordlines (Eq. 7;
+        the paper includes these constraints by default).
+    method:
+        ``"mip"`` (Method B, exact for any gamma), ``"oct"`` (Method A,
+        minimal semiperimeter — the gamma=1 special case), ``"heuristic"``
+        (greedy OCT, for scalability), or ``"auto"`` (``oct`` when
+        gamma == 1, else ``mip`` warm-started by ``oct``).
+    backend:
+        MILP backend: ``"highs"`` (fast) or ``"bnb"`` (pure Python,
+        records convergence traces).
+    time_limit:
+        Wall-clock budget in seconds for the labeling solve.
+    """
+
+    def __init__(
+        self,
+        gamma: float = 0.5,
+        alignment: bool = True,
+        method: str = "auto",
+        backend: str = "highs",
+        time_limit: float | None = None,
+    ):
+        if method not in ("auto", "mip", "oct", "heuristic"):
+            raise ValueError(f"unknown method {method!r}")
+        if not 0.0 <= gamma <= 1.0:
+            raise ValueError("gamma must lie in [0, 1]")
+        self.gamma = gamma
+        self.alignment = alignment
+        self.method = method
+        self.backend = backend
+        self.time_limit = time_limit
+
+    # -- entry points ------------------------------------------------------------
+    def synthesize_netlist(
+        self,
+        netlist: Netlist,
+        order: Sequence[str] | None = None,
+    ) -> CompactResult:
+        """Synthesize a crossbar for a gate-level netlist (via an SBDD)."""
+        t0 = time.monotonic()
+        sbdd = build_sbdd(netlist, order=order)
+        t_bdd = time.monotonic() - t0
+        result = self.synthesize_sbdd(sbdd)
+        result.times["bdd"] = t_bdd
+        return result
+
+    def synthesize_expr(
+        self,
+        expr: Expr | Mapping[str, Expr],
+        order: Sequence[str] | None = None,
+        name: str = "f",
+    ) -> CompactResult:
+        """Synthesize a crossbar for one expression or a dict of them."""
+        exprs = {name: expr} if isinstance(expr, Expr) else dict(expr)
+        t0 = time.monotonic()
+        sbdd = sbdd_from_exprs(exprs, order=order, name=name)
+        t_bdd = time.monotonic() - t0
+        result = self.synthesize_sbdd(sbdd)
+        result.times["bdd"] = t_bdd
+        return result
+
+    def synthesize_bdd_graph(
+        self, bdd_graph: BddGraph, name: str = "design"
+    ) -> tuple[CrossbarDesign, VHLabeling, dict[str, float]]:
+        """Label and map an already-preprocessed BDD graph.
+
+        Used for non-SBDD representations (e.g. the merged per-output
+        ROBDD graph of prior work in the Table III comparison).  Returns
+        ``(design, labeling, stage_times)``.
+        """
+        times: dict[str, float] = {}
+        t0 = time.monotonic()
+        labeling = self.label(bdd_graph)
+        times["labeling"] = time.monotonic() - t0
+        t0 = time.monotonic()
+        design = map_to_crossbar(bdd_graph, labeling, name=name)
+        times["mapping"] = time.monotonic() - t0
+        return design, labeling, times
+
+    def synthesize_sbdd(self, sbdd: SBDD) -> CompactResult:
+        """Synthesize a crossbar for an already-built (S)BDD."""
+        times: dict[str, float] = {}
+
+        t0 = time.monotonic()
+        bdd_graph = preprocess(sbdd)
+        times["preprocess"] = time.monotonic() - t0
+
+        t0 = time.monotonic()
+        labeling = self.label(bdd_graph)
+        times["labeling"] = time.monotonic() - t0
+
+        t0 = time.monotonic()
+        design = map_to_crossbar(bdd_graph, labeling, name=sbdd.name)
+        times["mapping"] = time.monotonic() - t0
+
+        return CompactResult(
+            design=design,
+            labeling=labeling,
+            bdd_graph=bdd_graph,
+            sbdd=sbdd,
+            times=times,
+        )
+
+    # -- labeling dispatch ---------------------------------------------------------
+    def label(self, bdd_graph: BddGraph, trace_callback=None) -> VHLabeling:
+        """Run the configured VH-labeling method on a BDD graph."""
+        if len(bdd_graph.graph) == 0:
+            return VHLabeling({}, meta={"method": "empty", "optimal": True})
+
+        if self.method == "heuristic":
+            return label_heuristic(bdd_graph, alignment=self.alignment)
+
+        if self.method == "oct" or (self.method == "auto" and self.gamma == 1.0):
+            labeling = label_min_semiperimeter(
+                bdd_graph,
+                alignment=self.alignment,
+                backend=self.backend,
+                time_limit=self.time_limit,
+                trace_callback=trace_callback,
+            )
+            if self.method == "auto" and labeling.meta.get("promoted_ports"):
+                # Alignment conflicts forced extra VH labels; the Eq. 7 MIP
+                # handles those constraints exactly — keep the better one.
+                exact = label_weighted(
+                    bdd_graph,
+                    gamma=1.0,
+                    alignment=self.alignment,
+                    backend=self.backend,
+                    time_limit=self.time_limit,
+                    warm_start=labeling,
+                )
+                if exact.semiperimeter < labeling.semiperimeter:
+                    return exact
+            return labeling
+
+        warm = None
+        if self.method == "auto" and self.backend == "bnb":
+            warm = label_min_semiperimeter(
+                bdd_graph, alignment=self.alignment, backend=self.backend,
+                time_limit=self.time_limit,
+            )
+        return label_weighted(
+            bdd_graph,
+            gamma=self.gamma,
+            alignment=self.alignment,
+            backend=self.backend,
+            time_limit=self.time_limit,
+            warm_start=warm,
+            trace_callback=trace_callback,
+        )

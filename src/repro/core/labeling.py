@@ -1,0 +1,112 @@
+"""The VH-labeling problem (paper Section V-B).
+
+A labeling assigns each node of the BDD graph one of ``V`` (bitline),
+``H`` (wordline) or ``VH`` (both).  It is valid when no edge joins two
+pure-``V`` or two pure-``H`` nodes — the crossbar connection constraint —
+and, under alignment, every root and the terminal carries an ``H``.
+
+The labeling fixes every size metric before any mapping happens:
+``R = #H + #VH``, ``C = #V + #VH``, ``S = R + C = n + #VH``,
+``D = max(R, C)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from .preprocess import BddGraph
+
+__all__ = ["Label", "VHLabeling", "LabelingError"]
+
+
+class Label(str, Enum):
+    """Node placement: vertical bitline, horizontal wordline, or both."""
+
+    V = "V"
+    H = "H"
+    VH = "VH"
+
+    def has_row(self) -> bool:
+        return self in (Label.H, Label.VH)
+
+    def has_col(self) -> bool:
+        return self in (Label.V, Label.VH)
+
+
+class LabelingError(ValueError):
+    """Raised when a labeling violates the crossbar constraints."""
+
+
+@dataclass
+class VHLabeling:
+    """A VH-labeling of a :class:`~repro.core.preprocess.BddGraph`.
+
+    ``meta`` carries solver diagnostics (optimality flag, runtime,
+    convergence trace) so experiment harnesses can report them.
+    """
+
+    labels: dict[int, Label]
+    meta: dict = field(default_factory=dict)
+
+    # -- size metrics ---------------------------------------------------------
+    @property
+    def rows(self) -> int:
+        return sum(1 for lab in self.labels.values() if lab.has_row())
+
+    @property
+    def cols(self) -> int:
+        return sum(1 for lab in self.labels.values() if lab.has_col())
+
+    @property
+    def semiperimeter(self) -> int:
+        return self.rows + self.cols
+
+    @property
+    def max_dimension(self) -> int:
+        return max(self.rows, self.cols)
+
+    @property
+    def vh_count(self) -> int:
+        return sum(1 for lab in self.labels.values() if lab is Label.VH)
+
+    def objective(self, gamma: float) -> float:
+        """The paper's weighted objective ``gamma*S + (1-gamma)*D``."""
+        return gamma * self.semiperimeter + (1.0 - gamma) * self.max_dimension
+
+    # -- validity ----------------------------------------------------------------
+    def validate(self, bdd_graph: BddGraph, alignment: bool = True) -> None:
+        """Raise :class:`LabelingError` unless the labeling is valid.
+
+        Checks label coverage, the connection constraints on every edge,
+        and (optionally) the alignment constraints of Eq. 7.
+        """
+        graph = bdd_graph.graph
+        for v in graph.nodes():
+            if v not in self.labels:
+                raise LabelingError(f"node {v} has no label")
+        for u, v in graph.edges():
+            lu, lv = self.labels[u], self.labels[v]
+            if lu is Label.V and lv is Label.V:
+                raise LabelingError(f"edge ({u}, {v}) joins two bitlines (V-V)")
+            if lu is Label.H and lv is Label.H:
+                raise LabelingError(f"edge ({u}, {v}) joins two wordlines (H-H)")
+        if alignment:
+            for port in bdd_graph.port_nodes():
+                if not self.labels[port].has_row():
+                    raise LabelingError(
+                        f"port node {port} must lie on a wordline (alignment)"
+                    )
+
+    def is_valid(self, bdd_graph: BddGraph, alignment: bool = True) -> bool:
+        try:
+            self.validate(bdd_graph, alignment=alignment)
+        except LabelingError:
+            return False
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"VHLabeling(R={self.rows}, C={self.cols}, S={self.semiperimeter}, "
+            f"D={self.max_dimension}, VH={self.vh_count})"
+        )

@@ -1,0 +1,99 @@
+"""Graph pre-processing: (S)BDD -> undirected labeled graph.
+
+Section V-A of the paper: drop the 0-terminal (flow-based computing only
+captures the '1' output) and turn every remaining BDD node/edge into a
+node/edge of an undirected graph.  Each edge carries the literal of the
+BDD decision it realises: ``x`` for a then-edge out of an ``x`` node,
+``~x`` for an else-edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..bdd import FALSE_ID, TRUE_ID
+from ..bdd.sbdd import SBDD
+from ..crossbar.literals import Lit
+from ..graphs import UGraph
+
+__all__ = ["BddGraph", "preprocess"]
+
+
+@dataclass
+class BddGraph:
+    """The undirected view of an SBDD that COMPACT labels and maps.
+
+    Attributes
+    ----------
+    graph:
+        Undirected graph; nodes are BDD node ids (0-terminal removed),
+        edge data are :class:`~repro.crossbar.literals.Lit` literals.
+    roots:
+        Output name -> BDD node id, for the non-constant outputs whose
+        root survives pre-processing.
+    terminal:
+        The 1-terminal's node id, or None when unreachable (all outputs
+        constant false).
+    constant_outputs:
+        Outputs whose function is constant: name -> bool.
+    """
+
+    graph: UGraph
+    roots: dict[str, int]
+    terminal: int | None
+    constant_outputs: dict[str, bool] = field(default_factory=dict)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.graph)
+
+    @property
+    def num_edges(self) -> int:
+        return self.graph.num_edges()
+
+    def port_nodes(self) -> set[int]:
+        """Nodes that must land on wordlines: roots plus the terminal."""
+        ports = set(self.roots.values())
+        if self.terminal is not None:
+            ports.add(self.terminal)
+        return ports
+
+
+def preprocess(sbdd: SBDD) -> BddGraph:
+    """Convert ``sbdd`` into its :class:`BddGraph` (paper Section V-A)."""
+    m = sbdd.manager
+    graph = UGraph()
+    roots: dict[str, int] = {}
+    constant_outputs: dict[str, bool] = {}
+
+    reachable = sbdd.reachable()
+    terminal = TRUE_ID if TRUE_ID in reachable else None
+
+    for name, root in sbdd.roots.items():
+        if root == TRUE_ID:
+            constant_outputs[name] = True
+        elif root == FALSE_ID:
+            constant_outputs[name] = False
+        else:
+            roots[name] = root
+
+    # A reachable 1-terminal with no non-constant output can only come
+    # from a constant-true root; nothing to map then.
+    if not roots:
+        return BddGraph(UGraph(), {}, None, constant_outputs)
+
+    for n in reachable:
+        if n in (FALSE_ID, TRUE_ID):
+            continue
+        graph.add_node(n)
+        var = m.var_of(n)
+        low, high = m.low(n), m.high(n)
+        if low != FALSE_ID:
+            graph.add_edge(n, low, Lit(var, False))
+        if high != FALSE_ID:
+            graph.add_edge(n, high, Lit(var, True))
+
+    # The terminal may be isolated in degenerate cases; keep it a node.
+    if terminal is not None:
+        graph.add_node(terminal)
+    return BddGraph(graph, roots, terminal, constant_outputs)

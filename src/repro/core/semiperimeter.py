@@ -1,0 +1,152 @@
+"""Method A: VH-labeling with minimal semiperimeter (Section VI-A).
+
+Minimizing the number of VH labels is the odd cycle transversal problem:
+the nodes outside a minimum OCT induce the largest bipartite subgraph,
+whose 2-coloring provides the V/H labels.  The OCT itself is found
+through a minimum vertex cover of ``G □ K2`` (Lemma 1).
+
+Two refinements on top of the plain reduction:
+
+* **orientation** — each connected component of the bipartite remainder
+  can flip its two color classes independently; flips are chosen to
+  satisfy the alignment pins (ports on wordlines) and then to balance
+  rows against columns, the free improvement of Figure 6.
+* **alignment repair** — when two ports end up in opposite color classes
+  of the same component, no flip can put both on wordlines; the
+  conflicting ports are promoted to VH (Eq. 7 allows ``x_i^V`` to also
+  be set), which keeps validity at the smallest local cost.
+"""
+
+from __future__ import annotations
+
+from ..graphs import OctResult, greedy_oct, odd_cycle_transversal
+from .labeling import Label, VHLabeling
+from .preprocess import BddGraph
+
+__all__ = ["label_min_semiperimeter", "label_heuristic"]
+
+
+def label_min_semiperimeter(
+    bdd_graph: BddGraph,
+    alignment: bool = True,
+    backend: str = "highs",
+    time_limit: float | None = None,
+    trace_callback=None,
+    algorithm: str = "vertex_cover",
+) -> VHLabeling:
+    """Solve the VH-labeling problem for minimal semiperimeter.
+
+    ``algorithm`` selects the exact OCT engine: ``"vertex_cover"`` is
+    the paper's Lemma 1 pipeline (minimum vertex cover of ``G □ K2``,
+    ILP-backed); ``"compression"`` runs the Reed–Smith–Vetta iterative
+    compression (FPT in the transversal size, useful when the optimum
+    is small and the ILP struggles).  Exact either way; with a
+    ``time_limit`` the vertex-cover search may stop early and the
+    result is valid but possibly non-minimal — ``meta['optimal']``
+    reports which.
+    """
+    if algorithm == "vertex_cover":
+        oct_result = odd_cycle_transversal(
+            bdd_graph.graph,
+            backend=backend,
+            time_limit=time_limit,
+            trace_callback=trace_callback,
+        )
+    elif algorithm == "compression":
+        from ..graphs import oct_iterative_compression
+
+        oct_result = oct_iterative_compression(bdd_graph.graph)
+    else:
+        raise ValueError(f"unknown OCT algorithm {algorithm!r}")
+    return _labeling_from_oct(bdd_graph, oct_result, alignment)
+
+
+def label_heuristic(bdd_graph: BddGraph, alignment: bool = True) -> VHLabeling:
+    """Fast heuristic labeling (greedy OCT), for scalability mode."""
+    oct_result = greedy_oct(bdd_graph.graph)
+    return _labeling_from_oct(bdd_graph, oct_result, alignment)
+
+
+def _labeling_from_oct(
+    bdd_graph: BddGraph, oct_result: OctResult, alignment: bool
+) -> VHLabeling:
+    graph = bdd_graph.graph
+    oct_set = set(oct_result.oct_set)
+    coloring = dict(oct_result.coloring)
+    ports = bdd_graph.port_nodes() if alignment else set()
+
+    # Promote ports whose component cannot orient them onto wordlines.
+    bipartite = graph.subgraph(set(graph.nodes()) - oct_set)
+    components = bipartite.connected_components()
+    promoted: set[int] = set()
+    flips: list[tuple[set, int]] = []  # (component, color that becomes H)
+
+    for comp in components:
+        comp_ports = ports & comp
+        colors = {coloring[p] for p in comp_ports}
+        if len(colors) <= 1:
+            flips.append((comp, colors.pop() if colors else -1))
+            continue
+        # Conflict: ports on both sides.  Promote the minority side's
+        # ports to VH; the remaining side becomes the H class.
+        side0 = [p for p in comp_ports if coloring[p] == 0]
+        side1 = [p for p in comp_ports if coloring[p] == 1]
+        if len(side0) <= len(side1):
+            promoted.update(side0)
+            flips.append((comp, 1))
+        else:
+            promoted.update(side1)
+            flips.append((comp, 0))
+
+    oct_set |= promoted
+
+    # Balance rows vs columns with the undecided components (Figure 6):
+    # process the decided flips first, then greedily orient free
+    # components to shrink whichever side currently dominates.
+    labels: dict[int, Label] = {v: Label.VH for v in oct_set}
+    rows = cols = len(oct_set)
+    free: list[tuple[set, dict[int, int]]] = []
+
+    for comp, h_color in flips:
+        comp_colors = {v: coloring[v] for v in comp if v not in oct_set}
+        if h_color == -1:
+            free.append((comp, comp_colors))
+            continue
+        for v, c in comp_colors.items():
+            if c == h_color:
+                labels[v] = Label.H
+                rows += 1
+            else:
+                labels[v] = Label.V
+                cols += 1
+
+    # Largest free components first so the balancing is most effective.
+    free.sort(key=lambda item: -len(item[1]))
+    for _comp, comp_colors in free:
+        n0 = sum(1 for c in comp_colors.values() if c == 0)
+        n1 = len(comp_colors) - n0
+        # Option A: color 0 -> H (rows += n0, cols += n1); option B: flipped.
+        if max(rows + n0, cols + n1) <= max(rows + n1, cols + n0):
+            h_color = 0
+        else:
+            h_color = 1
+        for v, c in comp_colors.items():
+            if c == h_color:
+                labels[v] = Label.H
+                rows += 1
+            else:
+                labels[v] = Label.V
+                cols += 1
+
+    labeling = VHLabeling(
+        labels,
+        meta={
+            "method": "oct",
+            "optimal": oct_result.optimal and not promoted,
+            "oct_size": len(oct_result.oct_set),
+            "promoted_ports": len(promoted),
+            "runtime": oct_result.runtime,
+            "trace": oct_result.trace,
+        },
+    )
+    return labeling

@@ -1,0 +1,89 @@
+"""Vectorized batch evaluation of crossbar designs.
+
+Evaluating one assignment is a BFS; evaluating thousands (Monte-Carlo
+validation, yield analysis, test benches) is much faster as a bit-
+parallel fixpoint over numpy boolean arrays: one row/column reachability
+matrix for *all* assignments at once, iterated until no assignment
+learns a new line.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from .design import CrossbarDesign
+
+__all__ = ["batch_evaluate", "assignments_to_matrix"]
+
+
+def assignments_to_matrix(
+    assignments: Sequence[Mapping[str, bool]], names: Sequence[str]
+) -> np.ndarray:
+    """Stack assignment dicts into a (num_assignments, num_vars) array."""
+    out = np.zeros((len(assignments), len(names)), dtype=bool)
+    for i, env in enumerate(assignments):
+        for j, name in enumerate(names):
+            out[i, j] = bool(env[name])
+    return out
+
+
+def batch_evaluate(
+    design: CrossbarDesign,
+    inputs: Sequence[str],
+    matrix: np.ndarray,
+) -> dict[str, np.ndarray]:
+    """Evaluate every output for every assignment row of ``matrix``.
+
+    ``matrix`` is boolean, shaped (num_assignments, len(inputs)).
+    Returns output name -> boolean vector of length num_assignments.
+    Matches :meth:`CrossbarDesign.evaluate` exactly (tested property).
+    """
+    matrix = np.asarray(matrix, dtype=bool)
+    if matrix.ndim != 2 or matrix.shape[1] != len(inputs):
+        raise ValueError(
+            f"matrix must be (m, {len(inputs)}), got {matrix.shape}"
+        )
+    m = matrix.shape[0]
+    col_index = {name: j for j, name in enumerate(inputs)}
+
+    cells = list(design.cells())
+    on = np.zeros((m, len(cells)), dtype=bool)
+    for i, (_r, _c, lit) in enumerate(cells):
+        if lit.var is None:
+            on[:, i] = lit.positive
+        else:
+            j = col_index.get(lit.var)
+            if j is None:
+                raise KeyError(f"cell literal {lit} over unknown input {lit.var!r}")
+            on[:, i] = matrix[:, j] if lit.positive else ~matrix[:, j]
+
+    rows = np.zeros((m, design.num_rows), dtype=bool)
+    cols = np.zeros((m, max(design.num_cols, 1)), dtype=bool)
+    rows[:, design.input_row] = True
+
+    cell_rows = np.array([r for r, _c, _l in cells], dtype=int)
+    cell_cols = np.array([c for _r, c, _l in cells], dtype=int)
+
+    while True:
+        # Columns reachable through one conducting cell from reached rows.
+        if cells:
+            contrib = rows[:, cell_rows] & on
+            new_cols = cols.copy()
+            np.logical_or.at(new_cols, (slice(None), cell_cols), contrib)
+            back = new_cols[:, cell_cols] & on
+            new_rows = rows.copy()
+            np.logical_or.at(new_rows, (slice(None), cell_rows), back)
+        else:
+            new_cols, new_rows = cols, rows
+        if np.array_equal(new_rows, rows) and np.array_equal(new_cols, cols):
+            break
+        rows, cols = new_rows, new_cols
+
+    result: dict[str, np.ndarray] = {}
+    for out, row in design.output_rows.items():
+        result[out] = rows[:, row].copy()
+    for out, value in design.constant_outputs.items():
+        result[out] = np.full(m, bool(value))
+    return result

@@ -1,0 +1,190 @@
+"""Crossbar designs for flow-based computing.
+
+A :class:`CrossbarDesign` is the artifact COMPACT synthesizes: a grid of
+programmed memristor cells, an input port (the bottom-most wordline,
+where ``V_in`` is applied) and one output port per function output (a
+wordline with a sense resistor).  Evaluation is by sneak-path
+connectivity: an output reads true iff a path of low-resistance
+memristors connects it to the input wordline.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from .literals import OFF, Lit
+
+__all__ = ["CrossbarDesign"]
+
+
+class CrossbarDesign:
+    """A programmed memristor crossbar with input/output ports.
+
+    Parameters
+    ----------
+    name:
+        Design name (usually the circuit name).
+    num_rows, num_cols:
+        Wordline and bitline counts.
+    input_row:
+        Row index where the evaluation voltage is applied.
+    output_rows:
+        Mapping from output name to the sensed row index.
+    constant_outputs:
+        Outputs that are constant functions and have no sensed row
+        (value reported directly by :meth:`evaluate`).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        num_rows: int,
+        num_cols: int,
+        input_row: int,
+        output_rows: Mapping[str, int],
+        constant_outputs: Mapping[str, bool] | None = None,
+    ):
+        if num_rows < 1:
+            raise ValueError("a crossbar needs at least one wordline")
+        if not (0 <= input_row < num_rows):
+            raise ValueError("input row out of range")
+        for out, row in output_rows.items():
+            if not (0 <= row < num_rows):
+                raise ValueError(f"output {out!r} row {row} out of range")
+        self.name = name
+        self.num_rows = num_rows
+        self.num_cols = num_cols
+        self.input_row = input_row
+        self.output_rows = dict(output_rows)
+        self.constant_outputs = dict(constant_outputs or {})
+        self._cells: dict[tuple[int, int], Lit] = {}
+        #: Optional annotations: which BDD node each line realises.
+        self.row_labels: dict[int, object] = {}
+        self.col_labels: dict[int, object] = {}
+
+    # -- programming ------------------------------------------------------------
+    def set_cell(self, row: int, col: int, lit: Lit) -> None:
+        """Program one crosspoint; re-programming a cell is an error."""
+        if not (0 <= row < self.num_rows and 0 <= col < self.num_cols):
+            raise IndexError(f"cell ({row}, {col}) outside {self.num_rows}x{self.num_cols}")
+        existing = self._cells.get((row, col))
+        if existing is not None and existing != lit:
+            raise ValueError(
+                f"cell ({row}, {col}) already programmed with {existing} (new: {lit})"
+            )
+        if lit != OFF:
+            self._cells[(row, col)] = lit
+
+    def cell(self, row: int, col: int) -> Lit:
+        """The programmed literal at a crosspoint (OFF if untouched)."""
+        return self._cells.get((row, col), OFF)
+
+    def cells(self) -> Iterable[tuple[int, int, Lit]]:
+        """All non-OFF cells as ``(row, col, literal)``."""
+        for (r, c), lit in self._cells.items():
+            yield r, c, lit
+
+    # -- metrics (the paper's hardware-utilisation quantities) --------------------
+    @property
+    def semiperimeter(self) -> int:
+        """Rows + columns (the paper's ``S``)."""
+        return self.num_rows + self.num_cols
+
+    @property
+    def max_dimension(self) -> int:
+        """max(rows, columns) (the paper's ``D``)."""
+        return max(self.num_rows, self.num_cols)
+
+    @property
+    def area(self) -> int:
+        """Rows x columns."""
+        return self.num_rows * self.num_cols
+
+    @property
+    def memristor_count(self) -> int:
+        """Programmed (non-'0') crosspoints, including stitch '1' cells."""
+        return len(self._cells)
+
+    @property
+    def literal_count(self) -> int:
+        """Variable-carrying cells — the paper's power proxy vs CONTRA."""
+        return sum(1 for lit in self._cells.values() if not lit.is_constant())
+
+    @property
+    def delay_steps(self) -> int:
+        """Evaluation time steps: one write per wordline plus one read."""
+        return self.num_rows + 1
+
+    # -- evaluation -----------------------------------------------------------------
+    def program(self, assignment: Mapping[str, bool]) -> set[tuple[int, int]]:
+        """Crosspoints in the low-resistive state under ``assignment``."""
+        return {
+            rc for rc, lit in self._cells.items() if lit.evaluate(assignment)
+        }
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> dict[str, bool]:
+        """Flow-based evaluation of every output under ``assignment``.
+
+        Breadth-first search over the row/column bipartite connectivity
+        graph induced by the low-resistance cells, starting at the input
+        wordline.
+        """
+        on_cells = self.program(assignment)
+        row_adj: dict[int, list[int]] = {}
+        col_adj: dict[int, list[int]] = {}
+        for r, c in on_cells:
+            row_adj.setdefault(r, []).append(c)
+            col_adj.setdefault(c, []).append(r)
+
+        reached_rows = {self.input_row}
+        reached_cols: set[int] = set()
+        frontier_rows = [self.input_row]
+        while frontier_rows:
+            next_rows: list[int] = []
+            for r in frontier_rows:
+                for c in row_adj.get(r, ()):
+                    if c not in reached_cols:
+                        reached_cols.add(c)
+                        for r2 in col_adj.get(c, ()):
+                            if r2 not in reached_rows:
+                                reached_rows.add(r2)
+                                next_rows.append(r2)
+            frontier_rows = next_rows
+
+        result = {
+            out: row in reached_rows for out, row in self.output_rows.items()
+        }
+        result.update(self.constant_outputs)
+        return result
+
+    # -- presentation ---------------------------------------------------------------
+    def to_grid(self) -> list[list[str]]:
+        """The design as a row-major grid of cell strings ('0' for OFF)."""
+        return [
+            [str(self.cell(r, c)) for c in range(self.num_cols)]
+            for r in range(self.num_rows)
+        ]
+
+    def render(self) -> str:
+        """ASCII rendering with port markers, for docs and debugging."""
+        grid = self.to_grid()
+        width = max((len(s) for row in grid for s in row), default=1)
+        out_marks = {row: name for name, row in self.output_rows.items()}
+        lines = []
+        for r, row in enumerate(grid):
+            marks = []
+            if r == self.input_row:
+                marks.append("<- Vin")
+            if r in out_marks:
+                marks.append(f"-> {out_marks[r]}")
+            body = " ".join(s.rjust(width) for s in row)
+            suffix = ("  " + ", ".join(marks)) if marks else ""
+            lines.append(body + suffix)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"CrossbarDesign({self.name!r}, {self.num_rows}x{self.num_cols}, "
+            f"S={self.semiperimeter}, D={self.max_dimension}, "
+            f"memristors={self.memristor_count})"
+        )

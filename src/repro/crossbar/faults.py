@@ -1,0 +1,211 @@
+"""Memristor fault modeling and yield analysis.
+
+Nanoscale crossbars suffer stuck-at defects: a cell stuck in the low
+resistive state (``stuck_on``) adds a permanent connection between its
+wordline and bitline, one stuck high (``stuck_off``) never conducts.
+This module evaluates flow-based designs under fault sets, identifies
+the *critical* cells whose failure changes the computed function, and
+estimates manufacturing yield by Monte-Carlo fault injection — the
+standard reliability questions for in-memory computing fabrics.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from .design import CrossbarDesign
+from .validate import Reference
+
+__all__ = [
+    "Fault",
+    "STUCK_ON",
+    "STUCK_OFF",
+    "evaluate_with_faults",
+    "is_functional_under_faults",
+    "critical_cells",
+    "yield_estimate",
+]
+
+STUCK_ON = "stuck_on"
+STUCK_OFF = "stuck_off"
+
+
+@dataclass(frozen=True)
+class Fault:
+    """A stuck-at defect at one crosspoint."""
+
+    row: int
+    col: int
+    kind: str  # STUCK_ON or STUCK_OFF
+
+    def __post_init__(self):
+        if self.kind not in (STUCK_ON, STUCK_OFF):
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+
+
+def evaluate_with_faults(
+    design: CrossbarDesign,
+    assignment: Mapping[str, bool],
+    faults: Sequence[Fault],
+) -> dict[str, bool]:
+    """Flow-based evaluation with the given defects applied.
+
+    ``stuck_on`` cells conduct regardless of programming; ``stuck_off``
+    cells never conduct.
+    """
+    on_cells = design.program(assignment)
+    for fault in faults:
+        cell = (fault.row, fault.col)
+        if fault.kind == STUCK_ON:
+            on_cells.add(cell)
+        else:
+            on_cells.discard(cell)
+
+    row_adj: dict[int, list[int]] = {}
+    col_adj: dict[int, list[int]] = {}
+    for r, c in on_cells:
+        row_adj.setdefault(r, []).append(c)
+        col_adj.setdefault(c, []).append(r)
+
+    reached_rows = {design.input_row}
+    reached_cols: set[int] = set()
+    frontier = [design.input_row]
+    while frontier:
+        nxt: list[int] = []
+        for r in frontier:
+            for c in row_adj.get(r, ()):
+                if c not in reached_cols:
+                    reached_cols.add(c)
+                    for r2 in col_adj.get(c, ()):
+                        if r2 not in reached_rows:
+                            reached_rows.add(r2)
+                            nxt.append(r2)
+        frontier = nxt
+
+    result = {out: row in reached_rows for out, row in design.output_rows.items()}
+    result.update(design.constant_outputs)
+    return result
+
+
+def is_functional_under_faults(
+    design: CrossbarDesign,
+    reference: Reference,
+    inputs: Sequence[str],
+    faults: Sequence[Fault],
+    exhaustive_limit: int = 12,
+    samples: int = 256,
+    seed: int = 0,
+) -> bool:
+    """Whether the faulty crossbar still computes ``reference`` exactly.
+
+    Exhaustive up to ``exhaustive_limit`` inputs, seeded Monte-Carlo
+    beyond (a sound *refuter*: a False answer is definite, a True answer
+    beyond the limit is statistical).
+    """
+    names = list(inputs)
+    if len(names) <= exhaustive_limit:
+        envs = (
+            dict(zip(names, bits))
+            for bits in itertools.product([False, True], repeat=len(names))
+        )
+    else:
+        rng = random.Random(seed)
+        envs = (
+            {n: bool(rng.getrandbits(1)) for n in names} for _ in range(samples)
+        )
+    for env in envs:
+        expected = dict(reference(env))
+        actual = evaluate_with_faults(design, env, faults)
+        if any(bool(expected[o]) != bool(actual.get(o)) for o in expected):
+            return False
+    return True
+
+
+def critical_cells(
+    design: CrossbarDesign,
+    reference: Reference,
+    inputs: Sequence[str],
+    kinds: Sequence[str] = (STUCK_ON, STUCK_OFF),
+    include_unprogrammed: bool = True,
+    exhaustive_limit: int = 12,
+    samples: int = 128,
+) -> dict[str, list[tuple[int, int]]]:
+    """Single-fault sensitivity analysis.
+
+    Returns, per fault kind, the crosspoints whose single stuck-at
+    defect breaks the function.  ``stuck_off`` is only meaningful on
+    programmed cells; ``stuck_on`` also threatens *unprogrammed*
+    crosspoints (a short can create a spurious sneak path), which are
+    included when ``include_unprogrammed`` is set.
+    """
+    programmed = {(r, c) for r, c, _ in design.cells()}
+    result: dict[str, list[tuple[int, int]]] = {k: [] for k in kinds}
+
+    for kind in kinds:
+        if kind == STUCK_OFF:
+            candidates = sorted(programmed)
+        else:
+            if include_unprogrammed:
+                candidates = [
+                    (r, c)
+                    for r in range(design.num_rows)
+                    for c in range(design.num_cols)
+                ]
+            else:
+                candidates = sorted(programmed)
+        for r, c in candidates:
+            fault = Fault(r, c, kind)
+            if not is_functional_under_faults(
+                design, reference, inputs, [fault],
+                exhaustive_limit=exhaustive_limit, samples=samples,
+            ):
+                result[kind].append((r, c))
+    return result
+
+
+def yield_estimate(
+    design: CrossbarDesign,
+    reference: Reference,
+    inputs: Sequence[str],
+    p_stuck_on: float = 0.001,
+    p_stuck_off: float = 0.01,
+    trials: int = 200,
+    seed: int = 0,
+    exhaustive_limit: int = 10,
+    samples: int = 64,
+) -> float:
+    """Monte-Carlo functional yield under i.i.d. per-cell defect rates.
+
+    Each trial draws stuck-off defects on programmed cells and stuck-on
+    defects on all crosspoints, then checks functionality.  Returns the
+    fraction of functional dies.
+    """
+    if trials < 1:
+        raise ValueError("need at least one trial")
+    rng = random.Random(seed)
+    programmed = [(r, c) for r, c, _ in design.cells()]
+    all_cells = [
+        (r, c) for r in range(design.num_rows) for c in range(design.num_cols)
+    ]
+    good = 0
+    for trial in range(trials):
+        faults = [
+            Fault(r, c, STUCK_OFF)
+            for r, c in programmed
+            if rng.random() < p_stuck_off
+        ]
+        faults += [
+            Fault(r, c, STUCK_ON)
+            for r, c in all_cells
+            if rng.random() < p_stuck_on
+        ]
+        if is_functional_under_faults(
+            design, reference, inputs, faults,
+            exhaustive_limit=exhaustive_limit, samples=samples,
+            seed=seed + trial,
+        ):
+            good += 1
+    return good / trials

@@ -1,0 +1,49 @@
+"""Memristor cell contents.
+
+Each crossbar cell is programmed with logical '0' (always high
+resistance), logical '1' (always low resistance — used to stitch the
+wordline and bitline of a VH node together), or a literal over the
+Boolean input variables (low resistance iff the literal is true).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+__all__ = ["Lit", "ON", "OFF"]
+
+
+@dataclass(frozen=True)
+class Lit:
+    """A crossbar cell value.
+
+    ``var is None`` encodes the constants: ``positive`` True is the
+    always-on '1' cell, False the always-off '0' cell.  Otherwise the
+    cell holds the literal ``var`` (``positive``) or ``~var``.
+    """
+
+    var: str | None
+    positive: bool
+
+    def is_constant(self) -> bool:
+        """Whether this is a fixed '0'/'1' cell (no variable)."""
+        return self.var is None
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        """Whether the programmed memristor is in the low-resistive state."""
+        if self.var is None:
+            return self.positive
+        value = bool(assignment[self.var])
+        return value if self.positive else not value
+
+    def __str__(self) -> str:
+        if self.var is None:
+            return "1" if self.positive else "0"
+        return self.var if self.positive else f"~{self.var}"
+
+
+#: The always-on cell (stitches VH wordline/bitline pairs).
+ON = Lit(None, True)
+#: The always-off cell (unused crosspoints).
+OFF = Lit(None, False)

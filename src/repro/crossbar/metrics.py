@@ -1,0 +1,54 @@
+"""Hardware-utilisation, power and delay metrics.
+
+Cost models follow Section VIII of the paper:
+
+* hardware: rows, columns, semiperimeter ``S``, maximum dimension ``D``,
+  area;
+* power: proportional to the memristors that must be programmed per
+  evaluation — the variable-carrying cells (BDD edges);
+* delay: one time step per wordline to program, plus one to evaluate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from .design import CrossbarDesign
+
+__all__ = ["DesignMetrics", "measure"]
+
+
+@dataclass(frozen=True)
+class DesignMetrics:
+    """Flat record of one design's costs (one row of the paper's tables)."""
+
+    name: str
+    rows: int
+    cols: int
+    semiperimeter: int
+    max_dimension: int
+    area: int
+    memristors: int
+    literals: int
+    power_proxy: int
+    delay_steps: int
+
+    def as_dict(self) -> dict:
+        """The metrics as a plain dict (report/JSON friendly)."""
+        return asdict(self)
+
+
+def measure(design: CrossbarDesign) -> DesignMetrics:
+    """Extract all reported metrics from a design."""
+    return DesignMetrics(
+        name=design.name,
+        rows=design.num_rows,
+        cols=design.num_cols,
+        semiperimeter=design.semiperimeter,
+        max_dimension=design.max_dimension,
+        area=design.area,
+        memristors=design.memristor_count,
+        literals=design.literal_count,
+        power_proxy=design.literal_count,
+        delay_steps=design.delay_steps,
+    )

@@ -1,0 +1,63 @@
+"""JSON (de)serialisation of crossbar designs.
+
+Lets synthesized designs be stored as artifacts, diffed across runs, and
+reloaded for evaluation without re-running the NP-hard labeling step.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .design import CrossbarDesign
+from .literals import Lit
+
+__all__ = ["design_to_json", "design_from_json"]
+
+_FORMAT = "repro.crossbar/1"
+
+
+def design_to_json(design: CrossbarDesign, indent: int | None = None) -> str:
+    """Serialise ``design`` (cells, ports, labels) to a JSON string."""
+    payload = {
+        "format": _FORMAT,
+        "name": design.name,
+        "rows": design.num_rows,
+        "cols": design.num_cols,
+        "input_row": design.input_row,
+        "output_rows": design.output_rows,
+        "constant_outputs": design.constant_outputs,
+        "cells": [
+            {"row": r, "col": c, "var": lit.var, "positive": lit.positive}
+            for r, c, lit in sorted(design.cells())
+        ],
+        "row_labels": {str(k): repr(v) for k, v in design.row_labels.items()},
+        "col_labels": {str(k): repr(v) for k, v in design.col_labels.items()},
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def design_from_json(text: str) -> CrossbarDesign:
+    """Reconstruct a design serialised by :func:`design_to_json`.
+
+    Row/column annotation labels are restored as strings (their repr);
+    everything functional — dimensions, ports, programmed cells — round
+    trips exactly.
+    """
+    payload = json.loads(text)
+    if payload.get("format") != _FORMAT:
+        raise ValueError(f"not a serialized crossbar design: {payload.get('format')!r}")
+    design = CrossbarDesign(
+        payload["name"],
+        num_rows=payload["rows"],
+        num_cols=payload["cols"],
+        input_row=payload["input_row"],
+        output_rows=payload["output_rows"],
+        constant_outputs={
+            k: bool(v) for k, v in payload.get("constant_outputs", {}).items()
+        },
+    )
+    for cell in payload["cells"]:
+        design.set_cell(cell["row"], cell["col"], Lit(cell["var"], cell["positive"]))
+    design.row_labels = {int(k): v for k, v in payload.get("row_labels", {}).items()}
+    design.col_labels = {int(k): v for k, v in payload.get("col_labels", {}).items()}
+    return design

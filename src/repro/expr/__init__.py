@@ -1,0 +1,44 @@
+"""Boolean expression substrate: AST, parser and evaluation helpers."""
+
+from .ast import (
+    FALSE,
+    TRUE,
+    And,
+    Assignment,
+    Const,
+    Expr,
+    Ite,
+    Not,
+    Or,
+    Var,
+    Xor,
+    all_assignments,
+)
+from .minimize import (
+    cube_to_expr,
+    minimize_expr,
+    minimize_truth_table,
+    prime_implicants,
+)
+from .parser import ParseError, parse
+
+__all__ = [
+    "prime_implicants",
+    "minimize_truth_table",
+    "minimize_expr",
+    "cube_to_expr",
+    "Expr",
+    "Var",
+    "Const",
+    "Not",
+    "And",
+    "Or",
+    "Xor",
+    "Ite",
+    "TRUE",
+    "FALSE",
+    "Assignment",
+    "all_assignments",
+    "parse",
+    "ParseError",
+]

@@ -1,0 +1,437 @@
+"""Boolean expression abstract syntax tree.
+
+Expressions are immutable, hashable trees built from variables, constants
+and the usual connectives.  They are the lingua franca of the front end:
+PLA/BLIF/Verilog readers produce them, the netlist cell library defines
+gate semantics with them, and the BDD engine compiles them.
+
+The public constructors normalise trivially (``Not(Not(e)) -> e``,
+constant folding of ``And``/``Or`` with constants) but perform no
+expensive simplification; that is the BDD engine's job.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable, Iterator, Mapping
+from typing import Union
+
+Assignment = Mapping[str, Union[bool, int]]
+
+__all__ = [
+    "Expr",
+    "Var",
+    "Const",
+    "Not",
+    "And",
+    "Or",
+    "Xor",
+    "Ite",
+    "TRUE",
+    "FALSE",
+    "all_assignments",
+]
+
+
+class Expr:
+    """Base class for Boolean expressions.
+
+    Subclasses are value objects: two structurally equal expressions
+    compare equal and hash equal, which lets callers memoise on them.
+    Operators ``&``, ``|``, ``^`` and ``~`` build larger expressions.
+    """
+
+    __slots__ = ("_hash",)
+
+    # -- construction sugar -------------------------------------------------
+    def __and__(self, other: "Expr") -> "Expr":
+        return And(self, other)
+
+    def __or__(self, other: "Expr") -> "Expr":
+        return Or(self, other)
+
+    def __xor__(self, other: "Expr") -> "Expr":
+        return Xor(self, other)
+
+    def __invert__(self) -> "Expr":
+        return Not(self)
+
+    # -- interface -----------------------------------------------------------
+    def evaluate(self, assignment: Assignment) -> bool:
+        """Evaluate under ``assignment`` (maps variable name -> truth value)."""
+        raise NotImplementedError
+
+    def variables(self) -> frozenset[str]:
+        """The set of variable names appearing in the expression."""
+        raise NotImplementedError
+
+    def children(self) -> tuple["Expr", ...]:
+        """Immediate sub-expressions."""
+        raise NotImplementedError
+
+    # -- generic helpers -----------------------------------------------------
+    def substitute(self, mapping: Mapping[str, "Expr"]) -> "Expr":
+        """Simultaneously replace variables by expressions."""
+        if isinstance(self, Var):
+            return mapping.get(self.name, self)
+        if isinstance(self, Const):
+            return self
+        new_children = tuple(c.substitute(mapping) for c in self.children())
+        return self._rebuild(new_children)
+
+    def cofactor(self, name: str, value: bool) -> "Expr":
+        """Shannon cofactor with respect to ``name = value``."""
+        return self.substitute({name: TRUE if value else FALSE})
+
+    def _rebuild(self, children: tuple["Expr", ...]) -> "Expr":
+        raise NotImplementedError
+
+    def truth_table(self, order: Iterable[str] | None = None) -> list[bool]:
+        """Full truth table in the given (or sorted) variable order.
+
+        Row ``i`` corresponds to the assignment whose bits, MSB first,
+        spell ``i`` over the variable order.  Exponential; intended for
+        small expressions and cross-checking.
+        """
+        names = list(order) if order is not None else sorted(self.variables())
+        rows = []
+        for bits in itertools.product([False, True], repeat=len(names)):
+            rows.append(self.evaluate(dict(zip(names, bits))))
+        return rows
+
+    def equivalent(self, other: "Expr") -> bool:
+        """Exhaustive equivalence check (small expressions only)."""
+        names = sorted(self.variables() | other.variables())
+        for bits in itertools.product([False, True], repeat=len(names)):
+            env = dict(zip(names, bits))
+            if self.evaluate(env) != other.evaluate(env):
+                return False
+        return True
+
+    def size(self) -> int:
+        """Number of AST nodes (shared subtrees counted repeatedly)."""
+        return 1 + sum(c.size() for c in self.children())
+
+    def depth(self) -> int:
+        """Height of the AST (a leaf has depth 0)."""
+        kids = self.children()
+        if not kids:
+            return 0
+        return 1 + max(c.depth() for c in kids)
+
+
+class Var(Expr):
+    """A Boolean variable, identified by name."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        if not name:
+            raise ValueError("variable name must be non-empty")
+        self.name = name
+        self._hash = hash(("var", name))
+
+    def evaluate(self, assignment: Assignment) -> bool:
+        try:
+            return bool(assignment[self.name])
+        except KeyError:
+            raise KeyError(f"assignment missing variable {self.name!r}") from None
+
+    def variables(self) -> frozenset[str]:
+        return frozenset({self.name})
+
+    def children(self) -> tuple[Expr, ...]:
+        return ()
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Var) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class Const(Expr):
+    """The constants 0 and 1.  Use the module-level ``TRUE``/``FALSE``."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: bool):
+        self.value = bool(value)
+        self._hash = hash(("const", self.value))
+
+    def evaluate(self, assignment: Assignment) -> bool:
+        return self.value
+
+    def variables(self) -> frozenset[str]:
+        return frozenset()
+
+    def children(self) -> tuple[Expr, ...]:
+        return ()
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Const) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return "1" if self.value else "0"
+
+
+TRUE = Const(True)
+FALSE = Const(False)
+
+
+class _Unary(Expr):
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: Expr):
+        self.operand = operand
+        self._hash = hash((type(self).__name__, operand))
+
+    def variables(self) -> frozenset[str]:
+        return self.operand.variables()
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.operand,)
+
+    def __eq__(self, other) -> bool:
+        return type(other) is type(self) and other.operand == self.operand
+
+    def __hash__(self) -> int:
+        return self._hash
+
+
+class Not(_Unary):
+    """Logical negation.  ``Not(Not(e))`` collapses to ``e``."""
+
+    __slots__ = ()
+
+    def __new__(cls, operand: Expr):
+        if isinstance(operand, Not):
+            return operand.operand
+        if isinstance(operand, Const):
+            return FALSE if operand.value else TRUE
+        return super().__new__(cls)
+
+    def __init__(self, operand: Expr):
+        # __new__ may have returned an existing object; only initialise
+        # genuinely new Not instances.
+        if not hasattr(self, "operand"):
+            super().__init__(operand)
+
+    def evaluate(self, assignment: Assignment) -> bool:
+        return not self.operand.evaluate(assignment)
+
+    def _rebuild(self, children: tuple[Expr, ...]) -> Expr:
+        return Not(children[0])
+
+    def __repr__(self) -> str:
+        return f"~{_paren(self.operand)}"
+
+
+class _Nary(Expr):
+    """Common machinery for flattening associative connectives."""
+
+    __slots__ = ("operands",)
+    _identity: bool
+    _absorbing: bool
+
+    def __new__(cls, *operands: Expr):
+        flat: list[Expr] = []
+        for op in operands:
+            if not isinstance(op, Expr):
+                raise TypeError(f"expected Expr, got {type(op).__name__}")
+            if type(op) is cls:
+                flat.extend(op.operands)  # type: ignore[attr-defined]
+            else:
+                flat.append(op)
+        kept: list[Expr] = []
+        for op in flat:
+            if isinstance(op, Const):
+                if op.value == cls._absorbing:
+                    return TRUE if cls._absorbing else FALSE
+                continue  # identity element: drop
+            kept.append(op)
+        if not kept:
+            return TRUE if cls._identity else FALSE
+        if len(kept) == 1:
+            return kept[0]
+        obj = super().__new__(cls)
+        obj.operands = tuple(kept)
+        obj._hash = hash((cls.__name__, obj.operands))
+        return obj
+
+    def __init__(self, *operands: Expr):
+        pass  # state set in __new__
+
+    def variables(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for op in self.operands:
+            out |= op.variables()
+        return out
+
+    def children(self) -> tuple[Expr, ...]:
+        return self.operands
+
+    def _rebuild(self, children: tuple[Expr, ...]) -> Expr:
+        return type(self)(*children)
+
+    def __eq__(self, other) -> bool:
+        return type(other) is type(self) and other.operands == self.operands
+
+    def __hash__(self) -> int:
+        return self._hash
+
+
+class And(_Nary):
+    """N-ary conjunction; flattens nested Ands and folds constants."""
+
+    __slots__ = ()
+    _identity = True
+    _absorbing = False
+
+    def evaluate(self, assignment: Assignment) -> bool:
+        return all(op.evaluate(assignment) for op in self.operands)
+
+    def __repr__(self) -> str:
+        return " & ".join(_paren(op) for op in self.operands)
+
+
+class Or(_Nary):
+    """N-ary disjunction; flattens nested Ors and folds constants."""
+
+    __slots__ = ()
+    _identity = False
+    _absorbing = True
+
+    def evaluate(self, assignment: Assignment) -> bool:
+        return any(op.evaluate(assignment) for op in self.operands)
+
+    def __repr__(self) -> str:
+        return " | ".join(_paren(op) for op in self.operands)
+
+
+class Xor(Expr):
+    """N-ary exclusive or (true iff an odd number of operands are true)."""
+
+    __slots__ = ("operands",)
+
+    def __new__(cls, *operands: Expr):
+        flat: list[Expr] = []
+        parity = False
+        for op in operands:
+            if not isinstance(op, Expr):
+                raise TypeError(f"expected Expr, got {type(op).__name__}")
+            if isinstance(op, Xor):
+                flat.extend(op.operands)
+            elif isinstance(op, Const):
+                parity ^= op.value
+            else:
+                flat.append(op)
+        if not flat:
+            return TRUE if parity else FALSE
+        if len(flat) == 1:
+            return Not(flat[0]) if parity else flat[0]
+        obj = super().__new__(cls)
+        ops = tuple(flat)
+        if parity:
+            ops = ops[:-1] + (Not(ops[-1]),)
+        obj.operands = ops
+        obj._hash = hash(("Xor", obj.operands))
+        return obj
+
+    def __init__(self, *operands: Expr):
+        pass
+
+    def evaluate(self, assignment: Assignment) -> bool:
+        acc = False
+        for op in self.operands:
+            acc ^= op.evaluate(assignment)
+        return acc
+
+    def variables(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for op in self.operands:
+            out |= op.variables()
+        return out
+
+    def children(self) -> tuple[Expr, ...]:
+        return self.operands
+
+    def _rebuild(self, children: tuple[Expr, ...]) -> Expr:
+        return Xor(*children)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Xor) and other.operands == self.operands
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return " ^ ".join(_paren(op) for op in self.operands)
+
+
+class Ite(Expr):
+    """If-then-else: ``Ite(c, t, e)`` is ``(c & t) | (~c & e)``."""
+
+    __slots__ = ("cond", "then", "other")
+
+    def __new__(cls, cond: Expr, then: Expr, other: Expr):
+        if isinstance(cond, Const):
+            return then if cond.value else other
+        if then == other:
+            return then
+        return super().__new__(cls)
+
+    def __init__(self, cond: Expr, then: Expr, other: Expr):
+        if hasattr(self, "cond"):
+            return
+        self.cond = cond
+        self.then = then
+        self.other = other
+        self._hash = hash(("Ite", cond, then, other))
+
+    def evaluate(self, assignment: Assignment) -> bool:
+        if self.cond.evaluate(assignment):
+            return self.then.evaluate(assignment)
+        return self.other.evaluate(assignment)
+
+    def variables(self) -> frozenset[str]:
+        return self.cond.variables() | self.then.variables() | self.other.variables()
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.cond, self.then, self.other)
+
+    def _rebuild(self, children: tuple[Expr, ...]) -> Expr:
+        return Ite(*children)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Ite)
+            and other.cond == self.cond
+            and other.then == self.then
+            and other.other == self.other
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"ite({self.cond!r}, {self.then!r}, {self.other!r})"
+
+
+def _paren(e: Expr) -> str:
+    if isinstance(e, (Var, Const, Not)):
+        return repr(e)
+    return f"({e!r})"
+
+
+def all_assignments(names: Iterable[str]) -> Iterator[dict[str, bool]]:
+    """Yield every assignment over ``names`` in binary counting order."""
+    names = list(names)
+    for bits in itertools.product([False, True], repeat=len(names)):
+        yield dict(zip(names, bits))

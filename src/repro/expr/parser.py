@@ -1,0 +1,161 @@
+"""Recursive-descent parser for Boolean expressions.
+
+Grammar (lowest to highest precedence)::
+
+    expr    := xor ( ('|' | '+' | 'or')  xor )*
+    xor     := term ( '^' term )*
+    term    := factor ( ('&' | '*' | 'and') factor )*
+    factor  := ('~' | '!' | 'not') factor | atom
+    atom    := '0' | '1' | IDENT | '(' expr ')' | IDENT "'"  (postfix not)
+
+Identifiers match ``[A-Za-z_][A-Za-z0-9_.\\[\\]]*`` so bus-style names like
+``a[3]`` and hierarchical names like ``u1.q`` parse as single variables.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .ast import FALSE, TRUE, And, Expr, Not, Or, Var, Xor
+
+__all__ = ["parse", "ParseError"]
+
+
+class ParseError(ValueError):
+    """Raised on malformed expression text, with position information."""
+
+    def __init__(self, message: str, text: str, pos: int):
+        snippet = text[max(0, pos - 20) : pos + 20]
+        super().__init__(f"{message} at position {pos}: ...{snippet!r}...")
+        self.pos = pos
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<const>[01])(?![A-Za-z0-9_])
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_.\[\]]*)
+  | (?P<op>\||\+|\^|&|\*|~|!|\(|\)|')
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"or": "|", "and": "&", "not": "~", "xor": "^"}
+
+
+def _tokenize(text: str) -> list[tuple[str, str, int]]:
+    tokens: list[tuple[str, str, int]] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise ParseError(f"unexpected character {text[pos]!r}", text, pos)
+        if m.lastgroup == "ws":
+            pos = m.end()
+            continue
+        value = m.group()
+        kind = m.lastgroup or ""
+        if kind == "ident" and value.lower() in _KEYWORDS:
+            kind, value = "op", _KEYWORDS[value.lower()]
+        tokens.append((kind, value, pos))
+        pos = m.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    def peek(self) -> tuple[str, str, int] | None:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def take(self) -> tuple[str, str, int]:
+        tok = self.peek()
+        if tok is None:
+            raise ParseError("unexpected end of input", self.text, len(self.text))
+        self.index += 1
+        return tok
+
+    def expect_op(self, op: str) -> None:
+        tok = self.take()
+        if tok[0] != "op" or tok[1] != op:
+            raise ParseError(f"expected {op!r}, found {tok[1]!r}", self.text, tok[2])
+
+    def at_op(self, *ops: str) -> bool:
+        tok = self.peek()
+        return tok is not None and tok[0] == "op" and tok[1] in ops
+
+    # -- grammar -------------------------------------------------------------
+    def parse_expr(self) -> Expr:
+        parts = [self.parse_xor()]
+        while self.at_op("|", "+"):
+            self.take()
+            parts.append(self.parse_xor())
+        return Or(*parts) if len(parts) > 1 else parts[0]
+
+    def parse_xor(self) -> Expr:
+        parts = [self.parse_term()]
+        while self.at_op("^"):
+            self.take()
+            parts.append(self.parse_term())
+        return Xor(*parts) if len(parts) > 1 else parts[0]
+
+    def parse_term(self) -> Expr:
+        parts = [self.parse_factor()]
+        while True:
+            if self.at_op("&", "*"):
+                self.take()
+                parts.append(self.parse_factor())
+                continue
+            # Implicit conjunction by juxtaposition: "a b" or "a ~b" or "a (..)".
+            tok = self.peek()
+            if tok is not None and (tok[0] in ("ident", "const") or (tok[0] == "op" and tok[1] in ("~", "!", "("))):
+                parts.append(self.parse_factor())
+                continue
+            break
+        return And(*parts) if len(parts) > 1 else parts[0]
+
+    def parse_factor(self) -> Expr:
+        if self.at_op("~", "!"):
+            self.take()
+            return Not(self.parse_factor())
+        return self.parse_atom()
+
+    def parse_atom(self) -> Expr:
+        tok = self.take()
+        kind, value, pos = tok
+        if kind == "const":
+            result: Expr = TRUE if value == "1" else FALSE
+        elif kind == "ident":
+            result = Var(value)
+        elif kind == "op" and value == "(":
+            result = self.parse_expr()
+            self.expect_op(")")
+        else:
+            raise ParseError(f"unexpected token {value!r}", self.text, pos)
+        while self.at_op("'"):
+            self.take()
+            result = Not(result)
+        return result
+
+
+def parse(text: str) -> Expr:
+    """Parse ``text`` into an :class:`~repro.expr.ast.Expr`.
+
+    >>> parse("(a & b) | ~c")
+    (a & b) | ~c
+    >>> parse("a b' + c")        # PLA-ish syntax also accepted
+    (a & ~b) | c
+    """
+    parser = _Parser(text)
+    if parser.peek() is None:
+        raise ParseError("empty expression", text, 0)
+    expr = parser.parse_expr()
+    tok = parser.peek()
+    if tok is not None:
+        raise ParseError(f"trailing input {tok[1]!r}", text, tok[2])
+    return expr

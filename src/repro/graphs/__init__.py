@@ -1,0 +1,34 @@
+"""Graph substrate: undirected graphs, 2-coloring, vertex cover, OCT."""
+
+from .bipartite import find_odd_cycle, is_bipartite, two_color
+from .flow import Dinic, min_vertex_cut
+from .oct import OctResult, greedy_oct, odd_cycle_transversal, verify_oct
+from .oct_compression import OctBudgetExceeded, oct_iterative_compression
+from .product import cartesian_product_k2
+from .undirected import UGraph
+from .vertex_cover import (
+    VertexCoverResult,
+    greedy_vertex_cover,
+    minimum_vertex_cover,
+    nt_kernelize,
+)
+
+__all__ = [
+    "Dinic",
+    "min_vertex_cut",
+    "oct_iterative_compression",
+    "OctBudgetExceeded",
+    "UGraph",
+    "two_color",
+    "is_bipartite",
+    "find_odd_cycle",
+    "cartesian_product_k2",
+    "greedy_vertex_cover",
+    "nt_kernelize",
+    "minimum_vertex_cover",
+    "VertexCoverResult",
+    "odd_cycle_transversal",
+    "greedy_oct",
+    "verify_oct",
+    "OctResult",
+]

@@ -1,0 +1,170 @@
+"""Maximum flow (Dinic) and minimum vertex cuts.
+
+Substrate for the iterative-compression OCT algorithm in
+:mod:`repro.graphs.oct_compression`: vertex-disjoint separation reduces
+to max flow on the vertex-split digraph (each vertex becomes an
+``in -> out`` arc of capacity one).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Hashable, Iterable
+
+from .undirected import UGraph
+
+__all__ = ["Dinic", "min_vertex_cut"]
+
+Node = Hashable
+
+
+class Dinic:
+    """Dinic's max-flow on an integer-capacity digraph."""
+
+    def __init__(self):
+        self._index: dict = {}
+        self._adj: list[list[int]] = []
+        # Edge arrays: to[e], cap[e]; reverse edge is e ^ 1.
+        self._to: list[int] = []
+        self._cap: list[int] = []
+
+    def node(self, v) -> int:
+        """Intern a node, returning its dense index."""
+        idx = self._index.get(v)
+        if idx is None:
+            idx = len(self._adj)
+            self._index[v] = idx
+            self._adj.append([])
+        return idx
+
+    def add_edge(self, u, v, capacity: int) -> int:
+        """Add a directed edge; returns its edge id."""
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        ui, vi = self.node(u), self.node(v)
+        eid = len(self._to)
+        self._to.extend((vi, ui))
+        self._cap.extend((capacity, 0))
+        self._adj[ui].append(eid)
+        self._adj[vi].append(eid + 1)
+        return eid
+
+    def max_flow(self, source, sink) -> int:
+        """Maximum source->sink flow (BFS levels + blocking DFS)."""
+        s, t = self.node(source), self.node(sink)
+        flow = 0
+        n = len(self._adj)
+        while True:
+            level = [-1] * n
+            level[s] = 0
+            queue = deque([s])
+            while queue:
+                u = queue.popleft()
+                for eid in self._adj[u]:
+                    v = self._to[eid]
+                    if self._cap[eid] > 0 and level[v] < 0:
+                        level[v] = level[u] + 1
+                        queue.append(v)
+            if level[t] < 0:
+                return flow
+            iters = [0] * n
+
+            def dfs(u: int, limit: int) -> int:
+                if u == t:
+                    return limit
+                while iters[u] < len(self._adj[u]):
+                    eid = self._adj[u][iters[u]]
+                    v = self._to[eid]
+                    if self._cap[eid] > 0 and level[v] == level[u] + 1:
+                        pushed = dfs(v, min(limit, self._cap[eid]))
+                        if pushed:
+                            self._cap[eid] -= pushed
+                            self._cap[eid ^ 1] += pushed
+                            return pushed
+                    iters[u] += 1
+                return 0
+
+            while True:
+                pushed = dfs(s, 1 << 60)
+                if not pushed:
+                    break
+                flow += pushed
+
+    def min_cut_reachable(self, source) -> set[int]:
+        """Node indices reachable from ``source`` in the residual graph."""
+        s = self.node(source)
+        seen = {s}
+        queue = deque([s])
+        while queue:
+            u = queue.popleft()
+            for eid in self._adj[u]:
+                v = self._to[eid]
+                if self._cap[eid] > 0 and v not in seen:
+                    seen.add(v)
+                    queue.append(v)
+        return seen
+
+    def index_of(self, v) -> int:
+        """Dense index of an interned node (KeyError if unknown)."""
+        return self._index[v]
+
+
+def min_vertex_cut(
+    graph: UGraph,
+    sources: Iterable[Node],
+    sinks: Iterable[Node],
+    removable: Iterable[Node],
+    limit: int | None = None,
+) -> set[Node] | None:
+    """Smallest ``S ⊆ removable`` separating ``sources`` from ``sinks``.
+
+    Returns None when no cut of size ``<= limit`` exists.  Vertex
+    capacities are realised by node splitting; terminals listed in
+    ``removable`` keep unit capacity, so the cut may delete a terminal
+    itself (a vertex that is both source and sink *must* then be cut).
+    Separation is impossible (None) when a non-removable vertex is both
+    a source and a sink, or two non-removable terminals of opposite
+    sides are adjacent.
+    """
+    sources = set(sources)
+    sinks = set(sinks)
+    removable = set(removable)
+    if (sources & sinks) - removable:
+        return None
+
+    dinic = Dinic()
+    INF = 1 << 40
+
+    def v_in(v):
+        return ("in", v)
+
+    def v_out(v):
+        return ("out", v)
+
+    for v in graph.nodes():
+        cap = 1 if v in removable else INF
+        dinic.add_edge(v_in(v), v_out(v), cap)
+    for u, v in graph.edges():
+        dinic.add_edge(v_out(u), v_in(v), INF)
+        dinic.add_edge(v_out(v), v_in(u), INF)
+    SRC, SNK = ("S",), ("T",)
+    for v in sources:
+        dinic.add_edge(SRC, v_in(v), INF)
+    for v in sinks:
+        dinic.add_edge(v_out(v), SNK, INF)
+
+    flow = dinic.max_flow(SRC, SNK)
+    if flow >= INF:
+        return None
+    if limit is not None and flow > limit:
+        return None
+
+    reachable = dinic.min_cut_reachable(SRC)
+    cut = set()
+    for v in removable:
+        if (
+            dinic.index_of(v_in(v)) in reachable
+            and dinic.index_of(v_out(v)) not in reachable
+        ):
+            cut.add(v)
+    return cut

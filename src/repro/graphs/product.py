@@ -1,0 +1,27 @@
+"""Graph products.
+
+Lemma 1 of the paper reduces odd cycle transversal on ``G`` to minimum
+vertex cover on the Cartesian product ``P = G □ K2``: two copies of
+``G`` with each node joined to its twin.
+"""
+
+from __future__ import annotations
+
+from .undirected import UGraph
+
+__all__ = ["cartesian_product_k2"]
+
+
+def cartesian_product_k2(graph: UGraph) -> UGraph:
+    """The Cartesian product ``G □ K2``.
+
+    Nodes are ``(v, 0)`` and ``(v, 1)``; each copy preserves all edges
+    of ``G``, and every pair of twins is connected.
+    """
+    product = UGraph()
+    for v in graph.nodes():
+        product.add_edge((v, 0), (v, 1))
+    for u, v in graph.edges():
+        product.add_edge((u, 0), (v, 0))
+        product.add_edge((u, 1), (v, 1))
+    return product

@@ -1,0 +1,141 @@
+"""A small undirected graph with hashable nodes and optional edge data.
+
+The COMPACT pipeline views the (S)BDD as an undirected graph whose nodes
+become nanowires and whose edges become memristors.  This class is the
+in-house substrate for that view: adjacency sets, per-edge data (the
+literal programmed on the memristor), and the handful of operations the
+labeling algorithms need.  ``networkx`` is only used in tests as an
+independent cross-check.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+
+__all__ = ["UGraph"]
+
+Node = Hashable
+
+
+class UGraph:
+    """Simple undirected graph (no self-loops, no parallel edges)."""
+
+    def __init__(self):
+        self._adj: dict[Node, set[Node]] = {}
+        self._edge_data: dict[tuple[Node, Node], object] = {}
+
+    # -- construction ---------------------------------------------------------
+    def add_node(self, v: Node) -> None:
+        """Add an isolated node (no-op if present)."""
+        self._adj.setdefault(v, set())
+
+    def add_edge(self, u: Node, v: Node, data: object = None) -> None:
+        """Add edge ``{u, v}``; re-adding replaces its data."""
+        if u == v:
+            raise ValueError(f"self-loop on {u!r} not allowed")
+        self.add_node(u)
+        self.add_node(v)
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+        self._edge_data[self._key(u, v)] = data
+
+    def remove_node(self, v: Node) -> None:
+        """Remove a node and its incident edges (no-op if absent)."""
+        for u in list(self._adj.get(v, ())):
+            self.remove_edge(u, v)
+        self._adj.pop(v, None)
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        """Remove edge ``{u, v}`` if present."""
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+        self._edge_data.pop(self._key(u, v), None)
+
+    @staticmethod
+    def _key(u: Node, v: Node) -> tuple[Node, Node]:
+        """Canonical (order-independent) key for edge ``{u, v}``."""
+        try:
+            return (u, v) if u <= v else (v, u)  # type: ignore[operator]
+        except TypeError:
+            # Mixed node types: fall back to a stable textual order.
+            return (u, v) if (str(type(u)), repr(u)) <= (str(type(v)), repr(v)) else (v, u)
+
+    # -- queries -----------------------------------------------------------------
+    def __contains__(self, v: Node) -> bool:
+        return v in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def nodes(self) -> Iterator[Node]:
+        """Iterate over all nodes."""
+        return iter(self._adj)
+
+    def edges(self) -> Iterator[tuple[Node, Node]]:
+        """Iterate over edges as canonical (u, v) pairs."""
+        return iter(self._edge_data)
+
+    def edge_data(self, u: Node, v: Node) -> object:
+        """Data stored on edge ``{u, v}`` (KeyError if absent)."""
+        return self._edge_data[self._key(u, v)]
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        """Whether edge ``{u, v}`` exists."""
+        return v in self._adj.get(u, ())
+
+    def neighbors(self, v: Node) -> set[Node]:
+        """The adjacency set of ``v`` (copied)."""
+        return set(self._adj[v])
+
+    def degree(self, v: Node) -> int:
+        """Number of incident edges."""
+        return len(self._adj[v])
+
+    def num_edges(self) -> int:
+        """Total edge count."""
+        return len(self._edge_data)
+
+    # -- algorithms -----------------------------------------------------------------
+    def subgraph(self, keep: Iterable[Node]) -> "UGraph":
+        """Induced subgraph on ``keep`` (edge data preserved)."""
+        keep_set = set(keep)
+        out = UGraph()
+        for v in keep_set:
+            if v in self._adj:
+                out.add_node(v)
+        for (u, v), data in self._edge_data.items():
+            if u in keep_set and v in keep_set:
+                out.add_edge(u, v, data)
+        return out
+
+    def copy(self) -> "UGraph":
+        """Deep copy of structure (edge data shared by reference)."""
+        out = UGraph()
+        for v in self._adj:
+            out.add_node(v)
+        for (u, v), data in self._edge_data.items():
+            out.add_edge(u, v, data)
+        return out
+
+    def connected_components(self) -> list[set[Node]]:
+        """Connected components as node sets."""
+        seen: set[Node] = set()
+        components: list[set[Node]] = []
+        for start in self._adj:
+            if start in seen:
+                continue
+            comp = {start}
+            stack = [start]
+            seen.add(start)
+            while stack:
+                v = stack.pop()
+                for u in self._adj[v]:
+                    if u not in seen:
+                        seen.add(u)
+                        comp.add(u)
+                        stack.append(u)
+            components.append(comp)
+        return components
+
+    def __repr__(self) -> str:
+        return f"UGraph(nodes={len(self._adj)}, edges={self.num_edges()})"

@@ -1,0 +1,20 @@
+"""Circuit file formats: PLA, BLIF and a structural Verilog subset."""
+
+from .blif import BlifError, read_blif, write_blif
+from .dot import design_to_dot, netlist_to_dot
+from .pla import PlaError, read_pla, write_pla
+from .verilog import VerilogError, read_verilog, write_verilog
+
+__all__ = [
+    "netlist_to_dot",
+    "design_to_dot",
+    "read_pla",
+    "write_pla",
+    "PlaError",
+    "read_blif",
+    "write_blif",
+    "BlifError",
+    "read_verilog",
+    "write_verilog",
+    "VerilogError",
+]

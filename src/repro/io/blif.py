@@ -1,0 +1,190 @@
+"""BLIF (Berkeley Logic Interchange Format) reader and writer.
+
+Supports the combinational subset the benchmarks use: ``.model``,
+``.inputs``, ``.outputs``, ``.names`` (single-output covers over
+``{0, 1, -}``), continuation lines (``\\``) and ``.end``.  Latches and
+subcircuits are rejected explicitly.
+"""
+
+from __future__ import annotations
+
+from ..circuits.netlist import Gate, Netlist
+
+__all__ = ["read_blif", "write_blif", "BlifError"]
+
+
+class BlifError(ValueError):
+    """Raised on malformed or unsupported BLIF text."""
+
+
+def read_blif(text: str) -> Netlist:
+    """Parse BLIF ``text`` into a netlist.
+
+    Each ``.names`` block becomes a two-level AND-OR cone (or a constant
+    gate).  Covers with output value ``0`` are complemented.
+    """
+    # Join continuation lines, strip comments.
+    logical_lines: list[str] = []
+    pending = ""
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].rstrip()
+        if not line.strip():
+            continue
+        if line.endswith("\\"):
+            pending += line[:-1] + " "
+            continue
+        logical_lines.append(pending + line)
+        pending = ""
+    if pending:
+        logical_lines.append(pending)
+
+    name = "blif"
+    inputs: list[str] = []
+    outputs: list[str] = []
+    blocks: list[tuple[list[str], list[tuple[str, str]]]] = []
+    current: tuple[list[str], list[tuple[str, str]]] | None = None
+
+    for line in logical_lines:
+        stripped = line.strip()
+        if stripped.startswith("."):
+            parts = stripped.split()
+            key = parts[0]
+            current = None
+            if key == ".model":
+                name = parts[1] if len(parts) > 1 else name
+            elif key == ".inputs":
+                inputs.extend(parts[1:])
+            elif key == ".outputs":
+                outputs.extend(parts[1:])
+            elif key == ".names":
+                current = (parts[1:], [])
+                blocks.append(current)
+            elif key == ".end":
+                break
+            elif key in (".latch", ".subckt", ".gate"):
+                raise BlifError(f"unsupported BLIF construct {key!r} (combinational only)")
+            else:
+                raise BlifError(f"unknown BLIF directive {key!r}")
+            continue
+        if current is None:
+            raise BlifError(f"cover line outside .names block: {stripped!r}")
+        parts = stripped.split()
+        if len(parts) == 1:
+            current[1].append(("", parts[0]))
+        elif len(parts) == 2:
+            current[1].append((parts[0], parts[1]))
+        else:
+            raise BlifError(f"malformed cover line {stripped!r}")
+
+    nl = Netlist(name, inputs=inputs, outputs=outputs)
+    for signals, cover in blocks:
+        if not signals:
+            raise BlifError(".names block without signals")
+        *srcs, out = signals
+        _names_to_gates(nl, srcs, out, cover)
+    nl.check()
+    return nl
+
+
+def _names_to_gates(nl: Netlist, srcs: list[str], out: str, cover: list[tuple[str, str]]) -> None:
+    if not cover:
+        nl.add_gate(out, "CONST0", [])
+        return
+    out_values = {value for _, value in cover}
+    if out_values == {"1"} or out_values == {"0"}:
+        complemented = out_values == {"0"}
+    else:
+        raise BlifError(f".names {out}: mixed cover polarities unsupported")
+    if not srcs:
+        # Constant: the presence of a "1" (or "0") line sets the value.
+        nl.add_gate(out, "CONST0" if complemented else "CONST1", [])
+        return
+
+    inv: dict[str, str] = {}
+
+    def inverted(var: str) -> str:
+        if var not in inv:
+            inv[var] = nl.add_gate(nl.fresh_net(f"inv_{out}_"), "INV", [var])
+        return inv[var]
+
+    terms: list[str] = []
+    for mask, _value in cover:
+        if len(mask) != len(srcs):
+            raise BlifError(f".names {out}: cube arity mismatch {mask!r}")
+        lits = []
+        for ch, var in zip(mask, srcs):
+            if ch == "1":
+                lits.append(var)
+            elif ch == "0":
+                lits.append(inverted(var))
+            elif ch != "-":
+                raise BlifError(f".names {out}: bad cube character {ch!r}")
+        if not lits:
+            terms = ["__TAUTOLOGY__"]
+            break
+        if len(lits) == 1:
+            terms.append(lits[0])
+        else:
+            terms.append(nl.add_gate(nl.fresh_net(f"and_{out}_"), "AND", lits))
+
+    if terms == ["__TAUTOLOGY__"]:
+        nl.add_gate(out, "CONST0" if complemented else "CONST1", [])
+        return
+    if len(terms) == 1:
+        nl.add_gate(out, "INV" if complemented else "BUF", terms)
+        return
+    if complemented:
+        nl.add_gate(out, "NOR", terms)
+    else:
+        nl.add_gate(out, "OR", terms)
+
+
+def write_blif(netlist: Netlist) -> str:
+    """Serialise a netlist to BLIF, one ``.names`` block per gate."""
+    lines = [f".model {netlist.name}"]
+    lines.append(".inputs " + " ".join(netlist.inputs))
+    lines.append(".outputs " + " ".join(netlist.outputs))
+    for gate in netlist.topological_gates():
+        lines.append(".names " + " ".join((*gate.inputs, gate.output)))
+        lines.extend(_gate_cover(gate))
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def _gate_cover(gate: Gate) -> list[str]:
+    k = len(gate.inputs)
+    t = gate.gate_type
+    if t == "AND":
+        return ["1" * k + " 1"]
+    if t == "NAND":
+        return [("-" * i + "0" + "-" * (k - i - 1) + " 1") for i in range(k)]
+    if t == "OR":
+        return [("-" * i + "1" + "-" * (k - i - 1) + " 1") for i in range(k)]
+    if t == "NOR":
+        return ["0" * k + " 1"]
+    if t in ("XOR", "XNOR"):
+        want_odd = t == "XOR"
+        rows = []
+        for idx in range(1 << k):
+            ones = bin(idx).count("1")
+            if (ones % 2 == 1) == want_odd:
+                rows.append("".join("1" if (idx >> b) & 1 else "0" for b in range(k)) + " 1")
+        return rows
+    if t == "INV":
+        return ["0 1"]
+    if t == "BUF":
+        return ["1 1"]
+    if t == "MUX":  # inputs: sel, then, else
+        return ["11- 1", "0-1 1"]
+    if t == "MAJ":
+        rows = []
+        need = k // 2 + 1
+        for idx in range(1 << k):
+            if bin(idx).count("1") >= need:
+                rows.append("".join("1" if (idx >> b) & 1 else "0" for b in range(k)) + " 1")
+        return rows
+    if t == "CONST0":
+        return []
+    if t == "CONST1":
+        return ["1"]
+    raise BlifError(f"cannot serialise gate type {t}")  # pragma: no cover

@@ -1,0 +1,53 @@
+"""Graphviz export for netlists and crossbar designs."""
+
+from __future__ import annotations
+
+from ..circuits.netlist import Netlist
+from ..crossbar.design import CrossbarDesign
+
+__all__ = ["netlist_to_dot", "design_to_dot"]
+
+
+def netlist_to_dot(netlist: Netlist) -> str:
+    """Render a gate-level netlist in Graphviz dot syntax."""
+    lines = [f'digraph "{netlist.name}" {{', "  rankdir=LR;"]
+    for name in netlist.inputs:
+        lines.append(f'  "{name}" [shape=triangle, label="{name}"];')
+    for gate in netlist.topological_gates():
+        shape = "box"
+        lines.append(
+            f'  "{gate.output}" [shape={shape}, '
+            f'label="{gate.gate_type}\\n{gate.output}"];'
+        )
+        for src in gate.inputs:
+            lines.append(f'  "{src}" -> "{gate.output}";')
+    for out in netlist.outputs:
+        sink = f"__out_{out}"
+        lines.append(f'  "{sink}" [shape=doublecircle, label="{out}"];')
+        lines.append(f'  "{out}" -> "{sink}";')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def design_to_dot(design: CrossbarDesign) -> str:
+    """Render a crossbar design as its row/column bipartite graph.
+
+    Wordlines are boxes on the left rank, bitlines circles on the
+    right; each programmed cell is an edge labelled with its literal.
+    """
+    lines = [f'digraph "{design.name}" {{', "  rankdir=LR;"]
+    for r in range(design.num_rows):
+        marks = []
+        if r == design.input_row:
+            marks.append("Vin")
+        for out, row in design.output_rows.items():
+            if row == r:
+                marks.append(out)
+        suffix = f"\\n({', '.join(marks)})" if marks else ""
+        lines.append(f'  "r{r}" [shape=box, label="WL{r}{suffix}"];')
+    for c in range(design.num_cols):
+        lines.append(f'  "c{c}" [shape=circle, label="BL{c}"];')
+    for r, c, lit in design.cells():
+        lines.append(f'  "r{r}" -> "c{c}" [dir=none, label="{lit}"];')
+    lines.append("}")
+    return "\n".join(lines)

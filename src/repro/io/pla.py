@@ -1,0 +1,136 @@
+"""PLA (Berkeley espresso format) reader and writer.
+
+The paper's flow accepts Boolean functions "specified using a Verilog,
+BLIF or PLA file" (Section II-C).  This reader supports the common
+subset: ``.i``, ``.o``, ``.ilb``, ``.ob``, ``.p``, ``.type fr``/``f``,
+cube lines over ``{0, 1, -}`` inputs and ``{0, 1, ~, -}`` outputs, and
+``.e``/``.end``.  The function is materialised as a two-level AND-OR
+:class:`~repro.circuits.netlist.Netlist`.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..circuits.netlist import Netlist
+
+__all__ = ["read_pla", "write_pla", "PlaError"]
+
+
+class PlaError(ValueError):
+    """Raised on malformed PLA text."""
+
+
+def read_pla(text: str, name: str = "pla") -> Netlist:
+    """Parse PLA ``text`` into a two-level netlist."""
+    n_in = n_out = None
+    in_names: list[str] | None = None
+    out_names: list[str] | None = None
+    cubes: list[tuple[str, str]] = []
+
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("."):
+            parts = line.split()
+            key = parts[0]
+            if key == ".i":
+                n_in = int(parts[1])
+            elif key == ".o":
+                n_out = int(parts[1])
+            elif key == ".ilb":
+                in_names = parts[1:]
+            elif key == ".ob":
+                out_names = parts[1:]
+            elif key in (".p", ".type", ".phase", ".pair"):
+                continue  # informational / unsupported-but-harmless
+            elif key in (".e", ".end"):
+                break
+            else:
+                raise PlaError(f"unsupported PLA directive {key!r}")
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise PlaError(f"malformed cube line {line!r}")
+        cubes.append((parts[0], parts[1]))
+
+    if n_in is None or n_out is None:
+        raise PlaError("PLA file missing .i or .o")
+    if in_names is None:
+        in_names = [f"x{i}" for i in range(n_in)]
+    if out_names is None:
+        out_names = [f"f{j}" for j in range(n_out)]
+    if len(in_names) != n_in or len(out_names) != n_out:
+        raise PlaError(".ilb/.ob arity does not match .i/.o")
+
+    nl = Netlist(name, inputs=list(in_names), outputs=list(out_names))
+    inv = {}
+
+    def inverted(var: str) -> str:
+        if var not in inv:
+            inv[var] = nl.add_gate(nl.fresh_net(f"n_{var}_"), "INV", [var])
+        return inv[var]
+
+    terms: dict[str, list[str]] = {out: [] for out in out_names}
+    for idx, (in_part, out_part) in enumerate(cubes):
+        if len(in_part) != n_in or len(out_part) != n_out:
+            raise PlaError(f"cube {idx} has wrong arity: {in_part} {out_part}")
+        lits = []
+        for bit, ch in enumerate(in_part):
+            if ch == "1":
+                lits.append(in_names[bit])
+            elif ch == "0":
+                lits.append(inverted(in_names[bit]))
+            elif ch != "-":
+                raise PlaError(f"bad input character {ch!r} in cube {idx}")
+        if lits:
+            if len(lits) == 1:
+                cube_net = nl.add_gate(nl.fresh_net("cube"), "BUF", lits)
+            else:
+                cube_net = nl.add_gate(nl.fresh_net("cube"), "AND", lits)
+        else:
+            cube_net = nl.add_gate(nl.fresh_net("cube"), "CONST1", [])
+        for j, ch in enumerate(out_part):
+            if ch in ("1", "4"):
+                terms[out_names[j]].append(cube_net)
+            elif ch not in ("0", "-", "~", "2"):
+                raise PlaError(f"bad output character {ch!r} in cube {idx}")
+
+    for out in out_names:
+        if terms[out]:
+            nl.add_gate(out, "OR", terms[out])
+        else:
+            nl.add_gate(out, "CONST0", [])
+    nl.check()
+    return nl
+
+
+def write_pla(netlist: Netlist, exhaustive_limit: int = 16) -> str:
+    """Serialise a netlist to PLA by truth-table enumeration.
+
+    Exponential in the input count; refuses beyond ``exhaustive_limit``
+    inputs.  Intended for golden files and round-trip tests.
+    """
+    n = len(netlist.inputs)
+    if n > exhaustive_limit:
+        raise PlaError(
+            f"write_pla enumerates 2^{n} rows; raise exhaustive_limit to force"
+        )
+    lines = [
+        f".i {n}",
+        f".o {len(netlist.outputs)}",
+        ".ilb " + " ".join(netlist.inputs),
+        ".ob " + " ".join(netlist.outputs),
+    ]
+    rows = []
+    for bits in itertools.product("01", repeat=n):
+        env = {name: bit == "1" for name, bit in zip(netlist.inputs, bits)}
+        out = netlist.evaluate(env)
+        out_bits = "".join("1" if out[o] else "0" for o in netlist.outputs)
+        if "1" in out_bits:
+            rows.append("".join(bits) + " " + out_bits)
+    lines.append(f".p {len(rows)}")
+    lines.extend(rows)
+    lines.append(".e")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,148 @@
+"""Structural Verilog (gate-primitive subset) reader and writer.
+
+Supports the netlist style ISCAS85 distributions use::
+
+    module c17 (N1, N2, N3, N6, N7, N22, N23);
+      input N1, N2, N3, N6, N7;
+      output N22, N23;
+      wire N10, N11, N16, N19;
+      nand g0 (N10, N1, N3);
+      ...
+    endmodule
+
+Recognised primitives: ``and, or, nand, nor, xor, xnor, not, buf``
+(first port is the output).  Everything behavioural is out of scope.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..circuits.netlist import Netlist
+
+__all__ = ["read_verilog", "write_verilog", "VerilogError"]
+
+
+class VerilogError(ValueError):
+    """Raised on malformed or unsupported Verilog text."""
+
+
+_PRIMITIVES = {
+    "and": "AND",
+    "or": "OR",
+    "nand": "NAND",
+    "nor": "NOR",
+    "xor": "XOR",
+    "xnor": "XNOR",
+    "not": "INV",
+    "buf": "BUF",
+}
+
+_MODULE_RE = re.compile(r"\bmodule\s+(\w+)\s*\(([^)]*)\)\s*;", re.S)
+_DECL_RE = re.compile(r"\b(input|output|wire)\s+([^;]+);", re.S)
+_INST_RE = re.compile(r"\b(and|or|nand|nor|xor|xnor|not|buf)\s+(\w+\s+)?\(([^)]*)\)\s*;", re.S)
+
+
+def read_verilog(text: str) -> Netlist:
+    """Parse one structural module into a netlist."""
+    text = _strip_comments(text)
+    m = _MODULE_RE.search(text)
+    if m is None:
+        raise VerilogError("no module declaration found")
+    name = m.group(1)
+    body_start = m.end()
+    end = text.find("endmodule", body_start)
+    if end < 0:
+        raise VerilogError("missing endmodule")
+    body = text[body_start:end]
+
+    inputs: list[str] = []
+    outputs: list[str] = []
+    for kind, names in _DECL_RE.findall(body):
+        signals = [s.strip() for s in names.replace("\n", " ").split(",") if s.strip()]
+        for s in signals:
+            if not re.fullmatch(r"[A-Za-z_]\w*(\[\d+\])?", s):
+                raise VerilogError(f"unsupported signal declaration {s!r}")
+        if kind == "input":
+            inputs.extend(signals)
+        elif kind == "output":
+            outputs.extend(signals)
+
+    nl = Netlist(name, inputs=inputs, outputs=outputs)
+    for prim, _inst, ports in _INST_RE.findall(body):
+        signals = [s.strip() for s in ports.replace("\n", " ").split(",") if s.strip()]
+        if len(signals) < 2:
+            raise VerilogError(f"primitive {prim} needs an output and inputs")
+        out, ins = signals[0], signals[1:]
+        nl.add_gate(out, _PRIMITIVES[prim], ins)
+    nl.check()
+    return nl
+
+
+def _strip_comments(text: str) -> str:
+    text = re.sub(r"/\*.*?\*/", " ", text, flags=re.S)
+    text = re.sub(r"//[^\n]*", " ", text)
+    return text
+
+
+def write_verilog(netlist: Netlist) -> str:
+    """Serialise a netlist to structural Verilog.
+
+    MUX/MAJ/CONST gates have no primitive; they are expanded through
+    :func:`repro.baselines.magic.decompose2`-style rewrites inline.
+    """
+    expanded = _expand_nonprimitives(netlist)
+    ports = expanded.inputs + expanded.outputs
+    lines = [f"module {expanded.name} ({', '.join(ports)});"]
+    if expanded.inputs:
+        lines.append("  input " + ", ".join(expanded.inputs) + ";")
+    if expanded.outputs:
+        lines.append("  output " + ", ".join(expanded.outputs) + ";")
+    wires = [g.output for g in expanded.gates if g.output not in expanded.outputs]
+    if wires:
+        lines.append("  wire " + ", ".join(wires) + ";")
+    rev = {v: k for k, v in _PRIMITIVES.items()}
+    for i, gate in enumerate(expanded.topological_gates()):
+        prim = rev[gate.gate_type]
+        lines.append(f"  {prim} g{i} ({gate.output}, {', '.join(gate.inputs)});")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def _expand_nonprimitives(netlist: Netlist) -> Netlist:
+    out = Netlist(netlist.name, inputs=list(netlist.inputs), outputs=list(netlist.outputs))
+    for gate in netlist.topological_gates():
+        t, ins = gate.gate_type, list(gate.inputs)
+        if t in _PRIMITIVES.values():
+            out.add_gate(gate.output, t, ins)
+        elif t == "MUX":
+            sel, a, b = ins
+            ns = out.add_gate(out.fresh_net("_vn"), "INV", [sel])
+            ta = out.add_gate(out.fresh_net("_vn"), "AND", [sel, a])
+            tb = out.add_gate(out.fresh_net("_vn"), "AND", [ns, b])
+            out.add_gate(gate.output, "OR", [ta, tb])
+        elif t == "MAJ":
+            import itertools as _it
+
+            need = len(ins) // 2 + 1
+            terms = []
+            for combo in _it.combinations(ins, need):
+                terms.append(out.add_gate(out.fresh_net("_vn"), "AND", list(combo)))
+            out.add_gate(gate.output, "OR", terms)
+        elif t == "CONST0":
+            # 0 = x & ~x over an arbitrary input (or a tied-off wire).
+            probe = netlist.inputs[0] if netlist.inputs else None
+            if probe is None:
+                raise VerilogError("cannot express constants without inputs")
+            np_ = out.add_gate(out.fresh_net("_vn"), "INV", [probe])
+            out.add_gate(gate.output, "AND", [probe, np_])
+        elif t == "CONST1":
+            probe = netlist.inputs[0] if netlist.inputs else None
+            if probe is None:
+                raise VerilogError("cannot express constants without inputs")
+            np_ = out.add_gate(out.fresh_net("_vn"), "INV", [probe])
+            out.add_gate(gate.output, "OR", [probe, np_])
+        else:  # pragma: no cover
+            raise VerilogError(f"cannot serialise gate type {t}")
+    out.check()
+    return out

@@ -1,0 +1,17 @@
+"""MILP substrate: modeling layer, branch-and-bound and HiGHS backends."""
+
+from .branch_and_bound import solve_bnb
+from .highs_backend import solve_highs
+from .model import Constraint, LinExpr, Model, Solution, SolveStatus, Variable, sum_expr
+
+__all__ = [
+    "Model",
+    "Variable",
+    "LinExpr",
+    "Constraint",
+    "Solution",
+    "SolveStatus",
+    "sum_expr",
+    "solve_bnb",
+    "solve_highs",
+]

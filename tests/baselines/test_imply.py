@@ -1,0 +1,90 @@
+"""Tests for the IMPLY-logic baseline (compiler + machine simulator)."""
+
+import pytest
+
+from repro.baselines import ImplyOp, ImplyProgram, imply_map, magic_map
+from repro.circuits import (
+    alu_slice,
+    c17,
+    decoder,
+    majority_voter,
+    mux_tree,
+    priority_encoder,
+    random_netlist,
+)
+from tests.conftest import all_envs
+
+
+class TestImplyOp:
+    def test_bad_kind(self):
+        with pytest.raises(ValueError):
+            ImplyOp("nor", "q")
+
+    def test_imply_requires_source(self):
+        with pytest.raises(ValueError):
+            ImplyOp("imply", "q")
+
+    def test_str(self):
+        assert str(ImplyOp("false", "w")) == "FALSE w"
+        assert str(ImplyOp("imply", "w", source="a")) == "IMPLY a w"
+
+
+class TestCompilation:
+    @pytest.mark.parametrize(
+        "factory",
+        [c17, lambda: decoder(3), lambda: priority_encoder(5),
+         lambda: mux_tree(2), lambda: majority_voter(3), lambda: alu_slice(2),
+         lambda: random_netlist(6, 25, 4, seed=12)],
+    )
+    def test_program_computes_netlist(self, factory):
+        nl = factory()
+        prog = imply_map(nl)
+        for env in all_envs(nl.inputs):
+            assert prog.execute(env) == nl.evaluate(env), env
+
+    def test_nand_is_three_ops(self):
+        from repro.circuits import Netlist
+
+        nl = Netlist("t", inputs=["a", "b"], outputs=["z"])
+        nl.add_gate("z", "NAND", ["a", "b"])
+        prog = imply_map(nl)
+        assert prog.total_ops == 3
+        assert prog.delay_steps == 3 + 2  # plus input loads
+
+    def test_not_is_two_ops(self):
+        from repro.circuits import Netlist
+
+        nl = Netlist("t", inputs=["a"], outputs=["z"])
+        nl.add_gate("z", "INV", ["a"])
+        prog = imply_map(nl)
+        assert prog.total_ops == 2
+
+    def test_inputs_never_overwritten(self, c17_netlist):
+        prog = imply_map(c17_netlist)
+        for op in prog.ops:
+            assert op.target not in prog.inputs, op
+
+    def test_work_cells_counted(self, c17_netlist):
+        prog = imply_map(c17_netlist)
+        assert prog.work_cells >= len({op.target for op in prog.ops})
+
+
+class TestParadigmOrdering:
+    """The intro's narrative: IMPLY is the most serial of the three."""
+
+    @pytest.mark.parametrize(
+        "factory", [lambda: priority_encoder(6), lambda: decoder(4)]
+    )
+    def test_imply_slower_than_magic(self, factory):
+        nl = factory()
+        imply = imply_map(nl)
+        magic = magic_map(nl, k=4)
+        assert imply.delay_steps >= magic.delay_steps
+
+    def test_imply_slower_than_compact(self):
+        from repro import Compact
+
+        nl = priority_encoder(6)
+        imply = imply_map(nl)
+        ours = Compact(gamma=0.5).synthesize_netlist(nl)
+        assert ours.design.num_rows < imply.delay_steps

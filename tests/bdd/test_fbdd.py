@@ -1,0 +1,92 @@
+"""Tests for the free-BDD (FBDD) substrate."""
+
+import pytest
+
+from repro.bdd import build_sbdd, sbdd_from_exprs
+from repro.bdd.fbdd import build_fbdd, fbdd_to_bdd_graph
+from repro.circuits import c17, mux_tree, priority_encoder, random_netlist
+from repro.core import Compact
+from repro.crossbar import validate_design
+from repro.expr import parse
+from tests.conftest import all_envs
+
+
+class TestConstruction:
+    @pytest.mark.parametrize(
+        "factory",
+        [c17, lambda: priority_encoder(5), lambda: mux_tree(2),
+         lambda: random_netlist(6, 25, 3, seed=31)],
+    )
+    def test_evaluates_like_netlist(self, factory):
+        nl = factory()
+        fbdd = build_fbdd(build_sbdd(nl))
+        fbdd.check_free()
+        for env in all_envs(nl.inputs):
+            assert fbdd.evaluate(env) == nl.evaluate(env), env
+
+    def test_never_larger_than_robdd_for_greedy_choices(self):
+        """Greedy FBDD matches or beats the ROBDD on these circuits."""
+        for factory in (c17, lambda: mux_tree(3), lambda: priority_encoder(6)):
+            nl = factory()
+            sbdd = build_sbdd(nl)
+            fbdd = build_fbdd(sbdd)
+            assert fbdd.node_count() <= sbdd.node_count() + 2
+
+    def test_beats_fixed_order_on_order_sensitive_function(self):
+        """The indirect-addressing trick: f reads a data bit selected by
+        address bits; a free order can test the address first on every
+        path, while one global order over interleaved copies pays more."""
+        # f = (s ? (a & b) : (c ^ d)) with a bad fixed order forced.
+        e = parse("(s & (a & b)) | (~s & (c ^ d))")
+        sbdd = sbdd_from_exprs({"f": e}, order=["a", "c", "b", "d", "s"])
+        fbdd = build_fbdd(sbdd)
+        assert fbdd.node_count() <= sbdd.node_count()
+        for env in all_envs(["a", "b", "c", "d", "s"]):
+            assert fbdd.evaluate(env)["f"] == e.evaluate(env)
+
+    def test_constant_outputs(self):
+        sbdd = sbdd_from_exprs({"t": parse("1"), "z": parse("0"), "f": parse("a")})
+        fbdd = build_fbdd(sbdd)
+        assert fbdd.evaluate({"a": False}) == {"t": True, "z": False, "f": False}
+
+    def test_shared_subfunctions_share_nodes(self):
+        sbdd = sbdd_from_exprs({"f": parse("a & b & c"), "g": parse("b & c")})
+        fbdd = build_fbdd(sbdd)
+        # g's function is a subfunction of f: total nodes < separate sum.
+        assert fbdd.internal_count() <= 3
+
+    def test_candidate_limit(self):
+        nl = priority_encoder(6)
+        full = build_fbdd(build_sbdd(nl), candidate_limit=None)
+        limited = build_fbdd(build_sbdd(nl), candidate_limit=2)
+        for env in list(all_envs(nl.inputs))[::7]:
+            assert full.evaluate(env) == limited.evaluate(env)
+
+
+class TestFbddMapping:
+    @pytest.mark.parametrize(
+        "factory", [c17, lambda: mux_tree(2), lambda: random_netlist(5, 20, 3, seed=8)]
+    )
+    def test_compact_on_fbdd_graph_is_valid(self, factory):
+        """The full COMPACT pipeline works on FBDD graphs too."""
+        nl = factory()
+        fbdd = build_fbdd(build_sbdd(nl))
+        bdd_graph = fbdd_to_bdd_graph(fbdd)
+        design, labeling, _times = Compact(gamma=0.5).synthesize_bdd_graph(
+            bdd_graph, name=f"{nl.name}:fbdd"
+        )
+        assert labeling.is_valid(bdd_graph)
+        assert validate_design(design, nl.evaluate, nl.inputs).ok
+
+    def test_graph_drops_zero_terminal(self, c17_netlist):
+        fbdd = build_fbdd(build_sbdd(c17_netlist))
+        bg = fbdd_to_bdd_graph(fbdd)
+        assert 0 not in bg.graph
+        assert bg.terminal == 1
+        assert bg.num_nodes == fbdd.node_count() - 1
+
+    def test_all_constant_graph(self):
+        sbdd = sbdd_from_exprs({"t": parse("1")})
+        fbdd = build_fbdd(sbdd)
+        bg = fbdd_to_bdd_graph(fbdd)
+        assert bg.num_nodes == 0 and bg.constant_outputs == {"t": True}

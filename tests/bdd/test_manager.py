@@ -1,0 +1,187 @@
+"""Unit tests for the ROBDD manager."""
+
+import pytest
+
+from repro.bdd import BDD, FALSE_ID, TRUE_ID
+from repro.expr import parse
+
+
+@pytest.fixture
+def m():
+    return BDD(["a", "b", "c"])
+
+
+class TestStructure:
+    def test_terminals(self, m):
+        assert m.false == FALSE_ID
+        assert m.true == TRUE_ID
+        assert m.is_terminal(FALSE_ID) and m.is_terminal(TRUE_ID)
+
+    def test_var_nodes_hash_consed(self, m):
+        assert m.var("a") == m.var("a")
+        assert m.var("a") != m.var("b")
+
+    def test_var_on_demand_declaration(self):
+        m = BDD()
+        m.var("x")
+        assert m.var_order == ("x",)
+
+    def test_duplicate_var_rejected(self, m):
+        with pytest.raises(ValueError):
+            m.add_var("a")
+
+    def test_reduction_no_redundant_tests(self, m):
+        # ite(a, b, b) must not create an 'a' node.
+        b = m.var("b")
+        assert m.ite(m.var("a"), b, b) == b
+
+    def test_levels(self, m):
+        assert m.level_of("a") == 0
+        assert m.var_at_level(2) == "c"
+        assert m.var_of(m.var("b")) == "b"
+        with pytest.raises(ValueError):
+            m.var_of(TRUE_ID)
+
+    def test_children(self, m):
+        a = m.var("a")
+        assert m.low(a) == FALSE_ID
+        assert m.high(a) == TRUE_ID
+        na = m.nvar("a")
+        assert m.low(na) == TRUE_ID
+        assert m.high(na) == FALSE_ID
+
+
+class TestOperations:
+    def test_and_terminal_rules(self, m):
+        a = m.var("a")
+        assert m.apply_and(a, TRUE_ID) == a
+        assert m.apply_and(a, FALSE_ID) == FALSE_ID
+        assert m.apply_and(a, a) == a
+
+    def test_or_terminal_rules(self, m):
+        a = m.var("a")
+        assert m.apply_or(a, FALSE_ID) == a
+        assert m.apply_or(a, TRUE_ID) == TRUE_ID
+
+    def test_xor_self_cancels(self, m):
+        f = m.apply_and(m.var("a"), m.var("b"))
+        assert m.apply_xor(f, f) == FALSE_ID
+
+    def test_not_involution(self, m):
+        f = m.apply_or(m.var("a"), m.apply_and(m.var("b"), m.var("c")))
+        assert m.not_(m.not_(f)) == f
+        assert m.not_(TRUE_ID) == FALSE_ID
+
+    def test_ite_canonical(self, m):
+        a, b, c = m.var("a"), m.var("b"), m.var("c")
+        f = m.ite(a, b, c)
+        g = m.apply_or(m.apply_and(a, b), m.apply_and(m.not_(a), c))
+        assert f == g
+
+    def test_named_apply(self, m):
+        a, b = m.var("a"), m.var("b")
+        assert m.apply("nand", a, b) == m.not_(m.apply_and(a, b))
+        assert m.apply("nor", a, b) == m.not_(m.apply_or(a, b))
+        assert m.apply("xnor", a, b) == m.not_(m.apply_xor(a, b))
+        assert m.apply("imp", a, b) == m.apply_or(m.not_(a), b)
+        with pytest.raises(ValueError):
+            m.apply("zap", a, b)
+
+    def test_canonicity_same_function_same_node(self, m):
+        # Build (a&b)|c two structurally different ways.
+        f1 = m.apply_or(m.apply_and(m.var("a"), m.var("b")), m.var("c"))
+        f2 = m.not_(m.apply_and(
+            m.not_(m.apply_and(m.var("a"), m.var("b"))), m.not_(m.var("c"))
+        ))
+        assert f1 == f2
+
+
+class TestQuantifiersAndCofactors:
+    def test_restrict(self, m):
+        f = m.apply_or(m.apply_and(m.var("a"), m.var("b")), m.var("c"))
+        assert m.restrict(f, "a", True) == m.apply_or(m.var("b"), m.var("c"))
+        assert m.restrict(f, "a", False) == m.var("c")
+
+    def test_exists(self, m):
+        f = m.apply_and(m.var("a"), m.var("b"))
+        assert m.exists(["a"], f) == m.var("b")
+        assert m.exists(["a", "b"], f) == TRUE_ID
+        assert m.exists([], f) == f
+
+    def test_forall(self, m):
+        f = m.apply_or(m.var("a"), m.var("b"))
+        assert m.forall(["a"], f) == m.var("b")
+        assert m.forall(["a", "b"], f) == FALSE_ID
+
+    def test_compose(self, m):
+        f = m.apply_or(m.apply_and(m.var("a"), m.var("b")), m.var("c"))
+        g = m.compose(f, "c", m.apply_and(m.var("a"), m.var("b")))
+        assert g == m.apply_and(m.var("a"), m.var("b"))
+
+
+class TestCountingAndInspection:
+    def test_sat_count(self, m):
+        f = m.apply_or(m.apply_and(m.var("a"), m.var("b")), m.var("c"))
+        assert m.sat_count(f) == 5
+        assert m.sat_count(TRUE_ID) == 8
+        assert m.sat_count(FALSE_ID) == 0
+        assert m.sat_count(m.var("c")) == 4
+
+    def test_sat_count_custom_width(self, m):
+        assert m.sat_count(m.var("a"), nvars=5) == 16
+
+    def test_pick_sat(self, m):
+        f = m.apply_and(m.var("a"), m.not_(m.var("c")))
+        env = m.pick_sat(f)
+        assert env["a"] is True and env["c"] is False
+        assert m.pick_sat(FALSE_ID) is None
+
+    def test_one_paths(self, m):
+        f = m.apply_or(m.var("a"), m.var("b"))
+        # Paths to 1: a=1, or a=0,b=1.
+        assert m.one_paths(f) == 2
+        assert m.one_paths(TRUE_ID) == 1
+        assert m.one_paths(FALSE_ID) == 0
+
+    def test_support(self, m):
+        f = m.apply_and(m.var("a"), m.var("c"))
+        assert m.support(f) == frozenset({"a", "c"})
+
+    def test_node_count_shares(self, m):
+        f = m.apply_and(m.var("a"), m.var("b"))
+        g = m.apply_or(f, m.var("c"))
+        both = m.node_count([f, g])
+        # Shared cones are counted once.
+        assert both <= m.node_count([f]) + m.node_count([g])
+        assert both >= m.node_count([g])
+
+    def test_evaluate(self, m):
+        f = m.from_expr(parse("(a & b) | ~c"))
+        assert m.evaluate(f, {"a": 1, "b": 1, "c": 1})
+        assert not m.evaluate(f, {"a": 0, "b": 1, "c": 1})
+
+    def test_edges_polarity(self, m):
+        a = m.var("a")
+        edges = m.edges([a])
+        assert (a, FALSE_ID, "a", False) in edges
+        assert (a, TRUE_ID, "a", True) in edges
+
+    def test_clear_cache_keeps_semantics(self, m):
+        f = m.from_expr(parse("a ^ b ^ c"))
+        m.clear_cache()
+        assert m.evaluate(f, {"a": 1, "b": 0, "c": 0})
+
+
+class TestFromExpr:
+    @pytest.mark.parametrize(
+        "text",
+        ["a & b | c", "a ^ b ^ c", "~(a | b) & c", "(a | b) & (a | c) & (b | c)", "1", "0", "a & ~a"],
+    )
+    def test_matches_expression_semantics(self, text):
+        from tests.conftest import all_envs
+
+        m = BDD(["a", "b", "c"])
+        e = parse(text)
+        f = m.from_expr(e)
+        for env in all_envs(["a", "b", "c"]):
+            assert m.evaluate(f, env) == e.evaluate(env)

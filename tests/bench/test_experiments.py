@@ -1,0 +1,144 @@
+"""Smoke + shape tests for the experiment harness (fast configurations).
+
+The full experiment runs live in benchmarks/; here each harness function
+is exercised on reduced settings and its *shape* claims are asserted.
+"""
+
+import pytest
+
+from repro.bench import (
+    fig9_pareto,
+    fig10_convergence,
+    fig11_gaps,
+    fig12_power_delay,
+    fig13_vs_magic,
+    run_compact,
+    suite,
+    table1_properties,
+    table3_sbdd_vs_robdds,
+    table4_vs_prior,
+)
+from repro.bench.experiments import table2_gamma
+from repro.bench.tables import Table, normalised_average
+
+
+def entry(name):
+    return {b.name: b for b in suite("full")}[name]
+
+
+class TestRunCompact:
+    def test_record_fields(self):
+        run = run_compact(entry("c17"), gamma=0.5, time_limit=20)
+        assert run.circuit == "c17"
+        assert run.semiperimeter == run.rows + run.cols
+        assert run.max_dimension == max(run.rows, run.cols)
+        assert run.optimal
+        assert run.synthesis_time > 0
+
+
+class TestTableFormatting:
+    def test_table_renders(self):
+        t = Table("T", ["a", "b"])
+        t.add_row(1, 2.5)
+        text = t.render()
+        assert "T" in text and "2.5" in text
+
+    def test_wrong_arity_rejected(self):
+        t = Table("T", ["a"])
+        with pytest.raises(ValueError):
+            t.add_row(1, 2)
+
+    def test_normalised_average(self):
+        assert normalised_average([1, 2], [2, 4]) == pytest.approx(0.5)
+
+
+class TestTable1:
+    def test_rows_cover_suite(self):
+        table, rows = table1_properties("fast")
+        assert len(rows) == len(suite("fast"))
+        for r in rows:
+            assert r["edges"] == 2 * (r["nodes"] - 2) or r["nodes"] <= 2
+
+
+class TestTable2:
+    def test_gamma_shape_on_small_subset(self, monkeypatch):
+        import repro.bench.experiments as exp
+
+        small = [entry("c17"), entry("parity16")]
+        monkeypatch.setattr(exp, "suite", lambda tier=None, family=None: small)
+        table, runs = exp.table2_gamma(time_limit=30)
+        assert runs
+        by = {}
+        for r in runs:
+            by.setdefault(r.circuit, {})[r.gamma] = r
+        for circ, gammas in by.items():
+            # gamma=1 minimizes S; gamma=0 minimizes D.
+            assert gammas[1.0].semiperimeter <= gammas[0.0].semiperimeter
+            assert gammas[0.0].max_dimension <= gammas[1.0].max_dimension
+
+
+class TestTable3:
+    def test_sbdd_never_bigger(self, monkeypatch):
+        import repro.bench.experiments as exp
+
+        small = [entry("dec6"), entry("c17")]
+        monkeypatch.setattr(exp, "suite", lambda tier=None, family=None: small)
+        table, rows = exp.table3_sbdd_vs_robdds(time_limit=30)
+        assert rows  # c17 has 2 outputs, dec6 has 64
+        for r in rows:
+            assert r["sbdd_nodes"] <= r["robdd_nodes"]
+            assert r["sbdd_S"] <= r["robdd_S"] + 2  # ties possible at tiny scale
+
+
+class TestTable4AndFig12:
+    def test_compact_beats_prior(self, monkeypatch):
+        import repro.bench.experiments as exp
+
+        small = [entry("c17"), entry("dec6"), entry("parity16")]
+        monkeypatch.setattr(exp, "suite", lambda tier=None, family=None: small)
+        table, rows = exp.table4_vs_prior(time_limit=30)
+        for r in rows:
+            assert r["S"] < r["prior_S"]
+            assert r["area"] < r["prior_area"]
+        fig, summary = fig12_power_delay(rows)
+        assert summary["power_ratio_avg"] <= 1.0
+        assert summary["delay_ratio_avg"] < 1.0
+
+
+class TestFig9:
+    def test_pareto_points_non_dominated(self):
+        table, series = fig9_pareto(circuits=("c17",), n_gammas=3, time_limit=20)
+        points = series["c17"]
+        assert points
+        for p in points:
+            assert not any(
+                q != p and q[0] <= p[0] and q[1] <= p[1] for q in points
+            )
+
+
+class TestFig10:
+    def test_trace_monotone_bound(self):
+        table, trace = fig10_convergence(circuit="c17", time_limit=15)
+        assert len(trace) >= 2
+        bounds = [b for _, _, b, _ in trace]
+        assert bounds == sorted(bounds)
+        incumbents = [i for _, i, _, _ in trace if i is not None]
+        assert all(a >= b for a, b in zip(incumbents, incumbents[1:]))
+
+
+class TestFig11:
+    def test_gaps_reported(self):
+        table, gaps = fig11_gaps(circuits=("voter9",), time_limit=3)
+        assert "voter9" in gaps
+        assert gaps["voter9"] >= 0
+
+
+class TestFig13:
+    def test_magic_comparison_shape(self, monkeypatch):
+        import repro.bench.experiments as exp
+
+        small = [b for b in suite("fast") if b.name in ("i2c_like", "dec6")]
+        monkeypatch.setattr(exp, "suite", lambda tier=None, family=None: small)
+        table, summary = exp.fig13_vs_magic(time_limit=30)
+        assert 0 < summary["power_ratio_avg"]
+        assert 0 < summary["delay_ratio_avg"]

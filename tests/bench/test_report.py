@@ -1,0 +1,24 @@
+"""Tests for the bench summary collation."""
+
+from repro.bench import generate_summary
+
+
+class TestGenerateSummary:
+    def test_empty_dir(self, tmp_path):
+        text = generate_summary(tmp_path)
+        assert "no artifacts" in text
+
+    def test_collates_in_order(self, tmp_path):
+        (tmp_path / "fig9_pareto.txt").write_text("FIG9 DATA")
+        (tmp_path / "table1_properties.txt").write_text("TABLE1 DATA")
+        (tmp_path / "zz_custom.txt").write_text("CUSTOM")
+        text = generate_summary(tmp_path)
+        assert text.index("table1_properties") < text.index("fig9_pareto")
+        assert "CUSTOM" in text
+        assert "TABLE1 DATA" in text
+
+    def test_markdown_structure(self, tmp_path):
+        (tmp_path / "table1_properties.txt").write_text("X")
+        text = generate_summary(tmp_path, title="My run")
+        assert text.startswith("# My run")
+        assert "```" in text

@@ -1,0 +1,48 @@
+"""Tests for the benchmark suite definitions."""
+
+import pytest
+
+from repro.bench import circuit, suite
+from repro.bench.suites import SUITE_TIERS
+
+
+class TestSuite:
+    def test_fast_suite_nonempty(self):
+        entries = suite("fast")
+        assert len(entries) >= 12
+
+    def test_full_extends_fast(self):
+        fast = {e.name for e in suite("fast")}
+        full = {e.name for e in suite("full")}
+        assert fast < full
+
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(ValueError):
+            suite("warp")
+
+    def test_family_filter(self):
+        control = suite("fast", family="epfl-control-like")
+        assert control and all(e.family == "epfl-control-like" for e in control)
+
+    def test_every_entry_builds_and_checks(self):
+        for entry in suite("fast"):
+            nl = entry.build()
+            nl.check()
+            assert nl.name == entry.name
+
+    def test_tiers_constant(self):
+        assert SUITE_TIERS == ("fast", "full")
+
+    def test_circuit_lookup(self):
+        nl = circuit("c17")
+        assert nl.name == "c17"
+        with pytest.raises(KeyError):
+            circuit("nonexistent")
+
+    def test_env_var_selects_tier(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SUITE", "full")
+        assert {e.name for e in suite()} == {e.name for e in suite("full")}
+
+    def test_names_unique(self):
+        names = [e.name for e in suite("full")]
+        assert len(names) == len(set(names))

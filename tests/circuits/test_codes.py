@@ -1,0 +1,128 @@
+"""Semantic tests for the coding-circuit generators."""
+
+import pytest
+
+from repro.circuits import (
+    bcd_to_7seg,
+    binary_to_gray,
+    gray_to_binary,
+    hamming74_decoder,
+    hamming74_encoder,
+)
+
+
+def word(prefix, value, width):
+    return {f"{prefix}{i}": bool((value >> i) & 1) for i in range(width)}
+
+
+def to_int(out, prefix, width):
+    return sum(int(out[f"{prefix}{i}"]) << i for i in range(width))
+
+
+class TestHamming:
+    def test_codewords_have_even_parity_checks(self):
+        enc = hamming74_encoder()
+        for d in range(16):
+            cw = enc.evaluate(word("d", d, 4))
+            # Parity groups must XOR to zero.
+            assert not (cw["c0"] ^ cw["c2"] ^ cw["c4"] ^ cw["c6"])
+            assert not (cw["c1"] ^ cw["c2"] ^ cw["c5"] ^ cw["c6"])
+            assert not (cw["c3"] ^ cw["c4"] ^ cw["c5"] ^ cw["c6"])
+
+    def test_roundtrip_without_errors(self):
+        enc, dec = hamming74_encoder(), hamming74_decoder()
+        for d in range(16):
+            cw = enc.evaluate(word("d", d, 4))
+            out = dec.evaluate({k: v for k, v in cw.items()})
+            assert to_int(out, "q", 4) == d
+            assert to_int(out, "s", 3) == 0  # zero syndrome
+
+    def test_corrects_every_single_bit_error(self):
+        enc, dec = hamming74_encoder(), hamming74_decoder()
+        for d in range(16):
+            cw = enc.evaluate(word("d", d, 4))
+            for flip in range(7):
+                corrupted = dict(cw)
+                corrupted[f"c{flip}"] = not corrupted[f"c{flip}"]
+                out = dec.evaluate(corrupted)
+                assert to_int(out, "q", 4) == d, (d, flip)
+                assert to_int(out, "s", 3) == flip + 1  # syndrome = position
+
+    def test_distinct_codewords(self):
+        enc = hamming74_encoder()
+        seen = set()
+        for d in range(16):
+            cw = enc.evaluate(word("d", d, 4))
+            seen.add(tuple(cw[f"c{i}"] for i in range(7)))
+        assert len(seen) == 16
+
+
+class TestGray:
+    @pytest.mark.parametrize("n", [1, 3, 5])
+    def test_adjacent_values_differ_in_one_bit(self, n):
+        nl = binary_to_gray(n)
+        prev = None
+        for v in range(2**n):
+            g = to_int(nl.evaluate(word("b", v, n)), "g", n)
+            if prev is not None:
+                assert bin(g ^ prev).count("1") == 1
+            prev = g
+
+    @pytest.mark.parametrize("n", [1, 3, 5])
+    def test_converters_are_inverses(self, n):
+        b2g, g2b = binary_to_gray(n), gray_to_binary(n)
+        for v in range(2**n):
+            g = b2g.evaluate(word("b", v, n))
+            env = {f"g{i}": g[f"g{i}"] for i in range(n)}
+            assert to_int(g2b.evaluate(env), "b", n) == v
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            binary_to_gray(0)
+        with pytest.raises(ValueError):
+            gray_to_binary(0)
+
+
+class TestBcd7Seg:
+    def test_known_digits(self):
+        nl = bcd_to_7seg()
+        out0 = nl.evaluate(word("b", 0, 4))
+        # Digit 0 lights everything except the middle segment g.
+        assert all(out0[f"seg_{s}"] for s in "abcdef")
+        assert not out0["seg_g"]
+        out8 = nl.evaluate(word("b", 8, 4))
+        assert all(out8[f"seg_{s}"] for s in "abcdefg")
+        out1 = nl.evaluate(word("b", 1, 4))
+        assert out1["seg_b"] and out1["seg_c"]
+        assert not out1["seg_a"]
+
+    def test_blank_beyond_nine(self):
+        nl = bcd_to_7seg()
+        for v in range(10, 16):
+            out = nl.evaluate(word("b", v, 4))
+            assert not any(out.values()), v
+
+    def test_digits_distinct(self):
+        nl = bcd_to_7seg()
+        patterns = set()
+        for v in range(10):
+            out = nl.evaluate(word("b", v, 4))
+            patterns.add(tuple(out[f"seg_{s}"] for s in "abcdefg"))
+        assert len(patterns) == 10
+
+
+class TestCodesThroughCompact:
+    """The new families synthesize into valid crossbars."""
+
+    @pytest.mark.parametrize(
+        "factory",
+        [hamming74_encoder, hamming74_decoder,
+         lambda: binary_to_gray(4), lambda: gray_to_binary(4), bcd_to_7seg],
+    )
+    def test_valid_designs(self, factory):
+        from repro import Compact
+        from repro.crossbar import validate_design
+
+        nl = factory()
+        res = Compact(gamma=0.5, time_limit=30).synthesize_netlist(nl)
+        assert validate_design(res.design, nl.evaluate, nl.inputs).ok

@@ -1,0 +1,72 @@
+"""Tests for the BDD-based combinational equivalence checker."""
+
+import pytest
+
+from repro.circuits import Netlist, c17, check_equivalence, optimize, random_netlist
+from repro.io import read_blif, write_blif
+
+
+class TestEquivalent:
+    def test_identical_netlists(self, c17_netlist):
+        assert check_equivalence(c17_netlist, c17())
+
+    def test_after_optimization(self):
+        for seed in range(5):
+            nl = random_netlist(6, 30, 4, seed=seed)
+            assert check_equivalence(nl, optimize(nl))
+
+    def test_after_blif_round_trip(self, rca3):
+        assert check_equivalence(rca3, read_blif(write_blif(rca3)))
+
+    def test_structurally_different_same_function(self):
+        a = Netlist("a", inputs=["x", "y"], outputs=["z"])
+        a.add_gate("z", "NAND", ["x", "y"])
+        b = Netlist("b", inputs=["x", "y"], outputs=["z"])
+        b.add_gate("t", "AND", ["x", "y"])
+        b.add_gate("z", "INV", ["t"])
+        result = check_equivalence(a, b)
+        assert result and bool(result)
+
+
+class TestInequivalent:
+    def test_counterexample_returned(self):
+        a = Netlist("a", inputs=["x", "y"], outputs=["z"])
+        a.add_gate("z", "AND", ["x", "y"])
+        b = Netlist("b", inputs=["x", "y"], outputs=["z"])
+        b.add_gate("z", "OR", ["x", "y"])
+        result = check_equivalence(a, b)
+        assert not result
+        assert result.failing_output == "z"
+        env = result.counterexample
+        assert a.evaluate(env)["z"] != b.evaluate(env)["z"]
+
+    def test_counterexample_is_total(self):
+        a = Netlist("a", inputs=["x", "y", "unused"], outputs=["z"])
+        a.add_gate("z", "BUF", ["x"])
+        b = Netlist("b", inputs=["x", "y", "unused"], outputs=["z"])
+        b.add_gate("z", "BUF", ["y"])
+        result = check_equivalence(a, b)
+        assert set(result.counterexample) == {"x", "y", "unused"}
+
+
+class TestInterface:
+    def test_mismatched_inputs_rejected(self):
+        a = Netlist("a", inputs=["x"], outputs=["z"])
+        a.add_gate("z", "BUF", ["x"])
+        b = Netlist("b", inputs=["q"], outputs=["z"])
+        b.add_gate("z", "BUF", ["q"])
+        with pytest.raises(ValueError, match="input sets differ"):
+            check_equivalence(a, b)
+
+    def test_output_map(self):
+        a = Netlist("a", inputs=["x", "y"], outputs=["p"])
+        a.add_gate("p", "AND", ["x", "y"])
+        b = Netlist("b", inputs=["x", "y"], outputs=["q"])
+        b.add_gate("q", "AND", ["x", "y"])
+        assert check_equivalence(a, b, output_map={"p": "q"})
+
+    def test_unknown_output_rejected(self):
+        a = Netlist("a", inputs=["x"], outputs=["z"])
+        a.add_gate("z", "BUF", ["x"])
+        with pytest.raises(ValueError):
+            check_equivalence(a, a, output_map={"nope": "z"})

@@ -1,0 +1,243 @@
+"""Semantic tests for the synthetic benchmark generators.
+
+Every generator must produce a circuit whose behaviour matches the
+mathematical object it claims to be (adders add, decoders decode...).
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.circuits import (
+    alu_slice,
+    array_multiplier,
+    c17,
+    comparator,
+    decoder,
+    i2c_control,
+    int2float,
+    majority_voter,
+    mux_tree,
+    parity_tree,
+    priority_encoder,
+    random_control,
+    random_netlist,
+    ripple_carry_adder,
+    round_robin_arbiter,
+    router_lookup,
+)
+
+
+def word(env_prefix, value, width):
+    return {f"{env_prefix}{i}": bool((value >> i) & 1) for i in range(width)}
+
+
+def to_int(out, prefix, width):
+    return sum(int(out[f"{prefix}{i}"]) << i for i in range(width))
+
+
+class TestC17:
+    def test_structure(self):
+        nl = c17()
+        assert len(nl.inputs) == 5 and len(nl.outputs) == 2
+        assert all(g.gate_type == "NAND" for g in nl.gates)
+
+    def test_known_vector(self):
+        nl = c17()
+        out = nl.evaluate({"G1": 0, "G2": 0, "G3": 0, "G6": 0, "G7": 0})
+        assert out == {"G22": False, "G23": False}
+
+
+class TestAdder:
+    @pytest.mark.parametrize("n", [1, 2, 4])
+    def test_adds_exhaustively(self, n):
+        nl = ripple_carry_adder(n)
+        for a in range(2**n):
+            for b in range(2**n):
+                for cin in (0, 1):
+                    env = word("a", a, n) | word("b", b, n) | {"cin": bool(cin)}
+                    out = nl.evaluate(env)
+                    total = to_int(out, "s", n) + (int(out["cout"]) << n)
+                    assert total == a + b + cin
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            ripple_carry_adder(0)
+
+
+class TestMultiplier:
+    @pytest.mark.parametrize("n", [2, 3])
+    def test_multiplies_exhaustively(self, n):
+        nl = array_multiplier(n)
+        for a in range(2**n):
+            for b in range(2**n):
+                env = word("a", a, n) | word("b", b, n)
+                assert to_int(nl.evaluate(env), "p", 2 * n) == a * b
+
+
+class TestComparator:
+    @pytest.mark.parametrize("n", [1, 3])
+    def test_compares_exhaustively(self, n):
+        nl = comparator(n)
+        for a in range(2**n):
+            for b in range(2**n):
+                out = nl.evaluate(word("a", a, n) | word("b", b, n))
+                assert out == {"lt": a < b, "eq": a == b, "gt": a > b}
+
+
+class TestDecoder:
+    @pytest.mark.parametrize("n", [1, 3, 4])
+    def test_one_hot(self, n):
+        nl = decoder(n)
+        for code in range(2**n):
+            out = nl.evaluate(word("a", code, n))
+            assert sum(out.values()) == 1
+            assert out[f"d{code}"]
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            decoder(0)
+
+
+class TestPriorityEncoder:
+    @pytest.mark.parametrize("n", [2, 5, 8])
+    def test_highest_priority_wins(self, n):
+        nl = priority_encoder(n)
+        width = (n - 1).bit_length()
+        for v in range(2**n):
+            out = nl.evaluate(word("r", v, n))
+            if v == 0:
+                assert not out["valid"]
+            else:
+                assert out["valid"]
+                assert to_int(out, "y", width) == min(
+                    i for i in range(n) if (v >> i) & 1
+                )
+
+
+class TestArbiter:
+    def test_pointer_rotates_priority(self):
+        nl = round_robin_arbiter(4)
+        for ptr in range(4):
+            for req in range(1, 16):
+                env = word("r", req, 4) | word("p", ptr, 2)
+                out = nl.evaluate(env)
+                grants = [i for i in range(4) if out[f"gnt{i}"]]
+                expected = next((ptr + d) % 4 for d in range(4) if (req >> ((ptr + d) % 4)) & 1)
+                assert grants == [expected], (ptr, req)
+                assert out["ack"]
+
+    def test_no_request_no_grant(self):
+        nl = round_robin_arbiter(4)
+        out = nl.evaluate(word("r", 0, 4) | word("p", 0, 2))
+        assert not any(out[f"gnt{i}"] for i in range(4))
+        assert not out["ack"]
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            round_robin_arbiter(6)
+
+
+class TestRouter:
+    def test_longest_prefix_match_is_unique(self):
+        nl = router_lookup(10, 6, seed=3)
+        rng = random.Random(0)
+        for _ in range(200):
+            addr = rng.getrandbits(10)
+            out = nl.evaluate(word("a", addr, 10))
+            matches = [i for i in range(6) if out[f"m{i}"]]
+            # Longest-prefix + index tie-break leaves exactly one winner
+            # whenever any rule matches.
+            assert out["hit"] == (len(matches) == 1)
+
+    def test_deterministic_for_seed(self):
+        a = router_lookup(8, 4, seed=9)
+        b = router_lookup(8, 4, seed=9)
+        env = word("a", 0b10110101, 8)
+        assert a.evaluate(env) == b.evaluate(env)
+
+
+class TestInt2Float:
+    def test_exponent_is_leading_one_position(self):
+        nl = int2float(11)
+        for x in [0, 1, 2, 5, 64, 100, 1024, 2047]:
+            out = nl.evaluate(word("x", x, 11))
+            e = to_int(out, "e", 4)
+            assert e == (x.bit_length() - 1 if x else 0)
+
+    def test_mantissa_bits(self):
+        nl = int2float(11)
+        x = 0b11010000000
+        out = nl.evaluate(word("x", x, 11))
+        assert to_int(out, "f", 3) == 0b101
+
+    def test_width_check(self):
+        with pytest.raises(ValueError):
+            int2float(20, exp_bits=3)
+
+
+class TestMuxTree:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_selects(self, k):
+        nl = mux_tree(k)
+        n = 2**k
+        for sel in range(n):
+            for data in (0, (1 << n) - 1, 0b1010101010 & ((1 << n) - 1)):
+                env = word("d", data, n) | word("s", sel, k)
+                assert nl.evaluate(env)["y"] == bool((data >> sel) & 1)
+
+
+class TestParityAndVoter:
+    @pytest.mark.parametrize("n", [2, 7, 9])
+    def test_parity(self, n):
+        nl = parity_tree(n)
+        for v in range(2**min(n, 9)):
+            out = nl.evaluate(word("x", v, n))
+            assert out["par"] == (bin(v).count("1") % 2 == 1)
+
+    def test_voter(self):
+        nl = majority_voter(5)
+        for v in range(32):
+            out = nl.evaluate(word("v", v, 5))
+            assert out["maj"] == (bin(v).count("1") >= 3)
+
+    def test_voter_rejects_even(self):
+        with pytest.raises(ValueError):
+            majority_voter(4)
+
+
+class TestSeededGenerators:
+    def test_random_control_deterministic(self):
+        a = random_control("x", 6, 4, 8, seed=5)
+        b = random_control("x", 6, 4, 8, seed=5)
+        env = {f"i{k}": bool(k % 2) for k in range(6)}
+        assert a.evaluate(env) == b.evaluate(env)
+
+    def test_random_netlist_checks(self):
+        for seed in range(5):
+            nl = random_netlist(6, 25, 4, seed=seed)
+            nl.check()
+            env = {name: False for name in nl.inputs}
+            nl.evaluate(env)
+
+    def test_i2c_outputs_present(self):
+        nl = i2c_control()
+        assert set(nl.outputs) >= {"start", "stop", "wr", "acko"}
+
+    def test_alu_add_mode(self):
+        nl = alu_slice(3)
+        for a in range(8):
+            for b in range(8):
+                env = word("a", a, 3) | word("b", b, 3) | {"op0": False, "op1": False}
+                out = nl.evaluate(env)
+                assert to_int(out, "y", 3) + (int(out["cout"]) << 3) == a + b
+
+    def test_alu_logic_modes(self):
+        nl = alu_slice(2)
+        for a in range(4):
+            for b in range(4):
+                base = word("a", a, 2) | word("b", b, 2)
+                assert to_int(nl.evaluate(base | {"op0": True, "op1": False}), "y", 2) == (a & b)
+                assert to_int(nl.evaluate(base | {"op0": False, "op1": True}), "y", 2) == (a | b)
+                assert to_int(nl.evaluate(base | {"op0": True, "op1": True}), "y", 2) == (a ^ b)

@@ -1,0 +1,153 @@
+"""Unit tests for the netlist data structure."""
+
+import pytest
+
+from repro.circuits import Gate, Netlist, NetlistError
+
+
+class TestGate:
+    def test_unknown_type_rejected(self):
+        with pytest.raises(NetlistError):
+            Gate("o", "FROB", ("a",))
+
+    def test_inv_arity(self):
+        with pytest.raises(NetlistError):
+            Gate("o", "INV", ("a", "b"))
+
+    def test_mux_arity(self):
+        with pytest.raises(NetlistError):
+            Gate("o", "MUX", ("s", "a"))
+
+    def test_maj_needs_odd_fanin(self):
+        with pytest.raises(NetlistError):
+            Gate("o", "MAJ", ("a", "b", "c", "d"))
+
+    def test_const_takes_no_inputs(self):
+        with pytest.raises(NetlistError):
+            Gate("o", "CONST1", ("a",))
+
+    @pytest.mark.parametrize(
+        "gate_type,inputs,expected",
+        [
+            ("AND", (1, 1), True),
+            ("AND", (1, 0), False),
+            ("OR", (0, 0), False),
+            ("OR", (0, 1), True),
+            ("NAND", (1, 1), False),
+            ("NOR", (0, 0), True),
+            ("XOR", (1, 1, 1), True),
+            ("XNOR", (1, 1), True),
+            ("INV", (1,), False),
+            ("BUF", (0,), False),
+            ("MAJ", (1, 1, 0), True),
+            ("MAJ", (1, 0, 0), False),
+        ],
+    )
+    def test_evaluate(self, gate_type, inputs, expected):
+        names = tuple(f"i{k}" for k in range(len(inputs)))
+        gate = Gate("o", gate_type, names)
+        values = dict(zip(names, map(bool, inputs)))
+        assert gate.evaluate(values) is expected
+
+    def test_mux_selects(self):
+        gate = Gate("o", "MUX", ("s", "a", "b"))
+        assert gate.evaluate({"s": True, "a": True, "b": False})
+        assert not gate.evaluate({"s": False, "a": True, "b": False})
+
+    def test_expr_matches_evaluate(self):
+        import itertools
+
+        from repro.expr import Var
+
+        for gtype, arity in [("AND", 3), ("NOR", 2), ("XOR", 3), ("MAJ", 3), ("MUX", 3)]:
+            names = tuple(f"i{k}" for k in range(arity))
+            gate = Gate("o", gtype, names)
+            expr = gate.expr([Var(n) for n in names])
+            for bits in itertools.product([False, True], repeat=arity):
+                env = dict(zip(names, bits))
+                assert expr.evaluate(env) == gate.evaluate(env), (gtype, env)
+
+
+class TestNetlistConstruction:
+    def test_duplicate_driver_rejected(self):
+        nl = Netlist("t", inputs=["a"])
+        nl.add_gate("x", "INV", ["a"])
+        with pytest.raises(NetlistError, match="already driven"):
+            nl.add_gate("x", "BUF", ["a"])
+
+    def test_driving_an_input_rejected(self):
+        nl = Netlist("t", inputs=["a"])
+        with pytest.raises(NetlistError, match="primary input"):
+            nl.add_gate("a", "INV", ["a"])
+
+    def test_duplicate_input_rejected(self):
+        nl = Netlist("t", inputs=["a"])
+        with pytest.raises(NetlistError):
+            nl.add_input("a")
+
+    def test_undriven_output_detected(self):
+        nl = Netlist("t", inputs=["a"], outputs=["z"])
+        with pytest.raises(NetlistError, match="not driven"):
+            nl.check()
+
+    def test_undriven_gate_input_detected(self):
+        nl = Netlist("t", inputs=["a"], outputs=["z"])
+        nl.add_gate("z", "AND", ["a", "ghost"])
+        with pytest.raises(NetlistError, match="undriven net"):
+            nl.check()
+
+    def test_cycle_detected(self):
+        nl = Netlist("t", inputs=["a"], outputs=["x"])
+        nl.add_gate("x", "AND", ["a", "y"])
+        nl.add_gate("y", "BUF", ["x"])
+        with pytest.raises(NetlistError, match="cycle"):
+            nl.topological_gates()
+
+    def test_fresh_net_unique(self):
+        nl = Netlist("t", inputs=["n0"])
+        nl.add_gate("n1", "INV", ["n0"])
+        fresh = nl.fresh_net()
+        assert fresh not in ("n0", "n1")
+
+    def test_output_can_be_an_input(self):
+        nl = Netlist("t", inputs=["a"], outputs=["a"])
+        nl.check()
+        assert nl.evaluate({"a": True}) == {"a": True}
+
+
+class TestNetlistSemantics:
+    def test_evaluate_requires_all_inputs(self):
+        nl = Netlist("t", inputs=["a", "b"], outputs=["z"])
+        nl.add_gate("z", "AND", ["a", "b"])
+        with pytest.raises(KeyError):
+            nl.evaluate({"a": True})
+
+    def test_topological_order_respects_dependencies(self, c17_netlist):
+        seen = set(c17_netlist.inputs)
+        for gate in c17_netlist.topological_gates():
+            assert all(i in seen for i in gate.inputs)
+            seen.add(gate.output)
+
+    def test_output_expressions_match_simulation(self, c17_netlist):
+        from tests.conftest import all_envs
+
+        exprs = c17_netlist.output_expressions()
+        for env in all_envs(c17_netlist.inputs):
+            sim = c17_netlist.evaluate(env)
+            for out, e in exprs.items():
+                assert e.evaluate(env) == sim[out]
+
+    def test_stats(self, c17_netlist):
+        stats = c17_netlist.stats()
+        assert stats == {"inputs": 5, "outputs": 2, "gates": 6, "depth": 3}
+
+    def test_nets_listing(self):
+        nl = Netlist("t", inputs=["a"])
+        nl.add_gate("x", "INV", ["a"])
+        assert nl.nets() == ["a", "x"]
+
+    def test_driver_lookup(self):
+        nl = Netlist("t", inputs=["a"])
+        nl.add_gate("x", "INV", ["a"])
+        assert nl.driver("x").gate_type == "INV"
+        assert nl.driver("a") is None

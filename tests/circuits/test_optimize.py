@@ -1,0 +1,144 @@
+"""Tests for the netlist optimization passes."""
+
+import pytest
+
+from repro.circuits import Netlist, c17, random_netlist
+from repro.circuits.optimize import (
+    optimize,
+    propagate_constants,
+    remove_dead,
+    strash,
+    sweep_buffers,
+)
+from tests.conftest import all_envs
+
+
+def assert_equivalent(a: Netlist, b: Netlist):
+    for env in all_envs(a.inputs):
+        assert a.evaluate(env) == b.evaluate(env), env
+
+
+class TestSweepBuffers:
+    def test_buffer_chain_collapsed(self):
+        nl = Netlist("t", inputs=["a"], outputs=["z"])
+        nl.add_gate("b1", "BUF", ["a"])
+        nl.add_gate("b2", "BUF", ["b1"])
+        nl.add_gate("z", "INV", ["b2"])
+        out = sweep_buffers(nl)
+        assert out.num_gates() == 1
+        assert_equivalent(nl, out)
+
+    def test_output_buffer_kept(self):
+        nl = Netlist("t", inputs=["a"], outputs=["z"])
+        nl.add_gate("z", "BUF", ["a"])
+        out = sweep_buffers(nl)
+        assert out.evaluate({"a": True})["z"] is True
+
+
+class TestPropagateConstants:
+    def test_and_with_zero(self):
+        nl = Netlist("t", inputs=["a"], outputs=["z"])
+        nl.add_gate("zero", "CONST0", [])
+        nl.add_gate("z", "AND", ["a", "zero"])
+        out = optimize(nl)
+        assert_equivalent(nl, out)
+        assert out.driver("z").gate_type == "CONST0"
+
+    def test_or_identity_removed(self):
+        nl = Netlist("t", inputs=["a", "b"], outputs=["z"])
+        nl.add_gate("zero", "CONST0", [])
+        nl.add_gate("z", "OR", ["a", "zero", "b"])
+        out = optimize(nl)
+        assert_equivalent(nl, out)
+        assert all(g.gate_type != "CONST0" for g in out.gates)
+
+    def test_xor_constant_parity(self):
+        nl = Netlist("t", inputs=["a"], outputs=["z"])
+        nl.add_gate("one", "CONST1", [])
+        nl.add_gate("z", "XOR", ["a", "one"])
+        out = optimize(nl)
+        assert_equivalent(nl, out)
+        assert out.driver("z").gate_type == "INV"
+
+    def test_mux_constant_select(self):
+        nl = Netlist("t", inputs=["a", "b"], outputs=["z"])
+        nl.add_gate("one", "CONST1", [])
+        nl.add_gate("z", "MUX", ["one", "a", "b"])
+        out = optimize(nl)
+        assert_equivalent(nl, out)
+
+    def test_constant_output_materialised(self):
+        nl = Netlist("t", inputs=["a"], outputs=["z"])
+        nl.add_gate("na", "INV", ["a"])
+        nl.add_gate("z", "AND", ["a", "na"])
+        # a & ~a is not folded structurally (needs BDDs), but a truly
+        # constant cone is:
+        nl2 = Netlist("t2", inputs=["a"], outputs=["z"])
+        nl2.add_gate("one", "CONST1", [])
+        nl2.add_gate("none", "INV", ["one"])
+        nl2.add_gate("z", "OR", ["none", "none"])
+        out = optimize(nl2)
+        assert out.evaluate({"a": False})["z"] is False
+
+
+class TestStrash:
+    def test_duplicate_gates_merged(self):
+        nl = Netlist("t", inputs=["a", "b"], outputs=["z"])
+        nl.add_gate("x1", "AND", ["a", "b"])
+        nl.add_gate("x2", "AND", ["b", "a"])  # symmetric duplicate
+        nl.add_gate("z", "OR", ["x1", "x2"])
+        out = optimize(nl)
+        assert_equivalent(nl, out)
+        assert out.num_gates() < nl.num_gates()
+
+    def test_asymmetric_gates_not_merged_across_orders(self):
+        nl = Netlist("t", inputs=["s", "a", "b"], outputs=["z", "w"])
+        nl.add_gate("z", "MUX", ["s", "a", "b"])
+        nl.add_gate("w", "MUX", ["s", "b", "a"])
+        out = optimize(nl)
+        assert_equivalent(nl, out)
+
+
+class TestRemoveDead:
+    def test_dead_cone_dropped(self):
+        nl = Netlist("t", inputs=["a", "b"], outputs=["z"])
+        nl.add_gate("z", "INV", ["a"])
+        nl.add_gate("dead1", "AND", ["a", "b"])
+        nl.add_gate("dead2", "OR", ["dead1", "b"])
+        out = remove_dead(nl)
+        assert out.num_gates() == 1
+        assert_equivalent(nl, out)
+
+
+class TestOptimizeEndToEnd:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_netlists_preserved(self, seed):
+        nl = random_netlist(6, 30, 4, seed=seed)
+        out = optimize(nl)
+        out.check()
+        assert_equivalent(nl, out)
+        assert out.num_gates() <= nl.num_gates()
+
+    def test_c17_unchanged_semantics(self, c17_netlist):
+        out = optimize(c17_netlist)
+        assert_equivalent(c17_netlist, out)
+
+    def test_optimized_netlist_synthesizes(self):
+        from repro import Compact
+        from repro.crossbar import validate_design
+
+        nl = random_netlist(5, 25, 3, seed=42)
+        opt = optimize(nl)
+        res = Compact(gamma=0.5).synthesize_netlist(opt)
+        assert validate_design(res.design, nl.evaluate, nl.inputs).ok
+
+    def test_sbdd_identical_after_optimize(self):
+        """Optimization must not change the BDD (canonical form)."""
+        from repro.bdd import build_sbdd, static_order
+
+        nl = random_netlist(6, 25, 3, seed=77)
+        opt = optimize(nl)
+        order = static_order(nl)
+        a = build_sbdd(nl, order=order)
+        b = build_sbdd(opt, order=order)
+        assert a.node_count() == b.node_count()

@@ -1,0 +1,89 @@
+"""Tests for the VHLabeling data model and validity checking."""
+
+import pytest
+
+from repro.bdd import build_sbdd, sbdd_from_exprs
+from repro.core import Label, LabelingError, VHLabeling, preprocess
+from repro.expr import parse
+
+
+@pytest.fixture
+def chain_graph():
+    """f = a & b: 1-terminal <- b-node <- a-node (a path of 3 nodes)."""
+    return preprocess(sbdd_from_exprs({"f": parse("a & b")}))
+
+
+class TestLabel:
+    def test_row_col_membership(self):
+        assert Label.H.has_row() and not Label.H.has_col()
+        assert Label.V.has_col() and not Label.V.has_row()
+        assert Label.VH.has_row() and Label.VH.has_col()
+
+
+class TestMetrics:
+    def test_counts(self):
+        lab = VHLabeling({1: Label.H, 2: Label.V, 3: Label.VH})
+        assert lab.rows == 2 and lab.cols == 2
+        assert lab.semiperimeter == 4
+        assert lab.max_dimension == 2
+        assert lab.vh_count == 1
+
+    def test_semiperimeter_is_n_plus_k(self):
+        lab = VHLabeling({1: Label.H, 2: Label.V, 3: Label.VH, 4: Label.VH})
+        assert lab.semiperimeter == 4 + 2
+
+    def test_objective(self):
+        lab = VHLabeling({1: Label.H, 2: Label.V})
+        assert lab.objective(1.0) == 2
+        assert lab.objective(0.0) == 1
+        assert lab.objective(0.5) == 1.5
+
+
+class TestValidation:
+    def test_valid_alternating_chain(self, chain_graph):
+        nodes = sorted(chain_graph.graph.nodes())
+        root = next(iter(chain_graph.roots.values()))
+        # Alternate H/V starting H at the root; terminal must be H too,
+        # so give the middle node V.
+        labels = {}
+        for v in nodes:
+            labels[v] = Label.H if v in (root, chain_graph.terminal) else Label.V
+        lab = VHLabeling(labels)
+        lab.validate(chain_graph)  # must not raise
+
+    def test_adjacent_h_h_rejected(self, chain_graph):
+        labels = {v: Label.H for v in chain_graph.graph.nodes()}
+        lab = VHLabeling(labels)
+        with pytest.raises(LabelingError, match="H-H|wordlines"):
+            lab.validate(chain_graph)
+
+    def test_adjacent_v_v_rejected(self, chain_graph):
+        labels = {v: Label.V for v in chain_graph.graph.nodes()}
+        with pytest.raises(LabelingError, match="V-V|bitlines"):
+            VHLabeling(labels).validate(chain_graph, alignment=False)
+
+    def test_all_vh_always_valid_structurally(self, chain_graph):
+        labels = {v: Label.VH for v in chain_graph.graph.nodes()}
+        VHLabeling(labels).validate(chain_graph)
+
+    def test_missing_label_detected(self, chain_graph):
+        with pytest.raises(LabelingError, match="no label"):
+            VHLabeling({}).validate(chain_graph)
+
+    def test_alignment_requires_ports_on_rows(self, chain_graph):
+        root = next(iter(chain_graph.roots.values()))
+        ports = {root, chain_graph.terminal}
+        labels = {
+            v: Label.V if v in ports else Label.H
+            for v in chain_graph.graph.nodes()
+        }
+        # Structurally fine without alignment, invalid with it.
+        lab = VHLabeling(labels)
+        assert lab.is_valid(chain_graph, alignment=False)
+        with pytest.raises(LabelingError, match="alignment"):
+            lab.validate(chain_graph, alignment=True)
+
+    def test_is_valid_boolean_wrapper(self, chain_graph):
+        labels = {v: Label.VH for v in chain_graph.graph.nodes()}
+        assert VHLabeling(labels).is_valid(chain_graph)
+        assert not VHLabeling({}).is_valid(chain_graph)

@@ -1,0 +1,32 @@
+"""Method A with either exact OCT engine must give identical sizes."""
+
+import pytest
+
+from repro.bdd import build_sbdd
+from repro.circuits import c17, mux_tree, parity_tree, random_netlist
+from repro.core import label_min_semiperimeter, preprocess
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [c17, lambda: parity_tree(8), lambda: mux_tree(2),
+     lambda: random_netlist(5, 18, 3, seed=2)],
+)
+def test_engines_agree(factory):
+    nl = factory()
+    bg = preprocess(build_sbdd(nl))
+    # Without alignment both engines realise exactly S = n + |OCT_min|.
+    via_vc = label_min_semiperimeter(bg, alignment=False, algorithm="vertex_cover")
+    via_ic = label_min_semiperimeter(bg, alignment=False, algorithm="compression")
+    assert via_vc.semiperimeter == via_ic.semiperimeter, nl.name
+    via_ic.validate(bg, alignment=False)
+    # With alignment both stay valid (port promotion may differ by a
+    # few VH labels depending on which optimal transversal was found).
+    aligned = label_min_semiperimeter(bg, alignment=True, algorithm="compression")
+    aligned.validate(bg, alignment=True)
+
+
+def test_unknown_algorithm_rejected(c17_netlist):
+    bg = preprocess(build_sbdd(c17_netlist))
+    with pytest.raises(ValueError):
+        label_min_semiperimeter(bg, algorithm="magic8ball")

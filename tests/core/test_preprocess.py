@@ -1,0 +1,66 @@
+"""Tests for BDD graph pre-processing (Section V-A)."""
+
+from repro.bdd import FALSE_ID, TRUE_ID, build_sbdd, sbdd_from_exprs
+from repro.core import preprocess
+from repro.crossbar import Lit
+from repro.expr import parse
+
+
+class TestPreprocess:
+    def test_zero_terminal_removed(self, c17_netlist):
+        bg = preprocess(build_sbdd(c17_netlist))
+        assert FALSE_ID not in bg.graph
+        assert bg.terminal == TRUE_ID
+
+    def test_node_and_edge_counts(self, c17_netlist):
+        sbdd = build_sbdd(c17_netlist)
+        bg = preprocess(sbdd)
+        # Graph drops the 0-terminal and the edges into it.
+        assert bg.num_nodes == sbdd.node_count() - 1
+        assert bg.num_edges <= sbdd.edge_count()
+
+    def test_edges_carry_literals(self):
+        bg = preprocess(sbdd_from_exprs({"f": parse("a & b")}))
+        lits = {str(bg.graph.edge_data(u, v)) for u, v in bg.graph.edges()}
+        assert "a" in lits and "b" in lits
+        for u, v in bg.graph.edges():
+            assert isinstance(bg.graph.edge_data(u, v), Lit)
+
+    def test_then_edge_positive_else_edge_negative(self):
+        bg = preprocess(sbdd_from_exprs({"f": parse("a | b")}))
+        # a|b: a-node --(~a)--> b-node, a-node --(a)--> 1, b-node --(b)--> 1.
+        lits = sorted(str(bg.graph.edge_data(u, v)) for u, v in bg.graph.edges())
+        assert lits == ["a", "b", "~a"]
+
+    def test_constant_true_output(self):
+        bg = preprocess(sbdd_from_exprs({"f": parse("1")}))
+        assert bg.constant_outputs == {"f": True}
+        assert bg.num_nodes == 0 and bg.roots == {}
+
+    def test_constant_false_output(self):
+        bg = preprocess(sbdd_from_exprs({"f": parse("a & ~a")}))
+        assert bg.constant_outputs == {"f": False}
+
+    def test_mixed_constant_and_real_outputs(self):
+        bg = preprocess(
+            sbdd_from_exprs({"f": parse("a"), "t": parse("1"), "z": parse("0")})
+        )
+        assert set(bg.roots) == {"f"}
+        assert bg.constant_outputs == {"t": True, "z": False}
+        assert bg.terminal == TRUE_ID
+
+    def test_port_nodes(self, priority5):
+        bg = preprocess(build_sbdd(priority5))
+        ports = bg.port_nodes()
+        assert bg.terminal in ports
+        assert set(bg.roots.values()) <= ports
+
+    def test_tautology_edge_delivery(self):
+        # f = a | ~a is reduced to constant TRUE by the BDD engine.
+        bg = preprocess(sbdd_from_exprs({"f": parse("a | ~a")}))
+        assert bg.constant_outputs == {"f": True}
+
+    def test_shared_roots_map_once(self):
+        bg = preprocess(sbdd_from_exprs({"f": parse("a & b"), "g": parse("a & b")}))
+        assert bg.roots["f"] == bg.roots["g"]
+        assert bg.num_nodes == 3  # a-node, b-node, 1-terminal

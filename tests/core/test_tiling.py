@@ -1,0 +1,91 @@
+"""Tests for multi-tile synthesis under fixed crossbar dimensions."""
+
+import pytest
+
+from repro.bdd import build_sbdd
+from repro.core import (
+    Compact,
+    ConstraintInfeasibleError,
+    TiledDesign,
+    partition_outputs,
+    tile_netlist,
+)
+from repro.circuits import decoder, priority_encoder
+from tests.conftest import all_envs
+
+
+class TestTileNetlist:
+    def test_single_tile_when_it_fits(self, dec3):
+        free = Compact(gamma=0.5).synthesize_netlist(dec3).design
+        tiled = tile_netlist(dec3, max_rows=free.num_rows + 2, max_cols=free.num_cols + 2)
+        assert tiled.num_tiles == 1
+        for env in all_envs(dec3.inputs):
+            assert tiled.evaluate(env) == dec3.evaluate(env)
+
+    def test_splits_when_too_small(self):
+        nl = decoder(4)
+        free = Compact(gamma=0.5).synthesize_netlist(nl).design
+        budget_rows = max(6, free.num_rows // 2)
+        budget_cols = max(6, free.num_cols)
+        tiled = tile_netlist(nl, max_rows=budget_rows, max_cols=budget_cols)
+        assert tiled.num_tiles >= 2
+        for tile in tiled.tiles:
+            assert tile.num_rows <= budget_rows
+            assert tile.num_cols <= budget_cols
+        for env in all_envs(nl.inputs):
+            assert tiled.evaluate(env) == nl.evaluate(env)
+
+    def test_every_output_assigned(self):
+        nl = priority_encoder(6)
+        tiled = tile_netlist(nl, max_rows=12, max_cols=12)
+        assert set(tiled.output_tile) == set(nl.outputs)
+        for out, ti in tiled.output_tile.items():
+            assert out in tiled.tiles[ti].output_rows
+
+    def test_infeasible_single_output_raises(self):
+        nl = priority_encoder(8)
+        with pytest.raises(ConstraintInfeasibleError):
+            tile_netlist(nl, max_rows=2, max_cols=2)
+
+    def test_metrics(self):
+        nl = decoder(3)
+        tiled = tile_netlist(nl, max_rows=10, max_cols=10)
+        assert tiled.total_area == sum(t.area for t in tiled.tiles)
+        assert tiled.total_semiperimeter == sum(t.semiperimeter for t in tiled.tiles)
+        assert tiled.delay_steps == max(t.delay_steps for t in tiled.tiles)
+        assert "tiles=" in repr(tiled)
+
+    def test_constant_outputs_get_a_tile(self):
+        from repro.circuits import Netlist
+
+        nl = Netlist("t", inputs=["a", "b"], outputs=["f", "one"])
+        nl.add_gate("f", "AND", ["a", "b"])
+        nl.add_gate("one", "CONST1", [])
+        tiled = tile_netlist(nl, max_rows=8, max_cols=8)
+        for env in all_envs(["a", "b"]):
+            out = tiled.evaluate(env)
+            assert out["one"] is True
+            assert out["f"] == (env["a"] and env["b"])
+
+
+class TestPartitionOutputs:
+    def test_tile_budget_is_hard(self):
+        nl = decoder(4)
+        sbdd = build_sbdd(nl)
+        tiled = partition_outputs(sbdd, max_rows=14, max_cols=14, time_limit=20)
+        for tile in tiled.tiles:
+            assert tile.num_rows <= 14 and tile.num_cols <= 14
+
+    def test_groups_recorded_in_meta(self):
+        nl = decoder(3)
+        sbdd = build_sbdd(nl)
+        tiled = partition_outputs(sbdd, max_rows=30, max_cols=30)
+        groups = tiled.meta["groups"]
+        assert sorted(o for g in groups for o in g) == sorted(nl.outputs)
+
+    def test_bigger_budget_fewer_tiles(self):
+        nl = decoder(4)
+        sbdd = build_sbdd(nl)
+        small = partition_outputs(sbdd, max_rows=12, max_cols=12, time_limit=20)
+        large = partition_outputs(sbdd, max_rows=60, max_cols=60, time_limit=20)
+        assert large.num_tiles <= small.num_tiles

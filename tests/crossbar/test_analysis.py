@@ -1,0 +1,81 @@
+"""Tests for the design analytics module."""
+
+import pytest
+
+from repro import Compact
+from repro.crossbar import analyze_design, conducting_depths
+from repro.expr import parse
+
+
+@pytest.fixture(scope="module")
+def and3():
+    e = parse("a & b & c")
+    design = Compact(gamma=0.5).synthesize_expr(e, name="f").design
+    return e, design
+
+
+class TestConductingDepths:
+    def test_unsatisfied_output_unreachable(self, and3):
+        _e, design = and3
+        depths = conducting_depths(design, {"a": True, "b": True, "c": False})
+        assert depths["f"] is None
+
+    def test_satisfied_output_has_depth(self, and3):
+        _e, design = and3
+        depths = conducting_depths(design, {"a": True, "b": True, "c": True})
+        # A 3-literal chain needs at least 3 memristor hops.
+        assert depths["f"] is not None and depths["f"] >= 3
+
+    def test_depth_is_even(self, and3):
+        """Row -> col -> row alternation: any other wordline sits an even
+        number of memristor hops from the input wordline."""
+        _e, design = and3
+        depths = conducting_depths(design, {"a": True, "b": True, "c": True})
+        assert depths["f"] % 2 == 0
+
+    def test_output_on_input_row_depth_zero(self):
+        res = Compact().synthesize_expr({"t": parse("1"), "f": parse("a")})
+        depths = conducting_depths(res.design, {"a": False})
+        assert depths["t"] == 0
+
+
+class TestAnalyzeDesign:
+    def test_report_fields(self, and3):
+        e, design = and3
+        report = analyze_design(design, sorted(e.variables()))
+        assert 0 < report.utilization <= 1
+        assert report.assignments_checked == 8
+        assert report.worst_path_depth is not None
+        assert report.min_high_voltage is not None
+        assert report.max_low_voltage is not None
+        assert report.margin is not None and report.margin > 0.5
+
+    def test_margin_separates_levels(self, and3):
+        e, design = and3
+        report = analyze_design(design, sorted(e.variables()))
+        assert report.min_high_voltage > 0.5
+        assert report.max_low_voltage < 0.5
+
+    def test_logic_only_mode(self, and3):
+        e, design = and3
+        report = analyze_design(design, sorted(e.variables()), analog=False)
+        assert report.min_high_voltage is None
+        assert report.margin is None
+        assert report.worst_path_depth is not None
+
+    def test_sampled_mode_beyond_limit(self):
+        from repro.circuits import priority_encoder
+
+        nl = priority_encoder(16)
+        design = Compact(gamma=1.0, method="heuristic").synthesize_netlist(nl).design
+        report = analyze_design(
+            design, nl.inputs, exhaustive_limit=8, samples=32, analog=False
+        )
+        assert report.assignments_checked == 32
+
+    def test_deeper_chain_has_larger_depth(self):
+        shallow = Compact().synthesize_expr(parse("a"), name="f").design
+        deep = Compact().synthesize_expr(parse("a & b & c & d & e"), name="f").design
+        ra = analyze_design(shallow, ["a"], analog=False)
+        rb = analyze_design(deep, ["a", "b", "c", "d", "e"], analog=False)
+        assert rb.worst_path_depth > ra.worst_path_depth

@@ -1,0 +1,65 @@
+"""Tests for vectorized batch evaluation."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro import Compact
+from repro.circuits import c17, decoder, random_netlist
+from repro.crossbar import assignments_to_matrix, batch_evaluate
+from repro.expr import parse
+
+
+def all_matrix(n):
+    return np.array(
+        list(itertools.product([False, True], repeat=n)), dtype=bool
+    )
+
+
+class TestBatchEvaluate:
+    @pytest.mark.parametrize(
+        "factory", [c17, lambda: decoder(3), lambda: random_netlist(6, 25, 4, seed=5)]
+    )
+    def test_matches_scalar_evaluation(self, factory):
+        nl = factory()
+        design = Compact(gamma=0.5).synthesize_netlist(nl).design
+        X = all_matrix(len(nl.inputs))
+        batch = batch_evaluate(design, nl.inputs, X)
+        for i in range(X.shape[0]):
+            env = dict(zip(nl.inputs, X[i]))
+            ref = design.evaluate(env)
+            assert {k: bool(v[i]) for k, v in batch.items()} == ref
+
+    def test_shape_validation(self):
+        design = Compact().synthesize_expr(parse("a & b"), name="f").design
+        with pytest.raises(ValueError):
+            batch_evaluate(design, ["a", "b"], np.zeros((4, 3), dtype=bool))
+
+    def test_constant_outputs_broadcast(self):
+        res = Compact().synthesize_expr({"f": parse("a"), "z": parse("0")})
+        X = all_matrix(1)
+        out = batch_evaluate(res.design, ["a"], X)
+        assert not out["z"].any()
+        assert out["f"].tolist() == [False, True]
+
+    def test_assignments_to_matrix(self):
+        envs = [{"a": True, "b": False}, {"a": False, "b": True}]
+        X = assignments_to_matrix(envs, ["a", "b"])
+        assert X.tolist() == [[True, False], [False, True]]
+
+    def test_large_batch(self):
+        nl = decoder(4)
+        design = Compact(gamma=0.5).synthesize_netlist(nl).design
+        X = all_matrix(4)
+        big = np.vstack([X] * 64)  # 1024 assignments
+        out = batch_evaluate(design, nl.inputs, big)
+        assert out["d0"].shape == (1024,)
+        # One-hot property holds row-wise.
+        stacked = np.stack([out[f"d{i}"] for i in range(16)], axis=1)
+        assert (stacked.sum(axis=1) == 1).all()
+
+    def test_empty_design_columns(self):
+        res = Compact().synthesize_expr({"t": parse("1")})
+        out = batch_evaluate(res.design, [], np.zeros((3, 0), dtype=bool))
+        assert out["t"].all()

@@ -1,0 +1,40 @@
+"""Unit tests for memristor cell literals."""
+
+from repro.crossbar import OFF, ON, Lit
+
+
+class TestConstants:
+    def test_on_always_low_resistance(self):
+        assert ON.evaluate({}) is True
+        assert ON.is_constant()
+
+    def test_off_always_high_resistance(self):
+        assert OFF.evaluate({}) is False
+        assert OFF.is_constant()
+
+    def test_strings(self):
+        assert str(ON) == "1" and str(OFF) == "0"
+
+
+class TestLiterals:
+    def test_positive(self):
+        lit = Lit("x", True)
+        assert lit.evaluate({"x": True}) and not lit.evaluate({"x": False})
+        assert str(lit) == "x"
+
+    def test_negative(self):
+        lit = Lit("x", False)
+        assert lit.evaluate({"x": False}) and not lit.evaluate({"x": True})
+        assert str(lit) == "~x"
+
+    def test_equality_and_hash(self):
+        assert Lit("x", True) == Lit("x", True)
+        assert Lit("x", True) != Lit("x", False)
+        assert len({Lit("x", True), Lit("x", True)}) == 1
+
+    def test_not_constant(self):
+        assert not Lit("x", True).is_constant()
+
+    def test_int_assignment_values(self):
+        assert Lit("x", True).evaluate({"x": 1})
+        assert Lit("x", False).evaluate({"x": 0})

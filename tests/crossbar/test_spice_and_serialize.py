@@ -1,0 +1,95 @@
+"""Tests for SPICE export and JSON serialisation of designs."""
+
+import json
+
+import pytest
+
+from repro import Compact
+from repro.circuits import c17, decoder
+from repro.crossbar import (
+    AnalogParams,
+    design_from_json,
+    design_to_json,
+    to_spice_netlist,
+)
+from tests.conftest import all_envs
+
+
+@pytest.fixture(scope="module")
+def c17_design():
+    nl = c17()
+    return nl, Compact(gamma=0.5).synthesize_netlist(nl).design
+
+
+class TestSpiceExport:
+    def test_deck_structure(self, c17_design):
+        nl, design = c17_design
+        env = {name: True for name in nl.inputs}
+        deck = to_spice_netlist(design, env)
+        assert deck.startswith("*")
+        assert "Vin row" in deck
+        assert deck.rstrip().endswith(".end")
+        # One resistor per programmed cell.
+        assert deck.count("\nRm") == design.memristor_count
+
+    def test_sense_resistors_for_outputs(self, c17_design):
+        nl, design = c17_design
+        deck = to_spice_netlist(design, {name: False for name in nl.inputs})
+        for out in nl.outputs:
+            assert f"Rsense_{out}" in deck
+            assert f"* output {out}" in deck
+
+    def test_resistance_values_follow_assignment(self, c17_design):
+        nl, design = c17_design
+        params = AnalogParams(r_on=123.0, r_off=4.56e8)
+        env_all = {name: True for name in nl.inputs}
+        deck = to_spice_netlist(design, env_all, params)
+        assert "123" in deck and "4.56e+08" in deck
+
+    def test_assignment_recorded_in_comment(self, c17_design):
+        nl, design = c17_design
+        env = {name: i % 2 == 0 for i, name in enumerate(nl.inputs)}
+        deck = to_spice_netlist(design, env)
+        assert "* assignment:" in deck
+
+
+class TestJsonSerialisation:
+    def test_round_trip_preserves_function(self, c17_design):
+        nl, design = c17_design
+        back = design_from_json(design_to_json(design))
+        for env in all_envs(nl.inputs):
+            assert back.evaluate(env) == design.evaluate(env)
+
+    def test_round_trip_preserves_metrics(self, c17_design):
+        _nl, design = c17_design
+        back = design_from_json(design_to_json(design))
+        assert back.num_rows == design.num_rows
+        assert back.num_cols == design.num_cols
+        assert back.memristor_count == design.memristor_count
+        assert back.literal_count == design.literal_count
+        assert back.input_row == design.input_row
+        assert back.output_rows == design.output_rows
+
+    def test_json_is_valid_and_tagged(self, c17_design):
+        _nl, design = c17_design
+        payload = json.loads(design_to_json(design, indent=2))
+        assert payload["format"] == "repro.crossbar/1"
+        assert payload["rows"] == design.num_rows
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError, match="not a serialized"):
+            design_from_json(json.dumps({"format": "other"}))
+
+    def test_constant_outputs_round_trip(self):
+        from repro.expr import parse
+
+        res = Compact().synthesize_expr({"f": parse("a"), "z": parse("0")})
+        back = design_from_json(design_to_json(res.design))
+        assert back.evaluate({"a": False}) == {"f": False, "z": False}
+
+    def test_multi_output_design(self):
+        nl = decoder(3)
+        design = Compact(gamma=0.5).synthesize_netlist(nl).design
+        back = design_from_json(design_to_json(design))
+        for env in all_envs(nl.inputs):
+            assert back.evaluate(env) == nl.evaluate(env)

@@ -1,0 +1,76 @@
+"""Tests for device-variation robustness analysis."""
+
+import pytest
+
+from repro import Compact
+from repro.circuits import c17
+from repro.crossbar import (
+    AnalogParams,
+    VariationParams,
+    simulate_with_variation,
+    variation_sweep,
+)
+from repro.expr import parse
+
+
+@pytest.fixture(scope="module")
+def design():
+    return Compact(gamma=0.5).synthesize_expr(parse("(a & b) | c"), name="f").design
+
+
+class TestSimulateWithVariation:
+    def test_zero_sigma_matches_nominal(self, design):
+        from repro.crossbar import simulate
+
+        env = {"a": True, "b": True, "c": False}
+        nominal = simulate(design, env)
+        varied = simulate_with_variation(
+            design, env, variation=VariationParams(0.0, 0.0)
+        )
+        for out, v in varied.items():
+            assert v == pytest.approx(nominal.voltages[out], rel=1e-9)
+
+    def test_deterministic_for_seed(self, design):
+        env = {"a": True, "b": False, "c": True}
+        a = simulate_with_variation(design, env, seed=3)
+        b = simulate_with_variation(design, env, seed=3)
+        assert a == b
+
+    def test_different_seeds_differ(self, design):
+        env = {"a": True, "b": False, "c": True}
+        a = simulate_with_variation(design, env, seed=1)
+        b = simulate_with_variation(design, env, seed=2)
+        assert a != b
+
+    def test_moderate_variation_keeps_logic(self, design):
+        params = AnalogParams()
+        for env in ({"a": 1, "b": 1, "c": 0}, {"a": 0, "b": 0, "c": 0}):
+            expected = design.evaluate(env)["f"]
+            v = simulate_with_variation(design, env, params, VariationParams(0.3, 0.3), seed=5)
+            assert (v["f"] > 0.5) == expected
+
+
+class TestVariationSweep:
+    def test_report_fields(self, design):
+        report = variation_sweep(design, ["a", "b", "c"], trials=5, n_assignments=8)
+        assert report.trials == 5
+        assert 0.0 <= report.correct_fraction <= 1.0
+        assert report.correct_fraction > 0.95  # 10^6 on/off ratio: robust
+        assert report.worst_margin > 0.0
+
+    def test_extreme_variation_hurts_margin(self, design):
+        mild = variation_sweep(
+            design, ["a", "b", "c"], trials=5, n_assignments=8,
+            variation=VariationParams(0.05, 0.05), seed=2,
+        )
+        wild = variation_sweep(
+            design, ["a", "b", "c"], trials=5, n_assignments=8,
+            variation=VariationParams(1.5, 1.5), seed=2,
+        )
+        assert wild.worst_margin <= mild.worst_margin
+
+    def test_c17_robust_at_default_spread(self):
+        nl = c17()
+        design = Compact(gamma=0.5).synthesize_netlist(nl).design
+        report = variation_sweep(design, nl.inputs, trials=4, n_assignments=8)
+        assert report.correct_fraction == 1.0

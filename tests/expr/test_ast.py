@@ -1,0 +1,188 @@
+"""Unit tests for the Boolean expression AST."""
+
+import pytest
+
+from repro.expr import (
+    FALSE,
+    TRUE,
+    And,
+    Const,
+    Ite,
+    Not,
+    Or,
+    Var,
+    Xor,
+    all_assignments,
+)
+
+
+class TestVar:
+    def test_evaluate(self):
+        assert Var("a").evaluate({"a": True})
+        assert not Var("a").evaluate({"a": False})
+
+    def test_accepts_int_values(self):
+        assert Var("a").evaluate({"a": 1})
+        assert not Var("a").evaluate({"a": 0})
+
+    def test_missing_variable_raises(self):
+        with pytest.raises(KeyError, match="missing variable 'a'"):
+            Var("a").evaluate({"b": True})
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Var("")
+
+    def test_equality_and_hash(self):
+        assert Var("x") == Var("x")
+        assert Var("x") != Var("y")
+        assert hash(Var("x")) == hash(Var("x"))
+        assert len({Var("x"), Var("x"), Var("y")}) == 2
+
+    def test_variables(self):
+        assert Var("q").variables() == frozenset({"q"})
+
+
+class TestConst:
+    def test_true_false_singletons(self):
+        assert TRUE.evaluate({}) is True
+        assert FALSE.evaluate({}) is False
+
+    def test_equality(self):
+        assert Const(True) == TRUE
+        assert Const(False) == FALSE
+        assert TRUE != FALSE
+
+    def test_no_variables(self):
+        assert TRUE.variables() == frozenset()
+
+
+class TestNot:
+    def test_double_negation_collapses(self):
+        assert Not(Not(Var("x"))) == Var("x")
+
+    def test_constant_folding(self):
+        assert Not(TRUE) == FALSE
+        assert Not(FALSE) == TRUE
+
+    def test_evaluate(self):
+        assert Not(Var("x")).evaluate({"x": False})
+
+    def test_invert_operator(self):
+        assert ~Var("x") == Not(Var("x"))
+
+
+class TestAnd:
+    def test_flattening(self):
+        e = And(And(Var("a"), Var("b")), Var("c"))
+        assert e == And(Var("a"), Var("b"), Var("c"))
+
+    def test_identity_dropped(self):
+        assert And(TRUE, Var("x")) == Var("x")
+
+    def test_absorbing(self):
+        assert And(Var("x"), FALSE) == FALSE
+
+    def test_empty_is_true(self):
+        assert And() == TRUE
+
+    def test_evaluate(self):
+        e = And(Var("a"), Var("b"))
+        assert e.evaluate({"a": True, "b": True})
+        assert not e.evaluate({"a": True, "b": False})
+
+    def test_operator(self):
+        assert (Var("a") & Var("b")) == And(Var("a"), Var("b"))
+
+    def test_type_error(self):
+        with pytest.raises(TypeError):
+            And(Var("a"), "b")
+
+
+class TestOr:
+    def test_identity_dropped(self):
+        assert Or(FALSE, Var("x")) == Var("x")
+
+    def test_absorbing(self):
+        assert Or(Var("x"), TRUE) == TRUE
+
+    def test_empty_is_false(self):
+        assert Or() == FALSE
+
+    def test_evaluate(self):
+        e = Or(Var("a"), Var("b"))
+        assert e.evaluate({"a": False, "b": True})
+        assert not e.evaluate({"a": False, "b": False})
+
+    def test_operator(self):
+        assert (Var("a") | Var("b")) == Or(Var("a"), Var("b"))
+
+
+class TestXor:
+    def test_parity_semantics(self):
+        e = Xor(Var("a"), Var("b"), Var("c"))
+        assert e.evaluate({"a": 1, "b": 1, "c": 1})
+        assert not e.evaluate({"a": 1, "b": 1, "c": 0})
+
+    def test_constant_absorption(self):
+        assert Xor(TRUE, Var("x")) == Not(Var("x"))
+        assert Xor(FALSE, Var("x")) == Var("x")
+
+    def test_empty(self):
+        assert Xor() == FALSE
+        assert Xor(TRUE) == TRUE
+
+    def test_operator(self):
+        e = Var("a") ^ Var("b")
+        assert e.evaluate({"a": 1, "b": 0})
+
+
+class TestIte:
+    def test_constant_condition(self):
+        assert Ite(TRUE, Var("a"), Var("b")) == Var("a")
+        assert Ite(FALSE, Var("a"), Var("b")) == Var("b")
+
+    def test_equal_branches(self):
+        assert Ite(Var("c"), Var("a"), Var("a")) == Var("a")
+
+    def test_evaluate(self):
+        e = Ite(Var("c"), Var("a"), Var("b"))
+        assert e.evaluate({"c": 1, "a": 1, "b": 0})
+        assert not e.evaluate({"c": 0, "a": 1, "b": 0})
+
+    def test_variables(self):
+        e = Ite(Var("c"), Var("a"), Var("b"))
+        assert e.variables() == frozenset({"a", "b", "c"})
+
+
+class TestHelpers:
+    def test_substitute(self):
+        e = And(Var("a"), Var("b"))
+        assert e.substitute({"a": TRUE}) == Var("b")
+
+    def test_cofactor(self):
+        e = Or(And(Var("a"), Var("b")), Var("c"))
+        assert e.cofactor("a", True) == Or(Var("b"), Var("c"))
+        assert e.cofactor("a", False) == Var("c")
+
+    def test_truth_table(self):
+        e = And(Var("a"), Var("b"))
+        assert e.truth_table(["a", "b"]) == [False, False, False, True]
+
+    def test_equivalent(self):
+        de_morgan_lhs = Not(And(Var("a"), Var("b")))
+        de_morgan_rhs = Or(Not(Var("a")), Not(Var("b")))
+        assert de_morgan_lhs.equivalent(de_morgan_rhs)
+        assert not Var("a").equivalent(Var("b"))
+
+    def test_size_and_depth(self):
+        e = And(Var("a"), Not(Var("b")))
+        assert e.size() == 4
+        assert e.depth() == 2
+        assert Var("a").depth() == 0
+
+    def test_all_assignments_order(self):
+        envs = list(all_assignments(["a", "b"]))
+        assert envs[0] == {"a": False, "b": False}
+        assert envs[-1] == {"a": True, "b": True}
+        assert len(envs) == 4

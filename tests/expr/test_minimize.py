@@ -1,0 +1,125 @@
+"""Tests for the Quine-McCluskey two-level minimizer."""
+
+import itertools
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.expr import (
+    cube_to_expr,
+    minimize_expr,
+    minimize_truth_table,
+    parse,
+    prime_implicants,
+)
+
+
+class TestPrimeImplicants:
+    def test_textbook_example(self):
+        # f(w,x,y,z) with ON = {4,8,10,11,12,15}, DC = {9,14}: classic QM.
+        primes = prime_implicants([4, 8, 10, 11, 12, 15], [9, 14], n=4)
+        assert "1-1-" in primes  # w·y
+        assert "-100" in primes  # x·y'·z'
+        assert "1--0" in primes or "10--" in primes
+
+    def test_full_cube(self):
+        primes = prime_implicants(range(8), n=3)
+        assert primes == {"---"}
+
+    def test_single_minterm(self):
+        assert prime_implicants([5], n=3) == {"101"}
+
+    def test_empty(self):
+        assert prime_implicants([], n=3) == set()
+
+    def test_dc_only_primes_dropped(self):
+        # ON={0}, DC={1}: prime '00-' covers ON; no prime should cover
+        # only the don't-care.
+        primes = prime_implicants([0], [1], n=2)
+        assert all(p != "01" for p in primes)
+
+
+def cover_evaluates(cubes, minterms, n):
+    got = set()
+    for m in range(1 << n):
+        bits = format(m, f"0{n}b")
+        if any(all(c in ("-", b) for c, b in zip(cube, bits)) for cube in cubes):
+            got.add(m)
+    return got
+
+
+class TestMinimizeTruthTable:
+    @pytest.mark.parametrize("exact", [False, True])
+    def test_cover_is_correct(self, exact):
+        ons = [0, 1, 2, 5, 6, 7]
+        cubes = minimize_truth_table(ons, n=3, exact=exact)
+        assert cover_evaluates(cubes, ons, 3) == set(ons)
+
+    def test_exact_never_larger_than_greedy(self):
+        import random
+
+        for seed in range(6):
+            rng = random.Random(seed)
+            ons = sorted(rng.sample(range(16), rng.randint(3, 12)))
+            greedy = minimize_truth_table(ons, n=4, exact=False)
+            exact = minimize_truth_table(ons, n=4, exact=True)
+            assert len(exact) <= len(greedy)
+            assert cover_evaluates(exact, ons, 4) == set(ons)
+
+    def test_dont_cares_reduce_cubes(self):
+        no_dc = minimize_truth_table([1, 3], n=3)
+        with_dc = minimize_truth_table([1, 3], dont_cares=[5, 7], n=3)
+        assert len(with_dc) <= len(no_dc)
+        # With DCs {5,7}, a single cube '--1' (bit0 = 1) suffices.
+        assert with_dc == ["--1"]
+
+    def test_empty_onset(self):
+        assert minimize_truth_table([], n=3) == []
+
+
+class TestMinimizeExpr:
+    @pytest.mark.parametrize(
+        "text",
+        ["a & b | a & ~b", "(a | b) & (a | ~b)", "a ^ b", "a & b & c | a & b & ~c",
+         "(a & b) | (~a & b) | (a & ~b)"],
+    )
+    @pytest.mark.parametrize("exact", [False, True])
+    def test_equivalence_preserved(self, text, exact):
+        e = parse(text)
+        m = minimize_expr(e, exact=exact)
+        assert e.equivalent(m), (text, m)
+
+    def test_absorbs_redundancy(self):
+        # a&b | a&~b == a: one literal after minimization.
+        m = minimize_expr(parse("a & b | a & ~b"))
+        assert repr(m) == "a"
+
+    def test_constants(self):
+        from repro.expr import FALSE, TRUE
+
+        assert minimize_expr(parse("a & ~a")) == FALSE
+        assert minimize_expr(parse("a | ~a")) == TRUE
+
+    def test_cube_to_expr(self):
+        e = cube_to_expr("1-0", ["x", "y", "z"])
+        assert e.evaluate({"x": 1, "y": 0, "z": 0})
+        assert e.evaluate({"x": 1, "y": 1, "z": 0})
+        assert not e.evaluate({"x": 1, "y": 1, "z": 1})
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.sets(st.integers(0, 15)))
+def test_minimize_property(ons):
+    cubes = minimize_truth_table(sorted(ons), n=4)
+    assert cover_evaluates(cubes, ons, 4) == set(ons)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.sets(st.integers(0, 15), min_size=1), st.sets(st.integers(0, 15)))
+def test_minimize_with_dont_cares_property(ons, dcs):
+    dcs = dcs - ons
+    cubes = minimize_truth_table(sorted(ons), sorted(dcs), n=4)
+    covered = cover_evaluates(cubes, ons, 4)
+    assert set(ons) <= covered          # every ON-minterm covered
+    assert covered <= set(ons) | dcs    # nothing outside ON u DC

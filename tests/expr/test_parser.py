@@ -1,0 +1,105 @@
+"""Unit tests for the Boolean expression parser."""
+
+import pytest
+
+from repro.expr import FALSE, TRUE, And, Not, Or, ParseError, Var, Xor, parse
+
+
+class TestBasics:
+    def test_single_variable(self):
+        assert parse("alpha") == Var("alpha")
+
+    def test_constants(self):
+        assert parse("1") == TRUE
+        assert parse("0") == FALSE
+
+    def test_and(self):
+        assert parse("a & b") == And(Var("a"), Var("b"))
+
+    def test_or(self):
+        assert parse("a | b") == Or(Var("a"), Var("b"))
+
+    def test_xor(self):
+        assert parse("a ^ b") == Xor(Var("a"), Var("b"))
+
+    def test_not(self):
+        assert parse("~a") == Not(Var("a"))
+        assert parse("!a") == Not(Var("a"))
+
+
+class TestPrecedence:
+    def test_and_binds_tighter_than_or(self):
+        assert parse("a & b | c") == Or(And(Var("a"), Var("b")), Var("c"))
+
+    def test_xor_between_and_and_or(self):
+        e = parse("a | b ^ c & d")
+        assert e == Or(Var("a"), Xor(Var("b"), And(Var("c"), Var("d"))))
+
+    def test_parentheses_override(self):
+        assert parse("a & (b | c)") == And(Var("a"), Or(Var("b"), Var("c")))
+
+    def test_not_binds_tightest(self):
+        assert parse("~a & b") == And(Not(Var("a")), Var("b"))
+        assert parse("~(a & b)") == Not(And(Var("a"), Var("b")))
+
+
+class TestAlternateSyntax:
+    def test_keywords(self):
+        assert parse("a and b or not c").equivalent(parse("(a & b) | ~c"))
+
+    def test_plus_and_star(self):
+        assert parse("a*b + c") == parse("a&b | c")
+
+    def test_postfix_prime(self):
+        assert parse("a'") == Not(Var("a"))
+        assert parse("a'' ") == Var("a")
+
+    def test_juxtaposition_conjunction(self):
+        assert parse("a b c") == And(Var("a"), Var("b"), Var("c"))
+        assert parse("a b' + c").equivalent(parse("(a & ~b) | c"))
+
+    def test_bus_style_names(self):
+        assert parse("data[3] & u1.q") == And(Var("data[3]"), Var("u1.q"))
+
+
+class TestErrors:
+    def test_empty(self):
+        with pytest.raises(ParseError):
+            parse("")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError, match="trailing"):
+            parse("a )")
+
+    def test_unclosed_paren(self):
+        with pytest.raises(ParseError):
+            parse("(a & b")
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError):
+            parse("a @ b")
+
+    def test_dangling_operator(self):
+        with pytest.raises(ParseError):
+            parse("a &")
+
+    def test_error_reports_position(self):
+        with pytest.raises(ParseError) as info:
+            parse("a @ b")
+        assert info.value.pos == 2
+
+
+class TestSemantics:
+    @pytest.mark.parametrize(
+        "text,env,expected",
+        [
+            ("(a & b) | c", {"a": 1, "b": 1, "c": 0}, True),
+            ("(a & b) | c", {"a": 0, "b": 1, "c": 0}, False),
+            ("a ^ b ^ c", {"a": 1, "b": 1, "c": 1}, True),
+            ("~(a | b)", {"a": 0, "b": 0}, True),
+            ("1 & a", {"a": 0}, False),
+            ("0 | a", {"a": 1}, True),
+        ],
+    )
+    def test_evaluation(self, text, env, expected):
+        assert parse(text).evaluate(env) is expected

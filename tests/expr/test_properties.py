@@ -1,0 +1,79 @@
+"""Property-based tests for expressions (hypothesis)."""
+
+import hypothesis.strategies as st
+from hypothesis import assume, given, settings
+
+from repro.expr import And, Expr, Ite, Not, Or, Var, Xor, parse
+
+NAMES = ["a", "b", "c", "d"]
+
+
+@st.composite
+def exprs(draw, depth=3) -> Expr:
+    if depth == 0 or draw(st.booleans()):
+        return Var(draw(st.sampled_from(NAMES)))
+    kind = draw(st.sampled_from(["not", "and", "or", "xor", "ite"]))
+    if kind == "not":
+        return Not(draw(exprs(depth=depth - 1)))
+    if kind == "ite":
+        return Ite(
+            draw(exprs(depth=depth - 1)),
+            draw(exprs(depth=depth - 1)),
+            draw(exprs(depth=depth - 1)),
+        )
+    ctor = {"and": And, "or": Or, "xor": Xor}[kind]
+    n = draw(st.integers(2, 3))
+    return ctor(*[draw(exprs(depth=depth - 1)) for _ in range(n)])
+
+
+envs = st.fixed_dictionaries({name: st.booleans() for name in NAMES})
+
+
+@given(exprs(), envs)
+def test_double_negation_preserves_semantics(e, env):
+    assert Not(Not(e)).evaluate(env) == e.evaluate(env)
+
+
+@given(exprs(), exprs(), envs)
+def test_de_morgan(e1, e2, env):
+    lhs = Not(And(e1, e2))
+    rhs = Or(Not(e1), Not(e2))
+    assert lhs.evaluate(env) == rhs.evaluate(env)
+
+
+@given(exprs(), exprs(), envs)
+def test_xor_definition(e1, e2, env):
+    lhs = Xor(e1, e2)
+    rhs = Or(And(e1, Not(e2)), And(Not(e1), e2))
+    assert lhs.evaluate(env) == rhs.evaluate(env)
+
+
+@given(exprs(), envs)
+def test_shannon_expansion(e, env):
+    name = NAMES[0]
+    expanded = Ite(Var(name), e.cofactor(name, True), e.cofactor(name, False))
+    assert expanded.evaluate(env) == e.evaluate(env)
+
+
+@given(exprs(), envs)
+def test_repr_round_trips_through_parser(e, env):
+    # Ite has no surface syntax; everything else parses back.
+    assume("ite(" not in repr(e))
+    reparsed = parse(repr(e))
+    assert reparsed.evaluate(env) == e.evaluate(env)
+
+
+@given(exprs())
+def test_variables_subset_of_names(e):
+    assert e.variables() <= set(NAMES)
+
+
+@settings(max_examples=50)
+@given(exprs(), envs)
+def test_substitution_respects_evaluation(e, env):
+    # Substituting a variable by a constant equals evaluating with it fixed.
+    name = NAMES[0]
+    from repro.expr import FALSE, TRUE
+
+    fixed = e.substitute({name: TRUE if env[name] else FALSE})
+    assert fixed.evaluate(env) == e.evaluate(env)

@@ -1,0 +1,182 @@
+"""Tests for Dinic max-flow, vertex cuts and iterative-compression OCT."""
+
+import itertools
+import random
+
+import networkx as nx
+import pytest
+
+from repro.graphs import UGraph, odd_cycle_transversal, two_color, verify_oct
+from repro.graphs.flow import Dinic, min_vertex_cut
+from repro.graphs.oct_compression import OctBudgetExceeded, oct_iterative_compression
+
+
+def random_graph(n, p, seed):
+    rng = random.Random(seed)
+    g = UGraph()
+    for i in range(n):
+        g.add_node(i)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < p:
+                g.add_edge(i, j)
+    return g
+
+
+class TestDinic:
+    def test_simple_path(self):
+        d = Dinic()
+        d.add_edge("s", "a", 3)
+        d.add_edge("a", "t", 2)
+        assert d.max_flow("s", "t") == 2
+
+    def test_parallel_paths(self):
+        d = Dinic()
+        d.add_edge("s", "a", 1)
+        d.add_edge("s", "b", 1)
+        d.add_edge("a", "t", 1)
+        d.add_edge("b", "t", 1)
+        assert d.max_flow("s", "t") == 2
+
+    def test_bottleneck(self):
+        d = Dinic()
+        d.add_edge("s", "a", 10)
+        d.add_edge("a", "b", 1)
+        d.add_edge("b", "t", 10)
+        assert d.max_flow("s", "t") == 1
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Dinic().add_edge("a", "b", -1)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_networkx(self, seed):
+        rng = random.Random(seed)
+        n = 8
+        ref = nx.DiGraph()
+        d = Dinic()
+        for _ in range(20):
+            u, v = rng.sample(range(n), 2)
+            cap = rng.randint(1, 9)
+            if ref.has_edge(u, v):
+                ref[u][v]["capacity"] += cap
+            else:
+                ref.add_edge(u, v, capacity=cap)
+            d.add_edge(u, v, cap)
+        ref.add_node(0)
+        ref.add_node(n - 1)
+        d.node(0), d.node(n - 1)
+        expected = nx.maximum_flow_value(ref, 0, n - 1) if ref.has_node(0) else 0
+        assert d.max_flow(0, n - 1) == expected
+
+
+class TestMinVertexCut:
+    def test_single_articulation(self):
+        g = UGraph()
+        g.add_edge("s", "m")
+        g.add_edge("m", "t")
+        cut = min_vertex_cut(g, ["s"], ["t"], removable=["m"])
+        assert cut == {"m"}
+
+    def test_disconnected_needs_nothing(self):
+        g = UGraph()
+        g.add_node("s")
+        g.add_node("t")
+        cut = min_vertex_cut(g, ["s"], ["t"], removable=[])
+        assert cut == set()
+
+    def test_adjacent_unremovable_terminals_impossible(self):
+        g = UGraph()
+        g.add_edge("s", "t")
+        assert min_vertex_cut(g, ["s"], ["t"], removable=[]) is None
+
+    def test_removable_terminal_can_cut_itself(self):
+        g = UGraph()
+        g.add_edge("s", "t")
+        cut = min_vertex_cut(g, ["s"], ["t"], removable=["s"])
+        assert cut == {"s"}
+
+    def test_source_equals_sink_must_be_cut(self):
+        g = UGraph()
+        g.add_node("x")
+        cut = min_vertex_cut(g, ["x"], ["x"], removable=["x"])
+        assert cut == {"x"}
+
+    def test_limit_respected(self):
+        # Two disjoint s-t paths: min cut 2 > limit 1.
+        g = UGraph()
+        g.add_edge("s", "a")
+        g.add_edge("a", "t")
+        g.add_edge("s", "b")
+        g.add_edge("b", "t")
+        assert min_vertex_cut(g, ["s"], ["t"], removable=["a", "b"], limit=1) is None
+        cut = min_vertex_cut(g, ["s"], ["t"], removable=["a", "b"], limit=2)
+        assert cut == {"a", "b"}
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_cut_separates(self, seed):
+        g = random_graph(9, 0.3, seed)
+        nodes = sorted(g.nodes())
+        s, t = nodes[0], nodes[-1]
+        removable = set(nodes) - {s, t}
+        cut = min_vertex_cut(g, [s], [t], removable=removable)
+        if cut is None:
+            assert g.has_edge(s, t)
+            return
+        remaining = g.subgraph(set(nodes) - cut)
+        comp = None
+        for component in remaining.connected_components():
+            if s in component:
+                comp = component
+        assert comp is None or t not in comp
+
+
+class TestIterativeCompressionOct:
+    def test_even_cycle_zero(self):
+        g = UGraph()
+        for i in range(6):
+            g.add_edge(i, (i + 1) % 6)
+        result = oct_iterative_compression(g)
+        assert result.size == 0
+
+    def test_odd_cycle_one(self):
+        g = UGraph()
+        for i in range(5):
+            g.add_edge(i, (i + 1) % 5)
+        result = oct_iterative_compression(g)
+        assert result.size == 1
+        assert verify_oct(g, result.oct_set)
+
+    def test_k5_needs_three(self):
+        g = UGraph()
+        for i in range(5):
+            for j in range(i + 1, 5):
+                g.add_edge(i, j)
+        assert oct_iterative_compression(g).size == 3
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_agrees_with_lemma1_pipeline(self, seed):
+        """Two entirely independent exact algorithms must agree."""
+        g = random_graph(11, 0.25, seed)
+        via_vc = odd_cycle_transversal(g)
+        via_ic = oct_iterative_compression(g, max_k=11)
+        assert via_ic.size == via_vc.size, seed
+        assert verify_oct(g, via_ic.oct_set)
+        for u, v in g.edges():
+            if u not in via_ic.oct_set and v not in via_ic.oct_set:
+                assert via_ic.coloring[u] != via_ic.coloring[v]
+
+    def test_budget_exceeded_raises(self):
+        g = random_graph(12, 0.8, 3)  # dense: large OCT
+        with pytest.raises(OctBudgetExceeded):
+            oct_iterative_compression(g, max_k=1)
+
+    def test_bdd_graph_use(self, c17_netlist):
+        """The FPT solver works on real BDD graphs too."""
+        from repro.bdd import build_sbdd
+        from repro.core import preprocess
+
+        bg = preprocess(build_sbdd(c17_netlist))
+        exact = odd_cycle_transversal(bg.graph)
+        ic = oct_iterative_compression(bg.graph, max_k=8)
+        assert ic.size == exact.size

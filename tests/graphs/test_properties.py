@@ -1,0 +1,86 @@
+"""Property-based tests for graph algorithms (hypothesis)."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.graphs import (
+    UGraph,
+    cartesian_product_k2,
+    greedy_oct,
+    greedy_vertex_cover,
+    is_bipartite,
+    minimum_vertex_cover,
+    odd_cycle_transversal,
+    two_color,
+    verify_oct,
+)
+
+
+@st.composite
+def graphs(draw, max_nodes=9):
+    n = draw(st.integers(2, max_nodes))
+    edges = draw(
+        st.sets(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)).filter(
+                lambda e: e[0] < e[1]
+            ),
+            max_size=n * 2,
+        )
+    )
+    g = UGraph()
+    for i in range(n):
+        g.add_node(i)
+    for u, v in edges:
+        g.add_edge(u, v)
+    return g
+
+
+@settings(max_examples=60, deadline=None)
+@given(graphs())
+def test_two_color_is_proper_when_it_exists(g):
+    coloring = two_color(g)
+    if coloring is None:
+        assert not is_bipartite(g)
+    else:
+        for u, v in g.edges():
+            assert coloring[u] != coloring[v]
+
+
+@settings(max_examples=60, deadline=None)
+@given(graphs())
+def test_product_always_contains_twin_matching(g):
+    p = cartesian_product_k2(g)
+    for v in g.nodes():
+        assert p.has_edge((v, 0), (v, 1))
+    assert len(p) == 2 * len(g)
+    assert p.num_edges() == 2 * g.num_edges() + len(g)
+
+
+@settings(max_examples=40, deadline=None)
+@given(graphs())
+def test_minimum_vertex_cover_covers_and_is_minimal(g):
+    result = minimum_vertex_cover(g)
+    assert all(u in result.cover or v in result.cover for u, v in g.edges())
+    greedy = greedy_vertex_cover(g)
+    assert len(result.cover) <= len(greedy)
+    assert result.lower_bound <= len(result.cover) + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(graphs())
+def test_oct_leaves_bipartite_remainder(g):
+    r = odd_cycle_transversal(g)
+    assert verify_oct(g, r.oct_set)
+    # Lemma 1 consistency: VC(G x K2) = |V| + |OCT|.
+    p = cartesian_product_k2(g)
+    vc = minimum_vertex_cover(p)
+    assert len(vc.cover) == len(g) + r.size
+
+
+@settings(max_examples=30, deadline=None)
+@given(graphs())
+def test_greedy_oct_always_valid(g):
+    r = greedy_oct(g)
+    assert verify_oct(g, r.oct_set)
+    exact = odd_cycle_transversal(g)
+    assert r.size >= exact.size

@@ -1,0 +1,96 @@
+"""Unit tests for the UGraph container."""
+
+import pytest
+
+from repro.graphs import UGraph
+
+
+@pytest.fixture
+def triangle():
+    g = UGraph()
+    g.add_edge(0, 1, "x")
+    g.add_edge(1, 2, "y")
+    g.add_edge(2, 0, "z")
+    return g
+
+
+class TestBasics:
+    def test_nodes_and_edges(self, triangle):
+        assert len(triangle) == 3
+        assert triangle.num_edges() == 3
+        assert set(triangle.nodes()) == {0, 1, 2}
+
+    def test_contains(self, triangle):
+        assert 1 in triangle
+        assert 99 not in triangle
+
+    def test_edge_data_orientation_independent(self, triangle):
+        assert triangle.edge_data(0, 1) == "x"
+        assert triangle.edge_data(1, 0) == "x"
+
+    def test_self_loop_rejected(self):
+        g = UGraph()
+        with pytest.raises(ValueError):
+            g.add_edge(1, 1)
+
+    def test_re_add_edge_replaces_data(self):
+        g = UGraph()
+        g.add_edge(0, 1, "old")
+        g.add_edge(1, 0, "new")
+        assert g.num_edges() == 1
+        assert g.edge_data(0, 1) == "new"
+
+    def test_neighbors_and_degree(self, triangle):
+        assert triangle.neighbors(0) == {1, 2}
+        assert triangle.degree(1) == 2
+
+    def test_isolated_node(self):
+        g = UGraph()
+        g.add_node("lonely")
+        assert g.degree("lonely") == 0
+        assert len(g) == 1
+
+    def test_mixed_node_types(self):
+        g = UGraph()
+        g.add_edge(1, ("a", 2))
+        assert g.has_edge(("a", 2), 1)
+        assert g.edge_data(1, ("a", 2)) is None
+
+
+class TestMutation:
+    def test_remove_edge(self, triangle):
+        triangle.remove_edge(0, 1)
+        assert not triangle.has_edge(0, 1)
+        assert triangle.num_edges() == 2
+
+    def test_remove_node_drops_incident_edges(self, triangle):
+        triangle.remove_node(1)
+        assert 1 not in triangle
+        assert triangle.num_edges() == 1
+        assert triangle.has_edge(0, 2)
+
+    def test_remove_missing_node_is_noop(self):
+        g = UGraph()
+        g.remove_node("ghost")
+        assert len(g) == 0
+
+
+class TestDerived:
+    def test_subgraph(self, triangle):
+        sub = triangle.subgraph([0, 1])
+        assert len(sub) == 2
+        assert sub.num_edges() == 1
+        assert sub.edge_data(0, 1) == "x"
+
+    def test_copy_is_independent(self, triangle):
+        dup = triangle.copy()
+        dup.remove_node(0)
+        assert 0 in triangle and triangle.num_edges() == 3
+
+    def test_connected_components(self):
+        g = UGraph()
+        g.add_edge(0, 1)
+        g.add_edge(2, 3)
+        g.add_node(4)
+        comps = sorted(g.connected_components(), key=lambda c: min(c))
+        assert comps == [{0, 1}, {2, 3}, {4}]

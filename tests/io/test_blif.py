@@ -1,0 +1,89 @@
+"""Unit tests for the BLIF reader/writer."""
+
+import pytest
+
+from repro.circuits import alu_slice, c17, decoder, mux_tree, random_netlist
+from repro.io import BlifError, read_blif, write_blif
+from tests.conftest import all_envs
+
+
+EXAMPLE = """\
+.model toy
+.inputs a b c
+.outputs f g
+.names a b t1
+11 1
+.names t1 c f
+1- 1
+-1 1
+.names a g
+0 1
+.end
+"""
+
+
+class TestReadBlif:
+    def test_example(self):
+        nl = read_blif(EXAMPLE)
+        assert nl.name == "toy"
+        out = nl.evaluate({"a": True, "b": True, "c": False})
+        assert out == {"f": True, "g": False}
+        out = nl.evaluate({"a": False, "b": False, "c": False})
+        assert out == {"f": False, "g": True}
+
+    def test_complemented_cover(self):
+        nl = read_blif(".model t\n.inputs a b\n.outputs z\n.names a b z\n11 0\n.end\n")
+        # ON-set given as the complement: z = ~(a & b).
+        assert nl.evaluate({"a": True, "b": True})["z"] is False
+        assert nl.evaluate({"a": False, "b": True})["z"] is True
+
+    def test_constant_one(self):
+        nl = read_blif(".model t\n.inputs a\n.outputs z\n.names z\n1\n.end\n")
+        assert nl.evaluate({"a": False})["z"] is True
+
+    def test_constant_zero_empty_cover(self):
+        nl = read_blif(".model t\n.inputs a\n.outputs z\n.names z\n.end\n")
+        assert nl.evaluate({"a": True})["z"] is False
+
+    def test_continuation_lines(self):
+        text = ".model t\n.inputs a \\\nb\n.outputs z\n.names a b z\n11 1\n.end\n"
+        nl = read_blif(text)
+        assert nl.inputs == ["a", "b"]
+
+    def test_comments_stripped(self):
+        nl = read_blif("# top\n.model t # name\n.inputs a\n.outputs z\n.names a z\n1 1\n.end\n")
+        assert nl.evaluate({"a": True})["z"]
+
+    def test_latch_rejected(self):
+        with pytest.raises(BlifError, match="unsupported"):
+            read_blif(".model t\n.inputs a\n.outputs z\n.latch a z re clk 0\n.end\n")
+
+    def test_mixed_polarity_rejected(self):
+        with pytest.raises(BlifError, match="mixed"):
+            read_blif(".model t\n.inputs a b\n.outputs z\n.names a b z\n11 1\n00 0\n.end\n")
+
+    def test_cover_outside_names_rejected(self):
+        with pytest.raises(BlifError):
+            read_blif(".model t\n.inputs a\n.outputs z\n11 1\n.end\n")
+
+    def test_bad_cube_character(self):
+        with pytest.raises(BlifError):
+            read_blif(".model t\n.inputs a\n.outputs z\n.names a z\nx 1\n.end\n")
+
+
+class TestWriteBlif:
+    @pytest.mark.parametrize(
+        "factory",
+        [c17, lambda: decoder(3), lambda: mux_tree(2), lambda: alu_slice(2),
+         lambda: random_netlist(5, 20, 3, seed=11)],
+    )
+    def test_round_trip(self, factory):
+        nl = factory()
+        back = read_blif(write_blif(nl))
+        for env in all_envs(nl.inputs):
+            assert back.evaluate(env) == nl.evaluate(env)
+
+    def test_model_line(self):
+        text = write_blif(c17())
+        assert text.startswith(".model c17")
+        assert text.strip().endswith(".end")

@@ -1,0 +1,37 @@
+"""Tests for the Graphviz exporters."""
+
+from repro import Compact
+from repro.circuits import c17
+from repro.io import design_to_dot, netlist_to_dot
+
+
+class TestNetlistDot:
+    def test_structure(self, c17_netlist):
+        dot = netlist_to_dot(c17_netlist)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        for name in c17_netlist.inputs:
+            assert f'"{name}"' in dot
+        for gate in c17_netlist.gates:
+            assert gate.gate_type in dot
+        # Output sinks present.
+        for out in c17_netlist.outputs:
+            assert f"__out_{out}" in dot
+
+    def test_edge_count(self, c17_netlist):
+        dot = netlist_to_dot(c17_netlist)
+        fan_ins = sum(len(g.inputs) for g in c17_netlist.gates)
+        arrow_lines = [l for l in dot.splitlines() if "->" in l]
+        assert len(arrow_lines) == fan_ins + len(c17_netlist.outputs)
+
+
+class TestDesignDot:
+    def test_structure(self):
+        design = Compact(gamma=0.5).synthesize_netlist(c17()).design
+        dot = design_to_dot(design)
+        assert dot.count("shape=box") == design.num_rows
+        assert dot.count("shape=circle") == design.num_cols
+        assert dot.count("dir=none") == design.memristor_count
+        assert "Vin" in dot
+        for out in design.output_rows:
+            assert out in dot

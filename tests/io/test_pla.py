@@ -1,0 +1,88 @@
+"""Unit tests for the PLA reader/writer."""
+
+import pytest
+
+from repro.circuits import decoder, priority_encoder
+from repro.io import PlaError, read_pla, write_pla
+from tests.conftest import all_envs
+
+
+SIMPLE = """\
+.i 3
+.o 2
+.ilb a b c
+.ob f g
+.p 3
+11- 10
+--1 10
+0-0 01
+.e
+"""
+
+
+class TestReadPla:
+    def test_simple_cubes(self):
+        nl = read_pla(SIMPLE)
+        assert nl.inputs == ["a", "b", "c"]
+        assert nl.outputs == ["f", "g"]
+        assert nl.evaluate({"a": 1, "b": 1, "c": 0}) == {"f": True, "g": False}
+        assert nl.evaluate({"a": 0, "b": 1, "c": 0}) == {"f": False, "g": True}
+        assert nl.evaluate({"a": 0, "b": 0, "c": 1}) == {"f": True, "g": False}
+
+    def test_default_names(self):
+        nl = read_pla(".i 2\n.o 1\n11 1\n.e\n")
+        assert nl.inputs == ["x0", "x1"]
+        assert nl.outputs == ["f0"]
+        assert nl.evaluate({"x0": 1, "x1": 1})["f0"]
+
+    def test_comments_and_blank_lines(self):
+        nl = read_pla("# header\n.i 1\n.o 1\n\n1 1  # cube\n.e\n")
+        assert nl.evaluate({"x0": True})["f0"]
+
+    def test_all_dash_cube_is_tautology(self):
+        nl = read_pla(".i 2\n.o 1\n-- 1\n.e\n")
+        for env in all_envs(nl.inputs):
+            assert nl.evaluate(env)["f0"]
+
+    def test_output_never_set_is_constant_false(self):
+        nl = read_pla(".i 2\n.o 2\n11 10\n.e\n")
+        for env in all_envs(nl.inputs):
+            assert not nl.evaluate(env)["f1"]
+
+    def test_missing_header_raises(self):
+        with pytest.raises(PlaError, match="missing"):
+            read_pla("11 1\n")
+
+    def test_bad_cube_arity(self):
+        with pytest.raises(PlaError):
+            read_pla(".i 3\n.o 1\n11 1\n.e\n")
+
+    def test_bad_character(self):
+        with pytest.raises(PlaError):
+            read_pla(".i 2\n.o 1\n1x 1\n.e\n")
+
+    def test_unsupported_directive(self):
+        with pytest.raises(PlaError, match="unsupported"):
+            read_pla(".i 1\n.o 1\n.mv 4\n1 1\n.e\n")
+
+    def test_ilb_arity_mismatch(self):
+        with pytest.raises(PlaError, match="arity"):
+            read_pla(".i 2\n.o 1\n.ilb a\n11 1\n.e\n")
+
+
+class TestWritePla:
+    @pytest.mark.parametrize("factory", [lambda: decoder(3), lambda: priority_encoder(4)])
+    def test_round_trip(self, factory):
+        nl = factory()
+        back = read_pla(write_pla(nl))
+        for env in all_envs(nl.inputs):
+            assert back.evaluate(env) == nl.evaluate(env)
+
+    def test_refuses_wide_inputs(self):
+        nl = priority_encoder(20)
+        with pytest.raises(PlaError, match="2\\^20"):
+            write_pla(nl)
+
+    def test_header_fields(self):
+        text = write_pla(decoder(2))
+        assert ".i 2" in text and ".o 4" in text and text.strip().endswith(".e")

@@ -1,0 +1,182 @@
+"""Tests for both MILP backends against brute force and each other."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.milp import Model, SolveStatus, sum_expr
+
+BACKENDS = ["bnb", "highs"]
+
+
+def brute_force_knapsack(values, weights, cap):
+    n = len(values)
+    best = 0
+    for mask in range(1 << n):
+        w = sum(weights[i] for i in range(n) if (mask >> i) & 1)
+        if w <= cap:
+            best = max(best, sum(values[i] for i in range(n) if (mask >> i) & 1))
+    return best
+
+
+def knapsack_model(values, weights, cap):
+    m = Model("knapsack")
+    xs = [m.add_binary(f"x{i}") for i in range(len(values))]
+    m.add_constraint(sum_expr(w * x for w, x in zip(weights, xs)) <= cap)
+    m.maximize(sum_expr(v * x for v, x in zip(values, xs)))
+    return m
+
+
+class TestKnapsack:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("seed", range(6))
+    def test_optimal(self, backend, seed):
+        rng = random.Random(seed)
+        n = rng.randint(4, 11)
+        values = [rng.randint(1, 30) for _ in range(n)]
+        weights = [rng.randint(1, 20) for _ in range(n)]
+        cap = sum(weights) // 2
+        expected = brute_force_knapsack(values, weights, cap)
+        sol = knapsack_model(values, weights, cap).solve(backend=backend)
+        assert sol.is_optimal
+        assert abs(sol.objective - expected) < 1e-6
+
+
+class TestStatuses:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_infeasible(self, backend):
+        m = Model()
+        x = m.add_binary("x")
+        m.add_constraint(x >= 1)
+        m.add_constraint(x <= 0)
+        assert m.solve(backend=backend).status == SolveStatus.INFEASIBLE
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_empty_model(self, backend):
+        sol = Model().solve(backend=backend)
+        assert sol.is_optimal
+
+    def test_unbounded_bnb(self):
+        m = Model()
+        x = m.add_continuous("x", 0)
+        m.maximize(x)
+        sol = m.solve(backend="bnb")
+        assert sol.status == SolveStatus.UNBOUNDED
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_integer_infeasible_continuous_feasible(self, backend):
+        # 2x == 1 has an LP solution but no integer solution.
+        m = Model()
+        x = m.add_integer("x", 0, 10)
+        m.add_constraint(2 * x == 1)
+        m.minimize(x)
+        assert m.solve(backend=backend).status == SolveStatus.INFEASIBLE
+
+
+class TestMixedInteger:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_continuous_part_exact(self, backend):
+        m = Model()
+        xi = m.add_integer("xi", 0, 10)
+        y = m.add_continuous("y", 0, 10)
+        m.add_constraint(2 * xi + y <= 7.5)
+        m.maximize(3 * xi + 2 * y)
+        sol = m.solve(backend=backend)
+        assert abs(sol.objective - 15.0) < 1e-6
+        assert abs(sol["y"] - 7.5) < 1e-6
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_equality_constraints(self, backend):
+        m = Model()
+        a, b = m.add_binary("a"), m.add_binary("b")
+        m.add_constraint(a + b == 1)
+        m.minimize(2 * a + b)
+        sol = m.solve(backend=backend)
+        assert sol.int_value("b") == 1 and sol.int_value("a") == 0
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_objective_constant_carried(self, backend):
+        m = Model()
+        x = m.add_binary("x")
+        m.add_constraint(x >= 1)
+        m.minimize(x + 10)
+        assert abs(m.solve(backend=backend).objective - 11.0) < 1e-6
+
+
+class TestWarmStartAndTrace:
+    def test_warm_start_accepted(self):
+        m = Model()
+        xs = [m.add_binary(f"x{i}") for i in range(6)]
+        for i in range(5):
+            m.add_constraint(xs[i] + xs[i + 1] >= 1)
+        m.minimize(sum_expr(xs))
+        warm = {f"x{i}": float(i % 2 == 1) for i in range(6)}
+        warm["x5"] = 1.0
+        sol = m.solve(backend="bnb", initial_solution=warm)
+        assert sol.is_optimal
+
+    def test_infeasible_warm_start_ignored(self):
+        m = Model()
+        x, y = m.add_binary("x"), m.add_binary("y")
+        m.add_constraint(x + y >= 1)
+        m.minimize(x + y)
+        sol = m.solve(backend="bnb", initial_solution={"x": 0.0, "y": 0.0})
+        assert sol.is_optimal and abs(sol.objective - 1.0) < 1e-9
+
+    def test_trace_monotone(self):
+        rng = random.Random(7)
+        m = Model()
+        xs = [m.add_binary(f"x{i}") for i in range(14)]
+        for _ in range(25):
+            i, j = rng.sample(range(14), 2)
+            m.add_constraint(xs[i] + xs[j] >= 1)
+        m.minimize(sum_expr(xs))
+        sol = m.solve(backend="bnb")
+        assert sol.is_optimal
+        bounds = [b for _, _, b, _ in sol.trace]
+        assert bounds == sorted(bounds)  # dual bound only improves
+        incs = [i for _, i, _, _ in sol.trace if i is not None]
+        assert all(x >= y for x, y in zip(incs, incs[1:]))  # incumbents improve
+
+    def test_trace_callback_invoked(self):
+        events = []
+        m = Model()
+        x = m.add_binary("x")
+        m.add_constraint(x >= 1)
+        m.minimize(x)
+        m.solve(backend="bnb", trace_callback=lambda *a: events.append(a))
+        assert events
+
+    def test_time_limit_returns_feasible(self):
+        rng = random.Random(3)
+        m = Model()
+        xs = [m.add_binary(f"x{i}") for i in range(40)]
+        for _ in range(120):
+            i, j, k = rng.sample(range(40), 3)
+            m.add_constraint(xs[i] + xs[j] + xs[k] >= 1)
+        m.minimize(sum_expr(xs))
+        sol = m.solve(backend="bnb", time_limit=0.5)
+        assert sol.status in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE)
+        if sol.status == SolveStatus.FEASIBLE:
+            assert sol.gap is None or sol.gap >= 0
+
+
+class TestAgreementProperty:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_backends_agree_on_random_covering_lps(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(5, 12)
+        m1, m2 = Model(), Model()
+        for m in (m1, m2):
+            xs = [m.add_binary(f"x{i}") for i in range(n)]
+            rng2 = random.Random(seed + 1000)
+            for _ in range(n * 2):
+                i, j = rng2.sample(range(n), 2)
+                m.add_constraint(xs[i] + xs[j] >= 1)
+            weights = [random.Random(seed + i).randint(1, 5) for i in range(n)]
+            m.minimize(sum_expr(w * x for w, x in zip(weights, xs)))
+        s1 = m1.solve(backend="bnb")
+        s2 = m2.solve(backend="highs")
+        assert s1.is_optimal and s2.is_optimal
+        assert abs(s1.objective - s2.objective) < 1e-6

@@ -1,0 +1,114 @@
+"""Full-pipeline integration and property tests.
+
+Random circuits go through the complete flow — netlist -> SBDD ->
+pre-processing -> VH-labeling -> crossbar -> evaluation — and the result
+is checked exhaustively against the netlist, logically and (sampled)
+analogically.  This is the reproduction's equivalent of the paper's
+SPICE sign-off on every synthesized design.
+"""
+
+import itertools
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro import Compact
+from repro.baselines import magic_map, staircase_map_netlist
+from repro.circuits import random_netlist
+from repro.crossbar import simulate, validate_design
+from repro.io import read_blif, write_blif
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    gamma=st.sampled_from([0.0, 0.5, 1.0]),
+    n_inputs=st.integers(3, 6),
+    n_gates=st.integers(5, 25),
+)
+def test_compact_designs_are_always_valid(seed, gamma, n_inputs, n_gates):
+    nl = random_netlist(n_inputs, n_gates, 3, seed=seed)
+    res = Compact(gamma=gamma, time_limit=30).synthesize_netlist(nl)
+    report = validate_design(res.design, nl.evaluate, nl.inputs)
+    assert report.ok, (seed, gamma, report.counterexample, report.mismatched_outputs)
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_heuristic_designs_are_always_valid(seed):
+    nl = random_netlist(6, 30, 4, seed=seed)
+    res = Compact(gamma=1.0, method="heuristic").synthesize_netlist(nl)
+    report = validate_design(res.design, nl.evaluate, nl.inputs)
+    assert report.ok, (seed, report.counterexample)
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_compact_never_larger_than_staircase(seed):
+    nl = random_netlist(5, 20, 3, seed=seed)
+    ours = Compact(gamma=1.0, time_limit=30).synthesize_netlist(nl)
+    base = staircase_map_netlist(nl, share_outputs=True)
+    assert ours.design.semiperimeter <= base.design.semiperimeter
+
+
+@settings(max_examples=5, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_analog_agrees_with_logical_on_random_designs(seed):
+    nl = random_netlist(4, 15, 2, seed=seed)
+    res = Compact(gamma=0.5, time_limit=30).synthesize_netlist(nl)
+    for bits in itertools.product([False, True], repeat=4):
+        env = dict(zip(nl.inputs, bits))
+        assert simulate(res.design, env).outputs == res.design.evaluate(env)
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_blif_import_flow(seed):
+    """File-based flow: BLIF text in, valid crossbar out."""
+    nl = random_netlist(5, 18, 3, seed=seed)
+    imported = read_blif(write_blif(nl))
+    res = Compact(gamma=0.5, time_limit=30).synthesize_netlist(imported)
+    assert validate_design(res.design, nl.evaluate, nl.inputs).ok
+
+
+@settings(max_examples=5, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_three_paradigms_agree_functionally(seed):
+    """COMPACT, the staircase baseline and the MAGIC LUT network all
+    compute the same function."""
+    nl = random_netlist(5, 20, 3, seed=seed)
+    compact = Compact(gamma=0.5, time_limit=30).synthesize_netlist(nl).design
+    stair = staircase_map_netlist(nl).design
+    magic = magic_map(nl)
+    for bits in itertools.product([False, True], repeat=5):
+        env = dict(zip(nl.inputs, bits))
+        expected = nl.evaluate(env)
+        assert compact.evaluate(env) == expected
+        assert stair.evaluate(env) == expected
+        assert magic.evaluate(env, nl.outputs) == expected
+
+
+class TestSemiperimeterInvariants:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_s_equals_n_plus_k_modulo_false_row(self, seed):
+        nl = random_netlist(6, 22, 3, seed=seed)
+        res = Compact(gamma=1.0, time_limit=30).synthesize_netlist(nl)
+        n = res.bdd_graph.num_nodes
+        k = res.labeling.vh_count
+        extra = 1 if any(
+            v is False for v in res.bdd_graph.constant_outputs.values()
+        ) else 0
+        assert res.design.semiperimeter == n + k + extra
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_gamma_monotonicity(self, seed):
+        nl = random_netlist(5, 18, 3, seed=seed)
+        runs = {
+            g: Compact(gamma=g, time_limit=30).synthesize_netlist(nl)
+            for g in (0.0, 0.5, 1.0)
+        }
+        assert runs[1.0].labeling.semiperimeter <= runs[0.5].labeling.semiperimeter
+        assert runs[0.5].labeling.semiperimeter <= runs[0.0].labeling.semiperimeter
+        assert runs[0.0].labeling.max_dimension <= runs[0.5].labeling.max_dimension
+        assert runs[0.5].labeling.max_dimension <= runs[1.0].labeling.max_dimension

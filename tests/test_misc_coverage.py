@@ -1,0 +1,149 @@
+"""Targeted tests for smaller utility paths across the library."""
+
+import math
+
+import pytest
+
+from repro.bench.tables import Table, geometric_mean, normalised_average, text_series
+from repro.milp.branch_and_bound import _Arrays
+from repro.milp import Model, sum_expr
+
+
+class TestBenchTables:
+    def test_text_series_plots_extremes(self):
+        art = text_series([0, 1, 2, 3], [0, 1, 4, 9], width=20, height=5)
+        assert "*" in art
+        assert "x: [0, 3]" in art and "y: [0, 9]" in art
+
+    def test_text_series_empty(self):
+        assert "empty" in text_series([], [])
+
+    def test_text_series_constant_series(self):
+        art = text_series([1, 2], [5, 5], width=10, height=3)
+        assert "y: [5, 5]" in art
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 100]) == pytest.approx(10.0)
+        assert math.isnan(geometric_mean([]))
+        assert math.isnan(geometric_mean([0, -1]))
+
+    def test_normalised_average_skips_zero_baselines(self):
+        assert normalised_average([1, 5], [2, 0]) == pytest.approx(0.5)
+        assert math.isnan(normalised_average([], []))
+
+    def test_table_float_formatting(self):
+        t = Table("T", ["x"])
+        t.add_row(3.14159)
+        t.add_row(1234.5)
+        t.add_row(float("nan"))
+        text = t.render()
+        assert "3.142" in text
+        assert "1234.5" in text or "1235" in text
+        assert "-" in text
+
+
+class TestMilpObjectiveStep:
+    def test_integer_objective_has_step(self):
+        m = Model()
+        x = m.add_binary("x")
+        y = m.add_binary("y")
+        m.minimize(0.5 * x + 0.5 * y)
+        arrays = _Arrays(m)
+        assert arrays.obj_step == pytest.approx(0.5)
+        assert arrays.lift(0.2) == pytest.approx(0.5)
+        assert arrays.lift(0.5) == pytest.approx(0.5)
+
+    def test_continuous_objective_has_no_step(self):
+        m = Model()
+        x = m.add_continuous("x", 0, 1)
+        m.minimize(2 * x)
+        arrays = _Arrays(m)
+        assert arrays.obj_step == 0.0
+        assert arrays.lift(0.3) == 0.3
+
+    def test_mixed_coefficients_gcd(self):
+        m = Model()
+        a, b = m.add_integer("a", 0, 9), m.add_integer("b", 0, 9)
+        m.minimize(6 * a + 4 * b)
+        arrays = _Arrays(m)
+        assert arrays.obj_step == pytest.approx(2.0)
+
+
+class TestGraphUtilities:
+    def test_edge_data_missing_edge_raises(self):
+        from repro.graphs import UGraph
+
+        g = UGraph()
+        g.add_edge(1, 2)
+        with pytest.raises(KeyError):
+            g.edge_data(1, 3)
+
+    def test_find_odd_cycle_across_components(self):
+        from repro.graphs import UGraph, find_odd_cycle
+
+        g = UGraph()
+        g.add_edge(0, 1)  # bipartite component
+        for a, b in ((10, 11), (11, 12), (12, 10)):  # triangle
+            g.add_edge(a, b)
+        cyc = find_odd_cycle(g)
+        assert cyc is not None and set(cyc) == {10, 11, 12}
+
+
+class TestBddUtilities:
+    def test_add_var_after_nodes_exist(self):
+        from repro.bdd import BDD
+
+        m = BDD(["a"])
+        f = m.var("a")
+        m.add_var("z")
+        g = m.apply_and(f, m.var("z"))
+        assert m.evaluate(g, {"a": True, "z": True})
+
+    def test_compose_chain(self):
+        from repro.bdd import BDD
+
+        m = BDD(["a", "b", "c"])
+        f = m.apply_or(m.var("a"), m.var("b"))
+        g = m.compose(f, "b", m.var("c"))
+        g = m.compose(g, "c", m.var("a"))
+        assert g == m.var("a")
+
+    def test_sat_count_nvars_smaller_than_order(self):
+        from repro.bdd import BDD
+
+        m = BDD(["a", "b", "c"])
+        f = m.var("a")
+        assert m.sat_count(f, nvars=1) == 1
+
+
+class TestDesignRendering:
+    def test_render_marks_both_ports_on_same_row(self):
+        from repro import Compact
+        from repro.expr import parse
+
+        res = Compact().synthesize_expr({"t": parse("1"), "f": parse("a")})
+        text = res.design.render()
+        assert "<- Vin" in text
+        assert "-> t" in text
+
+    def test_row_and_col_labels_annotated(self):
+        from repro import Compact
+        from repro.expr import parse
+
+        res = Compact().synthesize_expr(parse("a & b"), name="f")
+        design = res.design
+        assert set(design.row_labels) == set(range(design.num_rows))
+        assert set(design.col_labels) == set(range(design.num_cols))
+
+
+class TestCompactCustomOrder:
+    def test_explicit_variable_order(self, ):
+        from repro import Compact
+        from repro.circuits import ripple_carry_adder
+        from repro.crossbar import validate_design
+
+        nl = ripple_carry_adder(3)
+        order = sorted(nl.inputs)
+        res = Compact(gamma=0.5).synthesize_netlist(nl, order=order)
+        assert validate_design(res.design, nl.evaluate, nl.inputs).ok
+        assert res.sbdd.manager.var_order == tuple(order)

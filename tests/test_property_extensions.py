@@ -1,0 +1,104 @@
+"""Property-based tests for the extension modules (hypothesis)."""
+
+import itertools
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+
+from repro import Compact
+from repro.bdd import build_fbdd, build_sbdd, fbdd_to_bdd_graph
+from repro.circuits import random_netlist
+from repro.crossbar import (
+    assignments_to_matrix,
+    batch_evaluate,
+    evaluate_with_faults,
+    schedule_sequence,
+)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_batch_equals_scalar_on_random_designs(seed):
+    nl = random_netlist(5, 20, 3, seed=seed)
+    design = Compact(gamma=0.5, time_limit=30).synthesize_netlist(nl).design
+    envs = [
+        dict(zip(nl.inputs, bits))
+        for bits in itertools.product([False, True], repeat=5)
+    ]
+    X = assignments_to_matrix(envs, nl.inputs)
+    batch = batch_evaluate(design, nl.inputs, X)
+    for i, env in enumerate(envs):
+        ref = design.evaluate(env)
+        assert {k: bool(v[i]) for k, v in batch.items()} == ref
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_fbdd_equals_robdd_semantics(seed):
+    nl = random_netlist(6, 22, 3, seed=seed)
+    sbdd = build_sbdd(nl)
+    fbdd = build_fbdd(sbdd)
+    fbdd.check_free()
+    for bits in itertools.product([False, True], repeat=6):
+        env = dict(zip(nl.inputs, bits))
+        assert fbdd.evaluate(env) == nl.evaluate(env)
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_fbdd_designs_always_valid(seed):
+    from repro.crossbar import validate_design
+
+    nl = random_netlist(5, 18, 3, seed=seed)
+    fbdd = build_fbdd(build_sbdd(nl))
+    design, labeling, _ = Compact(gamma=0.5, time_limit=30).synthesize_bdd_graph(
+        fbdd_to_bdd_graph(fbdd), name="f"
+    )
+    assert validate_design(design, nl.evaluate, nl.inputs).ok
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000), length=st.integers(2, 12))
+def test_programming_schedule_invariants(seed, length):
+    import random as _random
+
+    nl = random_netlist(5, 15, 2, seed=seed)
+    design = Compact(gamma=0.5, time_limit=30).synthesize_netlist(nl).design
+    rng = _random.Random(seed)
+    stream = [
+        {n: bool(rng.getrandbits(1)) for n in nl.inputs} for _ in range(length)
+    ]
+    sched = schedule_sequence(design, stream)
+    assert sched.n_evaluations == length
+    assert len(sched.steps) == length - 1
+    # Writes per step never exceed the programmed cell count.
+    for step in sched.steps:
+        assert 0 <= step.cells_written <= design.memristor_count
+        assert step.rows_touched <= design.num_rows
+        assert step.delay_steps <= design.num_rows + 1
+    assert sched.amortized_delay <= sched.worst_case_delay
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_empty_fault_set_is_identity(seed):
+    nl = random_netlist(5, 18, 3, seed=seed)
+    design = Compact(gamma=0.5, time_limit=30).synthesize_netlist(nl).design
+    for bits in itertools.product([False, True], repeat=5):
+        env = dict(zip(nl.inputs, bits))
+        assert evaluate_with_faults(design, env, []) == design.evaluate(env)
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_minimized_pla_synthesizes_identically(seed):
+    """QM-minimized two-level form -> crossbar == original function."""
+    from repro.crossbar import validate_design
+    from repro.expr import minimize_expr
+    from repro.io import read_pla, write_pla
+
+    nl = random_netlist(4, 12, 2, seed=seed)
+    round_tripped = read_pla(write_pla(nl))
+    design = Compact(gamma=0.5, time_limit=30).synthesize_netlist(round_tripped).design
+    assert validate_design(design, nl.evaluate, nl.inputs).ok
