@@ -1,0 +1,22 @@
+PYTHON ?= python
+JOBS ?= 4
+
+export PYTHONPATH := src
+
+.PHONY: test test-perf bench bench-baseline bench-smoke
+
+test:
+	$(PYTHON) -m pytest tests/ -q
+
+test-perf:
+	$(PYTHON) -m pytest tests/perf tests/bdd/test_swap_properties.py -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+bench-smoke:
+	$(PYTHON) -m pytest benchmarks/test_perf_smoke.py -q
+
+# Regenerate the committed perf trajectory point.
+bench-baseline:
+	$(PYTHON) -m repro bench perf --jobs $(JOBS) --perf-json BENCH_compact.json

@@ -1,0 +1,135 @@
+"""Perf smoke benchmark: in-place sifting vs the rebuild baseline.
+
+Backs the PR's acceptance criteria:
+
+* in-place :func:`repro.bdd.ordering.sift_order` reaches an SBDD size
+  no larger than the rebuild-based sifter on *every* suite circuit,
+  with **zero** SBDD rebuilds during the position scan (verified by
+  the ``sbdd_rebuilds`` counter);
+* end-to-end ``sift_order`` wall time on the largest suite circuit
+  improves by at least 5x over the rebuild sifter;
+* the perf harness payload (and the committed ``BENCH_compact.json``
+  baseline, when present) validates against the schema.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.bdd import build_sbdd, sift_order, sift_order_rebuild, static_order
+from repro.bdd.ordering import sbdd_size_for_order
+from repro.bench.suites import circuit, suite
+from repro.perf import counters, validate_bench_payload
+from repro.perf.harness import run_perf_suite, write_bench_json
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FAST_NAMES = [b.name for b in suite("fast")]
+#: Largest fast-suite circuit by input count — the speedup headliner.
+LARGEST = "priority32"
+
+
+@pytest.mark.parametrize("name", FAST_NAMES)
+def test_inplace_never_worse_than_rebuild(name, save_result):
+    """In-place sifting matches or beats the rebuild sifter's greedy
+    trajectory on every suite circuit — without a single rebuild."""
+    netlist = circuit(name)
+    start = static_order(netlist)
+
+    rebuild_order = sift_order_rebuild(netlist, start=start, max_rounds=1)
+    rebuild_size = build_sbdd(netlist, order=rebuild_order).node_count()
+
+    counters.reset()
+    stats: dict = {}
+    inplace_order = sift_order(netlist, start=start, max_rounds=1, stats=stats)
+    inplace_size = build_sbdd(netlist, order=inplace_order).node_count()
+
+    # The live size reported by the sifter is the real SBDD size.
+    assert stats["final_size"] == inplace_size
+    assert inplace_size <= rebuild_size, (
+        f"{name}: in-place {inplace_size} > rebuild {rebuild_size}"
+    )
+    # Exactly one construction (the initial build); the position scan
+    # itself never rebuilds.
+    assert counters.get("sbdd_rebuilds") == 1
+    save_result(
+        f"perf_smoke_{name}",
+        f"{name}: inplace={inplace_size} rebuild={rebuild_size} "
+        f"swaps={stats['swaps']}",
+    )
+
+
+def test_sift_speedup_on_largest_circuit(save_result):
+    """>=5x wall-time improvement where it matters most."""
+    netlist = circuit(LARGEST)
+    start = static_order(netlist)
+
+    t0 = time.monotonic()
+    sift_order_rebuild(netlist, start=start, max_rounds=1)
+    t_rebuild = time.monotonic() - t0
+
+    t0 = time.monotonic()
+    sift_order(netlist, start=start, max_rounds=1)
+    t_inplace = time.monotonic() - t0
+
+    speedup = t_rebuild / max(t_inplace, 1e-9)
+    save_result(
+        "perf_smoke_speedup",
+        f"{LARGEST}: rebuild={t_rebuild:.3f}s inplace={t_inplace:.3f}s "
+        f"speedup={speedup:.1f}x",
+    )
+    assert speedup >= 5.0, f"only {speedup:.1f}x on {LARGEST}"
+
+
+def test_rebuild_baseline_counts_every_candidate():
+    """The rebuild sifter really does pay one SBDD build per candidate
+    position — the cost the in-place sifter eliminates."""
+    netlist = circuit("c17")
+    counters.reset()
+    sift_order_rebuild(netlist, max_rounds=1)
+    n = len(netlist.inputs)
+    # 1 initial + (n-1) candidate positions per variable per round.
+    assert counters.get("sbdd_rebuilds") >= 1 + n * (n - 1)
+
+
+def test_harness_payload_validates(save_result):
+    payload = run_perf_suite(names=["c17", "parity16", "mult4"], time_limit=10.0)
+    validate_bench_payload(payload)
+    for record in payload["circuits"]:
+        assert record["sift"]["rebuilds"] == 0
+        assert record["sbdd_nodes_sifted"] <= record["sbdd_nodes_static"]
+    save_result(
+        "perf_smoke_payload",
+        json.dumps(
+            {r["circuit"]: r["sbdd_nodes_sifted"] for r in payload["circuits"]}
+        ),
+    )
+
+
+def test_committed_baseline_validates():
+    """BENCH_compact.json at the repo root is the persisted perf
+    trajectory point; it must always match the schema."""
+    path = REPO_ROOT / "BENCH_compact.json"
+    if not path.exists():
+        pytest.skip("no committed BENCH_compact.json")
+    payload = json.loads(path.read_text())
+    validate_bench_payload(payload)
+    committed = {r["circuit"] for r in payload["circuits"]}
+    assert committed <= {b.name for b in suite("full")}
+
+
+def test_write_bench_json_rejects_invalid(tmp_path):
+    with pytest.raises(ValueError):
+        write_bench_json(tmp_path / "x.json", {"schema": "nope"})
+
+
+def test_order_quality_regression():
+    """Sifted orders keep beating the static order on the classic
+    interleaving example (comparator)."""
+    netlist = circuit("cmp8")
+    static_size = sbdd_size_for_order(netlist, static_order(netlist))
+    sifted = sift_order(netlist, max_rounds=1)
+    assert sbdd_size_for_order(netlist, sifted) <= static_size

@@ -3,7 +3,13 @@
 from .dot import sbdd_to_dot
 from .fbdd import FBDD, build_fbdd, fbdd_to_bdd_graph
 from .manager import BDD, FALSE_ID, LEAF_LEVEL, TRUE_ID
-from .ordering import interleaved_order, sbdd_size_for_order, sift_order, static_order
+from .ordering import (
+    interleaved_order,
+    sbdd_size_for_order,
+    sift_order,
+    sift_order_rebuild,
+    static_order,
+)
 from .reorder import sift, sift_sbdd, swap_adjacent
 from .sbdd import SBDD, build_robdds, build_sbdd, sbdd_from_exprs
 
@@ -25,6 +31,7 @@ __all__ = [
     "static_order",
     "interleaved_order",
     "sift_order",
+    "sift_order_rebuild",
     "sbdd_size_for_order",
     "sbdd_to_dot",
 ]

@@ -10,6 +10,27 @@ id 1 the constant TRUE terminal.
 Multiple functions built in the same manager share subgraphs through the
 unique table, which is exactly the paper's *shared BDD* (SBDD): an SBDD
 is simply a set of root ids in one manager.
+
+Performance notes
+-----------------
+The hot kernels (``not_``, ``apply_and``/``or``/``xor``) use an explicit
+stack instead of recursion — a BDD over *n* variables recurses *n* deep,
+so circuits with more variables than the interpreter's recursion limit
+would otherwise crash — and key the operation cache with packed integers
+(``(f << 32 | g) << 3 | opcode``) instead of tuples, which avoids tuple
+allocation and hashes faster.  Node ids stay far below ``2**32`` for any
+table a pure-Python process can hold, so the packing is collision-free.
+
+The op cache is *bounded*: once it holds ``max_cache_size`` entries it
+is dropped wholesale (the CUDD "cache reset" policy) and a counter is
+incremented.  Hits/misses/resets are reported by :meth:`BDD.cache_stats`.
+
+Two caches are kept because dynamic reordering
+(:mod:`repro.bdd.reorder`) preserves what node *ids mean* but not what
+*levels* mean: results of ``not``/``and``/``or``/``xor``/``ite`` map ids
+to ids and stay valid across an adjacent-level swap, while
+``restrict``/``exists``/``compose`` entries embed variable levels and
+must be invalidated.  The swap therefore clears only ``_lvl_cache``.
 """
 
 from __future__ import annotations
@@ -27,6 +48,17 @@ TRUE_ID = 1
 #: Sentinel level for terminal nodes; larger than any variable level.
 LEAF_LEVEL = 1 << 30
 
+# Opcodes packed into the low 3 bits of integer cache keys.
+_OP_NOT = 0
+_OP_AND = 1
+_OP_OR = 2
+_OP_XOR = 3
+_OP_ITE = 4
+
+# Stack frame tags for the iterative kernels.
+_EXPAND = 0
+_COMBINE = 1
+
 
 class BDD:
     """A BDD manager over a fixed variable order.
@@ -35,12 +67,17 @@ class BDD:
     ----------
     var_order:
         Variable names from the top level (0) downwards.  Variables can be
-        appended later with :meth:`add_var` but never reordered in place;
-        use :func:`repro.bdd.ordering.sift_order` to search for better
-        orders and rebuild.
+        appended later with :meth:`add_var`; in-place reordering is
+        provided by :mod:`repro.bdd.reorder`, and
+        :func:`repro.bdd.ordering.sift_order` searches for good orders.
+    max_cache_size:
+        Bound on the operation-cache entry count; exceeding it drops the
+        cache (counted in :meth:`cache_stats` as a reset).
     """
 
-    def __init__(self, var_order: Iterable[str] = ()):
+    def __init__(self, var_order: Iterable[str] = (), max_cache_size: int = 1 << 20):
+        if max_cache_size < 1:
+            raise ValueError("max_cache_size must be positive")
         self._order: list[str] = []
         self._level: dict[str, int] = {}
         # Node table: _var_level[i], _low[i], _high[i].  Terminals first.
@@ -48,7 +85,16 @@ class BDD:
         self._low: list[int] = [FALSE_ID, TRUE_ID]
         self._high: list[int] = [FALSE_ID, TRUE_ID]
         self._unique: dict[tuple[int, int, int], int] = {}
-        self._cache: dict[tuple, int] = {}
+        #: Level-independent op results (packed int keys; survives swaps).
+        self._cache: dict[int, int] = {}
+        #: Level-dependent op results (tuple keys; cleared on swaps).
+        self._lvl_cache: dict[tuple, int] = {}
+        self._max_cache_size = max_cache_size
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._cache_resets = 0
+        #: Adjacent-level swaps performed on this manager (see reorder.py).
+        self.swap_count = 0
         for name in var_order:
             self.add_var(name)
 
@@ -84,6 +130,14 @@ class BDD:
         if name not in self._level:
             self.add_var(name)
         return self._mk(self._level[name], TRUE_ID, FALSE_ID)
+
+    def _require_level(self, name: str) -> int:
+        level = self._level.get(name)
+        if level is None:
+            raise ValueError(
+                f"unknown variable {name!r} (declared: {', '.join(self._order) or 'none'})"
+            )
+        return level
 
     # -- node table ----------------------------------------------------------
     @property
@@ -131,82 +185,163 @@ class BDD:
         return node <= TRUE_ID
 
     def table_size(self) -> int:
-        """Total number of nodes ever created (including both terminals)."""
+        """Total number of nodes ever created (including both terminals).
+
+        The node table is append-only, so this is also the *peak* size.
+        """
         return len(self._var_level)
+
+    # -- op cache ----------------------------------------------------------------
+    def _cache_put(self, key: int, value: int) -> None:
+        cache = self._cache
+        if len(cache) >= self._max_cache_size:
+            cache.clear()
+            self._cache_resets += 1
+        cache[key] = value
+
+    def cache_stats(self) -> dict:
+        """Operation-cache statistics: hits, misses, hit_rate, resets, entries."""
+        hits, misses = self._cache_hits, self._cache_misses
+        lookups = hits + misses
+        return {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hits / lookups if lookups else 0.0,
+            "resets": self._cache_resets,
+            "entries": len(self._cache) + len(self._lvl_cache),
+        }
+
+    def reset_cache_stats(self) -> None:
+        """Zero the hit/miss/reset counters (cache contents are kept)."""
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._cache_resets = 0
+
+    def clear_cache(self) -> None:
+        """Drop both operation caches (the unique table is kept)."""
+        self._cache.clear()
+        self._lvl_cache.clear()
 
     # -- boolean operations ----------------------------------------------------
     def not_(self, f: int) -> int:
         """Negation.  O(|f|) without complement edges (result is cached)."""
-        if f == FALSE_ID:
-            return TRUE_ID
-        if f == TRUE_ID:
-            return FALSE_ID
-        key = ("not", f)
-        result = self._cache.get(key)
-        if result is None:
-            result = self._mk(
-                self._var_level[f], self.not_(self._low[f]), self.not_(self._high[f])
-            )
-            self._cache[key] = result
-        return result
+        if f <= TRUE_ID:
+            return f ^ 1
+        cache = self._cache
+        var_level = self._var_level
+        low = self._low
+        high = self._high
+        stack: list[tuple[int, int]] = [(_EXPAND, f)]
+        vals: list[int] = []
+        while stack:
+            tag, n = stack.pop()
+            if tag == _EXPAND:
+                if n <= TRUE_ID:
+                    vals.append(n ^ 1)
+                    continue
+                key = (n << 3) | _OP_NOT
+                r = cache.get(key)
+                if r is not None:
+                    self._cache_hits += 1
+                    vals.append(r)
+                    continue
+                self._cache_misses += 1
+                stack.append((_COMBINE, n))
+                stack.append((_EXPAND, high[n]))
+                stack.append((_EXPAND, low[n]))
+            else:
+                hi = vals.pop()
+                lo = vals.pop()
+                r = self._mk(var_level[n], lo, hi)
+                self._cache_put((n << 3) | _OP_NOT, r)
+                vals.append(r)
+        return vals[0]
+
+    @staticmethod
+    def _terminal_case(op: int, f: int, g: int) -> int | None:
+        """Terminal/absorption cases of the binary kernels (None = recurse).
+
+        XOR with a TRUE operand is *not* terminal here (it needs a
+        negation); the kernel loop handles it.
+        """
+        if op == _OP_AND:
+            if f == FALSE_ID or g == FALSE_ID:
+                return FALSE_ID
+            if f == TRUE_ID:
+                return g
+            if g == TRUE_ID or f == g:
+                return f
+        elif op == _OP_OR:
+            if f == TRUE_ID or g == TRUE_ID:
+                return TRUE_ID
+            if f == FALSE_ID:
+                return g
+            if g == FALSE_ID or f == g:
+                return f
+        else:  # _OP_XOR
+            if f == g:
+                return FALSE_ID
+            if f == FALSE_ID:
+                return g
+            if g == FALSE_ID:
+                return f
+        return None
+
+    def _apply2(self, op: int, f: int, g: int) -> int:
+        """Iterative binary apply kernel shared by and/or/xor."""
+        cache = self._cache
+        var_level = self._var_level
+        low = self._low
+        high = self._high
+        terminal = self._terminal_case
+        stack: list[tuple] = [(_EXPAND, f, g)]
+        vals: list[int] = []
+        while stack:
+            frame = stack.pop()
+            if frame[0] == _EXPAND:
+                a, b = frame[1], frame[2]
+                r = terminal(op, a, b)
+                if r is not None:
+                    vals.append(r)
+                    continue
+                if op == _OP_XOR and (a == TRUE_ID or b == TRUE_ID):
+                    vals.append(self.not_(b if a == TRUE_ID else a))
+                    continue
+                if a > b:  # and/or/xor are commutative: canonicalise
+                    a, b = b, a
+                key = ((a << 32) | b) << 3 | op
+                r = cache.get(key)
+                if r is not None:
+                    self._cache_hits += 1
+                    vals.append(r)
+                    continue
+                self._cache_misses += 1
+                la, lb = var_level[a], var_level[b]
+                lvl = la if la < lb else lb
+                al, ah = (low[a], high[a]) if la == lvl else (a, a)
+                bl, bh = (low[b], high[b]) if lb == lvl else (b, b)
+                stack.append((_COMBINE, key, lvl))
+                stack.append((_EXPAND, ah, bh))
+                stack.append((_EXPAND, al, bl))
+            else:
+                hi = vals.pop()
+                lo = vals.pop()
+                r = self._mk(frame[2], lo, hi)
+                self._cache_put(frame[1], r)
+                vals.append(r)
+        return vals[0]
 
     def apply_and(self, f: int, g: int) -> int:
-        if f == FALSE_ID or g == FALSE_ID:
-            return FALSE_ID
-        if f == TRUE_ID:
-            return g
-        if g == TRUE_ID or f == g:
-            return f
-        if f > g:
-            f, g = g, f
-        key = ("and", f, g)
-        result = self._cache.get(key)
-        if result is None:
-            lvl, fl, fh, gl, gh = self._split(f, g)
-            result = self._mk(lvl, self.apply_and(fl, gl), self.apply_and(fh, gh))
-            self._cache[key] = result
-        return result
+        return self._apply2(_OP_AND, f, g)
 
     def apply_or(self, f: int, g: int) -> int:
-        if f == TRUE_ID or g == TRUE_ID:
-            return TRUE_ID
-        if f == FALSE_ID:
-            return g
-        if g == FALSE_ID or f == g:
-            return f
-        if f > g:
-            f, g = g, f
-        key = ("or", f, g)
-        result = self._cache.get(key)
-        if result is None:
-            lvl, fl, fh, gl, gh = self._split(f, g)
-            result = self._mk(lvl, self.apply_or(fl, gl), self.apply_or(fh, gh))
-            self._cache[key] = result
-        return result
+        return self._apply2(_OP_OR, f, g)
 
     def apply_xor(self, f: int, g: int) -> int:
-        if f == g:
-            return FALSE_ID
-        if f == FALSE_ID:
-            return g
-        if g == FALSE_ID:
-            return f
-        if f == TRUE_ID:
-            return self.not_(g)
-        if g == TRUE_ID:
-            return self.not_(f)
-        if f > g:
-            f, g = g, f
-        key = ("xor", f, g)
-        result = self._cache.get(key)
-        if result is None:
-            lvl, fl, fh, gl, gh = self._split(f, g)
-            result = self._mk(lvl, self.apply_xor(fl, gl), self.apply_xor(fh, gh))
-            self._cache[key] = result
-        return result
+        return self._apply2(_OP_XOR, f, g)
 
     def ite(self, f: int, g: int, h: int) -> int:
-        """If-then-else: ``f ? g : h``."""
+        """If-then-else: ``f ? g : h`` (recursion depth ≤ #levels)."""
         if f == TRUE_ID:
             return g
         if f == FALSE_ID:
@@ -217,22 +352,19 @@ class BDD:
             return f
         if g == FALSE_ID and h == TRUE_ID:
             return self.not_(f)
-        key = ("ite", f, g, h)
+        key = (((f << 32) | g) << 32 | h) << 3 | _OP_ITE
         result = self._cache.get(key)
-        if result is None:
-            lvl = min(self._var_level[f], self._var_level[g], self._var_level[h])
-            fl, fh = self._cofactors(f, lvl)
-            gl, gh = self._cofactors(g, lvl)
-            hl, hh = self._cofactors(h, lvl)
-            result = self._mk(lvl, self.ite(fl, gl, hl), self.ite(fh, gh, hh))
-            self._cache[key] = result
-        return result
-
-    def _split(self, f: int, g: int) -> tuple[int, int, int, int, int]:
-        lvl = min(self._var_level[f], self._var_level[g])
+        if result is not None:
+            self._cache_hits += 1
+            return result
+        self._cache_misses += 1
+        lvl = min(self._var_level[f], self._var_level[g], self._var_level[h])
         fl, fh = self._cofactors(f, lvl)
         gl, gh = self._cofactors(g, lvl)
-        return lvl, fl, fh, gl, gh
+        hl, hh = self._cofactors(h, lvl)
+        result = self._mk(lvl, self.ite(fl, gl, hl), self.ite(fh, gh, hh))
+        self._cache_put(key, result)
+        return result
 
     def _cofactors(self, f: int, level: int) -> tuple[int, int]:
         if self._var_level[f] == level:
@@ -261,42 +393,40 @@ class BDD:
 
     def restrict(self, f: int, name: str, value: bool) -> int:
         """Cofactor of ``f`` with respect to ``name = value``."""
-        target = self._level[name]
-        key = ("restrict", f, target, value)
+        target = self._require_level(name)
+        cache = self._lvl_cache
 
         def rec(n: int) -> int:
             lvl = self._var_level[n]
             if lvl > target:
                 return n
             k = ("restrict", n, target, value)
-            r = self._cache.get(k)
+            r = cache.get(k)
             if r is not None:
                 return r
             if lvl == target:
                 r = self._high[n] if value else self._low[n]
             else:
                 r = self._mk(lvl, rec(self._low[n]), rec(self._high[n]))
-            self._cache[k] = r
+            cache[k] = r
             return r
 
-        result = self._cache.get(key)
-        if result is None:
-            result = rec(f)
-        return result
+        return rec(f)
 
     def exists(self, names: Sequence[str], f: int) -> int:
         """Existential quantification over ``names``."""
-        levels = frozenset(self._level[n] for n in names)
+        levels = frozenset(self._require_level(n) for n in names)
         if not levels:
             return f
         top = max(levels)
+        cache = self._lvl_cache
 
         def rec(n: int) -> int:
             lvl = self._var_level[n]
             if lvl > top:
                 return n
             k = ("exists", n, levels)
-            r = self._cache.get(k)
+            r = cache.get(k)
             if r is not None:
                 return r
             lo, hi = rec(self._low[n]), rec(self._high[n])
@@ -304,7 +434,7 @@ class BDD:
                 r = self.apply_or(lo, hi)
             else:
                 r = self._mk(lvl, lo, hi)
-            self._cache[k] = r
+            cache[k] = r
             return r
 
         return rec(f)
@@ -315,14 +445,15 @@ class BDD:
 
     def compose(self, f: int, name: str, g: int) -> int:
         """Substitute function ``g`` for variable ``name`` in ``f``."""
-        target = self._level[name]
+        target = self._require_level(name)
+        cache = self._lvl_cache
 
         def rec(n: int) -> int:
             lvl = self._var_level[n]
             if lvl > target:
                 return n
             k = ("compose", n, target, g)
-            r = self._cache.get(k)
+            r = cache.get(k)
             if r is not None:
                 return r
             if lvl == target:
@@ -331,7 +462,7 @@ class BDD:
                 lo, hi = rec(self._low[n]), rec(self._high[n])
                 v = self._mk(lvl, FALSE_ID, TRUE_ID)
                 r = self.ite(v, hi, lo)
-            self._cache[k] = r
+            cache[k] = r
             return r
 
         return rec(f)
@@ -394,6 +525,35 @@ class BDD:
     def node_count(self, roots: Iterable[int]) -> int:
         """Number of reachable nodes, terminals included (SBDD size)."""
         return len(self.reachable(roots))
+
+    def collect_garbage(self, roots: Iterable[int]) -> dict[int, int]:
+        """Compact the node table to the nodes reachable from ``roots``.
+
+        In-place reordering rewrites nodes by allocating fresh children,
+        so a long swap sequence strands dead nodes in the append-only
+        table; this reclaims them.  Every surviving node gets a new
+        (dense) id — the returned dict maps old ids to new ones, and the
+        caller must remap any handles it holds.  Ids of nodes *not*
+        reachable from ``roots`` become invalid.  Terminals keep ids 0
+        and 1; both op caches are dropped (entries may reference dead
+        ids).
+        """
+        live = self.reachable(roots)
+        live.add(FALSE_ID)
+        live.add(TRUE_ID)
+        keep = sorted(live)
+        remap = {old: new for new, old in enumerate(keep)}
+        old_vl, old_lo, old_hi = self._var_level, self._low, self._high
+        self._var_level = [old_vl[old] for old in keep]
+        self._low = [remap[old_lo[old]] for old in keep]
+        self._high = [remap[old_hi[old]] for old in keep]
+        self._unique = {
+            (self._var_level[i], self._low[i], self._high[i]): i
+            for i in range(2, len(keep))
+        }
+        self._cache.clear()
+        self._lvl_cache.clear()
+        return remap
 
     def edges(self, roots: Iterable[int]) -> list[tuple[int, int, str, bool]]:
         """All BDD edges reachable from ``roots``.
@@ -482,10 +642,6 @@ class BDD:
             return r
 
         return rec(f)
-
-    def clear_cache(self) -> None:
-        """Drop the operation cache (the unique table is kept)."""
-        self._cache.clear()
 
     def __repr__(self) -> str:
         return f"BDD(vars={len(self._order)}, nodes={len(self._var_level)})"

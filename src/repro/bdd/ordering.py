@@ -5,13 +5,20 @@ The paper builds its BDDs with ABC/CUDD defaults; here we provide:
 
 * :func:`static_order` — the classic depth-first fan-in traversal from
   the primary outputs, which works well for control-dominated circuits.
-* :func:`sift_order` — a rebuild-based greedy sifting search: each
-  variable in turn is tried at every position and left where the shared
-  BDD is smallest.  Pure-Python rebuild per candidate keeps the code
-  simple and exact; intended for the benchmark sizes used here.
+* :func:`sift_order` — greedy Rudell sifting.  The shared BDD is built
+  *once* and every candidate position is reached by an in-place
+  adjacent-level swap (:mod:`repro.bdd.reorder`), so trying a position
+  costs ``O(nodes at two levels)`` instead of a full reconstruction.
+* :func:`sift_order_rebuild` — the original rebuild-per-candidate
+  sifter, kept as the slow exact baseline the perf smoke benchmark
+  compares against (``O(rounds * n_vars^2)`` SBDD constructions).
 * :func:`interleaved_order` — round-robin interleaving of structured
   input buses (``a0 b0 a1 b1 ...``), the standard trick for adders and
   comparators.
+
+Full SBDD constructions performed by this module are tallied in the
+``sbdd_rebuilds`` perf counter (:mod:`repro.perf.counters`), which is
+how tests prove the in-place path does zero rebuilds per candidate.
 """
 
 from __future__ import annotations
@@ -21,8 +28,15 @@ import time
 from collections.abc import Sequence
 
 from ..circuits.netlist import Netlist
+from ..perf import counters
 
-__all__ = ["static_order", "interleaved_order", "sift_order", "sbdd_size_for_order"]
+__all__ = [
+    "static_order",
+    "interleaved_order",
+    "sift_order",
+    "sift_order_rebuild",
+    "sbdd_size_for_order",
+]
 
 
 def static_order(netlist: Netlist) -> list[str]:
@@ -92,9 +106,13 @@ def interleaved_order(netlist: Netlist) -> list[str]:
 
 
 def sbdd_size_for_order(netlist: Netlist, order: Sequence[str]) -> int:
-    """Shared-BDD node count of ``netlist`` under ``order``."""
+    """Shared-BDD node count of ``netlist`` under ``order``.
+
+    Performs one full SBDD construction (counted in ``sbdd_rebuilds``).
+    """
     from .sbdd import build_sbdd
 
+    counters.increment("sbdd_rebuilds")
     return build_sbdd(netlist, order=list(order)).node_count()
 
 
@@ -103,13 +121,55 @@ def sift_order(
     start: Sequence[str] | None = None,
     max_rounds: int = 1,
     time_budget: float | None = None,
+    max_growth: float | None = None,
+    stats: dict | None = None,
 ) -> list[str]:
-    """Greedy sifting: move each variable to its best position.
+    """In-place Rudell sifting: move each variable to its best position.
+
+    Builds the shared BDD once (the only entry in the ``sbdd_rebuilds``
+    counter) and explores every candidate position with adjacent-level
+    swaps on the live manager — each position costs ``O(nodes at the
+    two swapped levels)`` rather than a full reconstruction, which is
+    what makes sifting usable on the larger suite circuits.  By default
+    every position is examined (matching the greedy trajectory of
+    :func:`sift_order_rebuild`, so the result is never larger); setting
+    ``max_growth`` enables Rudell's blow-up abort, trading that
+    guarantee for speed.  Stops when ``time_budget`` seconds elapse.
+
+    ``stats`` (optional dict) receives the in-place sifter's
+    ``initial_size``/``final_size``/``swaps``/``rounds``.
+    """
+    from .reorder import sift
+    from .sbdd import build_sbdd
+
+    order = list(start) if start is not None else static_order(netlist)
+    if len(order) < 2:
+        return order
+    counters.increment("sbdd_rebuilds")
+    sbdd = build_sbdd(netlist, order=order)
+    sift(
+        sbdd.manager,
+        list(sbdd.roots.values()),
+        max_growth=max_growth,
+        time_budget=time_budget,
+        max_rounds=max_rounds,
+        stats=stats,
+    )
+    return list(sbdd.manager.var_order)
+
+
+def sift_order_rebuild(
+    netlist: Netlist,
+    start: Sequence[str] | None = None,
+    max_rounds: int = 1,
+    time_budget: float | None = None,
+) -> list[str]:
+    """Rebuild-based greedy sifting (the pre-optimization baseline).
 
     Rebuilds the shared BDD for every candidate position, so the cost is
     ``O(rounds * n_vars^2)`` BDD constructions — exact and simple, meant
-    for small and mid-size netlists.  Stops early when ``time_budget``
-    seconds have elapsed.
+    for small netlists and for benchmarking the in-place sifter against.
+    Stops early when ``time_budget`` seconds have elapsed.
     """
     order = list(start) if start is not None else static_order(netlist)
     best_size = sbdd_size_for_order(netlist, order)

@@ -22,6 +22,7 @@ from __future__ import annotations
 import time
 from collections.abc import Sequence
 
+from ..perf import counters
 from .manager import BDD, TRUE_ID
 
 __all__ = ["swap_adjacent", "sift", "sift_sbdd"]
@@ -32,8 +33,10 @@ def swap_adjacent(manager: BDD, level: int) -> None:
 
     All node ids continue to denote the same Boolean functions; only
     the internal (level, low, high) triples and the unique table keys
-    at the two levels change.  The operation cache is dropped (cached
-    cofactor/quantifier entries embed levels).
+    at the two levels change.  Because ids keep their meaning, the
+    level-independent op cache (not/and/or/xor/ite results) stays valid;
+    only the level-dependent cache (restrict/exists/compose entries,
+    which embed variable levels) is invalidated.
     """
     order = manager._order
     if not 0 <= level < len(order) - 1:
@@ -94,7 +97,9 @@ def swap_adjacent(manager: BDD, level: int) -> None:
         high[n] = b
         unique[(upper, a, b)] = n
 
-    manager._cache.clear()
+    manager._lvl_cache.clear()
+    manager.swap_count += 1
+    counters.increment("reorder_swaps")
 
 
 def _cofactor_pair(manager: BDD, node: int, y_level: int) -> tuple[int, int]:
@@ -107,17 +112,45 @@ def _live_size(manager: BDD, roots: Sequence[int]) -> int:
     return len(manager.reachable(roots))
 
 
+#: Collect garbage once the table exceeds ``_GC_FACTOR * live + _GC_SLACK``
+#: nodes.  The slack keeps GC away from the small managers that unit
+#: tests (and external callers holding extra node handles) operate on.
+_GC_FACTOR = 4
+_GC_SLACK = 512
+
+
+def _maybe_collect(manager: BDD, roots: Sequence[int]) -> None:
+    """GC the manager when swap garbage dominates the table.
+
+    Swap rewrites allocate fresh nodes, so long swap sequences strand
+    exponentially many dead nodes (every later swap then re-rewrites
+    them).  When ``roots`` is a mutable list its entries are remapped in
+    place; other id handles into the manager become invalid.
+    """
+    live = len(manager.reachable(roots))
+    if manager.table_size() > _GC_FACTOR * live + _GC_SLACK:
+        remap = manager.collect_garbage(roots)
+        if isinstance(roots, list):
+            roots[:] = [remap[r] for r in roots]
+        counters.increment("reorder_gcs")
+
+
 def move_var(manager: BDD, name: str, target_level: int, roots: Sequence[int]) -> int:
     """Move ``name`` to ``target_level`` by adjacent swaps.
 
     Returns the live node count (reachable from ``roots``) afterwards.
+    May garbage-collect dead swap debris along the way: pass ``roots``
+    as a mutable list to have its handles remapped in place (any other
+    node ids held by the caller are only safe below the GC threshold).
     """
     current = manager._level[name]
     while current < target_level:
         swap_adjacent(manager, current)
+        _maybe_collect(manager, roots)
         current += 1
     while current > target_level:
         swap_adjacent(manager, current - 1)
+        _maybe_collect(manager, roots)
         current -= 1
     return _live_size(manager, roots)
 
@@ -125,60 +158,111 @@ def move_var(manager: BDD, name: str, target_level: int, roots: Sequence[int]) -
 def sift(
     manager: BDD,
     roots: Sequence[int],
-    max_growth: float = 2.0,
+    max_growth: float | None = None,
     time_budget: float | None = None,
     max_rounds: int = 1,
+    stats: dict | None = None,
+    polish: bool = True,
 ) -> int:
     """Rudell sifting on a live manager.
 
-    Each variable (largest level population first) is moved through
-    every position by adjacent swaps and parked where the live node
-    count (reachable from ``roots``) is smallest.  A move is aborted
-    early when the table grows past ``max_growth`` times the best size
-    seen.  Returns the final live size.
+    Each variable in turn is moved through *every* position by adjacent
+    swaps and parked where the live node count (reachable from
+    ``roots``) is smallest.  The main rounds visit variables in their
+    current level order and scan positions top-down with
+    strictly-smaller/earliest tie-breaking — exactly the greedy
+    trajectory of the rebuild-based
+    :func:`repro.bdd.ordering.sift_order_rebuild`, so the result is
+    never larger than that baseline; a final ``polish`` round (largest
+    level population first, improvements only) can then only shrink it
+    further.  Returns the final live size.
+
+    With ``max_growth`` set, a position scan is aborted early once the
+    live size exceeds ``max_growth`` times the best size seen for the
+    variable (Rudell's blow-up abort; trades the baseline guarantee for
+    speed on adversarial circuits).
+
+    When ``stats`` is a dict it receives ``initial_size``,
+    ``final_size``, ``swaps`` (adjacent swaps this call performed) and
+    ``rounds``.
+
+    Long swap sequences strand dead nodes, so sifting garbage-collects
+    the manager when the table outgrows the live set; pass ``roots`` as
+    a mutable list (the usual case) to have the handles remapped in
+    place.  Any other node ids held by the caller may be invalidated —
+    use :func:`sift_sbdd` to keep an SBDD's root dict consistent.
     """
     deadline = None if time_budget is None else time.monotonic() + time_budget
     best_total = _live_size(manager, roots)
     n_levels = len(manager._order)
+    swaps_before = manager.swap_count
+    rounds_done = 0
+    if stats is not None:
+        stats["initial_size"] = best_total
 
-    for _ in range(max_rounds):
+    def _finish(size: int) -> int:
+        if stats is not None:
+            stats["final_size"] = size
+            stats["swaps"] = manager.swap_count - swaps_before
+            stats["rounds"] = rounds_done
+        return size
+
+    def _sift_round(names: list[str]) -> tuple[bool, bool]:
+        """Sift each of ``names`` once; returns (improved, timed_out)."""
+        nonlocal best_total
         improved = False
-        # Order variables by how many live nodes test them (big first).
-        live = manager.reachable(roots)
-        population: dict[str, int] = {}
-        for node in live:
-            if node > TRUE_ID:
-                population[manager.var_of(node)] = population.get(manager.var_of(node), 0) + 1
-        names = sorted(manager._order, key=lambda v: -population.get(v, 0))
-
         for name in names:
             if deadline is not None and time.monotonic() > deadline:
-                return _live_size(manager, roots)
-            start_level = manager._level[name]
-            best_level, best_size = start_level, _live_size(manager, roots)
-
-            # Sweep to the bottom, then to the top, tracking the best spot.
-            for target in range(start_level + 1, n_levels):
-                size = move_var(manager, name, target, roots)
-                if size < best_size:
-                    best_size, best_level = size, target
-                elif size > max_growth * best_size:
+                return improved, True
+            base = manager._level[name]
+            best_pos, best_here = base, best_total
+            # Scan positions 0 .. n-1 in ascending order (keeping the
+            # earliest strictly-smaller position, like the rebuild
+            # sifter's candidate loop), then park at the winner.
+            if base != 0:
+                move_var(manager, name, 0, roots)
+            size = _live_size(manager, roots)
+            if size < best_here:
+                best_here, best_pos = size, 0
+            for pos in range(1, n_levels):
+                size = move_var(manager, name, pos, roots)
+                if size < best_here:
+                    best_here, best_pos = size, pos
+                elif max_growth is not None and size > max_growth * best_here:
                     break
-            for target in range(manager._level[name] - 1, -1, -1):
-                size = move_var(manager, name, target, roots)
-                if size < best_size:
-                    best_size, best_level = size, target
-                elif size > max_growth * best_size:
-                    break
-            move_var(manager, name, best_level, roots)
-            if best_size < best_total:
-                best_total = best_size
+            move_var(manager, name, best_pos, roots)
+            if best_here < best_total:
+                best_total = best_here
                 improved = True
-        if not improved:
+        return improved, False
+
+    timed_out = False
+    for _ in range(max_rounds):
+        rounds_done += 1
+        improved, timed_out = _sift_round(list(manager._order))
+        if timed_out or not improved:
             break
-    return _live_size(manager, roots)
+
+    if polish and not timed_out and n_levels > 1:
+        # One extra improvement-only pass, largest level population
+        # first (the classic Rudell visiting order).
+        rounds_done += 1
+        population: dict[str, int] = {}
+        for node in manager.reachable(roots):
+            if node > TRUE_ID:
+                var = manager.var_of(node)
+                population[var] = population.get(var, 0) + 1
+        _sift_round(sorted(manager._order, key=lambda v: -population.get(v, 0)))
+    return _finish(_live_size(manager, roots))
 
 
 def sift_sbdd(sbdd, **kwargs) -> int:
-    """Sift an SBDD's manager in place; root handles stay valid."""
-    return sift(sbdd.manager, list(sbdd.roots.values()), **kwargs)
+    """Sift an SBDD's manager in place; ``sbdd.roots`` stays valid.
+
+    Sifting may garbage-collect the manager (remapping node ids), so
+    the root handles are written back afterwards.
+    """
+    roots = list(sbdd.roots.values())
+    size = sift(sbdd.manager, roots, **kwargs)
+    sbdd.roots = dict(zip(sbdd.roots.keys(), roots))
+    return size

@@ -82,15 +82,35 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--circuit", required=True, help="source circuit file")
     validate.add_argument("--format", default="auto", choices=["auto", "verilog", "blif", "pla"])
 
-    bench = sub.add_parser("bench", help="run one paper experiment")
+    bench = sub.add_parser("bench", help="run one paper experiment or the perf harness")
     bench.add_argument(
         "experiment",
+        nargs="?",
+        default="perf",
         choices=[
             "table1", "table2", "table3", "table4",
             "fig9", "fig10", "fig11", "fig12", "fig13",
+            "perf",
         ],
+        help="paper table/figure, or 'perf' (default) for the perf baseline harness",
     )
     bench.add_argument("--tier", default=None, choices=[None, "fast", "full"])
+    bench.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="perf harness parallelism: one circuit per worker process",
+    )
+    bench.add_argument(
+        "--perf-json", metavar="PATH",
+        help="write the perf baseline (e.g. BENCH_compact.json); perf experiment only",
+    )
+    bench.add_argument(
+        "--circuits", metavar="NAMES",
+        help="comma-separated suite circuit subset for the perf harness",
+    )
+    bench.add_argument(
+        "--time-limit", type=float, default=None, metavar="SECONDS",
+        help="per-circuit labeling budget for the perf harness",
+    )
     return parser
 
 
@@ -177,6 +197,9 @@ def _cmd_validate(args) -> int:
 def _cmd_bench(args) -> int:
     from . import bench as b
 
+    if args.experiment == "perf":
+        return _cmd_bench_perf(args)
+
     runner = {
         "table1": lambda: b.table1_properties(args.tier),
         "table2": lambda: b.table2_gamma(args.tier),
@@ -190,6 +213,30 @@ def _cmd_bench(args) -> int:
     }[args.experiment]
     table, _data = runner()
     print(table.render())
+    return 0
+
+
+def _cmd_bench_perf(args) -> int:
+    from .perf.harness import (
+        DEFAULT_TIME_LIMIT,
+        render_perf_table,
+        run_perf_suite,
+        write_bench_json,
+    )
+
+    names = None
+    if args.circuits:
+        names = [n.strip() for n in args.circuits.split(",") if n.strip()]
+    payload = run_perf_suite(
+        tier=args.tier,
+        jobs=max(1, args.jobs),
+        names=names,
+        time_limit=args.time_limit if args.time_limit is not None else DEFAULT_TIME_LIMIT,
+    )
+    print(render_perf_table(payload).render())
+    if args.perf_json:
+        path = write_bench_json(args.perf_json, payload)
+        print(f"wrote {path}")
     return 0
 
 

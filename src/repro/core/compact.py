@@ -16,7 +16,6 @@ Typical use::
 
 from __future__ import annotations
 
-import time
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
 
@@ -24,6 +23,7 @@ from ..bdd import SBDD, build_sbdd, sbdd_from_exprs
 from ..circuits.netlist import Netlist
 from ..crossbar.design import CrossbarDesign
 from ..expr import Expr
+from ..perf import StageTimer
 from .labeling import VHLabeling
 from .mapping import map_to_crossbar
 from .preprocess import BddGraph, preprocess
@@ -43,6 +43,8 @@ class CompactResult:
     sbdd: SBDD
     #: Per-stage wall-clock seconds: bdd, preprocess, labeling, mapping.
     times: dict[str, float] = field(default_factory=dict)
+    #: Perf snapshot: op-cache stats, peak table size, reorder swaps.
+    perf: dict = field(default_factory=dict)
 
     @property
     def synthesis_time(self) -> float:
@@ -101,11 +103,11 @@ class Compact:
         order: Sequence[str] | None = None,
     ) -> CompactResult:
         """Synthesize a crossbar for a gate-level netlist (via an SBDD)."""
-        t0 = time.monotonic()
-        sbdd = build_sbdd(netlist, order=order)
-        t_bdd = time.monotonic() - t0
+        timer = StageTimer()
+        with timer.stage("bdd"):
+            sbdd = build_sbdd(netlist, order=order)
         result = self.synthesize_sbdd(sbdd)
-        result.times["bdd"] = t_bdd
+        result.times["bdd"] = timer.times["bdd"]
         return result
 
     def synthesize_expr(
@@ -116,11 +118,11 @@ class Compact:
     ) -> CompactResult:
         """Synthesize a crossbar for one expression or a dict of them."""
         exprs = {name: expr} if isinstance(expr, Expr) else dict(expr)
-        t0 = time.monotonic()
-        sbdd = sbdd_from_exprs(exprs, order=order, name=name)
-        t_bdd = time.monotonic() - t0
+        timer = StageTimer()
+        with timer.stage("bdd"):
+            sbdd = sbdd_from_exprs(exprs, order=order, name=name)
         result = self.synthesize_sbdd(sbdd)
-        result.times["bdd"] = t_bdd
+        result.times["bdd"] = timer.times["bdd"]
         return result
 
     def synthesize_bdd_graph(
@@ -132,37 +134,38 @@ class Compact:
         ROBDD graph of prior work in the Table III comparison).  Returns
         ``(design, labeling, stage_times)``.
         """
-        times: dict[str, float] = {}
-        t0 = time.monotonic()
-        labeling = self.label(bdd_graph)
-        times["labeling"] = time.monotonic() - t0
-        t0 = time.monotonic()
-        design = map_to_crossbar(bdd_graph, labeling, name=name)
-        times["mapping"] = time.monotonic() - t0
-        return design, labeling, times
+        timer = StageTimer()
+        with timer.stage("labeling"):
+            labeling = self.label(bdd_graph)
+        with timer.stage("mapping"):
+            design = map_to_crossbar(bdd_graph, labeling, name=name)
+        return design, labeling, timer.times
 
     def synthesize_sbdd(self, sbdd: SBDD) -> CompactResult:
         """Synthesize a crossbar for an already-built (S)BDD."""
-        times: dict[str, float] = {}
+        timer = StageTimer()
 
-        t0 = time.monotonic()
-        bdd_graph = preprocess(sbdd)
-        times["preprocess"] = time.monotonic() - t0
+        with timer.stage("preprocess"):
+            bdd_graph = preprocess(sbdd)
+        with timer.stage("labeling"):
+            labeling = self.label(bdd_graph)
+        with timer.stage("mapping"):
+            design = map_to_crossbar(bdd_graph, labeling, name=sbdd.name)
 
-        t0 = time.monotonic()
-        labeling = self.label(bdd_graph)
-        times["labeling"] = time.monotonic() - t0
-
-        t0 = time.monotonic()
-        design = map_to_crossbar(bdd_graph, labeling, name=sbdd.name)
-        times["mapping"] = time.monotonic() - t0
-
+        manager = sbdd.manager
+        perf = {
+            "bdd_table_size": manager.table_size(),
+            "sbdd_nodes": sbdd.node_count(),
+            "cache": manager.cache_stats(),
+            "reorder_swaps": manager.swap_count,
+        }
         return CompactResult(
             design=design,
             labeling=labeling,
             bdd_graph=bdd_graph,
             sbdd=sbdd,
-            times=times,
+            times=timer.times,
+            perf=perf,
         )
 
     # -- labeling dispatch ---------------------------------------------------------

@@ -50,7 +50,12 @@ class Dinic:
         return eid
 
     def max_flow(self, source, sink) -> int:
-        """Maximum source->sink flow (BFS levels + blocking DFS)."""
+        """Maximum source->sink flow (BFS levels + blocking DFS).
+
+        The augmenting DFS is iterative (explicit edge stack), so
+        arbitrarily long augmenting paths cannot hit the interpreter's
+        recursion limit.
+        """
         s, t = self.node(source), self.node(sink)
         flow = 0
         n = len(self._adj)
@@ -68,27 +73,46 @@ class Dinic:
             if level[t] < 0:
                 return flow
             iters = [0] * n
-
-            def dfs(u: int, limit: int) -> int:
-                if u == t:
-                    return limit
-                while iters[u] < len(self._adj[u]):
-                    eid = self._adj[u][iters[u]]
-                    v = self._to[eid]
-                    if self._cap[eid] > 0 and level[v] == level[u] + 1:
-                        pushed = dfs(v, min(limit, self._cap[eid]))
-                        if pushed:
-                            self._cap[eid] -= pushed
-                            self._cap[eid ^ 1] += pushed
-                            return pushed
-                    iters[u] += 1
-                return 0
-
             while True:
-                pushed = dfs(s, 1 << 60)
+                pushed = self._augment(s, t, level, iters)
                 if not pushed:
                     break
                 flow += pushed
+
+    def _augment(self, s: int, t: int, level: list[int], iters: list[int]) -> int:
+        """Push flow along one shortest augmenting path (0 when none).
+
+        ``path`` holds the edge ids of the current partial path; a dead
+        end retreats one edge and advances the parent's edge pointer, so
+        every edge is abandoned at most once per phase (the standard
+        blocking-flow accounting).
+        """
+        adj, to, cap = self._adj, self._to, self._cap
+        path: list[int] = []
+        u = s
+        while True:
+            if u == t:
+                pushed = min(cap[eid] for eid in path)
+                for eid in path:
+                    cap[eid] -= pushed
+                    cap[eid ^ 1] += pushed
+                return pushed
+            advanced = False
+            while iters[u] < len(adj[u]):
+                eid = adj[u][iters[u]]
+                v = to[eid]
+                if cap[eid] > 0 and level[v] == level[u] + 1:
+                    path.append(eid)
+                    u = v
+                    advanced = True
+                    break
+                iters[u] += 1
+            if not advanced:
+                if not path:
+                    return 0
+                last = path.pop()
+                u = to[last ^ 1]  # tail of the abandoned edge
+                iters[u] += 1
 
     def min_cut_reachable(self, source) -> set[int]:
         """Node indices reachable from ``source`` in the residual graph."""

@@ -82,27 +82,37 @@ def nt_kernelize(graph: UGraph) -> tuple[set, set, UGraph, float]:
         data.extend((-1.0, -1.0))
     A_ub = sparse.csr_matrix((data, (rows, cols)), shape=(len(edges), len(nodes)))
     b_ub = -np.ones(len(edges))
+    # Nemhauser–Trotter is only sound on a *vertex* of the LP polytope,
+    # where the VC relaxation is half-integral.  Interior-point methods
+    # can return non-vertex optima with arbitrary fractional values, so
+    # force the dual simplex ("highs-ds") and insist on {0, 1/2, 1}.
     res = linprog(
         np.ones(len(nodes)),
         A_ub=A_ub,
         b_ub=b_ub,
         bounds=[(0.0, 1.0)] * len(nodes),
-        method="highs",
+        method="highs-ds",
     )
     if res.status != 0:  # pragma: no cover - VC LP is always feasible
         raise RuntimeError(f"vertex cover LP failed: {res.message}")
 
+    _HALF_INTEGRAL_TOL = 1e-6
     forced_in: set = set()
     forced_out: set = set()
     kernel_nodes: list = []
     for v, i in index.items():
         x = res.x[i]
-        if x > 0.75:
+        if x > 1.0 - _HALF_INTEGRAL_TOL:
             forced_in.add(v)
-        elif x < 0.25:
+        elif x < _HALF_INTEGRAL_TOL:
             forced_out.add(v)
-        else:
+        elif abs(x - 0.5) <= _HALF_INTEGRAL_TOL:
             kernel_nodes.append(v)
+        else:  # pragma: no cover - simplex vertices are half-integral
+            raise RuntimeError(
+                f"vertex cover LP returned a non-half-integral value {x!r} "
+                f"for vertex {v!r}; Nemhauser-Trotter requires a vertex solution"
+            )
     kernel = graph.subgraph(kernel_nodes)
     return forced_in, forced_out, kernel, float(res.fun)
 

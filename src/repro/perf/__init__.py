@@ -1,0 +1,28 @@
+"""Performance instrumentation: counters, stage timers and perf baselines.
+
+This package makes the synthesis pipeline's speed *measurable*:
+
+* :mod:`repro.perf.counters` — process-wide named event counters
+  (SBDD rebuilds, reorder swaps, ...) used to prove algorithmic claims
+  (e.g. that in-place sifting performs zero rebuilds per candidate
+  position);
+* :class:`StageTimer` — wall-clock stage timing, threaded through
+  :class:`repro.core.compact.Compact`;
+* :mod:`repro.perf.schema` — validation for the persisted
+  ``BENCH_*.json`` perf-trajectory artifacts;
+* :mod:`repro.perf.harness` — the parallel benchmark runner behind
+  ``python -m repro bench perf --jobs N --perf-json BENCH_compact.json``
+  (imported lazily; it depends on the bench suites and the core
+  pipeline, so it must stay out of this package ``__init__``).
+"""
+
+from . import counters
+from .schema import BENCH_SCHEMA_ID, validate_bench_payload
+from .timers import StageTimer
+
+__all__ = [
+    "counters",
+    "StageTimer",
+    "BENCH_SCHEMA_ID",
+    "validate_bench_payload",
+]

@@ -1,0 +1,48 @@
+"""Process-wide named event counters.
+
+A deliberately tiny mechanism: hot code paths call :func:`increment`
+with a counter name, and tests/benchmarks bracket a region with
+:func:`reset` + :func:`snapshot` to assert how often something happened.
+The counters are plain module state (no locks): the synthesis pipeline
+is single-threaded per process, and the parallel bench runner forks one
+process per circuit, so each worker sees its own counters.
+
+Well-known counter names
+------------------------
+``sbdd_rebuilds``
+    Full shared-BDD constructions performed by the ordering search
+    (:func:`repro.bdd.ordering.sbdd_size_for_order` and the initial
+    build of :func:`repro.bdd.ordering.sift_order`).
+``reorder_swaps``
+    Adjacent-level swaps executed by
+    :func:`repro.bdd.reorder.swap_adjacent`.
+"""
+
+from __future__ import annotations
+
+__all__ = ["increment", "get", "reset", "snapshot"]
+
+_COUNTS: dict[str, int] = {}
+
+
+def increment(name: str, amount: int = 1) -> None:
+    """Add ``amount`` to counter ``name`` (created at 0 on first use)."""
+    _COUNTS[name] = _COUNTS.get(name, 0) + amount
+
+
+def get(name: str) -> int:
+    """Current value of counter ``name`` (0 if never incremented)."""
+    return _COUNTS.get(name, 0)
+
+
+def reset(name: str | None = None) -> None:
+    """Reset one counter, or all of them when ``name`` is None."""
+    if name is None:
+        _COUNTS.clear()
+    else:
+        _COUNTS.pop(name, None)
+
+
+def snapshot() -> dict[str, int]:
+    """A copy of all counters at this instant."""
+    return dict(_COUNTS)

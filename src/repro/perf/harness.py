@@ -1,0 +1,237 @@
+"""Parallel perf-benchmark harness and ``BENCH_*.json`` emitter.
+
+Runs the full COMPACT pipeline (in-place sift -> SBDD -> labeling ->
+mapping) over the benchmark suite, one circuit per worker process, and
+records the perf trajectory: per-circuit wall times, SBDD sizes before
+and after sifting, op-cache hit rates and sift swap counts.  The
+resulting payload validates against :mod:`repro.perf.schema` and is what
+``python -m repro bench perf --jobs N --perf-json BENCH_compact.json``
+persists.
+
+Determinism: workers are pure (fresh manager and fresh counters per
+process/circuit) and records are sorted by circuit name, so ``--jobs 1``
+and ``--jobs 4`` produce identical results up to wall-clock fields.
+:func:`deterministic_view` strips exactly those fields for comparisons.
+
+This module deliberately lives outside ``repro.perf.__init__`` — it
+imports the bench suites and the core pipeline, which themselves import
+``repro.perf``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+
+from ..bdd import build_sbdd, sift_order, static_order
+from ..core import Compact
+from . import counters
+from .schema import BENCH_SCHEMA_ID, validate_bench_payload
+
+__all__ = [
+    "run_perf_circuit",
+    "run_perf_suite",
+    "deterministic_view",
+    "write_bench_json",
+    "render_perf_table",
+]
+
+#: Default per-circuit labeling budget (seconds) for perf runs.
+DEFAULT_TIME_LIMIT = 20.0
+
+
+def run_perf_circuit(
+    name: str,
+    gamma: float = 0.5,
+    method: str = "auto",
+    backend: str = "highs",
+    time_limit: float = DEFAULT_TIME_LIMIT,
+    sift_rounds: int = 1,
+) -> dict:
+    """Synthesize one suite circuit with full perf instrumentation.
+
+    Returns a JSON-ready record (see :mod:`repro.perf.schema`).
+    """
+    from ..bench.suites import circuit
+
+    counters.reset()
+    netlist = circuit(name)
+    start_order = static_order(netlist)
+    static_nodes = build_sbdd(netlist, order=start_order).node_count()
+
+    sift_stats: dict = {}
+    t0 = time.monotonic()
+    order = sift_order(
+        netlist, start=start_order, max_rounds=sift_rounds, stats=sift_stats
+    )
+    t_sift = time.monotonic() - t0
+
+    compact = Compact(gamma=gamma, method=method, backend=backend, time_limit=time_limit)
+    t0 = time.monotonic()
+    result = compact.synthesize_netlist(netlist, order=order)
+    wall = time.monotonic() - t0
+
+    design = result.design
+    return {
+        "circuit": name,
+        "inputs": len(netlist.inputs),
+        "outputs": len(netlist.outputs),
+        "sbdd_nodes_static": static_nodes,
+        "sbdd_nodes_sifted": sift_stats.get("final_size", static_nodes),
+        "sift": {
+            "swaps": sift_stats.get("swaps", 0),
+            # Rebuilds *during the position search*: total counted builds
+            # minus sift_order's single initial construction.
+            "rebuilds": counters.get("sbdd_rebuilds") - 1,
+            "time_s": t_sift,
+        },
+        "stages": {k: round(v, 6) for k, v in result.times.items()},
+        "wall_time_s": wall,
+        "bdd_table_size": result.perf["bdd_table_size"],
+        "cache": {
+            k: v for k, v in result.perf["cache"].items() if k != "entries"
+        },
+        "crossbar": {
+            "rows": design.num_rows,
+            "cols": design.num_cols,
+            "semiperimeter": design.semiperimeter,
+            "max_dimension": design.max_dimension,
+        },
+        "optimal": result.optimal,
+    }
+
+
+def _worker(task: tuple[str, dict]) -> dict:
+    name, kwargs = task
+    return run_perf_circuit(name, **kwargs)
+
+
+def run_perf_suite(
+    tier: str | None = None,
+    jobs: int = 1,
+    names: list[str] | None = None,
+    gamma: float = 0.5,
+    method: str = "auto",
+    backend: str = "highs",
+    time_limit: float = DEFAULT_TIME_LIMIT,
+    sift_rounds: int = 1,
+) -> dict:
+    """Run the perf harness over the suite; returns the BENCH payload.
+
+    ``jobs > 1`` fans circuits out to a :class:`ProcessPoolExecutor`
+    (one circuit per worker).  ``names`` restricts the run to specific
+    suite circuits.  Records are sorted by circuit name regardless of
+    completion order.
+    """
+    from ..bench.suites import suite
+
+    if names is None:
+        names = [b.name for b in suite(tier)]
+    else:
+        known = {b.name for b in suite("full")}
+        unknown = sorted(set(names) - known)
+        if unknown:
+            raise ValueError(f"unknown suite circuits: {', '.join(unknown)}")
+    kwargs = {
+        "gamma": gamma,
+        "method": method,
+        "backend": backend,
+        "time_limit": time_limit,
+        "sift_rounds": sift_rounds,
+    }
+    tasks = [(name, kwargs) for name in sorted(set(names))]
+
+    t0 = time.monotonic()
+    if jobs <= 1:
+        records = [_worker(task) for task in tasks]
+    else:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            records = list(pool.map(_worker, tasks))
+    total_wall = time.monotonic() - t0
+
+    records.sort(key=lambda r: r["circuit"])
+    payload = {
+        "schema": BENCH_SCHEMA_ID,
+        "suite_tier": tier or "fast",
+        "gamma": gamma,
+        "method": method,
+        "backend": backend,
+        "time_limit": time_limit,
+        "jobs": jobs,
+        "python": platform.python_version(),
+        "circuits": records,
+        "totals": {
+            "circuits": len(records),
+            "wall_time_s": total_wall,
+            "sift_swaps": sum(r["sift"]["swaps"] for r in records),
+            "sbdd_nodes_sifted": sum(r["sbdd_nodes_sifted"] for r in records),
+        },
+    }
+    return validate_bench_payload(payload)
+
+
+#: Wall-clock fields stripped by :func:`deterministic_view`.
+_TIME_FIELDS = frozenset(["time_s", "wall_time_s", "stages"])
+
+
+def deterministic_view(payload: dict) -> dict:
+    """The payload minus wall-clock fields and run metadata.
+
+    Two runs of the same suite at any ``--jobs`` level must agree on
+    this view exactly; the regression test for deterministic
+    parallelism compares it across ``--jobs 1`` and ``--jobs 4``.
+    """
+
+    def strip(value):
+        if isinstance(value, dict):
+            return {k: strip(v) for k, v in value.items() if k not in _TIME_FIELDS}
+        if isinstance(value, list):
+            return [strip(v) for v in value]
+        return value
+
+    view = strip(payload)
+    view.pop("jobs", None)
+    view.pop("python", None)
+    return view
+
+
+def write_bench_json(path: str | Path, payload: dict) -> Path:
+    """Validate and persist a BENCH payload (pretty-printed, trailing NL)."""
+    validate_bench_payload(payload)
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def render_perf_table(payload: dict):
+    """Human-readable summary table of a BENCH payload."""
+    from ..bench.tables import Table
+
+    table = Table(
+        f"Perf baseline ({payload['suite_tier']} suite, gamma={payload['gamma']:g})",
+        [
+            "circuit", "nodes", "sifted", "swaps", "t_sift(s)",
+            "t_synth(s)", "hit rate", "R", "C", "S",
+        ],
+    )
+    for r in payload["circuits"]:
+        table.add_row(
+            r["circuit"],
+            r["sbdd_nodes_static"],
+            r["sbdd_nodes_sifted"],
+            r["sift"]["swaps"],
+            round(r["sift"]["time_s"], 3),
+            round(r["wall_time_s"], 3),
+            f"{100 * r['cache']['hit_rate']:.1f}%",
+            r["crossbar"]["rows"],
+            r["crossbar"]["cols"],
+            r["crossbar"]["semiperimeter"],
+        )
+    table.add_row(
+        "TOTAL", "", "", payload["totals"]["sift_swaps"], "",
+        round(payload["totals"]["wall_time_s"], 3), "", "", "", "",
+    )
+    return table

@@ -1,0 +1,111 @@
+"""Schema validation for persisted ``BENCH_*.json`` perf baselines.
+
+The perf harness (:mod:`repro.perf.harness`) emits one JSON document per
+run; committed documents (e.g. ``BENCH_compact.json``) form the repo's
+performance trajectory.  Validation is hand-rolled (no ``jsonschema``
+dependency): :func:`validate_bench_payload` raises :class:`ValueError`
+with a dotted path to the first offending field.
+"""
+
+from __future__ import annotations
+
+from numbers import Real
+
+__all__ = ["BENCH_SCHEMA_ID", "validate_bench_payload"]
+
+#: Identifier stamped into every payload; bump on breaking changes.
+BENCH_SCHEMA_ID = "repro-bench-perf/1"
+
+#: (field, type) pairs required on every per-circuit record.
+_CIRCUIT_FIELDS: tuple[tuple[str, type], ...] = (
+    ("circuit", str),
+    ("inputs", int),
+    ("outputs", int),
+    ("sbdd_nodes_static", int),
+    ("sbdd_nodes_sifted", int),
+    ("bdd_table_size", int),
+    ("wall_time_s", Real),
+    ("optimal", bool),
+)
+
+_SIFT_FIELDS: tuple[tuple[str, type], ...] = (
+    ("swaps", int),
+    ("rebuilds", int),
+    ("time_s", Real),
+)
+
+_CACHE_FIELDS: tuple[tuple[str, type], ...] = (
+    ("hits", int),
+    ("misses", int),
+    ("resets", int),
+    ("hit_rate", Real),
+)
+
+_CROSSBAR_FIELDS: tuple[tuple[str, type], ...] = (
+    ("rows", int),
+    ("cols", int),
+    ("semiperimeter", int),
+    ("max_dimension", int),
+)
+
+
+def _require(mapping, field: str, kind: type, where: str):
+    if not isinstance(mapping, dict):
+        raise ValueError(f"{where}: expected an object, got {type(mapping).__name__}")
+    if field not in mapping:
+        raise ValueError(f"{where}.{field}: missing required field")
+    value = mapping[field]
+    # bool is an int subclass; keep them apart so schemas stay honest.
+    if kind is int and isinstance(value, bool):
+        raise ValueError(f"{where}.{field}: expected int, got bool")
+    if not isinstance(value, kind):
+        raise ValueError(
+            f"{where}.{field}: expected {kind.__name__}, got {type(value).__name__}"
+        )
+    return value
+
+
+def validate_bench_payload(payload: dict) -> dict:
+    """Validate a perf-baseline document; returns it for chaining.
+
+    Raises :class:`ValueError` naming the first invalid field.
+    """
+    schema = _require(payload, "schema", str, "$")
+    if schema != BENCH_SCHEMA_ID:
+        raise ValueError(f"$.schema: expected {BENCH_SCHEMA_ID!r}, got {schema!r}")
+    _require(payload, "suite_tier", str, "$")
+    _require(payload, "gamma", Real, "$")
+    _require(payload, "jobs", int, "$")
+    totals = _require(payload, "totals", dict, "$")
+    _require(totals, "circuits", int, "$.totals")
+    _require(totals, "wall_time_s", Real, "$.totals")
+
+    circuits = _require(payload, "circuits", list, "$")
+    if totals["circuits"] != len(circuits):
+        raise ValueError(
+            f"$.totals.circuits: {totals['circuits']} != len(circuits) == {len(circuits)}"
+        )
+    names = []
+    for i, record in enumerate(circuits):
+        where = f"$.circuits[{i}]"
+        for field, kind in _CIRCUIT_FIELDS:
+            _require(record, field, kind, where)
+        sift = _require(record, "sift", dict, where)
+        for field, kind in _SIFT_FIELDS:
+            _require(sift, field, kind, f"{where}.sift")
+        cache = _require(record, "cache", dict, where)
+        for field, kind in _CACHE_FIELDS:
+            _require(cache, field, kind, f"{where}.cache")
+        crossbar = _require(record, "crossbar", dict, where)
+        for field, kind in _CROSSBAR_FIELDS:
+            _require(crossbar, field, kind, f"{where}.crossbar")
+        stages = _require(record, "stages", dict, where)
+        for stage, seconds in stages.items():
+            if not isinstance(seconds, Real):
+                raise ValueError(f"{where}.stages.{stage}: expected a number")
+        names.append(record["circuit"])
+    if names != sorted(names):
+        raise ValueError("$.circuits: records must be sorted by circuit name")
+    if len(set(names)) != len(names):
+        raise ValueError("$.circuits: duplicate circuit names")
+    return payload

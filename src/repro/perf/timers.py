@@ -1,0 +1,45 @@
+"""Wall-clock stage timing for multi-stage pipelines."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+__all__ = ["StageTimer"]
+
+
+class StageTimer:
+    """Accumulate wall-clock seconds per named pipeline stage.
+
+    ::
+
+        timer = StageTimer()
+        with timer.stage("bdd"):
+            sbdd = build_sbdd(netlist)
+        with timer.stage("labeling"):
+            labeling = label(graph)
+        timer.times  # {"bdd": ..., "labeling": ...}
+
+    Re-entering a stage name accumulates (useful for loops).  The timer
+    is also usable as a plain dict factory: ``dict(timer.times)``.
+    """
+
+    def __init__(self) -> None:
+        self.times: dict[str, float] = {}
+
+    @contextmanager
+    def stage(self, name: str):
+        t0 = time.monotonic()
+        try:
+            yield self
+        finally:
+            self.times[name] = self.times.get(name, 0.0) + time.monotonic() - t0
+
+    @property
+    def total(self) -> float:
+        """Sum of all recorded stage times."""
+        return sum(self.times.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        stages = ", ".join(f"{k}={v:.3f}s" for k, v in self.times.items())
+        return f"StageTimer({stages})"

@@ -185,3 +185,142 @@ class TestFromExpr:
         f = m.from_expr(e)
         for env in all_envs(["a", "b", "c"]):
             assert m.evaluate(f, env) == e.evaluate(env)
+
+
+class TestUndeclaredVariables:
+    def test_restrict_unknown_var(self, m):
+        f = m.from_expr(parse("a & b"))
+        with pytest.raises(ValueError, match="unknown variable 'z'"):
+            m.restrict(f, "z", True)
+
+    def test_compose_unknown_var(self, m):
+        f = m.from_expr(parse("a | c"))
+        with pytest.raises(ValueError, match="unknown variable 'q'"):
+            m.compose(f, "q", m.var("b"))
+
+    def test_exists_unknown_var(self, m):
+        f = m.from_expr(parse("a ^ b"))
+        with pytest.raises(ValueError, match="unknown variable"):
+            m.exists(["a", "nope"], f)
+
+    def test_error_lists_declared_variables(self, m):
+        with pytest.raises(ValueError, match=r"declared:.*a.*b.*c"):
+            m.restrict(m.var("a"), "missing", False)
+
+
+class TestCacheInstrumentation:
+    def test_hits_and_misses_counted(self, m):
+        a, b = m.var("a"), m.var("b")
+        m.reset_cache_stats()
+        m.clear_cache()
+        m.apply_and(a, b)
+        first = m.cache_stats()
+        assert first["misses"] >= 1
+        m.apply_and(a, b)
+        second = m.cache_stats()
+        assert second["hits"] == first["hits"] + 1
+        assert second["misses"] == first["misses"]
+        assert 0.0 <= second["hit_rate"] <= 1.0
+
+    def test_operand_order_shares_cache(self, m):
+        a, b = m.var("a"), m.var("b")
+        m.clear_cache()
+        m.reset_cache_stats()
+        m.apply_and(a, b)
+        before = m.cache_stats()["hits"]
+        m.apply_and(b, a)  # canonicalised key: same entry
+        assert m.cache_stats()["hits"] == before + 1
+
+    def test_bounded_cache_resets(self):
+        m = BDD([f"x{i}" for i in range(12)], max_cache_size=8)
+        f = m.false
+        for i in range(12):
+            f = m.apply_or(f, m.var(f"x{i}"))
+        stats = m.cache_stats()
+        assert stats["resets"] >= 1
+        assert stats["entries"] <= 8
+        # Semantics survive the resets.
+        assert m.evaluate(f, {f"x{i}": i == 7 for i in range(12)})
+
+    def test_max_cache_size_validated(self):
+        with pytest.raises(ValueError):
+            BDD(max_cache_size=0)
+
+    def test_reset_cache_stats(self, m):
+        m.apply_and(m.var("a"), m.var("b"))
+        m.reset_cache_stats()
+        stats = m.cache_stats()
+        assert stats["hits"] == 0 and stats["misses"] == 0 and stats["resets"] == 0
+
+
+class TestDeepCircuits:
+    """The apply kernels are iterative: depth ~ #variables must not
+    hit Python's recursion limit."""
+
+    N = 3000
+
+    def _chain(self, m):
+        f = m.true
+        for i in reversed(range(self.N)):
+            f = m.apply_and(m.var(f"x{i}"), f)
+        return f
+
+    def test_deep_and_chain(self):
+        import sys
+
+        m = BDD([f"x{i}" for i in range(self.N)])
+        limit = sys.getrecursionlimit()
+        try:
+            sys.setrecursionlimit(300)
+            f = self._chain(m)
+            nf = m.not_(f)
+            assert m.apply_or(f, nf) == TRUE_ID
+            assert m.apply_and(f, nf) == FALSE_ID
+            assert m.apply_xor(f, nf) == TRUE_ID
+        finally:
+            sys.setrecursionlimit(limit)
+        assert m.evaluate(f, {f"x{i}": True for i in range(self.N)})
+
+    def test_deep_reachable(self):
+        import sys
+
+        m = BDD([f"x{i}" for i in range(self.N)])
+        f = self._chain(m)
+        limit = sys.getrecursionlimit()
+        try:
+            sys.setrecursionlimit(300)
+            assert len(m.reachable([f])) == self.N + 2
+        finally:
+            sys.setrecursionlimit(limit)
+
+
+class TestGarbageCollection:
+    def test_collect_preserves_functions(self, m):
+        f = m.from_expr(parse("(a & b) | ~c"))
+        g = m.from_expr(parse("a ^ c"))
+        m.apply_and(f, g)  # make some garbage-able intermediates
+        dead = m.apply_xor(m.var("a"), m.var("b"))
+        assert not m.is_terminal(dead)
+        remap = m.collect_garbage([f, g])
+        f2, g2 = remap[f], remap[g]
+        from tests.conftest import all_envs
+
+        for env in all_envs(["a", "b", "c"]):
+            assert m.evaluate(f2, env) == ((env["a"] and env["b"]) or not env["c"])
+            assert m.evaluate(g2, env) == (env["a"] != env["c"])
+
+    def test_collect_shrinks_table(self, m):
+        f = m.from_expr(parse("(a & b) | c"))
+        dead = m.apply_xor(m.var("a"), m.apply_or(m.var("b"), m.var("c")))
+        assert not m.is_terminal(dead)
+        before = m.table_size()
+        remap = m.collect_garbage([f])
+        assert m.table_size() < before
+        # After collection the table holds exactly the live set.
+        assert m.table_size() == len(m.reachable([remap[f]]))
+
+    def test_terminals_survive_collection(self, m):
+        remap = m.collect_garbage([])
+        assert remap[FALSE_ID] == FALSE_ID
+        assert remap[TRUE_ID] == TRUE_ID
+        assert m.table_size() == 2

@@ -1,0 +1,113 @@
+"""Property tests for in-place reordering.
+
+The contract of :func:`repro.bdd.reorder.swap_adjacent` is that node
+ids keep denoting the same Boolean functions — so any sequence of
+swaps (and any full sift) must leave every root's truth table intact
+while only permuting the variable order.
+"""
+
+import itertools
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.bdd import BDD, build_sbdd
+from repro.bdd.reorder import sift, sift_sbdd, swap_adjacent
+from repro.expr import parse
+
+EXPRS = [
+    "(a & b) | (c & d)",
+    "a ^ b ^ c ^ d ^ e",
+    "(a | b) & (c | d) & (a | e)",
+    "~(a & b) | (c ^ e)",
+    "(a & ~b) | (~c & d & e)",
+]
+VARS = ["a", "b", "c", "d", "e"]
+
+
+def _all_envs(names):
+    for bits in itertools.product([False, True], repeat=len(names)):
+        yield dict(zip(names, bits))
+
+
+def _truth_tables(m, roots):
+    return [
+        tuple(m.evaluate(r, env) for env in _all_envs(VARS)) for r in roots
+    ]
+
+
+@given(
+    swaps=st.lists(st.integers(min_value=0, max_value=len(VARS) - 2), max_size=40)
+)
+@settings(max_examples=50, deadline=None)
+def test_swap_sequences_preserve_functions(swaps):
+    m = BDD(VARS)
+    roots = [m.from_expr(parse(text)) for text in EXPRS]
+    before = _truth_tables(m, roots)
+    for level in swaps:
+        swap_adjacent(m, level)
+    assert _truth_tables(m, roots) == before
+    assert sorted(m.var_order) == sorted(VARS)
+
+
+def test_single_swap_is_involution():
+    m = BDD(VARS)
+    roots = [m.from_expr(parse(text)) for text in EXPRS]
+    order = m.var_order
+    tables = _truth_tables(m, roots)
+    for level in range(len(VARS) - 1):
+        swap_adjacent(m, level)
+        swap_adjacent(m, level)
+        assert m.var_order == order
+        assert _truth_tables(m, roots) == tables
+
+
+def test_swap_out_of_range_raises():
+    m = BDD(["a", "b"])
+    with pytest.raises(IndexError):
+        swap_adjacent(m, 1)
+    with pytest.raises(IndexError):
+        swap_adjacent(m, -1)
+
+
+def test_sift_never_grows_and_preserves_functions():
+    m = BDD(VARS)
+    roots = [m.from_expr(parse(text)) for text in EXPRS]
+    tables = _truth_tables(m, roots)
+    initial = len(m.reachable(roots))
+    stats = {}
+    final = sift(m, roots, max_rounds=2, stats=stats)
+    assert final <= initial
+    assert stats["final_size"] == final
+    assert stats["initial_size"] == initial
+    assert _truth_tables(m, roots) == tables
+
+
+@pytest.mark.parametrize("name", ["c17", "mult4", "ctrl_like", "hamming_dec"])
+def test_full_sift_round_preserves_suite_circuits(name):
+    """A full sift round on real suite circuits keeps every output's
+    truth table identical to the netlist's reference evaluation."""
+    from repro.bench.suites import circuit
+
+    netlist = circuit(name)
+    sbdd = build_sbdd(netlist)
+    before = sbdd.node_count()
+    size = sift_sbdd(sbdd, max_rounds=1)
+    assert size <= before
+    assert size == sbdd.node_count()
+    m = sbdd.manager
+    for env in _all_envs(netlist.inputs):
+        expected = netlist.evaluate(env)
+        for out, root in sbdd.roots.items():
+            assert m.evaluate(root, env) == expected[out], (name, out, env)
+
+
+def test_sift_respects_time_budget():
+    m = BDD(VARS)
+    roots = [m.from_expr(parse(text)) for text in EXPRS]
+    tables = _truth_tables(m, roots)
+    sift(m, roots, time_budget=0.0, max_rounds=5)
+    # A zero budget may cut sifting short at any point, but functions
+    # must still be intact.
+    assert _truth_tables(m, roots) == tables

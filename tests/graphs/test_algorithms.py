@@ -173,6 +173,30 @@ class TestVertexCover:
             assert lp <= len(without.cover) + 1e-9
             assert forced_in.isdisjoint(forced_out)
 
+    def test_kernelization_half_integral_partition(self):
+        # The dual-simplex LP must land on a vertex of the polytope,
+        # where every value is in {0, 1/2, 1}: the three classes then
+        # partition the node set exactly (a non-half-integral value
+        # would have raised inside nt_kernelize).
+        for seed in range(8):
+            g = random_graph(12, 0.3, seed + 200)
+            forced_in, forced_out, kernel, lp = nt_kernelize(g)
+            classes = [forced_in, forced_out, set(kernel.nodes())]
+            assert set().union(*classes) == set(g.nodes())
+            assert sum(len(c) for c in classes) == len(list(g.nodes()))
+            # LP value of the half-integral solution: |in| + |kernel|/2.
+            assert lp == pytest.approx(len(forced_in) + len(list(kernel.nodes())) / 2)
+
+    def test_kernelization_star_forces_center(self):
+        g = UGraph()
+        for leaf in "abcde":
+            g.add_edge("center", leaf)
+        forced_in, forced_out, kernel, lp = nt_kernelize(g)
+        assert forced_in == {"center"}
+        assert forced_out == set("abcde")
+        assert not list(kernel.nodes())
+        assert lp == pytest.approx(1.0)
+
     def test_greedy_within_factor_two(self):
         for seed in range(5):
             g = random_graph(10, 0.35, seed + 50)

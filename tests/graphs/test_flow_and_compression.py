@@ -49,6 +49,19 @@ class TestDinic:
         with pytest.raises(ValueError):
             Dinic().add_edge("a", "b", -1)
 
+    def test_long_path_no_recursion_limit(self):
+        # The augmenting DFS is iterative: a path far deeper than
+        # Python's recursion limit must still route flow.
+        import sys
+
+        n = 3 * sys.getrecursionlimit()
+        d = Dinic()
+        for i in range(n):
+            d.add_edge(i, i + 1, 2)
+        d.add_edge(0, n + 1, 1)
+        d.add_edge(n + 1, n, 1)
+        assert d.max_flow(0, n) == 3
+
     @pytest.mark.parametrize("seed", range(6))
     def test_matches_networkx(self, seed):
         rng = random.Random(seed)

@@ -1,0 +1,74 @@
+"""Perf harness tests: record shape, determinism across --jobs levels."""
+
+import json
+
+import pytest
+
+from repro.perf import validate_bench_payload
+from repro.perf.harness import (
+    deterministic_view,
+    run_perf_circuit,
+    run_perf_suite,
+    write_bench_json,
+)
+
+TINY = ["c17", "parity16"]
+
+
+@pytest.fixture(scope="module")
+def tiny_payload():
+    return run_perf_suite(names=TINY, time_limit=10.0)
+
+
+class TestRunPerfCircuit:
+    def test_record_shape(self):
+        record = run_perf_circuit("c17", time_limit=10.0)
+        assert record["circuit"] == "c17"
+        assert record["inputs"] == 5 and record["outputs"] == 2
+        assert record["sbdd_nodes_sifted"] <= record["sbdd_nodes_static"]
+        # In-place sifting never rebuilds the SBDD during the scan.
+        assert record["sift"]["rebuilds"] == 0
+        assert record["sift"]["swaps"] > 0
+        assert record["cache"]["hits"] >= 0
+        assert 0.0 <= record["cache"]["hit_rate"] <= 1.0
+        assert record["crossbar"]["semiperimeter"] == (
+            record["crossbar"]["rows"] + record["crossbar"]["cols"]
+        )
+
+    def test_unknown_circuit_rejected(self):
+        with pytest.raises(ValueError, match="unknown suite circuits: nope"):
+            run_perf_suite(names=["c17", "nope"])
+
+
+class TestSuitePayload:
+    def test_payload_validates(self, tiny_payload):
+        validate_bench_payload(tiny_payload)
+        assert tiny_payload["totals"]["circuits"] == len(TINY)
+        assert [r["circuit"] for r in tiny_payload["circuits"]] == sorted(TINY)
+
+    def test_write_bench_json_round_trips(self, tiny_payload, tmp_path):
+        path = write_bench_json(tmp_path / "bench.json", tiny_payload)
+        loaded = json.loads(path.read_text())
+        validate_bench_payload(loaded)
+        assert deterministic_view(loaded) == deterministic_view(tiny_payload)
+        assert path.read_text().endswith("\n")
+
+    def test_deterministic_view_strips_clock_fields(self, tiny_payload):
+        view = deterministic_view(tiny_payload)
+        assert "jobs" not in view and "python" not in view
+        text = json.dumps(view)
+        assert "wall_time_s" not in text
+        assert "time_s" not in text
+        assert "stages" not in text
+
+
+class TestDeterministicParallelism:
+    def test_jobs_1_equals_jobs_4(self, tiny_payload):
+        """Workers are pure (fresh manager + counters per process), so
+        the deterministic view must not depend on the --jobs level."""
+        parallel = run_perf_suite(names=TINY, jobs=4, time_limit=10.0)
+        assert deterministic_view(parallel) == deterministic_view(tiny_payload)
+
+    def test_repeat_run_is_deterministic(self, tiny_payload):
+        again = run_perf_suite(names=TINY, time_limit=10.0)
+        assert deterministic_view(again) == deterministic_view(tiny_payload)

@@ -1,0 +1,112 @@
+"""Schema validation tests for BENCH_*.json perf baselines."""
+
+import copy
+
+import pytest
+
+from repro.perf import BENCH_SCHEMA_ID, validate_bench_payload
+
+
+def _record(name="c17"):
+    return {
+        "circuit": name,
+        "inputs": 5,
+        "outputs": 2,
+        "sbdd_nodes_static": 14,
+        "sbdd_nodes_sifted": 12,
+        "bdd_table_size": 30,
+        "wall_time_s": 0.1,
+        "optimal": True,
+        "sift": {"swaps": 20, "rebuilds": 0, "time_s": 0.01},
+        "cache": {"hits": 10, "misses": 5, "resets": 0, "hit_rate": 0.666},
+        "crossbar": {"rows": 4, "cols": 7, "semiperimeter": 11, "max_dimension": 7},
+        "stages": {"bdd": 0.01, "labeling": 0.05},
+    }
+
+
+def _payload():
+    return {
+        "schema": BENCH_SCHEMA_ID,
+        "suite_tier": "fast",
+        "gamma": 0.5,
+        "method": "auto",
+        "backend": "highs",
+        "time_limit": 20.0,
+        "jobs": 1,
+        "python": "3.11.0",
+        "circuits": [_record("c17"), _record("parity16")],
+        "totals": {
+            "circuits": 2,
+            "wall_time_s": 0.2,
+            "sift_swaps": 40,
+            "sbdd_nodes_sifted": 24,
+        },
+    }
+
+
+def test_valid_payload_passes_and_chains():
+    p = _payload()
+    assert validate_bench_payload(p) is p
+
+
+def test_wrong_schema_id():
+    p = _payload()
+    p["schema"] = "repro-bench-perf/99"
+    with pytest.raises(ValueError, match=r"\$\.schema"):
+        validate_bench_payload(p)
+
+
+def test_missing_top_level_field():
+    p = _payload()
+    del p["gamma"]
+    with pytest.raises(ValueError, match=r"\$\.gamma: missing"):
+        validate_bench_payload(p)
+
+
+def test_missing_circuit_field_names_path():
+    p = _payload()
+    del p["circuits"][1]["sift"]["rebuilds"]
+    with pytest.raises(ValueError, match=r"\$\.circuits\[1\]\.sift\.rebuilds"):
+        validate_bench_payload(p)
+
+
+def test_bool_is_not_int():
+    p = _payload()
+    p["circuits"][0]["inputs"] = True
+    with pytest.raises(ValueError, match="expected int, got bool"):
+        validate_bench_payload(p)
+
+
+def test_totals_count_must_match():
+    p = _payload()
+    p["totals"]["circuits"] = 3
+    with pytest.raises(ValueError, match=r"\$\.totals\.circuits"):
+        validate_bench_payload(p)
+
+
+def test_records_must_be_sorted():
+    p = _payload()
+    p["circuits"].reverse()
+    with pytest.raises(ValueError, match="sorted"):
+        validate_bench_payload(p)
+
+
+def test_duplicate_circuits_rejected():
+    p = _payload()
+    p["circuits"] = [_record("c17"), _record("c17")]
+    with pytest.raises(ValueError, match="duplicate"):
+        validate_bench_payload(p)
+
+
+def test_non_numeric_stage_rejected():
+    p = _payload()
+    p["circuits"][0]["stages"]["bdd"] = "fast"
+    with pytest.raises(ValueError, match=r"stages\.bdd"):
+        validate_bench_payload(p)
+
+
+def test_valid_payload_unchanged_by_validation():
+    p = _payload()
+    before = copy.deepcopy(p)
+    validate_bench_payload(p)
+    assert p == before

@@ -115,6 +115,29 @@ class TestBenchCommand:
         assert rc == 0
         assert "Table I" in out
 
+    def test_perf_harness_writes_json(self, tmp_path, capsys):
+        from repro.perf import validate_bench_payload
+
+        out_json = tmp_path / "bench.json"
+        rc = main([
+            "bench", "perf", "--circuits", "c17", "--jobs", "1",
+            "--time-limit", "10", "--perf-json", str(out_json),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Perf baseline" in out and "c17" in out
+        payload = json.loads(out_json.read_text())
+        validate_bench_payload(payload)
+        assert [r["circuit"] for r in payload["circuits"]] == ["c17"]
+
+    def test_perf_is_default_experiment(self):
+        args = build_parser().parse_args(["bench", "--circuits", "c17"])
+        assert args.experiment == "perf"
+
+    def test_perf_rejects_unknown_circuit(self):
+        with pytest.raises(ValueError, match="unknown suite circuits"):
+            main(["bench", "perf", "--circuits", "definitely_not_a_circuit"])
+
 
 class TestParser:
     def test_requires_command(self):
