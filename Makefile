@@ -3,10 +3,18 @@ JOBS ?= 4
 
 export PYTHONPATH := src
 
-.PHONY: test test-perf bench bench-baseline bench-smoke
+.PHONY: test test-perf bench bench-baseline bench-smoke verify
 
 test:
 	$(PYTHON) -m pytest tests/ -q
+
+# Tier-1 tests + fault-injection smoke + perf baseline schema check.
+verify:
+	$(PYTHON) -m pytest tests/ -x -q
+	$(PYTHON) -m pytest tests/robust/test_injection_smoke.py -q
+	$(PYTHON) -c "import json; from repro.perf import validate_bench_payload; \
+	validate_bench_payload(json.load(open('BENCH_compact.json'))); \
+	print('BENCH_compact.json: schema OK')"
 
 test-perf:
 	$(PYTHON) -m pytest tests/perf tests/bdd/test_swap_properties.py -q

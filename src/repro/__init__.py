@@ -12,12 +12,22 @@ Nanoscale Crossbars with Minimal Semiperimeter and Maximum Dimension"
 * :mod:`repro.milp` -- MILP modeling layer and solvers
 * :mod:`repro.core` -- the COMPACT flow (labeling + mapping)
 * :mod:`repro.crossbar` -- crossbar designs, evaluation, analog model
+* :mod:`repro.robust` -- defect-aware remapping / fault-tolerant synthesis
 * :mod:`repro.baselines` -- prior-work staircase mapper, MAGIC/CONTRA-like
 * :mod:`repro.bench` -- experiment harness reproducing the paper's tables
 """
 
 from .core import Compact, CompactResult
+from .robust import RemapFailure, RemapResult, remap, synthesize_fault_tolerant
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["Compact", "CompactResult", "__version__"]
+__all__ = [
+    "Compact",
+    "CompactResult",
+    "remap",
+    "RemapResult",
+    "RemapFailure",
+    "synthesize_fault_tolerant",
+    "__version__",
+]

@@ -10,9 +10,17 @@ report
     Circuit and (S)BDD statistics for a file.
 validate
     Re-check a saved design JSON against its source circuit.
+map
+    Defect-aware remapping: place a saved design around the stuck-at
+    defects in a fault map (permute -> spares escalation, verified).
+faults
+    Generate a random stuck-at fault map JSON for a physical array.
 bench
-    Run one of the paper's experiments (table1..table4, fig9..fig13)
-    and print the resulting table.
+    Run one of the paper's experiments (table1..table4, fig9..fig13),
+    the perf harness, or the naive-vs-remapped ``yield`` comparison.
+
+Malformed input files (circuit, design JSON, fault map) exit with code
+2 and a one-line message on stderr — never a traceback.
 """
 
 from __future__ import annotations
@@ -36,19 +44,56 @@ _READERS = {
 }
 
 
+def _usage_error(message: str) -> SystemExit:
+    """One-line failure for malformed user input: stderr + exit code 2."""
+    print(f"repro: error: {message}", file=sys.stderr)
+    return SystemExit(2)
+
+
 def load_circuit(path: str, fmt: str = "auto"):
-    """Read a circuit file by extension (or forced format)."""
-    text = Path(path).read_text()
+    """Read a circuit file by extension (or forced format).
+
+    Malformed or unreadable files exit with code 2 and a one-line
+    message (parser errors carry ``file:line:`` context).
+    """
+    try:
+        text = Path(path).read_text()
+    except OSError as exc:
+        raise _usage_error(f"cannot read {path!r}: {exc.strerror or exc}") from exc
     if fmt != "auto":
         reader = {"verilog": read_verilog, "blif": read_blif, "pla": read_pla}[fmt]
-        return reader(text)
-    suffix = Path(path).suffix.lower()
-    reader = _READERS.get(suffix)
-    if reader is None:
-        raise SystemExit(
-            f"cannot infer format of {path!r} (use --format verilog|blif|pla)"
-        )
-    return reader(text)
+    else:
+        suffix = Path(path).suffix.lower()
+        reader = _READERS.get(suffix)
+        if reader is None:
+            raise _usage_error(
+                f"cannot infer format of {path!r} (use --format verilog|blif|pla)"
+            )
+    try:
+        return reader(text, source=path)
+    except ValueError as exc:
+        # PlaError/BlifError/VerilogError and netlist semantic errors.
+        raise _usage_error(str(exc)) from exc
+
+
+def _load_design(path: str):
+    try:
+        return design_from_json(Path(path).read_text())
+    except OSError as exc:
+        raise _usage_error(f"cannot read {path!r}: {exc.strerror or exc}") from exc
+    except (ValueError, KeyError, TypeError) as exc:
+        raise _usage_error(f"{path}: not a valid design JSON ({exc})") from exc
+
+
+def _load_fault_map(path: str):
+    from .crossbar import fault_map_from_json
+
+    try:
+        return fault_map_from_json(Path(path).read_text())
+    except OSError as exc:
+        raise _usage_error(f"cannot read {path!r}: {exc.strerror or exc}") from exc
+    except (ValueError, KeyError, TypeError) as exc:
+        raise _usage_error(f"{path}: not a valid fault map ({exc})") from exc
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -82,6 +127,34 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--circuit", required=True, help="source circuit file")
     validate.add_argument("--format", default="auto", choices=["auto", "verilog", "blif", "pla"])
 
+    remap_p = sub.add_parser(
+        "map", help="defect-aware remapping of a design onto a faulty array"
+    )
+    remap_p.add_argument("design", help="design JSON produced by synth --json")
+    remap_p.add_argument("--circuit", required=True, help="source circuit file")
+    remap_p.add_argument("--format", default="auto", choices=["auto", "verilog", "blif", "pla"])
+    remap_p.add_argument("--fault-map", required=True, metavar="PATH",
+                         help="fault map JSON (see 'repro faults')")
+    remap_p.add_argument("--spare-rows", type=int, default=None, metavar="N",
+                         help="cap on spare rows used (default: all the array offers)")
+    remap_p.add_argument("--spare-cols", type=int, default=None, metavar="N")
+    remap_p.add_argument("--method", default="auto", choices=["auto", "greedy", "milp"])
+    remap_p.add_argument("--time-limit", type=float, default=10.0, metavar="SECONDS",
+                         help="MILP fallback budget per stage")
+    remap_p.add_argument("--seed", type=int, default=0)
+    remap_p.add_argument("--resynthesize", action="store_true",
+                         help="escalate to re-synthesis under alternative variable orders")
+    remap_p.add_argument("--json", metavar="PATH", help="write the remapped design as JSON")
+    remap_p.add_argument("--render", action="store_true", help="print the remapped grid")
+
+    faults_p = sub.add_parser("faults", help="generate a random stuck-at fault map")
+    faults_p.add_argument("rows", type=int, help="physical array rows")
+    faults_p.add_argument("cols", type=int, help="physical array columns")
+    faults_p.add_argument("--p-stuck-on", type=float, default=0.002)
+    faults_p.add_argument("--p-stuck-off", type=float, default=0.02)
+    faults_p.add_argument("--seed", type=int, default=0)
+    faults_p.add_argument("--out", metavar="PATH", help="write here instead of stdout")
+
     bench = sub.add_parser("bench", help="run one paper experiment or the perf harness")
     bench.add_argument(
         "experiment",
@@ -90,9 +163,10 @@ def build_parser() -> argparse.ArgumentParser:
         choices=[
             "table1", "table2", "table3", "table4",
             "fig9", "fig10", "fig11", "fig12", "fig13",
-            "perf",
+            "perf", "yield",
         ],
-        help="paper table/figure, or 'perf' (default) for the perf baseline harness",
+        help="paper table/figure, 'perf' (default) for the perf baseline harness, "
+             "or 'yield' for the naive-vs-remapped fault-recovery comparison",
     )
     bench.add_argument("--tier", default=None, choices=[None, "fast", "full"])
     bench.add_argument(
@@ -111,6 +185,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--time-limit", type=float, default=None, metavar="SECONDS",
         help="per-circuit labeling budget for the perf harness",
     )
+    bench.add_argument(
+        "--trials", type=int, default=20, metavar="N",
+        help="yield experiment: fault maps sampled per circuit",
+    )
+    bench.add_argument("--p-stuck-on", type=float, default=0.002,
+                       help="yield experiment: per-cell stuck-on probability")
+    bench.add_argument("--p-stuck-off", type=float, default=0.02,
+                       help="yield experiment: per-cell stuck-off probability")
+    bench.add_argument("--spare-rows", type=int, default=2,
+                       help="yield experiment: spare rows on the physical array")
+    bench.add_argument("--spare-cols", type=int, default=2,
+                       help="yield experiment: spare columns on the physical array")
+    bench.add_argument("--seed", type=int, default=0,
+                       help="yield experiment: Monte-Carlo seed")
+    bench.add_argument("--resynthesize", action="store_true",
+                       help="yield experiment: escalate to re-synthesis on failure")
     return parser
 
 
@@ -183,7 +273,7 @@ def _cmd_report(args) -> int:
 
 
 def _cmd_validate(args) -> int:
-    design = design_from_json(Path(args.design).read_text())
+    design = _load_design(args.design)
     netlist = load_circuit(args.circuit, args.format)
     report = validate_design(design, netlist.evaluate, netlist.inputs)
     if report.ok:
@@ -194,11 +284,79 @@ def _cmd_validate(args) -> int:
     return 1
 
 
+def _cmd_map(args) -> int:
+    from .crossbar import measure as _measure
+    from .robust import RemapFailure, remap, synthesize_fault_tolerant
+
+    design = _load_design(args.design)
+    netlist = load_circuit(args.circuit, args.format)
+    fault_map = _load_fault_map(args.fault_map)
+    try:
+        if args.resynthesize:
+            ft = synthesize_fault_tolerant(
+                netlist, fault_map,
+                max_spare_rows=args.spare_rows, max_spare_cols=args.spare_cols,
+                method=args.method, time_limit=args.time_limit, seed=args.seed,
+            )
+            result = ft.remap
+            if ft.resynthesized:
+                print(f"resynthesized with variable order {ft.order}")
+        else:
+            result = remap(
+                design, fault_map, netlist.evaluate, netlist.inputs,
+                max_spare_rows=args.spare_rows, max_spare_cols=args.spare_cols,
+                method=args.method, time_limit=args.time_limit, seed=args.seed,
+            )
+    except RemapFailure as exc:
+        print(f"remap failed: {exc.diagnosis.summary()}", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        raise _usage_error(str(exc)) from exc
+
+    metrics = _measure(result.design)
+    print(f"design     : {result.design.name}")
+    print(f"array      : {fault_map.rows} x {fault_map.cols} "
+          f"({len(fault_map.faults)} faults, density {fault_map.density:.4f})")
+    print(f"crossbar   : {metrics.rows} x {metrics.cols}")
+    print(f"stage      : {result.stage} ({result.method})")
+    print(f"spares     : {result.spare_rows_used} rows, {result.spare_cols_used} cols")
+    print(f"displaced  : {result.displacement} lines")
+    print(f"validation : OK ({result.report.checked} assignments, "
+          f"exhaustive={result.report.exhaustive})")
+    if args.render:
+        print()
+        print(result.design.render())
+    if args.json:
+        Path(args.json).write_text(design_to_json(result.design, indent=2))
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_faults(args) -> int:
+    from .crossbar import fault_map_to_json, random_fault_map
+
+    if args.rows <= 0 or args.cols <= 0:
+        raise _usage_error("rows and cols must be positive")
+    fault_map = random_fault_map(
+        args.rows, args.cols,
+        p_stuck_on=args.p_stuck_on, p_stuck_off=args.p_stuck_off, seed=args.seed,
+    )
+    payload = fault_map_to_json(fault_map, indent=2)
+    if args.out:
+        Path(args.out).write_text(payload)
+        print(f"wrote {args.out} ({len(fault_map.faults)} faults)")
+    else:
+        print(payload)
+    return 0
+
+
 def _cmd_bench(args) -> int:
     from . import bench as b
 
     if args.experiment == "perf":
         return _cmd_bench_perf(args)
+    if args.experiment == "yield":
+        return _cmd_bench_yield(args)
 
     runner = {
         "table1": lambda: b.table1_properties(args.tier),
@@ -240,6 +398,31 @@ def _cmd_bench_perf(args) -> int:
     return 0
 
 
+def _cmd_bench_yield(args) -> int:
+    from .robust import render_yield_table, yield_comparison
+
+    names = None
+    if args.circuits:
+        names = [n.strip() for n in args.circuits.split(",") if n.strip()]
+    try:
+        results = yield_comparison(
+            tier=args.tier,
+            names=names,
+            trials=args.trials,
+            p_stuck_on=args.p_stuck_on,
+            p_stuck_off=args.p_stuck_off,
+            spare_rows=args.spare_rows,
+            spare_cols=args.spare_cols,
+            seed=args.seed,
+            time_limit=args.time_limit if args.time_limit is not None else 5.0,
+            resynthesize=args.resynthesize,
+        )
+    except ValueError as exc:
+        raise _usage_error(str(exc)) from exc
+    print(render_yield_table(results).render())
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -247,6 +430,8 @@ def main(argv: list[str] | None = None) -> int:
         "synth": _cmd_synth,
         "report": _cmd_report,
         "validate": _cmd_validate,
+        "map": _cmd_map,
+        "faults": _cmd_faults,
         "bench": _cmd_bench,
     }[args.command]
     return handler(args)

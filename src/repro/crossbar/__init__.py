@@ -8,17 +8,24 @@ from .faults import (
     STUCK_OFF,
     STUCK_ON,
     Fault,
+    FaultMap,
     critical_cells,
     evaluate_with_faults,
     is_functional_under_faults,
+    random_fault_map,
     yield_estimate,
 )
 from .literals import OFF, ON, Lit
 from .metrics import DesignMetrics, measure
 from .programming import ProgrammingSchedule, ProgrammingStep, schedule_sequence
-from .serialize import design_from_json, design_to_json
+from .serialize import (
+    design_from_json,
+    design_to_json,
+    fault_map_from_json,
+    fault_map_to_json,
+)
 from .spice import to_spice_netlist
-from .validate import ValidationReport, validate_design
+from .validate import ValidationReport, validate_design, validate_under_faults
 from .variation import (
     VariationParams,
     VariationReport,
@@ -38,17 +45,21 @@ __all__ = [
     "assignments_to_matrix",
     "design_to_json",
     "design_from_json",
+    "fault_map_to_json",
+    "fault_map_from_json",
     "to_spice_netlist",
     "DesignAnalysis",
     "analyze_design",
     "conducting_depths",
     "Fault",
+    "FaultMap",
     "STUCK_ON",
     "STUCK_OFF",
     "evaluate_with_faults",
     "is_functional_under_faults",
     "critical_cells",
     "yield_estimate",
+    "random_fault_map",
     "CrossbarDesign",
     "Lit",
     "ON",
@@ -57,6 +68,7 @@ __all__ = [
     "AnalogParams",
     "AnalogResult",
     "validate_design",
+    "validate_under_faults",
     "ValidationReport",
     "measure",
     "DesignMetrics",

@@ -157,6 +157,53 @@ class CrossbarDesign:
         result.update(self.constant_outputs)
         return result
 
+    # -- remapping ------------------------------------------------------------------
+    def permuted(
+        self,
+        row_map: Mapping[int, int],
+        col_map: Mapping[int, int],
+        num_rows: int | None = None,
+        num_cols: int | None = None,
+        name: str | None = None,
+    ) -> "CrossbarDesign":
+        """A copy with wordlines/bitlines relocated onto a physical array.
+
+        ``row_map``/``col_map`` send every logical line of this design to
+        a distinct physical line; ``num_rows``/``num_cols`` (default: this
+        design's dimensions) may be larger, leaving spare lines
+        unprogrammed.  Used by :mod:`repro.robust` to route around
+        stuck-at defects.
+        """
+        num_rows = self.num_rows if num_rows is None else num_rows
+        num_cols = self.num_cols if num_cols is None else num_cols
+        for kind, mapping, logical, physical in (
+            ("row", row_map, self.num_rows, num_rows),
+            ("column", col_map, self.num_cols, num_cols),
+        ):
+            missing = [i for i in range(logical) if i not in mapping]
+            if missing:
+                raise ValueError(f"{kind} map misses logical {kind}s {missing}")
+            images = [mapping[i] for i in range(logical)]
+            if len(set(images)) != len(images):
+                raise ValueError(f"{kind} map is not injective")
+            bad = [i for i in images if not (0 <= i < physical)]
+            if bad:
+                raise ValueError(f"{kind} map targets out-of-range lines {bad}")
+
+        out = CrossbarDesign(
+            name if name is not None else self.name,
+            num_rows=num_rows,
+            num_cols=num_cols,
+            input_row=row_map[self.input_row],
+            output_rows={o: row_map[r] for o, r in self.output_rows.items()},
+            constant_outputs=self.constant_outputs,
+        )
+        for r, c, lit in self.cells():
+            out.set_cell(row_map[r], col_map[c], lit)
+        out.row_labels = {row_map[r]: v for r, v in self.row_labels.items() if r in row_map}
+        out.col_labels = {col_map[c]: v for c, v in self.col_labels.items() if c in col_map}
+        return out
+
     # -- presentation ---------------------------------------------------------------
     def to_grid(self) -> list[list[str]]:
         """The design as a row-major grid of cell strings ('0' for OFF)."""

@@ -15,18 +15,21 @@ import itertools
 import random
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
+from functools import cached_property
 
 from .design import CrossbarDesign
 from .validate import Reference
 
 __all__ = [
     "Fault",
+    "FaultMap",
     "STUCK_ON",
     "STUCK_OFF",
     "evaluate_with_faults",
     "is_functional_under_faults",
     "critical_cells",
     "yield_estimate",
+    "random_fault_map",
 ]
 
 STUCK_ON = "stuck_on"
@@ -46,6 +49,107 @@ class Fault:
             raise ValueError(f"unknown fault kind {self.kind!r}")
 
 
+@dataclass(frozen=True)
+class FaultMap:
+    """A post-fabrication defect map for one physical crossbar array.
+
+    ``rows``/``cols`` are the dimensions of the *physical* array, which
+    may exceed a design's logical dimensions — the surplus lines are the
+    spare rows/columns a defect-aware remap may spend.  At most one
+    fault per crosspoint; conflicting duplicates are rejected.
+    """
+
+    rows: int
+    cols: int
+    faults: tuple[Fault, ...]
+
+    def __post_init__(self):
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError("a fault map needs a positive array size")
+        object.__setattr__(self, "faults", tuple(self.faults))
+        seen: dict[tuple[int, int], str] = {}
+        for fault in self.faults:
+            if not (0 <= fault.row < self.rows and 0 <= fault.col < self.cols):
+                raise ValueError(
+                    f"fault {fault.kind} at ({fault.row}, {fault.col}) is outside "
+                    f"the {self.rows}x{self.cols} array"
+                )
+            prev = seen.get((fault.row, fault.col))
+            if prev is not None and prev != fault.kind:
+                raise ValueError(
+                    f"conflicting faults at ({fault.row}, {fault.col}): "
+                    f"{prev} and {fault.kind}"
+                )
+            seen[(fault.row, fault.col)] = fault.kind
+
+    @cached_property
+    def stuck_on_sites(self) -> frozenset[tuple[int, int]]:
+        """Crosspoints shorted permanently on."""
+        return frozenset((f.row, f.col) for f in self.faults if f.kind == STUCK_ON)
+
+    @cached_property
+    def stuck_off_sites(self) -> frozenset[tuple[int, int]]:
+        """Crosspoints that can never conduct."""
+        return frozenset((f.row, f.col) for f in self.faults if f.kind == STUCK_OFF)
+
+    @property
+    def density(self) -> float:
+        """Fraction of defective crosspoints."""
+        return len(self.faults) / (self.rows * self.cols)
+
+    def restricted(self, rows: int, cols: int) -> "FaultMap":
+        """The sub-map covering the top-left ``rows`` x ``cols`` region.
+
+        Models a chip fabricated without the spare lines (used for the
+        naive-vs-remapped yield comparison).
+        """
+        if not (0 < rows <= self.rows and 0 < cols <= self.cols):
+            raise ValueError(f"cannot restrict {self.rows}x{self.cols} to {rows}x{cols}")
+        return FaultMap(
+            rows, cols,
+            tuple(f for f in self.faults if f.row < rows and f.col < cols),
+        )
+
+
+def _as_rng(seed: int | random.Random) -> random.Random:
+    """Accept either an integer seed or a caller-owned ``random.Random``."""
+    return seed if isinstance(seed, random.Random) else random.Random(seed)
+
+
+def random_fault_map(
+    rows: int,
+    cols: int,
+    p_stuck_on: float = 0.002,
+    p_stuck_off: float = 0.02,
+    seed: int | random.Random = 0,
+) -> FaultMap:
+    """Draw an i.i.d. stuck-at defect map (at most one fault per cell).
+
+    ``seed`` defaults to 0, so repeated calls with the same arguments
+    produce the same map; pass a ``random.Random`` to thread an external
+    stream through several draws.
+    """
+    rng = _as_rng(seed)
+    faults = []
+    for r in range(rows):
+        for c in range(cols):
+            u = rng.random()
+            if u < p_stuck_on:
+                faults.append(Fault(r, c, STUCK_ON))
+            elif u < p_stuck_on + p_stuck_off:
+                faults.append(Fault(r, c, STUCK_OFF))
+    return FaultMap(rows, cols, tuple(faults))
+
+
+def _check_fault_bounds(design: CrossbarDesign, faults: Sequence[Fault]) -> None:
+    for fault in faults:
+        if not (0 <= fault.row < design.num_rows and 0 <= fault.col < design.num_cols):
+            raise ValueError(
+                f"fault {fault.kind} at ({fault.row}, {fault.col}) is outside "
+                f"the {design.num_rows}x{design.num_cols} crossbar"
+            )
+
+
 def evaluate_with_faults(
     design: CrossbarDesign,
     assignment: Mapping[str, bool],
@@ -54,8 +158,11 @@ def evaluate_with_faults(
     """Flow-based evaluation with the given defects applied.
 
     ``stuck_on`` cells conduct regardless of programming; ``stuck_off``
-    cells never conduct.
+    cells never conduct.  Faults outside the design's dimensions are
+    rejected with :class:`ValueError` (they would otherwise be silently
+    inert for ``stuck_off`` and silently wrong for ``stuck_on``).
     """
+    _check_fault_bounds(design, faults)
     on_cells = design.program(assignment)
     for fault in faults:
         cell = (fault.row, fault.col)
@@ -97,14 +204,17 @@ def is_functional_under_faults(
     faults: Sequence[Fault],
     exhaustive_limit: int = 12,
     samples: int = 256,
-    seed: int = 0,
+    seed: int | random.Random = 0,
 ) -> bool:
     """Whether the faulty crossbar still computes ``reference`` exactly.
 
     Exhaustive up to ``exhaustive_limit`` inputs, seeded Monte-Carlo
     beyond (a sound *refuter*: a False answer is definite, a True answer
-    beyond the limit is statistical).
+    beyond the limit is statistical).  ``seed`` (default 0) may be an
+    integer or a ``random.Random``; out-of-bounds faults raise
+    :class:`ValueError`.
     """
+    _check_fault_bounds(design, faults)
     names = list(inputs)
     if len(names) <= exhaustive_limit:
         envs = (
@@ -112,7 +222,7 @@ def is_functional_under_faults(
             for bits in itertools.product([False, True], repeat=len(names))
         )
     else:
-        rng = random.Random(seed)
+        rng = _as_rng(seed)
         envs = (
             {n: bool(rng.getrandbits(1)) for n in names} for _ in range(samples)
         )
@@ -173,7 +283,7 @@ def yield_estimate(
     p_stuck_on: float = 0.001,
     p_stuck_off: float = 0.01,
     trials: int = 200,
-    seed: int = 0,
+    seed: int | random.Random = 0,
     exhaustive_limit: int = 10,
     samples: int = 64,
 ) -> float:
@@ -182,10 +292,16 @@ def yield_estimate(
     Each trial draws stuck-off defects on programmed cells and stuck-on
     defects on all crosspoints, then checks functionality.  Returns the
     fraction of functional dies.
+
+    ``seed`` (default 0) drives both the fault draw and the per-trial
+    functionality sampling, so two calls with the same arguments agree
+    exactly.  Pass a ``random.Random`` to share one stream across calls;
+    the per-trial check seeds are then drawn from that stream.
     """
     if trials < 1:
         raise ValueError("need at least one trial")
-    rng = random.Random(seed)
+    external_rng = isinstance(seed, random.Random)
+    rng = _as_rng(seed)
     programmed = [(r, c) for r, c, _ in design.cells()]
     all_cells = [
         (r, c) for r in range(design.num_rows) for c in range(design.num_cols)
@@ -202,10 +318,11 @@ def yield_estimate(
             for r, c in all_cells
             if rng.random() < p_stuck_on
         ]
+        check_seed = rng.randrange(1 << 30) if external_rng else seed + trial
         if is_functional_under_faults(
             design, reference, inputs, faults,
             exhaustive_limit=exhaustive_limit, samples=samples,
-            seed=seed + trial,
+            seed=check_seed,
         ):
             good += 1
     return good / trials

@@ -1,7 +1,9 @@
-"""JSON (de)serialisation of crossbar designs.
+"""JSON (de)serialisation of crossbar designs and fault maps.
 
 Lets synthesized designs be stored as artifacts, diffed across runs, and
 reloaded for evaluation without re-running the NP-hard labeling step.
+Fault maps use the same conventions so measured defect data can flow
+into ``repro map --fault-map``.
 """
 
 from __future__ import annotations
@@ -9,11 +11,18 @@ from __future__ import annotations
 import json
 
 from .design import CrossbarDesign
+from .faults import Fault, FaultMap
 from .literals import Lit
 
-__all__ = ["design_to_json", "design_from_json"]
+__all__ = [
+    "design_to_json",
+    "design_from_json",
+    "fault_map_to_json",
+    "fault_map_from_json",
+]
 
 _FORMAT = "repro.crossbar/1"
+_FAULTS_FORMAT = "repro.faults/1"
 
 
 def design_to_json(design: CrossbarDesign, indent: int | None = None) -> str:
@@ -61,3 +70,37 @@ def design_from_json(text: str) -> CrossbarDesign:
     design.row_labels = {int(k): v for k, v in payload.get("row_labels", {}).items()}
     design.col_labels = {int(k): v for k, v in payload.get("col_labels", {}).items()}
     return design
+
+
+def fault_map_to_json(fault_map: FaultMap, indent: int | None = None) -> str:
+    """Serialise a :class:`~repro.crossbar.faults.FaultMap` to JSON."""
+    payload = {
+        "format": _FAULTS_FORMAT,
+        "rows": fault_map.rows,
+        "cols": fault_map.cols,
+        "faults": [
+            {"row": f.row, "col": f.col, "kind": f.kind}
+            for f in sorted(fault_map.faults, key=lambda f: (f.row, f.col))
+        ],
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def fault_map_from_json(text: str) -> FaultMap:
+    """Reconstruct a fault map serialised by :func:`fault_map_to_json`.
+
+    Raises :class:`ValueError` on the wrong format marker, missing
+    fields, unknown fault kinds, or out-of-array coordinates — the same
+    validation :class:`FaultMap` itself applies.
+    """
+    payload = json.loads(text)
+    if payload.get("format") != _FAULTS_FORMAT:
+        raise ValueError(f"not a serialized fault map: {payload.get('format')!r}")
+    try:
+        faults = tuple(
+            Fault(int(f["row"]), int(f["col"]), f["kind"])
+            for f in payload["faults"]
+        )
+        return FaultMap(int(payload["rows"]), int(payload["cols"]), faults)
+    except KeyError as exc:
+        raise ValueError(f"fault map missing field {exc.args[0]!r}") from exc

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 
 from .design import CrossbarDesign
 
-__all__ = ["ValidationReport", "validate_design"]
+__all__ = ["ValidationReport", "validate_design", "validate_under_faults"]
 
 Reference = Callable[[Mapping[str, bool]], Mapping[str, bool]]
 
@@ -48,6 +48,43 @@ def validate_design(
     otherwise ``samples`` seeded Monte-Carlo assignments.  Returns the
     first counterexample found, if any.
     """
+    return _run_validation(
+        design.evaluate, reference, inputs, exhaustive_limit, samples, seed
+    )
+
+
+def validate_under_faults(
+    design: CrossbarDesign,
+    reference: Reference,
+    inputs: Sequence[str],
+    faults,
+    exhaustive_limit: int = 12,
+    samples: int = 512,
+    seed: int = 0,
+) -> ValidationReport:
+    """Like :func:`validate_design`, but with stuck-at ``faults`` applied.
+
+    This is the end-to-end acceptance check the defect-aware remapper
+    (:mod:`repro.robust`) runs on every candidate placement; the report
+    carries the first counterexample, which feeds the
+    ``RemapFailure`` diagnosis when a candidate is rejected.
+    """
+    from .faults import evaluate_with_faults
+
+    return _run_validation(
+        lambda env: evaluate_with_faults(design, env, faults),
+        reference, inputs, exhaustive_limit, samples, seed,
+    )
+
+
+def _run_validation(
+    evaluator: Callable[[Mapping[str, bool]], Mapping[str, bool]],
+    reference: Reference,
+    inputs: Sequence[str],
+    exhaustive_limit: int,
+    samples: int,
+    seed: int,
+) -> ValidationReport:
     names = list(inputs)
     if len(names) <= exhaustive_limit:
         assignments = (
@@ -67,7 +104,7 @@ def validate_design(
     checked = 0
     for env in assignments:
         expected = dict(reference(env))
-        actual = design.evaluate(env)
+        actual = evaluator(env)
         checked += 1
         bad = tuple(
             out for out in expected if bool(expected[out]) != bool(actual.get(out))

@@ -20,6 +20,7 @@ from scipy.sparse.linalg import spsolve
 
 from .analog import AnalogParams
 from .design import CrossbarDesign
+from .faults import _as_rng
 
 __all__ = ["VariationParams", "VariationReport", "simulate_with_variation", "variation_sweep"]
 
@@ -83,13 +84,15 @@ def simulate_with_variation(
     assignment: Mapping[str, bool],
     params: AnalogParams = AnalogParams(),
     variation: VariationParams = VariationParams(),
-    seed: int = 0,
+    seed: int | random.Random = 0,
 ) -> dict[str, float]:
     """One variation sample: per-cell log-normal R perturbation.
 
-    Returns the sensed voltage per output.
+    Returns the sensed voltage per output.  ``seed`` (default 0) may be
+    an integer — same seed, same perturbed die — or a ``random.Random``
+    whose stream the draw consumes.
     """
-    rng = random.Random(seed)
+    rng = _as_rng(seed)
     on_cells = design.program(assignment)
     conductance: dict[tuple[int, int], float] = {}
     for r, c, _lit in design.cells():
@@ -121,10 +124,17 @@ def variation_sweep(
     n_assignments: int = 16,
     params: AnalogParams = AnalogParams(),
     variation: VariationParams = VariationParams(),
-    seed: int = 0,
+    seed: int | random.Random = 0,
 ) -> VariationReport:
-    """Monte-Carlo over assignments x device-variation samples."""
-    rng = random.Random(seed)
+    """Monte-Carlo over assignments x device-variation samples.
+
+    Fully deterministic for a given integer ``seed`` (default 0): the
+    assignment draw and every per-trial die perturbation derive from it,
+    so repeated sweeps agree exactly.  Passing a ``random.Random``
+    instead threads one external stream through the whole sweep.
+    """
+    external_rng = isinstance(seed, random.Random)
+    rng = _as_rng(seed)
     names = list(inputs)
     envs = [
         {n: bool(rng.getrandbits(1)) for n in names} for _ in range(n_assignments)
@@ -135,10 +145,11 @@ def variation_sweep(
     correct = 0
     worst = math.inf
     for t in range(trials):
+        die_seed = rng.randrange(1 << 30) if external_rng else seed + 7919 * t
         for env in envs:
             expected = design.evaluate(env)
             volts = simulate_with_variation(
-                design, env, params, variation, seed=seed + 7919 * t
+                design, env, params, variation, seed=die_seed
             )
             for out, v in volts.items():
                 total += 1

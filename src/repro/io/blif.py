@@ -3,7 +3,9 @@
 Supports the combinational subset the benchmarks use: ``.model``,
 ``.inputs``, ``.outputs``, ``.names`` (single-output covers over
 ``{0, 1, -}``), continuation lines (``\\``) and ``.end``.  Latches and
-subcircuits are rejected explicitly.
+subcircuits are rejected explicitly; every :class:`BlifError` carries
+the source file name and the 1-based line number of the offending
+(logical) line.
 """
 
 from __future__ import annotations
@@ -14,37 +16,57 @@ __all__ = ["read_blif", "write_blif", "BlifError"]
 
 
 class BlifError(ValueError):
-    """Raised on malformed or unsupported BLIF text."""
+    """Raised on malformed or unsupported BLIF text.
+
+    ``source`` and ``line`` (1-based; the first physical line of a
+    continued logical line) are folded into the message when known.
+    """
+
+    def __init__(self, message: str, *, source: str | None = None, line: int | None = None):
+        self.source = source
+        self.line = line
+        if source is not None and line is not None:
+            message = f"{source}:{line}: {message}"
+        elif source is not None:
+            message = f"{source}: {message}"
+        elif line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
 
 
-def read_blif(text: str) -> Netlist:
+def read_blif(text: str, source: str | None = None) -> Netlist:
     """Parse BLIF ``text`` into a netlist.
 
     Each ``.names`` block becomes a two-level AND-OR cone (or a constant
     gate).  Covers with output value ``0`` are complemented.
     """
-    # Join continuation lines, strip comments.
-    logical_lines: list[str] = []
+    # Join continuation lines, strip comments; remember where each
+    # logical line started so errors can point at it.
+    logical_lines: list[tuple[int, str]] = []
     pending = ""
-    for raw in text.splitlines():
+    pending_start = 0
+    for lineno, raw in enumerate(text.splitlines(), start=1):
         line = raw.split("#", 1)[0].rstrip()
         if not line.strip():
             continue
         if line.endswith("\\"):
+            if not pending:
+                pending_start = lineno
             pending += line[:-1] + " "
             continue
-        logical_lines.append(pending + line)
+        logical_lines.append((pending_start or lineno, pending + line))
         pending = ""
+        pending_start = 0
     if pending:
-        logical_lines.append(pending)
+        logical_lines.append((pending_start, pending))
 
     name = "blif"
     inputs: list[str] = []
     outputs: list[str] = []
-    blocks: list[tuple[list[str], list[tuple[str, str]]]] = []
-    current: tuple[list[str], list[tuple[str, str]]] | None = None
+    blocks: list[tuple[int, list[str], list[tuple[int, str, str]]]] = []
+    current: list[tuple[int, str, str]] | None = None
 
-    for line in logical_lines:
+    for lineno, line in logical_lines:
         stripped = line.strip()
         if stripped.startswith("."):
             parts = stripped.split()
@@ -57,44 +79,64 @@ def read_blif(text: str) -> Netlist:
             elif key == ".outputs":
                 outputs.extend(parts[1:])
             elif key == ".names":
-                current = (parts[1:], [])
-                blocks.append(current)
+                current = []
+                blocks.append((lineno, parts[1:], current))
             elif key == ".end":
                 break
             elif key in (".latch", ".subckt", ".gate"):
-                raise BlifError(f"unsupported BLIF construct {key!r} (combinational only)")
+                raise BlifError(
+                    f"unsupported BLIF construct {key!r} (combinational only)",
+                    source=source, line=lineno,
+                )
             else:
-                raise BlifError(f"unknown BLIF directive {key!r}")
+                raise BlifError(
+                    f"unknown BLIF directive {key!r}", source=source, line=lineno
+                )
             continue
         if current is None:
-            raise BlifError(f"cover line outside .names block: {stripped!r}")
+            raise BlifError(
+                f"cover line outside .names block: {stripped!r}",
+                source=source, line=lineno,
+            )
         parts = stripped.split()
         if len(parts) == 1:
-            current[1].append(("", parts[0]))
+            current.append((lineno, "", parts[0]))
         elif len(parts) == 2:
-            current[1].append((parts[0], parts[1]))
+            current.append((lineno, parts[0], parts[1]))
         else:
-            raise BlifError(f"malformed cover line {stripped!r}")
+            raise BlifError(
+                f"malformed cover line {stripped!r}", source=source, line=lineno
+            )
 
     nl = Netlist(name, inputs=inputs, outputs=outputs)
-    for signals, cover in blocks:
+    for lineno, signals, cover in blocks:
         if not signals:
-            raise BlifError(".names block without signals")
+            raise BlifError(".names block without signals", source=source, line=lineno)
         *srcs, out = signals
-        _names_to_gates(nl, srcs, out, cover)
+        _names_to_gates(nl, srcs, out, cover, source, lineno)
     nl.check()
     return nl
 
 
-def _names_to_gates(nl: Netlist, srcs: list[str], out: str, cover: list[tuple[str, str]]) -> None:
+def _names_to_gates(
+    nl: Netlist,
+    srcs: list[str],
+    out: str,
+    cover: list[tuple[int, str, str]],
+    source: str | None,
+    block_line: int,
+) -> None:
     if not cover:
         nl.add_gate(out, "CONST0", [])
         return
-    out_values = {value for _, value in cover}
+    out_values = {value for _, _, value in cover}
     if out_values == {"1"} or out_values == {"0"}:
         complemented = out_values == {"0"}
     else:
-        raise BlifError(f".names {out}: mixed cover polarities unsupported")
+        raise BlifError(
+            f".names {out}: mixed cover polarities unsupported",
+            source=source, line=block_line,
+        )
     if not srcs:
         # Constant: the presence of a "1" (or "0") line sets the value.
         nl.add_gate(out, "CONST0" if complemented else "CONST1", [])
@@ -108,9 +150,12 @@ def _names_to_gates(nl: Netlist, srcs: list[str], out: str, cover: list[tuple[st
         return inv[var]
 
     terms: list[str] = []
-    for mask, _value in cover:
+    for lineno, mask, _value in cover:
         if len(mask) != len(srcs):
-            raise BlifError(f".names {out}: cube arity mismatch {mask!r}")
+            raise BlifError(
+                f".names {out}: cube arity mismatch {mask!r}",
+                source=source, line=lineno,
+            )
         lits = []
         for ch, var in zip(mask, srcs):
             if ch == "1":
@@ -118,7 +163,10 @@ def _names_to_gates(nl: Netlist, srcs: list[str], out: str, cover: list[tuple[st
             elif ch == "0":
                 lits.append(inverted(var))
             elif ch != "-":
-                raise BlifError(f".names {out}: bad cube character {ch!r}")
+                raise BlifError(
+                    f".names {out}: bad cube character {ch!r}",
+                    source=source, line=lineno,
+                )
         if not lits:
             terms = ["__TAUTOLOGY__"]
             break

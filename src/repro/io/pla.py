@@ -18,51 +18,79 @@ __all__ = ["read_pla", "write_pla", "PlaError"]
 
 
 class PlaError(ValueError):
-    """Raised on malformed PLA text."""
+    """Raised on malformed PLA text.
+
+    Carries the ``source`` file name and 1-based ``line`` number when
+    known; both are folded into the message (``file.pla:12: ...``) so
+    CLI users get an actionable one-liner.
+    """
+
+    def __init__(self, message: str, *, source: str | None = None, line: int | None = None):
+        self.source = source
+        self.line = line
+        if source is not None and line is not None:
+            message = f"{source}:{line}: {message}"
+        elif source is not None:
+            message = f"{source}: {message}"
+        elif line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
 
 
-def read_pla(text: str, name: str = "pla") -> Netlist:
-    """Parse PLA ``text`` into a two-level netlist."""
+def read_pla(text: str, name: str = "pla", source: str | None = None) -> Netlist:
+    """Parse PLA ``text`` into a two-level netlist.
+
+    ``source`` (usually the file name) is attached to every
+    :class:`PlaError` alongside the offending line number.
+    """
     n_in = n_out = None
     in_names: list[str] | None = None
     out_names: list[str] | None = None
-    cubes: list[tuple[str, str]] = []
+    cubes: list[tuple[int, str, str]] = []
 
-    for raw in text.splitlines():
+    for lineno, raw in enumerate(text.splitlines(), start=1):
         line = raw.split("#", 1)[0].strip()
         if not line:
             continue
         if line.startswith("."):
             parts = line.split()
             key = parts[0]
-            if key == ".i":
-                n_in = int(parts[1])
-            elif key == ".o":
-                n_out = int(parts[1])
-            elif key == ".ilb":
+            try:
+                if key == ".i":
+                    n_in = int(parts[1])
+                elif key == ".o":
+                    n_out = int(parts[1])
+            except (IndexError, ValueError):
+                raise PlaError(
+                    f"{key} needs one integer argument, got {line!r}",
+                    source=source, line=lineno,
+                ) from None
+            if key == ".ilb":
                 in_names = parts[1:]
             elif key == ".ob":
                 out_names = parts[1:]
-            elif key in (".p", ".type", ".phase", ".pair"):
-                continue  # informational / unsupported-but-harmless
+            elif key in (".i", ".o", ".p", ".type", ".phase", ".pair"):
+                continue  # counts handled above; rest informational
             elif key in (".e", ".end"):
                 break
             else:
-                raise PlaError(f"unsupported PLA directive {key!r}")
+                raise PlaError(
+                    f"unsupported PLA directive {key!r}", source=source, line=lineno
+                )
             continue
         parts = line.split()
         if len(parts) != 2:
-            raise PlaError(f"malformed cube line {line!r}")
-        cubes.append((parts[0], parts[1]))
+            raise PlaError(f"malformed cube line {line!r}", source=source, line=lineno)
+        cubes.append((lineno, parts[0], parts[1]))
 
     if n_in is None or n_out is None:
-        raise PlaError("PLA file missing .i or .o")
+        raise PlaError("PLA file missing .i or .o", source=source)
     if in_names is None:
         in_names = [f"x{i}" for i in range(n_in)]
     if out_names is None:
         out_names = [f"f{j}" for j in range(n_out)]
     if len(in_names) != n_in or len(out_names) != n_out:
-        raise PlaError(".ilb/.ob arity does not match .i/.o")
+        raise PlaError(".ilb/.ob arity does not match .i/.o", source=source)
 
     nl = Netlist(name, inputs=list(in_names), outputs=list(out_names))
     inv = {}
@@ -73,9 +101,12 @@ def read_pla(text: str, name: str = "pla") -> Netlist:
         return inv[var]
 
     terms: dict[str, list[str]] = {out: [] for out in out_names}
-    for idx, (in_part, out_part) in enumerate(cubes):
+    for idx, (lineno, in_part, out_part) in enumerate(cubes):
         if len(in_part) != n_in or len(out_part) != n_out:
-            raise PlaError(f"cube {idx} has wrong arity: {in_part} {out_part}")
+            raise PlaError(
+                f"cube {idx} has wrong arity: {in_part} {out_part}",
+                source=source, line=lineno,
+            )
         lits = []
         for bit, ch in enumerate(in_part):
             if ch == "1":
@@ -83,7 +114,10 @@ def read_pla(text: str, name: str = "pla") -> Netlist:
             elif ch == "0":
                 lits.append(inverted(in_names[bit]))
             elif ch != "-":
-                raise PlaError(f"bad input character {ch!r} in cube {idx}")
+                raise PlaError(
+                    f"bad input character {ch!r} in cube {idx}",
+                    source=source, line=lineno,
+                )
         if lits:
             if len(lits) == 1:
                 cube_net = nl.add_gate(nl.fresh_net("cube"), "BUF", lits)
@@ -95,7 +129,10 @@ def read_pla(text: str, name: str = "pla") -> Netlist:
             if ch in ("1", "4"):
                 terms[out_names[j]].append(cube_net)
             elif ch not in ("0", "-", "~", "2"):
-                raise PlaError(f"bad output character {ch!r} in cube {idx}")
+                raise PlaError(
+                    f"bad output character {ch!r} in cube {idx}",
+                    source=source, line=lineno,
+                )
 
     for out in out_names:
         if terms[out]:

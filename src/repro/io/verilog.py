@@ -24,7 +24,22 @@ __all__ = ["read_verilog", "write_verilog", "VerilogError"]
 
 
 class VerilogError(ValueError):
-    """Raised on malformed or unsupported Verilog text."""
+    """Raised on malformed or unsupported Verilog text.
+
+    ``source`` and ``line`` (1-based, when determinable) are folded into
+    the message for actionable CLI one-liners.
+    """
+
+    def __init__(self, message: str, *, source: str | None = None, line: int | None = None):
+        self.source = source
+        self.line = line
+        if source is not None and line is not None:
+            message = f"{source}:{line}: {message}"
+        elif source is not None:
+            message = f"{source}: {message}"
+        elif line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
 
 
 _PRIMITIVES = {
@@ -43,36 +58,53 @@ _DECL_RE = re.compile(r"\b(input|output|wire)\s+([^;]+);", re.S)
 _INST_RE = re.compile(r"\b(and|or|nand|nor|xor|xnor|not|buf)\s+(\w+\s+)?\(([^)]*)\)\s*;", re.S)
 
 
-def read_verilog(text: str) -> Netlist:
-    """Parse one structural module into a netlist."""
+def read_verilog(text: str, source: str | None = None) -> Netlist:
+    """Parse one structural module into a netlist.
+
+    ``source`` (usually the file name) is attached to every
+    :class:`VerilogError`, with the 1-based line of the offending
+    construct where it can be pinpointed.
+    """
     text = _strip_comments(text)
+
+    def line_at(offset: int) -> int:
+        return text.count("\n", 0, offset) + 1
+
     m = _MODULE_RE.search(text)
     if m is None:
-        raise VerilogError("no module declaration found")
+        raise VerilogError("no module declaration found", source=source)
     name = m.group(1)
     body_start = m.end()
     end = text.find("endmodule", body_start)
     if end < 0:
-        raise VerilogError("missing endmodule")
+        raise VerilogError("missing endmodule", source=source)
     body = text[body_start:end]
 
     inputs: list[str] = []
     outputs: list[str] = []
-    for kind, names in _DECL_RE.findall(body):
+    for decl in _DECL_RE.finditer(body):
+        kind, names = decl.groups()
         signals = [s.strip() for s in names.replace("\n", " ").split(",") if s.strip()]
         for s in signals:
             if not re.fullmatch(r"[A-Za-z_]\w*(\[\d+\])?", s):
-                raise VerilogError(f"unsupported signal declaration {s!r}")
+                raise VerilogError(
+                    f"unsupported signal declaration {s!r}",
+                    source=source, line=line_at(body_start + decl.start()),
+                )
         if kind == "input":
             inputs.extend(signals)
         elif kind == "output":
             outputs.extend(signals)
 
     nl = Netlist(name, inputs=inputs, outputs=outputs)
-    for prim, _inst, ports in _INST_RE.findall(body):
+    for inst in _INST_RE.finditer(body):
+        prim, _inst, ports = inst.groups()
         signals = [s.strip() for s in ports.replace("\n", " ").split(",") if s.strip()]
         if len(signals) < 2:
-            raise VerilogError(f"primitive {prim} needs an output and inputs")
+            raise VerilogError(
+                f"primitive {prim} needs an output and inputs",
+                source=source, line=line_at(body_start + inst.start()),
+            )
         out, ins = signals[0], signals[1:]
         nl.add_gate(out, _PRIMITIVES[prim], ins)
     nl.check()
@@ -80,7 +112,10 @@ def read_verilog(text: str) -> Netlist:
 
 
 def _strip_comments(text: str) -> str:
-    text = re.sub(r"/\*.*?\*/", " ", text, flags=re.S)
+    # Keep the newlines of block comments so error line numbers stay true.
+    text = re.sub(
+        r"/\*.*?\*/", lambda m: "\n" * m.group(0).count("\n") or " ", text, flags=re.S
+    )
     text = re.sub(r"//[^\n]*", " ", text)
     return text
 

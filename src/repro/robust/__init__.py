@@ -1,0 +1,57 @@
+"""Defect-aware remapping and fault-tolerant synthesis.
+
+COMPACT synthesizes for a pristine crossbar; fabricated arrays ship with
+stuck-at defects.  This package recovers designs on defective arrays by
+searching for row/column permutations (and bounded spare lines) under
+which every required cell avoids ``stuck_off`` sites and every open cell
+avoids ``stuck_on`` sites — constant-ON stitch cells harmlessly reuse
+``stuck_on`` sites.  The escalation chain is
+
+    identity -> permute -> permute + spares -> re-synthesize -> RemapFailure
+
+with a greedy/bipartite-matching placer, a MILP fallback on the
+:mod:`repro.milp` substrate, end-to-end functional verification of every
+accepted placement, and a structured diagnosis (best partial placement
+plus blocking faults) when recovery is impossible.
+
+Entry points: :func:`remap` for a synthesized design,
+:func:`synthesize_fault_tolerant` for a netlist, and
+:func:`yield_comparison` behind ``repro bench yield``.
+"""
+
+from .constraints import (
+    ON,
+    OPEN,
+    VAR,
+    Violation,
+    cell_classes,
+    placement_violations,
+    sneak_exclusions,
+)
+from .milp_placer import milp_place
+from .pipeline import FaultTolerantResult, synthesize_fault_tolerant
+from .placer import greedy_place, repair_sneak_paths
+from .remap import RemapDiagnosis, RemapFailure, RemapResult, remap
+from .yieldcmp import YieldComparison, render_yield_table, yield_comparison
+
+__all__ = [
+    "OPEN",
+    "VAR",
+    "ON",
+    "Violation",
+    "cell_classes",
+    "placement_violations",
+    "sneak_exclusions",
+    "greedy_place",
+    "repair_sneak_paths",
+    "milp_place",
+    "remap",
+    "RemapResult",
+    "RemapDiagnosis",
+    "RemapFailure",
+    "FaultTolerantResult",
+    "synthesize_fault_tolerant",
+    "YieldComparison",
+    "yield_comparison",
+    "render_yield_table",
+]

@@ -1,0 +1,238 @@
+"""Greedy/bipartite-matching placement for defect-aware remapping.
+
+The search alternates two bipartite matchings: with the column placement
+fixed, each logical wordline is matched to a compatible physical
+wordline (zero placement violations) by Kuhn's augmenting-path
+algorithm; then the roles flip and the bitlines are re-matched under the
+new row placement.  A few alternations with randomized restarts route
+around sparse stuck-at maps in well under a millisecond per design —
+the MILP fallback (:mod:`repro.robust.milp_placer`) is only consulted
+when this fails.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from ..crossbar.design import CrossbarDesign
+from ..crossbar.faults import STUCK_OFF, STUCK_ON, FaultMap
+from ..perf import counters
+from .constraints import ON, OPEN, Violation, cell_classes, placement_violations
+
+__all__ = ["greedy_place", "repair_sneak_paths"]
+
+
+def _faults_by_line(fault_map: FaultMap, by_row: bool) -> dict[int, list[tuple[int, str]]]:
+    index: dict[int, list[tuple[int, str]]] = {}
+    for f in fault_map.faults:
+        line, cross = (f.row, f.col) if by_row else (f.col, f.row)
+        index.setdefault(line, []).append((cross, f.kind))
+    return index
+
+
+def _line_cost(
+    cells: dict[int, str],
+    faults_on_line: list[tuple[int, str]],
+    inv_cross: dict[int, int],
+) -> int:
+    """Violations incurred by one logical line on one physical line."""
+    cost = 0
+    for cross_phys, kind in faults_on_line:
+        cross_log = inv_cross.get(cross_phys)
+        if cross_log is None:
+            continue  # crosses an unused line; handled by the sneak check
+        klass = cells.get(cross_log, OPEN)
+        if kind == STUCK_OFF and klass != OPEN:
+            cost += 1
+        elif kind == STUCK_ON and klass != ON:
+            cost += 1
+    return cost
+
+
+def _match_side(
+    n_logical: int,
+    slots: Sequence[int],
+    cells_by_line: dict[int, dict[int, str]],
+    faults_by_phys: dict[int, list[tuple[int, str]]],
+    inv_cross: dict[int, int],
+    rng: random.Random | None,
+) -> dict[int, int]:
+    """Match every logical line to a physical slot, zero-cost where possible.
+
+    Kuhn's algorithm over the zero-cost compatibility graph; logical
+    lines with no zero-cost slot left are then filled greedily with the
+    cheapest remaining slot.  Identity slots are preferred so feasible
+    placements stay close to the original layout.
+    """
+    costs: dict[int, dict[int, int]] = {}
+    edges: dict[int, list[int]] = {}
+    for log in range(n_logical):
+        cells = cells_by_line.get(log, {})
+        row_costs = {
+            phys: _line_cost(cells, faults_by_phys.get(phys, ()), inv_cross)
+            for phys in slots
+        }
+        costs[log] = row_costs
+        free = [phys for phys in slots if row_costs[phys] == 0]
+        # Identity first keeps displacement low; shuffle the rest on restarts.
+        if rng is not None:
+            rng.shuffle(free)
+        free.sort(key=lambda phys: phys != log)
+        edges[log] = free
+
+    slot_owner: dict[int, int] = {}
+
+    def try_assign(log: int, visited: set[int]) -> bool:
+        for phys in edges[log]:
+            if phys in visited:
+                continue
+            visited.add(phys)
+            if phys not in slot_owner or try_assign(slot_owner[phys], visited):
+                slot_owner[phys] = log
+                return True
+        return False
+
+    order = list(range(n_logical))
+    if rng is not None:
+        rng.shuffle(order)
+    for log in order:
+        try_assign(log, set())
+
+    assignment = {log: phys for phys, log in slot_owner.items()}
+    remaining = [phys for phys in slots if phys not in slot_owner]
+    for log in range(n_logical):
+        if log not in assignment:
+            best = min(remaining, key=lambda phys: (costs[log][phys], phys != log))
+            assignment[log] = best
+            remaining.remove(best)
+    return assignment
+
+
+def greedy_place(
+    design: CrossbarDesign,
+    fault_map: FaultMap,
+    allowed_rows: Sequence[int],
+    allowed_cols: Sequence[int],
+    seed: int = 0,
+    restarts: int = 8,
+    iterations: int = 4,
+) -> tuple[dict[int, int], dict[int, int], list[Violation]]:
+    """Search for a violation-free placement of ``design`` on the array.
+
+    Returns the best ``(row_map, col_map, violations)`` found;
+    ``violations`` is empty on success.  ``allowed_rows``/``allowed_cols``
+    bound the physical lines the placement may use (the escalation chain
+    widens them when spending spares).
+    """
+    if len(allowed_rows) < design.num_rows or len(allowed_cols) < design.num_cols:
+        raise ValueError("allowed physical lines cannot fit the design")
+    counters.increment("remap_greedy_calls")
+
+    classes = cell_classes(design)
+    cells_by_row: dict[int, dict[int, str]] = {}
+    cells_by_col: dict[int, dict[int, str]] = {}
+    for (r, c), klass in classes.items():
+        cells_by_row.setdefault(r, {})[c] = klass
+        cells_by_col.setdefault(c, {})[r] = klass
+    faults_by_prow = _faults_by_line(fault_map, by_row=True)
+    faults_by_pcol = _faults_by_line(fault_map, by_row=False)
+
+    rng = random.Random(seed)
+    best: tuple[dict[int, int], dict[int, int], list[Violation]] | None = None
+
+    for restart in range(max(1, restarts)):
+        shuffler = rng if restart else None
+        col_map = {c: allowed_cols[c] for c in range(design.num_cols)}
+        if shuffler is not None:
+            targets = list(allowed_cols)
+            shuffler.shuffle(targets)
+            col_map = {c: targets[c] for c in range(design.num_cols)}
+        row_map = {r: allowed_rows[r] for r in range(design.num_rows)}
+
+        for _ in range(max(1, iterations)):
+            inv_col = {phys: log for log, phys in col_map.items()}
+            row_map = _match_side(
+                design.num_rows, allowed_rows, cells_by_row,
+                faults_by_prow, inv_col, shuffler,
+            )
+            inv_row = {phys: log for log, phys in row_map.items()}
+            col_map = _match_side(
+                design.num_cols, allowed_cols, cells_by_col,
+                faults_by_pcol, inv_row, shuffler,
+            )
+            violations = placement_violations(
+                design, fault_map, row_map, col_map, classes=classes
+            )
+            if best is None or len(violations) < len(best[2]):
+                best = (dict(row_map), dict(col_map), violations)
+            if not violations:
+                return best
+    assert best is not None
+    return best
+
+
+def repair_sneak_paths(
+    design: CrossbarDesign,
+    fault_map: FaultMap,
+    row_map: dict[int, int],
+    col_map: dict[int, int],
+    allowed_rows: Sequence[int],
+    allowed_cols: Sequence[int],
+    max_passes: int = 8,
+) -> tuple[dict[int, int], dict[int, int], list[Violation]]:
+    """Repair a near-feasible placement by relocating single lines.
+
+    Both the matcher's cost model and the MILP only score *per-cell*
+    conflicts; a placement can pass both and still be bridged by a chain
+    of stuck-on shorts meeting on unused physical lines.  This steepest-
+    descent pass moves one implicated used line per round onto a free
+    physical line, accepting only moves that strictly shrink the total
+    violation count.  Per-cell violations are eligible too — breaking a
+    sneak bridge often trades it for a stuck-on under an open cell that
+    one more relocation removes.  Returns the (possibly improved) maps
+    and their remaining violations.
+    """
+    row_map, col_map = dict(row_map), dict(col_map)
+    classes = cell_classes(design)
+    violations = placement_violations(design, fault_map, row_map, col_map, classes)
+    for _ in range(max(1, max_passes)):
+        if not violations:
+            break
+        counters.increment("remap_sneak_repairs")
+        moves: list[tuple[int, str, int, int]] = []
+        for axis, mapping, allowed in (
+            ("r", row_map, allowed_rows),
+            ("c", col_map, allowed_cols),
+        ):
+            used = set(mapping.values())
+            free = [p for p in allowed if p not in used]
+            if not free:
+                continue
+            # Every used line in a bridged component is an endpoint of
+            # some flagged stuck-on edge, and every per-cell violation
+            # names its own row and column — so this covers all of them.
+            implicated = {
+                phys
+                for v in violations
+                for phys in ((v.fault.row,) if axis == "r" else (v.fault.col,))
+                if phys in used
+            }
+            inv = {phys: log for log, phys in mapping.items()}
+            for phys in sorted(implicated):
+                log = inv[phys]
+                for target in free:
+                    mapping[log] = target
+                    count = len(placement_violations(
+                        design, fault_map, row_map, col_map, classes
+                    ))
+                    mapping[log] = phys
+                    moves.append((count, axis, log, target))
+        if not moves:
+            break
+        best_count, axis, log, target = min(moves)
+        if best_count >= len(violations):
+            break
+        (row_map if axis == "r" else col_map)[log] = target
+        violations = placement_violations(design, fault_map, row_map, col_map, classes)
+    return row_map, col_map, violations

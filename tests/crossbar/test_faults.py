@@ -142,3 +142,118 @@ class TestYield:
         design, e = and_design
         with pytest.raises(ValueError):
             yield_estimate(design, lambda env: {"f": e.evaluate(env)}, ["a", "b"], trials=0)
+
+
+class TestFaultBounds:
+    def test_evaluate_rejects_out_of_bounds_fault(self, and_design):
+        design, _ = and_design
+        bad = Fault(design.num_rows, 0, STUCK_OFF)
+        with pytest.raises(ValueError, match="outside"):
+            evaluate_with_faults(design, {"a": True, "b": True}, [bad])
+
+    def test_functional_check_rejects_out_of_bounds_fault(self, and_design):
+        design, e = and_design
+        bad = Fault(0, design.num_cols + 3, STUCK_ON)
+        with pytest.raises(ValueError, match="outside"):
+            is_functional_under_faults(
+                design, lambda env: {"f": e.evaluate(env)}, ["a", "b"], [bad]
+            )
+
+    def test_message_names_coordinates_and_dims(self, and_design):
+        design, _ = and_design
+        bad = Fault(99, 7, STUCK_OFF)
+        with pytest.raises(ValueError, match=r"\(99, 7\)"):
+            evaluate_with_faults(design, {"a": True, "b": True}, [bad])
+
+
+class TestFaultMap:
+    def test_validates_dimensions(self):
+        from repro.crossbar import FaultMap
+
+        with pytest.raises(ValueError):
+            FaultMap(0, 4, ())
+        with pytest.raises(ValueError):
+            FaultMap(4, -1, ())
+
+    def test_rejects_out_of_bounds_faults(self):
+        from repro.crossbar import FaultMap
+
+        with pytest.raises(ValueError, match="outside"):
+            FaultMap(4, 4, (Fault(4, 0, STUCK_OFF),))
+
+    def test_rejects_conflicting_duplicates(self):
+        from repro.crossbar import FaultMap
+
+        with pytest.raises(ValueError, match="conflicting"):
+            FaultMap(4, 4, (Fault(1, 1, STUCK_OFF), Fault(1, 1, STUCK_ON)))
+
+    def test_restricted_drops_outside_faults(self):
+        from repro.crossbar import FaultMap
+
+        fm = FaultMap(6, 6, (Fault(1, 1, STUCK_OFF), Fault(5, 5, STUCK_ON)))
+        sub = fm.restricted(4, 4)
+        assert sub.rows == 4 and sub.cols == 4
+        assert [f.row for f in sub.faults] == [1]
+
+    def test_json_round_trip(self):
+        from repro.crossbar import (
+            FaultMap,
+            fault_map_from_json,
+            fault_map_to_json,
+        )
+
+        fm = FaultMap(5, 7, (Fault(0, 6, STUCK_ON), Fault(4, 2, STUCK_OFF)))
+        again = fault_map_from_json(fault_map_to_json(fm))
+        assert again == fm
+
+    def test_from_json_rejects_wrong_format(self):
+        from repro.crossbar import fault_map_from_json
+
+        with pytest.raises(ValueError):
+            fault_map_from_json('{"format": "something/else"}')
+
+
+class TestRandomFaultMap:
+    def test_deterministic_for_int_seed(self):
+        from repro.crossbar import random_fault_map
+
+        a = random_fault_map(20, 20, p_stuck_off=0.1, seed=4)
+        b = random_fault_map(20, 20, p_stuck_off=0.1, seed=4)
+        assert a == b
+
+    def test_accepts_random_instance(self):
+        import random
+
+        from repro.crossbar import random_fault_map
+
+        a = random_fault_map(20, 20, p_stuck_off=0.1, seed=random.Random(4))
+        b = random_fault_map(20, 20, p_stuck_off=0.1, seed=random.Random(4))
+        assert a == b
+
+    def test_zero_rates_give_empty_map(self):
+        from repro.crossbar import random_fault_map
+
+        fm = random_fault_map(10, 10, p_stuck_on=0.0, p_stuck_off=0.0, seed=1)
+        assert fm.faults == ()
+        assert fm.density == 0.0
+
+
+class TestSeedThreading:
+    def test_yield_estimate_accepts_random_instance(self, and_design):
+        import random
+
+        design, e = and_design
+        ref = lambda env: {"f": e.evaluate(env)}  # noqa: E731
+        a = yield_estimate(design, ref, ["a", "b"], trials=20,
+                           seed=random.Random(3))
+        b = yield_estimate(design, ref, ["a", "b"], trials=20,
+                           seed=random.Random(3))
+        assert a == b
+
+    def test_int_seed_path_unchanged(self, and_design):
+        """Int seeds must keep their historical per-trial derivation."""
+        design, e = and_design
+        ref = lambda env: {"f": e.evaluate(env)}  # noqa: E731
+        a = yield_estimate(design, ref, ["a", "b"], trials=15, seed=2)
+        b = yield_estimate(design, ref, ["a", "b"], trials=15, seed=2)
+        assert a == b

@@ -87,3 +87,23 @@ class TestWriteBlif:
         text = write_blif(c17())
         assert text.startswith(".model c17")
         assert text.strip().endswith(".end")
+
+
+class TestErrorContext:
+    def test_error_carries_source_and_line(self):
+        text = ".model m\n.inputs a\n.outputs z\n.latch a z\n.end\n"
+        with pytest.raises(BlifError, match=r"f\.blif:4: ") as exc_info:
+            read_blif(text, source="f.blif")
+        assert exc_info.value.source == "f.blif"
+        assert exc_info.value.line == 4
+
+    def test_continuation_lines_report_first_physical_line(self):
+        text = ".model m\n.inputs a b\n.outputs z\n.names a \\\nb z\n11 1\n1 1\n"
+        # The arity-mismatched cube "1 1" is physical line 7... but the
+        # block starts at line 4; the cube's own line must be reported.
+        with pytest.raises(BlifError, match="line 7"):
+            read_blif(text)
+
+    def test_cover_line_outside_block(self):
+        with pytest.raises(BlifError, match="line 2"):
+            read_blif(".model m\n11 1\n")

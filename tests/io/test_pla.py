@@ -86,3 +86,20 @@ class TestWritePla:
     def test_header_fields(self):
         text = write_pla(decoder(2))
         assert ".i 2" in text and ".o 4" in text and text.strip().endswith(".e")
+
+
+class TestErrorContext:
+    def test_error_carries_source_and_line(self):
+        with pytest.raises(PlaError, match=r"f\.pla:4: ") as exc_info:
+            read_pla(".i 2\n.o 1\n11 1\n1- x 1\n.e\n", source="f.pla")
+        assert exc_info.value.source == "f.pla"
+        assert exc_info.value.line == 4
+
+    def test_line_numbers_skip_comments_and_blanks(self):
+        text = "# header\n\n.i 1\n.o 1\n\n.bogus\n"
+        with pytest.raises(PlaError, match="line 6"):
+            read_pla(text)
+
+    def test_source_only_prefix_without_line(self):
+        with pytest.raises(PlaError, match=r"^g\.pla: PLA file missing"):
+            read_pla("", source="g.pla")

@@ -71,3 +71,25 @@ class TestWriteVerilog:
         text = write_verilog(c17())
         assert text.startswith("module c17")
         assert text.rstrip().endswith("endmodule")
+
+
+class TestErrorContext:
+    def test_error_carries_source_and_line(self):
+        text = "module m (a, b);\n  input a;\n  output b;\n  nand g0 ();\nendmodule\n"
+        with pytest.raises(VerilogError, match=r"f\.v:4: ") as exc_info:
+            read_verilog(text, source="f.v")
+        assert exc_info.value.source == "f.v"
+        assert exc_info.value.line == 4
+
+    def test_block_comments_preserve_line_numbers(self):
+        text = (
+            "module m (a, b);\n"
+            "/* a\n   multi-line\n   comment */\n"
+            "  input a;\n  output b;\n  nand g0 ();\nendmodule\n"
+        )
+        with pytest.raises(VerilogError, match="line 7"):
+            read_verilog(text)
+
+    def test_missing_module_names_source(self):
+        with pytest.raises(VerilogError, match=r"^h\.v: no module"):
+            read_verilog("wire x;\n", source="h.v")

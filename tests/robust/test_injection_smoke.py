@@ -1,0 +1,40 @@
+"""Fault-injection smoke test: 2% faults on three suite circuits.
+
+This is the test ``make verify`` leans on: synthesize, inject a seeded
+2% stuck-at map with spares, remap, and validate the result end to end.
+Genuinely infeasible draws must surface as RemapFailure diagnoses.
+"""
+
+import pytest
+
+from repro import Compact, RemapFailure, remap
+from repro.bench.suites import suite
+from repro.crossbar import random_fault_map, validate_under_faults
+
+CIRCUITS = ["c17", "mux16", "parity16"]
+
+
+@pytest.mark.parametrize("name", CIRCUITS)
+def test_two_percent_injection_roundtrip(name):
+    entry = next(e for e in suite("fast") if e.name == name)
+    nl = entry.build()
+    design = Compact(gamma=0.5, method="heuristic").synthesize_netlist(nl).design
+    recovered = 0
+    for trial in range(3):
+        fm = random_fault_map(
+            design.num_rows + 2, design.num_cols + 2,
+            p_stuck_on=0.002, p_stuck_off=0.02,
+            seed=97 * trial + 7,
+        )
+        try:
+            result = remap(design, fm, nl.evaluate, nl.inputs, seed=trial)
+        except RemapFailure as failure:
+            assert failure.diagnosis.summary()
+            continue
+        report = validate_under_faults(
+            result.design, nl.evaluate, nl.inputs, fm.faults
+        )
+        assert report.ok, f"{name} trial {trial}: remap verified but re-check failed"
+        recovered += 1
+    # 2% faults with spares is comfortably recoverable on these sizes.
+    assert recovered >= 2, f"{name}: only {recovered}/3 trials recovered"

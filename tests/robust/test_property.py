@@ -1,0 +1,67 @@
+"""Property tests: random designs x random fault maps.
+
+The ISSUE-level contract: for any design/fault-map pair, ``remap``
+either returns a placement whose design computes the original function
+under the full fault set, or raises :class:`RemapFailure` with a
+diagnosis — no other exception may escape.
+"""
+
+import random
+
+import pytest
+
+from repro import Compact, RemapFailure, remap
+from repro.crossbar import evaluate_with_faults, random_fault_map
+from repro.expr import parse
+
+EXPRESSIONS = [
+    "a & b",
+    "(a & b) | c",
+    "(a | b) & (c | d)",
+    "(a & ~b) | (~a & b)",
+    "(a & b & c) | (d & ~a)",
+]
+
+
+def random_case(rng, expr_text):
+    expr = parse(expr_text)
+    design = Compact(gamma=0.5, method="heuristic").synthesize_expr(
+        expr, name="f"
+    ).design
+    spare_r = rng.randint(0, 2)
+    spare_c = rng.randint(0, 2)
+    fm = random_fault_map(
+        design.num_rows + spare_r,
+        design.num_cols + spare_c,
+        p_stuck_on=rng.choice([0.0, 0.02]),
+        p_stuck_off=rng.choice([0.02, 0.08]),
+        seed=rng.randrange(1 << 30),
+    )
+    return expr, design, fm
+
+
+@pytest.mark.parametrize("trial", range(20))
+def test_remap_succeeds_functionally_or_diagnoses(trial):
+    rng = random.Random(1000 + trial)
+    expr_text = rng.choice(EXPRESSIONS)
+    expr, design, fm = random_case(rng, expr_text)
+    inputs = sorted(expr.variables())
+    reference = lambda env: {"f": expr.evaluate(env)}  # noqa: E731
+
+    try:
+        result = remap(design, fm, reference, inputs, seed=trial)
+    except RemapFailure as failure:
+        # The structured contract: a full diagnosis, never a bare crash.
+        d = failure.diagnosis
+        assert d.stages
+        assert d.summary()
+        assert isinstance(d.best_row_map, dict)
+        return
+
+    # Success must mean success under the *entire* fault map.
+    for bits in range(1 << len(inputs)):
+        env = {name: bool((bits >> i) & 1) for i, name in enumerate(inputs)}
+        got = evaluate_with_faults(result.design, env, fm.faults)
+        assert got == reference(env), (
+            f"trial {trial}: remapped design differs at {env}"
+        )

@@ -147,3 +147,119 @@ class TestParser:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["bench", "fig99"])
+
+
+class TestMalformedInputExitCodes:
+    """Malformed files exit with code 2 and a one-line message (no traceback)."""
+
+    def run_expect_2(self, argv, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            main(argv)
+        assert exc_info.value.code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:")
+        assert len(err.strip().splitlines()) == 1
+        return err
+
+    def test_malformed_verilog(self, tmp_path, capsys):
+        p = tmp_path / "bad.v"
+        p.write_text("module m (a, b);\n  input a;\n  output b;\n  nand g0 ();\nendmodule\n")
+        err = self.run_expect_2(["synth", str(p)], capsys)
+        assert "bad.v:4:" in err
+
+    def test_malformed_blif(self, tmp_path, capsys):
+        p = tmp_path / "bad.blif"
+        p.write_text(".model m\n.inputs a\n.outputs z\n.latch a z\n.end\n")
+        err = self.run_expect_2(["report", str(p)], capsys)
+        assert "bad.blif:4:" in err and ".latch" in err
+
+    def test_malformed_pla(self, tmp_path, capsys):
+        p = tmp_path / "bad.pla"
+        p.write_text(".i 2\n.o 1\n11 1\n1- x 1\n.e\n")
+        err = self.run_expect_2(["report", str(p)], capsys)
+        assert "bad.pla:4:" in err
+
+    def test_missing_file(self, tmp_path, capsys):
+        err = self.run_expect_2(["report", str(tmp_path / "absent.v")], capsys)
+        assert "cannot read" in err
+
+    def test_invalid_design_json(self, tmp_path, c17_verilog, capsys):
+        p = tmp_path / "notdesign.json"
+        p.write_text("{}")
+        err = self.run_expect_2(
+            ["validate", str(p), "--circuit", str(c17_verilog)], capsys
+        )
+        assert "not a valid design JSON" in err
+
+
+class TestMapCommand:
+    @pytest.fixture
+    def c17_artifacts(self, c17_verilog, tmp_path):
+        design_json = tmp_path / "c17.json"
+        main(["synth", str(c17_verilog), "--json", str(design_json)])
+        return c17_verilog, design_json
+
+    def test_faults_generator_and_map_roundtrip(self, c17_artifacts, tmp_path, capsys):
+        verilog, design_json = c17_artifacts
+        payload = json.loads(design_json.read_text())
+        rows = payload["rows"] + 2
+        cols = payload["cols"] + 2
+        faults_json = tmp_path / "faults.json"
+        rc = main([
+            "faults", str(rows), str(cols),
+            "--p-stuck-off", "0.03", "--seed", "5", "--out", str(faults_json),
+        ])
+        assert rc == 0
+        capsys.readouterr()
+
+        out_json = tmp_path / "remapped.json"
+        rc = main([
+            "map", str(design_json), "--circuit", str(verilog),
+            "--fault-map", str(faults_json), "--json", str(out_json),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "validation : OK" in out
+        assert "stage      :" in out
+        remapped = json.loads(out_json.read_text())
+        assert remapped["format"] == payload["format"]
+
+    def test_map_failure_exits_1_with_diagnosis(self, c17_artifacts, tmp_path, capsys):
+        from repro.crossbar import FaultMap, fault_map_to_json
+        from repro.crossbar.faults import Fault
+
+        verilog, design_json = c17_artifacts
+        payload = json.loads(design_json.read_text())
+        rows, cols = payload["rows"], payload["cols"]
+        faults = tuple(
+            Fault(r, c, "stuck_off") for r in range(rows) for c in range(cols)
+        )
+        dead = tmp_path / "dead.json"
+        dead.write_text(fault_map_to_json(FaultMap(rows, cols, faults)))
+        rc = main([
+            "map", str(design_json), "--circuit", str(verilog),
+            "--fault-map", str(dead),
+        ])
+        err = capsys.readouterr().err
+        assert rc == 1
+        assert "remap failed" in err
+
+    def test_map_rejects_garbage_fault_map(self, c17_artifacts, tmp_path, capsys):
+        verilog, design_json = c17_artifacts
+        garbage = tmp_path / "g.json"
+        garbage.write_text("not json at all")
+        with pytest.raises(SystemExit) as exc_info:
+            main([
+                "map", str(design_json), "--circuit", str(verilog),
+                "--fault-map", str(garbage),
+            ])
+        assert exc_info.value.code == 2
+
+    def test_bench_yield_smoke(self, capsys):
+        rc = main([
+            "bench", "yield", "--circuits", "c17", "--trials", "2",
+            "--p-stuck-off", "0.02", "--seed", "0",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "naive" in out and "remapped" in out and "c17" in out
