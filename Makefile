@@ -3,7 +3,7 @@ JOBS ?= 4
 
 export PYTHONPATH := src
 
-.PHONY: test test-perf bench bench-baseline bench-smoke verify
+.PHONY: test test-perf bench bench-baseline bench-smoke verify serve
 
 test:
 	$(PYTHON) -m pytest tests/ -q
@@ -28,3 +28,9 @@ bench-smoke:
 # Regenerate the committed perf trajectory point.
 bench-baseline:
 	$(PYTHON) -m repro bench perf --jobs $(JOBS) --perf-json BENCH_compact.json
+
+# Persistent synthesis service on a local Unix socket.
+SERVICE_SOCKET ?= /tmp/repro.sock
+serve:
+	$(PYTHON) -m repro serve --socket $(SERVICE_SOCKET) --jobs $(JOBS) \
+	  --cache-dir .repro-cache

@@ -15,9 +15,21 @@ map
     defects in a fault map (permute -> spares escalation, verified).
 faults
     Generate a random stuck-at fault map JSON for a physical array.
+serve
+    Run the persistent synthesis service (cache + worker pool) on a
+    Unix or TCP socket until SIGTERM.
+client
+    Send ``synth``/``map``/``validate``/``ping``/``stats`` requests to
+    a running service; results are byte-identical to single-shot runs.
 bench
     Run one of the paper's experiments (table1..table4, fig9..fig13),
-    the perf harness, or the naive-vs-remapped ``yield`` comparison.
+    the perf harness, the naive-vs-remapped ``yield`` comparison, or
+    the ``service`` trace-replay benchmark.
+
+``synth``, ``map`` and ``validate`` execute through
+:mod:`repro.service.jobs` — the same code path service workers run —
+so a request answered by ``repro client`` renders exactly the payload
+a single-shot invocation would.
 
 Malformed input files (circuit, design JSON, fault map) exit with code
 2 and a one-line message on stderr — never a traceback.
@@ -26,12 +38,11 @@ Malformed input files (circuit, design JSON, fault map) exit with code
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
 from .bdd import build_sbdd
-from .core import Compact
-from .crossbar import design_from_json, design_to_json, measure, to_spice_netlist, validate_design
 from .io import read_blif, read_pla, read_verilog
 
 __all__ = ["main", "build_parser"]
@@ -42,6 +53,16 @@ _READERS = {
     ".blif": read_blif,
     ".pla": read_pla,
 }
+
+_FORMAT_BY_SUFFIX = {
+    ".v": "verilog",
+    ".verilog": "verilog",
+    ".blif": "blif",
+    ".pla": "pla",
+}
+
+#: Error codes that mean "the request itself was wrong" (CLI exit 2).
+_USAGE_ERROR_CODES = frozenset({"parse_error", "bad_request", "protocol_error"})
 
 
 def _usage_error(message: str) -> SystemExit:
@@ -76,24 +97,122 @@ def load_circuit(path: str, fmt: str = "auto"):
         raise _usage_error(str(exc)) from exc
 
 
-def _load_design(path: str):
+def _read_file(path: str) -> str:
     try:
-        return design_from_json(Path(path).read_text())
+        return Path(path).read_text()
     except OSError as exc:
         raise _usage_error(f"cannot read {path!r}: {exc.strerror or exc}") from exc
+
+
+def _circuit_params(path: str, fmt: str = "auto") -> dict:
+    """Read a circuit file into a service request ``circuit`` object.
+
+    The file is read locally (the service never touches the caller's
+    filesystem); parse errors surface from the job executor with
+    ``file:line`` context via the ``source`` field.
+    """
+    if fmt == "auto":
+        fmt = _FORMAT_BY_SUFFIX.get(Path(path).suffix.lower())
+        if fmt is None:
+            raise _usage_error(
+                f"cannot infer format of {path!r} (use --format verilog|blif|pla)"
+            )
+    return {"text": _read_file(path), "format": fmt, "source": path}
+
+
+def _design_params(path: str) -> str:
+    """Read a design JSON artifact, validating it client-side first."""
+    from .crossbar import design_from_json
+
+    text = _read_file(path)
+    try:
+        design_from_json(text)
     except (ValueError, KeyError, TypeError) as exc:
         raise _usage_error(f"{path}: not a valid design JSON ({exc})") from exc
+    return text
 
 
-def _load_fault_map(path: str):
+def _fault_map_params(path: str) -> str:
     from .crossbar import fault_map_from_json
 
+    text = _read_file(path)
     try:
-        return fault_map_from_json(Path(path).read_text())
-    except OSError as exc:
-        raise _usage_error(f"cannot read {path!r}: {exc.strerror or exc}") from exc
+        fault_map_from_json(text)
     except (ValueError, KeyError, TypeError) as exc:
         raise _usage_error(f"{path}: not a valid fault map ({exc})") from exc
+    return text
+
+
+# -- payload rendering (shared by single-shot commands and `repro client`) --------
+
+
+def format_synth_report(result: dict, include_time: bool = True) -> list[str]:
+    """The ``repro synth`` summary lines for one synth result payload.
+
+    ``repro client synth`` renders the same payload with
+    ``include_time=False``: the wall-clock line is the one field a
+    cached response cannot reproduce byte-for-byte.
+    """
+    metrics = result["metrics"]
+    lines = [
+        f"design     : {result['design_name']}",
+        f"crossbar   : {metrics['rows']} x {metrics['cols']}",
+        f"semiperim. : {metrics['semiperimeter']}",
+        f"max dim    : {metrics['max_dimension']}",
+        f"area       : {metrics['area']}",
+        f"memristors : {metrics['memristors']} ({metrics['literals']} literals)",
+        f"delay      : {metrics['delay_steps']} steps",
+        f"BDD nodes  : {result['bdd_nodes']} (VH labels: {result['vh_count']})",
+        f"optimal    : {result['optimal']}",
+    ]
+    if include_time:
+        lines.append(f"synth time : {result['synth_time_s']:.3f} s")
+    validation = result.get("validation")
+    if validation is not None:
+        status = "OK" if validation["ok"] else f"FAILED at {validation['counterexample']}"
+        lines.append(
+            f"validation : {status} ({validation['checked']} assignments, "
+            f"exhaustive={validation['exhaustive']})"
+        )
+    return lines
+
+
+def format_map_report(result: dict) -> list[str]:
+    """The ``repro map`` summary lines for one map result payload."""
+    array, metrics, validation = result["array"], result["metrics"], result["validation"]
+    lines = []
+    if result.get("resynthesized"):
+        lines.append(f"resynthesized with variable order {tuple(result['order'])}")
+    lines += [
+        f"design     : {result['design_name']}",
+        f"array      : {array['rows']} x {array['cols']} "
+        f"({array['faults']} faults, density {array['density']:.4f})",
+        f"crossbar   : {metrics['rows']} x {metrics['cols']}",
+        f"stage      : {result['stage']} ({result['method']})",
+        f"spares     : {result['spare_rows_used']} rows, {result['spare_cols_used']} cols",
+        f"displaced  : {result['displacement']} lines",
+        f"validation : OK ({validation['checked']} assignments, "
+        f"exhaustive={validation['exhaustive']})",
+    ]
+    return lines
+
+
+def _execute_or_exit(method: str, params: dict) -> dict:
+    """Run one request through the job executor; exit 2 on usage errors.
+
+    Returns the result payload; operational failures (``remap_failed``
+    and friends) come back as ``{"__error__": {...}}`` for the caller
+    to handle.
+    """
+    from .service import jobs as service_jobs
+
+    payload = service_jobs.execute(method, params)
+    if payload["ok"]:
+        return payload["result"]
+    error = payload["error"]
+    if error["code"] in _USAGE_ERROR_CODES:
+        raise _usage_error(error["message"])
+    return {"__error__": error}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -155,6 +274,70 @@ def build_parser() -> argparse.ArgumentParser:
     faults_p.add_argument("--seed", type=int, default=0)
     faults_p.add_argument("--out", metavar="PATH", help="write here instead of stdout")
 
+    serve_p = sub.add_parser(
+        "serve", help="run the persistent synthesis service until SIGTERM"
+    )
+    serve_p.add_argument("--socket", metavar="PATH", help="Unix socket to listen on")
+    serve_p.add_argument("--tcp", metavar="HOST:PORT", help="TCP address to listen on")
+    serve_p.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes (default: os.cpu_count())",
+    )
+    serve_p.add_argument("--queue-size", type=int, default=64, metavar="N",
+                         help="max active jobs before 'overloaded' rejections")
+    serve_p.add_argument("--job-timeout", type=float, default=None, metavar="SECONDS",
+                         help="per-job budget; overdue workers are cancelled")
+    serve_p.add_argument("--cache-dir", metavar="PATH",
+                         help="persist cached results here (default: memory only)")
+    serve_p.add_argument("--cache-size", type=int, default=256, metavar="N",
+                         help="in-memory LRU capacity; 0 disables caching")
+    serve_p.add_argument("--drain-timeout", type=float, default=30.0, metavar="SECONDS",
+                         help="how long a graceful shutdown waits for in-flight jobs")
+
+    client_p = sub.add_parser(
+        "client", help="send requests to a running synthesis service"
+    )
+    client_p.add_argument("--socket", metavar="PATH", help="Unix socket of the server")
+    client_p.add_argument("--tcp", metavar="HOST:PORT", help="TCP address of the server")
+    client_p.add_argument("--timeout", type=float, default=300.0, metavar="SECONDS",
+                          help="transport timeout per request")
+    csub = client_p.add_subparsers(dest="client_command", required=True)
+
+    c_synth = csub.add_parser("synth", help="synthesize via the service")
+    c_src = c_synth.add_mutually_exclusive_group(required=True)
+    c_src.add_argument("circuit", nargs="?", help="Verilog/BLIF/PLA file")
+    c_src.add_argument("--expr", help="Boolean expression, e.g. '(a & b) | c'")
+    c_synth.add_argument("--format", default="auto", choices=["auto", "verilog", "blif", "pla"])
+    c_synth.add_argument("--gamma", type=float, default=0.5)
+    c_synth.add_argument("--method", default="auto", choices=["auto", "mip", "oct", "heuristic"])
+    c_synth.add_argument("--backend", default="highs", choices=["highs", "bnb"])
+    c_synth.add_argument("--time-limit", type=float, default=60.0)
+    c_synth.add_argument("--no-validate", action="store_true")
+    c_synth.add_argument("--render", action="store_true")
+    c_synth.add_argument("--json", metavar="PATH", help="write the design as JSON")
+
+    c_map = csub.add_parser("map", help="defect-aware remap via the service")
+    c_map.add_argument("design", help="design JSON produced by synth --json")
+    c_map.add_argument("--circuit", required=True)
+    c_map.add_argument("--format", default="auto", choices=["auto", "verilog", "blif", "pla"])
+    c_map.add_argument("--fault-map", required=True, metavar="PATH")
+    c_map.add_argument("--spare-rows", type=int, default=None, metavar="N")
+    c_map.add_argument("--spare-cols", type=int, default=None, metavar="N")
+    c_map.add_argument("--method", default="auto", choices=["auto", "greedy", "milp"])
+    c_map.add_argument("--time-limit", type=float, default=10.0, metavar="SECONDS")
+    c_map.add_argument("--seed", type=int, default=0)
+    c_map.add_argument("--resynthesize", action="store_true")
+    c_map.add_argument("--json", metavar="PATH")
+    c_map.add_argument("--render", action="store_true")
+
+    c_validate = csub.add_parser("validate", help="check a design JSON via the service")
+    c_validate.add_argument("design")
+    c_validate.add_argument("--circuit", required=True)
+    c_validate.add_argument("--format", default="auto", choices=["auto", "verilog", "blif", "pla"])
+
+    csub.add_parser("ping", help="liveness check")
+    csub.add_parser("stats", help="server, engine and cache statistics (JSON)")
+
     bench = sub.add_parser("bench", help="run one paper experiment or the perf harness")
     bench.add_argument(
         "experiment",
@@ -163,15 +346,17 @@ def build_parser() -> argparse.ArgumentParser:
         choices=[
             "table1", "table2", "table3", "table4",
             "fig9", "fig10", "fig11", "fig12", "fig13",
-            "perf", "yield",
+            "perf", "yield", "service",
         ],
         help="paper table/figure, 'perf' (default) for the perf baseline harness, "
-             "or 'yield' for the naive-vs-remapped fault-recovery comparison",
+             "'yield' for the naive-vs-remapped fault-recovery comparison, or "
+             "'service' for the synthesis-service trace replay",
     )
     bench.add_argument("--tier", default=None, choices=[None, "fast", "full"])
     bench.add_argument(
-        "--jobs", type=int, default=1, metavar="N",
-        help="perf harness parallelism: one circuit per worker process",
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for the perf harness / service benchmark "
+             "(default: os.cpu_count())",
     )
     bench.add_argument(
         "--perf-json", metavar="PATH",
@@ -201,64 +386,65 @@ def build_parser() -> argparse.ArgumentParser:
                        help="yield experiment: Monte-Carlo seed")
     bench.add_argument("--resynthesize", action="store_true",
                        help="yield experiment: escalate to re-synthesis on failure")
+    bench.add_argument("--requests", type=int, default=200, metavar="N",
+                       help="service experiment: trace length")
+    bench.add_argument("--repeat-rate", type=float, default=0.5, metavar="R",
+                       help="service experiment: fraction of repeated requests")
+    bench.add_argument("--clients", type=int, default=4, metavar="N",
+                       help="service experiment: concurrent client connections")
+    bench.add_argument("--trace", metavar="PATH",
+                       help="service experiment: replay this recorded trace JSON")
+    bench.add_argument("--socket", metavar="PATH",
+                       help="service experiment: replay against this running server")
+    bench.add_argument("--tcp", metavar="HOST:PORT",
+                       help="service experiment: replay against this running server")
     return parser
 
 
-def _cmd_synth(args) -> int:
+def _synth_params(args) -> dict:
+    params: dict = {
+        "gamma": args.gamma,
+        "method": args.method,
+        "backend": args.backend,
+        "time_limit": args.time_limit,
+        "validate": not args.no_validate,
+    }
     if args.expr:
-        from .expr import parse as parse_expr
-
-        expr = parse_expr(args.expr)
-        compact = Compact(
-            gamma=args.gamma, method=args.method,
-            backend=args.backend, time_limit=args.time_limit,
-        )
-        result = compact.synthesize_expr(expr, name="f")
-        inputs = sorted(expr.variables())
-        reference = lambda env: {"f": expr.evaluate(env)}  # noqa: E731
+        params["expr"] = args.expr
     else:
-        netlist = load_circuit(args.circuit, args.format)
-        compact = Compact(
-            gamma=args.gamma, method=args.method,
-            backend=args.backend, time_limit=args.time_limit,
-        )
-        result = compact.synthesize_netlist(netlist)
-        inputs = netlist.inputs
-        reference = netlist.evaluate
+        params["circuit"] = _circuit_params(args.circuit, args.format)
+    return params
 
-    design = result.design
-    metrics = measure(design)
-    print(f"design     : {design.name}")
-    print(f"crossbar   : {metrics.rows} x {metrics.cols}")
-    print(f"semiperim. : {metrics.semiperimeter}")
-    print(f"max dim    : {metrics.max_dimension}")
-    print(f"area       : {metrics.area}")
-    print(f"memristors : {metrics.memristors} ({metrics.literals} literals)")
-    print(f"delay      : {metrics.delay_steps} steps")
-    print(f"BDD nodes  : {result.bdd_graph.num_nodes} "
-          f"(VH labels: {result.labeling.vh_count})")
-    print(f"optimal    : {result.optimal}")
-    print(f"synth time : {result.synthesis_time:.3f} s")
 
-    if not args.no_validate:
-        report = validate_design(design, reference, inputs)
-        status = "OK" if report.ok else f"FAILED at {report.counterexample}"
-        print(f"validation : {status} ({report.checked} assignments, "
-              f"exhaustive={report.exhaustive})")
-        if not report.ok:
-            return 1
-
+def _finish_synth(result: dict, args, include_time: bool) -> int:
+    """Render a synth result payload and write requested artifacts."""
+    print("\n".join(format_synth_report(result, include_time=include_time)))
+    validation = result.get("validation")
+    rc = 1 if validation is not None and not validation["ok"] else 0
     if args.render:
+        from .crossbar import design_from_json
+
         print()
-        print(design.render())
+        print(design_from_json(result["design_json"]).render())
     if args.json:
-        Path(args.json).write_text(design_to_json(design, indent=2))
+        Path(args.json).write_text(result["design_json"])
         print(f"wrote {args.json}")
-    if args.spice:
-        env = {name: True for name in inputs}
+    if getattr(args, "spice", None):
+        from .crossbar import design_from_json, to_spice_netlist
+
+        env = {name: True for name in result["inputs"]}
+        design = design_from_json(result["design_json"])
         Path(args.spice).write_text(to_spice_netlist(design, env))
         print(f"wrote {args.spice}")
-    return 0
+    return rc
+
+
+def _cmd_synth(args) -> int:
+    result = _execute_or_exit("synth", _synth_params(args))
+    if "__error__" in result:
+        print(f"repro: error: {result['__error__']['message']}", file=sys.stderr)
+        return 1
+    return _finish_synth(result, args, include_time=True)
 
 
 def _cmd_report(args) -> int:
@@ -272,64 +458,67 @@ def _cmd_report(args) -> int:
     return 0
 
 
-def _cmd_validate(args) -> int:
-    design = _load_design(args.design)
-    netlist = load_circuit(args.circuit, args.format)
-    report = validate_design(design, netlist.evaluate, netlist.inputs)
-    if report.ok:
-        print(f"OK: {design.name} matches {netlist.name} "
-              f"({report.checked} assignments)")
+def _validate_params(args) -> dict:
+    return {
+        "design_json": _design_params(args.design),
+        "circuit": _circuit_params(args.circuit, args.format),
+    }
+
+
+def _finish_validate(result: dict) -> int:
+    validation = result["validation"]
+    if validation["ok"]:
+        print(f"OK: {result['design_name']} matches {result['circuit_name']} "
+              f"({validation['checked']} assignments)")
         return 0
-    print(f"MISMATCH at {report.counterexample} on {report.mismatched_outputs}")
+    print(f"MISMATCH at {validation['counterexample']} "
+          f"on {tuple(validation['mismatched_outputs'])}")
     return 1
 
 
-def _cmd_map(args) -> int:
-    from .crossbar import measure as _measure
-    from .robust import RemapFailure, remap, synthesize_fault_tolerant
-
-    design = _load_design(args.design)
-    netlist = load_circuit(args.circuit, args.format)
-    fault_map = _load_fault_map(args.fault_map)
-    try:
-        if args.resynthesize:
-            ft = synthesize_fault_tolerant(
-                netlist, fault_map,
-                max_spare_rows=args.spare_rows, max_spare_cols=args.spare_cols,
-                method=args.method, time_limit=args.time_limit, seed=args.seed,
-            )
-            result = ft.remap
-            if ft.resynthesized:
-                print(f"resynthesized with variable order {ft.order}")
-        else:
-            result = remap(
-                design, fault_map, netlist.evaluate, netlist.inputs,
-                max_spare_rows=args.spare_rows, max_spare_cols=args.spare_cols,
-                method=args.method, time_limit=args.time_limit, seed=args.seed,
-            )
-    except RemapFailure as exc:
-        print(f"remap failed: {exc.diagnosis.summary()}", file=sys.stderr)
+def _cmd_validate(args) -> int:
+    result = _execute_or_exit("validate", _validate_params(args))
+    if "__error__" in result:
+        print(f"repro: error: {result['__error__']['message']}", file=sys.stderr)
         return 1
-    except ValueError as exc:
-        raise _usage_error(str(exc)) from exc
+    return _finish_validate(result)
 
-    metrics = _measure(result.design)
-    print(f"design     : {result.design.name}")
-    print(f"array      : {fault_map.rows} x {fault_map.cols} "
-          f"({len(fault_map.faults)} faults, density {fault_map.density:.4f})")
-    print(f"crossbar   : {metrics.rows} x {metrics.cols}")
-    print(f"stage      : {result.stage} ({result.method})")
-    print(f"spares     : {result.spare_rows_used} rows, {result.spare_cols_used} cols")
-    print(f"displaced  : {result.displacement} lines")
-    print(f"validation : OK ({result.report.checked} assignments, "
-          f"exhaustive={result.report.exhaustive})")
+
+def _map_params(args) -> dict:
+    return {
+        "design_json": _design_params(args.design),
+        "circuit": _circuit_params(args.circuit, args.format),
+        "fault_map": _fault_map_params(args.fault_map),
+        "spare_rows": args.spare_rows,
+        "spare_cols": args.spare_cols,
+        "method": args.method,
+        "time_limit": args.time_limit,
+        "seed": args.seed,
+        "resynthesize": args.resynthesize,
+    }
+
+
+def _finish_map(result: dict, args) -> int:
+    """Render a map result payload; handles the remap-failed error."""
+    if "__error__" in result:
+        error = result["__error__"]
+        prefix = "remap failed" if error["code"] == "remap_failed" else "repro: error"
+        print(f"{prefix}: {error['message']}", file=sys.stderr)
+        return 1
+    print("\n".join(format_map_report(result)))
     if args.render:
+        from .crossbar import design_from_json
+
         print()
-        print(result.design.render())
+        print(design_from_json(result["design_json"]).render())
     if args.json:
-        Path(args.json).write_text(design_to_json(result.design, indent=2))
+        Path(args.json).write_text(result["design_json"])
         print(f"wrote {args.json}")
     return 0
+
+
+def _cmd_map(args) -> int:
+    return _finish_map(_execute_or_exit("map", _map_params(args)), args)
 
 
 def _cmd_faults(args) -> int:
@@ -357,6 +546,8 @@ def _cmd_bench(args) -> int:
         return _cmd_bench_perf(args)
     if args.experiment == "yield":
         return _cmd_bench_yield(args)
+    if args.experiment == "service":
+        return _cmd_bench_service(args)
 
     runner = {
         "table1": lambda: b.table1_properties(args.tier),
@@ -387,7 +578,7 @@ def _cmd_bench_perf(args) -> int:
         names = [n.strip() for n in args.circuits.split(",") if n.strip()]
     payload = run_perf_suite(
         tier=args.tier,
-        jobs=max(1, args.jobs),
+        jobs=_resolve_jobs(args.jobs),
         names=names,
         time_limit=args.time_limit if args.time_limit is not None else DEFAULT_TIME_LIMIT,
     )
@@ -423,6 +614,125 @@ def _cmd_bench_yield(args) -> int:
     return 0
 
 
+def _resolve_jobs(jobs: int | None) -> int:
+    """``--jobs`` resolution: explicit value, else every core."""
+    if jobs is not None:
+        return max(1, jobs)
+    return os.cpu_count() or 1
+
+
+def _parse_address_or_exit(socket_path: str | None, tcp: str | None):
+    from .service import parse_address
+
+    try:
+        return parse_address(socket_path, tcp)
+    except ValueError as exc:
+        raise _usage_error(str(exc)) from exc
+
+
+def _cmd_serve(args) -> int:
+    from .service import ServiceServer
+
+    address = _parse_address_or_exit(args.socket, args.tcp)
+    if args.cache_size < 0:
+        raise _usage_error("--cache-size must be >= 0")
+    try:
+        server = ServiceServer(
+            address,
+            jobs=_resolve_jobs(args.jobs),
+            queue_size=args.queue_size,
+            job_timeout=args.job_timeout,
+            cache_dir=args.cache_dir,
+            cache_size=args.cache_size,
+            drain_timeout=args.drain_timeout,
+        )
+    except ValueError as exc:
+        raise _usage_error(str(exc)) from exc
+    try:
+        server.start()
+    except OSError as exc:
+        raise _usage_error(f"cannot bind {args.socket or args.tcp}: {exc}") from exc
+    print(f"repro service listening on {server.describe_address()} "
+          f"({server.engine.max_workers} workers, "
+          f"cache={'on' if server.cache else 'off'})")
+    try:
+        server.serve_until_signal()
+    finally:
+        server.stop()
+    print("repro service drained")
+    return 0
+
+
+def _cmd_client(args) -> int:
+    import json as json_mod
+
+    from .service import ServiceClient, ServiceClientError, ServiceUnavailable
+
+    address = _parse_address_or_exit(args.socket, args.tcp)
+    builders = {
+        "synth": lambda: ("synth", _synth_params(args)),
+        "map": lambda: ("map", _map_params(args)),
+        "validate": lambda: ("validate", _validate_params(args)),
+        "ping": lambda: ("ping", {}),
+        "stats": lambda: ("stats", {}),
+    }
+    method, params = builders[args.client_command]()
+    try:
+        if address[0] == "unix":
+            client = ServiceClient(socket_path=address[1], timeout=args.timeout)
+        else:
+            client = ServiceClient(tcp=(address[1], address[2]), timeout=args.timeout)
+    except ServiceUnavailable as exc:
+        raise _usage_error(str(exc)) from exc
+    with client:
+        try:
+            result = client.result(method, params)
+        except ServiceUnavailable as exc:
+            raise _usage_error(str(exc)) from exc
+        except ServiceClientError as exc:
+            if exc.code in _USAGE_ERROR_CODES:
+                raise _usage_error(exc.message) from exc
+            if method == "map" and exc.code == "remap_failed":
+                print(f"remap failed: {exc.message}", file=sys.stderr)
+            else:
+                print(f"repro: service error: {exc.code}: {exc.message}",
+                      file=sys.stderr)
+            return 1
+    if method == "ping":
+        print("pong")
+        return 0
+    if method == "stats":
+        print(json_mod.dumps(result, indent=2, sort_keys=True))
+        return 0
+    if method == "synth":
+        return _finish_synth(result, args, include_time=False)
+    if method == "map":
+        return _finish_map(result, args)
+    return _finish_validate(result)
+
+
+def _cmd_bench_service(args) -> int:
+    from .service.bench import render_service_table, run_service_bench
+
+    connect = None
+    if args.socket or args.tcp:
+        connect = _parse_address_or_exit(args.socket, args.tcp)
+    try:
+        payload = run_service_bench(
+            requests=args.requests,
+            repeat_rate=args.repeat_rate,
+            clients=args.clients,
+            jobs=_resolve_jobs(args.jobs),
+            seed=args.seed,
+            connect=connect,
+            trace_path=args.trace,
+        )
+    except (ValueError, OSError) as exc:
+        raise _usage_error(str(exc)) from exc
+    print(render_service_table(payload).render())
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -432,6 +742,8 @@ def main(argv: list[str] | None = None) -> int:
         "validate": _cmd_validate,
         "map": _cmd_map,
         "faults": _cmd_faults,
+        "serve": _cmd_serve,
+        "client": _cmd_client,
         "bench": _cmd_bench,
     }[args.command]
     return handler(args)

@@ -21,11 +21,21 @@ __all__ = ["batch_evaluate", "assignments_to_matrix"]
 def assignments_to_matrix(
     assignments: Sequence[Mapping[str, bool]], names: Sequence[str]
 ) -> np.ndarray:
-    """Stack assignment dicts into a (num_assignments, num_vars) array."""
+    """Stack assignment dicts into a (num_assignments, num_vars) array.
+
+    Raises :class:`ValueError` naming the offending variable (and the
+    assignment index) when an assignment is missing one of ``names``.
+    """
     out = np.zeros((len(assignments), len(names)), dtype=bool)
     for i, env in enumerate(assignments):
         for j, name in enumerate(names):
-            out[i, j] = bool(env[name])
+            try:
+                out[i, j] = bool(env[name])
+            except KeyError:
+                raise ValueError(
+                    f"assignment {i} is missing variable {name!r} "
+                    f"(has: {', '.join(sorted(env)) or 'nothing'})"
+                ) from None
     return out
 
 
@@ -41,9 +51,15 @@ def batch_evaluate(
     Matches :meth:`CrossbarDesign.evaluate` exactly (tested property).
     """
     matrix = np.asarray(matrix, dtype=bool)
-    if matrix.ndim != 2 or matrix.shape[1] != len(inputs):
+    if matrix.ndim != 2:
         raise ValueError(
-            f"matrix must be (m, {len(inputs)}), got {matrix.shape}"
+            f"matrix for design {design.name!r} must be 2-D "
+            f"(num_assignments, {len(inputs)}), got shape {matrix.shape}"
+        )
+    if matrix.shape[1] != len(inputs):
+        raise ValueError(
+            f"matrix for design {design.name!r} has {matrix.shape[1]} columns "
+            f"but {len(inputs)} inputs were named ({', '.join(inputs)})"
         )
     m = matrix.shape[0]
     col_index = {name: j for j, name in enumerate(inputs)}
@@ -56,7 +72,10 @@ def batch_evaluate(
         else:
             j = col_index.get(lit.var)
             if j is None:
-                raise KeyError(f"cell literal {lit} over unknown input {lit.var!r}")
+                raise ValueError(
+                    f"design {design.name!r} reads variable {lit.var!r} "
+                    f"which is not among the {len(inputs)} named inputs"
+                )
             on[:, i] = matrix[:, j] if lit.positive else ~matrix[:, j]
 
     rows = np.zeros((m, design.num_rows), dtype=bool)

@@ -53,8 +53,9 @@ def design_from_json(text: str) -> CrossbarDesign:
     trips exactly.
     """
     payload = json.loads(text)
-    if payload.get("format") != _FORMAT:
-        raise ValueError(f"not a serialized crossbar design: {payload.get('format')!r}")
+    if not isinstance(payload, dict) or payload.get("format") != _FORMAT:
+        marker = payload.get("format") if isinstance(payload, dict) else payload
+        raise ValueError(f"not a serialized crossbar design: {marker!r}")
     design = CrossbarDesign(
         payload["name"],
         num_rows=payload["rows"],
@@ -94,8 +95,9 @@ def fault_map_from_json(text: str) -> FaultMap:
     validation :class:`FaultMap` itself applies.
     """
     payload = json.loads(text)
-    if payload.get("format") != _FAULTS_FORMAT:
-        raise ValueError(f"not a serialized fault map: {payload.get('format')!r}")
+    if not isinstance(payload, dict) or payload.get("format") != _FAULTS_FORMAT:
+        marker = payload.get("format") if isinstance(payload, dict) else payload
+        raise ValueError(f"not a serialized fault map: {marker!r}")
     try:
         faults = tuple(
             Fault(int(f["row"]), int(f["col"]), f["kind"])

@@ -1,0 +1,247 @@
+"""Trace replay benchmark for the synthesis service.
+
+``repro bench service`` replays a request trace — either a recorded
+JSON file or a deterministic synthetic trace of small expression
+synthesis requests with a configurable repeat rate — against a running
+server (``--connect``) or an in-process one spun up for the run, and
+reports throughput, latency percentiles and the cache hit rate.
+
+A synthetic trace with ``repeat_rate`` r over n requests contains
+``round(n * (1 - r))`` distinct requests (each appearing first exactly
+once), so with a single sequential client the expected number of cache
+hits is exactly the number of repeats — the invariant the service
+acceptance test pins down.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import time
+from pathlib import Path
+
+from .client import ServiceClient, ServiceClientError, ServiceUnavailable
+from .protocol import make_request
+
+__all__ = [
+    "build_trace",
+    "load_trace",
+    "replay_trace",
+    "run_service_bench",
+    "render_service_table",
+]
+
+_VARS = ("a", "b", "c", "d", "e")
+
+
+def _random_expr(rng: random.Random) -> str:
+    """A small deterministic boolean expression (3 literals, 5 vars)."""
+    literals = []
+    for var in rng.sample(_VARS, 3):
+        literals.append(var if rng.random() < 0.7 else f"~{var}")
+    op1, op2 = (rng.choice(("&", "|")) for _ in range(2))
+    return f"({literals[0]} {op1} {literals[1]}) {op2} {literals[2]}"
+
+
+def build_trace(
+    requests: int = 200,
+    repeat_rate: float = 0.5,
+    seed: int = 0,
+    gamma: float = 0.5,
+) -> list[dict]:
+    """A deterministic synthetic trace of ``synth`` requests.
+
+    Distinct requests appear in order of first use; repeats are drawn
+    uniformly from the already-seen pool, so every repeat of a request
+    lands strictly after its first occurrence.
+    """
+    if requests < 1:
+        raise ValueError("requests must be >= 1")
+    if not 0.0 <= repeat_rate < 1.0:
+        raise ValueError("repeat_rate must lie in [0, 1)")
+    rng = random.Random(seed)
+    distinct = max(1, round(requests * (1.0 - repeat_rate)))
+    pool: list[dict] = []
+    seen: set[str] = set()
+    while len(pool) < distinct:
+        expr = _random_expr(rng)
+        if expr in seen:
+            continue
+        seen.add(expr)
+        pool.append({
+            "method": "synth",
+            "params": {"expr": expr, "gamma": gamma, "validate": True},
+        })
+    trace = list(pool)
+    for _ in range(requests - distinct):
+        position = rng.randrange(1, len(trace) + 1)
+        trace.insert(position, rng.choice(trace[:position]))
+    return trace
+
+
+def load_trace(path: str | Path) -> list[dict]:
+    """Read a recorded trace: a JSON list of ``{"method", "params"}``."""
+    entries = json.loads(Path(path).read_text())
+    if not isinstance(entries, list) or not entries:
+        raise ValueError(f"{path}: trace must be a non-empty JSON list")
+    for i, entry in enumerate(entries):
+        # Reuse the protocol's request validation for early, precise errors.
+        try:
+            make_request(entry.get("method"), entry.get("params", {}))
+        except (AttributeError, ValueError) as exc:
+            raise ValueError(f"{path}: trace entry {i}: {exc}") from exc
+    return entries
+
+
+def _connect(connect) -> ServiceClient:
+    if connect[0] == "unix":
+        return ServiceClient(socket_path=connect[1])
+    return ServiceClient(tcp=(connect[1], connect[2]))
+
+
+def replay_trace(trace: list[dict], connect, clients: int = 1) -> list[dict]:
+    """Replay ``trace`` over ``clients`` connections (round-robin split).
+
+    Each client replays its slice sequentially on its own connection.
+    Returns one record per request, in trace order: ``{"ok", "cached",
+    "deduped", "code", "latency_s"}``.
+    """
+    clients = max(1, min(clients, len(trace)))
+    records: list[dict | None] = [None] * len(trace)
+
+    def _run(slice_offset: int) -> None:
+        with _connect(connect) as client:
+            for index in range(slice_offset, len(trace), clients):
+                entry = trace[index]
+                t0 = time.monotonic()
+                try:
+                    response = client.call(entry["method"], entry.get("params", {}))
+                    record = {
+                        "ok": bool(response.get("ok")),
+                        "cached": bool(response.get("cached", False)),
+                        "deduped": bool(response.get("deduped", False)),
+                        "code": None if response.get("ok")
+                        else response["error"]["code"],
+                    }
+                except (ServiceUnavailable, ServiceClientError) as exc:
+                    record = {
+                        "ok": False, "cached": False, "deduped": False,
+                        "code": getattr(exc, "code", "unavailable"),
+                    }
+                record["latency_s"] = time.monotonic() - t0
+                records[index] = record
+
+    threads = [
+        threading.Thread(target=_run, args=(offset,), name=f"replay-{offset}")
+        for offset in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return [r for r in records if r is not None]
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = max(0, min(len(sorted_values) - 1, round(q * (len(sorted_values) - 1))))
+    return sorted_values[index]
+
+
+def run_service_bench(
+    requests: int = 200,
+    repeat_rate: float = 0.5,
+    clients: int = 1,
+    jobs: int | None = None,
+    seed: int = 0,
+    connect=None,
+    trace_path: str | Path | None = None,
+    cache_dir: str | Path | None = None,
+) -> dict:
+    """Replay a trace and measure the service; returns a report payload.
+
+    Without ``connect`` an in-process server is started on an ephemeral
+    TCP port for the duration of the run.
+    """
+    if trace_path is not None:
+        trace = load_trace(trace_path)
+    else:
+        trace = build_trace(requests=requests, repeat_rate=repeat_rate, seed=seed)
+    distinct = len({
+        json.dumps(entry, sort_keys=True) for entry in trace
+    })
+    repeats = len(trace) - distinct
+
+    server = None
+    if connect is None:
+        from .server import ServiceServer
+
+        server = ServiceServer(("tcp", "127.0.0.1", 0), jobs=jobs, cache_dir=cache_dir)
+        server.start()
+        connect = server.address
+    try:
+        t0 = time.monotonic()
+        records = replay_trace(trace, connect, clients=clients)
+        wall = time.monotonic() - t0
+        with _connect(connect) as client:
+            stats = client.stats()
+    finally:
+        if server is not None:
+            server.stop()
+
+    latencies = sorted(r["latency_s"] for r in records)
+    cached = sum(1 for r in records if r["cached"])
+    deduped = sum(1 for r in records if r["deduped"])
+    failed = sum(1 for r in records if not r["ok"])
+    return {
+        "requests": len(records),
+        "distinct": distinct,
+        "repeats": repeats,
+        "clients": clients,
+        "wall_time_s": wall,
+        "throughput_rps": len(records) / wall if wall > 0 else 0.0,
+        "ok": len(records) - failed,
+        "failed": failed,
+        "cache_hits": cached,
+        "deduped": deduped,
+        "hit_rate": cached / len(records) if records else 0.0,
+        "latency_s": {
+            "mean": sum(latencies) / len(latencies) if latencies else 0.0,
+            "p50": _percentile(latencies, 0.50),
+            "p90": _percentile(latencies, 0.90),
+            "p99": _percentile(latencies, 0.99),
+            "max": latencies[-1] if latencies else 0.0,
+        },
+        "server": stats,
+    }
+
+
+def render_service_table(payload: dict):
+    """Human-readable summary of a :func:`run_service_bench` payload."""
+    from ..bench.tables import Table
+
+    table = Table(
+        f"Service trace replay ({payload['requests']} requests, "
+        f"{payload['clients']} client(s))",
+        ["metric", "value"],
+    )
+    latency = payload["latency_s"]
+    engine = payload["server"]["engine"]
+    rows = [
+        ("requests ok / failed", f"{payload['ok']} / {payload['failed']}"),
+        ("distinct / repeats", f"{payload['distinct']} / {payload['repeats']}"),
+        ("throughput", f"{payload['throughput_rps']:.1f} req/s"),
+        ("cache hits", f"{payload['cache_hits']} ({100 * payload['hit_rate']:.1f}%)"),
+        ("deduped in-flight", str(payload["deduped"])),
+        ("latency p50", f"{1000 * latency['p50']:.1f} ms"),
+        ("latency p90", f"{1000 * latency['p90']:.1f} ms"),
+        ("latency p99", f"{1000 * latency['p99']:.1f} ms"),
+        ("latency max", f"{1000 * latency['max']:.1f} ms"),
+        ("workers", str(engine["workers"])),
+        ("worker crashes", str(engine["counters"].get("service_worker_crashes", 0))),
+    ]
+    for name, value in rows:
+        table.add_row(name, value)
+    return table

@@ -1,0 +1,241 @@
+"""Content-addressed result cache for the synthesis service.
+
+Requests are keyed by the SHA-256 of their *canonical form*, not their
+raw bytes: circuits are parsed and re-serialised to canonical BLIF,
+expressions to their canonical AST repr, designs and fault maps to
+their sorted JSON form, and every omitted knob is resolved to its
+default before hashing.  Two requests that mean the same thing — same
+function, same gamma/method, same variable-order policy, same fault
+map — therefore share one cache entry regardless of formatting,
+comments, or parameter spelling.
+
+Storage is two-level: an in-memory LRU front (bounded, entries stored
+as JSON strings so every ``get`` hands back a fresh object) over an
+optional JSON-file-per-entry disk store that survives restarts.
+Evicting from memory never deletes the disk copy.  Hit/miss/eviction
+events are mirrored into :mod:`repro.perf.counters` under the
+``service_cache_*`` names.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from collections import OrderedDict
+from pathlib import Path
+
+from ..perf import counters
+from .protocol import CACHEABLE_METHODS, MAP_DEFAULTS, SYNTH_DEFAULTS
+
+__all__ = ["CACHE_KEY_SCHEMA", "ResultCache", "canonical_request", "request_key"]
+
+#: Stamped into the hashed material; bump to invalidate every old key.
+CACHE_KEY_SCHEMA = "repro-service-key/1"
+
+_READERS = None  # lazily populated: {"verilog": read_verilog, ...}
+
+
+def _readers():
+    global _READERS
+    if _READERS is None:
+        from ..io import read_blif, read_pla, read_verilog
+
+        _READERS = {"verilog": read_verilog, "blif": read_blif, "pla": read_pla}
+    return _READERS
+
+
+def _canonical_circuit(params: dict) -> dict:
+    """Canonicalise the function under synthesis.
+
+    Raises :class:`ValueError` when the circuit/expression does not
+    parse — callers treat that as "no key" and let the worker produce
+    the structured parse error.
+    """
+    if params.get("expr") is not None:
+        from ..expr import parse
+
+        return {"expr": repr(parse(params["expr"]))}
+    circuit = params.get("circuit")
+    if not isinstance(circuit, dict):
+        raise ValueError("request has neither 'expr' nor a 'circuit' object")
+    reader = _readers().get(circuit.get("format"))
+    if reader is None:
+        raise ValueError(f"unknown circuit format {circuit.get('format')!r}")
+    from ..io import write_blif
+
+    netlist = reader(circuit.get("text", ""), source=circuit.get("source", "<request>"))
+    return {"circuit_blif": write_blif(netlist)}
+
+
+def _canonical_design(params: dict) -> str:
+    from ..crossbar import design_from_json, design_to_json
+
+    design_json = params.get("design_json")
+    if not isinstance(design_json, str):
+        raise ValueError("request missing 'design_json'")
+    return design_to_json(design_from_json(design_json))
+
+
+def _canonical_fault_map(params: dict) -> str:
+    from ..crossbar import fault_map_from_json, fault_map_to_json
+
+    payload = params.get("fault_map")
+    if isinstance(payload, dict):
+        payload = json.dumps(payload)
+    if not isinstance(payload, str):
+        raise ValueError("request missing 'fault_map'")
+    return fault_map_to_json(fault_map_from_json(payload))
+
+
+def canonical_request(method: str, params: dict) -> dict:
+    """The canonical key material for one request.
+
+    Raises :class:`ValueError` for non-cacheable methods or payloads
+    that fail to canonicalise (unparseable circuit, bad design JSON).
+    """
+    if method not in CACHEABLE_METHODS:
+        raise ValueError(f"method {method!r} is not cacheable")
+    material: dict = {"schema": CACHE_KEY_SCHEMA, "request": method}
+    if method == "synth":
+        material.update(_canonical_circuit(params))
+        for knob, default in SYNTH_DEFAULTS.items():
+            value = params.get(knob, default)
+            if knob == "order" and value is not None:
+                value = list(value)
+            material[knob] = value
+    elif method == "map":
+        material["design"] = _canonical_design(params)
+        material.update(_canonical_circuit(params))
+        material["fault_map"] = _canonical_fault_map(params)
+        for knob, default in MAP_DEFAULTS.items():
+            material[knob] = params.get(knob, default)
+    else:  # validate
+        material["design"] = _canonical_design(params)
+        material.update(_canonical_circuit(params))
+    return material
+
+
+def request_key(method: str, params: dict) -> str:
+    """SHA-256 hex digest of the canonical form of one request."""
+    material = canonical_request(method, params)
+    blob = json.dumps(material, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class ResultCache:
+    """Bounded LRU front over an optional on-disk JSON store.
+
+    Thread safe; all counter mirroring happens under the cache lock so
+    the ``service_cache_*`` perf counters stay exact even with many
+    server threads.
+    """
+
+    def __init__(self, capacity: int = 256, directory: str | Path | None = None):
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self._capacity = capacity
+        self._dir = Path(directory) if directory else None
+        if self._dir is not None:
+            self._dir.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._mem: OrderedDict[str, str] = OrderedDict()
+        self._stats = {"hits": 0, "misses": 0, "stores": 0, "evictions": 0}
+
+    # -- internals ---------------------------------------------------------------
+    def _path(self, key: str) -> Path:
+        return self._dir / f"{key}.json"
+
+    def _disk_get(self, key: str) -> str | None:
+        if self._dir is None:
+            return None
+        path = self._path(key)
+        try:
+            text = path.read_text()
+            entry = json.loads(text)
+            if entry.get("schema") != CACHE_KEY_SCHEMA or "result" not in entry:
+                raise ValueError("wrong schema")
+        except OSError:
+            return None
+        except (ValueError, TypeError):
+            # Corrupted entry: drop it so it cannot shadow a fresh result.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        return json.dumps(entry["result"], sort_keys=True)
+
+    def _disk_put(self, key: str, method: str, encoded: str) -> None:
+        if self._dir is None:
+            return
+        entry = (
+            '{"schema": ' + json.dumps(CACHE_KEY_SCHEMA)
+            + ', "key": ' + json.dumps(key)
+            + ', "method": ' + json.dumps(method)
+            + ', "result": ' + encoded + "}"
+        )
+        tmp = self._path(key).with_suffix(f".tmp.{os.getpid()}")
+        try:
+            tmp.write_text(entry)
+            tmp.replace(self._path(key))
+        except OSError:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+
+    def _remember(self, key: str, encoded: str) -> None:
+        self._mem[key] = encoded
+        self._mem.move_to_end(key)
+        while len(self._mem) > self._capacity:
+            self._mem.popitem(last=False)
+            self._stats["evictions"] += 1
+            counters.increment("service_cache_evictions")
+
+    # -- public API --------------------------------------------------------------
+    def get(self, key: str) -> dict | None:
+        """The cached result payload for ``key``, or None on a miss."""
+        with self._lock:
+            encoded = self._mem.get(key)
+            if encoded is not None:
+                self._mem.move_to_end(key)
+            else:
+                encoded = self._disk_get(key)
+                if encoded is not None:
+                    self._remember(key, encoded)
+            if encoded is None:
+                self._stats["misses"] += 1
+                counters.increment("service_cache_misses")
+                return None
+            self._stats["hits"] += 1
+            counters.increment("service_cache_hits")
+            return json.loads(encoded)
+
+    def put(self, key: str, result: dict, method: str = "synth") -> None:
+        """Store one result payload (must be JSON-serialisable)."""
+        encoded = json.dumps(result, sort_keys=True)
+        with self._lock:
+            self._remember(key, encoded)
+            self._disk_put(key, method, encoded)
+            self._stats["stores"] += 1
+            counters.increment("service_cache_stores")
+
+    def clear(self) -> None:
+        """Drop the memory front (disk entries are kept)."""
+        with self._lock:
+            self._mem.clear()
+
+    def stats(self) -> dict:
+        """Hit/miss/store/eviction counts plus sizes and hit rate."""
+        with self._lock:
+            out = dict(self._stats)
+            out["entries_mem"] = len(self._mem)
+            if self._dir is not None:
+                out["entries_disk"] = sum(1 for _ in self._dir.glob("*.json"))
+            else:
+                out["entries_disk"] = 0
+            lookups = out["hits"] + out["misses"]
+            out["hit_rate"] = out["hits"] / lookups if lookups else 0.0
+            return out

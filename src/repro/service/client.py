@@ -1,0 +1,109 @@
+"""Blocking client for the synthesis service.
+
+Speaks the NDJSON protocol over a Unix or TCP socket.  One client is
+one connection; requests on a connection are pipelined sequentially.
+
+    from repro.service import ServiceClient
+
+    with ServiceClient(socket_path="/tmp/repro.sock") as client:
+        result = client.result("synth", {"expr": "(a & b) | c"})
+        print(result["metrics"]["semiperimeter"])
+"""
+
+from __future__ import annotations
+
+import socket
+
+from .protocol import ProtocolError, decode_response, encode, make_request
+
+__all__ = ["ServiceClient", "ServiceClientError", "ServiceUnavailable"]
+
+
+class ServiceClientError(RuntimeError):
+    """The server answered with a structured error object."""
+
+    def __init__(self, code: str, message: str, details: dict | None = None):
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+        self.details = details or {}
+
+
+class ServiceUnavailable(ConnectionError):
+    """The server could not be reached or the connection broke."""
+
+
+class ServiceClient:
+    """One connection to a running :class:`~repro.service.server.ServiceServer`."""
+
+    def __init__(
+        self,
+        socket_path: str | None = None,
+        tcp: tuple[str, int] | None = None,
+        timeout: float | None = 300.0,
+    ):
+        if (socket_path is None) == (tcp is None):
+            raise ValueError("choose exactly one of socket_path or tcp=(host, port)")
+        try:
+            if socket_path is not None:
+                self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                self._sock.settimeout(timeout)
+                self._sock.connect(socket_path)
+                self._peer = socket_path
+            else:
+                host, port = tcp
+                self._sock = socket.create_connection((host, port), timeout=timeout)
+                self._peer = f"{host}:{port}"
+        except OSError as exc:
+            raise ServiceUnavailable(
+                f"cannot connect to {socket_path or ':'.join(map(str, tcp))}: "
+                f"{exc.strerror or exc}"
+            ) from exc
+        self._file = self._sock.makefile("rb")
+        self._next_id = 1
+
+    # -- transport ---------------------------------------------------------------
+    def call(self, method: str, params: dict | None = None) -> dict:
+        """Send one request; returns the full response envelope."""
+        request = make_request(method, params, request_id=self._next_id)
+        self._next_id += 1
+        try:
+            self._sock.sendall(encode(request))
+            line = self._file.readline()
+        except OSError as exc:
+            raise ServiceUnavailable(f"connection to {self._peer} broke: {exc}") from exc
+        if not line:
+            raise ServiceUnavailable(f"server at {self._peer} closed the connection")
+        try:
+            return decode_response(line)
+        except ProtocolError as exc:
+            raise ServiceUnavailable(f"bad frame from {self._peer}: {exc}") from exc
+
+    def result(self, method: str, params: dict | None = None) -> dict:
+        """Send one request; returns ``result`` or raises :class:`ServiceClientError`."""
+        response = self.call(method, params)
+        if response["ok"]:
+            return response["result"]
+        error = response["error"]
+        raise ServiceClientError(
+            error["code"], error["message"], error.get("details")
+        )
+
+    # -- convenience -------------------------------------------------------------
+    def ping(self) -> bool:
+        return bool(self.result("ping").get("pong"))
+
+    def stats(self) -> dict:
+        return self.result("stats")
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

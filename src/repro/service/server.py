@@ -1,0 +1,246 @@
+"""Persistent synthesis server: NDJSON over a Unix or TCP socket.
+
+One thread per connection; each connection is a sequential pipeline of
+request frames (see :mod:`repro.service.protocol`).  ``ping`` and
+``stats`` are answered inline; ``synth``/``map``/``validate``/``sleep``
+go through the :class:`~repro.service.engine.Engine` — which is where
+caching, deduplication, timeouts and crash recovery live.
+
+Shutdown is graceful: SIGTERM/SIGINT (or :meth:`ServiceServer.stop`)
+stops accepting connections, lets in-flight jobs finish up to a drain
+deadline, answers any late frames on open connections with a
+structured ``draining`` error, then tears the pool down.
+"""
+
+from __future__ import annotations
+
+import signal
+import socketserver
+import threading
+import time
+from pathlib import Path
+
+from . import __version__ as _service_version
+from .cache import ResultCache
+from .engine import Engine
+from .protocol import (
+    ProtocolError,
+    decode_request,
+    encode,
+    error_response,
+    ok_response,
+)
+
+__all__ = ["ServiceServer", "parse_address"]
+
+
+def parse_address(socket_path: str | None, tcp: str | None):
+    """Normalise CLI address flags into ``("unix", path)`` / ``("tcp", host, port)``."""
+    if (socket_path is None) == (tcp is None):
+        raise ValueError("choose exactly one of --socket PATH or --tcp HOST:PORT")
+    if socket_path is not None:
+        return ("unix", socket_path)
+    host, sep, port = tcp.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"--tcp expects HOST:PORT, got {tcp!r}")
+    try:
+        return ("tcp", host, int(port))
+    except ValueError as exc:
+        raise ValueError(f"--tcp expects a numeric port, got {port!r}") from exc
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:  # pragma: no cover - exercised via e2e tests
+        service: ServiceServer = self.server.service  # type: ignore[attr-defined]
+        for raw in self.rfile:
+            line = raw.strip()
+            if not line:
+                continue
+            response = service.handle_line(line)
+            try:
+                self.wfile.write(encode(response))
+                self.wfile.flush()
+            except (BrokenPipeError, ConnectionResetError, OSError):
+                break
+
+
+class _ThreadingTCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+if hasattr(socketserver, "ThreadingUnixStreamServer"):
+
+    class _ThreadingUnixServer(socketserver.ThreadingUnixStreamServer):
+        daemon_threads = True
+
+else:  # pragma: no cover - non-POSIX platforms
+    _ThreadingUnixServer = None
+
+
+class ServiceServer:
+    """A running synthesis service bound to one socket address.
+
+    Parameters mirror ``repro serve``: ``address`` comes from
+    :func:`parse_address`; ``jobs``/``queue_size``/``job_timeout``
+    configure the engine; ``cache_dir``/``cache_size`` the result
+    cache (``cache_size == 0`` disables caching entirely).
+    """
+
+    def __init__(
+        self,
+        address,
+        jobs: int | None = None,
+        queue_size: int = 64,
+        job_timeout: float | None = None,
+        cache_dir: str | Path | None = None,
+        cache_size: int = 256,
+        drain_timeout: float = 30.0,
+    ):
+        self._address_spec = address
+        self._drain_timeout = drain_timeout
+        cache = None
+        if cache_size > 0:
+            cache = ResultCache(capacity=cache_size, directory=cache_dir)
+        self.cache = cache
+        self.engine = Engine(
+            jobs=jobs, queue_size=queue_size, job_timeout=job_timeout, cache=cache
+        )
+        self._server = None
+        self._thread = None
+        self._draining = False
+        self._started_at = time.monotonic()
+
+    # -- lifecycle ---------------------------------------------------------------
+    def start(self) -> None:
+        """Bind the socket and serve in a background thread."""
+        if self._address_spec[0] == "unix":
+            if _ThreadingUnixServer is None:  # pragma: no cover
+                raise ValueError("unix sockets are not supported on this platform")
+            path = Path(self._address_spec[1])
+            if path.exists():
+                path.unlink()
+            self._server = _ThreadingUnixServer(str(path), _Handler)
+        else:
+            _kind, host, port = self._address_spec
+            self._server = _ThreadingTCPServer((host, port), _Handler)
+        self._server.service = self  # type: ignore[attr-defined]
+        self._started_at = time.monotonic()
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="service-accept",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Graceful shutdown: stop accepting, drain, release everything."""
+        self._draining = True
+        if self._server is not None:
+            self._server.shutdown()
+        self.engine.shutdown(self._drain_timeout)
+        if self._server is not None:
+            self._server.server_close()
+            self._server = None
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+        if self._address_spec[0] == "unix":
+            try:
+                Path(self._address_spec[1]).unlink()
+            except OSError:
+                pass
+
+    def serve_until_signal(self) -> None:
+        """Block the (already started) server until SIGTERM or SIGINT."""
+        stop_event = threading.Event()
+
+        def _on_signal(signum, _frame):  # pragma: no cover - signal path
+            stop_event.set()
+
+        previous = {
+            sig: signal.signal(sig, _on_signal)
+            for sig in (signal.SIGTERM, signal.SIGINT)
+        }
+        try:
+            stop_event.wait()
+        finally:
+            for sig, handler in previous.items():
+                signal.signal(sig, handler)
+
+    def serve_forever(self) -> None:
+        """Blocking entry point: start, run until SIGTERM/SIGINT, drain."""
+        self.start()
+        try:
+            self.serve_until_signal()
+        finally:
+            self.stop()
+
+    def __enter__(self) -> "ServiceServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- introspection -----------------------------------------------------------
+    @property
+    def address(self):
+        """The bound address (TCP port resolved after :meth:`start`)."""
+        if self._address_spec[0] == "unix":
+            return self._address_spec
+        if self._server is not None:
+            host, port = self._server.server_address[:2]
+            return ("tcp", host, port)
+        return self._address_spec
+
+    def describe_address(self) -> str:
+        spec = self.address
+        return spec[1] if spec[0] == "unix" else f"{spec[1]}:{spec[2]}"
+
+    def stats(self) -> dict:
+        payload = {
+            "server": {
+                "version": _service_version,
+                "address": self.describe_address(),
+                "transport": self.address[0],
+                "uptime_s": round(time.monotonic() - self._started_at, 3),
+                "draining": self._draining,
+            },
+            "engine": self.engine.stats(),
+        }
+        return payload
+
+    # -- request dispatch --------------------------------------------------------
+    def handle_line(self, line: bytes) -> dict:
+        """Turn one request frame into one response frame (never raises)."""
+        try:
+            request = decode_request(line)
+        except ProtocolError as exc:
+            return error_response(None, exc.code, str(exc))
+        request_id, method = request["id"], request["method"]
+        t0 = time.monotonic()
+        if method == "ping":
+            return ok_response(request_id, {"pong": True}, elapsed_s=time.monotonic() - t0)
+        if method == "stats":
+            return ok_response(request_id, self.stats(), elapsed_s=time.monotonic() - t0)
+        if self._draining:
+            return error_response(
+                request_id, "draining", "server is draining and no longer accepts jobs"
+            )
+        future, info = self.engine.submit(method, request["params"])
+        payload = future.result()
+        elapsed = time.monotonic() - t0
+        if payload.get("ok"):
+            return ok_response(
+                request_id,
+                payload["result"],
+                cached=info["cached"],
+                deduped=info["deduped"],
+                elapsed_s=elapsed,
+            )
+        error = payload["error"]
+        return error_response(
+            request_id, error["code"], error["message"], error.get("details")
+        )

@@ -1,0 +1,126 @@
+"""Acceptance: ``repro client`` output is byte-identical to single-shot
+``repro synth`` / ``repro map`` output, both cold and cached.
+
+The only sanctioned difference is the ``synth time`` wall-clock line,
+which the client omits (a timing measurement cannot be byte-stable).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.io import write_blif
+from repro.service.server import ServiceServer
+
+
+@pytest.fixture(scope="module")
+def service():
+    server = ServiceServer(("tcp", "127.0.0.1", 0), jobs=2, queue_size=16)
+    server.start()
+    yield server.describe_address()
+    server.stop()
+
+
+def _run(capsys, argv):
+    rc = main(argv)
+    return rc, capsys.readouterr().out
+
+
+def _without_time_line(text: str) -> str:
+    return "\n".join(
+        line for line in text.splitlines() if not line.startswith("synth time")
+    ) + "\n"
+
+
+EXPR = "(a & b) | (~a & c)"
+
+
+def test_client_synth_matches_single_shot(service, capsys, tmp_path):
+    direct_json = tmp_path / "direct.json"
+    cold_json = tmp_path / "cold.json"
+    cached_json = tmp_path / "cached.json"
+
+    rc, direct_out = _run(capsys, ["synth", "--expr", EXPR, "--json", str(direct_json)])
+    assert rc == 0
+    rc, cold_out = _run(capsys, [
+        "client", "--tcp", service, "synth", "--expr", EXPR, "--json", str(cold_json),
+    ])
+    assert rc == 0
+    rc, cached_out = _run(capsys, [
+        "client", "--tcp", service, "synth", "--expr", EXPR, "--json", str(cached_json),
+    ])
+    assert rc == 0
+
+    assert direct_json.read_bytes() == cold_json.read_bytes() == cached_json.read_bytes()
+    # Reports match exactly once the wall-clock line is removed; the
+    # cold and cached client runs are byte-identical to each other.
+    expected = _without_time_line(direct_out).replace(
+        f"wrote {direct_json}", f"wrote {cold_json}"
+    )
+    assert cold_out == expected
+    assert cached_out == cold_out.replace(str(cold_json), str(cached_json))
+
+
+def test_client_map_matches_single_shot(service, capsys, tmp_path, c17_netlist):
+    blif = tmp_path / "c17.blif"
+    blif.write_text(write_blif(c17_netlist))
+    design = tmp_path / "design.json"
+    rc, _ = _run(capsys, ["synth", str(blif), "--json", str(design)])
+    assert rc == 0
+
+    dims = json.loads(design.read_text())
+    rows, cols = dims["rows"] + 2, dims["cols"] + 2
+    fault_map = tmp_path / "faults.json"
+    rc, _ = _run(capsys, [
+        "faults", str(rows), str(cols), "--p-stuck-off", "0.03",
+        "--seed", "5", "--out", str(fault_map),
+    ])
+    assert rc == 0
+
+    direct_json = tmp_path / "m_direct.json"
+    cold_json = tmp_path / "m_cold.json"
+    cached_json = tmp_path / "m_cached.json"
+    base = [str(design), "--circuit", str(blif), "--fault-map", str(fault_map)]
+
+    rc, direct_out = _run(capsys, ["map", *base, "--json", str(direct_json)])
+    assert rc == 0
+    rc, cold_out = _run(capsys, [
+        "client", "--tcp", service, "map", *base, "--json", str(cold_json),
+    ])
+    assert rc == 0
+    rc, cached_out = _run(capsys, [
+        "client", "--tcp", service, "map", *base, "--json", str(cached_json),
+    ])
+    assert rc == 0
+
+    assert direct_json.read_bytes() == cold_json.read_bytes() == cached_json.read_bytes()
+    # Map reports carry no timing line: full byte identity, cold and cached.
+    assert cold_out == direct_out.replace(f"wrote {direct_json}", f"wrote {cold_json}")
+    assert cached_out == cold_out.replace(str(cold_json), str(cached_json))
+
+
+def test_client_validate_matches_single_shot(service, capsys, tmp_path, c17_netlist):
+    blif = tmp_path / "c17.blif"
+    blif.write_text(write_blif(c17_netlist))
+    design = tmp_path / "design.json"
+    rc, _ = _run(capsys, ["synth", str(blif), "--json", str(design)])
+    assert rc == 0
+
+    rc_direct, direct_out = _run(capsys, ["validate", str(design), "--circuit", str(blif)])
+    rc_client, client_out = _run(capsys, [
+        "client", "--tcp", service, "validate", str(design), "--circuit", str(blif),
+    ])
+    assert rc_direct == rc_client == 0
+    assert client_out == direct_out
+
+
+def test_client_ping_and_stats(service, capsys):
+    rc, out = _run(capsys, ["client", "--tcp", service, "ping"])
+    assert rc == 0 and out == "pong\n"
+    rc, out = _run(capsys, ["client", "--tcp", service, "stats"])
+    assert rc == 0
+    stats = json.loads(out)
+    assert stats["engine"]["workers"] == 2

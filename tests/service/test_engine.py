@@ -1,0 +1,148 @@
+"""Engine semantics: caching, dedup, overload, timeouts, crash recovery.
+
+These tests spawn real worker processes; they use the diagnostics
+``sleep`` method to hold a worker deterministically where needed.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.perf import counters
+from repro.service.cache import ResultCache
+from repro.service.engine import Engine
+
+
+def _wait_for_running_pid(engine, timeout=10.0):
+    """Poll engine stats until some job reports a started worker pid."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        for job in engine.stats()["jobs"]:
+            if job["started"] and job["pid"]:
+                return job["pid"]
+        time.sleep(0.02)
+    raise AssertionError("no job reported a worker pid in time")
+
+
+@pytest.fixture
+def engine():
+    eng = Engine(jobs=1, queue_size=8)
+    yield eng
+    eng.shutdown(drain_timeout=5.0)
+
+
+def test_submit_runs_a_job_end_to_end(engine):
+    future, info = engine.submit("synth", {"expr": "a & b"})
+    payload = future.result(timeout=60)
+    assert payload["ok"] is True
+    assert payload["result"]["design_name"] == "f"
+    assert info == {"cached": False, "deduped": False}
+
+
+def test_cache_hit_short_circuits_the_pool():
+    counters.reset()
+    with Engine(jobs=1, queue_size=8, cache=ResultCache(capacity=8)) as engine:
+        cold, info_cold = engine.submit("synth", {"expr": "a | b"})
+        first = cold.result(timeout=60)
+        warm, info_warm = engine.submit("synth", {"expr": "a|b"})  # same canonical form
+        second = warm.result(timeout=5)
+        assert info_cold["cached"] is False and info_warm["cached"] is True
+        assert first == second
+        assert counters.get("service_cache_hits") == 1
+        engine.shutdown(drain_timeout=5.0)
+
+
+def test_identical_concurrent_requests_collapse_to_one_synthesis():
+    counters.reset()
+    with Engine(jobs=1, queue_size=8, cache=ResultCache(capacity=8)) as engine:
+        # Occupy the single worker so the synth requests stay in flight.
+        blocker, _ = engine.submit("sleep", {"seconds": 1.0})
+        f1, i1 = engine.submit("synth", {"expr": "a & (b | c)"})
+        f2, i2 = engine.submit("synth", {"expr": "a & (b | c)"})
+        assert i1["deduped"] is False
+        assert i2["deduped"] is True
+        assert f2 is f1  # literally the same future: one job, two waiters
+        payload = f1.result(timeout=60)
+        assert payload["ok"] is True
+        assert blocker.result(timeout=30)["ok"] is True
+        assert counters.get("service_dedup_hits") == 1
+        # Exactly one synthesis ran: one store, no hit (dedup is not a cache hit).
+        assert counters.get("service_cache_stores") == 1
+        engine.shutdown(drain_timeout=5.0)
+
+
+def test_full_queue_rejects_with_overloaded():
+    counters.reset()
+    with Engine(jobs=1, queue_size=1) as engine:
+        blocker, _ = engine.submit("sleep", {"seconds": 1.0})
+        rejected, _ = engine.submit("sleep", {"seconds": 0.0})
+        payload = rejected.result(timeout=5)
+        assert payload["ok"] is False
+        assert payload["error"]["code"] == "overloaded"
+        assert counters.get("service_jobs_rejected") == 1
+        assert blocker.result(timeout=30)["ok"] is True
+        engine.shutdown(drain_timeout=5.0)
+
+
+def test_job_timeout_kills_the_worker_and_reports_timeout():
+    counters.reset()
+    with Engine(jobs=1, queue_size=8, job_timeout=0.5) as engine:
+        future, _ = engine.submit("sleep", {"seconds": 60})
+        payload = future.result(timeout=30)
+        assert payload["ok"] is False
+        assert payload["error"]["code"] == "timeout"
+        assert counters.get("service_job_timeouts") == 1
+        # The pool was rebuilt: the engine keeps serving.
+        after, _ = engine.submit("sleep", {"seconds": 0.0})
+        assert after.result(timeout=30)["ok"] is True
+        engine.shutdown(drain_timeout=5.0)
+
+
+def test_killed_worker_fails_exactly_that_job_and_engine_recovers():
+    counters.reset()
+    with Engine(jobs=1, queue_size=8) as engine:
+        victim, _ = engine.submit("sleep", {"seconds": 60})
+        queued, _ = engine.submit("sleep", {"seconds": 0.0})
+        pid = _wait_for_running_pid(engine)
+        os.kill(pid, signal.SIGKILL)
+        payload = victim.result(timeout=30)
+        assert payload["ok"] is False
+        assert payload["error"]["code"] == "worker_crash"
+        assert str(pid) in payload["error"]["message"]
+        # The innocent queued job was resubmitted to the fresh pool and ran.
+        assert queued.result(timeout=30)["ok"] is True
+        assert counters.get("service_worker_crashes") == 1
+        assert counters.get("service_job_retries") >= 1
+        engine.shutdown(drain_timeout=5.0)
+
+
+def test_drain_finishes_inflight_work_then_refuses_new_jobs(engine):
+    future, _ = engine.submit("sleep", {"seconds": 0.3})
+    assert engine.drain(timeout=10.0) is True
+    assert future.result(timeout=1)["ok"] is True
+    late, _ = engine.submit("sleep", {"seconds": 0.0})
+    payload = late.result(timeout=1)
+    assert payload["ok"] is False
+    assert payload["error"]["code"] == "draining"
+
+
+def test_uncacheable_garbage_still_gets_a_structured_error(engine):
+    # The key derivation fails (unparseable expr) so no cache key exists;
+    # the worker still answers with a structured error payload.
+    future, info = engine.submit("synth", {"expr": "((("})
+    payload = future.result(timeout=30)
+    assert payload["ok"] is False
+    assert payload["error"]["code"] == "bad_request"
+    assert info == {"cached": False, "deduped": False}
+
+
+def test_stats_reports_workers_queue_and_counters(engine):
+    stats = engine.stats()
+    assert stats["workers"] == 1
+    assert stats["queue_size"] == 8
+    assert stats["active_jobs"] == 0
+    assert isinstance(stats["counters"], dict)

@@ -1,0 +1,98 @@
+"""Wire-protocol frames: round trips, versioning, malformed input."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service.protocol import (
+    ERROR_CODES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_request,
+    decode_response,
+    encode,
+    error_response,
+    make_request,
+    ok_response,
+)
+
+
+def test_request_round_trip():
+    frame = make_request("synth", {"expr": "a & b"}, request_id=7)
+    assert decode_request(encode(frame)) == frame
+    assert frame["v"] == PROTOCOL_VERSION
+    assert frame["id"] == 7
+
+
+def test_ok_response_round_trip():
+    frame = ok_response("x1", {"pong": True}, cached=True, elapsed_s=0.125)
+    decoded = decode_response(encode(frame))
+    assert decoded == frame
+    assert decoded["cached"] is True
+    assert decoded["deduped"] is False
+
+
+def test_error_response_round_trip_and_code_sanitising():
+    frame = error_response(3, "timeout", "budget expired", {"pid": 42})
+    decoded = decode_response(encode(frame))
+    assert decoded["error"] == {
+        "code": "timeout", "message": "budget expired", "details": {"pid": 42},
+    }
+    # Unknown codes are coerced so the wire only ever carries known codes.
+    assert error_response(1, "no-such-code", "boom")["error"]["code"] == "internal"
+    assert all(code in ERROR_CODES for code in ("parse_error", "worker_crash"))
+
+
+def test_make_request_rejects_unknown_method():
+    with pytest.raises(ProtocolError):
+        make_request("frobnicate", {})
+
+
+@pytest.mark.parametrize("line", [
+    b"not json at all",
+    b"[1, 2, 3]",
+    b'"just a string"',
+])
+def test_decode_rejects_non_object_frames(line):
+    with pytest.raises(ProtocolError):
+        decode_request(line)
+
+
+def test_decode_rejects_wrong_version():
+    frame = make_request("ping")
+    frame["v"] = PROTOCOL_VERSION + 1
+    with pytest.raises(ProtocolError, match="version"):
+        decode_request(json.dumps(frame))
+
+
+def test_decode_rejects_bad_request_shapes():
+    base = make_request("ping")
+    bad_method = dict(base, method="nope")
+    with pytest.raises(ProtocolError, match="method"):
+        decode_request(json.dumps(bad_method))
+    bad_params = dict(base, params=[1, 2])
+    with pytest.raises(ProtocolError, match="params"):
+        decode_request(json.dumps(bad_params))
+    bad_id = dict(base, id=["x"])
+    with pytest.raises(ProtocolError, match="id"):
+        decode_request(json.dumps(bad_id))
+
+
+def test_decode_rejects_bad_response_shapes():
+    with pytest.raises(ProtocolError, match="'ok'"):
+        decode_response(json.dumps({"v": PROTOCOL_VERSION, "id": 1}))
+    with pytest.raises(ProtocolError, match="result"):
+        decode_response(json.dumps({"v": PROTOCOL_VERSION, "id": 1, "ok": True}))
+    with pytest.raises(ProtocolError, match="error"):
+        decode_response(json.dumps({"v": PROTOCOL_VERSION, "id": 1, "ok": False}))
+    with pytest.raises(ProtocolError, match="error"):
+        decode_response(json.dumps(
+            {"v": PROTOCOL_VERSION, "id": 1, "ok": False, "error": {"code": "x"}}
+        ))
+
+
+def test_decode_rejects_invalid_utf8():
+    with pytest.raises(ProtocolError, match="UTF-8"):
+        decode_request(b'{"v": 1, "\xff\xfe": 1}')

@@ -1,0 +1,164 @@
+"""End-to-end server tests over real sockets, including the acceptance
+criteria: trace-replay cache hits, concurrent dedup, and a worker killed
+mid-job failing exactly one client while the server keeps serving.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.perf import counters
+from repro.service import ServiceClient, ServiceClientError
+from repro.service.bench import build_trace, run_service_bench
+from repro.service.server import ServiceServer, parse_address
+
+
+@pytest.fixture
+def server():
+    srv = ServiceServer(("tcp", "127.0.0.1", 0), jobs=2, queue_size=16)
+    srv.start()
+    yield srv
+    srv.stop()
+
+
+def _client(server) -> ServiceClient:
+    _kind, host, port = server.address
+    return ServiceClient(tcp=(host, port), timeout=120.0)
+
+
+def test_parse_address():
+    assert parse_address("/tmp/x.sock", None) == ("unix", "/tmp/x.sock")
+    assert parse_address(None, "127.0.0.1:8111") == ("tcp", "127.0.0.1", 8111)
+    for bad in [(None, None), ("/tmp/x.sock", "h:1")]:
+        with pytest.raises(ValueError):
+            parse_address(*bad)
+    with pytest.raises(ValueError):
+        parse_address(None, "no-port")
+    with pytest.raises(ValueError):
+        parse_address(None, "host:not-a-number")
+
+
+def test_ping_stats_and_synth_over_tcp(server):
+    with _client(server) as client:
+        assert client.ping() is True
+        stats = client.stats()
+        assert stats["server"]["transport"] == "tcp"
+        assert stats["engine"]["workers"] == 2
+        result = client.result("synth", {"expr": "(a & b) | ~c"})
+        assert result["validation"]["ok"] is True
+
+
+def test_unix_socket_transport(tmp_path):
+    path = str(tmp_path / "svc.sock")
+    with ServiceServer(("unix", path), jobs=1) as server:
+        assert server.describe_address() == path
+        with ServiceClient(socket_path=path) as client:
+            assert client.ping() is True
+    assert not os.path.exists(path)  # socket file removed on shutdown
+
+
+def test_cached_response_is_identical_and_flagged(server):
+    with _client(server) as client:
+        cold = client.call("synth", {"expr": "a ^ b"})
+        warm = client.call("synth", {"expr": "a^b"})  # same canonical form
+        assert cold["ok"] and warm["ok"]
+        assert cold["cached"] is False and warm["cached"] is True
+        assert warm["result"] == cold["result"]
+
+
+def test_structured_errors_cross_the_wire(server):
+    with _client(server) as client:
+        with pytest.raises(ServiceClientError) as excinfo:
+            client.result("synth", {"expr": "(("})
+        assert excinfo.value.code == "bad_request"
+        assert "Traceback" not in excinfo.value.message
+
+
+def test_malformed_frames_get_protocol_errors_and_connection_survives(server):
+    _kind, host, port = server.address
+    with socket.create_connection((host, port), timeout=30) as sock:
+        reader = sock.makefile("rb")
+        for line in (b"this is not json\n", b'{"v": 99, "id": 1, "method": "ping", "params": {}}\n'):
+            sock.sendall(line)
+            frame = json.loads(reader.readline())
+            assert frame["ok"] is False
+            assert frame["error"]["code"] == "protocol_error"
+        # The connection is still usable after protocol errors.
+        sock.sendall(b'{"v": 1, "id": 2, "method": "ping", "params": {}}\n')
+        assert json.loads(reader.readline())["ok"] is True
+
+
+def test_trace_replay_cache_hits_match_repeat_rate():
+    """Acceptance: 200 requests at 50% repeats -> hits >= repeat count."""
+    payload = run_service_bench(requests=200, repeat_rate=0.5, clients=1, jobs=2)
+    assert payload["requests"] == 200
+    assert payload["failed"] == 0
+    assert payload["repeats"] == 100
+    assert payload["cache_hits"] >= payload["repeats"]
+    assert payload["hit_rate"] >= 0.5
+    assert payload["latency_s"]["p50"] <= payload["latency_s"]["p99"]
+
+
+def test_trace_replay_with_concurrent_clients_never_recomputes_repeats():
+    payload = run_service_bench(requests=60, repeat_rate=0.5, clients=4, jobs=2)
+    assert payload["failed"] == 0
+    # A repeat is served by the cache or rides an in-flight twin; either
+    # way it never triggers a second synthesis of the same request.
+    assert payload["cache_hits"] + payload["deduped"] >= payload["repeats"]
+
+
+def test_trace_is_deterministic_and_repeats_follow_first_use():
+    t1, t2 = build_trace(40, 0.5, seed=7), build_trace(40, 0.5, seed=7)
+    assert t1 == t2
+    assert build_trace(40, 0.5, seed=8) != t1
+    seen = set()
+    repeats = 0
+    for entry in t1:
+        blob = json.dumps(entry, sort_keys=True)
+        repeats += blob in seen
+        seen.add(blob)
+    assert repeats == 20 and len(seen) == 20
+
+
+def test_killed_worker_fails_exactly_one_client_and_server_keeps_serving():
+    """Acceptance: SIGKILL a worker mid-job; only its client sees the error."""
+    counters.reset()
+    with ServiceServer(("tcp", "127.0.0.1", 0), jobs=1, queue_size=16) as server:
+        _kind, host, port = server.address
+        victim_response: dict = {}
+
+        def _victim():
+            with ServiceClient(tcp=(host, port), timeout=120.0) as client:
+                victim_response.update(client.call("sleep", {"seconds": 60}))
+
+        thread = threading.Thread(target=_victim, daemon=True)
+        thread.start()
+
+        with ServiceClient(tcp=(host, port), timeout=120.0) as observer:
+            pid = None
+            deadline = time.monotonic() + 10.0
+            while pid is None and time.monotonic() < deadline:
+                jobs = observer.stats()["engine"]["jobs"]
+                started = [j["pid"] for j in jobs if j["started"] and j["pid"]]
+                pid = started[0] if started else None
+                if pid is None:
+                    time.sleep(0.02)
+            assert pid is not None, "sleep job never reported a worker pid"
+            os.kill(pid, signal.SIGKILL)
+
+            thread.join(timeout=30)
+            assert not thread.is_alive()
+            assert victim_response["ok"] is False
+            assert victim_response["error"]["code"] == "worker_crash"
+
+            # The server is still up and serving real work for others.
+            result = observer.result("synth", {"expr": "a & b & c"})
+            assert result["validation"]["ok"] is True
+    assert counters.get("service_worker_crashes") == 1
