@@ -3,10 +3,16 @@ JOBS ?= 4
 
 export PYTHONPATH := src
 
-.PHONY: test test-perf bench bench-baseline bench-smoke verify serve
+.PHONY: test test-perf bench bench-baseline bench-smoke verify serve check
 
 test:
 	$(PYTHON) -m pytest tests/ -q
+
+# Static analysis: self-lint src/, lint the example circuits and the
+# committed check fixtures (bad fixtures are expected to have findings,
+# so they are exercised by tests/check instead of linted here).
+check:
+	$(PYTHON) -m repro check --self --src src/repro examples/circuits
 
 # Tier-1 tests + fault-injection smoke + perf baseline schema check.
 verify:

@@ -1,0 +1,359 @@
+"""Static analysis of crossbar designs.
+
+Checks a :class:`~repro.crossbar.design.CrossbarDesign` — typically one
+reloaded from JSON — without re-running synthesis:
+
+======  ==============================================================
+D001    schema violation (JSON inputs; see :mod:`repro.check.schema`)
+D002    VH-labeling violation: a stitch joining two different nodes,
+        a VH node without its stitch, or an edge cell looping a node
+        to itself
+D003    alignment violation: a non-constant output sensing the driven
+        input wordline, or a disconnected input wordline
+D004    a programmed memristor no input-output flow can ever use
+D005    an unused (spare) line — informational
+D006    line/label binding is not one-to-one (dimension bookkeeping
+        breaks: R = #H + #VH, C = #V + #VH no longer hold)
+L001    semiperimeter lower-bound certificate — informational
+L002    the design's labeled semiperimeter beats the certified lower
+        bound, which is impossible for a faithful artifact
+======  ==============================================================
+
+The lower bound certifies ``S >= n + OCT_lb`` (paper Lemma 1: the
+semiperimeter is the node count plus the number of VH nodes, and the VH
+set is an odd cycle transversal).  ``OCT_lb`` is the better of two
+certificates: the vertex-cover LP bound on the Cartesian product
+``P = G x K2`` minus ``n`` (Lemma 1's reduction; the all-halves point
+makes this 0 whenever the LP is not forced higher, so it is usually the
+weaker bound) and a greedy vertex-disjoint odd-cycle packing, since
+every odd cycle must contain at least one VH node and disjoint cycles
+need distinct ones.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+from ..crossbar.design import CrossbarDesign
+from ..graphs.bipartite import find_odd_cycle
+from ..graphs.product import cartesian_product_k2
+from ..graphs.undirected import UGraph
+from ..graphs.vertex_cover import nt_kernelize
+from .diagnostics import Diagnostic, diag
+from .schema import design_schema_diagnostics
+
+__all__ = [
+    "check_design",
+    "check_design_file",
+    "semiperimeter_lower_bound",
+    "odd_cycle_packing",
+]
+
+
+def check_design_file(path: str | Path) -> list[Diagnostic]:
+    """Check one serialized design: schema first, then the analyzer."""
+    path = Path(path)
+    file = str(path)
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        return [diag("D001", f"not valid JSON: {exc}", file=file)]
+    diags = design_schema_diagnostics(payload, file=file)
+    if diags:
+        return diags
+    from ..crossbar.serialize import design_from_json
+
+    design = design_from_json(json.dumps(payload))
+    return check_design(design, file=file)
+
+
+def check_design(design: CrossbarDesign, file: str | None = None) -> list[Diagnostic]:
+    """All static diagnostics for an in-memory design."""
+    diags: list[Diagnostic] = []
+    diags.extend(_label_binding_checks(design, file))
+    diags.extend(_vh_checks(design, file))
+    diags.extend(_alignment_checks(design, file))
+    diags.extend(_reachability_checks(design, file))
+    diags.extend(_spare_line_checks(design, file))
+    diags.extend(_lower_bound_checks(design, file))
+    return diags
+
+
+# -- D006: line/label binding ---------------------------------------------------
+
+
+def _label_binding_checks(design: CrossbarDesign, file: str | None) -> list[Diagnostic]:
+    diags: list[Diagnostic] = []
+    for kind, labels in (("row", design.row_labels), ("col", design.col_labels)):
+        by_node: dict[object, int] = {}
+        for line, node in labels.items():
+            if node in by_node:
+                diags.append(
+                    diag(
+                        "D006",
+                        f"node {node!r} labels both {kind} {by_node[node]} and "
+                        f"{kind} {line}",
+                        file=file, obj=f"{kind} {line}",
+                    )
+                )
+            else:
+                by_node[node] = line
+    return diags
+
+
+# -- D002: VH-labeling conformity ----------------------------------------------
+
+
+def _vh_checks(design: CrossbarDesign, file: str | None) -> list[Diagnostic]:
+    if not design.row_labels and not design.col_labels:
+        return []
+    diags: list[Diagnostic] = []
+    row_of = {node: r for r, node in design.row_labels.items()}
+    col_of = {node: c for c, node in design.col_labels.items()}
+
+    stitched: set[object] = set()
+    for r, c, lit in design.cells():
+        rnode = design.row_labels.get(r)
+        cnode = design.col_labels.get(c)
+        if lit.is_constant():
+            # An always-on cell is only ever a VH stitch: it must join
+            # the wordline and bitline of the *same* node.
+            if rnode is None or cnode is None or rnode != cnode:
+                diags.append(
+                    diag(
+                        "D002",
+                        f"always-on cell at ({r}, {c}) joins "
+                        f"{_line_desc(rnode, 'row', r)} and "
+                        f"{_line_desc(cnode, 'col', c)} instead of stitching "
+                        "one VH node",
+                        file=file, obj=f"cell ({r}, {c})",
+                    )
+                )
+            else:
+                stitched.add(rnode)
+        else:
+            if rnode is not None and rnode == cnode:
+                diags.append(
+                    diag(
+                        "D002",
+                        f"literal cell at ({r}, {c}) loops node {rnode!r} "
+                        "to itself",
+                        file=file, obj=f"cell ({r}, {c})",
+                    )
+                )
+
+    for node in set(row_of) & set(col_of):
+        if node not in stitched:
+            diags.append(
+                diag(
+                    "D002",
+                    f"VH node {node!r} (row {row_of[node]}, col {col_of[node]}) "
+                    "has no always-on stitch cell",
+                    file=file, obj=f"node {node!r}",
+                )
+            )
+    return diags
+
+
+def _line_desc(node, kind: str, index: int) -> str:
+    if node is None:
+        return f"unlabeled {kind} {index}"
+    return f"{kind} {index} (node {node!r})"
+
+
+# -- D003: alignment ------------------------------------------------------------
+
+
+def _alignment_checks(design: CrossbarDesign, file: str | None) -> list[Diagnostic]:
+    diags: list[Diagnostic] = []
+    for out, row in design.output_rows.items():
+        if row == design.input_row and out not in design.constant_outputs:
+            diags.append(
+                diag(
+                    "D003",
+                    f"output {out!r} senses the driven input wordline "
+                    f"{row} but is not declared constant",
+                    file=file, obj=out,
+                )
+            )
+    non_constant = [
+        out for out in design.output_rows if out not in design.constant_outputs
+    ]
+    input_cells = sum(1 for r, _, _ in design.cells() if r == design.input_row)
+    if non_constant and design.memristor_count and input_cells == 0:
+        diags.append(
+            diag(
+                "D003",
+                f"input wordline {design.input_row} carries no memristors, so "
+                f"no output can ever read true",
+                file=file, obj=f"row {design.input_row}",
+            )
+        )
+    return diags
+
+
+# -- D004: unreachable memristors -----------------------------------------------
+
+
+def _reachability_checks(design: CrossbarDesign, file: str | None) -> list[Diagnostic]:
+    """Cells that cannot lie on any input-to-output flow path.
+
+    Best case for a cell is every programmed memristor conducting; if
+    even then its component of the line-connectivity graph misses the
+    input wordline or every output wordline, the cell can never carry
+    (or gate) observable flow.
+    """
+    lines = UGraph()
+    lines.add_node(("r", design.input_row))
+    for row in design.output_rows.values():
+        lines.add_node(("r", row))
+    cells = list(design.cells())
+    for r, c, _lit in cells:
+        lines.add_edge(("r", r), ("c", c))
+
+    components = lines.connected_components()
+    component_of: dict[object, int] = {}
+    for idx, comp in enumerate(components):
+        for node in comp:
+            component_of[node] = idx
+    live = {
+        idx
+        for idx, comp in enumerate(components)
+        if ("r", design.input_row) in comp
+        and any(("r", row) in comp for row in design.output_rows.values())
+    }
+
+    diags: list[Diagnostic] = []
+    for r, c, lit in cells:
+        if component_of[("r", r)] not in live:
+            diags.append(
+                diag(
+                    "D004",
+                    f"memristor {lit} at ({r}, {c}) is disconnected from the "
+                    "input-output flow network",
+                    file=file, obj=f"cell ({r}, {c})",
+                )
+            )
+    return diags
+
+
+# -- D005: spare lines ----------------------------------------------------------
+
+
+def _spare_line_checks(design: CrossbarDesign, file: str | None) -> list[Diagnostic]:
+    used_rows = {design.input_row, *design.output_rows.values()}
+    used_cols: set[int] = set()
+    for r, c, _lit in design.cells():
+        used_rows.add(r)
+        used_cols.add(c)
+    diags: list[Diagnostic] = []
+    for r in range(design.num_rows):
+        if r not in used_rows:
+            diags.append(
+                diag("D005", f"wordline {r} is unused (spare)", file=file, obj=f"row {r}")
+            )
+    for c in range(design.num_cols):
+        if c not in used_cols:
+            diags.append(
+                diag("D005", f"bitline {c} is unused (spare)", file=file, obj=f"col {c}")
+            )
+    return diags
+
+
+# -- L001/L002: the semiperimeter certificate -----------------------------------
+
+
+def _lower_bound_checks(design: CrossbarDesign, file: str | None) -> list[Diagnostic]:
+    graph = _implied_graph(design)
+    if graph is None or len(graph) == 0:
+        return []
+    cert = semiperimeter_lower_bound(graph)
+    s_labeled = len(design.row_labels) + len(design.col_labels)
+    diags = [
+        diag(
+            "L001",
+            f"certified semiperimeter lower bound {cert['s_lb']} "
+            f"(labeled S = {s_labeled}, gap {s_labeled - cert['s_lb']})",
+            file=file, obj=design.name,
+            **cert,
+            s_labeled=s_labeled,
+            gap=s_labeled - cert["s_lb"],
+        )
+    ]
+    if s_labeled < cert["s_lb"]:
+        diags.append(
+            diag(
+                "L002",
+                f"labeled semiperimeter {s_labeled} is below the certified "
+                f"lower bound {cert['s_lb']} — the artifact cannot be a "
+                "faithful VH-labeled design",
+                file=file, obj=design.name,
+            )
+        )
+    return diags
+
+
+def _implied_graph(design: CrossbarDesign) -> UGraph | None:
+    """The BDD graph the design's labels and literal cells imply."""
+    if not design.row_labels and not design.col_labels:
+        return None
+    graph = UGraph()
+    for node in design.row_labels.values():
+        graph.add_node(node)
+    for node in design.col_labels.values():
+        graph.add_node(node)
+    for r, c, lit in design.cells():
+        if lit.is_constant():
+            continue
+        rnode = design.row_labels.get(r)
+        cnode = design.col_labels.get(c)
+        if rnode is None or cnode is None or rnode == cnode:
+            continue  # flagged by the D002/D006 checks
+        graph.add_edge(rnode, cnode)
+    return graph
+
+
+def semiperimeter_lower_bound(graph: UGraph) -> dict:
+    """A provable lower bound on the semiperimeter of any mapping of
+    ``graph``.
+
+    By Lemma 1, ``S = n + #VH`` and the VH set is an odd cycle
+    transversal, so ``S >= n + OCT_lb`` for any valid lower bound on
+    the transversal.  Returns the certificate as a dict with keys
+    ``n``, ``lp_product`` (VC LP optimum on ``G x K2``), ``lp_lb``
+    (``ceil(lp) - n``), ``packing_lb`` (vertex-disjoint odd cycles),
+    ``oct_lb`` and ``s_lb``.
+    """
+    n = len(graph)
+    product = cartesian_product_k2(graph)
+    _, _, _, lp_bound = nt_kernelize(product)
+    lp_lb = max(0, math.ceil(lp_bound - 1e-9) - n)
+    packing_lb = odd_cycle_packing(graph)
+    oct_lb = max(lp_lb, packing_lb)
+    return {
+        "n": n,
+        "lp_product": lp_bound,
+        "lp_lb": lp_lb,
+        "packing_lb": packing_lb,
+        "oct_lb": oct_lb,
+        "s_lb": n + oct_lb,
+    }
+
+
+def odd_cycle_packing(graph: UGraph) -> int:
+    """Greedy count of vertex-disjoint odd cycles.
+
+    Each disjoint odd cycle forces a distinct transversal vertex, so the
+    count lower-bounds the odd cycle transversal number.
+    """
+    work = graph.copy()
+    count = 0
+    while True:
+        cycle = find_odd_cycle(work)
+        if cycle is None:
+            return count
+        count += 1
+        for node in cycle:
+            work.remove_node(node)

@@ -1,0 +1,273 @@
+"""The diagnostics model shared by every ``repro check`` analyzer.
+
+One vocabulary for everything static analysis can say about a netlist,
+a crossbar design, or the codebase itself: a :class:`Diagnostic` is a
+stable rule code plus a severity, a human message, an optional source
+span (``file:line``) and an optional machine-readable payload.  A
+:class:`Report` aggregates diagnostics, renders them as text or JSON,
+and maps them onto the CLI exit-code contract (0 clean / 1 findings /
+2 usage errors).
+
+Rule codes are permanent API: tools and tests key on them, so codes are
+never renumbered or reused.  The catalog lives in :data:`RULES`; use
+:func:`diag` to construct diagnostics so unknown codes fail loudly.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+from enum import Enum
+
+__all__ = [
+    "Severity",
+    "Span",
+    "Rule",
+    "RULES",
+    "Diagnostic",
+    "Report",
+    "diag",
+    "DIAGNOSTICS_SCHEMA",
+]
+
+#: Schema marker carried by every JSON diagnostics document.
+DIAGNOSTICS_SCHEMA = "repro.diagnostics/1"
+
+
+class Severity(str, Enum):
+    """How bad a diagnostic is.
+
+    ``ERROR`` and ``WARNING`` are *findings* — they fail a check run
+    (exit code 1).  ``INFO`` diagnostics carry certificates and metrics
+    (for example the semiperimeter lower bound) and never fail a run.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+
+@dataclass(frozen=True)
+class Span:
+    """A source location: file name plus optional 1-based line."""
+
+    file: str | None = None
+    line: int | None = None
+
+    def __str__(self) -> str:
+        if self.file is not None and self.line is not None:
+            return f"{self.file}:{self.line}"
+        if self.file is not None:
+            return self.file
+        if self.line is not None:
+            return f"line {self.line}"
+        return "<unknown>"
+
+    def as_dict(self) -> dict:
+        return {"file": self.file, "line": self.line}
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One catalog entry: a stable code with its default severity."""
+
+    code: str
+    severity: Severity
+    title: str
+
+
+def _catalog(*rules: tuple[str, Severity, str]) -> dict[str, Rule]:
+    out: dict[str, Rule] = {}
+    for code, severity, title in rules:
+        if code in out:
+            raise ValueError(f"duplicate rule code {code!r}")
+        out[code] = Rule(code, severity, title)
+    return out
+
+
+#: The full rule-code catalog.  N = netlist, D = design, L = lower-bound
+#: certificate, V = functional validation, C = codebase self-lint.
+RULES: dict[str, Rule] = _catalog(
+    # -- netlist linter ---------------------------------------------------------
+    ("N000", Severity.ERROR, "file does not parse"),
+    ("N001", Severity.ERROR, "combinational cycle"),
+    ("N002", Severity.ERROR, "undriven net"),
+    ("N003", Severity.ERROR, "multiply-driven net"),
+    ("N004", Severity.ERROR, "primary output is never driven"),
+    ("N005", Severity.WARNING, "unused primary input"),
+    ("N006", Severity.ERROR, "duplicate declaration"),
+    ("N007", Severity.WARNING, "redundant cube"),
+    ("N008", Severity.ERROR, "contradictory cubes"),
+    ("N009", Severity.WARNING, "constant output"),
+    ("N010", Severity.WARNING, "dead logic"),
+    # -- design analyzer --------------------------------------------------------
+    ("D001", Severity.ERROR, "design schema violation"),
+    ("D002", Severity.ERROR, "VH-labeling violation"),
+    ("D003", Severity.ERROR, "alignment violation"),
+    ("D004", Severity.WARNING, "unreachable memristor"),
+    ("D005", Severity.INFO, "unused line"),
+    ("D006", Severity.ERROR, "dimension inconsistency"),
+    # -- semiperimeter lower-bound certificate ----------------------------------
+    ("L001", Severity.INFO, "semiperimeter lower-bound certificate"),
+    ("L002", Severity.ERROR, "semiperimeter below certified lower bound"),
+    # -- functional validation (repro validate --json) --------------------------
+    ("V001", Severity.ERROR, "design/circuit functional mismatch"),
+    ("V002", Severity.ERROR, "functional mismatch under injected faults"),
+    # -- codebase self-lint -----------------------------------------------------
+    ("C001", Severity.ERROR, "lock acquired outside a with statement"),
+    ("C002", Severity.ERROR, "bare except"),
+    ("C003", Severity.ERROR, "silently swallowed I/O error"),
+    ("C004", Severity.ERROR, "exit code outside the 0/1/2 contract"),
+)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding (or certificate) produced by an analyzer.
+
+    ``obj`` names the object the diagnostic is about when no source
+    span exists or the span alone is ambiguous — a net, a cell
+    coordinate, a design name.  ``data`` is a JSON-serialisable payload
+    for machine consumers (counterexamples, bounds, gap values).
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    span: Span = field(default_factory=Span)
+    obj: str | None = None
+    data: dict = field(default_factory=dict)
+
+    @property
+    def is_finding(self) -> bool:
+        """Whether this diagnostic fails a check run."""
+        return self.severity in (Severity.ERROR, Severity.WARNING)
+
+    def render(self) -> str:
+        """One text line: ``file:line: severity[CODE] message (obj)``."""
+        where = str(self.span)
+        if self.obj is not None:
+            where = f"{where}: {self.obj}" if where != "<unknown>" else self.obj
+        return f"{where}: {self.severity.value}[{self.code}] {self.message}"
+
+    def as_dict(self) -> dict:
+        payload = {
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+            "span": self.span.as_dict(),
+            "obj": self.obj,
+        }
+        if self.data:
+            payload["data"] = self.data
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Diagnostic":
+        """Inverse of :meth:`as_dict` (service results carry dicts)."""
+        span = payload.get("span") or {}
+        return cls(
+            code=payload["code"],
+            severity=Severity(payload["severity"]),
+            message=payload["message"],
+            span=Span(span.get("file"), span.get("line")),
+            obj=payload.get("obj"),
+            data=dict(payload.get("data", {})),
+        )
+
+
+def diag(
+    code: str,
+    message: str,
+    *,
+    file: str | None = None,
+    line: int | None = None,
+    obj: str | None = None,
+    severity: Severity | None = None,
+    **data,
+) -> Diagnostic:
+    """Construct a diagnostic for a cataloged rule.
+
+    The severity defaults to the rule's cataloged severity; unknown
+    codes raise ``KeyError`` so analyzers cannot invent rules ad hoc.
+    """
+    rule = RULES[code]
+    return Diagnostic(
+        code=code,
+        severity=severity or rule.severity,
+        message=message,
+        span=Span(file, line),
+        obj=obj,
+        data=dict(data),
+    )
+
+
+class Report:
+    """An ordered collection of diagnostics with reporters attached."""
+
+    def __init__(self, diagnostics: Iterable[Diagnostic] = (), tool: str = "repro check"):
+        self.tool = tool
+        self.diagnostics: list[Diagnostic] = list(diagnostics)
+
+    # -- collection --------------------------------------------------------------
+    def add(self, diagnostic: Diagnostic) -> None:
+        self.diagnostics.append(diagnostic)
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    # -- queries -----------------------------------------------------------------
+    def findings(self) -> list[Diagnostic]:
+        """Errors and warnings only — what fails a run."""
+        return [d for d in self.diagnostics if d.is_finding]
+
+    def by_code(self, code: str) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.code == code]
+
+    def counts(self) -> dict[str, int]:
+        out = {s.value: 0 for s in Severity}
+        for d in self.diagnostics:
+            out[d.severity.value] += 1
+        return out
+
+    @property
+    def exit_code(self) -> int:
+        """CLI contract: 0 clean, 1 findings (usage errors are the caller's 2)."""
+        return 1 if self.findings() else 0
+
+    # -- reporters ---------------------------------------------------------------
+    def render_text(self, verbose: bool = False) -> str:
+        """Human-readable report; INFO lines only with ``verbose``."""
+        lines = [
+            d.render()
+            for d in self.diagnostics
+            if verbose or d.severity is not Severity.INFO
+        ]
+        counts = self.counts()
+        summary = (
+            f"{counts['error']} error(s), {counts['warning']} warning(s), "
+            f"{counts['info']} info"
+        )
+        lines.append(summary if not lines else f"-- {summary}")
+        return "\n".join(lines)
+
+    def to_payload(self) -> dict:
+        """The machine-readable document (shared with ``validate --json``)."""
+        counts = self.counts()
+        return {
+            "schema": DIAGNOSTICS_SCHEMA,
+            "tool": self.tool,
+            "ok": not self.findings(),
+            "summary": counts,
+            "diagnostics": [d.as_dict() for d in self.diagnostics],
+        }
+
+    def render_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_payload(), indent=indent, sort_keys=False)

@@ -1,0 +1,51 @@
+"""Functional validation results as diagnostics (V-rules).
+
+Bridges :class:`~repro.crossbar.validate.ValidationReport` — produced
+by ``validate_design`` / ``validate_under_faults`` — into the shared
+diagnostics vocabulary, so ``repro validate --json`` and the service's
+``validate`` method speak the same schema as ``repro check``.
+"""
+
+from __future__ import annotations
+
+from .diagnostics import Diagnostic, diag
+
+__all__ = ["validation_diagnostics"]
+
+
+def validation_diagnostics(
+    validation: dict,
+    *,
+    design_name: str,
+    circuit_name: str,
+    file: str | None = None,
+    under_faults: bool = False,
+) -> list[Diagnostic]:
+    """V001/V002 diagnostics for one validation-result dict.
+
+    ``validation`` is the payload shape the job executor emits (keys
+    ``ok``, ``checked``, ``exhaustive``, ``counterexample``,
+    ``mismatched_outputs``).  A passing validation yields no
+    diagnostics.
+    """
+    if validation["ok"]:
+        return []
+    code = "V002" if under_faults else "V001"
+    condition = "under the injected faults " if under_faults else ""
+    outputs = tuple(validation.get("mismatched_outputs") or ())
+    return [
+        diag(
+            code,
+            f"design {design_name!r} disagrees with circuit {circuit_name!r} "
+            f"{condition}on outputs {outputs} "
+            f"(counterexample {validation.get('counterexample')!r}, "
+            f"{validation['checked']} assignments checked, "
+            f"exhaustive={validation['exhaustive']})",
+            file=file,
+            obj=design_name,
+            counterexample=validation.get("counterexample"),
+            mismatched_outputs=list(outputs),
+            checked=validation["checked"],
+            exhaustive=validation["exhaustive"],
+        )
+    ]

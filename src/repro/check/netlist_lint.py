@@ -1,0 +1,589 @@
+"""The netlist linter: structural diagnostics for PLA, BLIF and Verilog.
+
+Works on the structural *scan* documents the readers produce
+(:func:`repro.io.scan_pla` etc.), so semantic problems that would make
+``read_*`` raise become diagnostics with exact ``file:line`` spans
+instead of crashes.  Rules:
+
+======  =========================================================
+N000    file does not parse at all (structural syntax error)
+N001    combinational cycle
+N002    a gate/block reads a net nothing drives
+N003    a net is driven more than once (or an input is driven)
+N004    a primary output is never driven
+N005    a primary input is never used (warning)
+N006    the same name is declared twice
+N007    a PLA cube is contained in another cube (warning)
+N008    on-set and off-set cubes of an ``fr``-type PLA intersect
+N009    a primary output is constant (warning)
+N010    logic that no primary output depends on (warning)
+======  =========================================================
+
+Constant outputs (N009) are found by structural constant folding over
+the built netlist, plus an exhaustive functional check when the input
+count is small enough to enumerate cheaply.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..circuits.netlist import Netlist
+from ..io.blif import BlifDoc, BlifError, read_blif, scan_blif
+from ..io.pla import PlaDoc, PlaError, read_pla, scan_pla
+from ..io.verilog import VerilogDoc, VerilogError, read_verilog, scan_verilog
+from .diagnostics import Diagnostic, diag
+
+__all__ = [
+    "lint_file",
+    "lint_netlist",
+    "lint_pla_text",
+    "lint_blif_text",
+    "lint_verilog_text",
+    "NETLIST_SUFFIXES",
+]
+
+#: File suffixes the linter understands, mapped to their format key.
+NETLIST_SUFFIXES = {
+    ".pla": "pla",
+    ".blif": "blif",
+    ".v": "verilog",
+    ".sv": "verilog",
+    ".verilog": "verilog",
+}
+
+#: Inputs up to this count are checked exhaustively for constant outputs.
+_EXHAUSTIVE_INPUT_LIMIT = 10
+
+
+@dataclass(frozen=True)
+class _Driver:
+    """One driving site in the common structural model."""
+
+    name: str
+    line: int | None
+    deps: tuple[str, ...]
+
+
+# -- entry points ---------------------------------------------------------------
+
+
+def lint_file(path: str | Path) -> list[Diagnostic]:
+    """Lint one netlist file; the format is chosen by suffix."""
+    path = Path(path)
+    fmt = NETLIST_SUFFIXES.get(path.suffix.lower())
+    if fmt is None:
+        raise ValueError(f"unknown netlist format for {path.name!r}")
+    text = path.read_text()
+    source = str(path)
+    if fmt == "pla":
+        return lint_pla_text(text, source)
+    if fmt == "blif":
+        return lint_blif_text(text, source)
+    return lint_verilog_text(text, source)
+
+
+def lint_pla_text(text: str, source: str | None = None) -> list[Diagnostic]:
+    try:
+        doc = scan_pla(text, source=source)
+    except PlaError as exc:
+        return [_parse_failure(exc, source)]
+    diags = _lint_pla_doc(doc)
+    if not any(d.code != "N000" and d.severity.value == "error" for d in diags):
+        diags.extend(_build_and_check(lambda: read_pla(text, source=source), source))
+    return diags
+
+
+def lint_blif_text(text: str, source: str | None = None) -> list[Diagnostic]:
+    try:
+        doc = scan_blif(text, source=source)
+    except BlifError as exc:
+        return [_parse_failure(exc, source)]
+    diags = _lint_blif_doc(doc)
+    if not any(d.severity.value == "error" for d in diags):
+        diags.extend(_build_and_check(lambda: read_blif(text, source=source), source))
+    return diags
+
+
+def lint_verilog_text(text: str, source: str | None = None) -> list[Diagnostic]:
+    try:
+        doc = scan_verilog(text, source=source)
+    except VerilogError as exc:
+        return [_parse_failure(exc, source)]
+    diags = _lint_verilog_doc(doc)
+    if not any(d.severity.value == "error" for d in diags):
+        diags.extend(_build_and_check(lambda: read_verilog(text, source=source), source))
+    return diags
+
+
+def lint_netlist(nl: Netlist, file: str | None = None) -> list[Diagnostic]:
+    """Lint an in-memory netlist (generated or already parsed)."""
+    inputs = [(name, nl.span("input", name)[1]) for name in nl.inputs]
+    outputs = [(name, nl.span("output", name)[1]) for name in nl.outputs]
+    drivers = [
+        _Driver(g.output, nl.span("gate", g.output)[1], g.inputs) for g in nl.gates
+    ]
+    diags = _structural_checks(file, inputs, outputs, drivers)
+    if not any(d.severity.value == "error" for d in diags):
+        diags.extend(_constant_output_checks(nl, file))
+    return diags
+
+
+# -- parse failures -------------------------------------------------------------
+
+
+def _parse_failure(exc: Exception, source: str | None) -> Diagnostic:
+    line = getattr(exc, "line", None)
+    return diag("N000", str(exc), file=source, line=line)
+
+
+def _build_and_check(builder, source: str | None) -> list[Diagnostic]:
+    """Run the full reader; residual errors become N000, successes N009."""
+    try:
+        nl = builder()
+    except (PlaError, BlifError, VerilogError) as exc:
+        return [_parse_failure(exc, source)]
+    return _constant_output_checks(nl, source)
+
+
+# -- the common structural model ------------------------------------------------
+
+
+def _structural_checks(
+    file: str | None,
+    inputs: list[tuple[str, int | None]],
+    outputs: list[tuple[str, int | None]],
+    drivers: list[_Driver],
+) -> list[Diagnostic]:
+    diags: list[Diagnostic] = []
+
+    # N006: duplicate declarations.
+    seen: dict[str, int | None] = {}
+    for kind, decls in (("input", inputs), ("output", outputs)):
+        kind_seen: set[str] = set()
+        for name, line in decls:
+            if name in kind_seen:
+                diags.append(
+                    diag(
+                        "N006",
+                        f"{kind} {name!r} is declared more than once",
+                        file=file, line=line, obj=name,
+                    )
+                )
+            kind_seen.add(name)
+            seen.setdefault(name, line)
+
+    # N003: multiple drivers, or a driver targeting a primary input.
+    input_names = {name for name, _ in inputs}
+    driven: dict[str, int | None] = {}
+    for d in drivers:
+        if d.name in input_names:
+            diags.append(
+                diag(
+                    "N003",
+                    f"net {d.name!r} is a primary input but is driven by a gate",
+                    file=file, line=d.line, obj=d.name,
+                )
+            )
+        elif d.name in driven:
+            diags.append(
+                diag(
+                    "N003",
+                    f"net {d.name!r} is driven more than once "
+                    f"(first driver at line {driven[d.name]})",
+                    file=file, line=d.line, obj=d.name,
+                )
+            )
+        else:
+            driven[d.name] = d.line
+    known = input_names | set(driven)
+
+    # N002: reads of nets nothing drives.
+    reported_undriven: set[str] = set()
+    for d in drivers:
+        for dep in d.deps:
+            if dep not in known and dep not in reported_undriven:
+                reported_undriven.add(dep)
+                diags.append(
+                    diag(
+                        "N002",
+                        f"net {dep!r} is read by {d.name!r} but never driven",
+                        file=file, line=d.line, obj=dep,
+                    )
+                )
+
+    # N004: undriven primary outputs.
+    for name, line in outputs:
+        if name not in known:
+            diags.append(
+                diag(
+                    "N004",
+                    f"primary output {name!r} is never driven",
+                    file=file, line=line, obj=name,
+                )
+            )
+
+    # N001: cycles among drivers.
+    diags.extend(_cycle_check(file, drivers))
+
+    # Cone of influence for N005 / N010 (only meaningful with outputs,
+    # and only once the netlist is otherwise structurally sound).
+    if outputs and not diags:
+        by_name = {d.name: d for d in drivers}
+        cone: set[str] = set()
+        stack = [name for name, _ in outputs]
+        while stack:
+            net = stack.pop()
+            if net in cone:
+                continue
+            cone.add(net)
+            d = by_name.get(net)
+            if d is not None:
+                stack.extend(d.deps)
+        for name, line in inputs:
+            if name not in cone:
+                diags.append(
+                    diag(
+                        "N005",
+                        f"primary input {name!r} is not used by any output",
+                        file=file, line=line, obj=name,
+                    )
+                )
+        for d in drivers:
+            if d.name not in cone:
+                diags.append(
+                    diag(
+                        "N010",
+                        f"logic driving {d.name!r} feeds no primary output",
+                        file=file, line=d.line, obj=d.name,
+                    )
+                )
+    return diags
+
+
+def _cycle_check(file: str | None, drivers: list[_Driver]) -> list[Diagnostic]:
+    by_name: dict[str, _Driver] = {}
+    for d in drivers:
+        by_name.setdefault(d.name, d)
+    state: dict[str, int] = {}  # 0 = visiting, 1 = done
+    diags: list[Diagnostic] = []
+    for root in by_name:
+        if state.get(root) == 1:
+            continue
+        # Iterative DFS with an explicit path so the cycle can be named.
+        path: list[str] = []
+        stack: list[tuple[str, bool]] = [(root, False)]
+        while stack:
+            net, processed = stack.pop()
+            if processed:
+                state[net] = 1
+                path.pop()
+                continue
+            if state.get(net) == 1:
+                continue
+            if state.get(net) == 0:
+                cycle = path[path.index(net):] + [net]
+                d = by_name[net]
+                diags.append(
+                    diag(
+                        "N001",
+                        "combinational cycle: " + " -> ".join(cycle),
+                        file=file, line=d.line, obj=net,
+                        cycle=cycle,
+                    )
+                )
+                continue
+            state[net] = 0
+            path.append(net)
+            stack.append((net, True))
+            for dep in by_name.get(net, _Driver(net, None, ())).deps:
+                if dep in by_name and state.get(dep) != 1:
+                    stack.append((dep, False))
+    return diags
+
+
+# -- constant outputs (N009) ----------------------------------------------------
+
+
+def _constant_output_checks(nl: Netlist, file: str | None) -> list[Diagnostic]:
+    const = _fold_constants(nl)
+    checked = dict(const)
+    if len(nl.inputs) <= _EXHAUSTIVE_INPUT_LIMIT:
+        checked.update(_exhaustive_constants(nl))
+    diags = []
+    for name in nl.outputs:
+        if name in checked:
+            value = checked[name]
+            _, line = nl.span("output", name)
+            diags.append(
+                diag(
+                    "N009",
+                    f"primary output {name!r} is constant {int(value)}",
+                    file=file, line=line, obj=name, value=value,
+                )
+            )
+    return diags
+
+
+def _fold_constants(nl: Netlist) -> dict[str, bool]:
+    """Nets that are structurally constant, by folding through the DAG."""
+    const: dict[str, bool] = {}
+    for g in nl.topological_gates():
+        vals = [const.get(i) for i in g.inputs]
+        t = g.gate_type
+        value: bool | None = None
+        if t == "CONST0":
+            value = False
+        elif t == "CONST1":
+            value = True
+        elif t in ("AND", "NAND"):
+            if any(v is False for v in vals):
+                value = False
+            elif all(v is True for v in vals):
+                value = True
+            if value is not None and t == "NAND":
+                value = not value
+        elif t in ("OR", "NOR"):
+            if any(v is True for v in vals):
+                value = True
+            elif all(v is False for v in vals):
+                value = False
+            if value is not None and t == "NOR":
+                value = not value
+        elif t in ("XOR", "XNOR"):
+            if all(v is not None for v in vals):
+                acc = t == "XNOR"
+                for v in vals:
+                    acc ^= bool(v)
+                value = acc
+        elif t == "INV":
+            if vals[0] is not None:
+                value = not vals[0]
+        elif t == "BUF":
+            value = vals[0]
+        elif t == "MUX":
+            sel, a, b = vals
+            if sel is True:
+                value = a
+            elif sel is False:
+                value = b
+            elif a is not None and a == b:
+                value = a
+        elif t == "MAJ":
+            ones = sum(1 for v in vals if v is True)
+            zeros = sum(1 for v in vals if v is False)
+            if 2 * ones > len(vals):
+                value = True
+            elif 2 * zeros >= len(vals) + len(vals) % 2:
+                value = False
+        if value is not None:
+            const[g.output] = value
+    return const
+
+
+def _exhaustive_constants(nl: Netlist) -> dict[str, bool]:
+    """Outputs constant over all input assignments (small inputs only)."""
+    candidates: dict[str, bool] = {}
+    first = True
+    for bits in itertools.product((False, True), repeat=len(nl.inputs)):
+        env = dict(zip(nl.inputs, bits))
+        out = nl.evaluate(env)
+        if first:
+            candidates = dict(out)
+            first = False
+        else:
+            for name in list(candidates):
+                if out[name] != candidates[name]:
+                    del candidates[name]
+            if not candidates:
+                break
+    return candidates
+
+
+# -- PLA ------------------------------------------------------------------------
+
+
+def _lint_pla_doc(doc: PlaDoc) -> list[Diagnostic]:
+    file = doc.source
+    in_names = doc.input_names()
+    out_names = doc.output_names()
+    inputs = [(n, doc.in_names_line) for n in in_names]
+    outputs = [(n, doc.out_names_line) for n in out_names]
+
+    # Cube arity / character problems make the cube list uninterpretable
+    # for the cube-level rules; surface them as N000 and stop there.
+    diags: list[Diagnostic] = []
+    good_cubes = []
+    for idx, cube in enumerate(doc.cubes):
+        if len(cube.inputs) != doc.n_in or len(cube.outputs) != doc.n_out:
+            diags.append(
+                diag(
+                    "N000",
+                    f"cube {idx} has wrong arity: {cube.inputs} {cube.outputs}",
+                    file=file, line=cube.line,
+                )
+            )
+        elif not set(cube.inputs) <= set("01-") or not set(cube.outputs) <= set("014-~2"):
+            diags.append(
+                diag(
+                    "N000",
+                    f"cube {idx} has bad characters: {cube.inputs} {cube.outputs}",
+                    file=file, line=cube.line,
+                )
+            )
+        else:
+            good_cubes.append(cube)
+
+    # The two-level structure: every named output is one driver whose
+    # fan-in is the set of inputs its cubes actually test.
+    drivers = []
+    for j, out in enumerate(out_names):
+        deps = set()
+        for cube in good_cubes:
+            if cube.outputs[j] in ("1", "4"):
+                deps.update(
+                    in_names[i] for i, ch in enumerate(cube.inputs) if ch != "-"
+                )
+        drivers.append(_Driver(out, doc.out_names_line, tuple(sorted(deps))))
+    diags.extend(_structural_checks(file, inputs, [], drivers))
+    # Outputs are always driven in a PLA (empty on-set = constant 0), so
+    # the output-side rules (N004) don't apply; N006 on outputs does.
+    out_seen: set[str] = set()
+    for name, line in outputs:
+        if name in out_seen:
+            diags.append(
+                diag(
+                    "N006",
+                    f"output {name!r} is declared more than once",
+                    file=file, line=line, obj=name,
+                )
+            )
+        out_seen.add(name)
+
+    diags.extend(_pla_cube_rules(doc, good_cubes, in_names, out_names))
+    return diags
+
+
+def _pla_cube_rules(
+    doc: PlaDoc,
+    cubes: list,
+    in_names: list[str],
+    out_names: list[str],
+) -> list[Diagnostic]:
+    file = doc.source
+    diags: list[Diagnostic] = []
+
+    def covers(a: str, b: str) -> bool:
+        """Input part ``a`` covers ``b`` (every minterm of b is in a)."""
+        return all(ca == "-" or ca == cb for ca, cb in zip(a, b))
+
+    def intersects(a: str, b: str) -> bool:
+        return all(ca == "-" or cb == "-" or ca == cb for ca, cb in zip(a, b))
+
+    # N007: per-output containment.  A cube is redundant for output j if
+    # another cube with a '1' there covers its input part.
+    flagged: set[int] = set()
+    for j, out in enumerate(out_names):
+        on = [c for c in cubes if c.outputs[j] in ("1", "4")]
+        for a in on:
+            if a.line in flagged:
+                continue
+            for b in on:
+                if a is b:
+                    continue
+                if covers(b.inputs, a.inputs) and not (
+                    covers(a.inputs, b.inputs) and b.line > a.line
+                ):
+                    flagged.add(a.line)
+                    diags.append(
+                        diag(
+                            "N007",
+                            f"cube {a.inputs!r} for output {out!r} is covered by "
+                            f"cube {b.inputs!r} at line {b.line}",
+                            file=file, line=a.line, obj=out,
+                        )
+                    )
+                    break
+
+    # N008: in an fr-type PLA a '0' declares the off-set; an on-set cube
+    # intersecting an off-set cube of the same output is a contradiction.
+    if doc.kind == "fr":
+        for j, out in enumerate(out_names):
+            on = [c for c in cubes if c.outputs[j] in ("1", "4")]
+            off = [c for c in cubes if c.outputs[j] == "0"]
+            for a in on:
+                for b in off:
+                    if intersects(a.inputs, b.inputs):
+                        diags.append(
+                            diag(
+                                "N008",
+                                f"on-set cube {a.inputs!r} (line {a.line}) and "
+                                f"off-set cube {b.inputs!r} (line {b.line}) for "
+                                f"output {out!r} intersect",
+                                file=file, line=a.line, obj=out,
+                            )
+                        )
+
+    # N010: a cube that asserts no output at all is dead logic.  In a
+    # cover with an ``r`` component (``fr``/``fdr``) a '0' declares
+    # off-set membership, so only '-' outputs leave a cube inert there.
+    asserting = {"1", "4"}
+    if doc.kind is not None and "r" in doc.kind:
+        asserting.add("0")
+    for idx, cube in enumerate(cubes):
+        if not any(ch in asserting for ch in cube.outputs):
+            diags.append(
+                diag(
+                    "N010",
+                    f"cube {cube.inputs!r} asserts no output",
+                    file=file, line=cube.line,
+                )
+            )
+
+    # N005: an input column that is '-' in every cube is unused.
+    if cubes:
+        for i, name in enumerate(in_names):
+            if all(c.inputs[i] == "-" for c in cubes):
+                diags.append(
+                    diag(
+                        "N005",
+                        f"primary input {name!r} is not used by any cube",
+                        file=file, line=doc.in_names_line, obj=name,
+                    )
+                )
+    return diags
+
+
+# -- BLIF -----------------------------------------------------------------------
+
+
+def _lint_blif_doc(doc: BlifDoc) -> list[Diagnostic]:
+    drivers = []
+    diags: list[Diagnostic] = []
+    for block in doc.blocks:
+        if not block.signals:
+            diags.append(
+                diag(
+                    "N000",
+                    ".names block without signals",
+                    file=doc.source, line=block.line,
+                )
+            )
+            continue
+        drivers.append(_Driver(block.output, block.line, block.sources))
+    diags.extend(
+        _structural_checks(doc.source, list(doc.inputs), list(doc.outputs), drivers)
+    )
+    return diags
+
+
+# -- Verilog --------------------------------------------------------------------
+
+
+def _lint_verilog_doc(doc: VerilogDoc) -> list[Diagnostic]:
+    drivers = [_Driver(i.output, i.line, i.inputs) for i in doc.instances]
+    return _structural_checks(
+        doc.source, list(doc.inputs), list(doc.outputs), drivers
+    )

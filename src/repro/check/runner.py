@@ -1,0 +1,98 @@
+"""The ``repro check`` driver: route inputs to the right analyzer.
+
+Collects files from the given paths (directories are walked), then:
+
+* ``.pla`` / ``.blif`` / ``.v`` / ``.sv`` / ``.verilog`` — netlist
+  linter (:mod:`repro.check.netlist_lint`);
+* ``.json`` — dispatched on the document's ``format`` marker to the
+  design analyzer (:mod:`repro.check.design`) or the fault-map schema
+  validator (:mod:`repro.check.schema`);
+* with ``self_lint`` — the AST self-lint over the repro source tree
+  (:mod:`repro.check.selflint`).
+
+Files explicitly named with an unsupported suffix raise
+:class:`UnknownInputError` (a CLI usage error, exit 2); unsupported
+files inside a walked directory are silently skipped.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .design import check_design_file
+from .diagnostics import Report, diag
+from .netlist_lint import NETLIST_SUFFIXES, lint_file
+from .schema import DESIGN_FORMAT, FAULTS_FORMAT, fault_map_schema_diagnostics
+from .selflint import default_source_root, selflint_paths
+
+__all__ = ["run_check", "collect_inputs", "UnknownInputError"]
+
+_CHECKABLE_SUFFIXES = set(NETLIST_SUFFIXES) | {".json"}
+
+
+class UnknownInputError(ValueError):
+    """An explicitly named input no analyzer understands (usage error)."""
+
+
+def collect_inputs(paths) -> list[Path]:
+    """Expand files/directories into the checkable file list."""
+    files: list[Path] = []
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            files.extend(
+                p
+                for p in sorted(path.rglob("*"))
+                if p.is_file() and p.suffix.lower() in _CHECKABLE_SUFFIXES
+            )
+        elif path.is_file():
+            if path.suffix.lower() not in _CHECKABLE_SUFFIXES:
+                raise UnknownInputError(
+                    f"no analyzer for {path.name!r} (expected "
+                    f"{'/'.join(sorted(_CHECKABLE_SUFFIXES))})"
+                )
+            files.append(path)
+        else:
+            raise UnknownInputError(f"no such file or directory: {path}")
+    return files
+
+
+def run_check(
+    paths=(),
+    *,
+    self_lint: bool = False,
+    src_root: str | Path | None = None,
+) -> Report:
+    """Run every applicable analyzer; returns the aggregate report."""
+    report = Report(tool="repro check")
+    for file in collect_inputs(paths):
+        if file.suffix.lower() in NETLIST_SUFFIXES:
+            report.extend(lint_file(file))
+        else:
+            report.extend(_check_json_file(file))
+    if self_lint:
+        root = Path(src_root) if src_root is not None else default_source_root()
+        report.extend(selflint_paths([root]))
+    return report
+
+
+def _check_json_file(path: Path):
+    file = str(path)
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        return [diag("D001", f"not valid JSON: {exc}", file=file)]
+    marker = payload.get("format") if isinstance(payload, dict) else None
+    if marker == FAULTS_FORMAT:
+        return fault_map_schema_diagnostics(payload, file=file)
+    if marker == DESIGN_FORMAT:
+        return check_design_file(path)
+    return [
+        diag(
+            "D001",
+            f"unrecognized document format {marker!r} (expected "
+            f"{DESIGN_FORMAT!r} or {FAULTS_FORMAT!r})",
+            file=file,
+        )
+    ]

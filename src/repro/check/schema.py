@@ -1,0 +1,207 @@
+"""Schema validation for serialized crossbar designs and fault maps.
+
+Operates on the *parsed JSON payload* (a plain dict) and reports every
+problem it can find in one pass as ``D001`` diagnostics, instead of the
+raise-on-first-problem style a loader needs.  ``repro check`` uses this
+directly on ``.json`` inputs; :mod:`repro.crossbar.serialize` funnels
+its loaders through it so a broken artifact lists all of its defects at
+once.
+
+This module deliberately imports nothing from :mod:`repro.crossbar` at
+module level so the ``repro.check`` package stays importable in
+stripped-down environments; the serializers import *us* lazily.
+"""
+
+from __future__ import annotations
+
+from .diagnostics import Diagnostic, diag
+
+__all__ = [
+    "DESIGN_FORMAT",
+    "FAULTS_FORMAT",
+    "design_schema_diagnostics",
+    "fault_map_schema_diagnostics",
+]
+
+DESIGN_FORMAT = "repro.crossbar/1"
+FAULTS_FORMAT = "repro.faults/1"
+
+_FAULT_KINDS = ("stuck_on", "stuck_off")
+
+
+def _is_int(value) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def design_schema_diagnostics(payload, file: str | None = None) -> list[Diagnostic]:
+    """Every schema problem in a ``repro.crossbar/1`` payload.
+
+    The payload is the parsed JSON value; an empty result means
+    :func:`repro.crossbar.serialize.design_from_json` will accept it.
+    """
+    def bad(message: str, obj: str | None = None) -> Diagnostic:
+        return diag("D001", message, file=file, obj=obj)
+
+    if not isinstance(payload, dict):
+        return [bad(f"design document must be a JSON object, got {type(payload).__name__}")]
+    diags: list[Diagnostic] = []
+    if payload.get("format") != DESIGN_FORMAT:
+        diags.append(
+            bad(
+                f"not a serialized crossbar design: format is "
+                f"{payload.get('format')!r}, expected {DESIGN_FORMAT!r}"
+            )
+        )
+    if not isinstance(payload.get("name"), str):
+        diags.append(bad("field 'name' must be a string", obj="name"))
+
+    rows, cols = payload.get("rows"), payload.get("cols")
+    if not _is_int(rows) or rows < 1:
+        diags.append(bad("field 'rows' must be a positive integer", obj="rows"))
+        rows = None
+    if not _is_int(cols) or cols < 0:
+        diags.append(bad("field 'cols' must be a non-negative integer", obj="cols"))
+        cols = None
+
+    input_row = payload.get("input_row")
+    if not _is_int(input_row):
+        diags.append(bad("field 'input_row' must be an integer", obj="input_row"))
+    elif rows is not None and not (0 <= input_row < rows):
+        diags.append(
+            bad(f"input_row {input_row} outside the {rows} wordlines", obj="input_row")
+        )
+
+    output_rows = payload.get("output_rows")
+    if not isinstance(output_rows, dict):
+        diags.append(bad("field 'output_rows' must be an object", obj="output_rows"))
+        output_rows = {}
+    for out, row in output_rows.items():
+        if not _is_int(row):
+            diags.append(bad(f"output {out!r} row must be an integer", obj=out))
+        elif rows is not None and not (0 <= row < rows):
+            diags.append(
+                bad(f"output {out!r} row {row} outside the {rows} wordlines", obj=out)
+            )
+
+    constant_outputs = payload.get("constant_outputs", {})
+    if not isinstance(constant_outputs, dict):
+        diags.append(
+            bad("field 'constant_outputs' must be an object", obj="constant_outputs")
+        )
+    else:
+        for out, value in constant_outputs.items():
+            if not isinstance(value, bool):
+                diags.append(
+                    bad(f"constant output {out!r} value must be a boolean", obj=out)
+                )
+            if isinstance(output_rows, dict) and out in output_rows:
+                diags.append(
+                    bad(f"output {out!r} is both sensed and constant", obj=out)
+                )
+
+    cells = payload.get("cells")
+    if not isinstance(cells, list):
+        diags.append(bad("field 'cells' must be an array", obj="cells"))
+        cells = []
+    seen_cells: dict[tuple[int, int], int] = {}
+    for idx, cell in enumerate(cells):
+        where = f"cells[{idx}]"
+        if not isinstance(cell, dict):
+            diags.append(bad(f"{where} must be an object", obj=where))
+            continue
+        r, c = cell.get("row"), cell.get("col")
+        if not _is_int(r) or not _is_int(c):
+            diags.append(bad(f"{where} needs integer 'row' and 'col'", obj=where))
+            continue
+        if rows is not None and cols is not None and not (0 <= r < rows and 0 <= c < cols):
+            diags.append(
+                bad(f"{where} at ({r}, {c}) outside the {rows}x{cols} array", obj=where)
+            )
+        if (r, c) in seen_cells:
+            diags.append(
+                bad(
+                    f"{where} re-programs cell ({r}, {c}) "
+                    f"(first at cells[{seen_cells[(r, c)]}])",
+                    obj=where,
+                )
+            )
+        else:
+            seen_cells[(r, c)] = idx
+        var = cell.get("var")
+        if var is not None and not isinstance(var, str):
+            diags.append(bad(f"{where} 'var' must be a string or null", obj=where))
+        if not isinstance(cell.get("positive"), bool):
+            diags.append(bad(f"{where} 'positive' must be a boolean", obj=where))
+
+    for field, limit in (("row_labels", rows), ("col_labels", cols)):
+        labels = payload.get(field, {})
+        if not isinstance(labels, dict):
+            diags.append(bad(f"field {field!r} must be an object", obj=field))
+            continue
+        for key in labels:
+            try:
+                index = int(key)
+            except (TypeError, ValueError):
+                diags.append(
+                    bad(f"{field} key {key!r} is not an integer line index", obj=field)
+                )
+                continue
+            if limit is not None and not (0 <= index < limit):
+                diags.append(
+                    bad(f"{field} key {index} outside the {limit} lines", obj=field)
+                )
+    return diags
+
+
+def fault_map_schema_diagnostics(payload, file: str | None = None) -> list[Diagnostic]:
+    """Every schema problem in a ``repro.faults/1`` payload."""
+    def bad(message: str, obj: str | None = None) -> Diagnostic:
+        return diag("D001", message, file=file, obj=obj)
+
+    if not isinstance(payload, dict):
+        return [bad(f"fault map document must be a JSON object, got {type(payload).__name__}")]
+    diags: list[Diagnostic] = []
+    if payload.get("format") != FAULTS_FORMAT:
+        diags.append(
+            bad(
+                f"not a serialized fault map: format is "
+                f"{payload.get('format')!r}, expected {FAULTS_FORMAT!r}"
+            )
+        )
+    rows, cols = payload.get("rows"), payload.get("cols")
+    if not _is_int(rows) or rows < 1:
+        diags.append(bad("field 'rows' must be a positive integer", obj="rows"))
+        rows = None
+    if not _is_int(cols) or cols < 1:
+        diags.append(bad("field 'cols' must be a positive integer", obj="cols"))
+        cols = None
+
+    faults = payload.get("faults")
+    if not isinstance(faults, list):
+        diags.append(bad("field 'faults' must be an array", obj="faults"))
+        faults = []
+    seen: dict[tuple[int, int], str] = {}
+    for idx, fault in enumerate(faults):
+        where = f"faults[{idx}]"
+        if not isinstance(fault, dict):
+            diags.append(bad(f"{where} must be an object", obj=where))
+            continue
+        r, c, kind = fault.get("row"), fault.get("col"), fault.get("kind")
+        if not _is_int(r) or not _is_int(c):
+            diags.append(bad(f"{where} needs integer 'row' and 'col'", obj=where))
+            continue
+        if kind not in _FAULT_KINDS:
+            diags.append(
+                bad(f"{where} has unknown fault kind {kind!r}", obj=where)
+            )
+        if rows is not None and cols is not None and not (0 <= r < rows and 0 <= c < cols):
+            diags.append(
+                bad(f"{where} at ({r}, {c}) outside the {rows}x{cols} array", obj=where)
+            )
+        prev = seen.get((r, c))
+        if prev is not None and prev != kind:
+            diags.append(
+                bad(f"{where} conflicts with earlier fault at ({r}, {c})", obj=where)
+            )
+        seen.setdefault((r, c), kind if isinstance(kind, str) else "")
+    return diags

@@ -1,0 +1,200 @@
+"""Self-lint: AST rules the repro codebase holds itself to.
+
+Four rules, chosen because each class of defect has bitten flow-style
+services before and none is caught by the test suite directly:
+
+======  ==============================================================
+C001    a lock/semaphore ``.acquire()`` call outside a ``with`` —
+        an exception between acquire and release deadlocks the service
+C002    a bare ``except:`` — swallows ``KeyboardInterrupt`` and
+        ``SystemExit`` along with everything else
+C003    an OS/socket/subprocess error caught and silently dropped
+        (handler body is only ``pass``/``...``/``continue``)
+C004    an explicit exit code outside the CLI's 0/1/2 contract
+======  ==============================================================
+
+A finding on a line whose source contains ``check: allow CXXX`` is
+suppressed — the annotation marks the (rare) sites where swallowing is
+the intended behaviour, e.g. best-effort cache cleanup.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from .diagnostics import Diagnostic, diag
+
+__all__ = ["selflint_file", "selflint_paths", "default_source_root"]
+
+#: Exception names whose silent swallowing is an I/O bug (C003).
+_IO_EXCEPTIONS = {
+    "OSError",
+    "IOError",
+    "EnvironmentError",
+    "FileNotFoundError",
+    "PermissionError",
+    "TimeoutError",
+    "ConnectionError",
+    "ConnectionResetError",
+    "ConnectionRefusedError",
+    "BrokenPipeError",
+    "InterruptedError",
+    "Exception",
+    "BaseException",
+    "error",  # socket.error
+    "timeout",  # socket.timeout
+    "SubprocessError",
+    "CalledProcessError",
+    "TimeoutExpired",
+}
+
+_ALLOWED_EXIT_CODES = (0, 1, 2)
+
+
+def default_source_root() -> Path:
+    """The package's own source tree (what ``make check`` self-lints)."""
+    return Path(__file__).resolve().parent.parent
+
+
+def selflint_paths(paths) -> list[Diagnostic]:
+    """Lint every ``.py`` file under the given files/directories."""
+    diags: list[Diagnostic] = []
+    for path in paths:
+        path = Path(path)
+        files = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        for file in files:
+            diags.extend(selflint_file(file))
+    return diags
+
+
+def selflint_file(path: str | Path) -> list[Diagnostic]:
+    path = Path(path)
+    text = path.read_text()
+    try:
+        tree = ast.parse(text, filename=str(path))
+    except SyntaxError as exc:
+        return [diag("N000", f"does not parse: {exc.msg}", file=str(path), line=exc.lineno)]
+    lines = text.splitlines()
+    checker = _Checker(str(path))
+    checker.visit(tree)
+    return [d for d in checker.diags if not _suppressed(d, lines)]
+
+
+def _suppressed(d: Diagnostic, lines: list[str]) -> bool:
+    if d.span.line is None or not (1 <= d.span.line <= len(lines)):
+        return False
+    return f"check: allow {d.code}" in lines[d.span.line - 1]
+
+
+class _Checker(ast.NodeVisitor):
+    def __init__(self, file: str):
+        self.file = file
+        self.diags: list[Diagnostic] = []
+        self._with_items: list[ast.expr] = []
+
+    # -- C001 -------------------------------------------------------------------
+    def visit_With(self, node: ast.With) -> None:
+        self._with_items.extend(item.context_expr for item in node.items)
+        self.generic_visit(node)
+        del self._with_items[-len(node.items):]
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "acquire"
+            and not any(expr is node for expr in self._with_items)
+        ):
+            self.diags.append(
+                diag(
+                    "C001",
+                    "lock acquired imperatively; use 'with' so errors release it",
+                    file=self.file, line=node.lineno,
+                )
+            )
+        self._check_exit_call(node)
+        self.generic_visit(node)
+
+    # -- C002 / C003 ------------------------------------------------------------
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self.diags.append(
+                diag(
+                    "C002",
+                    "bare 'except:' also catches KeyboardInterrupt and SystemExit",
+                    file=self.file, line=node.lineno,
+                )
+            )
+        elif self._swallows(node) and self._catches_io(node.type):
+            self.diags.append(
+                diag(
+                    "C003",
+                    f"{ast.unparse(node.type)} caught and silently dropped; "
+                    "log it or annotate 'check: allow C003'",
+                    file=self.file, line=node.lineno,
+                )
+            )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _swallows(node: ast.ExceptHandler) -> bool:
+        for stmt in node.body:
+            if isinstance(stmt, ast.Pass) or isinstance(stmt, ast.Continue):
+                continue
+            if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+                continue  # docstring or `...`
+            return False
+        return True
+
+    @classmethod
+    def _catches_io(cls, expr: ast.expr) -> bool:
+        if isinstance(expr, ast.Tuple):
+            return any(cls._catches_io(e) for e in expr.elts)
+        name = None
+        if isinstance(expr, ast.Name):
+            name = expr.id
+        elif isinstance(expr, ast.Attribute):
+            name = expr.attr
+        return name in _IO_EXCEPTIONS
+
+    # -- C004 -------------------------------------------------------------------
+    def _check_exit_call(self, node: ast.Call) -> None:
+        func = node.func
+        is_exit = (
+            isinstance(func, ast.Attribute)
+            and func.attr in ("exit", "_exit")
+            and isinstance(func.value, ast.Name)
+            and func.value.id in ("sys", "os")
+        ) or (isinstance(func, ast.Name) and func.id == "exit")
+        if not is_exit:
+            return
+        self._check_exit_code(node.args[0] if node.args else None, node.lineno)
+
+    def visit_Raise(self, node: ast.Raise) -> None:
+        exc = node.exc
+        if (
+            isinstance(exc, ast.Call)
+            and isinstance(exc.func, ast.Name)
+            and exc.func.id == "SystemExit"
+        ):
+            self._check_exit_code(exc.args[0] if exc.args else None, node.lineno)
+        self.generic_visit(node)
+
+    def _check_exit_code(self, arg: ast.expr | None, lineno: int) -> None:
+        # Only constant integers are decidable statically; strings exit
+        # with code 1 by definition and variables are out of scope.
+        if (
+            isinstance(arg, ast.Constant)
+            and isinstance(arg.value, int)
+            and not isinstance(arg.value, bool)
+            and arg.value not in _ALLOWED_EXIT_CODES
+        ):
+            self.diags.append(
+                diag(
+                    "C004",
+                    f"exit code {arg.value} is outside the 0 (clean) / "
+                    "1 (findings) / 2 (usage) contract",
+                    file=self.file, line=lineno,
+                )
+            )

@@ -163,6 +163,14 @@ class Netlist:
         self.outputs: list[str] = list(outputs)
         self.gates: list[Gate] = []
         self._driver: dict[str, Gate] = {}
+        #: Source spans for diagnostics: ``(kind, name) -> (file, line)``
+        #: with kind one of ``"input"``, ``"output"``, ``"gate"``.
+        #: Populated by the file readers; empty for generated netlists.
+        self.spans: dict[tuple[str, str], tuple[str | None, int | None]] = {}
+
+    def span(self, kind: str, name: str) -> tuple[str | None, int | None]:
+        """The source span of a declaration, or ``(None, None)``."""
+        return self.spans.get((kind, name), (None, None))
 
     # -- construction --------------------------------------------------------
     def add_input(self, name: str) -> str:

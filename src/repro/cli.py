@@ -9,7 +9,13 @@ synth
 report
     Circuit and (S)BDD statistics for a file.
 validate
-    Re-check a saved design JSON against its source circuit.
+    Re-check a saved design JSON against its source circuit (optionally
+    under a fault map, and as a diagnostics JSON document).
+check
+    Static analysis with stable rule codes: lint netlist files, analyze
+    saved design JSONs (schema, VH labeling, reachability, semiperimeter
+    lower-bound certificate) and self-lint the repro source tree.
+    Exit 0 clean, 1 findings, 2 usage errors.
 map
     Defect-aware remapping: place a saved design around the stuck-at
     defects in a fault map (permute -> spares escalation, verified).
@@ -245,6 +251,27 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("design", help="design JSON produced by synth --json")
     validate.add_argument("--circuit", required=True, help="source circuit file")
     validate.add_argument("--format", default="auto", choices=["auto", "verilog", "blif", "pla"])
+    validate.add_argument("--fault-map", metavar="PATH",
+                          help="also validate under the stuck-at faults in this map")
+    validate.add_argument("--json", action="store_true",
+                          help="emit the diagnostics JSON document instead of text")
+
+    check_p = sub.add_parser(
+        "check", help="static analysis: netlists, design JSONs, the codebase"
+    )
+    check_p.add_argument(
+        "paths", nargs="*",
+        help="netlist files (.pla/.blif/.v), design/fault-map JSONs, or "
+             "directories to walk; default with no paths: --self",
+    )
+    check_p.add_argument("--self", action="store_true", dest="self_lint",
+                         help="AST-lint the repro source tree itself")
+    check_p.add_argument("--src", metavar="PATH",
+                         help="source tree for --self (default: the installed package)")
+    check_p.add_argument("--json", action="store_true",
+                         help="emit the diagnostics JSON document instead of text")
+    check_p.add_argument("--verbose", action="store_true",
+                         help="include info-level diagnostics (certificates) in text output")
 
     remap_p = sub.add_parser(
         "map", help="defect-aware remapping of a design onto a faulty array"
@@ -334,6 +361,10 @@ def build_parser() -> argparse.ArgumentParser:
     c_validate.add_argument("design")
     c_validate.add_argument("--circuit", required=True)
     c_validate.add_argument("--format", default="auto", choices=["auto", "verilog", "blif", "pla"])
+    c_validate.add_argument("--fault-map", metavar="PATH",
+                            help="also validate under the stuck-at faults in this map")
+    c_validate.add_argument("--json", action="store_true",
+                            help="emit the diagnostics JSON document instead of text")
 
     csub.add_parser("ping", help="liveness check")
     csub.add_parser("stats", help="server, engine and cache statistics (JSON)")
@@ -459,21 +490,43 @@ def _cmd_report(args) -> int:
 
 
 def _validate_params(args) -> dict:
-    return {
+    params = {
         "design_json": _design_params(args.design),
         "circuit": _circuit_params(args.circuit, args.format),
     }
+    if getattr(args, "fault_map", None):
+        params["fault_map"] = _fault_map_params(args.fault_map)
+    return params
 
 
-def _finish_validate(result: dict) -> int:
+def _finish_validate(result: dict, args=None) -> int:
+    if args is not None and getattr(args, "json", False):
+        from .check import Diagnostic, Report
+
+        report = Report(
+            (Diagnostic.from_dict(d) for d in result.get("diagnostics", [])),
+            tool="repro validate",
+        )
+        print(report.render_json())
+        return report.exit_code
     validation = result["validation"]
+    rc = 0
     if validation["ok"]:
         print(f"OK: {result['design_name']} matches {result['circuit_name']} "
               f"({validation['checked']} assignments)")
-        return 0
-    print(f"MISMATCH at {validation['counterexample']} "
-          f"on {tuple(validation['mismatched_outputs'])}")
-    return 1
+    else:
+        print(f"MISMATCH at {validation['counterexample']} "
+              f"on {tuple(validation['mismatched_outputs'])}")
+        rc = 1
+    under_faults = result.get("validation_under_faults")
+    if under_faults is not None:
+        if under_faults["ok"]:
+            print(f"OK under faults ({under_faults['checked']} assignments)")
+        else:
+            print(f"MISMATCH under faults at {under_faults['counterexample']} "
+                  f"on {tuple(under_faults['mismatched_outputs'])}")
+            rc = 1
+    return rc
 
 
 def _cmd_validate(args) -> int:
@@ -481,7 +534,22 @@ def _cmd_validate(args) -> int:
     if "__error__" in result:
         print(f"repro: error: {result['__error__']['message']}", file=sys.stderr)
         return 1
-    return _finish_validate(result)
+    return _finish_validate(result, args)
+
+
+def _cmd_check(args) -> int:
+    from .check import UnknownInputError, run_check
+
+    self_lint = args.self_lint or not args.paths
+    try:
+        report = run_check(args.paths, self_lint=self_lint, src_root=args.src)
+    except UnknownInputError as exc:
+        raise _usage_error(str(exc)) from exc
+    if args.json:
+        print(report.render_json())
+    else:
+        print(report.render_text(verbose=args.verbose))
+    return report.exit_code
 
 
 def _map_params(args) -> dict:
@@ -708,7 +776,7 @@ def _cmd_client(args) -> int:
         return _finish_synth(result, args, include_time=False)
     if method == "map":
         return _finish_map(result, args)
-    return _finish_validate(result)
+    return _finish_validate(result, args)
 
 
 def _cmd_bench_service(args) -> int:
@@ -740,6 +808,7 @@ def main(argv: list[str] | None = None) -> int:
         "synth": _cmd_synth,
         "report": _cmd_report,
         "validate": _cmd_validate,
+        "check": _cmd_check,
         "map": _cmd_map,
         "faults": _cmd_faults,
         "serve": _cmd_serve,

@@ -25,6 +25,19 @@ _FORMAT = "repro.crossbar/1"
 _FAULTS_FORMAT = "repro.faults/1"
 
 
+def _schema():
+    # Imported lazily: repro.check.schema keys on these format markers
+    # but must stay importable without pulling in the crossbar package.
+    from ..check import schema
+
+    return schema
+
+
+def _raise_schema_problems(diagnostics) -> None:
+    if diagnostics:
+        raise ValueError("; ".join(d.message for d in diagnostics))
+
+
 def design_to_json(design: CrossbarDesign, indent: int | None = None) -> str:
     """Serialise ``design`` (cells, ports, labels) to a JSON string."""
     payload = {
@@ -50,12 +63,11 @@ def design_from_json(text: str) -> CrossbarDesign:
 
     Row/column annotation labels are restored as strings (their repr);
     everything functional — dimensions, ports, programmed cells — round
-    trips exactly.
+    trips exactly.  A malformed document raises :class:`ValueError`
+    listing *every* schema problem found, not just the first.
     """
     payload = json.loads(text)
-    if not isinstance(payload, dict) or payload.get("format") != _FORMAT:
-        marker = payload.get("format") if isinstance(payload, dict) else payload
-        raise ValueError(f"not a serialized crossbar design: {marker!r}")
+    _raise_schema_problems(_schema().design_schema_diagnostics(payload))
     design = CrossbarDesign(
         payload["name"],
         num_rows=payload["rows"],
@@ -91,18 +103,13 @@ def fault_map_from_json(text: str) -> FaultMap:
     """Reconstruct a fault map serialised by :func:`fault_map_to_json`.
 
     Raises :class:`ValueError` on the wrong format marker, missing
-    fields, unknown fault kinds, or out-of-array coordinates — the same
-    validation :class:`FaultMap` itself applies.
+    fields, unknown fault kinds, or out-of-array coordinates — listing
+    every problem found, not just the first.
     """
     payload = json.loads(text)
-    if not isinstance(payload, dict) or payload.get("format") != _FAULTS_FORMAT:
-        marker = payload.get("format") if isinstance(payload, dict) else payload
-        raise ValueError(f"not a serialized fault map: {marker!r}")
-    try:
-        faults = tuple(
-            Fault(int(f["row"]), int(f["col"]), f["kind"])
-            for f in payload["faults"]
-        )
-        return FaultMap(int(payload["rows"]), int(payload["cols"]), faults)
-    except KeyError as exc:
-        raise ValueError(f"fault map missing field {exc.args[0]!r}") from exc
+    _raise_schema_problems(_schema().fault_map_schema_diagnostics(payload))
+    faults = tuple(
+        Fault(int(f["row"]), int(f["col"]), f["kind"])
+        for f in payload["faults"]
+    )
+    return FaultMap(int(payload["rows"]), int(payload["cols"]), faults)

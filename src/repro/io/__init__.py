@@ -1,20 +1,26 @@
 """Circuit file formats: PLA, BLIF and a structural Verilog subset."""
 
-from .blif import BlifError, read_blif, write_blif
+from .blif import BlifDoc, BlifError, read_blif, scan_blif, write_blif
 from .dot import design_to_dot, netlist_to_dot
-from .pla import PlaError, read_pla, write_pla
-from .verilog import VerilogError, read_verilog, write_verilog
+from .pla import PlaDoc, PlaError, read_pla, scan_pla, write_pla
+from .verilog import VerilogDoc, VerilogError, read_verilog, scan_verilog, write_verilog
 
 __all__ = [
     "netlist_to_dot",
     "design_to_dot",
     "read_pla",
     "write_pla",
+    "scan_pla",
+    "PlaDoc",
     "PlaError",
     "read_blif",
     "write_blif",
+    "scan_blif",
+    "BlifDoc",
     "BlifError",
     "read_verilog",
     "write_verilog",
+    "scan_verilog",
+    "VerilogDoc",
     "VerilogError",
 ]

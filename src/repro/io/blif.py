@@ -6,13 +6,24 @@ Supports the combinational subset the benchmarks use: ``.model``,
 subcircuits are rejected explicitly; every :class:`BlifError` carries
 the source file name and the 1-based line number of the offending
 (logical) line.
+
+Parsing is two-phase.  :func:`scan_blif` is a purely structural pass
+that collects declarations and ``.names`` blocks with their source
+lines; :func:`read_blif` then builds the net table from the *whole*
+scan before wiring any fan-ins, so a ``.names`` block may reference a
+net that is declared (or driven) only later in the file.  A net that
+is never declared anywhere raises a :class:`BlifError` with the exact
+``file:line`` — and the netlist linter (:mod:`repro.check`) flags the
+same condition as a diagnostic instead of raising.
 """
 
 from __future__ import annotations
 
-from ..circuits.netlist import Gate, Netlist
+from dataclasses import dataclass, field
 
-__all__ = ["read_blif", "write_blif", "BlifError"]
+from ..circuits.netlist import Gate, Netlist, NetlistError
+
+__all__ = ["read_blif", "write_blif", "scan_blif", "BlifError", "BlifDoc", "NamesBlock"]
 
 
 class BlifError(ValueError):
@@ -34,11 +45,44 @@ class BlifError(ValueError):
         super().__init__(message)
 
 
-def read_blif(text: str, source: str | None = None) -> Netlist:
-    """Parse BLIF ``text`` into a netlist.
+@dataclass(frozen=True)
+class NamesBlock:
+    """One ``.names`` block: signal list plus raw cover rows."""
 
-    Each ``.names`` block becomes a two-level AND-OR cone (or a constant
-    gate).  Covers with output value ``0`` are complemented.
+    line: int
+    signals: tuple[str, ...]
+    #: Cover rows as ``(line, mask, value)``; single-column rows have
+    #: an empty mask.
+    cover: tuple[tuple[int, str, str], ...]
+
+    @property
+    def output(self) -> str | None:
+        return self.signals[-1] if self.signals else None
+
+    @property
+    def sources(self) -> tuple[str, ...]:
+        return self.signals[:-1] if self.signals else ()
+
+
+@dataclass
+class BlifDoc:
+    """The structural view of a BLIF file (first parse phase)."""
+
+    source: str | None = None
+    name: str = "blif"
+    inputs: list[tuple[str, int]] = field(default_factory=list)
+    outputs: list[tuple[str, int]] = field(default_factory=list)
+    blocks: list[NamesBlock] = field(default_factory=list)
+
+
+def scan_blif(text: str, source: str | None = None) -> BlifDoc:
+    """Structural first pass: declarations and blocks with line spans.
+
+    Raises :class:`BlifError` only for syntax-level problems (unknown
+    or unsupported directives, malformed cover lines, cover lines
+    outside a block); every semantic question — undeclared nets,
+    duplicate drivers, cover polarity — is left to :func:`read_blif`
+    and the linter, which can point at exact lines.
     """
     # Join continuation lines, strip comments; remember where each
     # logical line started so errors can point at it.
@@ -60,27 +104,33 @@ def read_blif(text: str, source: str | None = None) -> Netlist:
     if pending:
         logical_lines.append((pending_start, pending))
 
-    name = "blif"
-    inputs: list[str] = []
-    outputs: list[str] = []
-    blocks: list[tuple[int, list[str], list[tuple[int, str, str]]]] = []
+    doc = BlifDoc(source=source)
     current: list[tuple[int, str, str]] | None = None
+    current_header: tuple[int, tuple[str, ...]] | None = None
+
+    def flush_block() -> None:
+        nonlocal current, current_header
+        if current_header is not None:
+            line, signals = current_header
+            doc.blocks.append(NamesBlock(line, signals, tuple(current or ())))
+        current = None
+        current_header = None
 
     for lineno, line in logical_lines:
         stripped = line.strip()
         if stripped.startswith("."):
             parts = stripped.split()
             key = parts[0]
-            current = None
+            flush_block()
             if key == ".model":
-                name = parts[1] if len(parts) > 1 else name
+                doc.name = parts[1] if len(parts) > 1 else doc.name
             elif key == ".inputs":
-                inputs.extend(parts[1:])
+                doc.inputs.extend((name, lineno) for name in parts[1:])
             elif key == ".outputs":
-                outputs.extend(parts[1:])
+                doc.outputs.extend((name, lineno) for name in parts[1:])
             elif key == ".names":
                 current = []
-                blocks.append((lineno, parts[1:], current))
+                current_header = (lineno, tuple(parts[1:]))
             elif key == ".end":
                 break
             elif key in (".latch", ".subckt", ".gate"):
@@ -107,14 +157,68 @@ def read_blif(text: str, source: str | None = None) -> Netlist:
             raise BlifError(
                 f"malformed cover line {stripped!r}", source=source, line=lineno
             )
+    flush_block()
+    return doc
 
-    nl = Netlist(name, inputs=inputs, outputs=outputs)
-    for lineno, signals, cover in blocks:
-        if not signals:
-            raise BlifError(".names block without signals", source=source, line=lineno)
-        *srcs, out = signals
-        _names_to_gates(nl, srcs, out, cover, source, lineno)
-    nl.check()
+
+def read_blif(text: str, source: str | None = None) -> Netlist:
+    """Parse BLIF ``text`` into a netlist.
+
+    Each ``.names`` block becomes a two-level AND-OR cone (or a constant
+    gate).  Covers with output value ``0`` are complemented.  The net
+    table is built from the whole file first, so blocks may reference
+    nets declared only later; references to nets that are never
+    declared raise with the offending ``file:line``.
+    """
+    doc = scan_blif(text, source=source)
+
+    # First pass over the scan: the complete net table.  Every net is
+    # either a primary input or the output of exactly one block.
+    inputs = [name for name, _ in doc.inputs]
+    declared: set[str] = set(inputs)
+    driven: set[str] = set()
+    for block in doc.blocks:
+        if not block.signals:
+            raise BlifError(
+                ".names block without signals", source=source, line=block.line
+            )
+        out = block.output
+        if out in driven:
+            raise BlifError(
+                f".names {out}: net {out!r} is already driven by an earlier block",
+                source=source, line=block.line,
+            )
+        if out in declared:
+            raise BlifError(
+                f".names {out}: net {out!r} is a primary input",
+                source=source, line=block.line,
+            )
+        driven.add(out)
+    declared |= driven
+
+    nl = Netlist(doc.name, inputs=inputs, outputs=[name for name, _ in doc.outputs])
+    for name, lineno in doc.inputs:
+        nl.spans[("input", name)] = (source, lineno)
+    for name, lineno in doc.outputs:
+        nl.spans[("output", name)] = (source, lineno)
+
+    # Second pass: wire fan-ins, now that every reference is resolvable.
+    for block in doc.blocks:
+        for src in block.sources:
+            if src not in declared:
+                raise BlifError(
+                    f".names {block.output}: references undeclared net {src!r}",
+                    source=source, line=block.line,
+                )
+        _names_to_gates(nl, list(block.sources), block.output, list(block.cover),
+                        source, block.line)
+        nl.spans[("gate", block.output)] = (source, block.line)
+    try:
+        nl.check()
+    except NetlistError as exc:
+        # Residual semantic problems (e.g. combinational cycles) carry
+        # at least the source file.
+        raise BlifError(str(exc), source=source) from exc
     return nl
 
 

@@ -6,15 +6,23 @@ subset: ``.i``, ``.o``, ``.ilb``, ``.ob``, ``.p``, ``.type fr``/``f``,
 cube lines over ``{0, 1, -}`` inputs and ``{0, 1, ~, -}`` outputs, and
 ``.e``/``.end``.  The function is materialised as a two-level AND-OR
 :class:`~repro.circuits.netlist.Netlist`.
+
+Parsing is two-phase: :func:`scan_pla` performs a purely structural
+pass (directives, declarations and raw cubes, each with its 1-based
+source line) and :func:`read_pla` builds the netlist from the scan.
+The structural document is what the netlist linter
+(:mod:`repro.check`) analyses, so it can diagnose semantic problems
+with exact ``file:line`` spans instead of crashing mid-build.
 """
 
 from __future__ import annotations
 
 import itertools
+from dataclasses import dataclass, field
 
 from ..circuits.netlist import Netlist
 
-__all__ = ["read_pla", "write_pla", "PlaError"]
+__all__ = ["read_pla", "write_pla", "scan_pla", "PlaError", "PlaDoc", "PlaCube"]
 
 
 class PlaError(ValueError):
@@ -37,17 +45,56 @@ class PlaError(ValueError):
         super().__init__(message)
 
 
-def read_pla(text: str, name: str = "pla", source: str | None = None) -> Netlist:
-    """Parse PLA ``text`` into a two-level netlist.
+@dataclass(frozen=True)
+class PlaCube:
+    """One raw cube line: input part, output part, source line."""
 
-    ``source`` (usually the file name) is attached to every
-    :class:`PlaError` alongside the offending line number.
+    line: int
+    inputs: str
+    outputs: str
+
+
+@dataclass
+class PlaDoc:
+    """The structural view of a PLA file (first parse phase).
+
+    ``in_names``/``out_names`` are None when the file has no
+    ``.ilb``/``.ob`` and default ``x{i}``/``f{j}`` names apply.  The
+    ``*_line`` fields hold the 1-based line of the naming declaration
+    (falling back to the ``.i``/``.o`` counts) for diagnostics.
     """
-    n_in = n_out = None
+
+    source: str | None = None
+    n_in: int | None = None
+    n_out: int | None = None
     in_names: list[str] | None = None
     out_names: list[str] | None = None
-    cubes: list[tuple[int, str, str]] = []
+    in_names_line: int | None = None
+    out_names_line: int | None = None
+    #: Value of the ``.type`` directive (``"fr"``, ``"f"``, ...) if any.
+    kind: str | None = None
+    cubes: list[PlaCube] = field(default_factory=list)
 
+    def input_names(self) -> list[str]:
+        if self.in_names is not None:
+            return list(self.in_names)
+        return [f"x{i}" for i in range(self.n_in or 0)]
+
+    def output_names(self) -> list[str]:
+        if self.out_names is not None:
+            return list(self.out_names)
+        return [f"f{j}" for j in range(self.n_out or 0)]
+
+
+def scan_pla(text: str, source: str | None = None) -> PlaDoc:
+    """Structural first pass: directives and raw cubes with line spans.
+
+    Raises :class:`PlaError` only for problems that leave the file
+    uninterpretable (bad directive arguments, unknown directives,
+    malformed cube lines, missing ``.i``/``.o``).  Per-cube character
+    and arity problems are left to :func:`read_pla` / the linter.
+    """
+    doc = PlaDoc(source=source)
     for lineno, raw in enumerate(text.splitlines(), start=1):
         line = raw.split("#", 1)[0].strip()
         if not line:
@@ -57,19 +104,27 @@ def read_pla(text: str, name: str = "pla", source: str | None = None) -> Netlist
             key = parts[0]
             try:
                 if key == ".i":
-                    n_in = int(parts[1])
+                    doc.n_in = int(parts[1])
+                    if doc.in_names_line is None:
+                        doc.in_names_line = lineno
                 elif key == ".o":
-                    n_out = int(parts[1])
+                    doc.n_out = int(parts[1])
+                    if doc.out_names_line is None:
+                        doc.out_names_line = lineno
             except (IndexError, ValueError):
                 raise PlaError(
                     f"{key} needs one integer argument, got {line!r}",
                     source=source, line=lineno,
                 ) from None
             if key == ".ilb":
-                in_names = parts[1:]
+                doc.in_names = parts[1:]
+                doc.in_names_line = lineno
             elif key == ".ob":
-                out_names = parts[1:]
-            elif key in (".i", ".o", ".p", ".type", ".phase", ".pair"):
+                doc.out_names = parts[1:]
+                doc.out_names_line = lineno
+            elif key == ".type":
+                doc.kind = parts[1] if len(parts) > 1 else None
+            elif key in (".i", ".o", ".p", ".phase", ".pair"):
                 continue  # counts handled above; rest informational
             elif key in (".e", ".end"):
                 break
@@ -81,18 +136,34 @@ def read_pla(text: str, name: str = "pla", source: str | None = None) -> Netlist
         parts = line.split()
         if len(parts) != 2:
             raise PlaError(f"malformed cube line {line!r}", source=source, line=lineno)
-        cubes.append((lineno, parts[0], parts[1]))
+        doc.cubes.append(PlaCube(lineno, parts[0], parts[1]))
 
-    if n_in is None or n_out is None:
+    if doc.n_in is None or doc.n_out is None:
         raise PlaError("PLA file missing .i or .o", source=source)
-    if in_names is None:
-        in_names = [f"x{i}" for i in range(n_in)]
-    if out_names is None:
-        out_names = [f"f{j}" for j in range(n_out)]
-    if len(in_names) != n_in or len(out_names) != n_out:
+    if doc.in_names is not None and len(doc.in_names) != doc.n_in:
         raise PlaError(".ilb/.ob arity does not match .i/.o", source=source)
+    if doc.out_names is not None and len(doc.out_names) != doc.n_out:
+        raise PlaError(".ilb/.ob arity does not match .i/.o", source=source)
+    return doc
+
+
+def read_pla(text: str, name: str = "pla", source: str | None = None) -> Netlist:
+    """Parse PLA ``text`` into a two-level netlist.
+
+    ``source`` (usually the file name) is attached to every
+    :class:`PlaError` alongside the offending line number, and the
+    returned netlist carries per-declaration spans in ``spans``.
+    """
+    doc = scan_pla(text, source=source)
+    n_in, n_out = doc.n_in, doc.n_out
+    in_names = doc.input_names()
+    out_names = doc.output_names()
 
     nl = Netlist(name, inputs=list(in_names), outputs=list(out_names))
+    for in_name in in_names:
+        nl.spans[("input", in_name)] = (source, doc.in_names_line)
+    for out_name in out_names:
+        nl.spans[("output", out_name)] = (source, doc.out_names_line)
     inv = {}
 
     def inverted(var: str) -> str:
@@ -101,7 +172,8 @@ def read_pla(text: str, name: str = "pla", source: str | None = None) -> Netlist
         return inv[var]
 
     terms: dict[str, list[str]] = {out: [] for out in out_names}
-    for idx, (lineno, in_part, out_part) in enumerate(cubes):
+    for idx, cube in enumerate(doc.cubes):
+        lineno, in_part, out_part = cube.line, cube.inputs, cube.outputs
         if len(in_part) != n_in or len(out_part) != n_out:
             raise PlaError(
                 f"cube {idx} has wrong arity: {in_part} {out_part}",
@@ -125,6 +197,7 @@ def read_pla(text: str, name: str = "pla", source: str | None = None) -> Netlist
                 cube_net = nl.add_gate(nl.fresh_net("cube"), "AND", lits)
         else:
             cube_net = nl.add_gate(nl.fresh_net("cube"), "CONST1", [])
+        nl.spans[("gate", cube_net)] = (source, lineno)
         for j, ch in enumerate(out_part):
             if ch in ("1", "4"):
                 terms[out_names[j]].append(cube_net)
@@ -139,6 +212,7 @@ def read_pla(text: str, name: str = "pla", source: str | None = None) -> Netlist
             nl.add_gate(out, "OR", terms[out])
         else:
             nl.add_gate(out, "CONST0", [])
+        nl.spans[("gate", out)] = (source, doc.out_names_line)
     nl.check()
     return nl
 

@@ -12,15 +12,30 @@ Supports the netlist style ISCAS85 distributions use::
 
 Recognised primitives: ``and, or, nand, nor, xor, xnor, not, buf``
 (first port is the output).  Everything behavioural is out of scope.
+
+Parsing is two-phase: :func:`scan_verilog` collects declarations and
+primitive instances with their source lines into a :class:`VerilogDoc`,
+and :func:`read_verilog` builds the netlist from the scan.  The netlist
+linter (:mod:`repro.check`) consumes the scan document directly so it
+can report semantic problems as diagnostics with exact ``file:line``
+spans instead of raising mid-build.
 """
 
 from __future__ import annotations
 
 import re
+from dataclasses import dataclass, field
 
-from ..circuits.netlist import Netlist
+from ..circuits.netlist import Netlist, NetlistError
 
-__all__ = ["read_verilog", "write_verilog", "VerilogError"]
+__all__ = [
+    "read_verilog",
+    "write_verilog",
+    "scan_verilog",
+    "VerilogError",
+    "VerilogDoc",
+    "VerilogInstance",
+]
 
 
 class VerilogError(ValueError):
@@ -58,12 +73,35 @@ _DECL_RE = re.compile(r"\b(input|output|wire)\s+([^;]+);", re.S)
 _INST_RE = re.compile(r"\b(and|or|nand|nor|xor|xnor|not|buf)\s+(\w+\s+)?\(([^)]*)\)\s*;", re.S)
 
 
-def read_verilog(text: str, source: str | None = None) -> Netlist:
-    """Parse one structural module into a netlist.
+@dataclass(frozen=True)
+class VerilogInstance:
+    """One primitive instance: output first, then fan-in nets."""
 
-    ``source`` (usually the file name) is attached to every
-    :class:`VerilogError`, with the 1-based line of the offending
-    construct where it can be pinpointed.
+    line: int
+    primitive: str
+    output: str
+    inputs: tuple[str, ...]
+
+
+@dataclass
+class VerilogDoc:
+    """The structural view of a Verilog module (first parse phase)."""
+
+    source: str | None = None
+    name: str = "verilog"
+    inputs: list[tuple[str, int]] = field(default_factory=list)
+    outputs: list[tuple[str, int]] = field(default_factory=list)
+    wires: list[tuple[str, int]] = field(default_factory=list)
+    instances: list[VerilogInstance] = field(default_factory=list)
+
+
+def scan_verilog(text: str, source: str | None = None) -> VerilogDoc:
+    """Structural first pass: declarations and instances with line spans.
+
+    Raises :class:`VerilogError` only when the file cannot be read at
+    all (no module, missing ``endmodule``, unparseable declarations or
+    instances); semantic problems are left to :func:`read_verilog` and
+    the linter.
     """
     text = _strip_comments(text)
 
@@ -73,40 +111,65 @@ def read_verilog(text: str, source: str | None = None) -> Netlist:
     m = _MODULE_RE.search(text)
     if m is None:
         raise VerilogError("no module declaration found", source=source)
-    name = m.group(1)
     body_start = m.end()
     end = text.find("endmodule", body_start)
     if end < 0:
         raise VerilogError("missing endmodule", source=source)
     body = text[body_start:end]
 
-    inputs: list[str] = []
-    outputs: list[str] = []
+    doc = VerilogDoc(source=source, name=m.group(1))
     for decl in _DECL_RE.finditer(body):
         kind, names = decl.groups()
+        lineno = line_at(body_start + decl.start())
         signals = [s.strip() for s in names.replace("\n", " ").split(",") if s.strip()]
         for s in signals:
             if not re.fullmatch(r"[A-Za-z_]\w*(\[\d+\])?", s):
                 raise VerilogError(
                     f"unsupported signal declaration {s!r}",
-                    source=source, line=line_at(body_start + decl.start()),
+                    source=source, line=lineno,
                 )
-        if kind == "input":
-            inputs.extend(signals)
-        elif kind == "output":
-            outputs.extend(signals)
+        target = {"input": doc.inputs, "output": doc.outputs, "wire": doc.wires}[kind]
+        target.extend((s, lineno) for s in signals)
 
-    nl = Netlist(name, inputs=inputs, outputs=outputs)
     for inst in _INST_RE.finditer(body):
         prim, _inst, ports = inst.groups()
+        lineno = line_at(body_start + inst.start())
         signals = [s.strip() for s in ports.replace("\n", " ").split(",") if s.strip()]
         if len(signals) < 2:
             raise VerilogError(
                 f"primitive {prim} needs an output and inputs",
-                source=source, line=line_at(body_start + inst.start()),
+                source=source, line=lineno,
             )
-        out, ins = signals[0], signals[1:]
-        nl.add_gate(out, _PRIMITIVES[prim], ins)
+        doc.instances.append(
+            VerilogInstance(lineno, prim, signals[0], tuple(signals[1:]))
+        )
+    return doc
+
+
+def read_verilog(text: str, source: str | None = None) -> Netlist:
+    """Parse one structural module into a netlist.
+
+    ``source`` (usually the file name) is attached to every
+    :class:`VerilogError`, with the 1-based line of the offending
+    construct where it can be pinpointed, and the returned netlist
+    carries per-declaration spans in ``spans``.
+    """
+    doc = scan_verilog(text, source=source)
+    nl = Netlist(
+        doc.name,
+        inputs=[s for s, _ in doc.inputs],
+        outputs=[s for s, _ in doc.outputs],
+    )
+    for s, lineno in doc.inputs:
+        nl.spans[("input", s)] = (source, lineno)
+    for s, lineno in doc.outputs:
+        nl.spans[("output", s)] = (source, lineno)
+    for inst in doc.instances:
+        try:
+            nl.add_gate(inst.output, _PRIMITIVES[inst.primitive], inst.inputs)
+        except NetlistError as exc:
+            raise VerilogError(str(exc), source=source, line=inst.line) from exc
+        nl.spans[("gate", inst.output)] = (source, inst.line)
     nl.check()
     return nl
 

@@ -162,7 +162,7 @@ class ResultCache:
             # Corrupted entry: drop it so it cannot shadow a fresh result.
             try:
                 path.unlink()
-            except OSError:
+            except OSError:  # check: allow C003
                 pass
             return None
         return json.dumps(entry["result"], sort_keys=True)
@@ -183,7 +183,7 @@ class ResultCache:
         except OSError:
             try:
                 tmp.unlink()
-            except OSError:
+            except OSError:  # check: allow C003
                 pass
 
     def _remember(self, key: str, encoded: str) -> None:

@@ -66,7 +66,7 @@ def _run_job(job_id: int, method: str, params: dict) -> dict:
     if _START_QUEUE is not None:
         try:
             _START_QUEUE.put((job_id, os.getpid()))
-        except Exception:  # noqa: BLE001 — start reporting is best-effort
+        except Exception:  # noqa: BLE001 — start reporting is best-effort; check: allow C003
             pass
     from . import jobs
 
@@ -106,7 +106,7 @@ def _pid_alive(pid: int) -> bool:
         # Field 3, after the parenthesised (and possibly space-ridden) comm.
         state = stat.rpartition(")")[2].split()[0]
         return state not in ("Z", "X", "x")
-    except (OSError, IndexError):
+    except (OSError, IndexError):  # check: allow C003
         pass
     try:
         os.kill(pid, 0)
@@ -210,7 +210,7 @@ class Engine:
         while not self._stop.is_set():
             try:
                 item = self._start_queue.get(timeout=0.1)
-            except (queue_mod.Empty, OSError, EOFError):
+            except (queue_mod.Empty, OSError, EOFError):  # check: allow C003
                 continue
             if item is None:
                 break
@@ -240,7 +240,7 @@ class Engine:
                 counters.increment("service_job_timeouts")
                 try:
                     os.kill(pid, signal.SIGKILL)
-                except OSError:
+                except OSError:  # check: allow C003
                     pass
             self._stop.wait(min(0.05, self.job_timeout / 4))
 
@@ -430,7 +430,7 @@ class Engine:
         self._stop.set()
         try:
             self._start_queue.put(None)
-        except Exception:  # noqa: BLE001
+        except Exception:  # noqa: BLE001; check: allow C003
             pass
         self._pool.shutdown(wait=False, cancel_futures=True)
         self._start_thread.join(timeout=2.0)

@@ -175,10 +175,16 @@ def _map(params: dict) -> dict:
 
 
 def _validate(params: dict) -> dict:
+    from ..check import validation_diagnostics
     from ..crossbar import design_from_json, validate_design
 
     reference, inputs, netlist, _expr = _load_function(params)
     design = design_from_json(params["design_json"])
+    fault_map = None
+    if params.get("fault_map"):
+        from ..crossbar import fault_map_from_json
+
+        fault_map = fault_map_from_json(params["fault_map"])
     try:
         report = validate_design(design, reference, inputs)
     except KeyError as exc:
@@ -188,11 +194,30 @@ def _validate(params: dict) -> dict:
             "validation_failed",
             f"design and circuit have incompatible inputs (missing {exc})",
         )
-    return _ok({
+    circuit_name = netlist.name if netlist is not None else "f"
+    result = {
         "design_name": design.name,
-        "circuit_name": netlist.name if netlist is not None else "f",
+        "circuit_name": circuit_name,
         "validation": _validation_dict(report),
-    })
+    }
+    diagnostics = validation_diagnostics(
+        result["validation"], design_name=design.name, circuit_name=circuit_name
+    )
+    if fault_map is not None:
+        from ..crossbar import validate_under_faults
+
+        fault_report = validate_under_faults(
+            design, reference, inputs, fault_map.faults
+        )
+        result["validation_under_faults"] = _validation_dict(fault_report)
+        diagnostics += validation_diagnostics(
+            result["validation_under_faults"],
+            design_name=design.name,
+            circuit_name=circuit_name,
+            under_faults=True,
+        )
+    result["diagnostics"] = [d.as_dict() for d in diagnostics]
+    return _ok(result)
 
 
 def _sleep(params: dict) -> dict:

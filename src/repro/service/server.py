@@ -149,7 +149,7 @@ class ServiceServer:
         if self._address_spec[0] == "unix":
             try:
                 Path(self._address_spec[1]).unlink()
-            except OSError:
+            except OSError:  # check: allow C003
                 pass
 
     def serve_until_signal(self) -> None:

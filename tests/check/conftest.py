@@ -1,0 +1,29 @@
+"""Shared fixtures for the static-analysis tests."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.circuits import c17
+from repro.core.compact import Compact
+from repro.crossbar.serialize import design_from_json, design_to_json
+
+
+@pytest.fixture(scope="session")
+def c17_design():
+    """A real synthesized design (gamma=1, Method A) — do not mutate."""
+    return Compact(gamma=1.0, method="oct").synthesize_netlist(c17()).design
+
+
+@pytest.fixture(scope="session")
+def c17_payload(c17_design):
+    """The serialized form of :func:`c17_design` — copy before mutating."""
+    return json.loads(design_to_json(c17_design))
+
+
+@pytest.fixture
+def fresh_design(c17_payload):
+    """A private, mutable reload of the synthesized c17 design."""
+    return design_from_json(json.dumps(c17_payload))

@@ -1,0 +1,8 @@
+// Known-bad fixture: wire w is read by g1 but never driven (N002),
+// and input b is never used (N005).
+module undriven (a, b, y);
+  input a, b;
+  output y;
+  wire w;
+  and g1 (y, a, w);
+endmodule

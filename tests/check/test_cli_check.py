@@ -1,0 +1,159 @@
+"""The ``repro check`` / ``repro validate --json`` CLI contract."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.check import DIAGNOSTICS_SCHEMA
+from repro.circuits import c17
+from repro.cli import main
+from repro.io import write_blif
+
+FIXTURES = Path(__file__).parent / "fixtures"
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples" / "circuits"
+
+
+def exit_code(argv):
+    try:
+        return main(argv)
+    except SystemExit as exc:
+        return exc.code if isinstance(exc.code, int) else 2
+
+
+class TestCheckExitCodes:
+    def test_clean_file_exits_zero(self):
+        assert exit_code(["check", str(EXAMPLES / "c17.v")]) == 0
+
+    def test_findings_exit_one(self):
+        assert exit_code(["check", str(FIXTURES / "cycle.blif")]) == 1
+
+    def test_missing_path_is_a_usage_error(self):
+        assert exit_code(["check", "no/such/file.blif"]) == 2
+
+    def test_unsupported_suffix_is_a_usage_error(self, tmp_path):
+        target = tmp_path / "notes.txt"
+        target.write_text("hello")
+        assert exit_code(["check", str(target)]) == 2
+
+    def test_directory_walk(self, capsys):
+        assert exit_code(["check", str(FIXTURES)]) == 1
+        out = capsys.readouterr().out
+        for code in ("N001", "N002", "N005", "N007", "N008", "N010"):
+            assert f"[{code}]" in out
+
+    def test_info_needs_verbose(self, capsys, c17_payload, tmp_path):
+        target = tmp_path / "c17.json"
+        target.write_text(json.dumps(c17_payload))
+        assert exit_code(["check", str(target)]) == 0
+        assert "L001" not in capsys.readouterr().out
+        assert exit_code(["check", "--verbose", str(target)]) == 0
+        assert "L001" in capsys.readouterr().out
+
+
+class TestCheckJson:
+    def test_json_document_shape(self, capsys):
+        assert exit_code(["check", "--json", str(FIXTURES / "cycle.blif")]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == DIAGNOSTICS_SCHEMA
+        assert payload["tool"] == "repro check"
+        assert payload["ok"] is False
+        assert payload["summary"]["error"] == 2
+        assert {d["code"] for d in payload["diagnostics"]} == {"N001", "N002"}
+        spans = {d["code"]: d["span"] for d in payload["diagnostics"]}
+        assert spans["N001"]["line"] == 6
+
+    def test_clean_json_document(self, capsys):
+        assert exit_code(["check", "--json", str(EXAMPLES / "maj3.pla")]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True and payload["diagnostics"] == []
+
+
+class TestSelfLintCli:
+    def test_self_lint_of_shipped_source_is_clean(self):
+        assert exit_code(["check", "--self"]) == 0
+
+    def test_self_lint_of_a_bad_tree_fails(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("try:\n    work()\nexcept:\n    pass\n")
+        assert exit_code(["check", "--self", "--src", str(tmp_path)]) == 1
+        assert "[C002]" in capsys.readouterr().out
+
+
+class TestValidateJson:
+    @pytest.fixture
+    def design_file(self, c17_payload, tmp_path):
+        target = tmp_path / "c17.json"
+        target.write_text(json.dumps(c17_payload))
+        return target
+
+    @pytest.fixture
+    def circuit_file(self, tmp_path):
+        # The design fixture was synthesized from repro.circuits.c17()
+        # (G-names), so validate against that same netlist.
+        target = tmp_path / "c17.blif"
+        target.write_text(write_blif(c17()))
+        return target
+
+    def test_validate_json_emits_diagnostics_document(self, design_file, circuit_file, capsys):
+        rc = exit_code(
+            [
+                "validate", str(design_file),
+                "--circuit", str(circuit_file),
+                "--json",
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == DIAGNOSTICS_SCHEMA
+        assert payload["ok"] is True
+        assert payload["diagnostics"] == []
+
+    def test_validate_json_reports_mismatch_as_v001(
+        self, c17_payload, circuit_file, tmp_path, capsys
+    ):
+        broken = dict(c17_payload, cells=c17_payload["cells"][:-2])
+        target = tmp_path / "broken.json"
+        target.write_text(json.dumps(broken))
+        rc = exit_code(
+            [
+                "validate", str(target),
+                "--circuit", str(circuit_file),
+                "--json",
+            ]
+        )
+        assert rc == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert "V001" in {d["code"] for d in payload["diagnostics"]}
+
+    def test_validate_under_fault_map(
+        self, design_file, circuit_file, c17_payload, tmp_path, capsys
+    ):
+        fmap = {
+            "format": "repro.faults/1",
+            "rows": c17_payload["rows"],
+            "cols": c17_payload["cols"],
+            "faults": [
+                {
+                    "row": c17_payload["cells"][0]["row"],
+                    "col": c17_payload["cells"][0]["col"],
+                    "kind": "stuck_off",
+                }
+            ],
+        }
+        fmap_file = tmp_path / "faults.json"
+        fmap_file.write_text(json.dumps(fmap))
+        rc = exit_code(
+            [
+                "validate", str(design_file),
+                "--circuit", str(circuit_file),
+                "--fault-map", str(fmap_file),
+                "--json",
+            ]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        # Knocking out a programmed literal breaks the design under faults.
+        assert rc == 1
+        assert "V002" in {d["code"] for d in payload["diagnostics"]}

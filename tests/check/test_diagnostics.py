@@ -1,0 +1,105 @@
+"""The diagnostics model: catalog, rendering, JSON round trip, exits."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.check import (
+    DIAGNOSTICS_SCHEMA,
+    RULES,
+    Diagnostic,
+    Report,
+    Severity,
+    Span,
+    diag,
+)
+
+
+class TestCatalog:
+    def test_codes_are_namespaced(self):
+        for code in RULES:
+            assert code[0] in "NDLVC" and code[1:].isdigit()
+
+    def test_rule_severities_are_cataloged(self):
+        assert RULES["N001"].severity is Severity.ERROR
+        assert RULES["N005"].severity is Severity.WARNING
+        assert RULES["N007"].severity is Severity.WARNING
+        assert RULES["D005"].severity is Severity.INFO
+        assert RULES["L001"].severity is Severity.INFO
+        assert RULES["L002"].severity is Severity.ERROR
+        assert RULES["V001"].severity is Severity.ERROR
+        assert RULES["C003"].severity is Severity.ERROR
+
+    def test_diag_rejects_unknown_codes(self):
+        with pytest.raises(KeyError):
+            diag("X999", "no such rule")
+
+    def test_diag_defaults_to_cataloged_severity(self):
+        assert diag("N001", "m").severity is Severity.ERROR
+        assert diag("N005", "m").severity is Severity.WARNING
+
+
+class TestSpanAndRender:
+    def test_span_str_forms(self):
+        assert str(Span("a.pla", 3)) == "a.pla:3"
+        assert str(Span("a.pla", None)) == "a.pla"
+        assert str(Span(None, 3)) == "line 3"
+        assert str(Span()) == "<unknown>"
+
+    def test_render_line(self):
+        d = diag("N002", "net 'p' is never driven", file="x.blif", line=10, obj="p")
+        assert d.render() == "x.blif:10: p: error[N002] net 'p' is never driven"
+
+    def test_render_without_span_uses_obj(self):
+        d = diag("D002", "bad stitch", obj="cell (1, 2)")
+        assert d.render().startswith("cell (1, 2): error[D002]")
+
+
+class TestJsonRoundTrip:
+    def test_as_dict_from_dict_round_trip(self):
+        d = diag(
+            "L001", "bound 12", file="d.json", line=None, obj="c17",
+            s_lb=12, gap=0,
+        )
+        back = Diagnostic.from_dict(json.loads(json.dumps(d.as_dict())))
+        assert back == d
+
+    def test_data_omitted_when_empty(self):
+        assert "data" not in diag("N001", "m").as_dict()
+
+    def test_report_payload_schema(self):
+        report = Report([diag("N001", "cycle")])
+        payload = report.to_payload()
+        assert payload["schema"] == DIAGNOSTICS_SCHEMA
+        assert payload["ok"] is False
+        assert payload["summary"]["error"] == 1
+        assert payload["diagnostics"][0]["code"] == "N001"
+        # render_json is exactly the payload.
+        assert json.loads(report.render_json()) == payload
+
+
+class TestReport:
+    def test_info_is_not_a_finding(self):
+        report = Report([diag("L001", "certificate"), diag("D005", "spare")])
+        assert report.findings() == []
+        assert report.exit_code == 0
+
+    def test_warnings_and_errors_are_findings(self):
+        report = Report([diag("N005", "unused"), diag("L001", "cert")])
+        assert [d.code for d in report.findings()] == ["N005"]
+        assert report.exit_code == 1
+
+    def test_render_text_hides_info_unless_verbose(self):
+        report = Report([diag("L001", "certificate here")])
+        assert "certificate here" not in report.render_text()
+        assert "certificate here" in report.render_text(verbose=True)
+        assert "0 error(s), 0 warning(s), 1 info" in report.render_text()
+
+    def test_by_code_and_counts(self):
+        report = Report(
+            [diag("N001", "a"), diag("N001", "b"), diag("N005", "c")]
+        )
+        assert len(report.by_code("N001")) == 2
+        assert report.counts() == {"error": 2, "warning": 1, "info": 0}

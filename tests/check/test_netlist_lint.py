@@ -1,0 +1,170 @@
+"""Netlist linter: golden fixtures and one case per rule code."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.check import (
+    lint_blif_text,
+    lint_file,
+    lint_netlist,
+    lint_pla_text,
+    lint_verilog_text,
+)
+from repro.circuits import Netlist
+from repro.io import read_blif
+
+FIXTURES = Path(__file__).parent / "fixtures"
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples" / "circuits"
+
+
+def codes(diags):
+    return sorted(d.code for d in diags)
+
+
+def at(diags, code):
+    found = [d for d in diags if d.code == code]
+    assert found, f"expected a {code} diagnostic in {[d.render() for d in diags]}"
+    return found
+
+
+# -- golden fixtures --------------------------------------------------------------
+
+
+class TestGoldenFixtures:
+    def test_cycle_blif(self):
+        diags = lint_file(FIXTURES / "cycle.blif")
+        assert codes(diags) == ["N001", "N002"]
+        (cycle,) = at(diags, "N001")
+        assert cycle.span.line == 6
+        assert "x -> y -> x" in cycle.message
+        (undriven,) = at(diags, "N002")
+        assert undriven.span.line == 10
+        assert undriven.obj == "p"
+
+    def test_bad_cubes_pla(self):
+        diags = lint_file(FIXTURES / "bad_cubes.pla")
+        assert codes(diags) == ["N005", "N007", "N008", "N010"]
+        by_code = {d.code: d for d in diags}
+        # N007: '11-' at line 10 is covered by '1--' at line 9.
+        assert by_code["N007"].span.line == 10
+        assert "'1--'" in by_code["N007"].message
+        # N008: the fr-type on/off-set contradiction anchors on the on-set cube.
+        assert by_code["N008"].span.line == 9
+        assert "off-set cube '10-'" in by_code["N008"].message
+        # N010: the all-don't-care-output cube.
+        assert by_code["N010"].span.line == 12
+        # N005: column c is '-' in every cube; anchored at the .ilb line.
+        assert by_code["N005"].obj == "c"
+        assert by_code["N005"].span.line == 6
+
+    def test_undriven_verilog(self):
+        diags = lint_file(FIXTURES / "undriven.v")
+        (undriven,) = at(diags, "N002")
+        assert undriven.span.line == 7
+        assert undriven.obj == "w"
+
+    def test_fixture_files_carry_their_own_path(self):
+        for d in lint_file(FIXTURES / "cycle.blif"):
+            assert d.span.file and d.span.file.endswith("cycle.blif")
+
+
+# -- clean inputs ------------------------------------------------------------------
+
+
+class TestCleanInputs:
+    @pytest.mark.parametrize("name", ["c17.v", "maj3.pla", "parity4.blif"])
+    def test_example_circuits_lint_clean(self, name):
+        assert lint_file(EXAMPLES / name) == []
+
+    def test_unknown_suffix_raises(self, tmp_path):
+        target = tmp_path / "c.txt"
+        target.write_text("hello")
+        with pytest.raises(ValueError):
+            lint_file(target)
+
+
+# -- one case per remaining rule ---------------------------------------------------
+
+
+class TestPerRule:
+    def test_n000_unparseable(self):
+        diags = lint_blif_text("this is not blif\n", source="g.blif")
+        assert codes(diags) == ["N000"]
+        assert diags[0].span.line == 1
+
+    def test_n003_multiply_driven_and_n004_undriven_output(self):
+        diags = lint_blif_text(
+            ".model m\n.inputs a b\n.outputs y z\n"
+            ".names a y\n1 1\n.names b y\n1 1\n.end\n",
+            source="m.blif",
+        )
+        assert codes(diags) == ["N003", "N004"]
+        by_code = {d.code: d for d in diags}
+        assert by_code["N003"].span.line == 6
+        assert "first driver at line 4" in by_code["N003"].message
+        assert by_code["N004"].obj == "z"
+
+    def test_n006_duplicate_declaration(self):
+        diags = lint_blif_text(
+            ".model m\n.inputs a a\n.outputs y\n.names a y\n1 1\n.end\n",
+            source="d.blif",
+        )
+        assert codes(diags) == ["N006"]
+        assert diags[0].obj == "a"
+
+    def test_n005_unused_verilog_input(self):
+        diags = lint_verilog_text(
+            "module m (a, b, y);\n  input a, b;\n  output y;\n"
+            "  buf g0 (y, a);\nendmodule\n",
+            source="u.v",
+        )
+        assert codes(diags) == ["N005"]
+        assert diags[0].obj == "b"
+
+    def test_n009_constant_output(self):
+        nl = Netlist("const")
+        nl.add_input("a")
+        nl.add_gate("t", "AND", ["a", "a"])
+        nl.add_gate("y", "XOR", ["t", "a"])  # (a AND a) XOR a == 0
+        nl.add_output("y")
+        diags = lint_netlist(nl, file="<mem>")
+        assert codes(diags) == ["N009"]
+        assert "constant 0" in diags[0].message
+
+    def test_fr_offset_cube_is_not_dead_logic(self):
+        # In an fr-type cover a '0' output asserts the off-set: no N010.
+        diags = lint_pla_text(
+            ".i 2\n.o 1\n.type fr\n11 1\n00 0\n.e\n", source="fr.pla"
+        )
+        assert "N010" not in codes(diags)
+
+    def test_plain_cover_zero_cube_is_dead_logic(self):
+        diags = lint_pla_text(".i 2\n.o 1\n11 1\n00 0\n.e\n", source="f.pla")
+        (dead,) = at(diags, "N010")
+        assert dead.span.line == 4
+
+
+# -- BLIF forward references (two-pass reader) ------------------------------------
+
+
+class TestForwardReferences:
+    def test_reader_accepts_forward_referenced_nets(self):
+        nl = read_blif(
+            ".model fwd\n.inputs a b\n.outputs y\n"
+            ".names t1 t2 y\n11 1\n"
+            ".names a t1\n1 1\n.names b t2\n1 1\n.end\n"
+        )
+        driven = {g.output for g in nl.gates}
+        assert {"t1", "t2", "y"} <= driven  # helper gates may be added
+        nl.check()
+
+    def test_linter_is_silent_on_forward_references(self):
+        diags = lint_blif_text(
+            ".model fwd\n.inputs a\n.outputs y\n"
+            ".names t y\n1 1\n.names a t\n1 1\n.end\n",
+            source="fwd.blif",
+        )
+        assert diags == []

@@ -1,0 +1,133 @@
+"""Schema validation: every problem reported in one pass (D001)."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.check import (
+    DESIGN_FORMAT,
+    FAULTS_FORMAT,
+    design_schema_diagnostics,
+    fault_map_schema_diagnostics,
+)
+from repro.crossbar.serialize import design_from_json, fault_map_from_json
+
+
+def valid_fault_payload():
+    return {
+        "format": FAULTS_FORMAT,
+        "rows": 4,
+        "cols": 4,
+        "faults": [
+            {"row": 0, "col": 1, "kind": "stuck_on"},
+            {"row": 2, "col": 3, "kind": "stuck_off"},
+        ],
+    }
+
+
+class TestDesignSchema:
+    def test_valid_payload_is_clean(self, c17_payload):
+        assert design_schema_diagnostics(c17_payload) == []
+
+    def test_non_object_payload(self):
+        diags = design_schema_diagnostics([1, 2, 3])
+        assert [d.code for d in diags] == ["D001"]
+
+    def test_all_problems_reported_in_one_pass(self):
+        payload = {
+            "format": "bogus/9",
+            "name": 5,
+            "rows": 0,
+            "cols": "many",
+            "input_row": "zero",
+            "output_rows": [],
+            "cells": "nope",
+        }
+        diags = design_schema_diagnostics(payload, file="bad.json")
+        assert all(d.code == "D001" for d in diags)
+        # One diagnostic per defect, not just the first.
+        objs = {d.obj for d in diags}
+        assert {"name", "rows", "cols", "input_row", "output_rows", "cells"} <= objs
+        assert any("not a serialized crossbar design" in d.message for d in diags)
+        assert all(d.span.file == "bad.json" for d in diags)
+
+    def test_bool_is_not_an_integer(self, c17_payload):
+        payload = copy.deepcopy(c17_payload)
+        payload["rows"] = True
+        assert any(d.obj == "rows" for d in design_schema_diagnostics(payload))
+
+    def test_duplicate_cell(self, c17_payload):
+        payload = copy.deepcopy(c17_payload)
+        payload["cells"].append(dict(payload["cells"][0]))
+        diags = design_schema_diagnostics(payload)
+        assert len(diags) == 1 and "re-programs cell" in diags[0].message
+
+    def test_out_of_range_coordinates_and_labels(self, c17_payload):
+        payload = copy.deepcopy(c17_payload)
+        payload["cells"][0]["row"] = payload["rows"] + 5
+        payload["row_labels"]["99"] = "n99"
+        diags = design_schema_diagnostics(payload)
+        messages = " | ".join(d.message for d in diags)
+        assert "outside the" in messages
+        assert "row_labels key 99" in messages
+        assert len(diags) == 2
+
+    def test_sensed_and_constant_output_conflict(self, c17_payload):
+        payload = copy.deepcopy(c17_payload)
+        out = next(iter(payload["output_rows"]))
+        payload["constant_outputs"] = {out: True}
+        diags = design_schema_diagnostics(payload)
+        assert any("both sensed and constant" in d.message for d in diags)
+
+
+class TestFaultMapSchema:
+    def test_valid_payload_is_clean(self):
+        assert fault_map_schema_diagnostics(valid_fault_payload()) == []
+
+    def test_unknown_kind_and_out_of_range(self):
+        payload = valid_fault_payload()
+        payload["faults"].append({"row": 9, "col": 0, "kind": "melted"})
+        diags = fault_map_schema_diagnostics(payload)
+        messages = " | ".join(d.message for d in diags)
+        assert "unknown fault kind 'melted'" in messages
+        assert "outside the 4x4 array" in messages
+
+    def test_conflicting_duplicate_faults(self):
+        payload = valid_fault_payload()
+        payload["faults"].append({"row": 0, "col": 1, "kind": "stuck_off"})
+        diags = fault_map_schema_diagnostics(payload)
+        assert len(diags) == 1 and "conflicts with earlier fault" in diags[0].message
+
+    def test_repeated_identical_fault_is_fine(self):
+        payload = valid_fault_payload()
+        payload["faults"].append(dict(payload["faults"][0]))
+        assert fault_map_schema_diagnostics(payload) == []
+
+
+class TestLoadersReportEverything:
+    def test_design_loader_lists_all_problems(self, c17_payload):
+        payload = copy.deepcopy(c17_payload)
+        payload["name"] = 5
+        payload["input_row"] = "zero"
+        with pytest.raises(ValueError) as err:
+            design_from_json(json.dumps(payload))
+        assert "'name' must be a string" in str(err.value)
+        assert "'input_row' must be an integer" in str(err.value)
+
+    def test_fault_map_loader_lists_all_problems(self):
+        payload = valid_fault_payload()
+        payload["rows"] = 0
+        payload["faults"][0]["kind"] = "melted"
+        with pytest.raises(ValueError) as err:
+            fault_map_from_json(json.dumps(payload))
+        assert "'rows' must be a positive integer" in str(err.value)
+        assert "unknown fault kind" in str(err.value)
+
+    def test_valid_documents_still_load(self, c17_payload):
+        design = design_from_json(json.dumps(c17_payload))
+        assert design.name == c17_payload["name"]
+        fmap = fault_map_from_json(json.dumps(valid_fault_payload()))
+        assert len(fmap.faults) == 2

@@ -1,0 +1,97 @@
+"""Self-lint rules on synthetic snippets, plus the real source tree."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check import default_source_root, selflint_file, selflint_paths
+
+
+@pytest.fixture
+def lint(tmp_path):
+    def run(source: str):
+        target = tmp_path / "snippet.py"
+        target.write_text(source)
+        return selflint_file(target)
+
+    return run
+
+
+def codes(diags):
+    return sorted(d.code for d in diags)
+
+
+class TestC001Locks:
+    def test_bare_acquire_is_flagged(self, lint):
+        diags = lint("import threading\nlock = threading.Lock()\nlock.acquire()\n")
+        assert codes(diags) == ["C001"]
+        assert diags[0].span.line == 3
+
+    def test_with_statement_is_fine(self, lint):
+        assert lint("import threading\nlock = threading.Lock()\nwith lock:\n    pass\n") == []
+
+
+class TestC002BareExcept:
+    def test_bare_except_is_flagged(self, lint):
+        diags = lint("try:\n    work()\nexcept:\n    handle()\n")
+        assert codes(diags) == ["C002"]
+        assert diags[0].span.line == 3
+
+    def test_typed_except_is_fine(self, lint):
+        assert lint("try:\n    work()\nexcept ValueError:\n    handle()\n") == []
+
+
+class TestC003SwallowedIO:
+    def test_swallowed_oserror(self, lint):
+        diags = lint("try:\n    work()\nexcept OSError:\n    pass\n")
+        assert codes(diags) == ["C003"]
+
+    def test_swallowed_tuple_with_io_member(self, lint):
+        diags = lint("try:\n    work()\nexcept (ValueError, ConnectionError):\n    pass\n")
+        assert codes(diags) == ["C003"]
+
+    def test_handled_oserror_is_fine(self, lint):
+        assert lint("try:\n    work()\nexcept OSError as exc:\n    log(exc)\n") == []
+
+    def test_swallowed_non_io_error_is_fine(self, lint):
+        assert lint("try:\n    work()\nexcept KeyError:\n    pass\n") == []
+
+    def test_allow_annotation_suppresses(self, lint):
+        diags = lint(
+            "try:\n    work()\n"
+            "except OSError:  # check: allow C003 -- best-effort cleanup\n"
+            "    pass\n"
+        )
+        assert diags == []
+
+    def test_allow_annotation_is_per_code(self, lint):
+        diags = lint(
+            "try:\n    work()\nexcept OSError:  # check: allow C001\n    pass\n"
+        )
+        assert codes(diags) == ["C003"]
+
+
+class TestC004ExitCodes:
+    def test_sys_exit_3_is_flagged(self, lint):
+        diags = lint("import sys\nsys.exit(3)\n")
+        assert codes(diags) == ["C004"]
+
+    def test_contract_codes_are_fine(self, lint):
+        assert lint("import sys\nsys.exit(0)\nsys.exit(1)\nsys.exit(2)\n") == []
+
+    def test_raise_system_exit_is_checked(self, lint):
+        diags = lint("raise SystemExit(5)\n")
+        assert codes(diags) == ["C004"]
+
+    def test_non_constant_exit_is_not_guessed_at(self, lint):
+        assert lint("import sys\nsys.exit(compute())\n") == []
+
+
+class TestFiles:
+    def test_syntax_error_is_n000(self, lint):
+        diags = lint("def broken(:\n")
+        assert codes(diags) == ["N000"]
+
+    def test_repro_source_tree_is_clean(self):
+        diags = selflint_paths([default_source_root()])
+        assert diags == [], "\n".join(d.render() for d in diags)

@@ -1,0 +1,32 @@
+"""Property: ``repro check`` is silent on every Table-1 synthesized design.
+
+Synthesis artifacts are the analyzer's null hypothesis: a faithful
+COMPACT design must satisfy the VH-labeling, alignment, reachability and
+lower-bound rules by construction, so any finding here is a bug in
+either the synthesizer or the analyzer.  Runs the fast suite (the
+Table-1 tier-1 circuits) through Method A at gamma=1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.suites import suite
+from repro.check import check_design
+from repro.core.compact import Compact
+
+FAST = suite("fast")
+
+
+@pytest.mark.parametrize("bench", FAST, ids=[b.name for b in FAST])
+def test_check_is_silent_on_synthesized_designs(bench):
+    result = Compact(gamma=1.0, method="oct", time_limit=20).synthesize_netlist(
+        bench.build()
+    )
+    diags = check_design(result.design)
+    findings = [d for d in diags if d.is_finding]
+    assert findings == [], "\n".join(d.render() for d in findings)
+    # The certificate must be present and coherent for every design.
+    (cert,) = [d for d in diags if d.code == "L001"]
+    assert cert.data["s_lb"] <= result.design.semiperimeter
+    assert cert.data["gap"] >= 0
