@@ -238,6 +238,10 @@ def build_parser() -> argparse.ArgumentParser:
     synth.add_argument("--method", default="auto", choices=["auto", "mip", "oct", "heuristic"])
     synth.add_argument("--backend", default="highs", choices=["highs", "bnb"])
     synth.add_argument("--time-limit", type=float, default=60.0)
+    synth.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker threads for the decomposed labeling solve",
+    )
     synth.add_argument("--no-validate", action="store_true", help="skip the equivalence check")
     synth.add_argument("--render", action="store_true", help="print the crossbar grid")
     synth.add_argument("--json", metavar="PATH", help="write the design as JSON")
@@ -339,6 +343,10 @@ def build_parser() -> argparse.ArgumentParser:
     c_synth.add_argument("--method", default="auto", choices=["auto", "mip", "oct", "heuristic"])
     c_synth.add_argument("--backend", default="highs", choices=["highs", "bnb"])
     c_synth.add_argument("--time-limit", type=float, default=60.0)
+    c_synth.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker threads for the decomposed labeling solve (server side)",
+    )
     c_synth.add_argument("--no-validate", action="store_true")
     c_synth.add_argument("--render", action="store_true")
     c_synth.add_argument("--json", metavar="PATH", help="write the design as JSON")
@@ -390,6 +398,11 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: os.cpu_count())",
     )
     bench.add_argument(
+        "--solver-jobs", type=int, default=1, metavar="N",
+        help="worker threads for the labeling solve inside each circuit "
+             "(decomposed cyclic cores / kernel components); perf experiment only",
+    )
+    bench.add_argument(
         "--perf-json", metavar="PATH",
         help="write the perf baseline (e.g. BENCH_compact.json); perf experiment only",
     )
@@ -438,6 +451,7 @@ def _synth_params(args) -> dict:
         "method": args.method,
         "backend": args.backend,
         "time_limit": args.time_limit,
+        "solver_jobs": max(1, args.jobs),
         "validate": not args.no_validate,
     }
     if args.expr:
@@ -649,6 +663,7 @@ def _cmd_bench_perf(args) -> int:
         jobs=_resolve_jobs(args.jobs),
         names=names,
         time_limit=args.time_limit if args.time_limit is not None else DEFAULT_TIME_LIMIT,
+        solver_jobs=max(1, args.solver_jobs),
     )
     print(render_perf_table(payload).render())
     if args.perf_json:

@@ -81,12 +81,17 @@ class Compact:
         ``"mip"`` (Method B, exact for any gamma), ``"oct"`` (Method A,
         minimal semiperimeter — the gamma=1 special case), ``"heuristic"``
         (greedy OCT, for scalability), or ``"auto"`` (``oct`` when
-        gamma == 1, else ``mip`` warm-started by ``oct``).
+        gamma == 1; otherwise ``oct`` first, returned outright when its
+        result is provably optimal for every gamma — minimal ``S`` with
+        ``D == ceil(S/2)`` — else ``mip``, warm-started by it).
     backend:
         MILP backend: ``"highs"`` (fast) or ``"bnb"`` (pure Python,
         records convergence traces).
     time_limit:
         Wall-clock budget in seconds for the labeling solve.
+    jobs:
+        Worker threads for the decomposed OCT/vertex-cover solves
+        (independent cyclic cores and kernel components in parallel).
     """
 
     def __init__(
@@ -96,16 +101,20 @@ class Compact:
         method: str = "auto",
         backend: str = "highs",
         time_limit: float | None = None,
+        jobs: int = 1,
     ):
         if method not in ("auto", "mip", "oct", "heuristic"):
             raise ValueError(f"unknown method {method!r}")
         if not 0.0 <= gamma <= 1.0:
             raise ValueError("gamma must lie in [0, 1]")
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
         self.gamma = gamma
         self.alignment = alignment
         self.method = method
         self.backend = backend
         self.time_limit = time_limit
+        self.jobs = jobs
 
     # -- entry points ------------------------------------------------------------
     def synthesize_netlist(
@@ -195,6 +204,7 @@ class Compact:
                 backend=self.backend,
                 time_limit=self.time_limit,
                 trace_callback=trace_callback,
+                jobs=self.jobs,
             )
             if self.method == "auto" and labeling.meta.get("promoted_ports"):
                 # Alignment conflicts forced extra VH labels; the Eq. 7 MIP
@@ -212,17 +222,28 @@ class Compact:
             return labeling
 
         warm = None
-        if self.method == "auto" and self.backend == "bnb":
+        if self.method == "auto":
             warm = label_min_semiperimeter(
                 bdd_graph, alignment=self.alignment, backend=self.backend,
-                time_limit=self.time_limit,
+                time_limit=self.time_limit, jobs=self.jobs,
             )
+            # All-gamma shortcut: every labeling satisfies S >= S_min and
+            # D >= ceil(S/2) (rows + cols = S).  A proven-minimal S with
+            # D == ceil(S/2) therefore minimizes gamma*S + (1-gamma)*D
+            # for every gamma, and any optimal weighted solution attains
+            # exactly these S and D — the Eq. 4 MIP cannot improve on it.
+            if (
+                warm.meta.get("optimal")
+                and not warm.meta.get("promoted_ports")
+                and warm.max_dimension <= (warm.semiperimeter + 1) // 2
+            ):
+                return warm
         return label_weighted(
             bdd_graph,
             gamma=self.gamma,
             alignment=self.alignment,
             backend=self.backend,
             time_limit=self.time_limit,
-            warm_start=warm,
+            warm_start=warm if self.backend == "bnb" else None,
             trace_callback=trace_callback,
         )

@@ -1,8 +1,15 @@
 """Graph substrate: undirected graphs, 2-coloring, vertex cover, OCT."""
 
 from .bipartite import find_odd_cycle, is_bipartite, two_color
+from .decompose import biconnected_components, cyclic_cores
 from .flow import Dinic, min_vertex_cut
-from .oct import OctResult, greedy_oct, odd_cycle_transversal, verify_oct
+from .oct import (
+    OctResult,
+    aligned_odd_cycle_transversal,
+    greedy_oct,
+    odd_cycle_transversal,
+    verify_oct,
+)
 from .oct_compression import OctBudgetExceeded, oct_iterative_compression
 from .product import cartesian_product_k2
 from .undirected import UGraph
@@ -23,6 +30,9 @@ __all__ = [
     "is_bipartite",
     "find_odd_cycle",
     "cartesian_product_k2",
+    "biconnected_components",
+    "cyclic_cores",
+    "aligned_odd_cycle_transversal",
     "greedy_vertex_cover",
     "nt_kernelize",
     "minimum_vertex_cover",

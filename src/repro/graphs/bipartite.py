@@ -7,6 +7,7 @@ is then the V/H labeling (Section VI-A of the paper).
 
 from __future__ import annotations
 
+from collections import deque
 from collections.abc import Hashable, Iterable
 
 from .undirected import UGraph
@@ -30,9 +31,16 @@ def two_color(
     """
     allowed = set(nodes) if nodes is not None else set(graph.nodes())
     color: dict[Node, int] = {}
-    pinned = dict(seed_colors or {})
+    pinned = {v: c for v, c in (seed_colors or {}).items() if v in allowed}
 
-    for start in allowed:
+    # Pinned nodes seed their components first.  Starting a component at
+    # an unpinned node would assign it color 0 arbitrarily and then
+    # mis-report a perfectly satisfiable pin elsewhere in the component
+    # as a conflict; seeded from the pin, the traversal parity is the
+    # component's true parity, so only genuinely contradictory pins
+    # (two pins joined by an odd-length path, or an odd cycle) fail.
+    starts = list(pinned) + [v for v in allowed if v not in pinned]
+    for start in starts:
         if start in color:
             continue
         color[start] = pinned.get(start, 0)
@@ -71,9 +79,9 @@ def find_odd_cycle(graph: UGraph) -> list[Node] | None:
             continue
         color[start] = 0
         parent[start] = None
-        queue = [start]
+        queue = deque([start])
         while queue:
-            v = queue.pop(0)
+            v = queue.popleft()
             for u in graph.neighbors(v):
                 if u not in color:
                     color[u] = 1 - color[v]

@@ -1,0 +1,132 @@
+"""Graph decomposition in front of the exact OCT/vertex-cover solves.
+
+Every cycle of a graph lies inside a single biconnected component, so
+odd cycles only exist inside non-bipartite blocks.  Bridges, tree parts
+and bipartite blocks therefore contribute nothing to an odd cycle
+transversal — they are "solved for free" — and the exact solve only has
+to run on the *cyclic cores*: the connected unions of non-bipartite
+blocks.  Two non-bipartite blocks sharing a cut vertex must stay in the
+same core (an optimal transversal may want to delete the shared vertex
+once for both blocks), so cores merge blocks through shared vertices
+rather than solving per block.
+
+The decomposition is exact: cores are vertex-disjoint, every odd cycle
+lies inside exactly one core, and hence
+
+    OCT(G) = sum over cores C of OCT(C)
+
+with the union of per-core transversals an optimal transversal of ``G``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+
+from .bipartite import is_bipartite
+from .undirected import UGraph
+
+__all__ = ["biconnected_components", "cyclic_cores"]
+
+Node = Hashable
+
+
+def biconnected_components(graph: UGraph) -> list[UGraph]:
+    """The biconnected components (blocks) as edge-induced subgraphs.
+
+    Iterative Hopcroft–Tarjan: the blocks partition the edge set; a
+    bridge forms a two-node block of its own.  Isolated nodes belong to
+    no block.  Neighbor sets are visited in sorted order so the block
+    list is deterministic for orderable (e.g. integer) node types.
+    """
+    disc: dict[Node, int] = {}
+    low: dict[Node, int] = {}
+    edge_stack: list[tuple[Node, Node]] = []
+    blocks: list[UGraph] = []
+    clock = 0
+
+    for root in graph.nodes():
+        if root in disc:
+            continue
+        disc[root] = low[root] = clock
+        clock += 1
+        work: list[tuple[Node, Node | None, list[Node], int]] = [
+            (root, None, _sorted_neighbors(graph, root), 0)
+        ]
+        while work:
+            v, parent, nbrs, i = work[-1]
+            if i < len(nbrs):
+                work[-1] = (v, parent, nbrs, i + 1)
+                u = nbrs[i]
+                if u == parent:
+                    continue
+                if u not in disc:
+                    edge_stack.append((v, u))
+                    disc[u] = low[u] = clock
+                    clock += 1
+                    work.append((u, v, _sorted_neighbors(graph, u), 0))
+                elif disc[u] < disc[v]:
+                    # Back edge to an ancestor.
+                    edge_stack.append((v, u))
+                    low[v] = min(low[v], disc[u])
+                continue
+            work.pop()
+            if not work:
+                continue
+            pv = work[-1][0]
+            low[pv] = min(low[pv], low[v])
+            if low[v] >= disc[pv]:
+                # pv is an articulation point (or the root): the edges
+                # above (pv, v) on the stack form one block.
+                block = UGraph()
+                while True:
+                    a, b = edge_stack.pop()
+                    block.add_edge(a, b, graph.edge_data(a, b))
+                    if (a, b) == (pv, v):
+                        break
+                blocks.append(block)
+    return blocks
+
+
+def _sorted_neighbors(graph: UGraph, v: Node) -> list[Node]:
+    nbrs = graph.neighbors(v)
+    try:
+        return sorted(nbrs)  # type: ignore[type-var]
+    except TypeError:
+        return sorted(nbrs, key=lambda u: (str(type(u)), repr(u)))
+
+
+def cyclic_cores(graph: UGraph) -> list[UGraph]:
+    """Connected unions of non-bipartite blocks, as edge subgraphs.
+
+    The returned cores are vertex-disjoint and jointly contain every odd
+    cycle of ``graph``; everything outside them (tree parts, bridges,
+    bipartite blocks) is bipartite once the cores' transversals are
+    removed, so an exact OCT solve only needs to run per core.
+    """
+    odd_blocks = [b for b in biconnected_components(graph) if not is_bipartite(b)]
+    if not odd_blocks:
+        return []
+
+    # Union-find over blocks through shared (cut) vertices.
+    parent = list(range(len(odd_blocks)))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    owner: dict[Node, int] = {}
+    for idx, block in enumerate(odd_blocks):
+        for v in block.nodes():
+            if v in owner:
+                parent[find(idx)] = find(owner[v])
+            else:
+                owner[v] = idx
+
+    merged: dict[int, UGraph] = {}
+    for idx, block in enumerate(odd_blocks):
+        core = merged.setdefault(find(idx), UGraph())
+        for u, v in block.edges():
+            core.add_edge(u, v, block.edge_data(u, v))
+    return [merged[root] for root in sorted(merged)]

@@ -10,11 +10,15 @@ vertex cover ILP (Section VI-A).  This module provides:
   every LP-1 vertex and no LP-0 vertex, so branch and bound only needs
   to run on the LP-½ kernel;
 * :func:`minimum_vertex_cover` — exact solve (kernel + ILP) with a
-  choice of MILP backend.
+  choice of MILP backend.  The ½-kernel is split into connected
+  components — vertex cover decomposes exactly over them — and each
+  component becomes its own (much smaller) MILP, optionally solved in
+  parallel with ``jobs`` worker threads.
 """
 
 from __future__ import annotations
 
+import time
 from collections.abc import Hashable
 from dataclasses import dataclass, field
 
@@ -23,6 +27,7 @@ from scipy import sparse
 from scipy.optimize import linprog
 
 from ..milp import Model, SolveStatus, sum_expr
+from ..perf import counters
 from .undirected import UGraph
 
 __all__ = [
@@ -123,14 +128,20 @@ def minimum_vertex_cover(
     time_limit: float | None = None,
     use_kernelization: bool = True,
     trace_callback=None,
+    jobs: int = 1,
 ) -> VertexCoverResult:
     """Exact minimum vertex cover.
 
-    Kernelizes with Nemhauser–Trotter (unless disabled), then solves the
-    kernel with the requested MILP backend, warm-started by the greedy
-    2-approximation.  With a ``time_limit`` the result may be a feasible
-    (non-optimal) cover; ``optimal`` reports which.
+    Kernelizes with Nemhauser–Trotter (unless disabled), splits the
+    kernel into connected components — a minimum cover is the union of
+    per-component minimum covers — and solves each component with the
+    requested MILP backend, warm-started by the greedy 2-approximation.
+    ``jobs > 1`` solves independent components in parallel worker
+    threads.  With a ``time_limit`` (a budget shared by all component
+    solves) the result may be a feasible (non-optimal) cover;
+    ``optimal`` reports which.
     """
+    deadline = None if time_limit is None else time.monotonic() + time_limit
     if use_kernelization:
         forced_in, _forced_out, kernel, lp_bound = nt_kernelize(graph)
     else:
@@ -138,6 +149,69 @@ def minimum_vertex_cover(
 
     if kernel.num_edges() == 0:
         return VertexCoverResult(cover=set(forced_in), optimal=True, lower_bound=lp_bound)
+
+    pieces = [
+        kernel.subgraph(comp)
+        for comp in kernel.connected_components()
+        if len(comp) > 1
+    ]
+    counters.increment("vc_kernel_milps", len(pieces))
+    if len(pieces) > 1:
+        counters.increment("vc_kernel_splits")
+
+    if jobs > 1 and len(pieces) > 1:
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=min(jobs, len(pieces))) as pool:
+            results = list(
+                pool.map(
+                    lambda piece: _solve_piece(piece, backend, deadline, trace_callback),
+                    pieces,
+                )
+            )
+    else:
+        results = [_solve_piece(piece, backend, deadline, trace_callback) for piece in pieces]
+
+    cover = set(forced_in)
+    optimal = True
+    runtime = 0.0
+    pieces_bound = 0.0
+    trace: list = []
+    for piece_cover, piece_optimal, piece_bound, piece_runtime, piece_trace in results:
+        cover |= piece_cover
+        optimal = optimal and piece_optimal
+        pieces_bound += piece_bound
+        runtime += piece_runtime
+        trace.extend(piece_trace)
+
+    # VC(G) = |forced_in| + sum of per-component covers (Nemhauser-
+    # Trotter), so per-component solver bounds compose into a bound at
+    # least as tight as the global LP's.
+    lower_bound = max(lp_bound, len(forced_in) + pieces_bound)
+    return VertexCoverResult(
+        cover=cover,
+        optimal=optimal,
+        lower_bound=lower_bound,
+        runtime=runtime,
+        trace=trace,
+    )
+
+
+def _solve_piece(
+    kernel: UGraph, backend: str, deadline: float | None, trace_callback
+) -> tuple[set, bool, float, float, list]:
+    """Solve one kernel component; returns (cover, optimal, bound, runtime, trace).
+
+    ``bound`` is a proven lower bound on the component's cover size (the
+    cover size itself when optimality was proven, else the solver's dual
+    bound clamped to be non-negative).
+    """
+    remaining = None
+    if deadline is not None:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            # Budget exhausted before this component's solve started.
+            return greedy_vertex_cover(kernel), False, 0.0, 0.0, []
 
     model = Model("vertex_cover")
     xs = {v: model.add_binary(f"x_{v}") for v in kernel.nodes()}
@@ -151,24 +225,19 @@ def minimum_vertex_cover(
 
     sol = model.solve(
         backend=backend,
-        time_limit=time_limit,
+        time_limit=remaining,
         initial_solution=warm if backend == "bnb" else None,
         trace_callback=trace_callback,
     )
     if sol.status in (SolveStatus.INFEASIBLE, SolveStatus.NO_SOLUTION):
         # VC is always feasible; fall back to the greedy cover (can only
         # happen when the time limit preempts the root LP).
-        cover = set(forced_in) | greedy_vertex_cover(kernel)
-        return VertexCoverResult(cover=cover, optimal=False, lower_bound=lp_bound)
+        bound = max(0.0, sol.bound) if sol.bound is not None else 0.0
+        return greedy_vertex_cover(kernel), False, bound, sol.runtime, list(sol.trace)
 
-    cover = set(forced_in)
-    for v in kernel.nodes():
-        if sol.int_value(f"x_{v}"):
-            cover.add(v)
-    return VertexCoverResult(
-        cover=cover,
-        optimal=sol.is_optimal,
-        lower_bound=lp_bound,
-        runtime=sol.runtime,
-        trace=sol.trace,
-    )
+    cover = {v for v in kernel.nodes() if sol.int_value(f"x_{v}")}
+    if sol.is_optimal:
+        bound = float(len(cover))
+    else:
+        bound = max(0.0, sol.bound) if sol.bound is not None else 0.0
+    return cover, sol.is_optimal, bound, sol.runtime, list(sol.trace)

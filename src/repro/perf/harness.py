@@ -50,10 +50,13 @@ def run_perf_circuit(
     backend: str = "highs",
     time_limit: float = DEFAULT_TIME_LIMIT,
     sift_rounds: int = 1,
+    solver_jobs: int = 1,
 ) -> dict:
     """Synthesize one suite circuit with full perf instrumentation.
 
-    Returns a JSON-ready record (see :mod:`repro.perf.schema`).
+    ``solver_jobs`` sets the labeling solver's worker threads (parallel
+    cyclic cores / kernel components); it never changes the synthesized
+    design.  Returns a JSON-ready record (see :mod:`repro.perf.schema`).
     """
     from ..bench.suites import circuit
 
@@ -69,7 +72,10 @@ def run_perf_circuit(
     )
     t_sift = time.monotonic() - t0
 
-    compact = Compact(gamma=gamma, method=method, backend=backend, time_limit=time_limit)
+    compact = Compact(
+        gamma=gamma, method=method, backend=backend, time_limit=time_limit,
+        jobs=solver_jobs,
+    )
     t0 = time.monotonic()
     result = compact.synthesize_netlist(netlist, order=order)
     wall = time.monotonic() - t0
@@ -100,6 +106,12 @@ def run_perf_circuit(
             "semiperimeter": design.semiperimeter,
             "max_dimension": design.max_dimension,
         },
+        "labeling": {
+            "method": result.labeling.meta.get("method", ""),
+            "oct_cores": counters.get("oct_cores"),
+            "vc_kernel_milps": counters.get("vc_kernel_milps"),
+            "vc_kernel_splits": counters.get("vc_kernel_splits"),
+        },
         "optimal": result.optimal,
     }
 
@@ -118,12 +130,15 @@ def run_perf_suite(
     backend: str = "highs",
     time_limit: float = DEFAULT_TIME_LIMIT,
     sift_rounds: int = 1,
+    solver_jobs: int = 1,
 ) -> dict:
     """Run the perf harness over the suite; returns the BENCH payload.
 
     ``jobs > 1`` fans circuits out to a :class:`ProcessPoolExecutor`
-    (one circuit per worker).  ``names`` restricts the run to specific
-    suite circuits.  Records are sorted by circuit name regardless of
+    (one circuit per worker); ``solver_jobs`` additionally parallelizes
+    the labeling solve *within* each circuit (decomposed cores/kernel
+    components).  ``names`` restricts the run to specific suite
+    circuits.  Records are sorted by circuit name regardless of
     completion order.
     """
     from ..bench.suites import suite
@@ -141,6 +156,7 @@ def run_perf_suite(
         "backend": backend,
         "time_limit": time_limit,
         "sift_rounds": sift_rounds,
+        "solver_jobs": solver_jobs,
     }
     tasks = [(name, kwargs) for name in sorted(set(names))]
 
@@ -161,6 +177,7 @@ def run_perf_suite(
         "backend": backend,
         "time_limit": time_limit,
         "jobs": jobs,
+        "solver_jobs": solver_jobs,
         "python": platform.python_version(),
         "circuits": records,
         "totals": {
@@ -194,6 +211,7 @@ def deterministic_view(payload: dict) -> dict:
 
     view = strip(payload)
     view.pop("jobs", None)
+    view.pop("solver_jobs", None)
     view.pop("python", None)
     return view
 

@@ -90,6 +90,7 @@ def _synth(params: dict) -> dict:
         method=_knob(params, SYNTH_DEFAULTS, "method"),
         backend=_knob(params, SYNTH_DEFAULTS, "backend"),
         time_limit=float(_knob(params, SYNTH_DEFAULTS, "time_limit")),
+        jobs=int(_knob(params, SYNTH_DEFAULTS, "solver_jobs")),
     )
     order = params.get("order")
     if netlist is not None:

@@ -84,6 +84,7 @@ SYNTH_DEFAULTS: dict = {
     "method": "auto",
     "backend": "highs",
     "time_limit": 60.0,
+    "solver_jobs": 1,
     "validate": True,
     "order": None,
 }

@@ -81,6 +81,38 @@ class TestTwoColor:
         start = sorted(g.nodes())[0]
         assert two_color(g, seed_colors={start: 0, 1: 0}) is None
 
+    @pytest.mark.parametrize("pin", [0, 1])
+    def test_pin_away_from_bfs_start_is_satisfiable(self, pin):
+        # Regression: a pin on a node the BFS would not start from used
+        # to be reported as a conflict (the component started at color 0
+        # arbitrarily).  Both pin orientations must flip the component.
+        g = UGraph()
+        g.add_edge("a", "b")
+        coloring = two_color(g, seed_colors={"b": pin})
+        assert coloring == {"a": 1 - pin, "b": pin}
+
+    def test_pin_deep_in_component(self):
+        g = UGraph()
+        for u, v in (("a", "b"), ("b", "c"), ("c", "d")):
+            g.add_edge(u, v)
+        coloring = two_color(g, seed_colors={"d": 0})
+        assert coloring == {"a": 1, "b": 0, "c": 1, "d": 0}
+
+    def test_consistent_pins_on_both_sides(self):
+        g = cycle(6)
+        coloring = two_color(g, seed_colors={1: 0, 4: 1})
+        assert coloring is not None
+        assert coloring[1] == 0 and coloring[4] == 1
+        for u, v in cycle(6).edges():
+            assert coloring[u] != coloring[v]
+
+    def test_odd_path_between_pins_still_fails(self):
+        g = UGraph()
+        for u, v in (("a", "b"), ("b", "c"), ("c", "d")):
+            g.add_edge(u, v)
+        # a and d are an odd path apart: equal pins are contradictory.
+        assert two_color(g, seed_colors={"a": 0, "d": 0}) is None
+
     @pytest.mark.parametrize("seed", range(8))
     def test_matches_networkx(self, seed):
         g = random_graph(10, 0.3, seed)
@@ -203,6 +235,35 @@ class TestVertexCover:
             exact = brute_vertex_cover(g)
             assert len(greedy_vertex_cover(g)) <= 2 * exact
 
+    def test_no_kernelization_reports_proven_bound(self):
+        # Regression: with kernelization disabled the result carried a
+        # hardcoded lower_bound of 0.0 even when the MILP proved
+        # optimality.
+        res = minimum_vertex_cover(cycle(3), use_kernelization=False)
+        assert res.optimal
+        assert len(res.cover) == 2
+        assert res.lower_bound == pytest.approx(2.0)
+
+    def test_no_kernelization_bound_on_random_graphs(self):
+        for seed in range(4):
+            g = random_graph(9, 0.3, seed + 300)
+            res = minimum_vertex_cover(g, use_kernelization=False)
+            assert res.optimal
+            assert res.lower_bound == pytest.approx(len(res.cover))
+
+    def test_kernel_component_split_is_sound(self):
+        # Two disjoint odd cycles: the 1/2-kernel splits into two
+        # components solved as independent MILPs.
+        g = cycle(5)
+        for i in range(5):
+            g.add_edge(100 + i, 100 + (i + 1) % 5)
+        res = minimum_vertex_cover(g)
+        assert res.optimal
+        assert len(res.cover) == 6
+        assert res.lower_bound == pytest.approx(6.0)
+        par = minimum_vertex_cover(g, jobs=2)
+        assert par.cover == res.cover
+
 
 def brute_oct(g):
     nodes = list(g.nodes())
@@ -256,3 +317,14 @@ class TestOct:
         g = random_graph(9, 0.4, 77)
         r = odd_cycle_transversal(g)
         assert r.lower_bound <= r.size + 1e-9
+
+    @pytest.mark.parametrize("decompose", [True, False])
+    def test_preempted_solve_bound_never_negative(self, decompose):
+        # Regression: the greedy-repair fallback used to return the raw
+        # ``vc.lower_bound - n``, which can go negative when the solve
+        # is preempted before a useful dual bound exists.
+        g = complete(5)
+        r = odd_cycle_transversal(g, time_limit=0.0, decompose=decompose)
+        assert verify_oct(g, r.oct_set)
+        assert not r.optimal
+        assert r.lower_bound >= 0.0
