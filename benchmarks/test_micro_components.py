@@ -81,3 +81,72 @@ def test_bench_staircase_baseline(benchmark):
         lambda: staircase_map_netlist(nl), rounds=3, iterations=1
     )
     assert res.design.semiperimeter == 2 * res.bdd_nodes
+
+
+# -- scatter-OR: ufunc.at vs sorted-segment reduceat --------------------------
+#
+# The batch fixpoint scatters cell contributions into their target
+# columns.  `np.logical_or.at` is the direct spelling but runs in the
+# notoriously slow ufunc.at path; `repro.crossbar.batch` sorts the cells
+# by target once and reduces contiguous segments instead.  The pair of
+# benchmarks below records the delta on a representative problem size.
+
+
+def _scatter_problem():
+    import numpy as np
+
+    rng = np.random.default_rng(7)
+    m, ncells, ncols = 256, 4096, 128
+    contrib = rng.random((m, ncells)) < 0.3
+    targets = rng.integers(0, ncols, size=ncells)
+    return contrib, targets, ncols
+
+
+def test_bench_scatter_ufunc_at(benchmark):
+    import numpy as np
+
+    contrib, targets, ncols = _scatter_problem()
+
+    def scatter():
+        out = np.zeros((contrib.shape[0], ncols), dtype=bool)
+        np.logical_or.at(out, (slice(None), targets), contrib)
+        return out
+
+    benchmark(scatter)
+
+
+def test_bench_scatter_segment_reduceat(benchmark):
+    import numpy as np
+
+    from repro.crossbar.batch import _scatter_plan
+
+    contrib, targets, ncols = _scatter_problem()
+    order, starts, seg_targets = _scatter_plan(targets)
+
+    def scatter():
+        out = np.zeros((contrib.shape[0], ncols), dtype=bool)
+        out[:, seg_targets] |= np.logical_or.reduceat(
+            contrib[:, order], starts, axis=1
+        )
+        return out
+
+    # Same result as the ufunc.at spelling, much faster.
+    reference = np.zeros((contrib.shape[0], ncols), dtype=bool)
+    np.logical_or.at(reference, (slice(None), targets), contrib)
+    assert np.array_equal(scatter(), reference)
+    benchmark(scatter)
+
+
+def test_bench_exhaustive_validation(benchmark, prepared):
+    from repro.crossbar import validate_design
+
+    nl, _sbdd, _bg, _lab, design, _env = prepared
+    report = benchmark(lambda: validate_design(design, nl.evaluate, nl.inputs))
+    assert report.ok and report.exhaustive
+    assert report.checked == 1 << len(nl.inputs)
+
+
+def test_bench_bitset_sweep(benchmark, prepared):
+    nl, sbdd, *_ = prepared
+    tables = benchmark(lambda: sbdd.evaluate_bitset(nl.inputs))
+    assert set(tables) == set(nl.outputs)

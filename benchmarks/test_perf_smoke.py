@@ -121,6 +121,42 @@ def test_committed_baseline_validates():
     assert committed <= {b.name for b in suite("full")}
 
 
+def test_stage_times_vs_committed_baseline(save_result):
+    """Perf-regression guard: re-run a few committed circuits and hold
+    each pipeline stage within a generous 3x of the committed
+    ``BENCH_compact.json`` timer.  Stages under the 50 ms noise floor in
+    the baseline are skipped — CI machines jitter far more than that."""
+    path = REPO_ROOT / "BENCH_compact.json"
+    if not path.exists():
+        pytest.skip("no committed BENCH_compact.json")
+    baseline = {r["circuit"]: r for r in json.loads(path.read_text())["circuits"]}
+    check = [n for n in ("c17", "parity16", "mult4") if n in baseline]
+    if not check:
+        pytest.skip("no overlap with the committed baseline")
+
+    payload = run_perf_suite(names=check, time_limit=10.0)
+    regressions = []
+    compared = 0
+    for record in payload["circuits"]:
+        base_stages = baseline[record["circuit"]].get("stages", {})
+        for stage, seconds in record["stages"].items():
+            ref = base_stages.get(stage)
+            if ref is None or ref < 0.05:
+                continue
+            compared += 1
+            if seconds > 3.0 * ref:
+                regressions.append(
+                    f"{record['circuit']}.{stage}: {seconds:.3f}s "
+                    f"vs {ref:.3f}s committed"
+                )
+    save_result(
+        "perf_smoke_stage_guard",
+        f"circuits={','.join(check)} stages_compared={compared} "
+        f"regressions={len(regressions)}",
+    )
+    assert not regressions, "; ".join(regressions)
+
+
 def test_write_bench_json_rejects_invalid(tmp_path):
     with pytest.raises(ValueError):
         write_bench_json(tmp_path / "x.json", {"schema": "nope"})

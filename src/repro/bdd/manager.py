@@ -13,13 +13,30 @@ is simply a set of root ids in one manager.
 
 Performance notes
 -----------------
+The node table is struct-of-arrays in spirit — three parallel sequences
+``var/low/high`` indexed by node id — but the sequences are plain
+Python lists, because every representation with C-typed storage was
+*measured slower* on the scalar hot paths that dominate BDD work in
+CPython: a list index increfs the int object it stored, while
+memoryview or numpy scalar indexing must construct a fresh Python int
+every read (~2x slower).  Vectorized passes (garbage-collection
+compaction, the batch evaluator) snapshot the lists into numpy arrays
+on demand; the O(n) copy is noise next to the sweep it feeds.
+
+The unique table and the op cache are CPython dicts with small-int
+tuple keys.  Also measurement, not taste — the obvious "optimizations"
+all lose: open-addressed int64 slot arrays probed from Python run ~4x
+slower per lookup than the C dict; numpy-batching the probes loses too
+(per-level batches in reordering are tens of nodes — dispatch overhead
+dominates); and packing a key tuple into a single shifted int runs ~3x
+slower, because keys past 2**60 are multi-digit bigints whose
+arithmetic allocates on every shift, while a tuple of cached small
+ints hashes without allocating anything but the tuple itself.
+
 The hot kernels (``not_``, ``apply_and``/``or``/``xor``) use an explicit
 stack instead of recursion — a BDD over *n* variables recurses *n* deep,
 so circuits with more variables than the interpreter's recursion limit
-would otherwise crash — and key the operation cache with packed integers
-(``(f << 32 | g) << 3 | opcode``) instead of tuples, which avoids tuple
-allocation and hashes faster.  Node ids stay far below ``2**32`` for any
-table a pure-Python process can hold, so the packing is collision-free.
+would otherwise crash.
 
 The op cache is *bounded*: once it holds ``max_cache_size`` entries it
 is dropped wholesale (the CUDD "cache reset" policy) and a counter is
@@ -37,6 +54,9 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Mapping, Sequence
 
+import numpy as np
+
+from .. import bitset
 from ..expr import Expr
 
 __all__ = ["BDD", "FALSE_ID", "TRUE_ID", "LEAF_LEVEL"]
@@ -48,7 +68,7 @@ TRUE_ID = 1
 #: Sentinel level for terminal nodes; larger than any variable level.
 LEAF_LEVEL = 1 << 30
 
-# Opcodes packed into the low 3 bits of integer cache keys.
+# Opcodes packed into the second cache-key word.
 _OP_NOT = 0
 _OP_AND = 1
 _OP_OR = 2
@@ -80,13 +100,30 @@ class BDD:
             raise ValueError("max_cache_size must be positive")
         self._order: list[str] = []
         self._level: dict[str, int] = {}
-        # Node table: _var_level[i], _low[i], _high[i].  Terminals first.
+        # Node table (parallel Python lists): var/low/high per node id;
+        # terminals occupy ids 0 and 1.  Lists, not numpy-plus-memoryview:
+        # a list index just increfs the int object it stored, while a
+        # memoryview (or numpy scalar) index must *construct* a fresh
+        # Python int — measured ~2x slower on exactly the scalar loops
+        # (apply kernels, sifting swaps) that dominate BDD work in
+        # CPython.  Vectorized passes snapshot the lists into numpy
+        # arrays on demand via ``_node_arrays`` — the O(n) copy is noise
+        # next to the sweep it feeds.
         self._var_level: list[int] = [LEAF_LEVEL, LEAF_LEVEL]
         self._low: list[int] = [FALSE_ID, TRUE_ID]
         self._high: list[int] = [FALSE_ID, TRUE_ID]
+        # Unique index: (level, low, high) -> node id.  A C dict with
+        # small-int tuple keys, by measurement: a Python-level
+        # open-addressed probe loop over an int64 slot array runs ~4x
+        # slower per lookup, numpy-batched probes lose too (reorder's
+        # per-level batches are tens of nodes — dispatch overhead
+        # dominates), and packing the triple into one int loses ~3x
+        # (the shifted keys are multi-digit bigints whose arithmetic
+        # allocates; hashing three cached small ints is cheaper).
         self._unique: dict[tuple[int, int, int], int] = {}
-        #: Level-independent op results (packed int keys; survives swaps).
-        self._cache: dict[int, int] = {}
+        #: Level-independent op results, keyed by (op, operands...)
+        #: tuples for the same reason.
+        self._cache: dict[tuple, int] = {}
         #: Level-dependent op results (tuple keys; cleared on swaps).
         self._lvl_cache: dict[tuple, int] = {}
         self._max_cache_size = max_cache_size
@@ -97,6 +134,14 @@ class BDD:
         self.swap_count = 0
         for name in var_order:
             self.add_var(name)
+
+    def _node_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Snapshot the node table as (var, low, high) int64 arrays."""
+        return (
+            np.array(self._var_level, dtype=np.int64),
+            np.array(self._low, dtype=np.int64),
+            np.array(self._high, dtype=np.int64),
+        )
 
     # -- variables -----------------------------------------------------------
     @property
@@ -148,19 +193,59 @@ class BDD:
     def true(self) -> int:
         return TRUE_ID
 
+    def _unique_key(self, node: int) -> tuple[int, int, int]:
+        """Unique key for ``node``'s current (level, low, high)."""
+        return (self._var_level[node], self._low[node], self._high[node])
+
     def _mk(self, level: int, low: int, high: int) -> int:
         """Hash-consed node constructor with redundant-test elimination."""
         if low == high:
             return low
         key = (level, low, high)
-        node = self._unique.get(key)
-        if node is None:
-            node = len(self._var_level)
-            self._var_level.append(level)
-            self._low.append(low)
-            self._high.append(high)
-            self._unique[key] = node
+        unique = self._unique
+        node = unique.get(key)
+        if node is not None:
+            # May resurrect a dead node (one no root reaches any more) —
+            # ids denote functions, so handing it back out is sound.
+            return node
+        node = len(self._var_level)
+        self._var_level.append(level)
+        self._low.append(low)
+        self._high.append(high)
+        unique[key] = node
         return node
+
+    def _unique_remove(self, node: int) -> None:
+        """Drop the entry under ``node``'s current triple (if any).
+
+        Keyed by triple, so when a twin overwrote ``node``'s key the
+        twin's entry is removed instead — indistinguishable in the only
+        caller (reordering), which clears *entire levels* before
+        re-keying them.
+        """
+        self._unique.pop(self._unique_key(node), None)
+
+    def _unique_insert(self, node: int) -> None:
+        """(Re-)register ``node`` under its current (level, low, high).
+
+        Dict assignment semantics: an existing entry with the same triple
+        is overwritten — reordering relies on this when a rewritten node
+        reclaims a key a dead node still holds.
+        """
+        self._unique[self._unique_key(node)] = node
+
+    def unique_entries(self) -> Iterable[tuple[tuple[int, int, int], int]]:
+        """Yield ``((level, low, high), node)`` per unique-table entry.
+
+        Debug/test iterator (the consistency checks in the reorder tests
+        walk it).
+        """
+        yield from self._unique.items()
+
+    def _level_nodes(self, level: int) -> list[int]:
+        """Ids of all table nodes at ``level``."""
+        var_level = self._var_level
+        return [n for n in range(2, len(var_level)) if var_level[n] == level]
 
     def level(self, node: int) -> int:
         """Variable level of ``node`` (``LEAF_LEVEL`` for terminals)."""
@@ -225,6 +310,7 @@ class BDD:
     # -- boolean operations ----------------------------------------------------
     def not_(self, f: int) -> int:
         """Negation.  O(|f|) without complement edges (result is cached)."""
+        f = int(f)
         if f <= TRUE_ID:
             return f ^ 1
         cache = self._cache
@@ -239,8 +325,7 @@ class BDD:
                 if n <= TRUE_ID:
                     vals.append(n ^ 1)
                     continue
-                key = (n << 3) | _OP_NOT
-                r = cache.get(key)
+                r = cache.get((_OP_NOT, n))
                 if r is not None:
                     self._cache_hits += 1
                     vals.append(r)
@@ -253,7 +338,7 @@ class BDD:
                 hi = vals.pop()
                 lo = vals.pop()
                 r = self._mk(var_level[n], lo, hi)
-                self._cache_put((n << 3) | _OP_NOT, r)
+                self._cache_put((_OP_NOT, n), r)
                 vals.append(r)
         return vals[0]
 
@@ -294,7 +379,7 @@ class BDD:
         low = self._low
         high = self._high
         terminal = self._terminal_case
-        stack: list[tuple] = [(_EXPAND, f, g)]
+        stack: list[tuple] = [(_EXPAND, int(f), int(g))]
         vals: list[int] = []
         while stack:
             frame = stack.pop()
@@ -309,7 +394,7 @@ class BDD:
                     continue
                 if a > b:  # and/or/xor are commutative: canonicalise
                     a, b = b, a
-                key = ((a << 32) | b) << 3 | op
+                key = (op, a, b)
                 r = cache.get(key)
                 if r is not None:
                     self._cache_hits += 1
@@ -341,7 +426,8 @@ class BDD:
         return self._apply2(_OP_XOR, f, g)
 
     def ite(self, f: int, g: int, h: int) -> int:
-        """If-then-else: ``f ? g : h`` (recursion depth ≤ #levels)."""
+        """If-then-else: ``f ? g : h`` (recursion depth <= #levels)."""
+        f, g, h = int(f), int(g), int(h)
         if f == TRUE_ID:
             return g
         if f == FALSE_ID:
@@ -352,7 +438,7 @@ class BDD:
             return f
         if g == FALSE_ID and h == TRUE_ID:
             return self.not_(f)
-        key = (((f << 32) | g) << 32 | h) << 3 | _OP_ITE
+        key = (_OP_ITE, f, g, h)
         result = self._cache.get(key)
         if result is not None:
             self._cache_hits += 1
@@ -411,7 +497,7 @@ class BDD:
             cache[k] = r
             return r
 
-        return rec(f)
+        return rec(int(f))
 
     def exists(self, names: Sequence[str], f: int) -> int:
         """Existential quantification over ``names``."""
@@ -437,7 +523,7 @@ class BDD:
             cache[k] = r
             return r
 
-        return rec(f)
+        return rec(int(f))
 
     def forall(self, names: Sequence[str], f: int) -> int:
         """Universal quantification over ``names``."""
@@ -465,7 +551,7 @@ class BDD:
             cache[k] = r
             return r
 
-        return rec(f)
+        return rec(int(f))
 
     def from_expr(self, expr: Expr) -> int:
         """Compile an :class:`~repro.expr.ast.Expr` into this manager."""
@@ -502,24 +588,127 @@ class BDD:
     # -- inspection --------------------------------------------------------------
     def evaluate(self, f: int, assignment: Mapping[str, bool]) -> bool:
         """Evaluate ``f`` under a full assignment of its support."""
-        node = f
+        node = int(f)
         while node > TRUE_ID:
             name = self._order[self._var_level[node]]
             node = self._high[node] if assignment[name] else self._low[node]
         return node == TRUE_ID
 
+    def satisfying_bitset(self, f: int, inputs: Sequence[str]) -> np.ndarray:
+        """The full truth table of ``f`` as a packed-uint64 bit vector.
+
+        One word encodes 64 assignments (see :mod:`repro.bitset` for the
+        bit convention — ascending bit index enumerates assignments in
+        ``itertools.product([False, True], repeat=n)`` order over
+        ``inputs``).  Every reachable node is visited once, children
+        first, combining child tables with three vector ops; the whole
+        ``2**n``-assignment sweep costs O(|f| * 2**n / 64) word ops.
+        """
+        return self.satisfying_bitsets([f], inputs)[0]
+
+    def satisfying_bitsets(
+        self, roots: Sequence[int], inputs: Sequence[str]
+    ) -> list[np.ndarray]:
+        """Packed truth tables for several roots, sharing the traversal.
+
+        Shared subgraphs are swept once — this is the SBDD-wide variant
+        validation uses to compare every output in one pass.
+        """
+        names = list(inputs)
+        n = len(names)
+        position = {}  # level -> bit significance of the variable
+        for j, name in enumerate(names):
+            lvl = self._level.get(name)
+            if lvl is not None:
+                position[lvl] = n - 1 - j
+        roots = [int(r) for r in roots]
+        table: dict[int, np.ndarray] = {
+            FALSE_ID: bitset.zeros(n),
+            TRUE_ID: bitset.ones(n),
+        }
+        var = self._var_level
+        low = self._low
+        high = self._high
+        internal = sorted(
+            (node for node in self.reachable(roots) if node > TRUE_ID),
+            key=lambda node: -var[node],
+        )
+        masks: dict[int, np.ndarray] = {}
+        for node in internal:  # deepest level first: children are done
+            lvl = var[node]
+            mask = masks.get(lvl)
+            if mask is None:
+                pos = position.get(lvl)
+                if pos is None:
+                    raise ValueError(
+                        f"root depends on variable {self._order[lvl]!r} "
+                        f"which is not among the {n} named inputs"
+                    )
+                mask = masks[lvl] = bitset.variable_mask(pos, n)
+            table[node] = (mask & table[high[node]]) | (~mask & table[low[node]])
+        return [table[r].copy() for r in roots]
+
+    def evaluate_many(
+        self, roots: Sequence[int], matrix: np.ndarray, inputs: Sequence[str]
+    ) -> list[np.ndarray]:
+        """Evaluate each root under every assignment row of ``matrix``.
+
+        ``matrix`` is boolean, shaped (num_assignments, len(inputs)).
+        Vectorized level-stepping descent: per level, all cursors parked
+        on that level advance with one gather.  Returns one boolean
+        vector per root.
+        """
+        matrix = np.asarray(matrix, dtype=bool)
+        names = list(inputs)
+        if matrix.ndim != 2 or matrix.shape[1] != len(names):
+            raise ValueError(
+                f"matrix must be 2-D (num_assignments, {len(names)}), "
+                f"got shape {matrix.shape}"
+            )
+        column = {name: j for j, name in enumerate(names)}
+        var, low, high = self._node_arrays()
+        results = []
+        for root in roots:
+            cursor = np.full(matrix.shape[0], int(root), dtype=np.int64)
+            for lvl in range(len(self._order)):
+                at_level = var[cursor] == lvl
+                if not at_level.any():
+                    continue
+                j = column.get(self._order[lvl])
+                if j is None:
+                    raise ValueError(
+                        f"root depends on variable {self._order[lvl]!r} "
+                        f"which is not among the {len(names)} named inputs"
+                    )
+                nodes = cursor[at_level]
+                cursor[at_level] = np.where(
+                    matrix[at_level, j], high[nodes], low[nodes]
+                )
+            results.append(cursor == TRUE_ID)
+        return results
+
     def reachable(self, roots: Iterable[int]) -> set[int]:
-        """All node ids reachable from ``roots`` (terminals included)."""
+        """All node ids reachable from ``roots`` (terminals included).
+
+        Scalar DFS on purpose: the live set during sifting is tiny
+        compared to the append-only table, so a per-node walk beats a
+        vectorized frontier sweep (whose per-level numpy dispatch
+        overhead dominates on small frontiers).  The full-table
+        compaction path uses :func:`collect_garbage`'s array pass
+        instead.
+        """
+        low = self._low
+        high = self._high
         seen: set[int] = set()
-        stack = list(roots)
+        stack = [int(r) for r in roots]
         while stack:
             n = stack.pop()
             if n in seen:
                 continue
             seen.add(n)
             if n > TRUE_ID:
-                stack.append(self._low[n])
-                stack.append(self._high[n])
+                stack.append(low[n])
+                stack.append(high[n])
         return seen
 
     def node_count(self, roots: Iterable[int]) -> int:
@@ -542,18 +731,24 @@ class BDD:
         live.add(FALSE_ID)
         live.add(TRUE_ID)
         keep = sorted(live)
-        remap = {old: new for new, old in enumerate(keep)}
-        old_vl, old_lo, old_hi = self._var_level, self._low, self._high
-        self._var_level = [old_vl[old] for old in keep]
-        self._low = [remap[old_lo[old]] for old in keep]
-        self._high = [remap[old_hi[old]] for old in keep]
+        keep_arr = np.array(keep, dtype=np.int64)
+        var_a, low_a, high_a = self._node_arrays()
+        lut = np.full(len(var_a), -1, dtype=np.int64)
+        lut[keep_arr] = np.arange(len(keep), dtype=np.int64)
+        self._var_level = var_a[keep_arr].tolist()
+        self._low = lut[low_a[keep_arr]].tolist()
+        self._high = lut[high_a[keep_arr]].tolist()
+        # Rebuild the unique index from scratch: live nodes only, and
+        # every key canonical (GC keeps one node per function).
+        var = self._var_level
+        lo = self._low
+        hi = self._high
         self._unique = {
-            (self._var_level[i], self._low[i], self._high[i]): i
-            for i in range(2, len(keep))
+            (var[node], lo[node], hi[node]): node for node in range(2, len(var))
         }
         self._cache.clear()
         self._lvl_cache.clear()
-        return remap
+        return {old: new for new, old in enumerate(keep)}
 
     def edges(self, roots: Iterable[int]) -> list[tuple[int, int, str, bool]]:
         """All BDD edges reachable from ``roots``.
@@ -603,6 +798,7 @@ class BDD:
             cache[n] = r
             return r
 
+        f = int(f)
         top_gap = self._var_level[f] if f > TRUE_ID else nvars
         if f == TRUE_ID:
             return 1 << nvars
@@ -615,7 +811,7 @@ class BDD:
         if f == FALSE_ID:
             return None
         env: dict[str, bool] = {}
-        node = f
+        node = int(f)
         while node > TRUE_ID:
             name = self._order[self._var_level[node]]
             if self._high[node] != FALSE_ID:
@@ -641,7 +837,7 @@ class BDD:
                 cache[n] = r
             return r
 
-        return rec(f)
+        return rec(int(f))
 
     def __repr__(self) -> str:
         return f"BDD(vars={len(self._order)}, nodes={len(self._var_level)})"

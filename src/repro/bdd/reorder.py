@@ -44,19 +44,20 @@ def swap_adjacent(manager: BDD, level: int) -> None:
     upper = level
     lower = level + 1
 
+    nodes_x = manager._level_nodes(upper)
+    nodes_y = manager._level_nodes(lower)
+
     var_level = manager._var_level
     low = manager._low
     high = manager._high
     unique = manager._unique
 
-    nodes_x = [n for n in range(2, len(var_level)) if var_level[n] == upper]
-    nodes_y = [n for n in range(2, len(var_level)) if var_level[n] == lower]
-
-    # Drop stale keys for both levels.
+    # Drop stale unique-table entries for both levels (inline
+    # (level, low, high) keys keep this loop method-call-free).
     for n in nodes_x:
         unique.pop((upper, low[n], high[n]), None)
-    for n in nodes_y:
-        unique.pop((lower, low[n], high[n]), None)
+    for m in nodes_y:
+        unique.pop((lower, low[m], high[m]), None)
 
     # The variables trade places.
     x_name, y_name = order[upper], order[lower]
@@ -119,13 +120,14 @@ _GC_FACTOR = 4
 _GC_SLACK = 512
 
 
-def _maybe_collect(manager: BDD, roots: Sequence[int]) -> None:
+def _maybe_collect(manager: BDD, roots: Sequence[int]) -> int:
     """GC the manager when swap garbage dominates the table.
 
     Swap rewrites allocate fresh nodes, so long swap sequences strand
     exponentially many dead nodes (every later swap then re-rewrites
     them).  When ``roots`` is a mutable list its entries are remapped in
-    place; other id handles into the manager become invalid.
+    place; other id handles into the manager become invalid.  Returns
+    the live node count so callers don't traverse twice per swap.
     """
     live = len(manager.reachable(roots))
     if manager.table_size() > _GC_FACTOR * live + _GC_SLACK:
@@ -133,6 +135,7 @@ def _maybe_collect(manager: BDD, roots: Sequence[int]) -> None:
         if isinstance(roots, list):
             roots[:] = [remap[r] for r in roots]
         counters.increment("reorder_gcs")
+    return live
 
 
 def move_var(manager: BDD, name: str, target_level: int, roots: Sequence[int]) -> int:
@@ -144,15 +147,16 @@ def move_var(manager: BDD, name: str, target_level: int, roots: Sequence[int]) -
     node ids held by the caller are only safe below the GC threshold).
     """
     current = manager._level[name]
+    live = -1
     while current < target_level:
         swap_adjacent(manager, current)
-        _maybe_collect(manager, roots)
+        live = _maybe_collect(manager, roots)
         current += 1
     while current > target_level:
         swap_adjacent(manager, current - 1)
-        _maybe_collect(manager, roots)
+        live = _maybe_collect(manager, roots)
         current -= 1
-    return _live_size(manager, roots)
+    return live if live >= 0 else _live_size(manager, roots)
 
 
 def sift(

@@ -63,6 +63,29 @@ class SBDD:
             for name, root in self.roots.items()
         }
 
+    def evaluate_batch(self, matrix, inputs: Sequence[str]) -> dict[str, "np.ndarray"]:
+        """Evaluate every output under each assignment row of ``matrix``.
+
+        ``matrix`` is boolean, shaped (num_assignments, len(inputs));
+        returns one boolean vector per output.  Row ``k`` agrees with
+        ``self.evaluate`` on the corresponding assignment dict.
+        """
+        results = self.manager.evaluate_many(
+            list(self.roots.values()), matrix, inputs
+        )
+        return dict(zip(self.roots.keys(), results))
+
+    def evaluate_bitset(self, inputs: Sequence[str]) -> dict[str, "np.ndarray"]:
+        """Full truth table per output as packed uint64 words.
+
+        One sweep over the shared graph covers all outputs; see
+        :mod:`repro.bitset` for the assignment-index bit convention.
+        """
+        tables = self.manager.satisfying_bitsets(
+            list(self.roots.values()), inputs
+        )
+        return dict(zip(self.roots.keys(), tables))
+
     def support(self) -> frozenset[str]:
         out: frozenset[str] = frozenset()
         for root in self.roots.values():

@@ -1,0 +1,168 @@
+"""Packed-uint64 truth tables: 64 assignments per machine word.
+
+Shared by the BDD bitset sweep (:meth:`repro.bdd.manager.BDD.
+satisfying_bitset`), the netlist packed evaluator
+(:meth:`repro.circuits.netlist.Netlist.evaluate_bitset`) and the
+crossbar packed fixpoint (:func:`repro.crossbar.batch.bitset_evaluate`).
+A truth table over ``n`` named inputs is a numpy ``uint64`` vector of
+``num_words(n)`` words; bit ``k & 63`` of word ``k >> 6`` is the value
+under assignment index ``k``.
+
+Bit convention
+--------------
+Assignment index ``k`` assigns ``names[j] = bit (n - 1 - j) of k``: the
+*last* name varies fastest, so ascending ``k`` enumerates assignments in
+exactly the order of ``itertools.product([False, True], repeat=n)``.
+Validation relies on this to report the same first counterexample as a
+scalar sweep.
+
+Tail invariant
+--------------
+For ``n < 6`` only the low ``2**n`` bits of the single word are
+meaningful; every kernel keeps the surplus bits **zero** (negate with
+:func:`bit_not`, never raw ``~``), so whole-word comparisons, popcounts
+and first-set scans need no special casing.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = [
+    "MAX_BITSET_VARS",
+    "num_words",
+    "tail_mask",
+    "zeros",
+    "ones",
+    "variable_mask",
+    "bit_not",
+    "popcount",
+    "first_set",
+    "get_bit",
+    "index_env",
+    "pack_bools",
+    "unpack_bools",
+]
+
+#: Largest input count a full-space sweep will attempt (2**26 assignments
+#: = 8 MiB per truth table); wider sweeps must sample instead.
+MAX_BITSET_VARS = 26
+
+_ALL_ONES = 0xFFFFFFFFFFFFFFFF
+
+#: Word patterns for variables at bit significance p < 6 (the bit
+#: alternates within a word): bit b is set iff (b >> p) & 1.
+_LOW_PATTERNS = (
+    0xAAAAAAAAAAAAAAAA,
+    0xCCCCCCCCCCCCCCCC,
+    0xF0F0F0F0F0F0F0F0,
+    0xFF00FF00FF00FF00,
+    0xFFFF0000FFFF0000,
+    0xFFFFFFFF00000000,
+)
+
+
+def num_words(n: int) -> int:
+    """Words needed for a truth table over ``n`` inputs."""
+    _check_width(n)
+    return 1 if n < 6 else 1 << (n - 6)
+
+
+def tail_mask(n: int) -> int:
+    """Mask of the meaningful bits in the last (only) word for ``n < 6``."""
+    _check_width(n)
+    if n >= 6:
+        return _ALL_ONES
+    return (1 << (1 << n)) - 1
+
+
+def _check_width(n: int) -> None:
+    if not 0 <= n <= MAX_BITSET_VARS:
+        raise ValueError(
+            f"bitset sweeps support 0..{MAX_BITSET_VARS} inputs, got {n} "
+            f"(2**{n} assignments would not fit a packed table)"
+        )
+
+
+def zeros(n: int) -> np.ndarray:
+    """The all-false truth table over ``n`` inputs."""
+    return np.zeros(num_words(n), dtype=np.uint64)
+
+
+def ones(n: int) -> np.ndarray:
+    """The all-true truth table over ``n`` inputs (tail bits zero)."""
+    out = np.full(num_words(n), _ALL_ONES, dtype=np.uint64)
+    out[-1] = np.uint64(tail_mask(n))
+    return out
+
+
+def variable_mask(position: int, n: int) -> np.ndarray:
+    """Truth table of the input with bit significance ``position``.
+
+    ``position = n - 1 - j`` for ``names[j]`` under the module's bit
+    convention.  Positions below 6 alternate within every word; positions
+    at or above 6 alternate in blocks of whole words.
+    """
+    _check_width(n)
+    if not 0 <= position < max(n, 1):
+        raise ValueError(f"bit position {position} out of range for {n} inputs")
+    words = num_words(n)
+    if position < 6:
+        out = np.full(words, _LOW_PATTERNS[position], dtype=np.uint64)
+        out[-1] &= np.uint64(tail_mask(n))
+        return out
+    out = np.zeros(words, dtype=np.uint64)
+    block = 1 << (position - 6)
+    out.reshape(-1, 2 * block)[:, block:] = np.uint64(_ALL_ONES)
+    return out
+
+
+def bit_not(table: np.ndarray, n: int) -> np.ndarray:
+    """Complement a truth table, keeping the tail invariant."""
+    out = np.invert(table)
+    out[-1] &= np.uint64(tail_mask(n))
+    return out
+
+
+def popcount(table: np.ndarray) -> int:
+    """Number of satisfying assignments in a packed truth table."""
+    return int(np.bitwise_count(table).sum())
+
+
+def first_set(table: np.ndarray) -> int | None:
+    """Lowest assignment index with a set bit, or None when all-zero."""
+    nonzero = np.flatnonzero(table)
+    if nonzero.size == 0:
+        return None
+    word = int(nonzero[0])
+    value = int(table[word])
+    return (word << 6) + ((value & -value).bit_length() - 1)
+
+
+def get_bit(table: np.ndarray, index: int) -> bool:
+    """The value under assignment ``index``."""
+    return bool((int(table[index >> 6]) >> (index & 63)) & 1)
+
+
+def index_env(index: int, names: Sequence[str]) -> dict[str, bool]:
+    """The assignment dict encoded by ``index`` (see the bit convention)."""
+    n = len(names)
+    return {name: bool((index >> (n - 1 - j)) & 1) for j, name in enumerate(names)}
+
+
+def pack_bools(bits: np.ndarray) -> np.ndarray:
+    """Pack a 1-D boolean vector into uint64 words (index i -> bit i)."""
+    bits = np.asarray(bits, dtype=bool).ravel()
+    padded = np.zeros(-(-bits.size // 64) * 64 or 64, dtype=bool)
+    padded[: bits.size] = bits
+    return np.packbits(padded, bitorder="little").view("<u8").copy()
+
+
+def unpack_bools(table: np.ndarray, count: int) -> np.ndarray:
+    """Unpack the first ``count`` bits of a word vector to booleans."""
+    table = np.ascontiguousarray(table, dtype="<u8")
+    return np.unpackbits(
+        table.view(np.uint8), bitorder="little", count=count
+    ).astype(bool)

@@ -143,6 +143,54 @@ class Gate:
         raise AssertionError(f"unhandled gate type {t}")
 
 
+def _apply_gate_vector(gate: Gate, ins, zero, one, neg):
+    """Apply ``gate`` elementwise to vectorized net values.
+
+    Works for both boolean vectors (one entry per assignment) and packed
+    uint64 truth tables (64 assignments per word): both support ``&``,
+    ``|``, ``^``; negation goes through ``neg`` so the packed form can
+    keep its tail invariant (:func:`repro.bitset.bit_not`).
+    """
+    t = gate.gate_type
+    if t in ("AND", "NAND"):
+        acc = ins[0]
+        for v in ins[1:]:
+            acc = acc & v
+        return neg(acc) if t == "NAND" else acc.copy()
+    if t in ("OR", "NOR"):
+        acc = ins[0]
+        for v in ins[1:]:
+            acc = acc | v
+        return neg(acc) if t == "NOR" else acc.copy()
+    if t in ("XOR", "XNOR"):
+        acc = ins[0]
+        for v in ins[1:]:
+            acc = acc ^ v
+        return neg(acc) if t == "XNOR" else acc.copy()
+    if t == "INV":
+        return neg(ins[0])
+    if t == "BUF":
+        return ins[0].copy()
+    if t == "MUX":
+        return (ins[0] & ins[1]) | (neg(ins[0]) & ins[2])
+    if t == "MAJ":
+        import itertools
+
+        need = len(ins) // 2 + 1
+        acc = zero
+        for combo in itertools.combinations(range(len(ins)), need):
+            term = ins[combo[0]]
+            for i in combo[1:]:
+                term = term & ins[i]
+            acc = acc | term
+        return acc
+    if t == "CONST0":
+        return zero.copy()
+    if t == "CONST1":
+        return one.copy()
+    raise AssertionError(f"unhandled gate type {t}")
+
+
 class Netlist:
     """A combinational gate-level netlist.
 
@@ -267,6 +315,69 @@ class Netlist:
         for gate in self.topological_gates():
             values[gate.output] = gate.evaluate(values)
         return {out: values[out] for out in self.outputs}
+
+    def evaluate_batch(self, matrix, inputs: Sequence[str]) -> dict:
+        """Simulate under each assignment row of a boolean matrix.
+
+        ``matrix`` is shaped (num_assignments, len(inputs)); column ``j``
+        holds the values of ``inputs[j]``.  Returns one boolean vector
+        per primary output; row ``k`` agrees with :meth:`evaluate` on the
+        corresponding assignment dict.
+        """
+        import numpy as np
+
+        matrix = np.asarray(matrix, dtype=bool)
+        names = list(inputs)
+        if matrix.ndim != 2 or matrix.shape[1] != len(names):
+            raise ValueError(
+                f"matrix must be 2-D (num_assignments, {len(names)}), "
+                f"got shape {matrix.shape}"
+            )
+        column = {name: j for j, name in enumerate(names)}
+        values: dict[str, np.ndarray] = {}
+        for name in self.inputs:
+            j = column.get(name)
+            if j is None:
+                raise KeyError(f"assignment missing primary input {name!r}")
+            values[name] = matrix[:, j]
+        neg = np.logical_not
+        zero = np.zeros(matrix.shape[0], dtype=bool)
+        one = np.ones(matrix.shape[0], dtype=bool)
+        for gate in self.topological_gates():
+            values[gate.output] = _apply_gate_vector(
+                gate, [values[i] for i in gate.inputs], zero, one, neg
+            )
+        return {out: values[out].copy() for out in self.outputs}
+
+    def evaluate_bitset(self, inputs: Sequence[str]) -> dict:
+        """Full truth table per output as packed uint64 words.
+
+        Simulates the whole ``2**len(inputs)`` assignment space in one
+        pass, 64 assignments per machine word; see :mod:`repro.bitset`
+        for the assignment-index bit convention.
+        """
+        from .. import bitset
+
+        names = list(inputs)
+        n = len(names)
+        position = {name: n - 1 - j for j, name in enumerate(names)}
+        values: dict[str, object] = {}
+        for name in self.inputs:
+            pos = position.get(name)
+            if pos is None:
+                raise KeyError(f"assignment missing primary input {name!r}")
+            values[name] = bitset.variable_mask(pos, n)
+        zero = bitset.zeros(n)
+        one = bitset.ones(n)
+
+        def neg(table):
+            return bitset.bit_not(table, n)
+
+        for gate in self.topological_gates():
+            values[gate.output] = _apply_gate_vector(
+                gate, [values[i] for i in gate.inputs], zero, one, neg
+            )
+        return {out: values[out].copy() for out in self.outputs}
 
     def output_expressions(self) -> dict[str, Expr]:
         """Flatten each primary output into an expression over the inputs.

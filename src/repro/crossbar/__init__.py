@@ -1,7 +1,7 @@
 """Crossbar model: designs, literals, evaluation, validation, metrics."""
 
 from .analog import AnalogParams, AnalogResult, simulate
-from .batch import assignments_to_matrix, batch_evaluate
+from .batch import assignments_to_matrix, batch_evaluate, bitset_evaluate
 from .analysis import DesignAnalysis, analyze_design, conducting_depths
 from .design import CrossbarDesign
 from .faults import (
@@ -42,6 +42,7 @@ __all__ = [
     "simulate_with_variation",
     "variation_sweep",
     "batch_evaluate",
+    "bitset_evaluate",
     "assignments_to_matrix",
     "design_to_json",
     "design_from_json",

@@ -69,42 +69,41 @@ def simulate(
 
     on_cells = design.program(assignment)
 
-    rows_idx: list[int] = []
-    cols_idx: list[int] = []
-    data: list[float] = []
-    diag = np.zeros(n)
+    # One conductance per crosspoint, assembled as flat arrays.
+    cells = list(design.cells())
+    cell_i = np.array([r for r, _c, _l in cells], dtype=np.intp)
+    cell_j = np.array([c for _r, c, _l in cells], dtype=np.intp) + R
+    g = np.where(
+        np.array([(r, c) in on_cells for r, c, _l in cells], dtype=bool),
+        g_on,
+        g_off,
+    )
+
+    diag = np.bincount(cell_i, weights=g, minlength=n) + np.bincount(
+        cell_j, weights=g, minlength=n
+    )
+    np.add.at(diag, np.fromiter(design.output_rows.values(), dtype=np.intp), g_sense)
+
+    # Cells on the driven input row become right-hand-side sources
+    # (Dirichlet elimination); all others contribute off-diagonals.
+    driven = cell_i == design.input_row
     rhs = np.zeros(n)
+    rhs += np.bincount(cell_j[driven], weights=g[driven], minlength=n) * params.v_in
+    fi, fj, fg = cell_i[~driven], cell_j[~driven], g[~driven]
 
-    for r, c, _lit in design.cells():
-        g = g_on if (r, c) in on_cells else g_off
-        i, j = r, R + c
-        diag[i] += g
-        diag[j] += g
-        if i == design.input_row:
-            rhs[j] += g * params.v_in
-        else:
-            rows_idx.extend((i, j))
-            cols_idx.extend((j, i))
-            data.extend((-g, -g))
+    # Drop the input-row node: every node above it shifts down one slot.
+    m = n - 1
+    keep = np.concatenate(
+        [np.arange(design.input_row), np.arange(design.input_row + 1, n)]
+    )
 
-    for out_row in design.output_rows.values():
-        diag[out_row] += g_sense
+    def remap(nodes: np.ndarray) -> np.ndarray:
+        return nodes - (nodes > design.input_row)
 
-    # Dirichlet elimination of the input row.
-    keep = [i for i in range(n) if i != design.input_row]
-    remap = {node: k for k, node in enumerate(keep)}
-    m = len(keep)
-
-    rr, cc, dd = [], [], []
-    for i, j, g in zip(rows_idx, cols_idx, data):
-        if i in remap and j in remap:
-            rr.append(remap[i])
-            cc.append(remap[j])
-            dd.append(g)
-    for node in keep:
-        rr.append(remap[node])
-        cc.append(remap[node])
-        dd.append(diag[node] if diag[node] > 0 else 1.0)  # float isolated nodes
+    d = diag[keep]
+    rr = np.concatenate([remap(fi), remap(fj), np.arange(m)])
+    cc = np.concatenate([remap(fj), remap(fi), np.arange(m)])
+    dd = np.concatenate([-fg, -fg, np.where(d > 0, d, 1.0)])  # float isolated nodes
 
     G = sparse.csr_matrix((dd, (rr, cc)), shape=(m, m))
     b = rhs[keep]
@@ -112,15 +111,10 @@ def simulate(
 
     volt = np.zeros(n)
     volt[design.input_row] = params.v_in
-    for node, k in remap.items():
-        volt[node] = v[k]
+    volt[keep] = v
 
     # Source current: sum of currents into the network from the input row.
-    input_current = 0.0
-    for r, c, _lit in design.cells():
-        if r == design.input_row:
-            g = g_on if (r, c) in on_cells else g_off
-            input_current += g * (params.v_in - volt[R + c])
+    input_current = float(np.sum(g[driven] * (params.v_in - volt[cell_j[driven]])))
 
     voltages = {}
     outputs = {}
@@ -134,5 +128,5 @@ def simulate(
         voltages=voltages,
         row_voltages=volt[:R],
         col_voltages=volt[R:],
-        input_current=float(input_current),
+        input_current=input_current,
     )

@@ -113,7 +113,15 @@ def analyze_design(
     min_high: float | None = None
     max_low: float | None = None
 
-    for env in envs:
+    # One vectorized fixpoint covers the logical sweep; only the analog
+    # solves (one sparse system per assignment) remain per-env.
+    if analog:
+        from .batch import assignments_to_matrix, batch_evaluate
+
+        logical_batch = batch_evaluate(
+            design, names, assignments_to_matrix(envs, names)
+        )
+    for k, env in enumerate(envs):
         depths = conducting_depths(design, env)
         for out, d in depths.items():
             if d is not None:
@@ -123,12 +131,11 @@ def analyze_design(
                     worst_depth = d
         if analog:
             result = simulate(design, env, params)
-            logical = design.evaluate(env)
-            for out, value in logical.items():
+            for out, values in logical_batch.items():
                 if out not in result.voltages:
                     continue
                 v = result.voltages[out] / params.v_in
-                if value:
+                if values[k]:
                     min_high = v if min_high is None else min(min_high, v)
                 else:
                     max_low = v if max_low is None else max(max_low, v)

@@ -11,7 +11,6 @@ standard reliability questions for in-memory computing fabrics.
 
 from __future__ import annotations
 
-import itertools
 import random
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
@@ -213,25 +212,18 @@ def is_functional_under_faults(
     beyond the limit is statistical).  ``seed`` (default 0) may be an
     integer or a ``random.Random``; out-of-bounds faults raise
     :class:`ValueError`.
+
+    Runs on the vectorized validation engine (the faults mask the batch
+    evaluator's conduction matrix), so single-fault sweeps like
+    :func:`critical_cells` and :func:`yield_estimate` trials cost a few
+    array fixpoints each instead of ``2**n`` Python BFS walks.
     """
+    from .validate import _run_validation
+
     _check_fault_bounds(design, faults)
-    names = list(inputs)
-    if len(names) <= exhaustive_limit:
-        envs = (
-            dict(zip(names, bits))
-            for bits in itertools.product([False, True], repeat=len(names))
-        )
-    else:
-        rng = _as_rng(seed)
-        envs = (
-            {n: bool(rng.getrandbits(1)) for n in names} for _ in range(samples)
-        )
-    for env in envs:
-        expected = dict(reference(env))
-        actual = evaluate_with_faults(design, env, faults)
-        if any(bool(expected[o]) != bool(actual.get(o)) for o in expected):
-            return False
-    return True
+    return _run_validation(
+        design, tuple(faults), reference, inputs, exhaustive_limit, samples, seed
+    ).ok
 
 
 def critical_cells(

@@ -28,6 +28,7 @@ from pathlib import Path
 
 from ..bdd import build_sbdd, sift_order, static_order
 from ..core import Compact
+from ..crossbar import validate_design
 from . import counters
 from .schema import BENCH_SCHEMA_ID, validate_bench_payload
 
@@ -81,6 +82,27 @@ def run_perf_circuit(
     wall = time.monotonic() - t0
 
     design = result.design
+
+    # Validation tier: exhaustive bitset sweep up to the default cutoff,
+    # Monte-Carlo batch beyond (same policy as the pipeline's own check).
+    t0 = time.monotonic()
+    report = validate_design(design, netlist.evaluate, netlist.inputs)
+    t_validate = time.monotonic() - t0
+
+    # BDD-side full-space sweep throughput (assignments per second); the
+    # SBDD rebuild is excluded from the timed region.  Skipped for wide
+    # circuits where a 2**n sweep stops being the validation engine.
+    sweep_rate = None
+    n_inputs = len(netlist.inputs)
+    if n_inputs <= 20:
+        sbdd = build_sbdd(netlist, order=order)
+        t0 = time.monotonic()
+        sbdd.evaluate_bitset(netlist.inputs)
+        t_sweep = time.monotonic() - t0
+        sweep_rate = (1 << n_inputs) / t_sweep if t_sweep > 0 else 0.0
+
+    stages = {k: round(v, 6) for k, v in result.times.items()}
+    stages["validate"] = round(t_validate, 6)
     return {
         "circuit": name,
         "inputs": len(netlist.inputs),
@@ -94,8 +116,17 @@ def run_perf_circuit(
             "rebuilds": counters.get("sbdd_rebuilds") - 1,
             "time_s": t_sift,
         },
-        "stages": {k: round(v, 6) for k, v in result.times.items()},
+        "stages": stages,
         "wall_time_s": wall,
+        "validate": {
+            "assignments": report.checked,
+            "exhaustive": report.exhaustive,
+            "ok": report.ok,
+            "assignments_per_s": (
+                report.checked / t_validate if t_validate > 0 else 0.0
+            ),
+            "bitset_sweep_assignments_per_s": sweep_rate,
+        },
         "bdd_table_size": result.perf["bdd_table_size"],
         "cache": {
             k: v for k, v in result.perf["cache"].items() if k != "entries"
@@ -190,8 +221,17 @@ def run_perf_suite(
     return validate_bench_payload(payload)
 
 
-#: Wall-clock fields stripped by :func:`deterministic_view`.
-_TIME_FIELDS = frozenset(["time_s", "wall_time_s", "stages"])
+#: Wall-clock fields stripped by :func:`deterministic_view` (throughput
+#: rates are time-derived, so they are clock fields too).
+_TIME_FIELDS = frozenset(
+    [
+        "time_s",
+        "wall_time_s",
+        "stages",
+        "assignments_per_s",
+        "bitset_sweep_assignments_per_s",
+    ]
+)
 
 
 def deterministic_view(payload: dict) -> dict:
@@ -232,10 +272,11 @@ def render_perf_table(payload: dict):
         f"Perf baseline ({payload['suite_tier']} suite, gamma={payload['gamma']:g})",
         [
             "circuit", "nodes", "sifted", "swaps", "t_sift(s)",
-            "t_synth(s)", "hit rate", "R", "C", "S",
+            "t_synth(s)", "t_val(s)", "hit rate", "R", "C", "S",
         ],
     )
     for r in payload["circuits"]:
+        t_val = r.get("stages", {}).get("validate")
         table.add_row(
             r["circuit"],
             r["sbdd_nodes_static"],
@@ -243,6 +284,7 @@ def render_perf_table(payload: dict):
             r["sift"]["swaps"],
             round(r["sift"]["time_s"], 3),
             round(r["wall_time_s"], 3),
+            "" if t_val is None else round(t_val, 3),
             f"{100 * r['cache']['hit_rate']:.1f}%",
             r["crossbar"]["rows"],
             r["crossbar"]["cols"],
@@ -250,6 +292,6 @@ def render_perf_table(payload: dict):
         )
     table.add_row(
         "TOTAL", "", "", payload["totals"]["sift_swaps"], "",
-        round(payload["totals"]["wall_time_s"], 3), "", "", "", "",
+        round(payload["totals"]["wall_time_s"], 3), "", "", "", "", "",
     )
     return table

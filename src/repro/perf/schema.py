@@ -48,6 +48,16 @@ _CROSSBAR_FIELDS: tuple[tuple[str, type], ...] = (
     ("max_dimension", int),
 )
 
+#: Required inside the optional per-circuit ``validate`` block (the
+#: time-derived ``bitset_sweep_assignments_per_s`` is checked separately
+#: because it may be null for wide circuits).
+_VALIDATE_FIELDS: tuple[tuple[str, type], ...] = (
+    ("assignments", int),
+    ("exhaustive", bool),
+    ("ok", bool),
+    ("assignments_per_s", Real),
+)
+
 
 def _require(mapping, field: str, kind: type, where: str):
     if not isinstance(mapping, dict):
@@ -103,6 +113,18 @@ def validate_bench_payload(payload: dict) -> dict:
         for stage, seconds in stages.items():
             if not isinstance(seconds, Real):
                 raise ValueError(f"{where}.stages.{stage}: expected a number")
+        # Optional (added with the vectorized validation engine; older
+        # committed baselines predate it).
+        if "validate" in record:
+            validate = _require(record, "validate", dict, where)
+            for field, kind in _VALIDATE_FIELDS:
+                _require(validate, field, kind, f"{where}.validate")
+            sweep = validate.get("bitset_sweep_assignments_per_s")
+            if sweep is not None and not isinstance(sweep, Real):
+                raise ValueError(
+                    f"{where}.validate.bitset_sweep_assignments_per_s: "
+                    "expected a number or null"
+                )
         names.append(record["circuit"])
     if names != sorted(names):
         raise ValueError("$.circuits: records must be sorted by circuit name")

@@ -1,0 +1,157 @@
+"""Packed truth-table kernels: bitset helpers and the BDD full-space sweep."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro import bitset
+from repro.bdd import BDD, build_sbdd
+from repro.circuits import comparator, random_netlist
+from repro.expr import parse
+from tests.conftest import all_envs
+
+NAMES = ["a", "b", "c", "d"]
+
+EXPRS = [
+    "(a & b) | (c & d)",
+    "a ^ b ^ c ^ d",
+    "~a | (b & c & d)",
+    "(a | b) & (c | ~d)",
+    "0",
+    "1",
+    "a",
+]
+
+WIDE = "(a & b) | (c ^ d) | (e & ~f & g)"
+WIDE_NAMES = ["a", "b", "c", "d", "e", "f", "g"]
+
+
+class TestBitsetHelpers:
+    def test_num_words(self):
+        assert bitset.num_words(0) == 1
+        assert bitset.num_words(5) == 1
+        assert bitset.num_words(6) == 1
+        assert bitset.num_words(7) == 2
+        assert bitset.num_words(10) == 16
+
+    def test_width_bounds(self):
+        with pytest.raises(ValueError, match="0..26"):
+            bitset.num_words(27)
+        with pytest.raises(ValueError, match="0..26"):
+            bitset.zeros(-1)
+
+    def test_ones_keeps_tail_zero(self):
+        for n in range(6):
+            table = bitset.ones(n)
+            assert bitset.popcount(table) == 1 << n
+            assert int(table[0]) == bitset.tail_mask(n)
+
+    @pytest.mark.parametrize("n", [1, 3, 5, 6, 8])
+    def test_variable_mask_matches_bit_convention(self, n):
+        names = [f"x{j}" for j in range(n)]
+        for j in range(n):
+            mask = bitset.variable_mask(n - 1 - j, n)
+            for k in range(1 << n):
+                env = bitset.index_env(k, names)
+                assert bitset.get_bit(mask, k) == env[names[j]], (j, k)
+
+    def test_index_env_is_product_order(self):
+        names = ["a", "b", "c"]
+        for k, bits in enumerate(itertools.product([False, True], repeat=3)):
+            assert bitset.index_env(k, names) == dict(zip(names, bits))
+
+    def test_bit_not_and_first_set(self):
+        n = 3
+        table = bitset.zeros(n)
+        assert bitset.first_set(table) is None
+        inverted = bitset.bit_not(table, n)
+        assert bitset.popcount(inverted) == 8  # tail stayed zero
+        assert bitset.first_set(inverted) == 0
+
+    def test_pack_unpack_round_trip(self):
+        rng = np.random.default_rng(3)
+        bits = rng.random(200) < 0.5
+        packed = bitset.pack_bools(bits)
+        assert bitset.unpack_bools(packed, 200).tolist() == bits.tolist()
+        for i in range(200):
+            assert bitset.get_bit(packed, i) == bits[i]
+
+
+class TestSatisfyingBitset:
+    @pytest.mark.parametrize("text", EXPRS)
+    def test_matches_per_assignment_evaluation(self, text):
+        m = BDD(NAMES)
+        f = m.from_expr(parse(text))
+        table = m.satisfying_bitset(f, NAMES)
+        for k, env in enumerate(all_envs(NAMES)):
+            assert bitset.get_bit(table, k) == m.evaluate(f, env), (text, k)
+
+    @pytest.mark.parametrize("text", EXPRS)
+    def test_popcount_matches_sat_count(self, text):
+        m = BDD(NAMES)
+        f = m.from_expr(parse(text))
+        assert bitset.popcount(m.satisfying_bitset(f, NAMES)) == m.sat_count(f)
+
+    def test_multi_word_sweep(self):
+        m = BDD(WIDE_NAMES)
+        f = m.from_expr(parse(WIDE))
+        table = m.satisfying_bitset(f, WIDE_NAMES)
+        assert table.shape == (2,)
+        for k, env in enumerate(all_envs(WIDE_NAMES)):
+            assert bitset.get_bit(table, k) == m.evaluate(f, env)
+
+    def test_input_order_controls_bit_positions(self):
+        m = BDD(["a", "b"])
+        f = m.from_expr(parse("a & ~b"))
+        forward = m.satisfying_bitset(f, ["a", "b"])
+        swapped = m.satisfying_bitset(f, ["b", "a"])
+        # a=1, b=0 is index 2 under [a, b] and index 1 under [b, a].
+        assert bitset.first_set(forward) == 2
+        assert bitset.first_set(swapped) == 1
+
+    def test_unnamed_support_variable_rejected(self):
+        m = BDD(NAMES)
+        f = m.from_expr(parse("a & d"))
+        with pytest.raises(ValueError, match="'d'.*not among"):
+            m.satisfying_bitset(f, ["a", "b"])
+
+    def test_extra_inputs_pad_the_space(self):
+        m = BDD(["a"])
+        f = m.var("a")
+        table = m.satisfying_bitset(f, ["a", "pad"])
+        assert bitset.popcount(table) == 2  # a=1 with pad free
+
+
+class TestSbddSweeps:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_evaluate_bitset_matches_scalar(self, seed):
+        nl = random_netlist(6, 25, 3, seed=seed)
+        sbdd = build_sbdd(nl)
+        tables = sbdd.evaluate_bitset(nl.inputs)
+        for k, env in enumerate(all_envs(nl.inputs)):
+            expected = sbdd.evaluate(env)
+            for out in nl.outputs:
+                assert bitset.get_bit(tables[out], k) == expected[out]
+
+    def test_evaluate_batch_matches_scalar(self):
+        nl = comparator(3)
+        sbdd = build_sbdd(nl)
+        matrix = np.array(
+            list(itertools.product([False, True], repeat=len(nl.inputs))),
+            dtype=bool,
+        )
+        batch = sbdd.evaluate_batch(matrix, nl.inputs)
+        for k, env in enumerate(all_envs(nl.inputs)):
+            expected = sbdd.evaluate(env)
+            assert {out: bool(v[k]) for out, v in batch.items()} == expected
+
+    def test_sweeps_survive_garbage_collection(self):
+        nl = comparator(3)
+        sbdd = build_sbdd(nl)
+        before = sbdd.evaluate_bitset(nl.inputs)
+        remap = sbdd.manager.collect_garbage(list(sbdd.roots.values()))
+        sbdd.roots = {out: remap[r] for out, r in sbdd.roots.items()}
+        after = sbdd.evaluate_bitset(nl.inputs)
+        for out in nl.outputs:
+            assert np.array_equal(before[out], after[out])

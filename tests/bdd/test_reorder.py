@@ -18,7 +18,7 @@ NAMES = ["a", "b", "c", "d"]
 def check_unique_table_consistent(m: BDD) -> None:
     """No two live entries may share a (level, low, high) triple."""
     seen = {}
-    for key, node in m._unique.items():
+    for key, node in m.unique_entries():
         level, lo, hi = key
         assert m._var_level[node] == level, (key, node)
         assert m._low[node] == lo and m._high[node] == hi
