@@ -3,7 +3,8 @@ JOBS ?= 4
 
 export PYTHONPATH := src
 
-.PHONY: test test-perf bench bench-baseline bench-smoke verify serve check
+.PHONY: test test-perf bench bench-baseline bench-smoke verify serve check \
+	campaign-smoke
 
 test:
 	$(PYTHON) -m pytest tests/ -q
@@ -34,6 +35,13 @@ bench-smoke:
 # Regenerate the committed perf trajectory point.
 bench-baseline:
 	$(PYTHON) -m repro bench perf --jobs $(JOBS) --perf-json BENCH_compact.json
+
+# Chaos-ridden yield campaign: kill workers, drop connections, corrupt
+# cache and checkpoint files, then assert the resumed report is
+# bit-identical to a fault-free run. Exit 1 on divergence.
+campaign-smoke:
+	$(PYTHON) -m repro bench campaign --chaos --samples 40 --shard-size 5 \
+	  --p-stuck-on 0.01 --p-stuck-off 0.05
 
 # Persistent synthesis service on a local Unix socket.
 SERVICE_SOCKET ?= /tmp/repro.sock

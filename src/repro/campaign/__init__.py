@@ -1,0 +1,34 @@
+"""Fleet-scale yield campaigns over the synthesis service.
+
+A *campaign* samples thousands-to-millions of fault maps from seeded,
+per-shard RNG streams and drives them through warm service workers via
+the batch request kinds (``validate_batch`` / ``map_batch``), deduping
+repeat work through the content-addressed result cache, and emitting a
+yield curve (functional fraction vs. fault count) plus a spare-line
+provisioning table.
+
+Every shard record is a pure deterministic function of (config, shard
+index), which is what makes the whole pipeline restartable: completed
+shards are journalled to a crash-safe checkpoint
+(:mod:`~repro.campaign.checkpoint`), a resumed campaign recomputes only
+the missing shards, and the final report is bit-identical whether the
+run was uninterrupted, SIGKILLed and resumed, or harassed by the chaos
+harness (:mod:`~repro.campaign.chaos`).
+"""
+
+from .checkpoint import CHECKPOINT_SCHEMA, CheckpointError, CheckpointJournal
+from .chaos import ChaosConfig, ChaosMonkey, corrupt_checkpoint
+from .runner import CampaignConfig, CampaignReport, compute_shard, run_campaign
+
+__all__ = [
+    "CHECKPOINT_SCHEMA",
+    "CheckpointError",
+    "CheckpointJournal",
+    "ChaosConfig",
+    "ChaosMonkey",
+    "corrupt_checkpoint",
+    "CampaignConfig",
+    "CampaignReport",
+    "compute_shard",
+    "run_campaign",
+]

@@ -1,0 +1,120 @@
+"""Campaign benchmark: clean vs. chaos, asserting identical reports.
+
+``repro bench campaign`` spins up an in-process service, runs one
+campaign fault-free, then (``--chaos``) reruns it from scratch while a
+:class:`~repro.campaign.chaos.ChaosMonkey` kills workers, severs
+connections and corrupts cache entries — and, between two resume
+phases, garbles the checkpoint journal.  The harness asserts the chaos
+report is bit-identical to the clean one: the resilience machinery must
+hide every injected failure, not merely survive it.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from ..service.client import RetryPolicy, ServiceClient
+from ..service.server import ServiceServer
+from .chaos import ChaosConfig, ChaosMonkey, corrupt_checkpoint
+from .runner import CampaignConfig, run_campaign
+
+__all__ = ["run_campaign_bench"]
+
+
+def _run_one(
+    config: CampaignConfig,
+    root: Path,
+    label: str,
+    streams: int,
+    chaos_config: ChaosConfig | None,
+    timeout: float,
+) -> tuple[dict, dict]:
+    """One fully isolated campaign (own server, cache, checkpoint)."""
+    cache_dir = root / f"cache-{label}"
+    checkpoint = root / f"ckpt-{label}.ndjson"
+    with ServiceServer(
+        ("tcp", "127.0.0.1", 0), jobs=2, queue_size=16, cache_dir=cache_dir
+    ) as server:
+        _kind, host, port = server.address
+
+        def client_factory() -> ServiceClient:
+            return ServiceClient(
+                tcp=(host, port), timeout=timeout,
+                retry=RetryPolicy(max_attempts=6, base_delay_s=0.05, max_delay_s=1.0),
+            )
+
+        chaos = None
+        if chaos_config is not None:
+            chaos = ChaosMonkey(chaos_config, server=server, cache_dir=cache_dir)
+            # Phase 1: half the campaign, then garble the journal the
+            # resume must recover from.
+            half = max(1, config.num_shards // 2)
+            run_campaign(
+                config, client_factory, checkpoint=checkpoint,
+                streams=streams, max_shards=half, chaos=chaos,
+                request_timeout=timeout,
+            )
+            corrupted = corrupt_checkpoint(checkpoint, seed=chaos_config.seed)
+        report = run_campaign(
+            config, client_factory, checkpoint=checkpoint,
+            streams=streams, chaos=chaos, request_timeout=timeout,
+        )
+    info: dict = {"label": label, "shards": report.shards}
+    if chaos is not None:
+        info["chaos_events"] = chaos.events
+        info["checkpoint_lines_corrupted"] = corrupted
+    return report.result_dict(), info
+
+
+def run_campaign_bench(
+    circuit: str = "c17",
+    samples: int = 200,
+    shard_size: int = 25,
+    p_stuck_on: float = 0.01,
+    p_stuck_off: float = 0.05,
+    spare_rows: int = 1,
+    spare_cols: int = 1,
+    remap: bool = False,
+    seed: int = 0,
+    streams: int = 2,
+    chaos: bool = False,
+    timeout: float = 120.0,
+) -> dict:
+    """Run the campaign bench; returns a JSON-serialisable summary.
+
+    With ``chaos`` the summary's ``match`` field states whether the
+    chaos run reproduced the clean yield curve exactly — the
+    acceptance property of the resilient service path.
+    """
+    config = CampaignConfig.from_suite(
+        circuit, samples=samples, shard_size=shard_size,
+        p_stuck_on=p_stuck_on, p_stuck_off=p_stuck_off,
+        spare_rows=spare_rows, spare_cols=spare_cols,
+        remap=remap, seed=seed,
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-campaign-bench-") as tmp:
+        root = Path(tmp)
+        clean, _ = _run_one(config, root, "clean", streams, None, timeout)
+        summary = {
+            "circuit": circuit,
+            "samples": samples,
+            "yield_fraction": clean["yield_fraction"],
+            "clean": clean,
+        }
+        if chaos:
+            budget = max(2, config.num_shards // 4)
+            chaos_config = ChaosConfig(
+                kill_workers=budget,
+                drop_connections=budget,
+                corrupt_cache=budget,
+                seed=seed,
+            )
+            chaotic, info = _run_one(
+                config, root, "chaos", streams, chaos_config, timeout
+            )
+            summary["chaos"] = chaotic
+            summary["chaos_events"] = info["chaos_events"]
+            summary["checkpoint_lines_corrupted"] = info["checkpoint_lines_corrupted"]
+            summary["match"] = chaotic == clean
+    return summary

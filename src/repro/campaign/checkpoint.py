@@ -1,0 +1,173 @@
+"""Crash-safe shard journal for yield campaigns.
+
+NDJSON, append-only.  Line 1 is a header binding the journal to one
+campaign configuration digest; every following line is one completed
+shard record wrapped with its own SHA-256 checksum::
+
+    {"schema": "repro.campaign-ckpt/1", "config_digest": "..."}
+    {"shard": 0, "record": {...}, "sha256": "..."}
+    {"shard": 1, "record": {...}, "sha256": "..."}
+
+Durability contract:
+
+* the header is created atomically (temp file + fsync + rename + dir
+  fsync), so a journal either exists with a valid header or not at all;
+* each shard append is flushed and fsynced before :meth:`append`
+  returns — a completed shard survives power loss;
+* on open, lines that are torn (crash mid-append) or corrupted (bit
+  rot, chaos harness) fail their checksum and are *dropped*; the shard
+  is simply recomputed, which is safe because shard records are pure
+  deterministic functions of (config, shard index).  Dropping can lose
+  work but never samples — resumed campaigns are bit-identical;
+* recovery compacts the journal (good lines only) through the same
+  atomic-replace path, so a torn tail can never garble the next append.
+
+A digest mismatch between the header and the caller's config raises
+:class:`CheckpointError`: resuming a campaign under a different
+configuration would silently mix incompatible samples.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from ..perf import counters
+
+__all__ = ["CHECKPOINT_SCHEMA", "CheckpointError", "CheckpointJournal"]
+
+#: Stamped into the journal header; bump when the line format changes.
+CHECKPOINT_SCHEMA = "repro.campaign-ckpt/1"
+
+
+class CheckpointError(RuntimeError):
+    """The journal cannot be used for this campaign (digest mismatch)."""
+
+
+def _record_digest(shard: int, record: dict) -> str:
+    # The shard index is part of the hashed material so a valid record
+    # line can never be spliced onto a different shard number.
+    material = json.dumps(
+        {"shard": shard, "record": record}, sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    tmp = path.with_suffix(f".tmp.{os.getpid()}")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    tmp.replace(path)
+    dir_fd = os.open(path.parent, os.O_RDONLY)
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
+
+
+class CheckpointJournal:
+    """One campaign's shard journal; also usable as a context manager."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._handle = None
+
+    # -- lifecycle ---------------------------------------------------------------
+    def open(self, config_digest: str) -> dict[int, dict]:
+        """Create or recover the journal; returns the completed shards.
+
+        A fresh path gets a new header.  An existing journal is
+        verified against ``config_digest`` (mismatch raises
+        :class:`CheckpointError`), its shard lines are checksum-checked
+        — torn or corrupt lines are counted in
+        ``campaign_ckpt_dropped`` and recomputed by the caller — and the
+        surviving lines are compacted back to disk before the journal
+        reopens for appending.
+        """
+        if self._handle is not None:
+            raise CheckpointError("journal is already open")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        records: dict[int, dict] = {}
+        if self.path.exists():
+            records = self._recover(config_digest)
+        else:
+            header = json.dumps(
+                {"schema": CHECKPOINT_SCHEMA, "config_digest": config_digest},
+                sort_keys=True,
+            )
+            _atomic_write(self.path, header + "\n")
+        self._handle = open(self.path, "a", encoding="utf-8")
+        return records
+
+    def _recover(self, config_digest: str) -> dict[int, dict]:
+        raw_lines = self.path.read_text(encoding="utf-8").split("\n")
+        header = None
+        try:
+            header = json.loads(raw_lines[0]) if raw_lines[0] else None
+        except ValueError:
+            header = None
+        if not isinstance(header, dict) or header.get("schema") != CHECKPOINT_SCHEMA:
+            raise CheckpointError(
+                f"{self.path} is not a campaign checkpoint (bad or missing header)"
+            )
+        if header.get("config_digest") != config_digest:
+            raise CheckpointError(
+                f"{self.path} belongs to a different campaign configuration "
+                f"(journal {str(header.get('config_digest'))[:12]}…, "
+                f"campaign {config_digest[:12]}…)"
+            )
+        records: dict[int, dict] = {}
+        good_lines = [raw_lines[0]]
+        dropped = 0
+        for line in raw_lines[1:]:
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+                shard = entry["shard"]
+                record = entry["record"]
+                if not isinstance(shard, int) or not isinstance(record, dict):
+                    raise ValueError("malformed shard line")
+                if entry["sha256"] != _record_digest(shard, record):
+                    raise ValueError("checksum mismatch")
+            except (ValueError, KeyError, TypeError):
+                dropped += 1
+                continue
+            if shard not in records:
+                good_lines.append(line)
+            records[shard] = record
+        if dropped:
+            counters.increment("campaign_ckpt_dropped", dropped)
+        # Always compact: removes torn tails and duplicate shard lines so
+        # the next append lands on a clean line boundary.
+        _atomic_write(self.path, "\n".join(good_lines) + "\n")
+        return records
+
+    def append(self, shard: int, record: dict) -> None:
+        """Durably journal one completed shard (flushed + fsynced)."""
+        if self._handle is None:
+            raise CheckpointError("journal is not open")
+        line = json.dumps(
+            {"shard": shard, "record": record, "sha256": _record_digest(shard, record)},
+            sort_keys=True,
+        )
+        self._handle.write(line + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        counters.increment("campaign_ckpt_appends")
+
+    def close(self) -> None:
+        """Release the append handle; safe to call any number of times."""
+        handle, self._handle = self._handle, None
+        if handle is not None:
+            handle.close()
+
+    def __enter__(self) -> "CheckpointJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

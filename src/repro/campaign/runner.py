@@ -1,0 +1,441 @@
+"""Streaming yield-campaign runner.
+
+The unit of work is a *shard*: ``shard_size`` fault maps drawn from the
+seeded stream ``random.Random(f"{seed}:shard{i}")``, validated (and
+optionally remapped) in one ``validate_batch`` / ``map_batch`` request
+against the campaign circuit's synthesized design.  A shard record is a
+pure deterministic function of (config, shard index) — no timings, no
+cache statistics — so any subset of shards can be recomputed at any
+time and the merged report is bit-identical across restarts, resumes
+and chaos.
+
+``run_campaign`` streams shards through one or more client connections
+(``streams``), journalling each completed shard to a
+:class:`~repro.campaign.checkpoint.CheckpointJournal` so a SIGKILLed
+campaign resumes with zero lost or duplicated samples.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import queue
+import random
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..crossbar import design_from_json, fault_map_to_json, random_fault_map
+from ..perf import counters
+from ..robust import line_cover_level, provisioning_table
+from .checkpoint import CheckpointJournal
+
+__all__ = ["CAMPAIGN_SCHEMA", "CampaignConfig", "CampaignReport", "compute_shard", "run_campaign"]
+
+#: Stamped into the config digest; bump when shard derivation changes.
+CAMPAIGN_SCHEMA = "repro.campaign/1"
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Everything that determines a campaign's samples and records.
+
+    ``circuit_blif`` is the canonical BLIF of the circuit under test
+    (the design is synthesized from it through the service, so the
+    design itself need not be part of the digest).  The physical array
+    sampled is the design's footprint plus ``spare_rows``/``spare_cols``
+    spare lines; ``remap`` additionally drives failing maps through the
+    defect-aware remapper (``map_batch``, deterministic greedy placer).
+    """
+
+    circuit: str
+    circuit_blif: str
+    samples: int = 1000
+    shard_size: int = 100
+    p_stuck_on: float = 0.002
+    p_stuck_off: float = 0.02
+    spare_rows: int = 0
+    spare_cols: int = 0
+    remap: bool = False
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.samples < 1:
+            raise ValueError("a campaign needs at least one sample")
+        if self.shard_size < 1:
+            raise ValueError("shard_size must be >= 1")
+        if self.spare_rows < 0 or self.spare_cols < 0:
+            raise ValueError("spare line counts must be >= 0")
+        if not (0.0 <= self.p_stuck_on <= 1.0 and 0.0 <= self.p_stuck_off <= 1.0):
+            raise ValueError("fault probabilities must lie in [0, 1]")
+
+    @classmethod
+    def from_suite(cls, name: str, **knobs) -> "CampaignConfig":
+        """Build a config for one benchmark-suite circuit by name."""
+        from ..bench.suites import circuit
+        from ..io import write_blif
+
+        return cls(circuit=name, circuit_blif=write_blif(circuit(name)), **knobs)
+
+    @property
+    def num_shards(self) -> int:
+        return (self.samples + self.shard_size - 1) // self.shard_size
+
+    def shard_samples(self, shard: int) -> int:
+        """How many fault maps shard ``shard`` holds (the last is short)."""
+        if not 0 <= shard < self.num_shards:
+            raise ValueError(f"shard {shard} is outside 0..{self.num_shards - 1}")
+        return min(self.shard_size, self.samples - shard * self.shard_size)
+
+    def digest(self) -> str:
+        """SHA-256 binding checkpoints to this exact configuration."""
+        material = {
+            "schema": CAMPAIGN_SCHEMA,
+            "circuit": self.circuit,
+            "circuit_blif": self.circuit_blif,
+            "samples": self.samples,
+            "shard_size": self.shard_size,
+            "p_stuck_on": self.p_stuck_on,
+            "p_stuck_off": self.p_stuck_off,
+            "spare_rows": self.spare_rows,
+            "spare_cols": self.spare_cols,
+            "remap": self.remap,
+            "seed": self.seed,
+        }
+        blob = json.dumps(material, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def shard_fault_maps(config: CampaignConfig, rows: int, cols: int, shard: int) -> list:
+    """Draw shard ``shard``'s fault maps from its private RNG stream.
+
+    Each shard owns the stream ``Random(f"{seed}:shard{i}")``, so shards
+    are independently recomputable in any order — the property the
+    checkpoint's drop-and-recompute recovery and bit-identical resume
+    rest on.
+    """
+    rng = random.Random(f"{config.seed}:shard{shard}")
+    return [
+        random_fault_map(
+            rows, cols,
+            p_stuck_on=config.p_stuck_on, p_stuck_off=config.p_stuck_off,
+            seed=rng,
+        )
+        for _ in range(config.shard_samples(shard))
+    ]
+
+
+def _circuit_param(config: CampaignConfig) -> dict:
+    return {"format": "blif", "text": config.circuit_blif, "source": config.circuit}
+
+
+def compute_shard(
+    client,
+    config: CampaignConfig,
+    design_json: str,
+    rows: int,
+    cols: int,
+    shard: int,
+    timeout: float | None = None,
+) -> dict:
+    """One shard's deterministic record, via the service.
+
+    ``rows``/``cols`` are the *design* footprint; maps are drawn on the
+    physical array (footprint + spares) and *restricted* to the
+    footprint for validation — the bare design occupies the top-left
+    corner, the spare lines only matter to the remapper, which gets the
+    full physical maps.  The record aggregates the functional verdicts
+    into a per-fault-count yield curve, the greedy line-cover levels for
+    the provisioning table, and (``remap`` mode) the remap outcomes of
+    the distinct failing maps.
+    """
+    maps = shard_fault_maps(
+        config, rows + config.spare_rows, cols + config.spare_cols, shard
+    )
+    footprint = [m.restricted(rows, cols) for m in maps]
+    verdicts = client.result(
+        "validate_batch",
+        {
+            "design_json": design_json,
+            "circuit": _circuit_param(config),
+            "fault_maps": [fault_map_to_json(m) for m in footprint],
+        },
+        timeout=timeout,
+    )
+    by_faults: dict[str, list[int]] = {}
+    levels: dict[str, int] = {}
+    functional = 0
+    failing: dict[str, str] = {}  # full-map signature -> payload, insertion-ordered
+    for fault_map, sub, verdict in zip(maps, footprint, verdicts["results"]):
+        bucket = by_faults.setdefault(str(len(sub.faults)), [0, 0])
+        bucket[0] += 1
+        if verdict["ok"]:
+            bucket[1] += 1
+            functional += 1
+        else:
+            failing.setdefault(fault_map.signature(), fault_map_to_json(fault_map))
+        level = line_cover_level(sub)
+        levels[str(level)] = levels.get(str(level), 0) + 1
+    record = {
+        "samples": len(maps),
+        "functional": functional,
+        "distinct": verdicts["distinct"],
+        "by_faults": by_faults,
+        "levels": levels,
+        "remap": None,
+    }
+    if config.remap and failing:
+        outcomes = client.result(
+            "map_batch",
+            {
+                "design_json": design_json,
+                "circuit": _circuit_param(config),
+                "fault_maps": list(failing.values()),
+                "spare_rows": config.spare_rows,
+                "spare_cols": config.spare_cols,
+            },
+            timeout=timeout,
+        )
+        stages: dict[str, int] = {}
+        recovered = 0
+        for outcome in outcomes["results"]:
+            stages[outcome["stage"]] = stages.get(outcome["stage"], 0) + 1
+            if outcome["ok"]:
+                recovered += 1
+        record["remap"] = {
+            "attempted": len(failing),
+            "recovered": recovered,
+            "stages": stages,
+        }
+    return record
+
+
+@dataclass
+class CampaignReport:
+    """The merged outcome of one campaign (all fields deterministic)."""
+
+    circuit: str
+    config_digest: str
+    samples: int
+    functional: int
+    yield_fraction: float
+    #: Sorted yield curve: one row per observed fault count.
+    by_faults: list[dict] = field(default_factory=list)
+    #: Cumulative recoverable fraction per spare-line budget.
+    provisioning: list[dict] = field(default_factory=list)
+    #: Remap tallies over distinct failing maps (``remap`` mode only).
+    remap: dict | None = None
+    #: Shard accounting for *this invocation* (resumed vs. computed).
+    #: The only non-deterministic field — every other field is a pure
+    #: function of the config; see :meth:`result_dict`.
+    shards: dict = field(default_factory=dict)
+
+    def result_dict(self) -> dict:
+        """The deterministic portion of the report (no run accounting).
+
+        This is the document the chaos harness and the resume tests
+        assert bit-identical across uninterrupted, SIGKILL-resumed and
+        chaos-harassed runs.
+        """
+        payload = self.as_dict()
+        del payload["shards"]
+        return payload
+
+    def as_dict(self) -> dict:
+        return {
+            "circuit": self.circuit,
+            "config_digest": self.config_digest,
+            "samples": self.samples,
+            "functional": self.functional,
+            "yield_fraction": self.yield_fraction,
+            "by_faults": self.by_faults,
+            "provisioning": self.provisioning,
+            "remap": self.remap,
+            "shards": self.shards,
+        }
+
+    def render(self) -> str:
+        """Fixed-width text summary for CLI output."""
+        from ..robust import render_provisioning_table
+
+        lines = [
+            f"campaign: {self.circuit}  "
+            f"samples={self.samples}  functional={self.functional}  "
+            f"yield={self.yield_fraction:.4f}",
+            "",
+            f"{'faults':>6}  {'samples':>8}  {'functional':>10}  {'yield':>8}",
+        ]
+        for row in self.by_faults:
+            lines.append(
+                f"{row['faults']:>6}  {row['samples']:>8}  "
+                f"{row['functional']:>10}  {row['yield']:>8.4f}"
+            )
+        lines += ["", "spare-line provisioning (greedy line-cover bound):"]
+        lines.append(render_provisioning_table(self.provisioning))
+        if self.remap is not None:
+            stages = ", ".join(
+                f"{name}={count}" for name, count in sorted(self.remap["stages"].items())
+            )
+            lines += [
+                "",
+                f"remap: attempted={self.remap['attempted']}  "
+                f"recovered={self.remap['recovered']}  stages: {stages}",
+            ]
+        return "\n".join(lines)
+
+
+def merge_records(config: CampaignConfig, records: dict[int, dict], shards_resumed: int) -> CampaignReport:
+    """Fold per-shard records into the campaign report.
+
+    Pure aggregation over sorted shard ids — the merge never depends on
+    the order shards were *computed* in, only on their contents.
+    """
+    samples = functional = 0
+    by_faults: dict[int, list[int]] = {}
+    levels: dict[int, int] = {}
+    remap_total: dict | None = None
+    for shard in sorted(records):
+        record = records[shard]
+        samples += record["samples"]
+        functional += record["functional"]
+        for key, (total, good) in record["by_faults"].items():
+            bucket = by_faults.setdefault(int(key), [0, 0])
+            bucket[0] += total
+            bucket[1] += good
+        for key, count in record["levels"].items():
+            levels[int(key)] = levels.get(int(key), 0) + count
+        if record.get("remap") is not None:
+            if remap_total is None:
+                remap_total = {"attempted": 0, "recovered": 0, "stages": {}}
+            remap_total["attempted"] += record["remap"]["attempted"]
+            remap_total["recovered"] += record["remap"]["recovered"]
+            for stage, count in record["remap"]["stages"].items():
+                remap_total["stages"][stage] = (
+                    remap_total["stages"].get(stage, 0) + count
+                )
+    curve = [
+        {
+            "faults": faults,
+            "samples": total,
+            "functional": good,
+            "yield": good / total,
+        }
+        for faults, (total, good) in sorted(by_faults.items())
+    ]
+    return CampaignReport(
+        circuit=config.circuit,
+        config_digest=config.digest(),
+        samples=samples,
+        functional=functional,
+        yield_fraction=functional / samples if samples else 0.0,
+        by_faults=curve,
+        provisioning=provisioning_table(levels) if levels else [],
+        remap=remap_total,
+        shards={
+            "total": config.num_shards,
+            "resumed": shards_resumed,
+            "computed": len(records) - shards_resumed,
+        },
+    )
+
+
+def run_campaign(
+    config: CampaignConfig,
+    client_factory,
+    checkpoint: str | Path | None = None,
+    streams: int = 1,
+    max_shards: int | None = None,
+    chaos=None,
+    request_timeout: float | None = None,
+) -> CampaignReport:
+    """Run (or resume) one campaign end to end.
+
+    ``client_factory`` is a zero-argument callable returning a connected
+    :class:`~repro.service.client.ServiceClient`; each stream gets its
+    own connection.  With a ``checkpoint`` path, completed shards are
+    journalled and a rerun resumes from whatever survived.  ``chaos``
+    (a :class:`~repro.campaign.chaos.ChaosMonkey`) gets a
+    ``before_shard`` callback on every fresh shard.  ``max_shards``
+    bounds this *invocation* — the campaign stops early with a partial
+    checkpoint (used by crash/resume tests); the report then covers only
+    the completed shards.
+    """
+    if streams < 1:
+        raise ValueError("streams must be >= 1")
+    client = client_factory()
+    try:
+        synth = client.result(
+            "synth",
+            {"circuit": _circuit_param(config), "validate": False},
+            timeout=request_timeout,
+        )
+        design_json = synth["design_json"]
+    finally:
+        client.close()
+    design = design_from_json(design_json)
+    rows, cols = design.num_rows, design.num_cols
+
+    journal = None
+    records: dict[int, dict] = {}
+    if checkpoint is not None:
+        journal = CheckpointJournal(checkpoint)
+        records = journal.open(config.digest())
+    shards_resumed = len(records)
+    counters.increment("campaign_shards_resumed", shards_resumed)
+
+    todo = [s for s in range(config.num_shards) if s not in records]
+    if max_shards is not None:
+        todo = todo[:max_shards]
+
+    try:
+        if todo:
+            pending: queue.Queue = queue.Queue()
+            for shard in todo:
+                pending.put(shard)
+            lock = threading.Lock()
+            failures: list[Exception] = []
+
+            def worker() -> None:
+                stream_client = client_factory()
+                try:
+                    while True:
+                        try:
+                            shard = pending.get_nowait()
+                        except queue.Empty:
+                            return
+                        if failures:
+                            return
+                        if chaos is not None:
+                            chaos.before_shard(shard, stream_client)
+                        try:
+                            record = compute_shard(
+                                stream_client, config, design_json,
+                                rows, cols, shard, timeout=request_timeout,
+                            )
+                        except Exception as exc:  # noqa: BLE001 — surfaced below
+                            with lock:
+                                failures.append(exc)
+                            return
+                        with lock:
+                            records[shard] = record
+                            if journal is not None:
+                                journal.append(shard, record)
+                            counters.increment("campaign_shards_computed")
+                            counters.increment("campaign_samples", record["samples"])
+                finally:
+                    stream_client.close()
+
+            threads = [
+                threading.Thread(target=worker, name=f"campaign-{i}", daemon=True)
+                for i in range(min(streams, len(todo)))
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            if failures:
+                raise failures[0]
+    finally:
+        if journal is not None:
+            journal.close()
+    return merge_records(config, records, shards_resumed)

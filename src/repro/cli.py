@@ -377,6 +377,40 @@ def build_parser() -> argparse.ArgumentParser:
     csub.add_parser("ping", help="liveness check")
     csub.add_parser("stats", help="server, engine and cache statistics (JSON)")
 
+    camp = sub.add_parser(
+        "campaign",
+        help="fleet-scale yield campaign: sample fault maps, batch-validate "
+             "through the service, emit yield curve + provisioning table",
+    )
+    camp.add_argument("circuit", help="benchmark-suite circuit name (e.g. c17, rca8)")
+    camp.add_argument("--samples", type=int, default=1000, metavar="N",
+                      help="fault maps to sample (default: 1000)")
+    camp.add_argument("--shard-size", type=int, default=100, metavar="N",
+                      help="fault maps per batch request / checkpoint unit")
+    camp.add_argument("--p-stuck-on", type=float, default=0.002)
+    camp.add_argument("--p-stuck-off", type=float, default=0.02)
+    camp.add_argument("--spare-rows", type=int, default=0, metavar="N",
+                      help="spare rows on the sampled physical array")
+    camp.add_argument("--spare-cols", type=int, default=0, metavar="N",
+                      help="spare columns on the sampled physical array")
+    camp.add_argument("--remap", action="store_true",
+                      help="also drive failing maps through the defect-aware remapper")
+    camp.add_argument("--seed", type=int, default=0)
+    camp.add_argument("--checkpoint", metavar="PATH",
+                      help="crash-safe shard journal; rerun with the same path to resume")
+    camp.add_argument("--streams", type=int, default=2, metavar="N",
+                      help="concurrent client connections")
+    camp.add_argument("--socket", metavar="PATH",
+                      help="Unix socket of a running server (default: in-process server)")
+    camp.add_argument("--tcp", metavar="HOST:PORT",
+                      help="TCP address of a running server (default: in-process server)")
+    camp.add_argument("--jobs", type=int, default=None, metavar="N",
+                      help="worker processes for the in-process server")
+    camp.add_argument("--timeout", type=float, default=300.0, metavar="SECONDS",
+                      help="per-request deadline")
+    camp.add_argument("--json", action="store_true",
+                      help="emit the full report as JSON instead of tables")
+
     bench = sub.add_parser("bench", help="run one paper experiment or the perf harness")
     bench.add_argument(
         "experiment",
@@ -385,11 +419,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=[
             "table1", "table2", "table3", "table4",
             "fig9", "fig10", "fig11", "fig12", "fig13",
-            "perf", "yield", "service",
+            "perf", "yield", "service", "campaign",
         ],
         help="paper table/figure, 'perf' (default) for the perf baseline harness, "
-             "'yield' for the naive-vs-remapped fault-recovery comparison, or "
-             "'service' for the synthesis-service trace replay",
+             "'yield' for the naive-vs-remapped fault-recovery comparison, "
+             "'service' for the synthesis-service trace replay, or 'campaign' "
+             "for the clean-vs-chaos yield-campaign harness",
     )
     bench.add_argument("--tier", default=None, choices=[None, "fast", "full"])
     bench.add_argument(
@@ -442,6 +477,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="service experiment: replay against this running server")
     bench.add_argument("--tcp", metavar="HOST:PORT",
                        help="service experiment: replay against this running server")
+    bench.add_argument("--samples", type=int, default=200, metavar="N",
+                       help="campaign experiment: fault maps sampled")
+    bench.add_argument("--shard-size", type=int, default=25, metavar="N",
+                       help="campaign experiment: fault maps per shard")
+    bench.add_argument("--chaos", action="store_true",
+                       help="campaign experiment: rerun under injected worker kills, "
+                            "dropped connections and corrupted cache/checkpoint files, "
+                            "asserting a bit-identical report")
     return parser
 
 
@@ -630,6 +673,8 @@ def _cmd_bench(args) -> int:
         return _cmd_bench_yield(args)
     if args.experiment == "service":
         return _cmd_bench_service(args)
+    if args.experiment == "campaign":
+        return _cmd_bench_campaign(args)
 
     runner = {
         "table1": lambda: b.table1_properties(args.tier),
@@ -794,6 +839,100 @@ def _cmd_client(args) -> int:
     return _finish_validate(result, args)
 
 
+def _cmd_campaign(args) -> int:
+    import contextlib
+    import json as json_mod
+
+    from .campaign import CampaignConfig, CheckpointError, run_campaign
+    from .service import RetryPolicy, ServiceClient, ServiceClientError, ServiceUnavailable
+
+    try:
+        config = CampaignConfig.from_suite(
+            args.circuit,
+            samples=args.samples, shard_size=args.shard_size,
+            p_stuck_on=args.p_stuck_on, p_stuck_off=args.p_stuck_off,
+            spare_rows=args.spare_rows, spare_cols=args.spare_cols,
+            remap=args.remap, seed=args.seed,
+        )
+    except (KeyError, ValueError) as exc:
+        raise _usage_error(str(exc).strip('"')) from exc
+    if args.streams < 1:
+        raise _usage_error("--streams must be >= 1")
+    retry = RetryPolicy(seed=args.seed)
+    with contextlib.ExitStack() as stack:
+        if args.socket or args.tcp:
+            address = _parse_address_or_exit(args.socket, args.tcp)
+        else:
+            from .service import ServiceServer
+
+            server = stack.enter_context(ServiceServer(
+                ("tcp", "127.0.0.1", 0), jobs=_resolve_jobs(args.jobs)
+            ))
+            address = server.address
+
+        def client_factory() -> ServiceClient:
+            if address[0] == "unix":
+                return ServiceClient(
+                    socket_path=address[1], timeout=args.timeout, retry=retry
+                )
+            return ServiceClient(
+                tcp=(address[1], address[2]), timeout=args.timeout, retry=retry
+            )
+
+        try:
+            report = run_campaign(
+                config, client_factory,
+                checkpoint=args.checkpoint, streams=args.streams,
+                request_timeout=args.timeout,
+            )
+        except CheckpointError as exc:
+            raise _usage_error(str(exc)) from exc
+        except ServiceUnavailable as exc:
+            raise _usage_error(str(exc)) from exc
+        except ServiceClientError as exc:
+            if exc.code in _USAGE_ERROR_CODES:
+                raise _usage_error(exc.message) from exc
+            print(f"repro: service error: {exc.code}: {exc.message}", file=sys.stderr)
+            return 1
+    if args.json:
+        print(json_mod.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0
+
+
+def _cmd_bench_campaign(args) -> int:
+    from .campaign.bench import run_campaign_bench
+
+    try:
+        summary = run_campaign_bench(
+            circuit=(args.circuits.split(",")[0].strip() if args.circuits else "c17"),
+            samples=args.samples, shard_size=args.shard_size,
+            p_stuck_on=args.p_stuck_on, p_stuck_off=args.p_stuck_off,
+            spare_rows=args.spare_rows, spare_cols=args.spare_cols,
+            seed=args.seed, chaos=args.chaos,
+        )
+    except (KeyError, ValueError) as exc:
+        raise _usage_error(str(exc).strip('"')) from exc
+    print(
+        f"campaign bench: {summary['circuit']}  samples={summary['samples']}  "
+        f"yield={summary['yield_fraction']:.4f}"
+    )
+    if not args.chaos:
+        return 0
+    tally: dict[str, int] = {}
+    for event in summary["chaos_events"]:
+        tally[event["kind"]] = tally.get(event["kind"], 0) + 1
+    struck = ", ".join(f"{k}={v}" for k, v in sorted(tally.items())) or "none"
+    print(f"chaos: strikes: {struck}; "
+          f"checkpoint lines corrupted={summary['checkpoint_lines_corrupted']}")
+    if summary["match"]:
+        print("match: OK — chaos report is bit-identical to the clean run")
+        return 0
+    print("match: FAILED — chaos run diverged from the clean run", file=sys.stderr)
+    return 1
+
+
 def _cmd_bench_service(args) -> int:
     from .service.bench import render_service_table, run_service_bench
 
@@ -828,6 +967,7 @@ def main(argv: list[str] | None = None) -> int:
         "faults": _cmd_faults,
         "serve": _cmd_serve,
         "client": _cmd_client,
+        "campaign": _cmd_campaign,
         "bench": _cmd_bench,
     }[args.command]
     return handler(args)

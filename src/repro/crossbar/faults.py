@@ -11,6 +11,8 @@ standard reliability questions for in-memory computing fabrics.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import random
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
@@ -33,6 +35,10 @@ __all__ = [
 
 STUCK_ON = "stuck_on"
 STUCK_OFF = "stuck_off"
+
+#: Stamped into the hashed material of :meth:`FaultMap.signature`;
+#: bump when the signature derivation changes.
+_SIGNATURE_SCHEMA = "repro.fault-signature/1"
 
 
 @dataclass(frozen=True)
@@ -95,6 +101,25 @@ class FaultMap:
     def density(self) -> float:
         """Fraction of defective crosspoints."""
         return len(self.faults) / (self.rows * self.cols)
+
+    def signature(self) -> str:
+        """Stable content hash of this map (the fault-class signature).
+
+        Two maps with the same array dimensions and the same *set* of
+        faults share one signature regardless of the order their fault
+        lists were built in, and the signature survives a JSON round
+        trip — which is what lets the yield-campaign runner dedup
+        validation and remap work through the content-addressed cache
+        keyed on (design, signature).
+        """
+        material = {
+            "schema": _SIGNATURE_SCHEMA,
+            "rows": self.rows,
+            "cols": self.cols,
+            "faults": sorted((f.row, f.col, f.kind) for f in self.faults),
+        }
+        blob = json.dumps(material, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
 
     def restricted(self, rows: int, cols: int) -> "FaultMap":
         """The sub-map covering the top-left ``rows`` x ``cols`` region.

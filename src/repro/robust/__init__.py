@@ -31,6 +31,7 @@ from .constraints import (
 from .milp_placer import milp_place
 from .pipeline import FaultTolerantResult, synthesize_fault_tolerant
 from .placer import greedy_place, repair_sneak_paths
+from .provision import line_cover_level, provisioning_table, render_provisioning_table
 from .remap import RemapDiagnosis, RemapFailure, RemapResult, remap
 from .yieldcmp import YieldComparison, render_yield_table, yield_comparison
 
@@ -45,6 +46,9 @@ __all__ = [
     "greedy_place",
     "repair_sneak_paths",
     "milp_place",
+    "line_cover_level",
+    "provisioning_table",
+    "render_provisioning_table",
     "remap",
     "RemapResult",
     "RemapDiagnosis",

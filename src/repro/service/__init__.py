@@ -26,7 +26,7 @@ dependency.
 """
 
 from .cache import ResultCache, canonical_request, request_key
-from .client import ServiceClient, ServiceClientError, ServiceUnavailable
+from .client import RetryPolicy, ServiceClient, ServiceClientError, ServiceUnavailable
 from .engine import Engine
 from .protocol import (
     CACHEABLE_METHODS,
@@ -53,6 +53,7 @@ __all__ = [
     "canonical_request",
     "request_key",
     "Engine",
+    "RetryPolicy",
     "ServiceClient",
     "ServiceClientError",
     "ServiceUnavailable",

@@ -27,7 +27,12 @@ from collections import OrderedDict
 from pathlib import Path
 
 from ..perf import counters
-from .protocol import CACHEABLE_METHODS, MAP_DEFAULTS, SYNTH_DEFAULTS
+from .protocol import (
+    CACHEABLE_METHODS,
+    MAP_BATCH_DEFAULTS,
+    MAP_DEFAULTS,
+    SYNTH_DEFAULTS,
+)
 
 __all__ = ["CACHE_KEY_SCHEMA", "ResultCache", "canonical_request", "request_key"]
 
@@ -89,6 +94,27 @@ def _canonical_fault_map(params: dict) -> str:
     return fault_map_to_json(fault_map_from_json(payload))
 
 
+def _canonical_fault_maps(params: dict) -> list[str]:
+    """Canonicalise a batch request's ``fault_maps`` list, in order.
+
+    Order is preserved (the response's per-item results are positional),
+    so two batches over the same maps in a different order hash to
+    different keys — the campaign runner dedups map *content* itself via
+    fault-class signatures before batching.
+    """
+    from ..crossbar import fault_map_from_json, fault_map_to_json
+
+    payloads = params.get("fault_maps")
+    if not isinstance(payloads, list) or not payloads:
+        raise ValueError("batch request missing a non-empty 'fault_maps' list")
+    canonical = []
+    for payload in payloads:
+        if isinstance(payload, dict):
+            payload = json.dumps(payload)
+        canonical.append(fault_map_to_json(fault_map_from_json(payload)))
+    return canonical
+
+
 def canonical_request(method: str, params: dict) -> dict:
     """The canonical key material for one request.
 
@@ -111,6 +137,16 @@ def canonical_request(method: str, params: dict) -> dict:
         material["fault_map"] = _canonical_fault_map(params)
         for knob, default in MAP_DEFAULTS.items():
             material[knob] = params.get(knob, default)
+    elif method == "map_batch":
+        material["design"] = _canonical_design(params)
+        material.update(_canonical_circuit(params))
+        material["fault_maps"] = _canonical_fault_maps(params)
+        for knob, default in MAP_BATCH_DEFAULTS.items():
+            material[knob] = params.get(knob, default)
+    elif method == "validate_batch":
+        material["design"] = _canonical_design(params)
+        material.update(_canonical_circuit(params))
+        material["fault_maps"] = _canonical_fault_maps(params)
     else:  # validate
         material["design"] = _canonical_design(params)
         material.update(_canonical_circuit(params))
@@ -178,8 +214,22 @@ class ResultCache:
         )
         tmp = self._path(key).with_suffix(f".tmp.{os.getpid()}")
         try:
-            tmp.write_text(entry)
+            # fsync the temp file before the atomic rename, and the
+            # directory after it: without the first a power loss can
+            # leave the *renamed* entry torn (rename durable, data not),
+            # and without the second the rename itself may be lost.
+            # A lost rename is harmless (cache miss); a torn entry would
+            # shadow a good result until _disk_get drops it.
+            with open(tmp, "w", encoding="utf-8") as handle:
+                handle.write(entry)
+                handle.flush()
+                os.fsync(handle.fileno())
             tmp.replace(self._path(key))
+            dir_fd = os.open(self._dir, os.O_RDONLY)
+            try:
+                os.fsync(dir_fd)
+            finally:
+                os.close(dir_fd)
         except OSError:
             try:
                 tmp.unlink()

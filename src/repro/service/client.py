@@ -8,15 +8,27 @@ one connection; requests on a connection are pipelined sequentially.
     with ServiceClient(socket_path="/tmp/repro.sock") as client:
         result = client.result("synth", {"expr": "(a & b) | c"})
         print(result["metrics"]["semiperimeter"])
+
+For fleet workloads (the yield-campaign runner) the client can be made
+*resilient*: constructed with a :class:`RetryPolicy` it retries failed
+calls with jittered exponential backoff, transparently reconnecting
+after a dropped connection, and retrying ``overloaded`` /
+``worker_crash`` responses — safe because every service method is a
+deterministic function of its request.  Without a policy the behaviour
+is exactly the classic one-shot client.
 """
 
 from __future__ import annotations
 
+import random
 import socket
+import time
+from dataclasses import dataclass, field
 
+from ..perf import counters
 from .protocol import ProtocolError, decode_response, encode, make_request
 
-__all__ = ["ServiceClient", "ServiceClientError", "ServiceUnavailable"]
+__all__ = ["RetryPolicy", "ServiceClient", "ServiceClientError", "ServiceUnavailable"]
 
 
 class ServiceClientError(RuntimeError):
@@ -33,6 +45,48 @@ class ServiceUnavailable(ConnectionError):
     """The server could not be reached or the connection broke."""
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with jittered exponential backoff.
+
+    ``max_attempts`` counts the first try: ``max_attempts=1`` never
+    retries.  Attempt ``k`` (0-based) sleeps ``base_delay_s * 2**k``
+    capped at ``max_delay_s``, stretched by a seeded uniform jitter in
+    ``[1, 1 + jitter]`` so a fleet of campaign clients does not retry in
+    lockstep.  Transport failures always qualify for a retry (after a
+    reconnect); structured server errors qualify when their code is in
+    ``retry_codes`` — by default the two transient ones, ``overloaded``
+    and ``worker_crash``.  ``timeout`` is deliberately absent: a job
+    that exceeded its budget once will again, unless the caller shrinks
+    the request (the campaign runner's batch sizing does exactly that).
+    """
+
+    max_attempts: int = 5
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+    jitter: float = 0.5
+    retry_codes: frozenset[str] = frozenset({"overloaded", "worker_crash"})
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay_s < 0 or self.max_delay_s < 0 or self.jitter < 0:
+            raise ValueError("delays and jitter must be >= 0")
+
+    def delay_s(self, attempt: int, rng: random.Random) -> float:
+        capped = min(self.max_delay_s, self.base_delay_s * (2 ** attempt))
+        return capped * (1.0 + self.jitter * rng.random())
+
+
+@dataclass
+class _Transport:
+    """One live socket + buffered reader (swapped out on reconnect)."""
+
+    sock: socket.socket
+    reader: object = field(repr=False)
+
+
 class ServiceClient:
     """One connection to a running :class:`~repro.service.server.ServiceServer`."""
 
@@ -41,47 +95,156 @@ class ServiceClient:
         socket_path: str | None = None,
         tcp: tuple[str, int] | None = None,
         timeout: float | None = 300.0,
+        retry: RetryPolicy | None = None,
     ):
         if (socket_path is None) == (tcp is None):
             raise ValueError("choose exactly one of socket_path or tcp=(host, port)")
+        self._socket_path = socket_path
+        self._tcp = tcp
+        self._timeout = timeout
+        self._retry = retry
+        self._rng = random.Random(retry.seed if retry is not None else 0)
+        self._peer = socket_path if socket_path is not None else f"{tcp[0]}:{tcp[1]}"
+        self._transport: _Transport | None = None
+        self._closed = False
+        self._next_id = 1
+        self._connect()
+
+    # -- connection management ---------------------------------------------------
+    def _connect(self) -> None:
         try:
-            if socket_path is not None:
-                self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-                self._sock.settimeout(timeout)
-                self._sock.connect(socket_path)
-                self._peer = socket_path
+            if self._socket_path is not None:
+                sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                sock.settimeout(self._timeout)
+                sock.connect(self._socket_path)
             else:
-                host, port = tcp
-                self._sock = socket.create_connection((host, port), timeout=timeout)
-                self._peer = f"{host}:{port}"
+                sock = socket.create_connection(self._tcp, timeout=self._timeout)
         except OSError as exc:
             raise ServiceUnavailable(
-                f"cannot connect to {socket_path or ':'.join(map(str, tcp))}: "
-                f"{exc.strerror or exc}"
+                f"cannot connect to {self._peer}: {exc.strerror or exc}"
             ) from exc
-        self._file = self._sock.makefile("rb")
-        self._next_id = 1
+        self._transport = _Transport(sock=sock, reader=sock.makefile("rb"))
+
+    def _drop_transport(self) -> None:
+        transport, self._transport = self._transport, None
+        if transport is None:
+            return
+        try:
+            transport.reader.close()
+        except OSError:  # check: allow C003 — already tearing the socket down
+            pass
+        try:
+            transport.sock.close()
+        except OSError:  # check: allow C003 — already tearing the socket down
+            pass
+
+    def reconnect(self) -> None:
+        """Tear the connection down and dial the same peer again."""
+        if self._closed:
+            raise ServiceUnavailable(f"client for {self._peer} is closed")
+        self._drop_transport()
+        self._connect()
+        counters.increment("service_client_reconnects")
+
+    def kill_connection(self) -> None:
+        """Forcibly sever the live socket *without* closing the client.
+
+        A chaos-harness hook: the next call sees the broken transport
+        exactly as it would a server-side drop, and the retry path (when
+        a policy is configured) reconnects.
+        """
+        transport = self._transport
+        if transport is None:
+            return
+        try:
+            transport.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:  # check: allow C003 — severing is the goal
+            pass
 
     # -- transport ---------------------------------------------------------------
-    def call(self, method: str, params: dict | None = None) -> dict:
-        """Send one request; returns the full response envelope."""
+    def _call_once(self, method: str, params: dict | None, timeout: float | None) -> dict:
+        if self._closed:
+            raise ServiceUnavailable(f"client for {self._peer} is closed")
+        if self._transport is None:
+            self._connect()
+        transport = self._transport
         request = make_request(method, params, request_id=self._next_id)
         self._next_id += 1
+        override = timeout is not None and timeout != self._timeout
         try:
-            self._sock.sendall(encode(request))
-            line = self._file.readline()
+            if override:
+                transport.sock.settimeout(timeout)
+            try:
+                transport.sock.sendall(encode(request))
+                line = transport.reader.readline()
+            finally:
+                if override:
+                    try:
+                        transport.sock.settimeout(self._timeout)
+                    except OSError:  # check: allow C003 — socket may be dead
+                        pass
         except OSError as exc:
+            self._drop_transport()
             raise ServiceUnavailable(f"connection to {self._peer} broke: {exc}") from exc
         if not line:
+            self._drop_transport()
             raise ServiceUnavailable(f"server at {self._peer} closed the connection")
         try:
             return decode_response(line)
         except ProtocolError as exc:
             raise ServiceUnavailable(f"bad frame from {self._peer}: {exc}") from exc
 
-    def result(self, method: str, params: dict | None = None) -> dict:
+    def call(
+        self,
+        method: str,
+        params: dict | None = None,
+        timeout: float | None = None,
+    ) -> dict:
+        """Send one request; returns the full response envelope.
+
+        ``timeout`` overrides the connection's transport timeout for
+        this call only (campaign batches need longer deadlines than
+        ``ping``).  With a :class:`RetryPolicy`, transport failures and
+        retryable error responses are retried with backoff, reconnecting
+        as needed; the last failure is raised (or returned) unchanged.
+        """
+        policy = self._retry
+        attempts = policy.max_attempts if policy is not None else 1
+        for attempt in range(attempts):
+            last = attempt == attempts - 1
+            try:
+                response = self._call_once(method, params, timeout)
+            except ServiceUnavailable:
+                if last:
+                    raise
+                counters.increment("service_client_retries")
+                time.sleep(policy.delay_s(attempt, self._rng))
+                try:
+                    self.reconnect()
+                except ServiceUnavailable:
+                    continue  # dial again on the next attempt
+                continue
+            if (
+                not last
+                and not response.get("ok")
+                and response["error"]["code"] in policy.retry_codes
+            ):
+                counters.increment("service_client_retries")
+                time.sleep(policy.delay_s(attempt, self._rng))
+                continue
+            return response
+        raise ServiceUnavailable(  # pragma: no cover - loop always returns/raises
+            f"retries exhausted talking to {self._peer}"
+        )
+
+    def result(
+        self,
+        method: str,
+        params: dict | None = None,
+        timeout: float | None = None,
+    ) -> dict:
         """Send one request; returns ``result`` or raises :class:`ServiceClientError`."""
-        response = self.call(method, params)
+        response = self.call(method, params, timeout=timeout)
         if response["ok"]:
             return response["result"]
         error = response["error"]
@@ -97,10 +260,11 @@ class ServiceClient:
         return self.result("stats")
 
     def close(self) -> None:
-        try:
-            self._file.close()
-        finally:
-            self._sock.close()
+        """Release the connection; safe to call any number of times."""
+        if self._closed:
+            return
+        self._closed = True
+        self._drop_transport()
 
     def __enter__(self) -> "ServiceClient":
         return self

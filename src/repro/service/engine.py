@@ -44,11 +44,16 @@ from pathlib import Path
 
 from ..perf import counters
 from .cache import ResultCache, request_key
-from .protocol import CACHEABLE_METHODS
+from .protocol import BATCH_METHODS, CACHEABLE_METHODS
 
 __all__ = ["Engine", "Job"]
 
 _MAX_RETRIES = 1  # resubmissions allowed after an unrelated pool break
+
+#: How long a size-1 batch chunk keeps waiting for a queue slot before
+#: the degraded batch finally reports ``overloaded`` itself.
+_BATCH_RETRY_WINDOW_S = 30.0
+_BATCH_RETRY_SLEEP_S = 0.05
 
 # -- worker side ------------------------------------------------------------------
 
@@ -201,7 +206,14 @@ class Engine:
         job.generation = self._generation
         job.pid = None
         job.started_at = None
-        pool_future = self._pool.submit(_run_job, job.job_id, job.method, job.params)
+        try:
+            pool_future = self._pool.submit(_run_job, job.job_id, job.method, job.params)
+        except BrokenProcessPool:
+            # The pool broke between jobs (e.g. a worker SIGKILLed while
+            # idle): rebuild and retry through the standard recovery
+            # path instead of leaking the exception to the caller.
+            self._handle_broken_locked(job)
+            return
         job.pool_future = pool_future
         pool_future.add_done_callback(lambda f, job_id=job.job_id: self._on_done(job_id, f))
 
@@ -361,6 +373,87 @@ class Engine:
                 self._inflight[key] = job
             self._submit_locked(job)
             return job.future, info
+
+    def submit_batch(self, method: str, params: dict) -> tuple[Future, dict]:
+        """Admit one batch request with graceful degradation.
+
+        A batch frame (``validate_batch``/``map_batch``) carrying N
+        fault maps is first tried whole; when the bounded queue rejects
+        it with ``overloaded`` the batch is *split in half and retried*
+        instead of bouncing — each half is its own cacheable job, so a
+        loaded server degrades into smaller work quanta rather than
+        refusing campaign traffic.  A chunk shrunk all the way to one
+        item waits (bounded) for a queue slot.  Every split increments
+        ``service_batch_shrinks``; chunks executed for one merged batch
+        show up in ``service_batch_chunks``.
+
+        Blocks until every chunk resolves; returns ``(resolved future,
+        info)`` with the same shape as :meth:`submit` so the server
+        dispatch path is uniform.  Any chunk failure other than
+        ``overloaded`` fails the whole batch (the resilient client
+        retries it; every finished chunk is already in the cache, so the
+        retry only re-executes the failed tail).
+        """
+        items = params.get("fault_maps")
+        if method not in BATCH_METHODS or not isinstance(items, list) or len(items) < 2:
+            future, info = self.submit(method, params)
+            future.result()  # keep the "resolved on return" contract
+            return future, info
+
+        merged: list = []
+        header: dict = {}
+        chunks = 0
+        all_cached = True
+        any_deduped = False
+        offset = 0
+        chunk = len(items)
+        deadline = time.monotonic() + _BATCH_RETRY_WINDOW_S
+        while offset < len(items):
+            sub_params = dict(params)
+            sub_params["fault_maps"] = items[offset:offset + chunk]
+            future, info = self.submit(method, sub_params)
+            payload = future.result()
+            if not payload.get("ok"):
+                code = payload.get("error", {}).get("code")
+                if code == "overloaded":
+                    if chunk > 1:
+                        chunk = max(1, chunk // 2)
+                        counters.increment("service_batch_shrinks")
+                        continue
+                    if time.monotonic() < deadline:
+                        time.sleep(_BATCH_RETRY_SLEEP_S)
+                        continue
+                return _resolved(payload), {"cached": False, "deduped": False}
+            result = payload["result"]
+            header = {
+                "design_name": result.get("design_name"),
+                "circuit_name": result.get("circuit_name"),
+            }
+            merged.extend(result.get("results", ()))
+            chunks += 1
+            all_cached = all_cached and info["cached"]
+            any_deduped = any_deduped or info["deduped"]
+            offset += chunk
+            deadline = time.monotonic() + _BATCH_RETRY_WINDOW_S
+        counters.increment("service_batch_chunks", chunks)
+        result = dict(header)
+        result["count"] = len(merged)
+        result["distinct"] = len({r["signature"] for r in merged})
+        result["chunks"] = chunks
+        result["results"] = merged
+        info = {"cached": all_cached, "deduped": any_deduped}
+        return _resolved({"ok": True, "result": result}), info
+
+    def worker_pids(self) -> list[int]:
+        """PIDs of the current pool's worker processes.
+
+        Exposed for the chaos harness (kill a worker mid-batch) and for
+        operators; may be momentarily stale across a pool rebuild.
+        """
+        with self._lock:
+            pool = self._pool
+        processes = getattr(pool, "_processes", None) or {}
+        return sorted(processes)
 
     def stats(self) -> dict:
         """Live engine state plus the ``service_*`` counters."""

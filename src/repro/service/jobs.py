@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import time
 
-from .protocol import MAP_DEFAULTS, SYNTH_DEFAULTS
+from .protocol import MAP_BATCH_DEFAULTS, MAP_DEFAULTS, SYNTH_DEFAULTS
 
 __all__ = ["execute"]
 
@@ -221,6 +221,137 @@ def _validate(params: dict) -> dict:
     return _ok(result)
 
 
+def _load_fault_maps(params: dict) -> list:
+    """Parse the ``fault_maps`` list shared by the batch request kinds.
+
+    Raises :class:`ValueError` naming the offending list index, so a
+    single malformed map fails the whole batch with a precise message
+    instead of a misleading per-item verdict.
+    """
+    import json as _json
+
+    from ..crossbar import fault_map_from_json
+
+    payloads = params.get("fault_maps")
+    if not isinstance(payloads, list) or not payloads:
+        raise ValueError("batch requests need a non-empty 'fault_maps' list")
+    maps = []
+    for i, payload in enumerate(payloads):
+        if isinstance(payload, dict):
+            payload = _json.dumps(payload)
+        try:
+            maps.append(fault_map_from_json(payload))
+        except (ValueError, KeyError, TypeError) as exc:
+            raise ValueError(f"fault_maps[{i}]: {exc}") from exc
+    return maps
+
+
+def _validate_batch(params: dict) -> dict:
+    """One design, N fault maps, N functional verdicts.
+
+    Each map rides :func:`repro.crossbar.validate.validate_under_faults`
+    — a masked-``on``-matrix vectorized fixpoint — and identical maps
+    (same fault-class signature) are checked once and share a verdict,
+    so a yield-campaign shard full of low-fault-count repeats costs a
+    handful of sweeps, not N.
+    """
+    from ..crossbar import design_from_json, validate_under_faults
+
+    reference, inputs, netlist, _expr = _load_function(params)
+    design = design_from_json(params["design_json"])
+    maps = _load_fault_maps(params)
+
+    memo: dict[str, dict] = {}
+    results = []
+    for fault_map in maps:
+        sig = fault_map.signature()
+        verdict = memo.get(sig)
+        if verdict is None:
+            report = validate_under_faults(
+                design, reference, inputs, fault_map.faults
+            )
+            verdict = {
+                "ok": report.ok,
+                "checked": report.checked,
+                "exhaustive": report.exhaustive,
+                "faults": len(fault_map.faults),
+                "signature": sig,
+            }
+            memo[sig] = verdict
+        results.append(verdict)
+    return _ok({
+        "design_name": design.name,
+        "circuit_name": netlist.name if netlist is not None else "f",
+        "count": len(results),
+        "distinct": len(memo),
+        "results": results,
+    })
+
+
+def _map_batch(params: dict) -> dict:
+    """One design, N fault maps, N remap outcomes (statistics only).
+
+    Unlike ``map``, the per-item payload carries placement statistics
+    but not the remapped design artifact (a campaign wants stage
+    tallies, not N design JSONs), an exhausted escalation chain is a
+    per-item ``{"ok": false}`` rather than a request failure, and the
+    knobs default to the deterministic greedy placer
+    (:data:`~repro.service.protocol.MAP_BATCH_DEFAULTS`).  Identical
+    maps share one remap attempt via the fault-class signature.
+    """
+    from ..crossbar import design_from_json
+    from ..robust import RemapFailure, remap
+
+    reference, inputs, netlist, _expr = _load_function(params)
+    if netlist is None:
+        raise ValueError("map_batch requests need a 'circuit' object (not an expression)")
+    design = design_from_json(params["design_json"])
+    maps = _load_fault_maps(params)
+    knobs = {name: _knob(params, MAP_BATCH_DEFAULTS, name) for name in MAP_BATCH_DEFAULTS}
+
+    memo: dict[str, dict] = {}
+    results = []
+    for fault_map in maps:
+        sig = fault_map.signature()
+        outcome = memo.get(sig)
+        if outcome is None:
+            try:
+                placed = remap(
+                    design, fault_map, reference, inputs,
+                    max_spare_rows=knobs["spare_rows"],
+                    max_spare_cols=knobs["spare_cols"],
+                    method=knobs["method"], time_limit=knobs["time_limit"],
+                    seed=int(knobs["seed"]),
+                )
+                outcome = {
+                    "ok": True,
+                    "stage": placed.stage,
+                    "method": placed.method,
+                    "spare_rows_used": placed.spare_rows_used,
+                    "spare_cols_used": placed.spare_cols_used,
+                    "displacement": placed.displacement,
+                    "faults": len(fault_map.faults),
+                    "signature": sig,
+                }
+            except RemapFailure as exc:
+                outcome = {
+                    "ok": False,
+                    "stage": "failed",
+                    "error": exc.diagnosis.summary(),
+                    "faults": len(fault_map.faults),
+                    "signature": sig,
+                }
+            memo[sig] = outcome
+        results.append(outcome)
+    return _ok({
+        "design_name": design.name,
+        "circuit_name": netlist.name,
+        "count": len(results),
+        "distinct": len(memo),
+        "results": results,
+    })
+
+
 def _sleep(params: dict) -> dict:
     seconds = float(params.get("seconds", 0.0))
     if not 0.0 <= seconds <= 3600.0:
@@ -229,7 +360,14 @@ def _sleep(params: dict) -> dict:
     return _ok({"slept_s": seconds})
 
 
-_HANDLERS = {"synth": _synth, "map": _map, "validate": _validate, "sleep": _sleep}
+_HANDLERS = {
+    "synth": _synth,
+    "map": _map,
+    "validate": _validate,
+    "validate_batch": _validate_batch,
+    "map_batch": _map_batch,
+    "sleep": _sleep,
+}
 
 
 def execute(method: str, params: dict) -> dict:

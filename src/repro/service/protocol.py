@@ -30,10 +30,12 @@ __all__ = [
     "PROTOCOL_VERSION",
     "METHODS",
     "CACHEABLE_METHODS",
+    "BATCH_METHODS",
     "ERROR_CODES",
     "MAX_LINE_BYTES",
     "SYNTH_DEFAULTS",
     "MAP_DEFAULTS",
+    "MAP_BATCH_DEFAULTS",
     "ProtocolError",
     "make_request",
     "ok_response",
@@ -49,12 +51,22 @@ PROTOCOL_VERSION = 1
 #: Every method the server dispatches.  ``sleep`` is a diagnostics
 #: method (the worker sleeps for ``params.seconds``): it gives tests and
 #: operators a deterministic long-running job for exercising timeouts,
-#: queue limits and crash recovery.
-METHODS = ("synth", "map", "validate", "stats", "ping", "sleep")
+#: queue limits and crash recovery.  ``validate_batch``/``map_batch``
+#: carry one design and N fault maps in a single frame, amortizing
+#: protocol and cache overhead for yield campaigns.
+METHODS = (
+    "synth", "map", "validate", "validate_batch", "map_batch",
+    "stats", "ping", "sleep",
+)
 
 #: Methods whose results are deterministic functions of their request
 #: and therefore content-addressable (cached + deduplicated).
-CACHEABLE_METHODS = frozenset({"synth", "map", "validate"})
+CACHEABLE_METHODS = frozenset({"synth", "map", "validate", "validate_batch", "map_batch"})
+
+#: Methods that carry a ``fault_maps`` list the engine may split into
+#: smaller chunks under load (graceful degradation) instead of bouncing
+#: the whole request with ``overloaded``.
+BATCH_METHODS = frozenset({"validate_batch", "map_batch"})
 
 #: Structured error codes.  ``parse_error``/``bad_request`` are the
 #: caller's fault (CLI maps them to exit code 2); the rest are
@@ -97,6 +109,19 @@ MAP_DEFAULTS: dict = {
     "time_limit": 10.0,
     "seed": 0,
     "resynthesize": False,
+}
+
+#: Default ``map_batch`` knobs.  The campaign runner's dedup and its
+#: bit-identical resume guarantee both require per-map determinism, so
+#: the batch kind defaults to the deterministic greedy placer (the MILP
+#: fallback's time-limit preemption makes outcomes load-dependent) and
+#: never resynthesizes.
+MAP_BATCH_DEFAULTS: dict = {
+    "spare_rows": None,
+    "spare_cols": None,
+    "method": "greedy",
+    "time_limit": 10.0,
+    "seed": 0,
 }
 
 

@@ -24,6 +24,7 @@ from . import __version__ as _service_version
 from .cache import ResultCache
 from .engine import Engine
 from .protocol import (
+    BATCH_METHODS,
     ProtocolError,
     decode_request,
     encode,
@@ -229,7 +230,11 @@ class ServiceServer:
             return error_response(
                 request_id, "draining", "server is draining and no longer accepts jobs"
             )
-        future, info = self.engine.submit(method, request["params"])
+        if method in BATCH_METHODS:
+            # Batch frames degrade under load (shrink, don't reject).
+            future, info = self.engine.submit_batch(method, request["params"])
+        else:
+            future, info = self.engine.submit(method, request["params"])
         payload = future.result()
         elapsed = time.monotonic() - t0
         if payload.get("ok"):

@@ -1,0 +1,83 @@
+"""Chaos harness: deterministic schedules and end-to-end equality."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign.bench import run_campaign_bench
+from repro.campaign.chaos import ChaosConfig, ChaosMonkey
+
+
+class _RecordingClient:
+    def __init__(self):
+        self.kills = 0
+
+    def kill_connection(self):
+        self.kills += 1
+
+
+def test_chaos_config_validation():
+    with pytest.raises(ValueError):
+        ChaosConfig(kill_workers=-1)
+    with pytest.raises(ValueError):
+        ChaosConfig(strike_rate=1.5)
+
+
+def test_monkey_spends_exactly_its_budget():
+    config = ChaosConfig(drop_connections=3, strike_rate=1.0, seed=5)
+    monkey = ChaosMonkey(config)
+    client = _RecordingClient()
+    for shard in range(10):
+        monkey.before_shard(shard, client)
+    assert client.kills == 3
+    assert [e["kind"] for e in monkey.events] == ["drop_connection"] * 3
+
+
+def test_monkey_schedule_is_seed_deterministic():
+    def run(seed: int) -> list[dict]:
+        monkey = ChaosMonkey(
+            ChaosConfig(drop_connections=4, strike_rate=0.5, seed=seed)
+        )
+        client = _RecordingClient()
+        for shard in range(30):
+            monkey.before_shard(shard, client)
+        return monkey.events
+
+    assert run(3) == run(3)
+    assert run(3) != run(4)
+
+
+def test_kill_worker_without_server_refunds_the_strike():
+    monkey = ChaosMonkey(ChaosConfig(kill_workers=1, strike_rate=1.0))
+    client = _RecordingClient()
+    for shard in range(5):
+        monkey.before_shard(shard, client)
+    assert monkey.events == []
+    assert client.kills == 0
+
+
+def test_corrupt_cache_without_entries_refunds_the_strike(tmp_path):
+    monkey = ChaosMonkey(
+        ChaosConfig(corrupt_cache=1, strike_rate=1.0), cache_dir=tmp_path
+    )
+    client = _RecordingClient()
+    monkey.before_shard(0, client)
+    assert monkey.events == []
+    (tmp_path / "entry.json").write_text('{"schema": "x", "result": 1}')
+    monkey.before_shard(1, client)
+    assert [e["kind"] for e in monkey.events] == ["corrupt_cache"]
+    # The entry was truncated, not deleted.
+    assert (tmp_path / "entry.json").exists()
+    assert len((tmp_path / "entry.json").read_text()) < len(
+        '{"schema": "x", "result": 1}'
+    )
+
+
+def test_chaos_campaign_is_bit_identical_to_clean_run():
+    summary = run_campaign_bench(
+        samples=40, shard_size=5, chaos=True, streams=2, timeout=60.0
+    )
+    assert summary["match"] is True
+    assert summary["chaos_events"]  # chaos actually happened
+    assert summary["checkpoint_lines_corrupted"] >= 1
+    assert 0.0 <= summary["yield_fraction"] <= 1.0

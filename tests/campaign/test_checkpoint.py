@@ -1,0 +1,113 @@
+"""Checkpoint journal: durability, recovery, refusal semantics."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign.checkpoint import (
+    CHECKPOINT_SCHEMA,
+    CheckpointError,
+    CheckpointJournal,
+)
+from repro.campaign.chaos import corrupt_checkpoint
+from repro.perf import counters
+
+DIGEST = "d" * 64
+RECORDS = {
+    0: {"samples": 5, "functional": 3},
+    1: {"samples": 5, "functional": 4},
+    2: {"samples": 5, "functional": 5},
+}
+
+
+def _journal_with_records(path) -> None:
+    with CheckpointJournal(path) as journal:
+        assert journal.open(DIGEST) == {}
+        for shard, record in RECORDS.items():
+            journal.append(shard, record)
+
+
+def test_create_append_recover_round_trip(tmp_path):
+    path = tmp_path / "ckpt.ndjson"
+    _journal_with_records(path)
+    with CheckpointJournal(path) as journal:
+        assert journal.open(DIGEST) == RECORDS
+
+
+def test_header_binds_config_digest(tmp_path):
+    path = tmp_path / "ckpt.ndjson"
+    _journal_with_records(path)
+    with pytest.raises(CheckpointError, match="different campaign"):
+        CheckpointJournal(path).open("e" * 64)
+
+
+def test_garbage_file_is_refused(tmp_path):
+    path = tmp_path / "ckpt.ndjson"
+    path.write_text("this is not a checkpoint\n")
+    with pytest.raises(CheckpointError, match="bad or missing header"):
+        CheckpointJournal(path).open(DIGEST)
+
+
+def test_torn_tail_is_dropped_and_compacted(tmp_path):
+    path = tmp_path / "ckpt.ndjson"
+    _journal_with_records(path)
+    # Crash mid-append: the final line is truncated in the middle.
+    text = path.read_text()
+    path.write_text(text[: len(text) - 25])
+    counters.reset("campaign_ckpt_dropped")
+    with CheckpointJournal(path) as journal:
+        records = journal.open(DIGEST)
+        assert records == {0: RECORDS[0], 1: RECORDS[1]}
+        assert counters.get("campaign_ckpt_dropped") == 1
+        # The compacted journal appends cleanly after the torn tail.
+        journal.append(2, RECORDS[2])
+    with CheckpointJournal(path) as journal:
+        assert journal.open(DIGEST) == RECORDS
+
+
+def test_corrupted_line_fails_its_checksum(tmp_path):
+    path = tmp_path / "ckpt.ndjson"
+    _journal_with_records(path)
+    assert corrupt_checkpoint(path, seed=7) == 1
+    counters.reset("campaign_ckpt_dropped")
+    with CheckpointJournal(path) as journal:
+        records = journal.open(DIGEST)
+    assert counters.get("campaign_ckpt_dropped") == 1
+    assert len(records) == 2
+    for shard, record in records.items():
+        assert record == RECORDS[shard]
+
+
+def test_record_cannot_be_spliced_onto_another_shard(tmp_path):
+    path = tmp_path / "ckpt.ndjson"
+    _journal_with_records(path)
+    lines = path.read_text().splitlines()
+    entry = json.loads(lines[1])
+    entry["shard"] = 9  # keep the old checksum
+    lines[1] = json.dumps(entry, sort_keys=True)
+    path.write_text("\n".join(lines) + "\n")
+    with CheckpointJournal(path) as journal:
+        records = journal.open(DIGEST)
+    assert 9 not in records
+
+
+def test_append_requires_open_and_reopen_is_refused(tmp_path):
+    path = tmp_path / "ckpt.ndjson"
+    journal = CheckpointJournal(path)
+    with pytest.raises(CheckpointError, match="not open"):
+        journal.append(0, {"x": 1})
+    journal.open(DIGEST)
+    with pytest.raises(CheckpointError, match="already open"):
+        journal.open(DIGEST)
+    journal.close()
+    journal.close()  # idempotent
+
+
+def test_header_format(tmp_path):
+    path = tmp_path / "ckpt.ndjson"
+    with CheckpointJournal(path) as journal:
+        journal.open(DIGEST)
+    header = json.loads(path.read_text().splitlines()[0])
+    assert header == {"schema": CHECKPOINT_SCHEMA, "config_digest": DIGEST}

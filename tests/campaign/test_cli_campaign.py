@@ -1,0 +1,61 @@
+"""CLI surface: ``repro campaign`` and ``repro bench campaign``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_campaign_cli_with_in_process_server(tmp_path, capsys):
+    ckpt = tmp_path / "ckpt.ndjson"
+    argv = [
+        "campaign", "c17", "--samples", "15", "--shard-size", "5",
+        "--p-stuck-on", "0.01", "--p-stuck-off", "0.05",
+        "--jobs", "2", "--checkpoint", str(ckpt), "--json",
+    ]
+    assert main(argv) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["samples"] == 15
+    assert report["shards"] == {"total": 3, "resumed": 0, "computed": 3}
+    # Rerunning with the same checkpoint resumes every shard and prints
+    # the same deterministic report body.
+    assert main(argv) == 0
+    resumed = json.loads(capsys.readouterr().out)
+    assert resumed["shards"] == {"total": 3, "resumed": 3, "computed": 0}
+    for key in ("by_faults", "provisioning", "yield_fraction", "config_digest"):
+        assert resumed[key] == report[key]
+
+
+def test_campaign_cli_text_output(capsys):
+    assert main(["campaign", "c17", "--samples", "10", "--shard-size", "5",
+                 "--p-stuck-off", "0.05", "--jobs", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "campaign: c17" in out
+    assert "spare-line provisioning" in out
+
+
+def test_campaign_cli_unknown_circuit_is_usage_error(capsys):
+    with pytest.raises(SystemExit) as exc_info:
+        main(["campaign", "definitely-not-a-circuit"])
+    assert exc_info.value.code == 2
+
+
+def test_campaign_cli_rejects_bad_knobs():
+    for argv in (
+        ["campaign", "c17", "--samples", "0"],
+        ["campaign", "c17", "--streams", "0"],
+    ):
+        with pytest.raises(SystemExit) as exc_info:
+            main(argv)
+        assert exc_info.value.code == 2
+
+
+def test_bench_campaign_smoke(capsys):
+    assert main(["bench", "campaign", "--samples", "10", "--shard-size", "5",
+                 "--p-stuck-off", "0.05"]) == 0
+    out = capsys.readouterr().out
+    assert "campaign bench: c17" in out
+    assert "match" not in out  # no chaos requested, no equality claim

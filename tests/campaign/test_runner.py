@@ -1,0 +1,125 @@
+"""Campaign runner: determinism, resume, merge, config semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign.runner import CampaignConfig, merge_records, run_campaign
+from repro.service import RetryPolicy, ServiceClient
+from repro.service.server import ServiceServer
+
+CONFIG = dict(samples=30, shard_size=5, p_stuck_on=0.01, p_stuck_off=0.05)
+
+
+@pytest.fixture(scope="module")
+def server():
+    srv = ServiceServer(("tcp", "127.0.0.1", 0), jobs=2, queue_size=16)
+    srv.start()
+    yield srv
+    srv.stop()
+
+
+@pytest.fixture(scope="module")
+def factory(server):
+    _kind, host, port = server.address
+
+    def make() -> ServiceClient:
+        return ServiceClient(
+            tcp=(host, port), timeout=60.0, retry=RetryPolicy(base_delay_s=0.01)
+        )
+
+    return make
+
+
+def _config(**overrides) -> CampaignConfig:
+    knobs = dict(CONFIG)
+    knobs.update(overrides)
+    return CampaignConfig.from_suite("c17", **knobs)
+
+
+def test_config_shapes_and_digest():
+    config = _config()
+    assert config.num_shards == 6
+    assert config.shard_samples(0) == 5
+    assert _config(samples=28).shard_samples(5) == 3
+    with pytest.raises(ValueError):
+        _config().shard_samples(6)
+    assert config.digest() == _config().digest()
+    assert config.digest() != _config(seed=1).digest()
+    assert config.digest() != _config(p_stuck_off=0.06).digest()
+    assert config.digest() != _config(remap=True).digest()
+
+
+def test_config_validation():
+    for bad in [dict(samples=0), dict(shard_size=0), dict(spare_rows=-1),
+                dict(p_stuck_on=1.5)]:
+        with pytest.raises(ValueError):
+            _config(**bad)
+    with pytest.raises(KeyError):
+        CampaignConfig.from_suite("no-such-circuit")
+
+
+def test_campaign_is_deterministic_across_runs_and_streams(factory):
+    first = run_campaign(_config(), factory, streams=1)
+    second = run_campaign(_config(), factory, streams=3)
+    assert first.result_dict() == second.result_dict()
+    assert first.samples == 30
+    assert sum(row["samples"] for row in first.by_faults) == 30
+    assert first.provisioning[-1]["fraction"] == 1.0
+    assert 0.0 <= first.yield_fraction <= 1.0
+
+
+def test_checkpoint_resume_is_bit_identical(tmp_path, factory):
+    baseline = run_campaign(_config(), factory)
+    ckpt = tmp_path / "ckpt.ndjson"
+    partial = run_campaign(_config(), factory, checkpoint=ckpt, max_shards=3)
+    assert partial.shards == {"total": 6, "resumed": 0, "computed": 3}
+    assert partial.samples == 15
+    resumed = run_campaign(_config(), factory, checkpoint=ckpt)
+    assert resumed.shards == {"total": 6, "resumed": 3, "computed": 3}
+    assert resumed.result_dict() == baseline.result_dict()
+    # A third run resumes everything and recomputes nothing.
+    replay = run_campaign(_config(), factory, checkpoint=ckpt)
+    assert replay.shards == {"total": 6, "resumed": 6, "computed": 0}
+    assert replay.result_dict() == baseline.result_dict()
+
+
+def test_remap_mode_reports_recovery(factory):
+    report = run_campaign(
+        _config(spare_rows=1, spare_cols=1, remap=True), factory, streams=2
+    )
+    assert report.remap is not None
+    assert report.remap["recovered"] <= report.remap["attempted"]
+    assert sum(report.remap["stages"].values()) == report.remap["attempted"]
+    # Remapping can only help: recovered + functional covers at least
+    # the functional dies of the bare design.
+    assert report.remap["attempted"] > 0
+
+
+def test_merge_is_order_independent():
+    config = _config(samples=10, shard_size=5)
+    records = {
+        0: {"samples": 5, "functional": 4, "distinct": 5,
+            "by_faults": {"0": [2, 2], "1": [3, 2]},
+            "levels": {"0": 2, "1": 3}, "remap": None},
+        1: {"samples": 5, "functional": 3, "distinct": 4,
+            "by_faults": {"1": [1, 1], "2": [4, 2]},
+            "levels": {"0": 1, "2": 4}, "remap": None},
+    }
+    merged = merge_records(config, records, shards_resumed=0)
+    reversed_merge = merge_records(
+        config, dict(reversed(records.items())), shards_resumed=0
+    )
+    assert merged.result_dict() == reversed_merge.result_dict()
+    assert merged.samples == 10
+    assert merged.functional == 7
+    assert [row["faults"] for row in merged.by_faults] == [0, 1, 2]
+    assert merged.by_faults[1] == {
+        "faults": 1, "samples": 4, "functional": 3, "yield": 0.75,
+    }
+    assert merged.provisioning[-1]["cumulative"] == 10
+
+
+def test_run_campaign_rejects_bad_streams(factory):
+    with pytest.raises(ValueError):
+        run_campaign(_config(), factory, streams=0)

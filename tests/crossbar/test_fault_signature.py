@@ -1,0 +1,72 @@
+"""Property tests for the fault-class signature (FaultMap.signature)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crossbar import (
+    STUCK_OFF,
+    STUCK_ON,
+    Fault,
+    FaultMap,
+    fault_map_from_json,
+    fault_map_to_json,
+    random_fault_map,
+)
+
+
+def _random_faults(rng: random.Random, rows: int, cols: int) -> list[Fault]:
+    cells = [(r, c) for r in range(rows) for c in range(cols)]
+    picked = rng.sample(cells, rng.randrange(0, len(cells) // 2 + 1))
+    return [
+        Fault(r, c, STUCK_ON if rng.random() < 0.3 else STUCK_OFF)
+        for r, c in picked
+    ]
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_equal_maps_have_equal_signatures(seed):
+    rng = random.Random(seed)
+    rows, cols = rng.randrange(2, 9), rng.randrange(2, 9)
+    faults = _random_faults(rng, rows, cols)
+    assert (
+        FaultMap(rows, cols, tuple(faults)).signature()
+        == FaultMap(rows, cols, tuple(faults)).signature()
+    )
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_permuted_fault_lists_share_one_signature(seed):
+    rng = random.Random(1000 + seed)
+    rows, cols = rng.randrange(2, 9), rng.randrange(2, 9)
+    faults = _random_faults(rng, rows, cols)
+    shuffled = list(faults)
+    rng.shuffle(shuffled)
+    assert (
+        FaultMap(rows, cols, tuple(faults)).signature()
+        == FaultMap(rows, cols, tuple(shuffled)).signature()
+    )
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_signature_survives_json_round_trip(seed):
+    fault_map = random_fault_map(6, 7, p_stuck_on=0.05, p_stuck_off=0.1, seed=seed)
+    round_tripped = fault_map_from_json(fault_map_to_json(fault_map))
+    assert round_tripped.signature() == fault_map.signature()
+
+
+def test_signature_is_sensitive_to_content():
+    base = FaultMap(4, 4, (Fault(1, 2, STUCK_ON),))
+    assert base.signature() != FaultMap(4, 4, (Fault(1, 2, STUCK_OFF),)).signature()
+    assert base.signature() != FaultMap(4, 4, (Fault(2, 1, STUCK_ON),)).signature()
+    assert base.signature() != FaultMap(4, 4, ()).signature()
+    # Same faults on a different array size is a different fault class.
+    assert base.signature() != FaultMap(5, 4, (Fault(1, 2, STUCK_ON),)).signature()
+
+
+def test_signature_shape():
+    signature = FaultMap(3, 3, ()).signature()
+    assert len(signature) == 64
+    assert set(signature) <= set("0123456789abcdef")

@@ -1,0 +1,202 @@
+"""Batch request kinds: correctness, dedup, and graceful degradation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.suites import circuit
+from repro.crossbar import (
+    design_from_json,
+    fault_map_from_json,
+    fault_map_to_json,
+    random_fault_map,
+    validate_under_faults,
+)
+from repro.io import write_blif
+from repro.perf import counters
+from repro.service import ServiceClient
+from repro.service.engine import Engine
+from repro.service.jobs import execute
+from repro.service.server import ServiceServer
+
+
+@pytest.fixture(scope="module")
+def c17_blif() -> str:
+    return write_blif(circuit("c17"))
+
+
+@pytest.fixture(scope="module")
+def c17_design(c17_blif) -> str:
+    payload = execute("synth", {
+        "circuit": {"format": "blif", "text": c17_blif}, "validate": False,
+    })
+    assert payload["ok"]
+    return payload["result"]["design_json"]
+
+
+def _maps(design_json: str, count: int, seed0: int = 0) -> list[str]:
+    design = design_from_json(design_json)
+    return [
+        fault_map_to_json(random_fault_map(
+            design.num_rows, design.num_cols,
+            p_stuck_on=0.01, p_stuck_off=0.05, seed=seed0 + i,
+        ))
+        for i in range(count)
+    ]
+
+
+def test_validate_batch_matches_single_validation(c17_blif, c17_design):
+    maps = _maps(c17_design, 6)
+    payload = execute("validate_batch", {
+        "design_json": c17_design,
+        "circuit": {"format": "blif", "text": c17_blif},
+        "fault_maps": maps,
+    })
+    assert payload["ok"]
+    result = payload["result"]
+    assert result["count"] == 6
+    design = design_from_json(c17_design)
+    netlist = circuit("c17")
+    for raw, verdict in zip(maps, result["results"]):
+        fault_map = fault_map_from_json(raw)
+        report = validate_under_faults(
+            design, netlist.evaluate, netlist.inputs, fault_map.faults
+        )
+        assert verdict["ok"] == report.ok
+        assert verdict["signature"] == fault_map.signature()
+
+
+def test_validate_batch_dedups_identical_maps(c17_blif, c17_design):
+    maps = _maps(c17_design, 3)
+    payload = execute("validate_batch", {
+        "design_json": c17_design,
+        "circuit": {"format": "blif", "text": c17_blif},
+        "fault_maps": maps + maps,  # every map twice
+    })
+    result = payload["result"]
+    assert result["count"] == 6
+    assert result["distinct"] == 3
+    assert result["results"][:3] == result["results"][3:]
+
+
+def test_validate_batch_rejects_bad_map_with_index(c17_blif, c17_design):
+    maps = _maps(c17_design, 2)
+    payload = execute("validate_batch", {
+        "design_json": c17_design,
+        "circuit": {"format": "blif", "text": c17_blif},
+        "fault_maps": [maps[0], "{not json", maps[1]],
+    })
+    assert not payload["ok"]
+    assert "fault_maps[1]" in payload["error"]["message"]
+
+
+def test_validate_batch_needs_nonempty_list(c17_blif, c17_design):
+    for bad in ([], None, "nope"):
+        payload = execute("validate_batch", {
+            "design_json": c17_design,
+            "circuit": {"format": "blif", "text": c17_blif},
+            "fault_maps": bad,
+        })
+        assert not payload["ok"]
+
+
+def test_map_batch_statistics_and_failures(c17_blif, c17_design):
+    design = design_from_json(c17_design)
+    # Spare-line physical arrays so some remaps can succeed.
+    maps = [
+        fault_map_to_json(random_fault_map(
+            design.num_rows + 1, design.num_cols + 1,
+            p_stuck_on=0.01, p_stuck_off=0.05, seed=i,
+        ))
+        for i in range(5)
+    ]
+    payload = execute("map_batch", {
+        "design_json": c17_design,
+        "circuit": {"format": "blif", "text": c17_blif},
+        "fault_maps": maps,
+        "spare_rows": 1,
+        "spare_cols": 1,
+    })
+    assert payload["ok"]
+    result = payload["result"]
+    assert result["count"] == 5
+    for outcome in result["results"]:
+        if outcome["ok"]:
+            assert outcome["stage"] in {"identity", "permute", "spares"}
+            assert "design_json" not in outcome  # statistics only
+        else:
+            assert outcome["stage"] == "failed"
+            assert outcome["error"]
+
+
+def test_map_batch_rejects_expressions(c17_design):
+    payload = execute("map_batch", {
+        "design_json": c17_design,
+        "expr": "a & b",
+        "fault_maps": _maps(c17_design, 1),
+    })
+    assert not payload["ok"]
+
+
+def test_engine_submit_batch_merges_chunks_and_shrinks(c17_blif, c17_design):
+    counters.reset()
+    engine = Engine(jobs=1, queue_size=1)
+    try:
+        # Occupy the single queue slot so the first batch submission is
+        # rejected with 'overloaded' and the batch must shrink.
+        busy, _ = engine.submit("sleep", {"seconds": 0.6})
+        maps = _maps(c17_design, 4)
+        future, info = engine.submit_batch("validate_batch", {
+            "design_json": c17_design,
+            "circuit": {"format": "blif", "text": c17_blif},
+            "fault_maps": maps,
+        })
+        payload = future.result()
+        busy.result()
+        assert payload["ok"]
+        assert payload["result"]["count"] == 4
+        assert payload["result"]["chunks"] >= 1
+        assert counters.get("service_batch_shrinks") >= 1
+        assert counters.get("service_batch_chunks") >= 1
+        assert {"cached", "deduped"} <= set(info)
+    finally:
+        engine.shutdown(5.0)
+
+
+def test_engine_submit_batch_falls_through_for_small_batches(c17_blif, c17_design):
+    engine = Engine(jobs=1, queue_size=8)
+    try:
+        future, _info = engine.submit_batch("validate_batch", {
+            "design_json": c17_design,
+            "circuit": {"format": "blif", "text": c17_blif},
+            "fault_maps": _maps(c17_design, 1),
+        })
+        payload = future.result()
+        assert payload["ok"]
+        # The single-job path has no chunk accounting.
+        assert "chunks" not in payload["result"]
+    finally:
+        engine.shutdown(5.0)
+
+
+def test_batch_over_the_wire_and_cached(tmp_path, c17_blif, c17_design):
+    server = ServiceServer(
+        ("tcp", "127.0.0.1", 0), jobs=2, queue_size=16, cache_dir=tmp_path / "cache"
+    )
+    server.start()
+    try:
+        _kind, host, port = server.address
+        with ServiceClient(tcp=(host, port), timeout=120.0) as client:
+            params = {
+                "design_json": c17_design,
+                "circuit": {"format": "blif", "text": c17_blif},
+                "fault_maps": _maps(c17_design, 4),
+            }
+            first = client.call("validate_batch", params)
+            assert first["ok"]
+            again = client.call("validate_batch", params)
+            assert again["ok"]
+            assert again["result"]["results"] == first["result"]["results"]
+            assert again["cached"] is True
+    finally:
+        server.stop()

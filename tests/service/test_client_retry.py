@@ -1,0 +1,203 @@
+"""Resilient-client tests: retries, backoff, reconnect, deadlines, close.
+
+A scripted single-purpose TCP server plays the failure side of each
+scenario so the tests stay deterministic: it answers each request frame
+by popping the next behaviour from a queue ('ok', 'overloaded', 'drop',
+('sleep', s)).
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import threading
+import time
+from collections import deque
+
+import pytest
+
+from repro.perf import counters
+from repro.service import RetryPolicy, ServiceClient, ServiceClientError, ServiceUnavailable
+from repro.service.protocol import decode_request, encode, error_response, ok_response
+from repro.service.server import ServiceServer
+
+
+class ScriptedServer:
+    """Answers request frames from a scripted behaviour queue."""
+
+    def __init__(self, behaviors):
+        self.behaviors = deque(behaviors)
+        self._sock = socket.create_server(("127.0.0.1", 0))
+        self.port = self._sock.getsockname()[1]
+        self.served = 0
+        self._accept_thread = threading.Thread(target=self._accept, daemon=True)
+        self._accept_thread.start()
+
+    def _accept(self):
+        while True:
+            try:
+                conn, _ = self._sock.accept()
+            except OSError:
+                return
+            threading.Thread(target=self._serve, args=(conn,), daemon=True).start()
+
+    def _serve(self, conn):
+        reader = conn.makefile("rb")
+        with conn:
+            for raw in reader:
+                request = decode_request(raw)
+                behavior = self.behaviors.popleft() if self.behaviors else "ok"
+                self.served += 1
+                if behavior == "drop":
+                    return  # close without replying
+                if isinstance(behavior, tuple) and behavior[0] == "sleep":
+                    time.sleep(behavior[1])
+                    behavior = "ok"
+                if behavior == "overloaded":
+                    response = error_response(
+                        request["id"], "overloaded", "scripted rejection"
+                    )
+                else:
+                    response = ok_response(request["id"], {"pong": True})
+                try:
+                    conn.sendall(encode(response))
+                except OSError:
+                    return
+
+    def close(self):
+        self._sock.close()
+
+
+@pytest.fixture
+def scripted():
+    servers = []
+
+    def make(behaviors) -> ScriptedServer:
+        server = ScriptedServer(behaviors)
+        servers.append(server)
+        return server
+
+    yield make
+    for server in servers:
+        server.close()
+
+
+def _fast_retry(**overrides) -> RetryPolicy:
+    knobs = {"max_attempts": 4, "base_delay_s": 0.001, "max_delay_s": 0.01}
+    knobs.update(overrides)
+    return RetryPolicy(**knobs)
+
+
+def test_retries_overloaded_then_succeeds(scripted):
+    server = scripted(["overloaded", "overloaded", "ok"])
+    counters.reset("service_client_retries")
+    with ServiceClient(tcp=("127.0.0.1", server.port), retry=_fast_retry()) as client:
+        assert client.ping() is True
+    assert server.served == 3
+    assert counters.get("service_client_retries") == 2
+
+
+def test_no_retry_without_policy(scripted):
+    server = scripted(["overloaded", "ok"])
+    with ServiceClient(tcp=("127.0.0.1", server.port)) as client:
+        with pytest.raises(ServiceClientError) as exc_info:
+            client.result("ping")
+        assert exc_info.value.code == "overloaded"
+    assert server.served == 1
+
+
+def test_retries_exhausted_returns_last_error(scripted):
+    server = scripted(["overloaded"] * 10)
+    with ServiceClient(
+        tcp=("127.0.0.1", server.port), retry=_fast_retry(max_attempts=3)
+    ) as client:
+        response = client.call("ping")
+        assert not response["ok"]
+        assert response["error"]["code"] == "overloaded"
+    assert server.served == 3
+
+
+def test_non_retryable_error_is_not_retried(scripted):
+    server = scripted(["overloaded", "ok"])
+    policy = _fast_retry(retry_codes=frozenset())
+    with ServiceClient(tcp=("127.0.0.1", server.port), retry=policy) as client:
+        with pytest.raises(ServiceClientError):
+            client.result("ping")
+    assert server.served == 1
+
+
+def test_reconnects_after_dropped_connection(scripted):
+    server = scripted(["drop", "ok"])
+    counters.reset()
+    with ServiceClient(tcp=("127.0.0.1", server.port), retry=_fast_retry()) as client:
+        assert client.ping() is True
+    assert counters.get("service_client_retries") >= 1
+    assert counters.get("service_client_reconnects") >= 1
+
+
+def test_transport_failure_without_policy_raises(scripted):
+    server = scripted(["drop"])
+    with ServiceClient(tcp=("127.0.0.1", server.port)) as client:
+        with pytest.raises(ServiceUnavailable):
+            client.call("ping")
+        # The broken transport is replaced lazily: the next call dials anew.
+        assert client.ping() is True
+
+
+def test_kill_connection_then_retry_path_recovers():
+    with ServiceServer(("tcp", "127.0.0.1", 0), jobs=1, queue_size=8) as server:
+        _kind, host, port = server.address
+        counters.reset()
+        with ServiceClient(
+            tcp=(host, port), timeout=30.0, retry=_fast_retry()
+        ) as client:
+            assert client.ping() is True
+            client.kill_connection()
+            assert client.ping() is True  # reconnected transparently
+        assert counters.get("service_client_reconnects") >= 1
+
+
+def test_per_call_timeout_override(scripted):
+    server = scripted([("sleep", 0.5), "ok"])
+    with ServiceClient(
+        tcp=("127.0.0.1", server.port), timeout=30.0
+    ) as client:
+        with pytest.raises(ServiceUnavailable):
+            client.call("ping", timeout=0.05)
+        # The connection-default timeout is restored for later calls.
+        assert client.ping() is True
+
+
+def test_close_is_idempotent_and_final(scripted):
+    server = scripted(["ok"])
+    client = ServiceClient(tcp=("127.0.0.1", server.port))
+    assert client.ping() is True
+    client.close()
+    client.close()  # second close is a no-op
+    with pytest.raises(ServiceUnavailable):
+        client.call("ping")
+    with pytest.raises(ServiceUnavailable):
+        client.reconnect()
+
+
+def test_constructor_rejects_ambiguous_address():
+    with pytest.raises(ValueError):
+        ServiceClient()
+    with pytest.raises(ValueError):
+        ServiceClient(socket_path="/tmp/x.sock", tcp=("h", 1))
+
+
+def test_retry_policy_validation_and_backoff_shape():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(base_delay_s=-1.0)
+    policy = RetryPolicy(base_delay_s=0.1, max_delay_s=0.5, jitter=0.0)
+    rng = random.Random(0)
+    delays = [policy.delay_s(attempt, rng) for attempt in range(5)]
+    assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]  # doubling, capped
+    jittered = RetryPolicy(base_delay_s=0.1, max_delay_s=0.5, jitter=0.5)
+    for attempt in range(5):
+        delay = jittered.delay_s(attempt, rng)
+        base = min(0.5, 0.1 * 2 ** attempt)
+        assert base <= delay <= base * 1.5
