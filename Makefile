@@ -4,7 +4,7 @@ JOBS ?= 4
 export PYTHONPATH := src
 
 .PHONY: test test-perf bench bench-baseline bench-smoke verify serve check \
-	campaign-smoke
+	campaign-smoke synth3d-smoke
 
 test:
 	$(PYTHON) -m pytest tests/ -q
@@ -34,7 +34,8 @@ bench-smoke:
 
 # Regenerate the committed perf trajectory point.
 bench-baseline:
-	$(PYTHON) -m repro bench perf --jobs $(JOBS) --perf-json BENCH_compact.json
+	$(PYTHON) -m repro bench perf --jobs $(JOBS) --layer-sweep 1,2,3 \
+	  --perf-json BENCH_compact.json
 
 # Chaos-ridden yield campaign: kill workers, drop connections, corrupt
 # cache and checkpoint files, then assert the resumed report is
@@ -42,6 +43,14 @@ bench-baseline:
 campaign-smoke:
 	$(PYTHON) -m repro bench campaign --chaos --samples 40 --shard-size 5 \
 	  --p-stuck-on 0.01 --p-stuck-off 0.05
+
+# 3D path end to end: two-layer synthesis (validated) on two example
+# circuits, then a small layer sweep through the bench harness.
+synth3d-smoke:
+	$(PYTHON) -m repro synth examples/circuits/c17.v --layers 2
+	$(PYTHON) -m repro synth examples/circuits/maj3.pla --layers 2
+	$(PYTHON) -m repro bench perf --circuits c17,voter9 --layer-sweep 1,2 \
+	  --jobs 2 --time-limit 10
 
 # Persistent synthesis service on a local Unix socket.
 SERVICE_SOCKET ?= /tmp/repro.sock

@@ -14,6 +14,9 @@ D004    a programmed memristor no input-output flow can ever use
 D005    an unused (spare) line — informational
 D006    line/label binding is not one-to-one (dimension bookkeeping
         breaks: R = #H + #VH, C = #V + #VH no longer hold)
+D007    via inconsistency on a layered design: a node spanning more
+        than two nanowire planes, non-adjacent planes, or two adjacent
+        planes without the always-on via in the layer that joins them
 L001    semiperimeter lower-bound certificate — informational
 L002    the design's labeled semiperimeter beats the certified lower
         bound, which is impossible for a faithful artifact
@@ -36,7 +39,7 @@ import json
 import math
 from pathlib import Path
 
-from ..crossbar.design import CrossbarDesign
+from ..crossbar.design import CrossbarDesign, h_plane, v_plane
 from ..graphs.bipartite import find_odd_cycle
 from ..graphs.decompose import cyclic_cores
 from ..graphs.product import cartesian_product_k2
@@ -71,8 +74,23 @@ def check_design_file(path: str | Path) -> list[Diagnostic]:
 
 
 def check_design(design: CrossbarDesign, file: str | None = None) -> list[Diagnostic]:
-    """All static diagnostics for an in-memory design."""
-    diags: list[Diagnostic] = []
+    """All static diagnostics for an in-memory design.
+
+    Layered designs run the same checks per nanowire plane / memristor
+    layer, plus D007 (via consistency), and skip the L001/L002
+    semiperimeter certificate: ``S = n + #VH`` is a planar identity, so
+    the 2D lower bound does not certify a K-layer footprint.
+    """
+    if design.num_layers > 1:
+        diags = []
+        diags.extend(_label_binding_checks_3d(design, file))
+        diags.extend(_vh_checks_3d(design, file))
+        diags.extend(_alignment_checks_3d(design, file))
+        diags.extend(_reachability_checks_3d(design, file))
+        diags.extend(_spare_line_checks_3d(design, file))
+        diags.extend(_via_checks_3d(design, file))
+        return diags
+    diags = []
     diags.extend(_label_binding_checks(design, file))
     diags.extend(_vh_checks(design, file))
     diags.extend(_alignment_checks(design, file))
@@ -260,6 +278,217 @@ def _spare_line_checks(design: CrossbarDesign, file: str | None) -> list[Diagnos
             diags.append(
                 diag("D005", f"bitline {c} is unused (spare)", file=file, obj=f"col {c}")
             )
+    return diags
+
+
+# -- layered designs: the same checks per plane, plus D007 ----------------------
+
+
+def _node_planes(design: CrossbarDesign) -> dict[object, list[int]]:
+    """Which nanowire planes each labeled node occupies, in plane order."""
+    planes: dict[object, list[int]] = {}
+    for p, labels in enumerate(design.plane_labels):
+        for node in labels.values():
+            planes.setdefault(node, []).append(p)
+    return planes
+
+
+def _label_binding_checks_3d(
+    design: CrossbarDesign, file: str | None
+) -> list[Diagnostic]:
+    diags: list[Diagnostic] = []
+    for p, labels in enumerate(design.plane_labels):
+        by_node: dict[object, int] = {}
+        for wire, node in labels.items():
+            if node in by_node:
+                diags.append(
+                    diag(
+                        "D006",
+                        f"node {node!r} labels both wire {by_node[node]} and "
+                        f"wire {wire} of plane {p}",
+                        file=file, obj=f"plane {p} wire {wire}",
+                    )
+                )
+            else:
+                by_node[node] = wire
+    return diags
+
+
+def _vh_checks_3d(design: CrossbarDesign, file: str | None) -> list[Diagnostic]:
+    if not any(design.plane_labels):
+        return []
+    diags: list[Diagnostic] = []
+    for l, r, c, lit in design.cells3d():
+        rnode = design.plane_labels[h_plane(l)].get(r)
+        cnode = design.plane_labels[v_plane(l)].get(c)
+        if lit.is_constant():
+            if rnode is None or cnode is None or rnode != cnode:
+                diags.append(
+                    diag(
+                        "D002",
+                        f"always-on cell at layer {l} ({r}, {c}) joins "
+                        f"{_line_desc(rnode, 'wire', r)} and "
+                        f"{_line_desc(cnode, 'wire', c)} instead of stitching "
+                        "one node across the layer",
+                        file=file, obj=f"cell ({l}, {r}, {c})",
+                    )
+                )
+        elif rnode is not None and rnode == cnode:
+            diags.append(
+                diag(
+                    "D002",
+                    f"literal cell at layer {l} ({r}, {c}) loops node "
+                    f"{rnode!r} to itself",
+                    file=file, obj=f"cell ({l}, {r}, {c})",
+                )
+            )
+    return diags
+
+
+def _via_checks_3d(design: CrossbarDesign, file: str | None) -> list[Diagnostic]:
+    """D007: every multi-plane node is one via between adjacent planes."""
+    if not any(design.plane_labels):
+        return []
+    wire_of = [
+        {node: wire for wire, node in labels.items()}
+        for labels in design.plane_labels
+    ]
+    vias: set[tuple[object, int]] = set()
+    for l, r, c, lit in design.cells3d():
+        if not lit.is_constant():
+            continue
+        rnode = design.plane_labels[h_plane(l)].get(r)
+        if rnode is not None and rnode == design.plane_labels[v_plane(l)].get(c):
+            vias.add((rnode, l))
+
+    diags: list[Diagnostic] = []
+    for node, planes in _node_planes(design).items():
+        if len(planes) == 1:
+            continue
+        if len(planes) > 2:
+            diags.append(
+                diag(
+                    "D007",
+                    f"node {node!r} spans {len(planes)} nanowire planes "
+                    f"({', '.join(map(str, planes))}); a stitched node may "
+                    "occupy exactly two",
+                    file=file, obj=f"node {node!r}",
+                )
+            )
+            continue
+        lo, hi = planes
+        if hi - lo != 1:
+            diags.append(
+                diag(
+                    "D007",
+                    f"node {node!r} spans non-adjacent planes {lo} and {hi}; "
+                    "no memristor layer can via them together",
+                    file=file, obj=f"node {node!r}",
+                )
+            )
+        elif (node, lo) not in vias:
+            diags.append(
+                diag(
+                    "D007",
+                    f"node {node!r} spans planes {lo} and {hi} but layer {lo} "
+                    f"has no always-on via at its crosspoint "
+                    f"({wire_of[h_plane(lo)][node]}, {wire_of[v_plane(lo)][node]})",
+                    file=file, obj=f"node {node!r}",
+                )
+            )
+    return diags
+
+
+def _alignment_checks_3d(design: CrossbarDesign, file: str | None) -> list[Diagnostic]:
+    diags: list[Diagnostic] = []
+    for out, row in design.output_rows.items():
+        if row == design.input_row and out not in design.constant_outputs:
+            diags.append(
+                diag(
+                    "D003",
+                    f"output {out!r} senses the driven input wordline "
+                    f"{row} but is not declared constant",
+                    file=file, obj=out,
+                )
+            )
+    non_constant = [
+        out for out in design.output_rows if out not in design.constant_outputs
+    ]
+    # Plane 0 only borders memristor layer 0, so the driven input
+    # wordline can reach the array only through layer-0 cells.
+    input_cells = sum(
+        1 for l, r, _c, _lit in design.cells3d()
+        if l == 0 and r == design.input_row
+    )
+    if non_constant and design.memristor_count and input_cells == 0:
+        diags.append(
+            diag(
+                "D003",
+                f"input wordline {design.input_row} carries no memristors, so "
+                f"no output can ever read true",
+                file=file, obj=f"row {design.input_row}",
+            )
+        )
+    return diags
+
+
+def _reachability_checks_3d(
+    design: CrossbarDesign, file: str | None
+) -> list[Diagnostic]:
+    lines = UGraph()
+    lines.add_node((0, design.input_row))
+    for row in design.output_rows.values():
+        lines.add_node((0, row))
+    cells = list(design.cells3d())
+    for l, r, c, _lit in cells:
+        lines.add_edge((h_plane(l), r), (v_plane(l), c))
+
+    components = lines.connected_components()
+    component_of: dict[object, int] = {}
+    for idx, comp in enumerate(components):
+        for node in comp:
+            component_of[node] = idx
+    live = {
+        idx
+        for idx, comp in enumerate(components)
+        if (0, design.input_row) in comp
+        and any((0, row) in comp for row in design.output_rows.values())
+    }
+
+    diags: list[Diagnostic] = []
+    for l, r, c, lit in cells:
+        if component_of[(h_plane(l), r)] not in live:
+            diags.append(
+                diag(
+                    "D004",
+                    f"memristor {lit} at layer {l} ({r}, {c}) is disconnected "
+                    "from the input-output flow network",
+                    file=file, obj=f"cell ({l}, {r}, {c})",
+                )
+            )
+    return diags
+
+
+def _spare_line_checks_3d(
+    design: CrossbarDesign, file: str | None
+) -> list[Diagnostic]:
+    used: set[tuple[int, int]] = {(0, design.input_row)}
+    used.update((0, row) for row in design.output_rows.values())
+    for l, r, c, _lit in design.cells3d():
+        used.add((h_plane(l), r))
+        used.add((v_plane(l), c))
+    diags: list[Diagnostic] = []
+    for p, size in enumerate(design.plane_sizes):
+        kind = "wordline" if p % 2 == 0 else "bitline"
+        for wire in range(size):
+            if (p, wire) not in used:
+                diags.append(
+                    diag(
+                        "D005",
+                        f"plane {p} {kind} {wire} is unused (spare)",
+                        file=file, obj=f"plane {p} wire {wire}",
+                    )
+                )
     return diags
 
 

@@ -108,6 +108,7 @@ RULES: dict[str, Rule] = _catalog(
     ("D004", Severity.WARNING, "unreachable memristor"),
     ("D005", Severity.INFO, "unused line"),
     ("D006", Severity.ERROR, "dimension inconsistency"),
+    ("D007", Severity.ERROR, "via inconsistency on a layered design"),
     # -- semiperimeter lower-bound certificate ----------------------------------
     ("L001", Severity.INFO, "semiperimeter lower-bound certificate"),
     ("L002", Severity.ERROR, "semiperimeter below certified lower bound"),

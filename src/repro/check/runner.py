@@ -23,7 +23,12 @@ from pathlib import Path
 from .design import check_design_file
 from .diagnostics import Report, diag
 from .netlist_lint import NETLIST_SUFFIXES, lint_file
-from .schema import DESIGN_FORMAT, FAULTS_FORMAT, fault_map_schema_diagnostics
+from .schema import (
+    DESIGN_FORMAT,
+    DESIGN_FORMAT_3D,
+    FAULTS_FORMAT,
+    fault_map_schema_diagnostics,
+)
 from .selflint import default_source_root, selflint_paths
 
 __all__ = ["run_check", "collect_inputs", "UnknownInputError"]
@@ -86,13 +91,13 @@ def _check_json_file(path: Path):
     marker = payload.get("format") if isinstance(payload, dict) else None
     if marker == FAULTS_FORMAT:
         return fault_map_schema_diagnostics(payload, file=file)
-    if marker == DESIGN_FORMAT:
+    if marker in (DESIGN_FORMAT, DESIGN_FORMAT_3D):
         return check_design_file(path)
     return [
         diag(
             "D001",
             f"unrecognized document format {marker!r} (expected "
-            f"{DESIGN_FORMAT!r} or {FAULTS_FORMAT!r})",
+            f"{DESIGN_FORMAT!r}, {DESIGN_FORMAT_3D!r} or {FAULTS_FORMAT!r})",
             file=file,
         )
     ]

@@ -18,12 +18,14 @@ from .diagnostics import Diagnostic, diag
 
 __all__ = [
     "DESIGN_FORMAT",
+    "DESIGN_FORMAT_3D",
     "FAULTS_FORMAT",
     "design_schema_diagnostics",
     "fault_map_schema_diagnostics",
 ]
 
 DESIGN_FORMAT = "repro.crossbar/1"
+DESIGN_FORMAT_3D = "repro.crossbar/2"
 FAULTS_FORMAT = "repro.faults/1"
 
 _FAULT_KINDS = ("stuck_on", "stuck_off")
@@ -34,9 +36,11 @@ def _is_int(value) -> bool:
 
 
 def design_schema_diagnostics(payload, file: str | None = None) -> list[Diagnostic]:
-    """Every schema problem in a ``repro.crossbar/1`` payload.
+    """Every schema problem in a serialized crossbar design payload.
 
-    The payload is the parsed JSON value; an empty result means
+    Dispatches on the format marker: ``repro.crossbar/1`` is the planar
+    schema, ``repro.crossbar/2`` the layered one.  The payload is the
+    parsed JSON value; an empty result means
     :func:`repro.crossbar.serialize.design_from_json` will accept it.
     """
     def bad(message: str, obj: str | None = None) -> Diagnostic:
@@ -44,12 +48,15 @@ def design_schema_diagnostics(payload, file: str | None = None) -> list[Diagnost
 
     if not isinstance(payload, dict):
         return [bad(f"design document must be a JSON object, got {type(payload).__name__}")]
+    if payload.get("format") == DESIGN_FORMAT_3D:
+        return _design_3d_schema_diagnostics(payload, file)
     diags: list[Diagnostic] = []
     if payload.get("format") != DESIGN_FORMAT:
         diags.append(
             bad(
                 f"not a serialized crossbar design: format is "
-                f"{payload.get('format')!r}, expected {DESIGN_FORMAT!r}"
+                f"{payload.get('format')!r}, expected {DESIGN_FORMAT!r} "
+                f"or {DESIGN_FORMAT_3D!r}"
             )
         )
     if not isinstance(payload.get("name"), str):
@@ -153,6 +160,209 @@ def design_schema_diagnostics(payload, file: str | None = None) -> list[Diagnost
     return diags
 
 
+def _design_3d_schema_diagnostics(payload: dict, file: str | None) -> list[Diagnostic]:
+    """Every schema problem in a ``repro.crossbar/2`` (layered) payload.
+
+    Reports every 3D-shape problem in one pass: a bad layer count, wire
+    planes that disagree with it, the declared footprint disagreeing
+    with the plane sizes, cells outside their layer's planes, ports off
+    the bottom plane.
+    """
+    def bad(message: str, obj: str | None = None) -> Diagnostic:
+        return diag("D001", message, file=file, obj=obj)
+
+    diags: list[Diagnostic] = []
+    if not isinstance(payload.get("name"), str):
+        diags.append(bad("field 'name' must be a string", obj="name"))
+
+    layers = payload.get("layers")
+    if not _is_int(layers) or layers < 1:
+        diags.append(
+            bad("field 'layers' must be an integer >= 1 (memristor layer count)", obj="layers")
+        )
+        layers = None
+
+    plane_sizes = payload.get("plane_sizes")
+    if not isinstance(plane_sizes, list) or not all(_is_int(s) for s in plane_sizes):
+        diags.append(
+            bad("field 'plane_sizes' must be an array of integers", obj="plane_sizes")
+        )
+        plane_sizes = None
+    else:
+        if any(s < 0 for s in plane_sizes):
+            diags.append(bad("plane sizes must be non-negative", obj="plane_sizes"))
+            plane_sizes = None
+        elif layers is not None and len(plane_sizes) != layers + 1:
+            diags.append(
+                bad(
+                    f"{layers} memristor layers need {layers + 1} nanowire planes, "
+                    f"got {len(plane_sizes)} plane sizes",
+                    obj="plane_sizes",
+                )
+            )
+            plane_sizes = None
+        elif plane_sizes[0] < 1:
+            diags.append(
+                bad("plane 0 needs at least one wordline (the ports live there)", obj="plane_sizes")
+            )
+            plane_sizes = None
+
+    rows, cols = payload.get("rows"), payload.get("cols")
+    if plane_sizes is not None:
+        want_rows = max(plane_sizes[0::2])
+        want_cols = max(plane_sizes[1::2], default=0)
+        if "rows" in payload and rows != want_rows:
+            diags.append(
+                bad(
+                    f"field 'rows' is {rows!r} but the widest horizontal plane "
+                    f"has {want_rows} wires",
+                    obj="rows",
+                )
+            )
+        if "cols" in payload and cols != want_cols:
+            diags.append(
+                bad(
+                    f"field 'cols' is {cols!r} but the widest vertical plane "
+                    f"has {want_cols} wires",
+                    obj="cols",
+                )
+            )
+
+    plane0 = plane_sizes[0] if plane_sizes is not None else None
+    input_row = payload.get("input_row")
+    if not _is_int(input_row):
+        diags.append(bad("field 'input_row' must be an integer", obj="input_row"))
+    elif plane0 is not None and not (0 <= input_row < plane0):
+        diags.append(
+            bad(
+                f"input_row {input_row} outside plane 0 ({plane0} wordlines)",
+                obj="input_row",
+            )
+        )
+
+    output_rows = payload.get("output_rows")
+    if not isinstance(output_rows, dict):
+        diags.append(bad("field 'output_rows' must be an object", obj="output_rows"))
+        output_rows = {}
+    for out, row in output_rows.items():
+        if not _is_int(row):
+            diags.append(bad(f"output {out!r} row must be an integer", obj=out))
+        elif plane0 is not None and not (0 <= row < plane0):
+            diags.append(
+                bad(
+                    f"output {out!r} row {row} outside plane 0 ({plane0} wordlines)",
+                    obj=out,
+                )
+            )
+
+    constant_outputs = payload.get("constant_outputs", {})
+    if not isinstance(constant_outputs, dict):
+        diags.append(
+            bad("field 'constant_outputs' must be an object", obj="constant_outputs")
+        )
+    else:
+        for out, value in constant_outputs.items():
+            if not isinstance(value, bool):
+                diags.append(
+                    bad(f"constant output {out!r} value must be a boolean", obj=out)
+                )
+            if isinstance(output_rows, dict) and out in output_rows:
+                diags.append(
+                    bad(f"output {out!r} is both sensed and constant", obj=out)
+                )
+
+    cells = payload.get("cells")
+    if not isinstance(cells, list):
+        diags.append(bad("field 'cells' must be an array", obj="cells"))
+        cells = []
+    seen_cells: dict[tuple[int, int, int], int] = {}
+    for idx, cell in enumerate(cells):
+        where = f"cells[{idx}]"
+        if not isinstance(cell, dict):
+            diags.append(bad(f"{where} must be an object", obj=where))
+            continue
+        l, r, c = cell.get("layer"), cell.get("row"), cell.get("col")
+        if not _is_int(l) or not _is_int(r) or not _is_int(c):
+            diags.append(
+                bad(f"{where} needs integer 'layer', 'row' and 'col'", obj=where)
+            )
+            continue
+        if layers is not None and not (0 <= l < layers):
+            diags.append(
+                bad(f"{where} layer {l} outside the {layers} memristor layers", obj=where)
+            )
+        elif plane_sizes is not None and 0 <= l < len(plane_sizes) - 1:
+            h = l if l % 2 == 0 else l + 1
+            v = l + 1 if l % 2 == 0 else l
+            if not (0 <= r < plane_sizes[h] and 0 <= c < plane_sizes[v]):
+                diags.append(
+                    bad(
+                        f"{where} at layer {l} ({r}, {c}) outside its "
+                        f"{plane_sizes[h]}x{plane_sizes[v]} wire planes",
+                        obj=where,
+                    )
+                )
+        if (l, r, c) in seen_cells:
+            diags.append(
+                bad(
+                    f"{where} re-programs cell ({l}, {r}, {c}) "
+                    f"(first at cells[{seen_cells[(l, r, c)]}])",
+                    obj=where,
+                )
+            )
+        else:
+            seen_cells[(l, r, c)] = idx
+        var = cell.get("var")
+        if var is not None and not isinstance(var, str):
+            diags.append(bad(f"{where} 'var' must be a string or null", obj=where))
+        if not isinstance(cell.get("positive"), bool):
+            diags.append(bad(f"{where} 'positive' must be a boolean", obj=where))
+
+    plane_labels = payload.get("plane_labels", [])
+    if not isinstance(plane_labels, list) or not all(
+        isinstance(p, dict) for p in plane_labels
+    ):
+        diags.append(
+            bad("field 'plane_labels' must be an array of objects", obj="plane_labels")
+        )
+    else:
+        if plane_sizes is not None and len(plane_labels) > len(plane_sizes):
+            diags.append(
+                bad(
+                    f"{len(plane_labels)} plane_labels entries for "
+                    f"{len(plane_sizes)} planes",
+                    obj="plane_labels",
+                )
+            )
+        for plane, labels in enumerate(plane_labels):
+            limit = (
+                plane_sizes[plane]
+                if plane_sizes is not None and plane < len(plane_sizes)
+                else None
+            )
+            for key in labels:
+                try:
+                    index = int(key)
+                except (TypeError, ValueError):
+                    diags.append(
+                        bad(
+                            f"plane_labels[{plane}] key {key!r} is not an integer "
+                            "wire index",
+                            obj="plane_labels",
+                        )
+                    )
+                    continue
+                if limit is not None and not (0 <= index < limit):
+                    diags.append(
+                        bad(
+                            f"plane_labels[{plane}] key {index} outside the "
+                            f"{limit} wires",
+                            obj="plane_labels",
+                        )
+                    )
+    return diags
+
+
 def fault_map_schema_diagnostics(payload, file: str | None = None) -> list[Diagnostic]:
     """Every schema problem in a ``repro.faults/1`` payload."""
     def bad(message: str, obj: str | None = None) -> Diagnostic:
@@ -175,12 +385,18 @@ def fault_map_schema_diagnostics(payload, file: str | None = None) -> list[Diagn
     if not _is_int(cols) or cols < 1:
         diags.append(bad("field 'cols' must be a positive integer", obj="cols"))
         cols = None
+    layers = payload.get("layers", 1)
+    if not _is_int(layers) or layers < 1:
+        diags.append(
+            bad("field 'layers' must be an integer >= 1 (memristor layer count)", obj="layers")
+        )
+        layers = None
 
     faults = payload.get("faults")
     if not isinstance(faults, list):
         diags.append(bad("field 'faults' must be an array", obj="faults"))
         faults = []
-    seen: dict[tuple[int, int], str] = {}
+    seen: dict[tuple[int, int, int], str] = {}
     for idx, fault in enumerate(faults):
         where = f"faults[{idx}]"
         if not isinstance(fault, dict):
@@ -190,18 +406,31 @@ def fault_map_schema_diagnostics(payload, file: str | None = None) -> list[Diagn
         if not _is_int(r) or not _is_int(c):
             diags.append(bad(f"{where} needs integer 'row' and 'col'", obj=where))
             continue
+        layer = fault.get("layer", 0)
+        if not _is_int(layer) or layer < 0:
+            diags.append(
+                bad(f"{where} 'layer' must be a non-negative integer", obj=where)
+            )
+            continue
         if kind not in _FAULT_KINDS:
             diags.append(
                 bad(f"{where} has unknown fault kind {kind!r}", obj=where)
+            )
+        if layers is not None and layer >= layers:
+            diags.append(
+                bad(
+                    f"{where} at layer {layer} outside the {layers}-layer array",
+                    obj=where,
+                )
             )
         if rows is not None and cols is not None and not (0 <= r < rows and 0 <= c < cols):
             diags.append(
                 bad(f"{where} at ({r}, {c}) outside the {rows}x{cols} array", obj=where)
             )
-        prev = seen.get((r, c))
+        prev = seen.get((layer, r, c))
         if prev is not None and prev != kind:
             diags.append(
                 bad(f"{where} conflicts with earlier fault at ({r}, {c})", obj=where)
             )
-        seen.setdefault((r, c), kind if isinstance(kind, str) else "")
+        seen.setdefault((layer, r, c), kind if isinstance(kind, str) else "")
     return diags

@@ -160,13 +160,24 @@ def format_synth_report(result: dict, include_time: bool = True) -> list[str]:
     cached response cannot reproduce byte-for-byte.
     """
     metrics = result["metrics"]
-    lines = [
-        f"design     : {result['design_name']}",
-        f"crossbar   : {metrics['rows']} x {metrics['cols']}",
+    layers = metrics.get("layers", 1)
+    lines = [f"design     : {result['design_name']}"]
+    if layers > 1:
+        lines.append(
+            f"crossbar   : {metrics['rows']} x {metrics['cols']} footprint, "
+            f"{layers} layers"
+        )
+    else:
+        lines.append(f"crossbar   : {metrics['rows']} x {metrics['cols']}")
+    lines += [
         f"semiperim. : {metrics['semiperimeter']}",
         f"max dim    : {metrics['max_dimension']}",
         f"area       : {metrics['area']}",
         f"memristors : {metrics['memristors']} ({metrics['literals']} literals)",
+    ]
+    if layers > 1:
+        lines.append(f"vias       : {metrics.get('vias', 0)}")
+    lines += [
         f"delay      : {metrics['delay_steps']} steps",
         f"BDD nodes  : {result['bdd_nodes']} (VH labels: {result['vh_count']})",
         f"optimal    : {result['optimal']}",
@@ -238,6 +249,8 @@ def build_parser() -> argparse.ArgumentParser:
     synth.add_argument("--method", default="auto", choices=["auto", "mip", "oct", "heuristic"])
     synth.add_argument("--backend", default="highs", choices=["highs", "bnb"])
     synth.add_argument("--time-limit", type=float, default=60.0)
+    synth.add_argument("--layers", type=int, default=1, metavar="K",
+                       help="memristor layers in the target crossbar (default 1)")
     synth.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="worker threads for the decomposed labeling solve",
@@ -343,6 +356,8 @@ def build_parser() -> argparse.ArgumentParser:
     c_synth.add_argument("--method", default="auto", choices=["auto", "mip", "oct", "heuristic"])
     c_synth.add_argument("--backend", default="highs", choices=["highs", "bnb"])
     c_synth.add_argument("--time-limit", type=float, default=60.0)
+    c_synth.add_argument("--layers", type=int, default=1, metavar="K",
+                         help="memristor layers in the target crossbar (default 1)")
     c_synth.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="worker threads for the decomposed labeling solve (server side)",
@@ -442,6 +457,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the perf baseline (e.g. BENCH_compact.json); perf experiment only",
     )
     bench.add_argument(
+        "--layer-sweep", metavar="K1,K2,...", dest="layer_sweep",
+        help="also run the semiperimeter-vs-layer-count sweep at these "
+             "memristor layer counts (e.g. 1,2,3); perf experiment only",
+    )
+    bench.add_argument(
         "--circuits", metavar="NAMES",
         help="comma-separated suite circuit subset for the perf harness",
     )
@@ -496,6 +516,7 @@ def _synth_params(args) -> dict:
         "time_limit": args.time_limit,
         "solver_jobs": max(1, args.jobs),
         "validate": not args.no_validate,
+        "layers": args.layers,
     }
     if args.expr:
         params["expr"] = args.expr
@@ -695,7 +716,9 @@ def _cmd_bench(args) -> int:
 def _cmd_bench_perf(args) -> int:
     from .perf.harness import (
         DEFAULT_TIME_LIMIT,
+        render_layer_sweep_table,
         render_perf_table,
+        run_layer_sweep,
         run_perf_suite,
         write_bench_json,
     )
@@ -703,14 +726,36 @@ def _cmd_bench_perf(args) -> int:
     names = None
     if args.circuits:
         names = [n.strip() for n in args.circuits.split(",") if n.strip()]
+    time_limit = args.time_limit if args.time_limit is not None else DEFAULT_TIME_LIMIT
     payload = run_perf_suite(
         tier=args.tier,
         jobs=_resolve_jobs(args.jobs),
         names=names,
-        time_limit=args.time_limit if args.time_limit is not None else DEFAULT_TIME_LIMIT,
+        time_limit=time_limit,
         solver_jobs=max(1, args.solver_jobs),
     )
     print(render_perf_table(payload).render())
+    if args.layer_sweep:
+        try:
+            layers = tuple(
+                int(k.strip()) for k in args.layer_sweep.split(",") if k.strip()
+            )
+        except ValueError:
+            raise _usage_error(
+                f"--layer-sweep wants comma-separated integers, got {args.layer_sweep!r}"
+            ) from None
+        try:
+            payload["layer_sweep"] = run_layer_sweep(
+                names=names,
+                tier=args.tier,
+                layers=layers,
+                jobs=_resolve_jobs(args.jobs),
+                time_limit=time_limit,
+            )
+        except ValueError as exc:
+            raise _usage_error(str(exc)) from exc
+        print()
+        print(render_layer_sweep_table(payload["layer_sweep"]).render())
     if args.perf_json:
         path = write_bench_json(args.perf_json, payload)
         print(f"wrote {path}")

@@ -2,8 +2,10 @@
 
 from .compact import Compact, CompactResult
 from .constrained import ConstraintInfeasibleError, label_constrained
+from .klabel import KLabel, KLabeling, assign_planes, lift_labeling
 from .labeling import Label, LabelingError, VHLabeling
 from .mapping import map_to_crossbar
+from .mapping3d import map_to_crossbar3d
 from .preprocess import BddGraph, preprocess
 from .semiperimeter import label_heuristic, label_min_semiperimeter
 from .tiling import TiledDesign, partition_outputs, tile_netlist
@@ -20,6 +22,11 @@ __all__ = [
     "Label",
     "VHLabeling",
     "LabelingError",
+    "KLabel",
+    "KLabeling",
+    "assign_planes",
+    "lift_labeling",
+    "map_to_crossbar3d",
     "preprocess",
     "BddGraph",
     "label_min_semiperimeter",

@@ -24,8 +24,10 @@ from ..circuits.netlist import Netlist
 from ..crossbar.design import CrossbarDesign
 from ..expr import Expr
 from ..perf import StageTimer
+from .klabel import KLabeling, assign_planes
 from .labeling import VHLabeling
 from .mapping import map_to_crossbar
+from .mapping3d import map_to_crossbar3d
 from .preprocess import BddGraph, preprocess
 from .semiperimeter import label_heuristic, label_min_semiperimeter
 from .weighted import label_weighted
@@ -38,7 +40,7 @@ class CompactResult:
     """Everything COMPACT produced for one function."""
 
     design: CrossbarDesign
-    labeling: VHLabeling
+    labeling: VHLabeling | KLabeling
     bdd_graph: BddGraph
     sbdd: SBDD
     #: Per-stage wall-clock seconds: bdd, preprocess, labeling, mapping.
@@ -92,6 +94,13 @@ class Compact:
     jobs:
         Worker threads for the decomposed OCT/vertex-cover solves
         (independent cyclic cores and kernel components in parallel).
+    layers:
+        Memristor layers in the target crossbar (FLOW-3D style).  The
+        default 1 is the paper's planar flow; ``layers >= 2`` stacks the
+        design over ``layers + 1`` alternating nanowire planes, reusing
+        the 2D labeling as the stitch/bipartition stage and folding its
+        sides across same-orientation planes, which can only shrink the
+        footprint semiperimeter.
     """
 
     def __init__(
@@ -102,6 +111,7 @@ class Compact:
         backend: str = "highs",
         time_limit: float | None = None,
         jobs: int = 1,
+        layers: int = 1,
     ):
         if method not in ("auto", "mip", "oct", "heuristic"):
             raise ValueError(f"unknown method {method!r}")
@@ -109,12 +119,15 @@ class Compact:
             raise ValueError("gamma must lie in [0, 1]")
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if not isinstance(layers, int) or layers < 1:
+            raise ValueError("layers must be an integer >= 1")
         self.gamma = gamma
         self.alignment = alignment
         self.method = method
         self.backend = backend
         self.time_limit = time_limit
         self.jobs = jobs
+        self.layers = layers
 
     # -- entry points ------------------------------------------------------------
     def synthesize_netlist(
@@ -147,7 +160,7 @@ class Compact:
 
     def synthesize_bdd_graph(
         self, bdd_graph: BddGraph, name: str = "design"
-    ) -> tuple[CrossbarDesign, VHLabeling, dict[str, float]]:
+    ) -> tuple[CrossbarDesign, VHLabeling | KLabeling, dict[str, float]]:
         """Label and map an already-preprocessed BDD graph.
 
         Used for non-SBDD representations (e.g. the merged per-output
@@ -155,10 +168,7 @@ class Compact:
         ``(design, labeling, stage_times)``.
         """
         timer = StageTimer()
-        with timer.stage("labeling"):
-            labeling = self.label(bdd_graph)
-        with timer.stage("mapping"):
-            design = map_to_crossbar(bdd_graph, labeling, name=name)
+        design, labeling = self._label_and_map(bdd_graph, name, timer)
         return design, labeling, timer.times
 
     def synthesize_sbdd(self, sbdd: SBDD) -> CompactResult:
@@ -167,10 +177,7 @@ class Compact:
 
         with timer.stage("preprocess"):
             bdd_graph = preprocess(sbdd)
-        with timer.stage("labeling"):
-            labeling = self.label(bdd_graph)
-        with timer.stage("mapping"):
-            design = map_to_crossbar(bdd_graph, labeling, name=sbdd.name)
+        design, labeling = self._label_and_map(bdd_graph, sbdd.name, timer)
 
         manager = sbdd.manager
         perf = {
@@ -187,6 +194,40 @@ class Compact:
             times=timer.times,
             perf=perf,
         )
+
+    def _label_and_map(
+        self, bdd_graph: BddGraph, name: str, timer: StageTimer
+    ) -> tuple[CrossbarDesign, VHLabeling | KLabeling]:
+        """The labeling + mapping tail, planar or layered per ``self.layers``.
+
+        The layered flow is the two-stage solve: the configured 2D
+        labeling finds the stitch set and side bipartition (its exact
+        OCT is still exact for every layer count — odd cycles force
+        stitches regardless of which plane each node lands on), then
+        :func:`~repro.core.klabel.assign_planes` spreads each side over
+        the same-orientation planes.
+        """
+        with timer.stage("labeling"):
+            labeling: VHLabeling | KLabeling = self.label(bdd_graph)
+            if self.layers > 1:
+                labeling = assign_planes(
+                    bdd_graph,
+                    labeling,
+                    self.layers,
+                    gamma=self.gamma,
+                    alignment=self.alignment,
+                    method=self.method,
+                    backend=self.backend,
+                    time_limit=self.time_limit,
+                )
+        with timer.stage("mapping"):
+            if self.layers > 1:
+                design: CrossbarDesign = map_to_crossbar3d(
+                    bdd_graph, labeling, name=name
+                )
+            else:
+                design = map_to_crossbar(bdd_graph, labeling, name=name)
+        return design, labeling
 
     # -- labeling dispatch ---------------------------------------------------------
     def label(self, bdd_graph: BddGraph, trace_callback=None) -> VHLabeling:

@@ -26,7 +26,7 @@ from collections.abc import Mapping, Sequence
 import numpy as np
 
 from .. import bitset
-from .design import CrossbarDesign
+from .design import CrossbarDesign, h_plane, v_plane
 from .literals import ON, Lit
 
 __all__ = ["batch_evaluate", "bitset_evaluate", "assignments_to_matrix"]
@@ -72,33 +72,62 @@ def _scatter_plan(
 
 def _faulted_cells(
     design: CrossbarDesign, faults
-) -> tuple[list[tuple[int, int, Lit]], list[bool | None]]:
+) -> tuple[list[tuple[int, int, int, Lit]], list[bool | None]]:
     """The cell list and per-cell forced conduction after stuck-at faults.
 
     Mirrors :func:`repro.crossbar.faults.evaluate_with_faults`: the last
     fault at a crosspoint wins, a stuck-on fault at an unprogrammed site
     appends an always-on cell, and a stuck-off fault there is inert.
-    ``forced[i]`` is None for healthy cells, else the forced state.
+    Cells carry their full ``(layer, row, col)`` coordinate (layer 0 on
+    planar designs); ``forced[i]`` is None for healthy cells, else the
+    forced state.
     """
     from .faults import STUCK_ON, _check_fault_bounds
 
     _check_fault_bounds(design, faults)
-    cells = list(design.cells())
-    index = {(r, c): i for i, (r, c, _l) in enumerate(cells)}
+    cells = list(design.cells3d())
+    index = {(l, r, c): i for i, (l, r, c, _lit) in enumerate(cells)}
     forced: list[bool | None] = [None] * len(cells)
     for fault in faults:
-        site = (fault.row, fault.col)
+        site = (fault.layer, fault.row, fault.col)
         i = index.get(site)
         if fault.kind == STUCK_ON:
             if i is None:
                 index[site] = len(cells)
-                cells.append((fault.row, fault.col, ON))
+                cells.append((fault.layer, fault.row, fault.col, ON))
                 forced.append(True)
             else:
                 forced[i] = True
         elif i is not None:
             forced[i] = False
     return cells, forced
+
+
+def _wire_geometry(
+    design: CrossbarDesign, cells: list[tuple[int, int, int, Lit]]
+) -> tuple[list[int], list[int], int, int]:
+    """Global wordline/bitline indices for each cell, plus the space sizes.
+
+    The layered fixpoint runs over *one* horizontal and *one* vertical
+    wire space: the horizontal wire ``(plane 2k, r)`` gets global id
+    ``k * num_rows + r`` and the vertical wire ``(plane 2k+1, c)`` gets
+    ``k * num_cols + c``.  On a 1-layer design the ids collapse to the
+    plain row/column indices, so the planar sweep is untouched — the
+    inter-layer adjacency of a K-layer design is carried entirely by its
+    upper-layer cells scattering into higher wire blocks.  Ports always
+    live on plane 0, so output rows keep their ids verbatim.
+    """
+    if design.num_layers == 1:
+        h_ids = [r for _l, r, _c, _lit in cells]
+        v_ids = [c for _l, _r, c, _lit in cells]
+        return h_ids, v_ids, design.num_rows, max(design.num_cols, 1)
+    h_stride = design.num_rows
+    v_stride = max(design.num_cols, 1)
+    h_ids = [(h_plane(l) // 2) * h_stride + r for l, r, _c, _lit in cells]
+    v_ids = [(v_plane(l) // 2) * v_stride + c for l, _r, c, _lit in cells]
+    num_even = design.num_layers // 2 + 1
+    num_odd = (design.num_layers + 1) // 2
+    return h_ids, v_ids, num_even * h_stride, max(num_odd * v_stride, 1)
 
 
 def batch_evaluate(
@@ -132,9 +161,9 @@ def batch_evaluate(
     if faults:
         cells, forced = _faulted_cells(design, faults)
     else:
-        cells, forced = list(design.cells()), None
+        cells, forced = list(design.cells3d()), None
     on = np.zeros((m, len(cells)), dtype=bool)
-    for i, (_r, _c, lit) in enumerate(cells):
+    for i, (_l, _r, _c, lit) in enumerate(cells):
         if forced is not None and forced[i] is not None:
             on[:, i] = forced[i]
         elif lit.var is None:
@@ -151,13 +180,14 @@ def batch_evaluate(
                 )
             on[:, i] = matrix[:, j] if lit.positive else ~matrix[:, j]
 
-    rows = np.zeros((m, design.num_rows), dtype=bool)
-    cols = np.zeros((m, max(design.num_cols, 1)), dtype=bool)
+    h_ids, v_ids, num_h, num_v = _wire_geometry(design, cells)
+    rows = np.zeros((m, num_h), dtype=bool)
+    cols = np.zeros((m, num_v), dtype=bool)
     rows[:, design.input_row] = True
 
     if cells:
-        cell_rows = np.array([r for r, _c, _l in cells], dtype=np.intp)
-        cell_cols = np.array([c for _r, c, _l in cells], dtype=np.intp)
+        cell_rows = np.array(h_ids, dtype=np.intp)
+        cell_cols = np.array(v_ids, dtype=np.intp)
         c_order, c_starts, c_targets = _scatter_plan(cell_cols)
         r_order, r_starts, r_targets = _scatter_plan(cell_rows)
         while True:
@@ -204,10 +234,10 @@ def bitset_evaluate(
     if faults:
         cells, forced = _faulted_cells(design, faults)
     else:
-        cells, forced = list(design.cells()), None
+        cells, forced = list(design.cells3d()), None
     words = bitset.num_words(n)
     on = np.zeros((len(cells), words), dtype=np.uint64)
-    for i, (_r, _c, lit) in enumerate(cells):
+    for i, (_l, _r, _c, lit) in enumerate(cells):
         if forced is not None and forced[i] is not None:
             if forced[i]:
                 on[i] = bitset.ones(n)
@@ -225,13 +255,14 @@ def bitset_evaluate(
             mask = bitset.variable_mask(pos, n)
             on[i] = mask if lit.positive else bitset.bit_not(mask, n)
 
-    rows = np.zeros((design.num_rows, words), dtype=np.uint64)
-    cols = np.zeros((max(design.num_cols, 1), words), dtype=np.uint64)
+    h_ids, v_ids, num_h, num_v = _wire_geometry(design, cells)
+    rows = np.zeros((num_h, words), dtype=np.uint64)
+    cols = np.zeros((num_v, words), dtype=np.uint64)
     rows[design.input_row] = bitset.ones(n)
 
     if cells:
-        cell_rows = np.array([r for r, _c, _l in cells], dtype=np.intp)
-        cell_cols = np.array([c for _r, c, _l in cells], dtype=np.intp)
+        cell_rows = np.array(h_ids, dtype=np.intp)
+        cell_cols = np.array(v_ids, dtype=np.intp)
         c_order, c_starts, c_targets = _scatter_plan(cell_cols)
         r_order, r_starts, r_targets = _scatter_plan(cell_rows)
         while True:

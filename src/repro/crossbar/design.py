@@ -14,7 +14,23 @@ from collections.abc import Iterable, Mapping
 
 from .literals import OFF, Lit
 
-__all__ = ["CrossbarDesign"]
+__all__ = ["CrossbarDesign", "CrossbarDesign3D", "h_plane", "v_plane"]
+
+
+def h_plane(layer: int) -> int:
+    """The horizontal (wordline) nanowire plane memristor ``layer`` touches.
+
+    A 3D crossbar with K memristor layers sandwiches K+1 nanowire
+    planes, numbered 0..K bottom-up; even planes run horizontally, odd
+    planes vertically.  Layer ``l`` sits between planes ``l`` and
+    ``l+1`` — exactly one of which is even.
+    """
+    return layer if layer % 2 == 0 else layer + 1
+
+
+def v_plane(layer: int) -> int:
+    """The vertical (bitline) nanowire plane memristor ``layer`` touches."""
+    return layer + 1 if layer % 2 == 0 else layer
 
 
 class CrossbarDesign:
@@ -34,6 +50,10 @@ class CrossbarDesign:
         Outputs that are constant functions and have no sensed row
         (value reported directly by :meth:`evaluate`).
     """
+
+    #: Memristor layer count.  The planar design has exactly one;
+    #: :class:`CrossbarDesign3D` overrides this with a property.
+    num_layers: int = 1
 
     def __init__(
         self,
@@ -84,6 +104,39 @@ class CrossbarDesign:
         for (r, c), lit in self._cells.items():
             yield r, c, lit
 
+    # -- layered view (uniform across 2D and 3D designs) --------------------------
+    @property
+    def plane_sizes(self) -> tuple[int, ...]:
+        """Wire count per nanowire plane, bottom-up (here: rows, cols)."""
+        return (self.num_rows, self.num_cols)
+
+    @property
+    def plane_labels(self) -> list[dict[int, object]]:
+        """Per-plane line/node annotations (here: row then col labels)."""
+        return [self.row_labels, self.col_labels]
+
+    def set_cell3(self, layer: int, row: int, col: int, lit: Lit) -> None:
+        """Program one crosspoint by full ``(layer, row, col)`` coordinate."""
+        if layer != 0:
+            raise IndexError(f"layer {layer} outside this 1-layer crossbar")
+        self.set_cell(row, col, lit)
+
+    def cell3(self, layer: int, row: int, col: int) -> Lit:
+        """The programmed literal at a ``(layer, row, col)`` crosspoint."""
+        if layer != 0:
+            raise IndexError(f"layer {layer} outside this 1-layer crossbar")
+        return self.cell(row, col)
+
+    def cells3d(self) -> Iterable[tuple[int, int, int, Lit]]:
+        """All non-OFF cells as ``(layer, row, col, literal)``.
+
+        The layered twin of :meth:`cells`; yields the cells in the same
+        order, so code ported from ``cells()`` to ``cells3d()`` sees an
+        identical sequence on planar designs.
+        """
+        for (r, c), lit in self._cells.items():
+            yield 0, r, c, lit
+
     # -- metrics (the paper's hardware-utilisation quantities) --------------------
     @property
     def semiperimeter(self) -> int:
@@ -111,6 +164,14 @@ class CrossbarDesign:
         return sum(1 for lit in self._cells.values() if not lit.is_constant())
 
     @property
+    def via_count(self) -> int:
+        """Always-on stitch cells (inter-plane vias on layered designs)."""
+        return sum(
+            1 for lit in self._cells.values()
+            if lit.is_constant() and lit.positive
+        )
+
+    @property
     def delay_steps(self) -> int:
         """Evaluation time steps: one write per wordline plus one read."""
         return self.num_rows + 1
@@ -129,7 +190,15 @@ class CrossbarDesign:
         graph induced by the low-resistance cells, starting at the input
         wordline.
         """
-        on_cells = self.program(assignment)
+        return self.flow_outputs(self.program(assignment))
+
+    def flow_outputs(self, on_cells: set[tuple[int, int]]) -> dict[str, bool]:
+        """Output values given the set of conducting crosspoints.
+
+        The fault evaluator shares this with :meth:`evaluate`: it edits
+        the conducting set (shorting stuck-on sites, clearing stuck-off
+        ones) before running the same flow search.
+        """
         row_adj: dict[int, list[int]] = {}
         col_adj: dict[int, list[int]] = {}
         for r, c in on_cells:
@@ -234,4 +303,237 @@ class CrossbarDesign:
             f"CrossbarDesign({self.name!r}, {self.num_rows}x{self.num_cols}, "
             f"S={self.semiperimeter}, D={self.max_dimension}, "
             f"memristors={self.memristor_count})"
+        )
+
+
+class CrossbarDesign3D(CrossbarDesign):
+    """A K-layer memristor crossbar (the FLOW-3D fabric).
+
+    K memristor layers sandwich K+1 nanowire planes; even planes run
+    horizontally, odd planes vertically, and the cells of layer ``l``
+    join a wire on plane ``l`` to one on plane ``l+1``.  Cells are
+    addressed ``(layer, row, col)`` where ``row`` indexes the wordline
+    on :func:`h_plane` of the layer and ``col`` the bitline on
+    :func:`v_plane`.  The chip footprint — and therefore the
+    semiperimeter the paper minimizes — is set by the *largest*
+    horizontal and vertical planes, which is why spreading wires over
+    more planes shrinks ``S``.
+
+    The input port and all output ports live on plane 0 (the bottom
+    wordline plane), matching the 2D alignment convention.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        plane_sizes: Iterable[int],
+        input_row: int,
+        output_rows: Mapping[str, int],
+        constant_outputs: Mapping[str, bool] | None = None,
+    ):
+        sizes = tuple(int(s) for s in plane_sizes)
+        if len(sizes) < 2:
+            raise ValueError(
+                "a 3D crossbar needs at least two nanowire planes (one memristor layer)"
+            )
+        if any(s < 0 for s in sizes):
+            raise ValueError(f"negative plane size in {sizes}")
+        if sizes[0] < 1:
+            raise ValueError("plane 0 needs at least one wordline (the ports live there)")
+        if not (0 <= input_row < sizes[0]):
+            raise ValueError(f"input row {input_row} outside plane 0 ({sizes[0]} wires)")
+        for out, row in output_rows.items():
+            if not (0 <= row < sizes[0]):
+                raise ValueError(
+                    f"output {out!r} row {row} outside plane 0 ({sizes[0]} wires)"
+                )
+        super().__init__(
+            name,
+            num_rows=max(sizes[0::2]),
+            num_cols=max(sizes[1::2], default=0),
+            input_row=input_row,
+            output_rows=output_rows,
+            constant_outputs=constant_outputs,
+        )
+        self._plane_sizes = sizes
+        self._cells3d: dict[tuple[int, int, int], Lit] = {}
+        self._plane_labels: list[dict[int, object]] = [{} for _ in sizes]
+        # The 2D label dicts alias planes 0/1 so generic row/col
+        # introspection keeps working on the bottom layer.
+        self.row_labels = self._plane_labels[0]
+        self.col_labels = self._plane_labels[1]
+
+    # -- geometry ------------------------------------------------------------------
+    @property
+    def num_layers(self) -> int:  # type: ignore[override]
+        return len(self._plane_sizes) - 1
+
+    @property
+    def plane_sizes(self) -> tuple[int, ...]:
+        return self._plane_sizes
+
+    @property
+    def plane_labels(self) -> list[dict[int, object]]:
+        return self._plane_labels
+
+    def _check_site(self, layer: int, row: int, col: int) -> None:
+        if not (0 <= layer < self.num_layers):
+            raise IndexError(f"layer {layer} outside this {self.num_layers}-layer crossbar")
+        rows = self._plane_sizes[h_plane(layer)]
+        cols = self._plane_sizes[v_plane(layer)]
+        if not (0 <= row < rows and 0 <= col < cols):
+            raise IndexError(
+                f"cell ({layer}, {row}, {col}) outside the layer's "
+                f"{rows}x{cols} wire planes"
+            )
+
+    # -- programming ------------------------------------------------------------
+    def set_cell3(self, layer: int, row: int, col: int, lit: Lit) -> None:
+        self._check_site(layer, row, col)
+        existing = self._cells3d.get((layer, row, col))
+        if existing is not None and existing != lit:
+            raise ValueError(
+                f"cell ({layer}, {row}, {col}) already programmed with "
+                f"{existing} (new: {lit})"
+            )
+        if lit != OFF:
+            self._cells3d[(layer, row, col)] = lit
+
+    def cell3(self, layer: int, row: int, col: int) -> Lit:
+        self._check_site(layer, row, col)
+        return self._cells3d.get((layer, row, col), OFF)
+
+    def cells3d(self) -> Iterable[tuple[int, int, int, Lit]]:
+        for (l, r, c), lit in self._cells3d.items():
+            yield l, r, c, lit
+
+    def set_cell(self, row: int, col: int, lit: Lit) -> None:
+        raise TypeError(
+            f"design {self.name!r} has {self.num_layers} memristor layers; "
+            "use set_cell3(layer, row, col, lit)"
+        )
+
+    def cell(self, row: int, col: int) -> Lit:
+        raise TypeError(
+            f"design {self.name!r} has {self.num_layers} memristor layers; "
+            "use cell3(layer, row, col)"
+        )
+
+    def cells(self) -> Iterable[tuple[int, int, Lit]]:
+        raise TypeError(
+            f"design {self.name!r} has {self.num_layers} memristor layers; "
+            "iterate cells3d() so no layer is silently dropped"
+        )
+
+    # -- metrics ------------------------------------------------------------------
+    @property
+    def memristor_count(self) -> int:
+        return len(self._cells3d)
+
+    @property
+    def literal_count(self) -> int:
+        return sum(1 for lit in self._cells3d.values() if not lit.is_constant())
+
+    @property
+    def via_count(self) -> int:
+        """Always-on cells stitching one node's wires on adjacent planes."""
+        return sum(1 for lit in self._cells3d.values() if lit.is_constant() and lit.positive)
+
+    @property
+    def delay_steps(self) -> int:
+        """One write per wordline (over every horizontal plane) plus one read."""
+        return sum(self._plane_sizes[0::2]) + 1
+
+    # -- evaluation -----------------------------------------------------------------
+    def program(self, assignment: Mapping[str, bool]) -> set[tuple[int, int, int]]:  # type: ignore[override]
+        """Conducting crosspoints (``(layer, row, col)``) under ``assignment``."""
+        return {
+            site for site, lit in self._cells3d.items() if lit.evaluate(assignment)
+        }
+
+    def flow_outputs(self, on_cells: set[tuple[int, int, int]]) -> dict[str, bool]:  # type: ignore[override]
+        """Output values given the conducting sites, by wire-level BFS.
+
+        Wires are ``(plane, index)`` pairs; each conducting cell joins
+        its layer's horizontal and vertical wire, which is also how flow
+        crosses between layers (through wires shared via stitches).
+        """
+        adj: dict[tuple[int, int], list[tuple[int, int]]] = {}
+        for l, r, c in on_cells:
+            hw = (h_plane(l), r)
+            vw = (v_plane(l), c)
+            adj.setdefault(hw, []).append(vw)
+            adj.setdefault(vw, []).append(hw)
+
+        source = (0, self.input_row)
+        reached = {source}
+        frontier = [source]
+        while frontier:
+            nxt: list[tuple[int, int]] = []
+            for wire in frontier:
+                for other in adj.get(wire, ()):
+                    if other not in reached:
+                        reached.add(other)
+                        nxt.append(other)
+            frontier = nxt
+
+        result = {
+            out: (0, row) in reached for out, row in self.output_rows.items()
+        }
+        result.update(self.constant_outputs)
+        return result
+
+    # -- remapping ------------------------------------------------------------------
+    def permuted(self, row_map, col_map, num_rows=None, num_cols=None, name=None):
+        raise ValueError(
+            f"design {self.name!r} has {self.num_layers} memristor layers; "
+            "defect-aware line permutation is only defined for planar designs"
+        )
+
+    # -- presentation ---------------------------------------------------------------
+    def to_grid(self) -> list[list[str]]:
+        raise TypeError(
+            f"design {self.name!r} has {self.num_layers} memristor layers; "
+            "use to_grids() for the per-layer view"
+        )
+
+    def to_grids(self) -> list[list[list[str]]]:
+        """One row-major grid of cell strings per memristor layer."""
+        grids = []
+        for l in range(self.num_layers):
+            rows = self._plane_sizes[h_plane(l)]
+            cols = self._plane_sizes[v_plane(l)]
+            grids.append(
+                [[str(self.cell3(l, r, c)) for c in range(cols)] for r in range(rows)]
+            )
+        return grids
+
+    def render(self) -> str:
+        """ASCII rendering, one block per layer, ports marked on layer 0."""
+        grids = self.to_grids()
+        width = max((len(s) for g in grids for row in g for s in row), default=1)
+        out_marks: dict[int, list[str]] = {}
+        for name, row in self.output_rows.items():
+            out_marks.setdefault(row, []).append(f"-> {name}")
+        blocks = []
+        for l, grid in enumerate(grids):
+            lines = [f"layer {l} (planes {l}|{l + 1}):"]
+            for r, row in enumerate(grid):
+                marks = []
+                if h_plane(l) == 0:
+                    if r == self.input_row:
+                        marks.append("<- Vin")
+                    marks.extend(out_marks.get(r, ()))
+                body = " ".join(s.rjust(width) for s in row)
+                suffix = ("  " + ", ".join(marks)) if marks else ""
+                lines.append(body + suffix)
+            blocks.append("\n".join(lines))
+        return "\n\n".join(blocks)
+
+    def __repr__(self) -> str:
+        planes = "x".join(str(s) for s in self._plane_sizes)
+        return (
+            f"CrossbarDesign3D({self.name!r}, layers={self.num_layers}, "
+            f"planes={planes}, footprint {self.num_rows}x{self.num_cols}, "
+            f"S={self.semiperimeter}, memristors={self.memristor_count})"
         )

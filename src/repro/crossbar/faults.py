@@ -43,15 +43,23 @@ _SIGNATURE_SCHEMA = "repro.fault-signature/1"
 
 @dataclass(frozen=True)
 class Fault:
-    """A stuck-at defect at one crosspoint."""
+    """A stuck-at defect at one crosspoint.
+
+    ``layer`` addresses the memristor layer on 3D crossbars and
+    defaults to 0, so every existing 2D call site (and serialized
+    artifact) keeps working unchanged.
+    """
 
     row: int
     col: int
     kind: str  # STUCK_ON or STUCK_OFF
+    layer: int = 0
 
     def __post_init__(self):
         if self.kind not in (STUCK_ON, STUCK_OFF):
             raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.layer < 0:
+            raise ValueError(f"negative fault layer {self.layer}")
 
 
 @dataclass(frozen=True)
@@ -62,30 +70,42 @@ class FaultMap:
     may exceed a design's logical dimensions — the surplus lines are the
     spare rows/columns a defect-aware remap may spend.  At most one
     fault per crosspoint; conflicting duplicates are rejected.
+
+    ``layers`` (default 1) is the memristor layer count of a 3D array;
+    each fault's ``layer`` must fall inside it.  Planar maps keep the
+    exact constructor, JSON shape and signature they always had.
     """
 
     rows: int
     cols: int
     faults: tuple[Fault, ...]
+    layers: int = 1
 
     def __post_init__(self):
         if self.rows < 1 or self.cols < 1:
             raise ValueError("a fault map needs a positive array size")
+        if self.layers < 1:
+            raise ValueError("a fault map needs at least one memristor layer")
         object.__setattr__(self, "faults", tuple(self.faults))
-        seen: dict[tuple[int, int], str] = {}
+        seen: dict[tuple[int, int, int], str] = {}
         for fault in self.faults:
+            if not (0 <= fault.layer < self.layers):
+                raise ValueError(
+                    f"fault {fault.kind} at layer {fault.layer} is outside "
+                    f"the {self.layers}-layer array"
+                )
             if not (0 <= fault.row < self.rows and 0 <= fault.col < self.cols):
                 raise ValueError(
                     f"fault {fault.kind} at ({fault.row}, {fault.col}) is outside "
                     f"the {self.rows}x{self.cols} array"
                 )
-            prev = seen.get((fault.row, fault.col))
+            prev = seen.get((fault.layer, fault.row, fault.col))
             if prev is not None and prev != fault.kind:
                 raise ValueError(
                     f"conflicting faults at ({fault.row}, {fault.col}): "
                     f"{prev} and {fault.kind}"
                 )
-            seen[(fault.row, fault.col)] = fault.kind
+            seen[(fault.layer, fault.row, fault.col)] = fault.kind
 
     @cached_property
     def stuck_on_sites(self) -> frozenset[tuple[int, int]]:
@@ -111,6 +131,11 @@ class FaultMap:
         trip — which is what lets the yield-campaign runner dedup
         validation and remap work through the content-addressed cache
         keyed on (design, signature).
+
+        Layer coordinates join the hashed material only when they carry
+        information (a multi-layer array or an off-bottom fault), so
+        every pre-3D signature — and therefore every cached campaign
+        result — stays stable.
         """
         material = {
             "schema": _SIGNATURE_SCHEMA,
@@ -118,6 +143,11 @@ class FaultMap:
             "cols": self.cols,
             "faults": sorted((f.row, f.col, f.kind) for f in self.faults),
         }
+        if self.layers != 1 or any(f.layer for f in self.faults):
+            material["layers"] = self.layers
+            material["faults"] = sorted(
+                (f.layer, f.row, f.col, f.kind) for f in self.faults
+            )
         blob = json.dumps(material, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode()).hexdigest()
 
@@ -132,6 +162,7 @@ class FaultMap:
         return FaultMap(
             rows, cols,
             tuple(f for f in self.faults if f.row < rows and f.col < cols),
+            layers=self.layers,
         )
 
 
@@ -166,12 +197,28 @@ def random_fault_map(
 
 
 def _check_fault_bounds(design: CrossbarDesign, faults: Sequence[Fault]) -> None:
+    from .design import h_plane, v_plane
+
     for fault in faults:
-        if not (0 <= fault.row < design.num_rows and 0 <= fault.col < design.num_cols):
+        if not (0 <= fault.layer < design.num_layers):
             raise ValueError(
-                f"fault {fault.kind} at ({fault.row}, {fault.col}) is outside "
-                f"the {design.num_rows}x{design.num_cols} crossbar"
+                f"fault {fault.kind} at layer {fault.layer} is outside "
+                f"the {design.num_layers}-layer crossbar"
             )
+        if design.num_layers == 1:
+            if not (0 <= fault.row < design.num_rows and 0 <= fault.col < design.num_cols):
+                raise ValueError(
+                    f"fault {fault.kind} at ({fault.row}, {fault.col}) is outside "
+                    f"the {design.num_rows}x{design.num_cols} crossbar"
+                )
+        else:
+            rows = design.plane_sizes[h_plane(fault.layer)]
+            cols = design.plane_sizes[v_plane(fault.layer)]
+            if not (0 <= fault.row < rows and 0 <= fault.col < cols):
+                raise ValueError(
+                    f"fault {fault.kind} at layer {fault.layer} ({fault.row}, "
+                    f"{fault.col}) is outside the layer's {rows}x{cols} wire planes"
+                )
 
 
 def evaluate_with_faults(
@@ -188,37 +235,18 @@ def evaluate_with_faults(
     """
     _check_fault_bounds(design, faults)
     on_cells = design.program(assignment)
+    layered = design.num_layers > 1
     for fault in faults:
-        cell = (fault.row, fault.col)
+        cell = (
+            (fault.layer, fault.row, fault.col)
+            if layered
+            else (fault.row, fault.col)
+        )
         if fault.kind == STUCK_ON:
             on_cells.add(cell)
         else:
             on_cells.discard(cell)
-
-    row_adj: dict[int, list[int]] = {}
-    col_adj: dict[int, list[int]] = {}
-    for r, c in on_cells:
-        row_adj.setdefault(r, []).append(c)
-        col_adj.setdefault(c, []).append(r)
-
-    reached_rows = {design.input_row}
-    reached_cols: set[int] = set()
-    frontier = [design.input_row]
-    while frontier:
-        nxt: list[int] = []
-        for r in frontier:
-            for c in row_adj.get(r, ()):
-                if c not in reached_cols:
-                    reached_cols.add(c)
-                    for r2 in col_adj.get(c, ()):
-                        if r2 not in reached_rows:
-                            reached_rows.add(r2)
-                            nxt.append(r2)
-        frontier = nxt
-
-    result = {out: row in reached_rows for out, row in design.output_rows.items()}
-    result.update(design.constant_outputs)
-    return result
+    return design.flow_outputs(on_cells)
 
 
 def is_functional_under_faults(
@@ -267,30 +295,43 @@ def critical_cells(
     programmed cells; ``stuck_on`` also threatens *unprogrammed*
     crosspoints (a short can create a spurious sneak path), which are
     included when ``include_unprogrammed`` is set.
+
+    Planar designs report ``(row, col)`` pairs as always; layered
+    designs report ``(layer, row, col)`` triples.
     """
-    programmed = {(r, c) for r, c, _ in design.cells()}
-    result: dict[str, list[tuple[int, int]]] = {k: [] for k in kinds}
+    layered = design.num_layers > 1
+    programmed = {(l, r, c) for l, r, c, _ in design.cells3d()}
+    result: dict[str, list] = {k: [] for k in kinds}
 
     for kind in kinds:
         if kind == STUCK_OFF:
             candidates = sorted(programmed)
         else:
             if include_unprogrammed:
-                candidates = [
-                    (r, c)
-                    for r in range(design.num_rows)
-                    for c in range(design.num_cols)
-                ]
+                candidates = _all_sites(design)
             else:
                 candidates = sorted(programmed)
-        for r, c in candidates:
-            fault = Fault(r, c, kind)
+        for l, r, c in candidates:
+            fault = Fault(r, c, kind, layer=l)
             if not is_functional_under_faults(
                 design, reference, inputs, [fault],
                 exhaustive_limit=exhaustive_limit, samples=samples,
             ):
-                result[kind].append((r, c))
+                result[kind].append((l, r, c) if layered else (r, c))
     return result
+
+
+def _all_sites(design: CrossbarDesign) -> list[tuple[int, int, int]]:
+    """Every physical crosspoint of ``design`` as (layer, row, col)."""
+    from .design import h_plane, v_plane
+
+    sizes = design.plane_sizes
+    return [
+        (l, r, c)
+        for l in range(design.num_layers)
+        for r in range(sizes[h_plane(l)])
+        for c in range(sizes[v_plane(l)])
+    ]
 
 
 def yield_estimate(
@@ -319,20 +360,18 @@ def yield_estimate(
         raise ValueError("need at least one trial")
     external_rng = isinstance(seed, random.Random)
     rng = _as_rng(seed)
-    programmed = [(r, c) for r, c, _ in design.cells()]
-    all_cells = [
-        (r, c) for r in range(design.num_rows) for c in range(design.num_cols)
-    ]
+    programmed = [(l, r, c) for l, r, c, _ in design.cells3d()]
+    all_cells = _all_sites(design)
     good = 0
     for trial in range(trials):
         faults = [
-            Fault(r, c, STUCK_OFF)
-            for r, c in programmed
+            Fault(r, c, STUCK_OFF, layer=l)
+            for l, r, c in programmed
             if rng.random() < p_stuck_off
         ]
         faults += [
-            Fault(r, c, STUCK_ON)
-            for r, c in all_cells
+            Fault(r, c, STUCK_ON, layer=l)
+            for l, r, c in all_cells
             if rng.random() < p_stuck_on
         ]
         check_seed = rng.randrange(1 << 30) if external_rng else seed + trial

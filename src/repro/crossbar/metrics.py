@@ -32,6 +32,11 @@ class DesignMetrics:
     literals: int
     power_proxy: int
     delay_steps: int
+    #: Memristor layers (1 for the paper's planar designs).
+    layers: int = 1
+    #: Always-on stitch cells; on layered designs these are the
+    #: inter-plane vias, on planar ones the VH stitches.
+    vias: int = 0
 
     def as_dict(self) -> dict:
         """The metrics as a plain dict (report/JSON friendly)."""
@@ -51,4 +56,6 @@ def measure(design: CrossbarDesign) -> DesignMetrics:
         literals=design.literal_count,
         power_proxy=design.literal_count,
         delay_steps=design.delay_steps,
+        layers=design.num_layers,
+        vias=design.via_count,
     )

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import json
 
-from .design import CrossbarDesign
+from .design import CrossbarDesign, CrossbarDesign3D
 from .faults import Fault, FaultMap
 from .literals import Lit
 
@@ -22,6 +22,7 @@ __all__ = [
 ]
 
 _FORMAT = "repro.crossbar/1"
+_FORMAT_3D = "repro.crossbar/2"
 _FAULTS_FORMAT = "repro.faults/1"
 
 
@@ -39,22 +40,53 @@ def _raise_schema_problems(diagnostics) -> None:
 
 
 def design_to_json(design: CrossbarDesign, indent: int | None = None) -> str:
-    """Serialise ``design`` (cells, ports, labels) to a JSON string."""
-    payload = {
-        "format": _FORMAT,
-        "name": design.name,
-        "rows": design.num_rows,
-        "cols": design.num_cols,
-        "input_row": design.input_row,
-        "output_rows": design.output_rows,
-        "constant_outputs": design.constant_outputs,
-        "cells": [
-            {"row": r, "col": c, "var": lit.var, "positive": lit.positive}
-            for r, c, lit in sorted(design.cells())
-        ],
-        "row_labels": {str(k): repr(v) for k, v in design.row_labels.items()},
-        "col_labels": {str(k): repr(v) for k, v in design.col_labels.items()},
-    }
+    """Serialise ``design`` (cells, ports, labels) to a JSON string.
+
+    One-layer designs always emit the ``repro.crossbar/1`` schema —
+    byte-identical to every pre-3D artifact — while K-layer designs emit
+    ``repro.crossbar/2`` with a ``layers`` count, per-plane wire sizes
+    and a ``layer`` coordinate on every cell.
+    """
+    if design.num_layers == 1:
+        payload = {
+            "format": _FORMAT,
+            "name": design.name,
+            "rows": design.num_rows,
+            "cols": design.num_cols,
+            "input_row": design.input_row,
+            "output_rows": design.output_rows,
+            "constant_outputs": design.constant_outputs,
+            "cells": [
+                {"row": r, "col": c, "var": lit.var, "positive": lit.positive}
+                for _l, r, c, lit in sorted(
+                    design.cells3d(), key=lambda cell: (cell[1], cell[2])
+                )
+            ],
+            "row_labels": {str(k): repr(v) for k, v in design.row_labels.items()},
+            "col_labels": {str(k): repr(v) for k, v in design.col_labels.items()},
+        }
+    else:
+        payload = {
+            "format": _FORMAT_3D,
+            "name": design.name,
+            "layers": design.num_layers,
+            "plane_sizes": list(design.plane_sizes),
+            "rows": design.num_rows,
+            "cols": design.num_cols,
+            "input_row": design.input_row,
+            "output_rows": design.output_rows,
+            "constant_outputs": design.constant_outputs,
+            "cells": [
+                {"layer": l, "row": r, "col": c, "var": lit.var, "positive": lit.positive}
+                for l, r, c, lit in sorted(
+                    design.cells3d(), key=lambda cell: cell[:3]
+                )
+            ],
+            "plane_labels": [
+                {str(k): repr(v) for k, v in labels.items()}
+                for labels in design.plane_labels
+            ],
+        }
     return json.dumps(payload, indent=indent)
 
 
@@ -63,11 +95,35 @@ def design_from_json(text: str) -> CrossbarDesign:
 
     Row/column annotation labels are restored as strings (their repr);
     everything functional — dimensions, ports, programmed cells — round
-    trips exactly.  A malformed document raises :class:`ValueError`
-    listing *every* schema problem found, not just the first.
+    trips exactly.  Accepts both schema versions: ``repro.crossbar/1``
+    rebuilds a planar :class:`CrossbarDesign`, ``repro.crossbar/2`` a
+    :class:`CrossbarDesign3D`.  A malformed document raises
+    :class:`ValueError` listing *every* schema problem found, not just
+    the first — including a clear rejection of ``layers < 1``.
     """
     payload = json.loads(text)
     _raise_schema_problems(_schema().design_schema_diagnostics(payload))
+    if isinstance(payload, dict) and payload.get("format") == _FORMAT_3D:
+        design3d = CrossbarDesign3D(
+            payload["name"],
+            plane_sizes=payload["plane_sizes"],
+            input_row=payload["input_row"],
+            output_rows=payload["output_rows"],
+            constant_outputs={
+                k: bool(v) for k, v in payload.get("constant_outputs", {}).items()
+            },
+        )
+        for cell in payload["cells"]:
+            design3d.set_cell3(
+                cell["layer"], cell["row"], cell["col"],
+                Lit(cell["var"], cell["positive"]),
+            )
+        for plane, labels in enumerate(payload.get("plane_labels", [])):
+            design3d.plane_labels[plane].clear()
+            design3d.plane_labels[plane].update(
+                {int(k): v for k, v in labels.items()}
+            )
+        return design3d
     design = CrossbarDesign(
         payload["name"],
         num_rows=payload["rows"],
@@ -86,16 +142,29 @@ def design_from_json(text: str) -> CrossbarDesign:
 
 
 def fault_map_to_json(fault_map: FaultMap, indent: int | None = None) -> str:
-    """Serialise a :class:`~repro.crossbar.faults.FaultMap` to JSON."""
+    """Serialise a :class:`~repro.crossbar.faults.FaultMap` to JSON.
+
+    The ``layers`` field and per-fault ``layer`` coordinates appear only
+    when they differ from their planar defaults, so 2D maps round-trip
+    byte-identically to the pre-3D format.
+    """
+    def fault_obj(f: Fault) -> dict:
+        obj = {"row": f.row, "col": f.col, "kind": f.kind}
+        if f.layer:
+            obj["layer"] = f.layer
+        return obj
+
     payload = {
         "format": _FAULTS_FORMAT,
         "rows": fault_map.rows,
         "cols": fault_map.cols,
         "faults": [
-            {"row": f.row, "col": f.col, "kind": f.kind}
-            for f in sorted(fault_map.faults, key=lambda f: (f.row, f.col))
+            fault_obj(f)
+            for f in sorted(fault_map.faults, key=lambda f: (f.layer, f.row, f.col))
         ],
     }
+    if fault_map.layers != 1:
+        payload["layers"] = fault_map.layers
     return json.dumps(payload, indent=indent)
 
 
@@ -109,7 +178,12 @@ def fault_map_from_json(text: str) -> FaultMap:
     payload = json.loads(text)
     _raise_schema_problems(_schema().fault_map_schema_diagnostics(payload))
     faults = tuple(
-        Fault(int(f["row"]), int(f["col"]), f["kind"])
+        Fault(int(f["row"]), int(f["col"]), f["kind"], layer=int(f.get("layer", 0)))
         for f in payload["faults"]
     )
-    return FaultMap(int(payload["rows"]), int(payload["cols"]), faults)
+    return FaultMap(
+        int(payload["rows"]),
+        int(payload["cols"]),
+        faults,
+        layers=int(payload.get("layers", 1)),
+    )

@@ -35,9 +35,11 @@ from .schema import BENCH_SCHEMA_ID, validate_bench_payload
 __all__ = [
     "run_perf_circuit",
     "run_perf_suite",
+    "run_layer_sweep",
     "deterministic_view",
     "write_bench_json",
     "render_perf_table",
+    "render_layer_sweep_table",
 ]
 
 #: Default per-circuit labeling budget (seconds) for perf runs.
@@ -219,6 +221,116 @@ def run_perf_suite(
         },
     }
     return validate_bench_payload(payload)
+
+
+def _layer_point(task: tuple[str, int, dict]) -> dict:
+    """One (circuit, layer-count) synthesis for the layer sweep."""
+    from ..bench.suites import circuit
+
+    name, layers, kwargs = task
+    netlist = circuit(name)
+    compact = Compact(layers=layers, **kwargs)
+    t0 = time.monotonic()
+    result = compact.synthesize_netlist(netlist)
+    wall = time.monotonic() - t0
+    design = result.design
+    report = validate_design(design, netlist.evaluate, netlist.inputs)
+    return {
+        "circuit": name,
+        "layers": layers,
+        "rows": design.num_rows,
+        "cols": design.num_cols,
+        "semiperimeter": design.semiperimeter,
+        "max_dimension": design.max_dimension,
+        "vias": design.via_count,
+        "plane_method": result.labeling.meta.get("plane_method", "2d"),
+        "ok": report.ok,
+        "wall_time_s": wall,
+    }
+
+
+def run_layer_sweep(
+    names: list[str] | None = None,
+    tier: str | None = None,
+    layers: tuple[int, ...] = (1, 2, 3),
+    jobs: int = 1,
+    gamma: float = 0.5,
+    method: str = "auto",
+    backend: str = "highs",
+    time_limit: float = DEFAULT_TIME_LIMIT,
+) -> dict:
+    """Semiperimeter-vs-layer-count sweep over the benchmark suite.
+
+    Synthesizes every named circuit at each layer count in ``layers``,
+    validates each design against its netlist, and returns the
+    ``layer_sweep`` block for the BENCH payload: per circuit, one result
+    row per layer count (footprint, semiperimeter, via count, whether
+    the layered design validated).  The 2-layer and 3-layer points are
+    the FLOW-3D-style folds; the 1-layer point is the paper's planar
+    baseline, so each row directly reads as "S shrinks (or holds) as
+    layers are added".
+    """
+    from ..bench.suites import suite
+
+    if names is None:
+        names = [b.name for b in suite(tier)]
+    layer_list = sorted(set(int(k) for k in layers))
+    if not layer_list or layer_list[0] < 1:
+        raise ValueError("layer counts must be integers >= 1")
+    kwargs = {
+        "gamma": gamma, "method": method, "backend": backend,
+        "time_limit": time_limit,
+    }
+    tasks = [
+        (name, k, kwargs) for name in sorted(set(names)) for k in layer_list
+    ]
+    if jobs <= 1:
+        points = [_layer_point(task) for task in tasks]
+    else:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            points = list(pool.map(_layer_point, tasks))
+
+    by_circuit: dict[str, list[dict]] = {}
+    for point in points:
+        row = dict(point)
+        row.pop("circuit")
+        by_circuit.setdefault(point["circuit"], []).append(row)
+    return {
+        "layers": layer_list,
+        "gamma": gamma,
+        "method": method,
+        "circuits": [
+            {
+                "circuit": name,
+                "results": sorted(rows, key=lambda r: r["layers"]),
+            }
+            for name, rows in sorted(by_circuit.items())
+        ],
+    }
+
+
+def render_layer_sweep_table(block: dict):
+    """Semiperimeter-vs-layer-count table of a ``layer_sweep`` block."""
+    from ..bench.tables import Table
+
+    layer_list = block["layers"]
+    columns = ["circuit"]
+    for k in layer_list:
+        columns += [f"S(K={k})", f"RxC(K={k})"]
+    columns.append("ok")
+    table = Table("Semiperimeter vs memristor layers", columns)
+    for entry in block["circuits"]:
+        by_k = {r["layers"]: r for r in entry["results"]}
+        cells: list = [entry["circuit"]]
+        for k in layer_list:
+            r = by_k.get(k)
+            if r is None:
+                cells += ["-", "-"]
+            else:
+                cells += [r["semiperimeter"], f"{r['rows']}x{r['cols']}"]
+        cells.append("yes" if all(r["ok"] for r in entry["results"]) else "NO")
+        table.add_row(*cells)
+    return table
 
 
 #: Wall-clock fields stripped by :func:`deterministic_view` (throughput

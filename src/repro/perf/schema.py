@@ -48,6 +48,18 @@ _CROSSBAR_FIELDS: tuple[tuple[str, type], ...] = (
     ("max_dimension", int),
 )
 
+#: Required on every result row of the optional ``layer_sweep`` block.
+_LAYER_RESULT_FIELDS: tuple[tuple[str, type], ...] = (
+    ("layers", int),
+    ("rows", int),
+    ("cols", int),
+    ("semiperimeter", int),
+    ("max_dimension", int),
+    ("vias", int),
+    ("plane_method", str),
+    ("ok", bool),
+)
+
 #: Required inside the optional per-circuit ``validate`` block (the
 #: time-derived ``bitset_sweep_assignments_per_s`` is checked separately
 #: because it may be null for wide circuits).
@@ -130,4 +142,44 @@ def validate_bench_payload(payload: dict) -> dict:
         raise ValueError("$.circuits: records must be sorted by circuit name")
     if len(set(names)) != len(names):
         raise ValueError("$.circuits: duplicate circuit names")
+
+    # Optional (added with 3D synthesis; older baselines predate it).
+    if "layer_sweep" in payload:
+        _validate_layer_sweep(payload["layer_sweep"])
     return payload
+
+
+def _validate_layer_sweep(block) -> None:
+    where = "$.layer_sweep"
+    layer_list = _require(block, "layers", list, where)
+    if not layer_list or any(
+        isinstance(k, bool) or not isinstance(k, int) or k < 1 for k in layer_list
+    ):
+        raise ValueError(f"{where}.layers: expected a list of integers >= 1")
+    if layer_list != sorted(set(layer_list)):
+        raise ValueError(f"{where}.layers: must be strictly increasing")
+    _require(block, "gamma", Real, where)
+    _require(block, "method", str, where)
+    circuits = _require(block, "circuits", list, where)
+    names = []
+    for i, entry in enumerate(circuits):
+        ewhere = f"{where}.circuits[{i}]"
+        names.append(_require(entry, "circuit", str, ewhere))
+        results = _require(entry, "results", list, ewhere)
+        seen_k = []
+        for j, result in enumerate(results):
+            rwhere = f"{ewhere}.results[{j}]"
+            for field, kind in _LAYER_RESULT_FIELDS:
+                _require(result, field, kind, rwhere)
+            seen_k.append(result["layers"])
+        if seen_k != sorted(set(seen_k)):
+            raise ValueError(f"{ewhere}.results: layer counts must be sorted, unique")
+        unknown = sorted(set(seen_k) - set(layer_list))
+        if unknown:
+            raise ValueError(
+                f"{ewhere}.results: layer counts {unknown} not in {where}.layers"
+            )
+    if names != sorted(names):
+        raise ValueError(f"{where}.circuits: records must be sorted by circuit name")
+    if len(set(names)) != len(names):
+        raise ValueError(f"{where}.circuits: duplicate circuit names")

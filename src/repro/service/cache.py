@@ -37,7 +37,8 @@ from .protocol import (
 __all__ = ["CACHE_KEY_SCHEMA", "ResultCache", "canonical_request", "request_key"]
 
 #: Stamped into the hashed material; bump to invalidate every old key.
-CACHE_KEY_SCHEMA = "repro-service-key/1"
+#: v2: synth keys carry the ``layers`` knob (3D synthesis).
+CACHE_KEY_SCHEMA = "repro-service-key/2"
 
 _READERS = None  # lazily populated: {"verilog": read_verilog, ...}
 

@@ -91,6 +91,7 @@ def _synth(params: dict) -> dict:
         backend=_knob(params, SYNTH_DEFAULTS, "backend"),
         time_limit=float(_knob(params, SYNTH_DEFAULTS, "time_limit")),
         jobs=int(_knob(params, SYNTH_DEFAULTS, "solver_jobs")),
+        layers=int(_knob(params, SYNTH_DEFAULTS, "layers")),
     )
     order = params.get("order")
     if netlist is not None:

@@ -99,6 +99,7 @@ SYNTH_DEFAULTS: dict = {
     "solver_jobs": 1,
     "validate": True,
     "order": None,
+    "layers": 1,
 }
 
 #: Default remap knobs (mirrors the ``repro map`` CLI defaults).

@@ -1,0 +1,200 @@
+"""Tests for K-layer labeling (the FLOW-3D plane-assignment stage)."""
+
+import pytest
+
+from repro.bdd import build_sbdd, sbdd_from_exprs
+from repro.circuits import c17, majority_voter, parity_tree
+from repro.core import (
+    Label,
+    KLabel,
+    KLabeling,
+    assign_planes,
+    label_weighted,
+    lift_labeling,
+    preprocess,
+)
+from repro.core.klabel import MILP_NODE_LIMIT, _zigzag_fold
+from repro.core.labeling import LabelingError
+from repro.expr import parse
+
+
+def labeled_graph(exprs=None, netlist=None, gamma=0.5):
+    if netlist is not None:
+        sbdd = build_sbdd(netlist)
+    else:
+        sbdd = sbdd_from_exprs({k: parse(v) for k, v in exprs.items()})
+    bg = preprocess(sbdd)
+    return bg, label_weighted(bg, gamma=gamma, alignment=True)
+
+
+class TestKLabel:
+    def test_planes_h(self):
+        assert KLabel(Label.H, 0).planes == (0,)
+        assert KLabel(Label.H, 2).planes == (4,)
+
+    def test_planes_v(self):
+        assert KLabel(Label.V, 0).planes == (1,)
+        assert KLabel(Label.V, 1).planes == (3,)
+
+    def test_planes_vh(self):
+        assert KLabel(Label.VH, 0).planes == (0, 1)
+        assert KLabel(Label.VH, 2).planes == (2, 3)
+
+    def test_stitch_layer(self):
+        assert KLabel(Label.VH, 3).stitch_layer == 3
+        assert KLabel(Label.H, 1).stitch_layer is None
+
+    def test_has_plane0(self):
+        assert KLabel(Label.H, 0).has_plane0()
+        assert KLabel(Label.VH, 0).has_plane0()
+        assert not KLabel(Label.V, 0).has_plane0()
+        assert not KLabel(Label.VH, 1).has_plane0()
+
+    def test_compatible_is_plane_adjacency(self):
+        assert KLabel(Label.H, 0).compatible(KLabel(Label.V, 0))
+        assert KLabel(Label.V, 0).compatible(KLabel(Label.H, 1))
+        assert not KLabel(Label.H, 0).compatible(KLabel(Label.H, 1))
+        assert not KLabel(Label.H, 0).compatible(KLabel(Label.V, 1))
+        assert KLabel(Label.VH, 1).compatible(KLabel(Label.H, 0))
+
+    def test_negative_layer_rejected(self):
+        with pytest.raises(ValueError):
+            KLabel(Label.H, -1)
+
+    def test_str(self):
+        assert str(KLabel(Label.VH, 0)) == "VH@0"
+        assert str(KLabel(Label.V, 2)) == "V@2"
+
+
+class TestLift:
+    def test_lift_matches_planar_dimensions(self):
+        bg, lab = labeled_graph(netlist=c17())
+        kl = lift_labeling(lab)
+        assert kl.num_layers == 1
+        assert (kl.rows, kl.cols) == (lab.rows, lab.cols)
+        assert kl.semiperimeter == lab.semiperimeter
+        assert kl.vh_count == lab.vh_count
+        kl.validate(bg, alignment=True)
+
+    def test_lift_rejects_bad_layer_count(self):
+        _, lab = labeled_graph(exprs={"f": "a & b"})
+        with pytest.raises(ValueError):
+            lift_labeling(lab, num_layers=0)
+
+
+class TestAssignPlanes:
+    def test_layers1_is_the_lift(self):
+        bg, lab = labeled_graph(netlist=c17())
+        kl = assign_planes(bg, lab, 1)
+        assert kl.meta["plane_method"] == "lift"
+        assert kl.meta["plane_optimal"] is True
+        assert kl.labels == lift_labeling(lab).labels
+
+    def test_layers1_keeps_stage1_optimality(self):
+        bg, lab = labeled_graph(netlist=c17())
+        kl = assign_planes(bg, lab, 1)
+        assert kl.meta["optimal"] == bool(lab.meta.get("optimal"))
+
+    @pytest.mark.parametrize("num_layers", [2, 3, 4])
+    def test_valid_and_never_worse_than_planar(self, num_layers):
+        for netlist in (c17(), majority_voter(9), parity_tree(8)):
+            bg, lab = labeled_graph(netlist=netlist)
+            kl = assign_planes(bg, lab, num_layers)
+            kl.validate(bg, alignment=True)
+            assert kl.semiperimeter <= lab.semiperimeter
+            assert kl.num_layers == num_layers
+
+    def test_k2_never_claims_joint_optimality(self):
+        bg, lab = labeled_graph(netlist=c17())
+        kl = assign_planes(bg, lab, 2)
+        assert kl.meta["optimal"] is False
+        assert kl.meta["num_layers"] == 2
+        assert "plane_seconds" in kl.meta
+        assert kl.meta["plane_method"] in ("fold", "milp", "fold+milp-certified")
+
+    def test_heuristic_method_skips_the_milp(self):
+        bg, lab = labeled_graph(netlist=c17())
+        kl = assign_planes(bg, lab, 2, method="heuristic")
+        kl.validate(bg, alignment=True)
+        assert kl.meta["plane_method"] == "fold"
+        assert kl.meta["plane_optimal"] is False
+
+    def test_stitch_set_is_preserved(self):
+        bg, lab = labeled_graph(netlist=majority_voter(5))
+        kl = assign_planes(bg, lab, 3)
+        assert kl.vh_count == lab.vh_count
+        for v, planar in lab.labels.items():
+            is_vh = planar is Label.VH
+            assert (kl.labels[v].orientation is Label.VH) == is_vh
+
+    def test_ports_stay_on_plane0(self):
+        bg, lab = labeled_graph(netlist=c17())
+        kl = assign_planes(bg, lab, 3)
+        for port in bg.port_nodes():
+            assert kl.labels[port].has_plane0()
+
+    def test_rejects_bad_layer_count(self):
+        bg, lab = labeled_graph(exprs={"f": "a & b"})
+        with pytest.raises(ValueError):
+            assign_planes(bg, lab, 0)
+
+    def test_large_graph_uses_fold_only(self, monkeypatch):
+        import repro.core.klabel as klabel_mod
+
+        bg, lab = labeled_graph(netlist=majority_voter(9))
+        monkeypatch.setattr(klabel_mod, "MILP_NODE_LIMIT", 1)
+        kl = assign_planes(bg, lab, 2)
+        kl.validate(bg, alignment=True)
+        assert kl.meta["plane_method"] == "fold"
+
+
+class TestZigzagFold:
+    """The heuristic alone must already be valid on every input."""
+
+    @pytest.mark.parametrize("num_layers", [2, 3, 5])
+    def test_fold_is_valid(self, num_layers):
+        for netlist in (c17(), majority_voter(7)):
+            bg, lab = labeled_graph(netlist=netlist)
+            folded = _zigzag_fold(bg, lab, num_layers, True)
+            folded.validate(bg, alignment=True)
+
+    def test_fold_footprint_bounded_by_planar(self):
+        bg, lab = labeled_graph(netlist=c17())
+        folded = _zigzag_fold(bg, lab, 2, True)
+        assert folded.rows <= lab.rows
+        assert folded.cols <= lab.cols
+
+
+class TestKLabelingValidate:
+    def test_missing_node_detected(self):
+        bg, lab = labeled_graph(exprs={"f": "a & b"})
+        kl = KLabeling(2, {})
+        with pytest.raises(LabelingError, match="no label"):
+            kl.validate(bg)
+
+    def test_plane_overflow_detected(self):
+        bg, lab = labeled_graph(exprs={"f": "a & b"})
+        kl = lift_labeling(lab, num_layers=1)
+        nodes = list(bg.graph.nodes())
+        kl.labels[nodes[0]] = KLabel(Label.H, 5)
+        with pytest.raises(LabelingError, match="plane"):
+            kl.validate(bg)
+
+    def test_incompatible_edge_detected(self):
+        bg, lab = labeled_graph(exprs={"f": "a & b"})
+        kl = KLabeling(
+            3, {v: KLabel(Label.H, 0) for v in bg.graph.nodes()}
+        )
+        with pytest.raises(LabelingError, match="non-adjacent"):
+            kl.validate(bg, alignment=False)
+
+    def test_port_off_plane0_detected(self):
+        bg, lab = labeled_graph(netlist=c17())
+        kl = assign_planes(bg, lab, 2)
+        port = next(iter(bg.port_nodes()))
+        if kl.labels[port].orientation is Label.VH:
+            kl.labels[port] = KLabel(Label.VH, 1)
+        else:
+            kl.labels[port] = KLabel(Label.H, 1)
+        with pytest.raises(LabelingError, match="plane-0"):
+            kl.validate(bg, alignment=True)

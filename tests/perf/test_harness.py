@@ -72,3 +72,42 @@ class TestDeterministicParallelism:
     def test_repeat_run_is_deterministic(self, tiny_payload):
         again = run_perf_suite(names=TINY, time_limit=10.0)
         assert deterministic_view(again) == deterministic_view(tiny_payload)
+
+
+class TestLayerSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        from repro.perf.harness import run_layer_sweep
+
+        return run_layer_sweep(names=["c17"], layers=(1, 2), time_limit=10.0)
+
+    def test_shape(self, sweep):
+        assert sweep["layers"] == [1, 2]
+        (entry,) = sweep["circuits"]
+        assert entry["circuit"] == "c17"
+        assert [r["layers"] for r in entry["results"]] == [1, 2]
+        for r in entry["results"]:
+            assert r["ok"] is True
+            assert r["semiperimeter"] == r["rows"] + r["cols"]
+
+    def test_more_layers_never_wider(self, sweep):
+        (entry,) = sweep["circuits"]
+        one, two = entry["results"]
+        assert two["semiperimeter"] <= one["semiperimeter"]
+        assert one["plane_method"] == "2d"
+        assert two["plane_method"] != "2d"
+
+    def test_rendered_table(self, sweep):
+        from repro.perf.harness import render_layer_sweep_table
+
+        text = str(render_layer_sweep_table(sweep))
+        assert "memristor layers" in text
+        assert "c17" in text
+
+    def test_embeds_in_valid_payload(self, sweep, tiny_payload):
+        payload = dict(tiny_payload)
+        payload["layer_sweep"] = sweep
+        validate_bench_payload(payload)
+        stripped = deterministic_view(payload)
+        for entry in stripped["layer_sweep"]["circuits"]:
+            assert all("wall_time_s" not in r for r in entry["results"])

@@ -110,3 +110,64 @@ def test_valid_payload_unchanged_by_validation():
     before = copy.deepcopy(p)
     validate_bench_payload(p)
     assert p == before
+
+
+def _sweep_row(layers):
+    return {
+        "layers": layers, "rows": 4, "cols": 7, "semiperimeter": 11,
+        "max_dimension": 7, "vias": 0 if layers == 1 else 2,
+        "plane_method": "2d" if layers == 1 else "fold", "ok": True,
+    }
+
+
+def _sweep_block():
+    return {
+        "layers": [1, 2],
+        "gamma": 0.5,
+        "method": "auto",
+        "circuits": [
+            {"circuit": "c17", "results": [_sweep_row(1), _sweep_row(2)]},
+        ],
+    }
+
+
+class TestLayerSweepSchema:
+    def test_valid_block_passes(self):
+        payload = _payload()
+        payload["layer_sweep"] = _sweep_block()
+        validate_bench_payload(payload)
+
+    def test_layers_must_be_increasing(self):
+        payload = _payload()
+        block = _sweep_block()
+        block["layers"] = [2, 1]
+        payload["layer_sweep"] = block
+        with pytest.raises(ValueError):
+            validate_bench_payload(payload)
+
+    def test_result_layer_must_be_declared(self):
+        payload = _payload()
+        block = _sweep_block()
+        block["circuits"][0]["results"].append(_sweep_row(5))
+        payload["layer_sweep"] = block
+        with pytest.raises(ValueError):
+            validate_bench_payload(payload)
+
+    def test_missing_result_field_rejected(self):
+        payload = _payload()
+        block = _sweep_block()
+        del block["circuits"][0]["results"][0]["vias"]
+        payload["layer_sweep"] = block
+        with pytest.raises(ValueError):
+            validate_bench_payload(payload)
+
+    def test_circuits_must_be_sorted(self):
+        payload = _payload()
+        block = _sweep_block()
+        block["circuits"] = [
+            {"circuit": "parity16", "results": [_sweep_row(1)]},
+            {"circuit": "c17", "results": [_sweep_row(1)]},
+        ]
+        payload["layer_sweep"] = block
+        with pytest.raises(ValueError):
+            validate_bench_payload(payload)

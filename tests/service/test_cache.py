@@ -154,3 +154,11 @@ def test_corrupted_disk_entry_is_a_miss_and_gets_deleted(tmp_path):
 def test_capacity_must_be_positive():
     with pytest.raises(ValueError):
         ResultCache(capacity=0)
+
+
+def test_synth_key_distinguishes_layer_counts():
+    base = request_key("synth", {"expr": "a & b"})
+    explicit = request_key("synth", {"expr": "a & b", "layers": 1})
+    layered = request_key("synth", {"expr": "a & b", "layers": 2})
+    assert base == explicit  # layers=1 is the default, not a new key
+    assert layered != base

@@ -97,3 +97,22 @@ def test_sleep_bounds_are_enforced():
     assert jobs.execute("sleep", {"seconds": 0.0})["ok"] is True
     assert jobs.execute("sleep", {"seconds": -1})["error"]["code"] == "bad_request"
     assert jobs.execute("sleep", {"seconds": 1e9})["error"]["code"] == "bad_request"
+
+
+def test_synth_layers_knob_produces_layered_result():
+    payload = jobs.execute("synth", {"expr": "(a & b) | (c & d)", "layers": 2})
+    assert payload["ok"] is True
+    result = payload["result"]
+    assert result["metrics"]["layers"] == 2
+    assert result["validation"]["ok"] is True
+    planar = jobs.execute("synth", {"expr": "(a & b) | (c & d)"})
+    assert planar["result"]["metrics"]["layers"] == 1
+    assert (
+        result["metrics"]["semiperimeter"]
+        <= planar["result"]["metrics"]["semiperimeter"]
+    )
+
+
+def test_synth_layers_must_be_positive():
+    payload = jobs.execute("synth", {"expr": "a & b", "layers": 0})
+    assert payload["error"]["code"] == "bad_request"

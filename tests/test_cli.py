@@ -263,3 +263,50 @@ class TestMapCommand:
         out = capsys.readouterr().out
         assert rc == 0
         assert "naive" in out and "remapped" in out and "c17" in out
+
+
+class TestSynth3D:
+    def test_layers_flag(self, c17_verilog, capsys):
+        rc = main(["synth", str(c17_verilog), "--layers", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "2 layers" in out
+        assert "vias" in out
+
+    def test_layers_json_artifact_round_trips(self, c17_verilog, tmp_path):
+        from repro.crossbar import CrossbarDesign3D, design_from_json
+
+        artifact = tmp_path / "c17_3d.json"
+        rc = main(["synth", str(c17_verilog), "--layers", "3",
+                   "--json", str(artifact)])
+        assert rc == 0
+        design = design_from_json(artifact.read_text())
+        assert isinstance(design, CrossbarDesign3D)
+        assert design.num_layers == 3
+
+    def test_layers_must_be_positive(self, c17_verilog, capsys):
+        with pytest.raises(SystemExit):
+            main(["synth", str(c17_verilog), "--layers", "0"])
+
+    def test_bench_layer_sweep(self, tmp_path, capsys):
+        from repro.perf import validate_bench_payload
+
+        out_json = tmp_path / "bench.json"
+        rc = main([
+            "bench", "perf", "--circuits", "c17", "--jobs", "1",
+            "--time-limit", "10", "--layer-sweep", "1,2",
+            "--perf-json", str(out_json),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "memristor layers" in out
+        payload = json.loads(out_json.read_text())
+        validate_bench_payload(payload)
+        sweep = payload["layer_sweep"]
+        assert sweep["layers"] == [1, 2]
+        assert [c["circuit"] for c in sweep["circuits"]] == ["c17"]
+        assert all(r["ok"] for c in sweep["circuits"] for r in c["results"])
+
+    def test_bench_layer_sweep_rejects_garbage(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["bench", "perf", "--circuits", "c17", "--layer-sweep", "two"])
