@@ -45,10 +45,18 @@ campaign-smoke:
 	  --p-stuck-on 0.01 --p-stuck-off 0.05
 
 # 3D path end to end: two-layer synthesis (validated) on two example
-# circuits, then a small layer sweep through the bench harness.
+# circuits, each artifact re-checked against its layered certificate
+# (repro check exits 1 on any non-INFO finding), then a small layer
+# sweep through the bench harness.
+SYNTH3D_TMP ?= .synth3d-smoke
 synth3d-smoke:
-	$(PYTHON) -m repro synth examples/circuits/c17.v --layers 2
-	$(PYTHON) -m repro synth examples/circuits/maj3.pla --layers 2
+	mkdir -p $(SYNTH3D_TMP)
+	$(PYTHON) -m repro synth examples/circuits/c17.v --layers 2 \
+	  --json $(SYNTH3D_TMP)/c17-2l.json
+	$(PYTHON) -m repro synth examples/circuits/maj3.pla --layers 2 \
+	  --json $(SYNTH3D_TMP)/maj3-2l.json
+	$(PYTHON) -m repro check $(SYNTH3D_TMP)/c17-2l.json --json
+	$(PYTHON) -m repro check $(SYNTH3D_TMP)/maj3-2l.json --json
 	$(PYTHON) -m repro bench perf --circuits c17,voter9 --layer-sweep 1,2 \
 	  --jobs 2 --time-limit 10
 

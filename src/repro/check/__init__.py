@@ -11,6 +11,7 @@ check`` CLI and ``make check`` drive :func:`run_check`.
 from .design import (
     check_design,
     check_design_file,
+    layered_semiperimeter_lower_bound,
     odd_cycle_packing,
     semiperimeter_lower_bound,
 )
@@ -63,6 +64,7 @@ __all__ = [
     "check_design",
     "check_design_file",
     "semiperimeter_lower_bound",
+    "layered_semiperimeter_lower_bound",
     "odd_cycle_packing",
     "design_schema_diagnostics",
     "fault_map_schema_diagnostics",

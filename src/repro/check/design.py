@@ -17,12 +17,16 @@ D006    line/label binding is not one-to-one (dimension bookkeeping
 D007    via inconsistency on a layered design: a node spanning more
         than two nanowire planes, non-adjacent planes, or two adjacent
         planes without the always-on via in the layer that joins them
-L001    semiperimeter lower-bound certificate — informational
+L001    semiperimeter lower-bound certificate (planar) — informational
 L002    the design's labeled semiperimeter beats the certified lower
-        bound, which is impossible for a faithful artifact
+        bound, or the certificate fails self-verification — either way
+        the artifact cannot be a faithful planar design
+L003    layered semiperimeter lower-bound certificate — informational
+L004    a layered design's footprint beats its certified bound, or the
+        layered certificate fails self-verification
 ======  ==============================================================
 
-The lower bound certifies ``S >= n + OCT_lb`` (paper Lemma 1: the
+The planar bound certifies ``S >= n + OCT_lb`` (paper Lemma 1: the
 semiperimeter is the node count plus the number of VH nodes, and the VH
 set is an odd cycle transversal).  ``OCT_lb`` is the better of two
 certificates: the vertex-cover LP bound on the Cartesian product
@@ -31,20 +35,35 @@ makes this 0 whenever the LP is not forced higher, so it is usually the
 weaker bound) and a greedy vertex-disjoint odd-cycle packing, since
 every odd cycle must contain at least one VH node and disjoint cycles
 need distinct ones.
+
+The layered bound reuses ``OCT_lb`` unchanged — the parity argument
+around an odd cycle is plane-independent, so the stitch set of *every*
+K-layer labeling is still a transversal — and combines it with the
+plane-capacity relaxation of :func:`repro.graphs.bounds.layered_capacity_bound`:
+``n + OCT_lb`` wires must spread over ``K//2 + 1`` horizontal and
+``(K+1)//2`` vertical nanowire planes with the ports pinned to plane 0.
+At ``K = 1`` it degenerates to exactly the planar bound.
+
+Both certificates carry their witnesses (packed odd cycles, per-core LP
+fractional matchings) and are re-verified here, independently of the
+solver that produced them, before L001/L003 is emitted — a forged
+certificate is reported as L002/L004 naming the broken components.
 """
 
 from __future__ import annotations
 
 import json
-import math
 from pathlib import Path
 
 from ..crossbar.design import CrossbarDesign, h_plane, v_plane
-from ..graphs.bipartite import find_odd_cycle
-from ..graphs.decompose import cyclic_cores
-from ..graphs.product import cartesian_product_k2
+from ..graphs.bounds import (
+    layered_capacity_bound,
+    oct_certificate,
+    odd_cycle_packing_witness,
+    verify_layered_certificate,
+    verify_semiperimeter_certificate,
+)
 from ..graphs.undirected import UGraph
-from ..graphs.vertex_cover import nt_kernelize
 from .diagnostics import Diagnostic, diag
 from .schema import design_schema_diagnostics
 
@@ -52,6 +71,7 @@ __all__ = [
     "check_design",
     "check_design_file",
     "semiperimeter_lower_bound",
+    "layered_semiperimeter_lower_bound",
     "odd_cycle_packing",
 ]
 
@@ -77,9 +97,10 @@ def check_design(design: CrossbarDesign, file: str | None = None) -> list[Diagno
     """All static diagnostics for an in-memory design.
 
     Layered designs run the same checks per nanowire plane / memristor
-    layer, plus D007 (via consistency), and skip the L001/L002
-    semiperimeter certificate: ``S = n + #VH`` is a planar identity, so
-    the 2D lower bound does not certify a K-layer footprint.
+    layer, plus D007 (via consistency), and receive the *layered*
+    semiperimeter certificate (L003/L004) in place of the planar
+    L001/L002 one: ``S = n + #VH`` is a planar identity, but the OCT
+    transfer + plane-capacity bound certifies every K.
     """
     if design.num_layers > 1:
         diags = []
@@ -89,6 +110,7 @@ def check_design(design: CrossbarDesign, file: str | None = None) -> list[Diagno
         diags.extend(_reachability_checks_3d(design, file))
         diags.extend(_spare_line_checks_3d(design, file))
         diags.extend(_via_checks_3d(design, file))
+        diags.extend(_lower_bound_checks_3d(design, file))
         return diags
     diags = []
     diags.extend(_label_binding_checks(design, file))
@@ -492,7 +514,7 @@ def _spare_line_checks_3d(
     return diags
 
 
-# -- L001/L002: the semiperimeter certificate -----------------------------------
+# -- L001..L004: the semiperimeter certificates ----------------------------------
 
 
 def _lower_bound_checks(design: CrossbarDesign, file: str | None) -> list[Diagnostic]:
@@ -500,6 +522,17 @@ def _lower_bound_checks(design: CrossbarDesign, file: str | None) -> list[Diagno
     if graph is None or len(graph) == 0:
         return []
     cert = semiperimeter_lower_bound(graph)
+    failures = verify_semiperimeter_certificate(graph, cert)
+    if failures:
+        return [
+            diag(
+                "L002",
+                "semiperimeter certificate failed self-verification "
+                f"({'; '.join(failures)})",
+                file=file, obj=design.name,
+                failed_components=sorted({f.split(":", 1)[0] for f in failures}),
+            )
+        ]
     s_labeled = len(design.row_labels) + len(design.col_labels)
     diags = [
         diag(
@@ -519,6 +552,66 @@ def _lower_bound_checks(design: CrossbarDesign, file: str | None) -> list[Diagno
                 f"labeled semiperimeter {s_labeled} is below the certified "
                 f"lower bound {cert['s_lb']} — the artifact cannot be a "
                 "faithful VH-labeled design",
+                file=file, obj=design.name,
+            )
+        )
+    return diags
+
+
+def _port_nodes_3d(design: CrossbarDesign) -> set:
+    """The nodes the design pins to plane-0 wordlines (input + outputs)."""
+    rows = {design.input_row}
+    rows.update(
+        row
+        for out, row in design.output_rows.items()
+        if out not in design.constant_outputs
+    )
+    labels = design.plane_labels[0]
+    return {labels[r] for r in rows if r in labels}
+
+
+def _lower_bound_checks_3d(
+    design: CrossbarDesign, file: str | None
+) -> list[Diagnostic]:
+    graph = _implied_graph_3d(design)
+    if graph is None or len(graph) == 0:
+        return []
+    ports = len(_port_nodes_3d(design))
+    layers = design.num_layers
+    cert = layered_semiperimeter_lower_bound(graph, ports, layers)
+    failures = verify_layered_certificate(graph, cert, ports, layers)
+    if failures:
+        return [
+            diag(
+                "L004",
+                "layered semiperimeter certificate failed self-verification "
+                f"({'; '.join(failures)})",
+                file=file, obj=design.name,
+                failed_components=sorted({f.split(":", 1)[0] for f in failures}),
+            )
+        ]
+    s_labeled = max(
+        len(labels) for labels in design.plane_labels[0::2]
+    ) + max(len(labels) for labels in design.plane_labels[1::2])
+    diags = [
+        diag(
+            "L003",
+            f"certified {layers}-layer semiperimeter lower bound "
+            f"{cert['s_lb']} (labeled S = {s_labeled}, "
+            f"gap {s_labeled - cert['s_lb']})",
+            file=file, obj=design.name,
+            **cert,
+            s_labeled=s_labeled,
+            gap=s_labeled - cert["s_lb"],
+        )
+    ]
+    if s_labeled < cert["s_lb"]:
+        diags.append(
+            diag(
+                "L004",
+                f"labeled {layers}-layer semiperimeter {s_labeled} is below "
+                f"the certified lower bound {cert['s_lb']} — the artifact "
+                "cannot be a faithful layered design",
                 file=file, obj=design.name,
             )
         )
@@ -545,44 +638,69 @@ def _implied_graph(design: CrossbarDesign) -> UGraph | None:
     return graph
 
 
+def _implied_graph_3d(design: CrossbarDesign) -> UGraph | None:
+    """The BDD graph a layered design's labels and literal cells imply."""
+    if not any(design.plane_labels):
+        return None
+    graph = UGraph()
+    for labels in design.plane_labels:
+        for node in labels.values():
+            graph.add_node(node)
+    for l, r, c, lit in design.cells3d():
+        if lit.is_constant():
+            continue
+        rnode = design.plane_labels[h_plane(l)].get(r)
+        cnode = design.plane_labels[v_plane(l)].get(c)
+        if rnode is None or cnode is None or rnode == cnode:
+            continue  # flagged by the D002/D006 checks
+        graph.add_edge(rnode, cnode)
+    return graph
+
+
 def semiperimeter_lower_bound(graph: UGraph) -> dict:
-    """A provable lower bound on the semiperimeter of any mapping of
-    ``graph``.
+    """A provable lower bound on the semiperimeter of any planar mapping
+    of ``graph``, with re-checkable witnesses.
 
     By Lemma 1, ``S = n + #VH`` and the VH set is an odd cycle
     transversal, so ``S >= n + OCT_lb`` for any valid lower bound on
-    the transversal.  The transversal decomposes exactly over the
-    graph's cyclic cores (``OCT(G) = sum_i OCT(core_i)``), so the LP
-    relaxation runs per core and the per-core bounds compose:
-    ``sum_i max(0, ceil(lp_i) - n_i)`` is at least as tight as the
-    monolithic ``ceil(lp) - n`` (the monolithic LP optimum is at most
-    the sum of per-core optima plus one per node outside every core).
+    the transversal.  The bound composition (per-core LP + odd-cycle
+    packing) lives in :func:`repro.graphs.bounds.oct_certificate`; this
+    wrapper only adds the planar identity.
 
-    Returns the certificate as a dict with keys ``n``, ``cores``
-    (cyclic core count), ``lp_product`` (summed VC LP optima on the
-    per-core products), ``lp_lb`` (composed LP bound), ``packing_lb``
-    (vertex-disjoint odd cycles), ``oct_lb`` and ``s_lb``.
+    Returns the certificate dict: the summary fields ``n``, ``cores``,
+    ``lp_product``, ``lp_lb``, ``packing_lb``, ``oct_lb``, ``s_lb``
+    plus the witnesses ``packing`` (explicit vertex-disjoint odd
+    cycles) and ``lp_witnesses`` (per-core fractional matchings on the
+    ``core x K2`` products), which let a consumer re-derive the bound
+    without re-solving.
     """
-    n = len(graph)
-    cores = cyclic_cores(graph)
-    lp_total = 0.0
-    lp_lb = 0
-    for core in cores:
-        product = cartesian_product_k2(core)
-        _, _, _, lp_bound = nt_kernelize(product)
-        lp_total += lp_bound
-        lp_lb += max(0, math.ceil(lp_bound - 1e-9) - len(core))
-    packing_lb = odd_cycle_packing(graph)
-    oct_lb = max(lp_lb, packing_lb)
-    return {
-        "n": n,
-        "cores": len(cores),
-        "lp_product": lp_total,
-        "lp_lb": lp_lb,
-        "packing_lb": packing_lb,
-        "oct_lb": oct_lb,
-        "s_lb": n + oct_lb,
-    }
+    cert = oct_certificate(graph)
+    cert["s_lb"] = cert["n"] + cert["oct_lb"]
+    return cert
+
+
+def layered_semiperimeter_lower_bound(
+    graph: UGraph, ports: int, layers: int
+) -> dict:
+    """A provable lower bound on the footprint semiperimeter of any
+    ``layers``-layer mapping of ``graph`` with ``ports`` plane-0 ports.
+
+    The stitch set of every K-layer labeling is still an odd cycle
+    transversal (parity around a cycle is plane-independent), so the
+    2D ``oct_lb`` transfers; the plane-capacity relaxation then spreads
+    the ``n + oct_lb`` wires over the fabric's nanowire planes.  At
+    ``layers == 1`` this is exactly :func:`semiperimeter_lower_bound`.
+
+    The certificate extends the OCT witnesses with the capacity fields
+    (``layers``, ``even_planes``, ``odd_planes``, ``ports``,
+    ``split_even``) checked by
+    :func:`repro.graphs.bounds.verify_layered_certificate`.
+    """
+    cert = oct_certificate(graph)
+    cert.update(
+        layered_capacity_bound(cert["n"], cert["oct_lb"], ports, layers)
+    )
+    return cert
 
 
 def odd_cycle_packing(graph: UGraph) -> int:
@@ -591,12 +709,4 @@ def odd_cycle_packing(graph: UGraph) -> int:
     Each disjoint odd cycle forces a distinct transversal vertex, so the
     count lower-bounds the odd cycle transversal number.
     """
-    work = graph.copy()
-    count = 0
-    while True:
-        cycle = find_odd_cycle(work)
-        if cycle is None:
-            return count
-        count += 1
-        for node in cycle:
-            work.remove_node(node)
+    return len(odd_cycle_packing_witness(graph))

@@ -112,6 +112,8 @@ RULES: dict[str, Rule] = _catalog(
     # -- semiperimeter lower-bound certificate ----------------------------------
     ("L001", Severity.INFO, "semiperimeter lower-bound certificate"),
     ("L002", Severity.ERROR, "semiperimeter below certified lower bound"),
+    ("L003", Severity.INFO, "layered semiperimeter lower-bound certificate"),
+    ("L004", Severity.ERROR, "layered semiperimeter below certified lower bound"),
     # -- functional validation (repro validate --json) --------------------------
     ("V001", Severity.ERROR, "design/circuit functional mismatch"),
     ("V002", Severity.ERROR, "functional mismatch under injected faults"),
@@ -120,6 +122,7 @@ RULES: dict[str, Rule] = _catalog(
     ("C002", Severity.ERROR, "bare except"),
     ("C003", Severity.ERROR, "silently swallowed I/O error"),
     ("C004", Severity.ERROR, "exit code outside the 0/1/2 contract"),
+    ("C005", Severity.ERROR, "wall-clock time used for a duration"),
 )
 
 

@@ -360,6 +360,22 @@ def _design_3d_schema_diagnostics(payload: dict, file: str | None) -> list[Diagn
                             obj="plane_labels",
                         )
                     )
+
+    meta = payload.get("meta", {})
+    if not isinstance(meta, dict):
+        diags.append(bad("field 'meta' must be an object", obj="meta"))
+    else:
+        for key, value in meta.items():
+            if not isinstance(key, str):
+                diags.append(bad(f"meta key {key!r} must be a string", obj="meta"))
+            elif not isinstance(value, (int, float, str, bool)) and value is not None:
+                diags.append(
+                    bad(
+                        f"meta[{key!r}] must be a scalar (got "
+                        f"{type(value).__name__})",
+                        obj="meta",
+                    )
+                )
     return diags
 
 

@@ -1,6 +1,6 @@
 """Self-lint: AST rules the repro codebase holds itself to.
 
-Four rules, chosen because each class of defect has bitten flow-style
+Five rules, chosen because each class of defect has bitten flow-style
 services before and none is caught by the test suite directly:
 
 ======  ==============================================================
@@ -11,6 +11,10 @@ C002    a bare ``except:`` — swallows ``KeyboardInterrupt`` and
 C003    an OS/socket/subprocess error caught and silently dropped
         (handler body is only ``pass``/``...``/``continue``)
 C004    an explicit exit code outside the CLI's 0/1/2 contract
+C005    a ``time.time()`` call — wall-clock jumps under NTP slew, so
+        durations (retry/campaign/perf timing) must use
+        ``time.monotonic()`` or ``time.perf_counter()``; true
+        wall-clock sites annotate ``check: allow C005``
 ======  ==============================================================
 
 A finding on a line whose source contains ``check: allow CXXX`` is
@@ -114,7 +118,28 @@ class _Checker(ast.NodeVisitor):
                 )
             )
         self._check_exit_call(node)
+        self._check_wall_clock_call(node)
         self.generic_visit(node)
+
+    # -- C005 -------------------------------------------------------------------
+    def _check_wall_clock_call(self, node: ast.Call) -> None:
+        func = node.func
+        is_wall_clock = (
+            isinstance(func, ast.Attribute)
+            and func.attr == "time"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "time"
+        )
+        if is_wall_clock:
+            self.diags.append(
+                diag(
+                    "C005",
+                    "time.time() is wall clock; use time.monotonic() for "
+                    "durations, or annotate 'check: allow C005' if wall-clock "
+                    "time is intended",
+                    file=self.file, line=node.lineno,
+                )
+            )
 
     # -- C002 / C003 ------------------------------------------------------------
     def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:

@@ -251,6 +251,10 @@ def build_parser() -> argparse.ArgumentParser:
     synth.add_argument("--time-limit", type=float, default=60.0)
     synth.add_argument("--layers", type=int, default=1, metavar="K",
                        help="memristor layers in the target crossbar (default 1)")
+    synth.add_argument("--plane-method", default="auto",
+                       choices=["auto", "fold", "milp", "decomposed-milp"],
+                       help="plane-assignment solver for --layers >= 2 "
+                            "(decomposed-milp lifts the exact-solve size limit)")
     synth.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="worker threads for the decomposed labeling solve",
@@ -358,6 +362,9 @@ def build_parser() -> argparse.ArgumentParser:
     c_synth.add_argument("--time-limit", type=float, default=60.0)
     c_synth.add_argument("--layers", type=int, default=1, metavar="K",
                          help="memristor layers in the target crossbar (default 1)")
+    c_synth.add_argument("--plane-method", default="auto",
+                         choices=["auto", "fold", "milp", "decomposed-milp"],
+                         help="plane-assignment solver for --layers >= 2")
     c_synth.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="worker threads for the decomposed labeling solve (server side)",
@@ -517,6 +524,7 @@ def _synth_params(args) -> dict:
         "solver_jobs": max(1, args.jobs),
         "validate": not args.no_validate,
         "layers": args.layers,
+        "plane_method": args.plane_method,
     }
     if args.expr:
         params["expr"] = args.expr

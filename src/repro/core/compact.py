@@ -24,7 +24,7 @@ from ..circuits.netlist import Netlist
 from ..crossbar.design import CrossbarDesign
 from ..expr import Expr
 from ..perf import StageTimer
-from .klabel import KLabeling, assign_planes
+from .klabel import PLANE_METHODS, KLabeling, assign_planes
 from .labeling import VHLabeling
 from .mapping import map_to_crossbar
 from .mapping3d import map_to_crossbar3d
@@ -101,6 +101,13 @@ class Compact:
         the 2D labeling as the stitch/bipartition stage and folding its
         sides across same-orientation planes, which can only shrink the
         footprint semiperimeter.
+    plane_method:
+        Stage-2 plane-assignment solver for ``layers >= 2``:
+        ``"auto"`` (fold + the exact MILP on graphs up to
+        :data:`~repro.core.klabel.MILP_NODE_LIMIT` nodes), ``"fold"``
+        (heuristic only), ``"milp"`` (monolithic MILP regardless of
+        size) or ``"decomposed-milp"`` (kernelized MILP — lifts the
+        node-count ceiling).  Ignored for planar synthesis.
     """
 
     def __init__(
@@ -112,6 +119,7 @@ class Compact:
         time_limit: float | None = None,
         jobs: int = 1,
         layers: int = 1,
+        plane_method: str = "auto",
     ):
         if method not in ("auto", "mip", "oct", "heuristic"):
             raise ValueError(f"unknown method {method!r}")
@@ -121,6 +129,11 @@ class Compact:
             raise ValueError("jobs must be >= 1")
         if not isinstance(layers, int) or layers < 1:
             raise ValueError("layers must be an integer >= 1")
+        if plane_method not in PLANE_METHODS:
+            raise ValueError(
+                f"plane_method must be one of {'/'.join(PLANE_METHODS)}, "
+                f"got {plane_method!r}"
+            )
         self.gamma = gamma
         self.alignment = alignment
         self.method = method
@@ -128,6 +141,7 @@ class Compact:
         self.time_limit = time_limit
         self.jobs = jobs
         self.layers = layers
+        self.plane_method = plane_method
 
     # -- entry points ------------------------------------------------------------
     def synthesize_netlist(
@@ -219,6 +233,7 @@ class Compact:
                     method=self.method,
                     backend=self.backend,
                     time_limit=self.time_limit,
+                    plane_method=self.plane_method,
                 )
         with timer.stage("mapping"):
             if self.layers > 1:

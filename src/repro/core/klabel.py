@@ -23,7 +23,16 @@ therefore solves in two stages:
 2. a *plane assignment* spreads the wires over the K+1 planes —
    :func:`assign_planes` runs a zigzag-fold heuristic (provably valid
    and never worse than the planar solution) refined by a greedy load
-   rebalance, plus an exact MILP on small graphs.
+   rebalance, plus an exact MILP: monolithic on small graphs
+   (``plane_method="auto"``/``"milp"``), or kernelized —
+   port-forcing, distance-based domain pruning and a per-component
+   split — past :data:`MILP_NODE_LIMIT` (``plane_method="decomposed-milp"``).
+
+Every result is measured against two independent capacity bounds from
+:mod:`repro.graphs.bounds`: the fixed-split bound certifies the *plane
+assignment* (``plane_optimal``), and the layered bound over all stitch
+counts certifies the *joint* labeling (``optimal``) — so exactness for
+K >= 2 is a checked certificate, not a solver claim.
 
 The footprint the paper's metrics see is the largest horizontal plane by
 the largest vertical plane, so ``S`` for K >= 2 is at most the planar
@@ -33,9 +42,11 @@ the largest vertical plane, so ``S`` for K >= 2 is at most the planar
 from __future__ import annotations
 
 import heapq
+import math
 import time
 from dataclasses import dataclass, field
 
+from ..graphs.bounds import fixed_split_capacity_bound, layered_capacity_bound
 from .labeling import Label, LabelingError, VHLabeling
 from .preprocess import BddGraph
 
@@ -45,7 +56,12 @@ __all__ = [
     "lift_labeling",
     "assign_planes",
     "MILP_NODE_LIMIT",
+    "PLANE_METHODS",
+    "stitch_lower_bound",
 ]
+
+#: Stage-2 solver selection accepted by :func:`assign_planes`.
+PLANE_METHODS = ("auto", "fold", "milp", "decomposed-milp")
 
 #: Largest pure-graph node count handed to the exact plane-assignment
 #: MILP; bigger graphs keep the zigzag-fold heuristic result.
@@ -116,8 +132,10 @@ class KLabeling:
 
     ``meta`` merges the stage-1 (stitch-set) solver diagnostics with the
     plane-assignment stage's: ``stitch_optimal`` / ``plane_optimal``
-    report per-stage exactness, while ``optimal`` stays False for
-    K >= 2 — stage-wise optimality does not certify the joint optimum.
+    report per-stage exactness, and ``optimal`` is True only when the
+    achieved objective meets the certified layered capacity bound
+    (``certified_s_lb`` / ``certified_gap``) — stage-wise optimality
+    alone does not certify the joint optimum.
     """
 
     num_layers: int
@@ -225,6 +243,25 @@ def lift_labeling(labeling: VHLabeling, num_layers: int = 1) -> KLabeling:
 # -- stage 2: plane assignment ---------------------------------------------------
 
 
+def stitch_lower_bound(labeling: VHLabeling) -> int:
+    """A sound lower bound on the stitch count of *any* valid K-labeling.
+
+    The stitch set of every K-layer labeling is an (aligned) odd cycle
+    transversal — parity around a cycle is plane-independent — so the
+    stage-1 solver's bound transfers to every K.  When stage 1 proved
+    its stitch set optimal the achieved count is exact; otherwise the
+    solver's reported lower bound (if any) is used.
+    """
+    if labeling.meta.get("optimal"):
+        return sum(
+            1 for lab in labeling.labels.values() if lab is Label.VH
+        )
+    lower = labeling.meta.get("oct_lower_bound")
+    if lower is None:
+        return 0
+    return max(0, math.ceil(lower - 1e-9))
+
+
 def assign_planes(
     bdd_graph: BddGraph,
     labeling: VHLabeling,
@@ -234,28 +271,52 @@ def assign_planes(
     method: str = "auto",
     backend: str = "highs",
     time_limit: float | None = None,
+    plane_method: str = "auto",
 ) -> KLabeling:
     """Spread a planar labeling's wires over ``num_layers`` layers.
 
     The stitch set and H/V bipartition of ``labeling`` are kept (they
     stay optimal for every K, see the module docstring); only the plane
     of each wire is chosen.  Runs the zigzag fold plus greedy rebalance
-    always, and an exact MILP (warm-checked against the fold) when the
-    graph fits :data:`MILP_NODE_LIMIT` and ``method`` is not
-    ``"heuristic"``.  The result never has a larger footprint than the
-    planar design.
+    always; ``plane_method`` selects the refinement:
+
+    * ``"auto"`` — the monolithic exact MILP (warm-checked against the
+      fold) when the graph fits :data:`MILP_NODE_LIMIT` and ``method``
+      is not ``"heuristic"``;
+    * ``"milp"`` — the monolithic MILP regardless of size;
+    * ``"decomposed-milp"`` — the kernelized MILP (port forcing,
+      distance-pruned domains, per-component split), which lifts the
+      node-count ceiling;
+    * ``"fold"`` — the heuristic alone.
+
+    The result never has a larger footprint than the planar design, and
+    its meta carries the capacity certificates: ``plane_s_lb`` (fixed
+    H/V split), ``certified_s_lb`` / ``certified_gap`` (over all stitch
+    counts >= the certified minimum), with ``plane_optimal`` and
+    ``optimal`` set whenever the achieved footprint meets them.
     """
     if num_layers < 1:
         raise ValueError(f"num_layers must be >= 1, got {num_layers}")
+    if plane_method not in PLANE_METHODS:
+        raise ValueError(
+            f"plane_method must be one of {'/'.join(PLANE_METHODS)}, "
+            f"got {plane_method!r}"
+        )
     started = time.perf_counter()
-    if num_layers == 1 or len(bdd_graph.graph) == 0:
+    n = len(bdd_graph.graph)
+    ports = len(bdd_graph.port_nodes()) if alignment else 0
+    k_lb = stitch_lower_bound(labeling)
+    if num_layers == 1 or n == 0:
         out = lift_labeling(labeling, num_layers)
+        cap = layered_capacity_bound(n, k_lb, ports, num_layers)
         out.meta.update(
             {
                 "num_layers": num_layers,
                 "plane_method": "lift",
                 "plane_optimal": True,
                 "optimal": bool(labeling.meta.get("optimal", False)),
+                "certified_s_lb": cap["s_lb"],
+                "certified_gap": out.semiperimeter - cap["s_lb"],
             }
         )
         return out
@@ -263,36 +324,72 @@ def assign_planes(
     folded = _zigzag_fold(bdd_graph, labeling, num_layers, alignment)
     _rebalance(bdd_graph, folded, alignment)
     best = folded
-    plane_method = "fold"
+    chosen = "fold"
     plane_optimal = False
 
-    if method != "heuristic" and len(bdd_graph.graph) <= MILP_NODE_LIMIT:
+    run_monolithic = plane_method == "milp" or (
+        plane_method == "auto"
+        and method != "heuristic"
+        and n <= MILP_NODE_LIMIT
+    )
+    exact = None
+    if run_monolithic:
         exact = _plane_milp(
             bdd_graph, labeling, num_layers, gamma, alignment,
             backend=backend, time_limit=time_limit, warm=folded,
         )
-        if exact is not None:
-            milp_labeling, milp_optimal = exact
-            plane_optimal = milp_optimal
-            if milp_labeling.objective(gamma) < best.objective(gamma) - 1e-9:
-                best = milp_labeling
-                plane_method = "milp"
-            elif milp_optimal:
-                # The fold already attains the exact optimum; keep it
-                # (deterministic tie-break) but record the certificate.
-                plane_method = "fold+milp-certified"
+        exact_tag = "milp"
+    elif plane_method == "decomposed-milp":
+        exact = _plane_milp_decomposed(
+            bdd_graph, labeling, num_layers, gamma, alignment,
+            backend=backend, time_limit=time_limit, warm=folded,
+        )
+        exact_tag = "decomposed-milp"
+    if exact is not None:
+        milp_labeling, milp_optimal = exact
+        plane_optimal = milp_optimal
+        if milp_labeling.objective(gamma) < best.objective(gamma) - 1e-9:
+            best = milp_labeling
+            chosen = exact_tag
+        elif milp_optimal:
+            # The fold already attains the exact optimum; keep it
+            # (deterministic tie-break) but record the certificate.
+            chosen = f"fold+{exact_tag}-certified"
+
+    # Certify against the fixed-split capacity bound: with the H/V
+    # bipartition frozen by stage 1, every plane assignment has
+    # R >= max(ceil(E/P_even), ports) and C >= ceil(O/P_odd).
+    even_wires = sum(
+        1 for lab in labeling.labels.values() if lab is not Label.V
+    )
+    odd_wires = sum(
+        1 for lab in labeling.labels.values() if lab is not Label.H
+    )
+    plane_s_lb, plane_d_lb = fixed_split_capacity_bound(
+        even_wires, odd_wires, ports, num_layers
+    )
+    split_obj_lb = gamma * plane_s_lb + (1.0 - gamma) * plane_d_lb
+    if not plane_optimal and best.objective(gamma) <= split_obj_lb + 1e-9:
+        plane_optimal = True
+        chosen = f"{chosen}+capacity-certified"
+
+    # Joint certificate: the layered capacity bound over every stitch
+    # count the graph admits (L003's bound).  Meeting it proves the
+    # two-stage result is optimal among *all* valid K-labelings.
+    cap = layered_capacity_bound(n, k_lb, ports, num_layers, gamma=gamma)
 
     best.validate(bdd_graph, alignment=alignment)
     meta = dict(labeling.meta)
     meta.update(
         {
             "num_layers": num_layers,
-            "plane_method": plane_method,
+            "plane_method": chosen,
             "plane_optimal": plane_optimal,
             "stitch_optimal": bool(labeling.meta.get("optimal", False)),
-            # Joint optimality over stitch sets *and* planes is never
-            # claimed for K >= 2; per-stage flags carry the detail.
-            "optimal": False,
+            "optimal": best.objective(gamma) <= cap["obj_lb"] + 1e-9,
+            "plane_s_lb": plane_s_lb,
+            "certified_s_lb": cap["s_lb"],
+            "certified_gap": best.semiperimeter - cap["s_lb"],
             "plane_seconds": time.perf_counter() - started,
         }
     )
@@ -544,3 +641,147 @@ def _plane_milp(
     if not result.is_valid(bdd_graph, alignment=alignment):
         return None
     return result, solution.is_optimal
+
+
+def _plane_milp_decomposed(
+    bdd_graph: BddGraph,
+    labeling: VHLabeling,
+    num_layers: int,
+    gamma: float,
+    alignment: bool,
+    backend: str,
+    time_limit: float | None,
+    warm: KLabeling,
+):
+    """Kernelized exact plane assignment; None on failure.
+
+    The PR 5 core/kernel treatment applied to stage 2, which lifts the
+    :data:`MILP_NODE_LIMIT` ceiling of the monolithic model:
+
+    * *forced assignments* — a port's domain collapses to its only
+      plane-0 option (``H@0`` or ``VH@0``), a singleton the presolve
+      eliminates;
+    * *domain pruning* — along an edge the lowest occupied plane rises
+      by at most 2 (the neighbor's highest wire is at most its lowest
+      plus one, and the edge adds one), so a node at hop distance ``d``
+      from a port can be restricted to labels whose lowest plane is at
+      most ``2 d`` without cutting any feasible assignment;
+    * *decomposition* — the pruned model splits over the connected
+      components of the BDD graph; per-plane loads, and hence the
+      footprint, compose by maxima across components.
+
+    Returns ``(labeling, proved_optimal)``.  Optimality composes only
+    for a single component (the usual case — every node reaches the
+    terminal); multi-component results report False and rely on the
+    caller's capacity certificate.
+    """
+    from ..milp.model import Model, sum_expr
+    from ..perf import counters
+
+    graph = bdd_graph.graph
+    labels = labeling.labels
+    ports = set(bdd_graph.port_nodes()) if alignment else set()
+
+    # Hop distance from the pinned (plane-0) port set, for the pruning.
+    dist: dict[int, int] = {p: 0 for p in ports}
+    frontier = sorted(ports)
+    while frontier:
+        nxt: list[int] = []
+        for v in frontier:
+            for u in graph.neighbors(v):
+                if u not in dist:
+                    dist[u] = dist[v] + 1
+                    nxt.append(u)
+        frontier = sorted(nxt)
+
+    def allowed(v: int) -> list[KLabel]:
+        lab = labels[v]
+        if lab is Label.VH:
+            options = [KLabel(Label.VH, l) for l in range(num_layers)]
+        elif lab is Label.H:
+            options = [KLabel(Label.H, m) for m in range(num_layers // 2 + 1)]
+        else:
+            options = [KLabel(Label.V, m) for m in range((num_layers + 1) // 2)]
+        if v in ports:
+            options = [o for o in options if o.has_plane0()]
+        elif v in dist:
+            ceiling = 2 * dist[v]
+            options = [o for o in options if min(o.planes) <= ceiling]
+        return options
+
+    components = graph.connected_components()
+    counters.increment("plane_milp_components", len(components))
+    merged: dict[int, KLabel] = {}
+    all_optimal = True
+    for comp in sorted(components, key=lambda c: min(c)):
+        nodes = sorted(comp)
+        model = Model("plane-assign-kernel")
+        x: dict[tuple[int, KLabel], object] = {}
+        choices: dict[int, list[KLabel]] = {}
+        for v in nodes:
+            opts = allowed(v)
+            if not opts:
+                return None
+            choices[v] = opts
+            for o in opts:
+                x[(v, o)] = model.add_binary(f"x_{v}_{o}")
+            model.add_constraint(sum_expr(x[(v, o)] for o in opts) == 1)
+        for u, v in graph.edges():
+            if u not in choices or v not in choices:
+                continue
+            for lu in choices[u]:
+                for lv in choices[v]:
+                    if not lu.compatible(lv):
+                        model.add_constraint(x[(u, lu)] + x[(v, lv)] <= 1)
+
+        r_var = model.add_integer("R", lb=0)
+        c_var = model.add_integer("C", lb=0)
+        d_var = model.add_integer("D", lb=0)
+        for plane in range(num_layers + 1):
+            load = sum_expr(
+                x[(v, o)]
+                for v, opts in choices.items()
+                for o in opts
+                if plane in o.planes
+            )
+            bound = r_var if plane % 2 == 0 else c_var
+            model.add_constraint(load - bound <= 0)
+        model.add_constraint(d_var - r_var >= 0)
+        model.add_constraint(d_var - c_var >= 0)
+        model.minimize(gamma * (r_var + c_var) + (1.0 - gamma) * d_var)
+
+        initial = None
+        if backend == "bnb":
+            initial = {var.name: 0.0 for var in model.variables}
+            loads = [0] * (num_layers + 1)
+            for v in nodes:
+                lab = warm.labels[v]
+                initial[f"x_{v}_{lab}"] = 1.0
+                for p in lab.planes:
+                    loads[p] += 1
+            initial["R"] = float(max(loads[0::2], default=0))
+            initial["C"] = float(max(loads[1::2], default=0))
+            initial["D"] = float(max(initial["R"], initial["C"]))
+
+        try:
+            solution = model.solve(
+                backend=backend, time_limit=time_limit,
+                initial_solution=initial,
+            )
+        except Exception:
+            return None
+        if solution.status not in ("optimal", "feasible"):
+            return None
+        for v, opts in choices.items():
+            picks = [o for o in opts if solution.int_value(f"x_{v}_{o}") == 1]
+            if len(picks) != 1:
+                return None
+            merged[v] = picks[0]
+        all_optimal = all_optimal and solution.is_optimal
+
+    result = KLabeling(num_layers, merged)
+    if not result.is_valid(bdd_graph, alignment=alignment):
+        return None
+    # A max-based objective does not decompose additively, so composed
+    # multi-component solutions are not certified here.
+    return result, all_optimal and len(components) == 1

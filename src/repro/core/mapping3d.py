@@ -147,4 +147,19 @@ def map_to_crossbar3d(
         else:
             r, c = index_of[q][v], index_of[p][u]
         design.set_cell3(layer, r, c, lit)
+
+    # Carry the stage-2 certificate into the artifact so serialized
+    # designs keep their provenance (schema v2 meta block).
+    design.meta = {
+        key: klabeling.meta[key]
+        for key in (
+            "plane_method",
+            "plane_optimal",
+            "optimal",
+            "plane_s_lb",
+            "certified_s_lb",
+            "certified_gap",
+        )
+        if key in klabeling.meta
+    }
     return design

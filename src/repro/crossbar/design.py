@@ -358,6 +358,10 @@ class CrossbarDesign3D(CrossbarDesign):
         self._plane_sizes = sizes
         self._cells3d: dict[tuple[int, int, int], Lit] = {}
         self._plane_labels: list[dict[int, object]] = [{} for _ in sizes]
+        #: Synthesis provenance (certificate bounds, solver flags) — a
+        #: plain scalar dict carried through JSON round-trips; empty
+        #: for hand-built designs.
+        self.meta: dict = {}
         # The 2D label dicts alias planes 0/1 so generic row/col
         # introspection keeps working on the bottom layer.
         self.row_labels = self._plane_labels[0]

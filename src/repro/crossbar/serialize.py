@@ -44,8 +44,9 @@ def design_to_json(design: CrossbarDesign, indent: int | None = None) -> str:
 
     One-layer designs always emit the ``repro.crossbar/1`` schema —
     byte-identical to every pre-3D artifact — while K-layer designs emit
-    ``repro.crossbar/2`` with a ``layers`` count, per-plane wire sizes
-    and a ``layer`` coordinate on every cell.
+    ``repro.crossbar/2`` with a ``layers`` count, per-plane wire sizes,
+    a ``layer`` coordinate on every cell and (when present) a ``meta``
+    provenance block carrying the synthesis certificate bounds.
     """
     if design.num_layers == 1:
         payload = {
@@ -87,6 +88,9 @@ def design_to_json(design: CrossbarDesign, indent: int | None = None) -> str:
                 for labels in design.plane_labels
             ],
         }
+        meta = getattr(design, "meta", None)
+        if meta:
+            payload["meta"] = dict(meta)
     return json.dumps(payload, indent=indent)
 
 
@@ -123,6 +127,7 @@ def design_from_json(text: str) -> CrossbarDesign:
             design3d.plane_labels[plane].update(
                 {int(k): v for k, v in labels.items()}
             )
+        design3d.meta = dict(payload.get("meta", {}))
         return design3d
     design = CrossbarDesign(
         payload["name"],

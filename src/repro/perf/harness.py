@@ -227,6 +227,8 @@ def _layer_point(task: tuple[str, int, dict]) -> dict:
     """One (circuit, layer-count) synthesis for the layer sweep."""
     from ..bench.suites import circuit
 
+    from ..core.klabel import stitch_lower_bound
+
     name, layers, kwargs = task
     netlist = circuit(name)
     compact = Compact(layers=layers, **kwargs)
@@ -235,6 +237,17 @@ def _layer_point(task: tuple[str, int, dict]) -> dict:
     wall = time.monotonic() - t0
     design = result.design
     report = validate_design(design, netlist.evaluate, netlist.inputs)
+    meta = result.labeling.meta
+    if layers == 1:
+        # The planar path never enters stage 2: a single plane per side
+        # admits exactly one assignment, and the certified bound is the
+        # planar identity n + oct_lb (what L001 checks).
+        plane_optimal = True
+        s_lb = len(result.bdd_graph.graph) + stitch_lower_bound(result.labeling)
+        certified_gap = design.semiperimeter - s_lb
+    else:
+        plane_optimal = bool(meta.get("plane_optimal", False))
+        certified_gap = int(meta.get("certified_gap", 0))
     return {
         "circuit": name,
         "layers": layers,
@@ -243,7 +256,9 @@ def _layer_point(task: tuple[str, int, dict]) -> dict:
         "semiperimeter": design.semiperimeter,
         "max_dimension": design.max_dimension,
         "vias": design.via_count,
-        "plane_method": result.labeling.meta.get("plane_method", "2d"),
+        "plane_method": meta.get("plane_method", "2d"),
+        "plane_optimal": plane_optimal,
+        "certified_gap": certified_gap,
         "ok": report.ok,
         "wall_time_s": wall,
     }

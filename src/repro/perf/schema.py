@@ -57,6 +57,8 @@ _LAYER_RESULT_FIELDS: tuple[tuple[str, type], ...] = (
     ("max_dimension", int),
     ("vias", int),
     ("plane_method", str),
+    ("plane_optimal", bool),
+    ("certified_gap", int),
     ("ok", bool),
 )
 

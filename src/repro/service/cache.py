@@ -38,7 +38,8 @@ __all__ = ["CACHE_KEY_SCHEMA", "ResultCache", "canonical_request", "request_key"
 
 #: Stamped into the hashed material; bump to invalidate every old key.
 #: v2: synth keys carry the ``layers`` knob (3D synthesis).
-CACHE_KEY_SCHEMA = "repro-service-key/2"
+#: v3: synth keys carry the ``plane_method`` knob (certified 3D solves).
+CACHE_KEY_SCHEMA = "repro-service-key/3"
 
 _READERS = None  # lazily populated: {"verilog": read_verilog, ...}
 

@@ -92,6 +92,7 @@ def _synth(params: dict) -> dict:
         time_limit=float(_knob(params, SYNTH_DEFAULTS, "time_limit")),
         jobs=int(_knob(params, SYNTH_DEFAULTS, "solver_jobs")),
         layers=int(_knob(params, SYNTH_DEFAULTS, "layers")),
+        plane_method=_knob(params, SYNTH_DEFAULTS, "plane_method"),
     )
     order = params.get("order")
     if netlist is not None:

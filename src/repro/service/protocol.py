@@ -100,6 +100,7 @@ SYNTH_DEFAULTS: dict = {
     "validate": True,
     "order": None,
     "layers": 1,
+    "plane_method": "auto",
 }
 
 #: Default remap knobs (mirrors the ``repro map`` CLI defaults).

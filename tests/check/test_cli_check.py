@@ -157,3 +157,47 @@ class TestValidateJson:
         # Knocking out a programmed literal breaks the design under faults.
         assert rc == 1
         assert "V002" in {d["code"] for d in payload["diagnostics"]}
+
+
+class TestLayeredCertificateCli:
+    """repro check on 3D artifacts: L003 is INFO, a forged L003 is exit 1."""
+
+    @pytest.fixture(scope="class")
+    def layered_artifact(self, tmp_path_factory):
+        from repro.bench.suites import circuit
+        from repro.core import Compact
+        from repro.crossbar import design_to_json
+
+        design = Compact(layers=2).synthesize_netlist(circuit("c17")).design
+        target = tmp_path_factory.mktemp("artifacts") / "c17_2l.json"
+        target.write_text(design_to_json(design))
+        return target
+
+    def test_certified_artifact_exits_zero_with_l003(
+        self, layered_artifact, capsys
+    ):
+        assert exit_code(["check", "--json", str(layered_artifact)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        codes = {d["code"] for d in payload["diagnostics"]}
+        assert "L003" in codes and "L004" not in codes
+
+    def test_forged_certificate_exits_one_with_l004(
+        self, layered_artifact, capsys, monkeypatch
+    ):
+        import repro.check.design as design_mod
+
+        real = design_mod.layered_semiperimeter_lower_bound
+
+        def forged(graph, ports, layers):
+            cert = dict(real(graph, ports, layers))
+            cert["oct_lb"] = cert["n"]
+            cert["s_lb"] = 3 * cert["n"]
+            return cert
+
+        monkeypatch.setattr(
+            design_mod, "layered_semiperimeter_lower_bound", forged
+        )
+        assert exit_code(["check", "--json", str(layered_artifact)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        codes = {d["code"] for d in payload["diagnostics"]}
+        assert "L004" in codes and "L003" not in codes

@@ -28,11 +28,58 @@ class TestCleanLayeredDesign:
     def test_synthesized_3d_design_is_clean(self, layered_c17):
         assert findings(check_design(layered_c17)) == []
 
-    def test_no_planar_bound_certificate_for_3d(self, layered_c17):
-        # S = n + #VH is a planar identity; L001/L002 must not fire.
-        assert not any(
-            d.code in ("L001", "L002") for d in check_design(layered_c17)
+    def test_layered_certificate_replaces_planar_bound(self, layered_c17):
+        # S = n + #VH is a planar identity; L001/L002 must not fire on a
+        # 3D design.  The layered L003 certificate fires instead — the
+        # dispatch never silently skips bound checking.
+        diags = check_design(layered_c17)
+        assert not any(d.code in ("L001", "L002") for d in diags)
+        certs = [d for d in diags if d.code == "L003"]
+        assert len(certs) == 1
+        cert = certs[0]
+        assert cert.data["layers"] == 2
+        assert cert.data["s_lb"] <= cert.data["s_labeled"]
+        assert cert.data["gap"] == cert.data["s_labeled"] - cert.data["s_lb"]
+        # The payload carries its own re-checkable witnesses.
+        assert cert.data["packing"] is not None
+        assert cert.data["lp_witnesses"] is not None
+
+    @pytest.mark.parametrize(
+        "component,forge",
+        [
+            ("oct_lb", lambda c: c.update(oct_lb=c["n"], s_lb=2 * c["n"])),
+            ("packing", lambda c: c.update(
+                packing=[["x", "y", "z"]] + list(c["packing"]),
+                packing_lb=len(c["packing"]) + 1,
+            )),
+            ("plane capacity", lambda c: c.update(even_planes=c["even_planes"] + 1)),
+            ("plane capacity", lambda c: c.update(layers=c["layers"] + 1)),
+        ],
+    )
+    def test_forged_l003_certificate_fails_closed(
+        self, layered_c17, monkeypatch, component, forge
+    ):
+        # The verifier re-derives every component from the design graph;
+        # a tampered certificate must surface as L004 (an ERROR), never
+        # as a trusted L003.
+        import repro.check.design as design_mod
+
+        real = design_mod.layered_semiperimeter_lower_bound
+
+        def forged(graph, ports, layers):
+            cert = dict(real(graph, ports, layers))
+            forge(cert)
+            return cert
+
+        monkeypatch.setattr(
+            design_mod, "layered_semiperimeter_lower_bound", forged
         )
+        diags = check_design(layered_c17)
+        found = [d for d in diags if d.code == "L004"]
+        assert len(found) == 1
+        assert "failed self-verification" in found[0].message
+        assert component in found[0].data["failed_components"]
+        assert not any(d.code == "L003" for d in diags)
 
     def test_spare_line_reported_per_plane(self, layered_c17):
         wider = CrossbarDesign3D(

@@ -120,6 +120,9 @@ class TestCorruptions:
         # No graph implied by a structurally valid design can force the
         # bound above its labeled semiperimeter (cells only join rows to
         # cols), so L002 is an invariant guard: forge the certificate.
+        # The verifier re-derives the bound from the witnesses, so an
+        # inflated claim is caught as a self-verification failure naming
+        # the forged component — it cannot masquerade as a sound bound.
         real = semiperimeter_lower_bound
 
         def forged(graph):
@@ -131,7 +134,24 @@ class TestCorruptions:
         monkeypatch.setattr(design_mod, "semiperimeter_lower_bound", forged)
         found = [x for x in check_design(fresh_design) if x.code == "L002"]
         assert len(found) == 1
-        assert "below the certified lower bound" in found[0].message
+        assert "failed self-verification" in found[0].message
+        assert "oct_lb" in found[0].data["failed_components"]
+
+    def test_l002_via_forged_witness_cycle(self, fresh_design, monkeypatch):
+        # Tampering with a packing witness (not just the claimed number)
+        # must also fail closed: the verifier re-walks every cycle.
+        real = semiperimeter_lower_bound
+
+        def forged(graph):
+            cert = dict(real(graph))
+            cert["packing"] = [["x", "y", "z"]] + list(cert["packing"])
+            cert["packing_lb"] = len(cert["packing"])
+            return cert
+
+        monkeypatch.setattr(design_mod, "semiperimeter_lower_bound", forged)
+        found = [x for x in check_design(fresh_design) if x.code == "L002"]
+        assert len(found) == 1
+        assert "packing" in found[0].data["failed_components"]
 
 
 class TestLowerBoundMath:

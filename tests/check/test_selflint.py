@@ -87,6 +87,32 @@ class TestC004ExitCodes:
         assert lint("import sys\nsys.exit(compute())\n") == []
 
 
+class TestC005WallClock:
+    def test_time_time_is_flagged(self, lint):
+        diags = lint("import time\nstart = time.time()\n")
+        assert codes(diags) == ["C005"]
+        assert diags[0].span.line == 2
+        assert "time.monotonic()" in diags[0].message
+
+    def test_every_call_site_is_flagged(self, lint):
+        diags = lint(
+            "import time\nt0 = time.time()\nwork()\nprint(time.time() - t0)\n"
+        )
+        assert codes(diags) == ["C005", "C005"]
+
+    def test_monotonic_is_fine(self, lint):
+        assert lint("import time\nstart = time.monotonic()\n") == []
+
+    def test_other_time_attributes_are_fine(self, lint):
+        assert lint("import time\ntime.sleep(1)\nns = time.perf_counter()\n") == []
+
+    def test_allow_annotation_suppresses(self, lint):
+        diags = lint(
+            "import time\nstamp = time.time()  # check: allow C005\n"
+        )
+        assert diags == []
+
+
 class TestFiles:
     def test_syntax_error_is_n000(self, lint):
         diags = lint("def broken(:\n")

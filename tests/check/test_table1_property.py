@@ -30,3 +30,21 @@ def test_check_is_silent_on_synthesized_designs(bench):
     (cert,) = [d for d in diags if d.code == "L001"]
     assert cert.data["s_lb"] <= result.design.semiperimeter
     assert cert.data["gap"] >= 0
+
+
+@pytest.mark.parametrize("layers", [2, 3])
+@pytest.mark.parametrize("bench", FAST, ids=[b.name for b in FAST])
+def test_layered_certificate_holds_on_synthesized_designs(bench, layers):
+    # Same null hypothesis, one dimension up: every 3D Table-1 design
+    # must carry exactly one verified L003 certificate whose bound never
+    # exceeds the achieved footprint semiperimeter.
+    result = Compact(
+        gamma=1.0, method="oct", time_limit=20, layers=layers
+    ).synthesize_netlist(bench.build())
+    diags = check_design(result.design)
+    findings = [d for d in diags if d.is_finding]
+    assert findings == [], "\n".join(d.render() for d in findings)
+    (cert,) = [d for d in diags if d.code == "L003"]
+    assert cert.data["layers"] == layers
+    assert cert.data["s_lb"] <= cert.data["s_labeled"]
+    assert cert.data["gap"] >= 0

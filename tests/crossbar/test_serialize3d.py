@@ -89,6 +89,34 @@ class TestDesignSchemaErrors:
             design_from_json(json.dumps(payload))
 
 
+class TestMetaBlock:
+    def test_certification_meta_survives_round_trip(self):
+        design = layered_design()
+        assert design.meta, "3D synthesis should stamp certification meta"
+        assert "plane_method" in design.meta
+        assert "certified_s_lb" in design.meta
+        back = design_from_json(design_to_json(design))
+        assert back.meta == design.meta
+
+    def test_missing_meta_loads_as_empty(self):
+        payload = json.loads(design_to_json(layered_design()))
+        payload.pop("meta", None)
+        back = design_from_json(json.dumps(payload))
+        assert back.meta == {}
+
+    def test_non_scalar_meta_value_rejected(self):
+        payload = json.loads(design_to_json(layered_design()))
+        payload["meta"] = {"plane_method": ["not", "a", "scalar"]}
+        with pytest.raises(ValueError, match="meta"):
+            design_from_json(json.dumps(payload))
+
+    def test_non_dict_meta_rejected(self):
+        payload = json.loads(design_to_json(layered_design()))
+        payload["meta"] = "auto"
+        with pytest.raises(ValueError, match="meta"):
+            design_from_json(json.dumps(payload))
+
+
 class TestPlaneLabels:
     def test_labels_survive_round_trip(self):
         design = layered_design()

@@ -97,6 +97,18 @@ class TestLayerSweep:
         assert one["plane_method"] == "2d"
         assert two["plane_method"] != "2d"
 
+    def test_certification_fields(self, sweep):
+        # Every row reports whether its plane assignment is certified
+        # optimal and the gap to the certified footprint bound.  The
+        # planar row is exact by construction (the lift preserves the
+        # stage-1 identity), so it must certify with the L001 bound.
+        (entry,) = sweep["circuits"]
+        one, two = entry["results"]
+        assert one["plane_optimal"] is True
+        assert isinstance(two["plane_optimal"], bool)
+        for r in entry["results"]:
+            assert r["certified_gap"] >= 0
+
     def test_rendered_table(self, sweep):
         from repro.perf.harness import render_layer_sweep_table
 

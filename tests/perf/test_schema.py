@@ -116,7 +116,9 @@ def _sweep_row(layers):
     return {
         "layers": layers, "rows": 4, "cols": 7, "semiperimeter": 11,
         "max_dimension": 7, "vias": 0 if layers == 1 else 2,
-        "plane_method": "2d" if layers == 1 else "fold", "ok": True,
+        "plane_method": "2d" if layers == 1 else "fold",
+        "plane_optimal": layers == 1, "certified_gap": 0 if layers == 1 else 3,
+        "ok": True,
     }
 
 
