@@ -4,7 +4,7 @@ JOBS ?= 4
 export PYTHONPATH := src
 
 .PHONY: test test-perf bench bench-baseline bench-smoke verify serve check \
-	campaign-smoke synth3d-smoke
+	campaign-smoke synth3d-smoke service-load-smoke
 
 test:
 	$(PYTHON) -m pytest tests/ -q
@@ -59,6 +59,15 @@ synth3d-smoke:
 	$(PYTHON) -m repro check $(SYNTH3D_TMP)/maj3-2l.json --json
 	$(PYTHON) -m repro bench perf --circuits c17,voter9 --layer-sweep 1,2 \
 	  --jobs 2 --time-limit 10
+
+# Load-generator smoke: drive the async front with the cached mix and
+# gate on a conservative RPS floor and a zero error budget. The floor
+# is ~20x below what a 1-CPU box measures (~12k RPS), so only a real
+# regression — not a noisy runner — trips it.
+service-load-smoke:
+	$(PYTHON) -m repro bench service --load cached --connections 64 \
+	  --requests-per-conn 40 --pipeline 8 --jobs 2 \
+	  --rps-floor 500 --max-error-rate 0
 
 # Persistent synthesis service on a local Unix socket.
 SERVICE_SOCKET ?= /tmp/repro.sock

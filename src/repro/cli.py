@@ -339,6 +339,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="persist cached results here (default: memory only)")
     serve_p.add_argument("--cache-size", type=int, default=256, metavar="N",
                          help="in-memory LRU capacity; 0 disables caching")
+    serve_p.add_argument("--cache-shards", type=int, default=8, metavar="N",
+                         help="independently locked cache shards (default 8)")
+    serve_p.add_argument("--remote-dir", metavar="PATH",
+                         help="shared-directory remote cache tier: nodes pointed at "
+                              "the same directory share one result space")
+    serve_p.add_argument("--front", default="async", choices=["async", "threaded"],
+                         help="socket front: asyncio multiplexer (default) or the "
+                              "classic thread-per-connection server")
     serve_p.add_argument("--drain-timeout", type=float, default=30.0, metavar="SECONDS",
                          help="how long a graceful shutdown waits for in-flight jobs")
 
@@ -461,7 +469,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--perf-json", metavar="PATH",
-        help="write the perf baseline (e.g. BENCH_compact.json); perf experiment only",
+        help="write the perf baseline (e.g. BENCH_compact.json); with 'service "
+             "--load' instead merge the load report into an existing baseline",
     )
     bench.add_argument(
         "--layer-sweep", metavar="K1,K2,...", dest="layer_sweep",
@@ -500,6 +509,30 @@ def build_parser() -> argparse.ArgumentParser:
                        help="service experiment: concurrent client connections")
     bench.add_argument("--trace", metavar="PATH",
                        help="service experiment: replay this recorded trace JSON")
+    bench.add_argument("--load", metavar="MIX", default=None,
+                       choices=[None, "cached", "synth-heavy", "validate-heavy",
+                                "fault-storm"],
+                       help="service experiment: run the fleet load generator with "
+                            "this mix instead of the trace replay")
+    bench.add_argument("--connections", type=int, default=64, metavar="N",
+                       help="load generator: concurrent connections")
+    bench.add_argument("--requests-per-conn", type=int, default=50, metavar="N",
+                       help="load generator: requests per connection")
+    bench.add_argument("--pipeline", type=int, default=8, metavar="N",
+                       help="load generator: frames kept in flight per connection")
+    bench.add_argument("--node-count", type=int, default=1, metavar="N",
+                       help="load generator: in-process service nodes sharing one "
+                            "remote cache tier")
+    bench.add_argument("--front", default="async",
+                       choices=["async", "threaded", "both"],
+                       help="load generator: which socket front to drive; 'both' "
+                            "runs threaded then async and reports the speedup")
+    bench.add_argument("--rps-floor", type=float, default=None, metavar="RPS",
+                       help="load generator: exit 1 when throughput lands below "
+                            "this floor (CI regression gate)")
+    bench.add_argument("--max-error-rate", type=float, default=None, metavar="R",
+                       help="load generator: exit 1 when the error rate exceeds "
+                            "this fraction")
     bench.add_argument("--socket", metavar="PATH",
                        help="service experiment: replay against this running server")
     bench.add_argument("--tcp", metavar="HOST:PORT",
@@ -812,19 +845,25 @@ def _parse_address_or_exit(socket_path: str | None, tcp: str | None):
 
 
 def _cmd_serve(args) -> int:
-    from .service import ServiceServer
+    from .service import DirectoryRemoteTier, ServiceServer, ThreadedServiceServer
 
     address = _parse_address_or_exit(args.socket, args.tcp)
     if args.cache_size < 0:
         raise _usage_error("--cache-size must be >= 0")
+    if args.cache_shards < 1:
+        raise _usage_error("--cache-shards must be >= 1")
+    remote = DirectoryRemoteTier(args.remote_dir) if args.remote_dir else None
+    server_cls = ServiceServer if args.front == "async" else ThreadedServiceServer
     try:
-        server = ServiceServer(
+        server = server_cls(
             address,
             jobs=_resolve_jobs(args.jobs),
             queue_size=args.queue_size,
             job_timeout=args.job_timeout,
             cache_dir=args.cache_dir,
             cache_size=args.cache_size,
+            cache_shards=args.cache_shards,
+            remote_tier=remote,
             drain_timeout=args.drain_timeout,
         )
     except ValueError as exc:
@@ -834,8 +873,9 @@ def _cmd_serve(args) -> int:
     except OSError as exc:
         raise _usage_error(f"cannot bind {args.socket or args.tcp}: {exc}") from exc
     print(f"repro service listening on {server.describe_address()} "
-          f"({server.engine.max_workers} workers, "
-          f"cache={'on' if server.cache else 'off'})")
+          f"({args.front} front, {server.engine.max_workers} workers, "
+          f"cache={'on' if server.cache else 'off'}"
+          f"{', remote tier' if remote else ''})")
     try:
         server.serve_until_signal()
     finally:
@@ -987,6 +1027,8 @@ def _cmd_bench_campaign(args) -> int:
 
 
 def _cmd_bench_service(args) -> int:
+    if args.load:
+        return _cmd_bench_service_load(args)
     from .service.bench import render_service_table, run_service_bench
 
     connect = None
@@ -1006,6 +1048,68 @@ def _cmd_bench_service(args) -> int:
         raise _usage_error(str(exc)) from exc
     print(render_service_table(payload).render())
     return 0
+
+
+def _cmd_bench_service_load(args) -> int:
+    """The fleet load generator path of ``repro bench service --load``."""
+    import json as json_mod
+
+    from .service.loadgen import compare_fronts, render_load_table, run_load
+
+    connects = None
+    if args.socket or args.tcp:
+        connects = [_parse_address_or_exit(args.socket, args.tcp)]
+    try:
+        if args.front == "both":
+            if connects is not None:
+                raise _usage_error("--front both starts its own servers; "
+                                   "drop --socket/--tcp")
+            block = compare_fronts(
+                mix=args.load, connections=args.connections,
+                requests_per_conn=args.requests_per_conn,
+                pipeline=args.pipeline, jobs=args.jobs, seed=args.seed,
+            )
+            gated = block["async"]
+            print(render_load_table(block["threaded"]).render())
+            print()
+            print(render_load_table(gated).render())
+            print(f"\nasync over threaded: {block['speedup_rps']:.2f}x RPS")
+        else:
+            block = gated = run_load(
+                mix=args.load, connections=args.connections,
+                requests_per_conn=args.requests_per_conn,
+                pipeline=args.pipeline, node_count=args.node_count,
+                front=args.front, jobs=args.jobs, seed=args.seed,
+                connects=connects,
+            )
+            print(render_load_table(gated).render())
+    except (ValueError, OSError) as exc:
+        raise _usage_error(str(exc)) from exc
+
+    if args.perf_json:
+        from .perf import validate_bench_payload
+
+        path = Path(args.perf_json)
+        payload = json_mod.loads(path.read_text())
+        payload["service_load"] = block
+        validate_bench_payload(payload)
+        path.write_text(json_mod.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path}")
+
+    failures = []
+    if args.rps_floor is not None and gated["rps"] < args.rps_floor:
+        failures.append(
+            f"throughput {gated['rps']:.1f} req/s is below the "
+            f"{args.rps_floor:g} req/s floor"
+        )
+    if args.max_error_rate is not None and gated["error_rate"] > args.max_error_rate:
+        failures.append(
+            f"error rate {gated['error_rate']:.4f} exceeds the "
+            f"{args.max_error_rate:g} ceiling"
+        )
+    for failure in failures:
+        print(f"repro: bench service: {failure}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 def main(argv: list[str] | None = None) -> int:

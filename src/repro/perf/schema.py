@@ -148,7 +148,67 @@ def validate_bench_payload(payload: dict) -> dict:
     # Optional (added with 3D synthesis; older baselines predate it).
     if "layer_sweep" in payload:
         _validate_layer_sweep(payload["layer_sweep"])
+    # Optional (added with the async service front; older baselines
+    # predate the fleet load generator).
+    if "service_load" in payload:
+        _validate_service_load(payload["service_load"])
     return payload
+
+
+#: Required on each per-front report inside the ``service_load`` block.
+_LOAD_REPORT_FIELDS: tuple[tuple[str, type], ...] = (
+    ("mix", str),
+    ("front", str),
+    ("nodes", int),
+    ("connections", int),
+    ("pipeline", int),
+    ("requests", int),
+    ("wall_time_s", Real),
+    ("rps", Real),
+    ("ok", int),
+    ("errors", int),
+    ("error_rate", Real),
+    ("cache_hits", int),
+    ("hit_rate", Real),
+    ("deduped", int),
+)
+
+_LOAD_LATENCY_FIELDS: tuple[tuple[str, type], ...] = (
+    ("mean", Real),
+    ("p50", Real),
+    ("p90", Real),
+    ("p99", Real),
+    ("max", Real),
+)
+
+
+def _validate_load_report(report, where: str) -> None:
+    for field, kind in _LOAD_REPORT_FIELDS:
+        _require(report, field, kind, where)
+    latency = _require(report, "latency_ms", dict, where)
+    for field, kind in _LOAD_LATENCY_FIELDS:
+        _require(latency, field, kind, f"{where}.latency_ms")
+    if report["ok"] + report["errors"] != report["requests"]:
+        raise ValueError(f"{where}: ok + errors must equal requests")
+
+
+def _validate_service_load(block) -> None:
+    """The optional ``service_load`` block: a front-vs-front load run.
+
+    Either a single load report or a comparison (``threaded`` +
+    ``async`` reports with the measured ``speedup_rps``).
+    """
+    where = "$.service_load"
+    if isinstance(block, dict) and "speedup_rps" in block:
+        _require(block, "mix", str, where)
+        _require(block, "connections", int, where)
+        _require(block, "speedup_rps", Real, where)
+        _validate_load_report(
+            _require(block, "threaded", dict, where), f"{where}.threaded"
+        )
+        _validate_load_report(_require(block, "async", dict, where), f"{where}.async")
+    else:
+        _validate_load_report(block, where)
 
 
 def _validate_layer_sweep(block) -> None:

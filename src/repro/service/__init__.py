@@ -35,15 +35,22 @@ from .protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
 )
+from .remote import DirectoryRemoteTier, InMemoryRemoteTier, RemoteTier
 
-__version__ = "1.0"
+__version__ = "1.1"
 
 # Imported after __version__ is bound: server.py reads it back from here.
-from .server import ServiceServer, parse_address  # noqa: E402
+from .server import ServiceServer, format_address, parse_address  # noqa: E402
+from .threaded import ThreadedServiceServer  # noqa: E402
 
 __all__ = [
     "ServiceServer",
+    "ThreadedServiceServer",
     "parse_address",
+    "format_address",
+    "RemoteTier",
+    "InMemoryRemoteTier",
+    "DirectoryRemoteTier",
     "PROTOCOL_VERSION",
     "METHODS",
     "CACHEABLE_METHODS",

@@ -9,12 +9,18 @@ function, same gamma/method, same variable-order policy, same fault
 map — therefore share one cache entry regardless of formatting,
 comments, or parameter spelling.
 
-Storage is two-level: an in-memory LRU front (bounded, entries stored
-as JSON strings so every ``get`` hands back a fresh object) over an
-optional JSON-file-per-entry disk store that survives restarts.
-Evicting from memory never deletes the disk copy.  Hit/miss/eviction
-events are mirrored into :mod:`repro.perf.counters` under the
-``service_cache_*`` names.
+Storage is three-level and *sharded*: the key space is split by key
+prefix into independently locked shards, each holding a bounded
+in-memory LRU front (entries stored as compact JSON strings so every
+``get`` hands back a fresh object) over an optional JSON-file-per-entry
+disk store that survives restarts, optionally backed by a pluggable
+*remote tier* (:mod:`repro.service.remote`) so several service nodes
+can share one result space.  Disk and remote I/O always happen
+*outside* the shard locks — a lookup that has to touch disk never
+stalls concurrent lookups on other keys (or even on the same shard's
+memory front).  Evicting from memory never deletes the disk copy.
+Hit/miss/eviction events are mirrored into
+:mod:`repro.perf.counters` under the ``service_cache_*`` names.
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ import hashlib
 import json
 import os
 import threading
+import zlib
 from collections import OrderedDict
 from pathlib import Path
 
@@ -34,7 +41,14 @@ from .protocol import (
     SYNTH_DEFAULTS,
 )
 
-__all__ = ["CACHE_KEY_SCHEMA", "ResultCache", "canonical_request", "request_key"]
+__all__ = [
+    "CACHE_KEY_SCHEMA",
+    "ResultCache",
+    "canonical_request",
+    "read_entry",
+    "request_key",
+    "write_entry",
+]
 
 #: Stamped into the hashed material; bump to invalidate every old key.
 #: v2: synth keys carry the ``layers`` knob (3D synthesis).
@@ -152,6 +166,8 @@ def canonical_request(method: str, params: dict) -> dict:
     else:  # validate
         material["design"] = _canonical_design(params)
         material.update(_canonical_circuit(params))
+        if params.get("fault_map") is not None:
+            material["fault_map"] = _canonical_fault_map(params)
     return material
 
 
@@ -162,132 +178,272 @@ def request_key(method: str, params: dict) -> str:
     return hashlib.sha256(blob.encode()).hexdigest()
 
 
-class ResultCache:
-    """Bounded LRU front over an optional on-disk JSON store.
+# -- on-disk entry format (shared with the directory remote tier) ------------------
 
-    Thread safe; all counter mirroring happens under the cache lock so
-    the ``service_cache_*`` perf counters stay exact even with many
-    server threads.
+
+def read_entry(path: Path) -> str | None:
+    """Read one JSON cache entry file; returns the compact-encoded result.
+
+    Corrupted or wrong-schema entries are *deleted* (so they cannot
+    shadow a fresh result) and reported as ``None``.
+    """
+    try:
+        entry = json.loads(path.read_text())
+        if entry.get("schema") != CACHE_KEY_SCHEMA or "result" not in entry:
+            raise ValueError("wrong schema")
+    except OSError:
+        return None
+    except (ValueError, TypeError):
+        try:
+            path.unlink()
+        except OSError:  # check: allow C003
+            pass
+        return None
+    return json.dumps(entry["result"], sort_keys=True, separators=(",", ":"))
+
+
+def write_entry(directory: Path, key: str, method: str, encoded: str) -> bool:
+    """Durably write one entry file (fsync + atomic rename); True on success.
+
+    The temp file is fsynced before the atomic rename, and the directory
+    after it: without the first a power loss can leave the *renamed*
+    entry torn (rename durable, data not), and without the second the
+    rename itself may be lost.  A lost rename is harmless (cache miss);
+    a torn entry would shadow a good result until :func:`read_entry`
+    drops it.
+    """
+    entry = (
+        '{"schema": ' + json.dumps(CACHE_KEY_SCHEMA)
+        + ', "key": ' + json.dumps(key)
+        + ', "method": ' + json.dumps(method)
+        + ', "result": ' + encoded + "}"
+    )
+    tmp = (directory / f"{key}.json").with_suffix(f".tmp.{os.getpid()}")
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(entry)
+            handle.flush()
+            os.fsync(handle.fileno())
+        tmp.replace(directory / f"{key}.json")
+        dir_fd = os.open(directory, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+    except OSError:
+        try:
+            tmp.unlink()
+        except OSError:  # check: allow C003
+            pass
+        return False
+    return True
+
+
+class _Shard:
+    """One independently locked slice of the key space."""
+
+    __slots__ = ("lock", "mem", "capacity", "stats", "disk_keys")
+
+    def __init__(self, capacity: int):
+        self.lock = threading.Lock()
+        self.mem: OrderedDict[str, str] = OrderedDict()
+        self.capacity = capacity
+        self.stats = {"hits": 0, "misses": 0, "stores": 0, "evictions": 0}
+        self.disk_keys: set[str] = set()
+
+
+class ResultCache:
+    """Sharded, bounded LRU front over an optional on-disk JSON store.
+
+    ``shards`` independently locked shards split the key space by key
+    prefix; ``capacity`` is the *total* memory budget, distributed
+    across shards (so ``shards=1`` reproduces the classic single-lock
+    global-LRU behaviour exactly).  An optional ``remote`` tier
+    (:class:`repro.service.remote.RemoteTier`) is consulted after a
+    local miss and populated on every store, letting N service nodes
+    share one result space.
+
+    Thread safe.  Disk and remote I/O happen outside the shard locks;
+    the ``service_cache_*`` perf counters stay exact because the
+    counters module has its own lock.
     """
 
-    def __init__(self, capacity: int = 256, directory: str | Path | None = None):
+    def __init__(
+        self,
+        capacity: int = 256,
+        directory: str | Path | None = None,
+        shards: int = 1,
+        remote=None,
+    ):
         if capacity < 1:
             raise ValueError("cache capacity must be >= 1")
-        self._capacity = capacity
+        if shards < 1:
+            raise ValueError("cache shards must be >= 1")
+        shards = min(shards, capacity)
         self._dir = Path(directory) if directory else None
         if self._dir is not None:
             self._dir.mkdir(parents=True, exist_ok=True)
-        self._lock = threading.Lock()
-        self._mem: OrderedDict[str, str] = OrderedDict()
-        self._stats = {"hits": 0, "misses": 0, "stores": 0, "evictions": 0}
+        self._remote = remote
+        base, extra = divmod(capacity, shards)
+        self._shards = [_Shard(base + (1 if i < extra else 0)) for i in range(shards)]
+        if self._dir is not None:
+            # One census at construction; stats() afterwards never globs.
+            for path in self._dir.glob("*.json"):
+                self._shard(path.stem).disk_keys.add(path.stem)
 
     # -- internals ---------------------------------------------------------------
+    def _shard(self, key: str) -> _Shard:
+        n = len(self._shards)
+        if n == 1:
+            return self._shards[0]
+        try:
+            index = int(key[:4], 16)
+        except ValueError:
+            index = zlib.crc32(key.encode())
+        return self._shards[index % n]
+
     def _path(self, key: str) -> Path:
         return self._dir / f"{key}.json"
 
-    def _disk_get(self, key: str) -> str | None:
+    def _disk_get(self, key: str, shard: _Shard) -> str | None:
         if self._dir is None:
             return None
         path = self._path(key)
-        try:
-            text = path.read_text()
-            entry = json.loads(text)
-            if entry.get("schema") != CACHE_KEY_SCHEMA or "result" not in entry:
-                raise ValueError("wrong schema")
-        except OSError:
-            return None
-        except (ValueError, TypeError):
-            # Corrupted entry: drop it so it cannot shadow a fresh result.
-            try:
-                path.unlink()
-            except OSError:  # check: allow C003
-                pass
-            return None
-        return json.dumps(entry["result"], sort_keys=True)
+        encoded = read_entry(path)
+        if encoded is None and not path.exists():
+            with shard.lock:
+                shard.disk_keys.discard(key)
+        return encoded
 
-    def _disk_put(self, key: str, method: str, encoded: str) -> None:
+    def _disk_put(self, key: str, method: str, encoded: str, shard: _Shard) -> None:
         if self._dir is None:
             return
-        entry = (
-            '{"schema": ' + json.dumps(CACHE_KEY_SCHEMA)
-            + ', "key": ' + json.dumps(key)
-            + ', "method": ' + json.dumps(method)
-            + ', "result": ' + encoded + "}"
-        )
-        tmp = self._path(key).with_suffix(f".tmp.{os.getpid()}")
-        try:
-            # fsync the temp file before the atomic rename, and the
-            # directory after it: without the first a power loss can
-            # leave the *renamed* entry torn (rename durable, data not),
-            # and without the second the rename itself may be lost.
-            # A lost rename is harmless (cache miss); a torn entry would
-            # shadow a good result until _disk_get drops it.
-            with open(tmp, "w", encoding="utf-8") as handle:
-                handle.write(entry)
-                handle.flush()
-                os.fsync(handle.fileno())
-            tmp.replace(self._path(key))
-            dir_fd = os.open(self._dir, os.O_RDONLY)
-            try:
-                os.fsync(dir_fd)
-            finally:
-                os.close(dir_fd)
-        except OSError:
-            try:
-                tmp.unlink()
-            except OSError:  # check: allow C003
-                pass
+        if write_entry(self._dir, key, method, encoded):
+            with shard.lock:
+                shard.disk_keys.add(key)
 
-    def _remember(self, key: str, encoded: str) -> None:
-        self._mem[key] = encoded
-        self._mem.move_to_end(key)
-        while len(self._mem) > self._capacity:
-            self._mem.popitem(last=False)
-            self._stats["evictions"] += 1
+    def _remote_get(self, key: str) -> str | None:
+        if self._remote is None:
+            return None
+        try:
+            encoded = self._remote.get(key)
+        except Exception:  # noqa: BLE001 — a remote tier must never take the node down; check: allow C003
+            return None
+        if encoded is not None:
+            counters.increment("service_cache_remote_hits")
+        return encoded
+
+    def _remote_put(self, key: str, method: str, encoded: str) -> None:
+        if self._remote is None:
+            return
+        try:
+            self._remote.put(key, method, encoded)
+        except Exception:  # noqa: BLE001 — remote stores are best-effort; check: allow C003
+            return
+        counters.increment("service_cache_remote_stores")
+
+    def _remember_locked(self, shard: _Shard, key: str, encoded: str) -> None:
+        shard.mem[key] = encoded
+        shard.mem.move_to_end(key)
+        while len(shard.mem) > shard.capacity:
+            shard.mem.popitem(last=False)
+            shard.stats["evictions"] += 1
             counters.increment("service_cache_evictions")
+
+    def _lookup_encoded(self, key: str, count_miss: bool) -> str | None:
+        """Memory, then disk, then remote; populates warmer tiers on a hit."""
+        shard = self._shard(key)
+        with shard.lock:
+            encoded = shard.mem.get(key)
+            if encoded is not None:
+                shard.mem.move_to_end(key)
+                shard.stats["hits"] += 1
+                counters.increment("service_cache_hits")
+                return encoded
+        # Cold tiers, deliberately outside the shard lock: a disk (or
+        # remote) read on one key must not serialize lookups on others.
+        encoded = self._disk_get(key, shard)
+        from_remote = False
+        if encoded is None:
+            encoded = self._remote_get(key)
+            from_remote = encoded is not None
+        with shard.lock:
+            if encoded is None:
+                if count_miss:
+                    shard.stats["misses"] += 1
+                    counters.increment("service_cache_misses")
+                return None
+            self._remember_locked(shard, key, encoded)
+            shard.stats["hits"] += 1
+            counters.increment("service_cache_hits")
+        if from_remote:
+            # Write the remote copy through to local disk so the next
+            # cold start (or memory eviction) is served locally.
+            self._disk_put(key, "remote", encoded, shard)
+        return encoded
 
     # -- public API --------------------------------------------------------------
     def get(self, key: str) -> dict | None:
         """The cached result payload for ``key``, or None on a miss."""
-        with self._lock:
-            encoded = self._mem.get(key)
-            if encoded is not None:
-                self._mem.move_to_end(key)
-            else:
-                encoded = self._disk_get(key)
-                if encoded is not None:
-                    self._remember(key, encoded)
-            if encoded is None:
-                self._stats["misses"] += 1
-                counters.increment("service_cache_misses")
-                return None
-            self._stats["hits"] += 1
-            counters.increment("service_cache_hits")
-            return json.loads(encoded)
+        encoded = self._lookup_encoded(key, count_miss=True)
+        return None if encoded is None else json.loads(encoded)
+
+    def get_encoded(self, key: str, count_miss: bool = True) -> str | None:
+        """Like :meth:`get` but returns the compact-encoded JSON string.
+
+        The server's cached fast path splices this string straight into
+        the response frame, skipping a decode/encode round trip.  With
+        ``count_miss=False`` a miss is not counted (the caller falls
+        back to :meth:`repro.service.engine.Engine.submit`, whose own
+        lookup counts it once).
+        """
+        return self._lookup_encoded(key, count_miss=count_miss)
 
     def put(self, key: str, result: dict, method: str = "synth") -> None:
         """Store one result payload (must be JSON-serialisable)."""
-        encoded = json.dumps(result, sort_keys=True)
-        with self._lock:
-            self._remember(key, encoded)
-            self._disk_put(key, method, encoded)
-            self._stats["stores"] += 1
+        encoded = json.dumps(result, sort_keys=True, separators=(",", ":"))
+        shard = self._shard(key)
+        with shard.lock:
+            self._remember_locked(shard, key, encoded)
+            shard.stats["stores"] += 1
             counters.increment("service_cache_stores")
+        # The fsync-heavy disk write and the remote store run outside
+        # the lock: concurrent lookups on this shard proceed meanwhile.
+        self._disk_put(key, method, encoded, shard)
+        self._remote_put(key, method, encoded)
 
     def clear(self) -> None:
         """Drop the memory front (disk entries are kept)."""
-        with self._lock:
-            self._mem.clear()
+        for shard in self._shards:
+            with shard.lock:
+                shard.mem.clear()
 
     def stats(self) -> dict:
-        """Hit/miss/store/eviction counts plus sizes and hit rate."""
-        with self._lock:
-            out = dict(self._stats)
-            out["entries_mem"] = len(self._mem)
-            if self._dir is not None:
-                out["entries_disk"] = sum(1 for _ in self._dir.glob("*.json"))
-            else:
-                out["entries_disk"] = 0
-            lookups = out["hits"] + out["misses"]
-            out["hit_rate"] = out["hits"] / lookups if lookups else 0.0
-            return out
+        """Hit/miss/store/eviction counts plus sizes and hit rate.
+
+        ``entries_disk`` comes from a census kept incrementally (one
+        directory scan at construction, updated on store/drop) — this
+        call never globs the cache directory.
+        """
+        out = {"hits": 0, "misses": 0, "stores": 0, "evictions": 0}
+        entries_mem = 0
+        entries_disk = 0
+        shard_sizes = []
+        for shard in self._shards:
+            with shard.lock:
+                for name in out:
+                    out[name] += shard.stats[name]
+                shard_sizes.append(len(shard.mem))
+                entries_mem += len(shard.mem)
+                entries_disk += len(shard.disk_keys)
+        out["entries_mem"] = entries_mem
+        out["entries_disk"] = entries_disk if self._dir is not None else 0
+        out["shards"] = len(self._shards)
+        out["shard_sizes"] = shard_sizes
+        # ``is not None``: an empty InMemoryRemoteTier is falsy (__len__).
+        out["remote_tier"] = (
+            type(self._remote).__name__ if self._remote is not None else None
+        )
+        lookups = out["hits"] + out["misses"]
+        out["hit_rate"] = out["hits"] / lookups if lookups else 0.0
+        return out

@@ -99,12 +99,23 @@ class ServiceClient:
     ):
         if (socket_path is None) == (tcp is None):
             raise ValueError("choose exactly one of socket_path or tcp=(host, port)")
+        if tcp is not None:
+            # Accept bracketed IPv6 literals (``("[::1]", 8080)``) the way
+            # the CLI writes them; the socket layer wants the bare address.
+            host, port = tcp
+            if host.startswith("[") and host.endswith("]"):
+                host = host[1:-1]
+            tcp = (host, port)
         self._socket_path = socket_path
         self._tcp = tcp
         self._timeout = timeout
         self._retry = retry
         self._rng = random.Random(retry.seed if retry is not None else 0)
-        self._peer = socket_path if socket_path is not None else f"{tcp[0]}:{tcp[1]}"
+        self._peer = (
+            socket_path
+            if socket_path is not None
+            else (f"[{tcp[0]}]:{tcp[1]}" if ":" in tcp[0] else f"{tcp[0]}:{tcp[1]}")
+        )
         self._transport: _Transport | None = None
         self._closed = False
         self._next_id = 1

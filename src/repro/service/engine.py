@@ -31,12 +31,14 @@ under ``service_*`` names.
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 import os
 import queue as queue_mod
 import signal
 import threading
 import time
+from collections import OrderedDict
 from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -49,6 +51,11 @@ from .protocol import BATCH_METHODS, CACHEABLE_METHODS
 __all__ = ["Engine", "Job"]
 
 _MAX_RETRIES = 1  # resubmissions allowed after an unrelated pool break
+
+#: Bound on the (method, raw-params) -> content-address memo.  Each
+#: entry is a pair of short strings; 4096 covers any realistic distinct
+#: working set while keeping the memo a few hundred KB at worst.
+_KEY_MEMO_CAPACITY = 4096
 
 #: How long a size-1 batch chunk keeps waiting for a queue slot before
 #: the degraded batch finally reports ``overloaded`` itself.
@@ -172,6 +179,8 @@ class Engine:
         self.cache = cache
 
         self._lock = threading.RLock()
+        self._key_memo: OrderedDict[tuple[str, str], str | None] = OrderedDict()
+        self._key_memo_lock = threading.Lock()
         self._jobs: dict[int, Job] = {}
         self._inflight: dict[str, Job] = {}
         self._next_id = 1
@@ -320,6 +329,81 @@ class Engine:
             counters.increment("service_job_retries")
             self._submit_locked(job)
 
+    # -- key derivation ----------------------------------------------------------
+    @staticmethod
+    def _params_blob(params: dict) -> str | None:
+        try:
+            return json.dumps(params, sort_keys=True, separators=(",", ":"))
+        except (TypeError, ValueError):
+            return None  # non-JSON params cannot come off the wire; skip the memo
+
+    def _memo_probe(self, method: str, params: dict) -> tuple[bool, str | None, str | None]:
+        """Cheap memo probe: ``(found, key_or_None, blob_or_None)``.
+
+        Never canonicalises — a memo miss costs one ``json.dumps`` of
+        the raw params, so callers on a latency-sensitive path (the
+        async front's event loop) can probe inline and defer the
+        expensive circuit parse to a worker thread.
+        """
+        blob = self._params_blob(params)
+        if blob is None:
+            return False, None, None
+        with self._key_memo_lock:
+            memo_key = (method, blob)
+            if memo_key in self._key_memo:
+                self._key_memo.move_to_end(memo_key)
+                counters.increment("service_key_memo_hits")
+                return True, self._key_memo[memo_key], blob
+        return False, None, blob
+
+    def request_key_memo(self, method: str, params: dict) -> str | None:
+        """Content address for a request, memoised on its raw params.
+
+        Canonicalisation parses the circuit/expression — tens of
+        microseconds to milliseconds — so repeated requests (the whole
+        point of a cache) resolve their key from a bounded LRU memo of
+        the raw parameter bytes instead.  Returns ``None`` for
+        uncacheable methods and unparseable payloads (memoised too: a
+        payload that failed to parse once will fail again).
+        """
+        if method not in CACHEABLE_METHODS:
+            return None
+        found, key, blob = self._memo_probe(method, params)
+        if found:
+            return key
+        try:
+            key = request_key(method, params)
+        except (ValueError, KeyError, TypeError):
+            key = None
+        if blob is not None:
+            with self._key_memo_lock:
+                self._key_memo[(method, blob)] = key
+                self._key_memo.move_to_end((method, blob))
+                while len(self._key_memo) > _KEY_MEMO_CAPACITY:
+                    self._key_memo.popitem(last=False)
+        return key
+
+    def cached_encoded(self, method: str, params: dict) -> str | None:
+        """Fast-path lookup: memoised key + cache probe, no admission.
+
+        Returns the compact-encoded cached result, or ``None`` on any
+        kind of miss — including a *memo* miss, where the key is not
+        derived at all (deriving it parses the payload; the caller
+        falls through to :meth:`submit`, which canonicalises off the
+        hot path and fills the memo).  A hit counts as a submitted job
+        so the ``service_jobs_submitted`` counter keeps meaning "every
+        admitted request" regardless of which path answered.
+        """
+        if self.cache is None or method not in CACHEABLE_METHODS:
+            return None
+        found, key, _blob = self._memo_probe(method, params)
+        if not found or key is None:
+            return None
+        encoded = self.cache.get_encoded(key, count_miss=False)
+        if encoded is not None:
+            counters.increment("service_jobs_submitted")
+        return encoded
+
     # -- public API --------------------------------------------------------------
     def submit(self, method: str, params: dict) -> tuple[Future, dict]:
         """Admit one request; returns ``(future, info)``.
@@ -332,12 +416,9 @@ class Engine:
         info = {"cached": False, "deduped": False}
         counters.increment("service_jobs_submitted")
 
-        key = None
-        if method in CACHEABLE_METHODS:
-            try:
-                key = request_key(method, params)
-            except (ValueError, KeyError, TypeError):
-                key = None  # let the worker produce the structured error
+        # None (uncacheable or unparseable) lets the worker produce the
+        # structured error; the memo spares repeats the canonical parse.
+        key = self.request_key_memo(method, params)
 
         if key is not None and self.cache is not None:
             hit = self.cache.get(key)

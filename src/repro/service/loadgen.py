@@ -1,0 +1,458 @@
+"""Fleet load generator for the synthesis service.
+
+``repro bench service --load MIX`` drives one or more service nodes
+with a deterministic, realistic request mix over hundreds of
+concurrent pipelined connections and reports throughput, latency
+percentiles, error rate and cache-hit economics.  It is how the async
+front's headline number (cached-traffic RPS at 256 connections, vs the
+threaded front) is measured, and what the ``service-load-smoke`` CI
+job replays in miniature.
+
+Mixes (all deterministic given ``seed``):
+
+``cached``
+    Every request drawn from a small pool of distinct ``synth``
+    requests, pool warmed before the timed run — pure cache-hit
+    traffic, the front's fast-path ceiling.
+``synth-heavy``
+    Mostly *distinct* synthesis requests (gamma-jittered so the key
+    space never exhausts) with a cached minority — engine-bound.
+``validate-heavy``
+    Mostly cached ``validate`` requests over a handful of designs,
+    with a minority of fresh faulted validations.
+``fault-storm``
+    One design, a storm of ``validate`` requests with mostly-distinct
+    random fault maps (exercising the fault-map cache-key material) and
+    a cached minority of repeated common maps.
+
+The generator is closed-loop and windowed: each connection keeps
+``pipeline`` requests in flight (one write, ``pipeline`` reads), which
+is exactly how the campaign runner talks to the service.  Request ids
+are checked against the echoed response ids, so a front that drops or
+misorders frames shows up as errors, not silent corruption.
+
+Multi-node runs start ``node_count`` in-process servers sharing one
+:class:`~repro.service.remote.InMemoryRemoteTier` and split the
+connections round-robin — the fleet story in one process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+import time
+
+from ..perf import counters
+from .bench import _percentile, _random_expr
+from .protocol import ProtocolError, decode_response, encode, make_request
+
+__all__ = [
+    "MIXES",
+    "build_mix",
+    "compare_fronts",
+    "render_load_table",
+    "run_load",
+]
+
+MIXES = ("cached", "synth-heavy", "validate-heavy", "fault-storm")
+
+#: Synthesis knobs for requests and for the designs the validate mixes
+#: are built on: small expressions, no solver escalation surprises.
+_SYNTH_KNOBS = {"gamma": 0.5, "validate": True}
+
+
+def _conn_rng(seed: int, mix: str, conn: int) -> random.Random:
+    return random.Random(seed * 1_000_003 + len(mix) * 7919 + conn)
+
+
+def _distinct_exprs(rng: random.Random, count: int) -> list[str]:
+    exprs: list[str] = []
+    seen: set[str] = set()
+    while len(exprs) < count:
+        expr = _random_expr(rng)
+        if expr not in seen:
+            seen.add(expr)
+            exprs.append(expr)
+    return exprs
+
+
+def _synth_request(expr: str, **extra) -> dict:
+    params = {"expr": expr, **_SYNTH_KNOBS, **extra}
+    return {"method": "synth", "params": params}
+
+
+def _build_design(expr: str) -> tuple[str, int, int]:
+    """Synthesize one small design inline; ``(design_json, rows, cols)``."""
+    from .jobs import execute
+
+    payload = execute("synth", {"expr": expr, "gamma": 0.5, "validate": False})
+    if not payload.get("ok"):  # pragma: no cover - tiny exprs always synthesize
+        raise RuntimeError(f"load mix setup failed to synthesize {expr!r}: {payload}")
+    result = payload["result"]
+    metrics = result["metrics"]
+    return result["design_json"], int(metrics["rows"]), int(metrics["cols"])
+
+
+def _fault_map_json(rows: int, cols: int, seed: int) -> str:
+    from ..crossbar import fault_map_to_json, random_fault_map
+
+    return fault_map_to_json(
+        random_fault_map(rows, cols, p_stuck_on=0.01, p_stuck_off=0.06, seed=seed)
+    )
+
+
+def build_mix(
+    mix: str, connections: int, requests_per_conn: int, seed: int = 0
+) -> dict:
+    """Build a deterministic load: warmup pool + per-connection schedules.
+
+    Returns ``{"mix", "warmup": [request, ...], "schedules":
+    [[request, ...], ...]}`` with one schedule per connection.  The
+    same arguments always produce the same load, byte for byte.
+    """
+    if mix not in MIXES:
+        raise ValueError(f"unknown mix {mix!r} (known: {', '.join(MIXES)})")
+    if connections < 1 or requests_per_conn < 1:
+        raise ValueError("connections and requests_per_conn must be >= 1")
+    rng = random.Random(seed)
+    warmup: list[dict]
+    schedules: list[list[dict]] = []
+
+    if mix == "cached":
+        pool = [_synth_request(expr) for expr in _distinct_exprs(rng, 8)]
+        warmup = list(pool)
+        for conn in range(connections):
+            crng = _conn_rng(seed, mix, conn)
+            schedules.append(
+                [pool[crng.randrange(len(pool))] for _ in range(requests_per_conn)]
+            )
+
+    elif mix == "synth-heavy":
+        pool = [_synth_request(expr) for expr in _distinct_exprs(rng, 8)]
+        warmup = list(pool)
+        for conn in range(connections):
+            crng = _conn_rng(seed, mix, conn)
+            schedule = []
+            for _ in range(requests_per_conn):
+                if crng.random() < 0.3:
+                    schedule.append(pool[crng.randrange(len(pool))])
+                else:
+                    # Gamma jitter keeps distinct requests distinct no
+                    # matter how large the run gets.
+                    schedule.append(_synth_request(
+                        _random_expr(crng), gamma=round(0.3 + 0.4 * crng.random(), 6)
+                    ))
+            schedules.append(schedule)
+
+    elif mix == "validate-heavy":
+        designs = []
+        for expr in _distinct_exprs(rng, 4):
+            design_json, rows, cols = _build_design(expr)
+            designs.append((expr, design_json, rows, cols))
+        pool = [
+            {"method": "validate", "params": {"expr": expr, "design_json": dj}}
+            for expr, dj, _r, _c in designs
+        ]
+        warmup = list(pool)
+        for conn in range(connections):
+            crng = _conn_rng(seed, mix, conn)
+            schedule = []
+            for i in range(requests_per_conn):
+                if crng.random() < 0.85:
+                    schedule.append(pool[crng.randrange(len(pool))])
+                else:
+                    expr, dj, rows, cols = designs[crng.randrange(len(designs))]
+                    schedule.append({
+                        "method": "validate",
+                        "params": {
+                            "expr": expr, "design_json": dj,
+                            "fault_map": _fault_map_json(
+                                rows, cols, seed=conn * 100_000 + i
+                            ),
+                        },
+                    })
+            schedules.append(schedule)
+
+    else:  # fault-storm
+        expr = _distinct_exprs(rng, 1)[0]
+        design_json, rows, cols = _build_design(expr)
+        common = [
+            {
+                "method": "validate",
+                "params": {
+                    "expr": expr, "design_json": design_json,
+                    "fault_map": _fault_map_json(rows, cols, seed=1_000_000 + k),
+                },
+            }
+            for k in range(3)
+        ]
+        warmup = list(common)
+        for conn in range(connections):
+            crng = _conn_rng(seed, mix, conn)
+            schedule = []
+            for i in range(requests_per_conn):
+                if crng.random() < 0.25:
+                    schedule.append(common[crng.randrange(len(common))])
+                else:
+                    schedule.append({
+                        "method": "validate",
+                        "params": {
+                            "expr": expr, "design_json": design_json,
+                            "fault_map": _fault_map_json(
+                                rows, cols, seed=conn * 100_000 + i
+                            ),
+                        },
+                    })
+            schedules.append(schedule)
+
+    return {"mix": mix, "warmup": warmup, "schedules": schedules}
+
+
+# -- the async closed-loop driver ---------------------------------------------------
+
+
+async def _open(spec):
+    if spec[0] == "unix":
+        return await asyncio.open_unix_connection(spec[1])
+    return await asyncio.open_connection(spec[1], spec[2])
+
+
+async def _drive_connection(spec, schedule: list[dict], pipeline: int) -> list[dict]:
+    """Run one connection's schedule; one record per request, in order."""
+    records: list[dict] = []
+    try:
+        reader, writer = await _open(spec)
+    except OSError:
+        return [
+            {"ok": False, "cached": False, "deduped": False,
+             "code": "unavailable", "latency_s": 0.0}
+            for _ in schedule
+        ]
+    next_id = 1
+    try:
+        for start in range(0, len(schedule), pipeline):
+            window = schedule[start:start + pipeline]
+            expected_ids = list(range(next_id, next_id + len(window)))
+            next_id += len(window)
+            t0 = time.monotonic()
+            writer.write(b"".join(
+                encode(make_request(entry["method"], entry["params"], request_id=rid))
+                for entry, rid in zip(window, expected_ids)
+            ))
+            await writer.drain()
+            for rid in expected_ids:
+                line = await reader.readline()
+                if not line:
+                    raise ConnectionError("server closed the connection")
+                frame = decode_response(line)
+                ok = bool(frame.get("ok")) and frame.get("id") == rid
+                records.append({
+                    "ok": ok,
+                    "cached": bool(frame.get("cached", False)),
+                    "deduped": bool(frame.get("deduped", False)),
+                    "code": None if frame.get("ok") else frame["error"]["code"],
+                    "latency_s": 0.0,  # stamped below, amortized per window
+                })
+                if frame.get("ok") and frame.get("id") != rid:
+                    records[-1]["code"] = "misordered"
+            window_s = (time.monotonic() - t0) / len(window)
+            for record in records[-len(window):]:
+                record["latency_s"] = window_s
+    except (OSError, ConnectionError, ProtocolError, asyncio.IncompleteReadError):
+        while len(records) < len(schedule):
+            records.append({
+                "ok": False, "cached": False, "deduped": False,
+                "code": "unavailable", "latency_s": 0.0,
+            })
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except OSError:  # check: allow C003
+            pass
+    return records
+
+
+async def _drive(specs: list, schedules: list[list[dict]], pipeline: int) -> list[dict]:
+    tasks = [
+        _drive_connection(specs[conn % len(specs)], schedule, pipeline)
+        for conn, schedule in enumerate(schedules)
+    ]
+    per_conn = await asyncio.gather(*tasks)
+    return [record for conn_records in per_conn for record in conn_records]
+
+
+async def _warm(specs: list, warmup: list[dict]) -> None:
+    # Every node is warmed directly, so the timed run measures steady
+    # state rather than first-touch remote-tier traffic.
+    for spec in specs:
+        await _drive_connection(spec, warmup, pipeline=1)
+
+
+def _counter_delta(before: dict, after: dict) -> dict:
+    return {
+        name: after[name] - before.get(name, 0)
+        for name in sorted(after)
+        if name.startswith("service_") and after[name] != before.get(name, 0)
+    }
+
+
+def run_load(
+    mix: str = "cached",
+    connections: int = 64,
+    requests_per_conn: int = 50,
+    pipeline: int = 8,
+    node_count: int = 1,
+    front: str = "async",
+    jobs: int | None = None,
+    seed: int = 0,
+    warmup: bool = True,
+    connects: list | None = None,
+    cache_size: int = 4096,
+) -> dict:
+    """Generate load against the service and measure it; returns a report.
+
+    Without ``connects`` an in-process fleet of ``node_count`` servers
+    (``front`` = ``"async"`` or ``"threaded"``) is started on ephemeral
+    TCP ports for the duration of the run; multi-node fleets share one
+    in-memory remote tier.  With ``connects`` (a list of
+    :func:`~repro.service.server.parse_address` specs) the load is
+    driven at running servers instead.
+    """
+    load = build_mix(mix, connections, requests_per_conn, seed=seed)
+
+    servers = []
+    if connects is None:
+        from .remote import InMemoryRemoteTier
+
+        if front == "async":
+            from .server import ServiceServer as server_cls
+        elif front == "threaded":
+            from .threaded import ThreadedServiceServer as server_cls
+        else:
+            raise ValueError(f"unknown front {front!r} (async|threaded)")
+        remote = InMemoryRemoteTier() if node_count > 1 else None
+        for _ in range(max(1, node_count)):
+            server = server_cls(
+                ("tcp", "127.0.0.1", 0),
+                jobs=jobs,
+                queue_size=256,
+                cache_size=cache_size,
+                remote_tier=remote,
+            )
+            server.start()
+            servers.append(server)
+        connects = [server.address for server in servers]
+
+    try:
+        if warmup and load["warmup"]:
+            asyncio.run(_warm(connects, load["warmup"]))
+        before = counters.snapshot()
+        t0 = time.monotonic()
+        records = asyncio.run(_drive(connects, load["schedules"], pipeline))
+        wall = time.monotonic() - t0
+        after = counters.snapshot()
+    finally:
+        for server in servers:
+            server.stop()
+
+    latencies = sorted(r["latency_s"] for r in records)
+    ok = sum(1 for r in records if r["ok"])
+    cached = sum(1 for r in records if r["cached"])
+    deduped = sum(1 for r in records if r["deduped"])
+    total = len(records)
+    return {
+        "mix": mix,
+        "front": front,
+        "nodes": len(connects),
+        "connections": connections,
+        "pipeline": pipeline,
+        "requests": total,
+        "wall_time_s": round(wall, 6),
+        "rps": round(total / wall, 3) if wall > 0 else 0.0,
+        "ok": ok,
+        "errors": total - ok,
+        "error_rate": round((total - ok) / total, 6) if total else 0.0,
+        "cache_hits": cached,
+        "hit_rate": round(cached / total, 6) if total else 0.0,
+        "deduped": deduped,
+        "latency_ms": {
+            "mean": round(1000 * sum(latencies) / total, 4) if total else 0.0,
+            "p50": round(1000 * _percentile(latencies, 0.50), 4),
+            "p90": round(1000 * _percentile(latencies, 0.90), 4),
+            "p99": round(1000 * _percentile(latencies, 0.99), 4),
+            "max": round(1000 * (latencies[-1] if latencies else 0.0), 4),
+        },
+        "counters": _counter_delta(before, after),
+    }
+
+
+def compare_fronts(
+    mix: str = "cached",
+    connections: int = 256,
+    requests_per_conn: int = 50,
+    pipeline: int = 8,
+    jobs: int | None = None,
+    seed: int = 0,
+) -> dict:
+    """Same load against the threaded and async fronts; reports the speedup.
+
+    This is the acceptance measurement: cached-traffic RPS of the async
+    front over the thread-per-connection front at high connection
+    counts.
+    """
+    threaded = run_load(
+        mix=mix, connections=connections, requests_per_conn=requests_per_conn,
+        pipeline=pipeline, front="threaded", jobs=jobs, seed=seed,
+    )
+    async_report = run_load(
+        mix=mix, connections=connections, requests_per_conn=requests_per_conn,
+        pipeline=pipeline, front="async", jobs=jobs, seed=seed,
+    )
+    speedup = (
+        async_report["rps"] / threaded["rps"] if threaded["rps"] > 0 else float("inf")
+    )
+    return {
+        "mix": mix,
+        "connections": connections,
+        "threaded": threaded,
+        "async": async_report,
+        "speedup_rps": round(speedup, 3),
+    }
+
+
+def render_load_table(payload: dict):
+    """Human-readable summary of a :func:`run_load` payload."""
+    from ..bench.tables import Table
+
+    table = Table(
+        f"Service load: {payload['mix']} mix, {payload['front']} front "
+        f"({payload['connections']} connections x {payload['nodes']} node(s))",
+        ["metric", "value"],
+    )
+    latency = payload["latency_ms"]
+    rows = [
+        ("requests ok / errors", f"{payload['ok']} / {payload['errors']}"),
+        ("throughput", f"{payload['rps']:.1f} req/s"),
+        ("error rate", f"{100 * payload['error_rate']:.2f}%"),
+        ("cache hits", f"{payload['cache_hits']} ({100 * payload['hit_rate']:.1f}%)"),
+        ("deduped in-flight", str(payload["deduped"])),
+        ("latency mean", f"{latency['mean']:.2f} ms"),
+        ("latency p50", f"{latency['p50']:.2f} ms"),
+        ("latency p90", f"{latency['p90']:.2f} ms"),
+        ("latency p99", f"{latency['p99']:.2f} ms"),
+        ("latency max", f"{latency['max']:.2f} ms"),
+    ]
+    for name, value in rows:
+        table.add_row(name, value)
+    return table
+
+
+def _json_default(value):  # pragma: no cover - defensive
+    return str(value)
+
+
+def dump_report(payload: dict) -> str:
+    """Stable JSON rendering of a load report."""
+    return json.dumps(payload, indent=2, sort_keys=True, default=_json_default)

@@ -1,0 +1,95 @@
+"""Pluggable remote tier: N service nodes sharing one result space.
+
+A :class:`RemoteTier` is the third level of the service cache
+(:class:`repro.service.cache.ResultCache` probes memory, then local
+disk, then the remote tier).  The contract is tiny and strict:
+
+* ``get(key)`` returns the *compact-encoded* JSON result string for a
+  content-addressed key, or ``None``.  It may raise — the cache treats
+  any exception as a miss.
+* ``put(key, method, encoded)`` stores one entry, best effort.  Writes
+  must be atomic per key (a reader never observes a torn entry).
+
+Because cache keys are content addresses, the tier needs no
+invalidation protocol: an entry is either absent or correct, and
+concurrent writers for one key write identical bytes.  That is what
+makes the tier safe to share across nodes without coordination.
+
+Two reference implementations ship here:
+
+:class:`DirectoryRemoteTier`
+    A shared filesystem directory (NFS mount, bind mount, …) reusing
+    the cache's durable entry format — the practical way to pool the
+    result space of a small fleet.  Entries written by any node are
+    readable by all.
+
+:class:`InMemoryRemoteTier`
+    A process-local dict behind a lock — the multi-node story in one
+    process, used by the fleet load benchmark and the test suite (and a
+    template for a real network tier: subclass and speak to whatever
+    store you run).
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+
+__all__ = ["DirectoryRemoteTier", "InMemoryRemoteTier", "RemoteTier"]
+
+
+class RemoteTier:
+    """Interface for a shared result tier behind the local cache."""
+
+    def get(self, key: str) -> str | None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def put(self, key: str, method: str, encoded: str) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any connections; the default tier holds none."""
+
+
+class InMemoryRemoteTier(RemoteTier):
+    """A shared dict — one result space for in-process node fleets."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries: dict[str, str] = {}
+
+    def get(self, key: str) -> str | None:
+        with self._lock:
+            return self._entries.get(key)
+
+    def put(self, key: str, method: str, encoded: str) -> None:
+        with self._lock:
+            self._entries[key] = encoded
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+class DirectoryRemoteTier(RemoteTier):
+    """A shared directory of durable JSON entries (one file per key).
+
+    Reuses the local disk store's entry format and atomic write
+    protocol (:func:`repro.service.cache.read_entry` /
+    :func:`repro.service.cache.write_entry`), so a node's local cache
+    directory and a fleet's shared tier are interchangeable on disk.
+    """
+
+    def __init__(self, directory: str | Path):
+        self._dir = Path(directory)
+        self._dir.mkdir(parents=True, exist_ok=True)
+
+    def get(self, key: str) -> str | None:
+        from .cache import read_entry
+
+        return read_entry(self._dir / f"{key}.json")
+
+    def put(self, key: str, method: str, encoded: str) -> None:
+        from .cache import write_entry
+
+        write_entry(self._dir, key, method, encoded)

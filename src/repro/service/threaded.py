@@ -1,0 +1,180 @@
+"""The classic thread-per-connection service front.
+
+:class:`ThreadedServiceServer` is the original ``socketserver``-based
+front: one OS thread per connection, each connection a strictly
+sequential pipeline of frames.  It speaks the identical wire protocol
+as the asyncio front (:class:`repro.service.server.ServiceServer`) and
+produces byte-identical frames — the trace-replay suite asserts this —
+but a thread per connection caps realistic concurrency at a few
+hundred, which is why the async front is the default.  The threaded
+front remains supported (``repro serve --front threaded``) as the
+simple, easily-audited reference implementation and as the baseline
+for the fleet load benchmark.
+
+Two historical bugs are fixed relative to the original implementation
+(both fixes live in :class:`~repro.service.server.ServiceServerBase`,
+shared with the async front):
+
+* **Drain admission race** — a frame that passed the server's drain
+  check just as shutdown began could block in ``future.result()``
+  forever after the engine stopped tracking it, tearing the connection
+  instead of answering a structured ``draining`` error.
+* **Unbounded result wait** — ``future.result()`` had no timeout, so a
+  lost future pinned its connection thread permanently.  Waits are now
+  bounded by the job timeout plus the drain deadline.
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+import time
+
+from pathlib import Path
+
+from .protocol import (
+    BATCH_METHODS,
+    ProtocolError,
+    decode_request,
+    encode,
+    error_response,
+)
+from .server import ServiceServerBase, _DRAINING_MESSAGE
+
+__all__ = ["ThreadedServiceServer"]
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    # Response frames are small; without this, Nagle + delayed ACK can
+    # stall pipelined clients ~40ms per window (the asyncio front's
+    # transport disables Nagle by default, so this also keeps the
+    # front-vs-front benchmark about architecture, not socket options).
+    disable_nagle_algorithm = True
+
+    def handle(self) -> None:  # pragma: no cover - exercised via e2e tests
+        service: ThreadedServiceServer = self.server.service  # type: ignore[attr-defined]
+        service._connections += 1
+        try:
+            for raw in self.rfile:
+                line = raw.strip()
+                if not line:
+                    continue
+                response = service.handle_line(line)
+                try:
+                    self.wfile.write(encode(response))
+                    self.wfile.flush()
+                except (BrokenPipeError, ConnectionResetError, OSError):
+                    break
+        finally:
+            service._connections -= 1
+
+
+class _ThreadingTCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+    address_family = socketserver.socket.AF_INET
+    # The stdlib default accept backlog (5) is kept on purpose: this
+    # front is the faithful baseline of the original deployment, and
+    # refusing a connection storm at the accept queue is part of how
+    # thread-per-connection behaved. The load benchmark measures it
+    # as it shipped.
+
+
+class _ThreadingTCP6Server(_ThreadingTCPServer):
+    address_family = socketserver.socket.AF_INET6
+
+
+if hasattr(socketserver, "ThreadingUnixStreamServer"):
+
+    class _ThreadingUnixServer(socketserver.ThreadingUnixStreamServer):
+        daemon_threads = True
+
+else:  # pragma: no cover - non-POSIX platforms
+    _ThreadingUnixServer = None
+
+
+class ThreadedServiceServer(ServiceServerBase):
+    """The thread-per-connection front (reference implementation)."""
+
+    front = "threaded"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._server = None
+        self._thread = None
+        self._connections = 0
+
+    # -- lifecycle ---------------------------------------------------------------
+    def start(self) -> None:
+        """Bind the socket and serve in a background thread."""
+        if self._address_spec[0] == "unix":
+            if _ThreadingUnixServer is None:  # pragma: no cover
+                raise ValueError("unix sockets are not supported on this platform")
+            path = Path(self._address_spec[1])
+            if path.exists():
+                path.unlink()
+            self._server = _ThreadingUnixServer(str(path), _Handler)
+        else:
+            _kind, host, port = self._address_spec
+            server_cls = _ThreadingTCP6Server if ":" in host else _ThreadingTCPServer
+            self._server = server_cls((host, port), _Handler)
+        self._server.service = self  # type: ignore[attr-defined]
+        self._started_at = time.monotonic()
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="service-accept",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Graceful shutdown: stop accepting, drain, release everything."""
+        # Flag first: frames arriving from here on are answered with a
+        # structured ``draining`` error instead of being admitted (and
+        # any frame that slipped past the flag check races into the
+        # engine's own drain gate, the second half of the fix).
+        self._begin_drain()
+        if self._server is not None:
+            self._server.shutdown()
+        self.engine.shutdown(self._drain_timeout)
+        if self._server is not None:
+            self._server.server_close()
+            self._server = None
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+        self._unlink_unix_socket()
+
+    # -- introspection -----------------------------------------------------------
+    def _bound_tcp_address(self):
+        if self._server is None:
+            return None
+        host, port = self._server.server_address[:2]
+        return host, port
+
+    def connection_count(self) -> int:
+        return self._connections
+
+    # -- request dispatch --------------------------------------------------------
+    def handle_line(self, line: bytes) -> dict:
+        """Turn one request frame into one response frame (never raises)."""
+        try:
+            request = decode_request(line)
+        except ProtocolError as exc:
+            return error_response(None, exc.code, str(exc))
+        t0 = time.monotonic()
+        inline = self._inline_response(request, t0)
+        if inline is not None:
+            return inline
+        method = request["method"]
+        try:
+            if method in BATCH_METHODS:
+                # Batch frames degrade under load (shrink, don't reject).
+                future, info = self.engine.submit_batch(method, request["params"])
+            else:
+                future, info = self.engine.submit(method, request["params"])
+        except RuntimeError:  # engine torn down mid-admission
+            return error_response(request["id"], "draining", _DRAINING_MESSAGE)
+        payload = self._bound_payload_wait(future)
+        return self._payload_response(request["id"], payload, info, t0)

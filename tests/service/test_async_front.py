@@ -1,0 +1,245 @@
+"""The asyncio socket front: pipelining, ordering, exact counters,
+drain-under-storm semantics, and byte-identity with the threaded front.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.perf import counters
+from repro.service.bench import build_trace
+from repro.service.protocol import encode, make_request, ok_response
+from repro.service.server import ServiceServer, fast_ok_frame
+from repro.service.threaded import ThreadedServiceServer
+
+SYNTH = {"expr": "(a & b) | ~c", "gamma": 0.5, "validate": True}
+
+
+@pytest.fixture
+def server():
+    srv = ServiceServer(("tcp", "127.0.0.1", 0), jobs=2, queue_size=16)
+    srv.start()
+    yield srv
+    srv.stop()
+
+
+def _raw_conn(server):
+    _kind, host, port = server.address
+    sock = socket.create_connection((host, port), timeout=60)
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    return sock, sock.makefile("rb")
+
+
+def test_fast_ok_frame_is_byte_identical_to_encode():
+    results = [
+        {"pong": True},
+        {"metrics": {"rows": 3, "cols": 4}, "validation": None, "t": 0.125},
+        {"unicode": "héllo ∧ wörld", "nested": {"a": [1, 2, {"b": None}]}},
+        {"empty": {}},
+    ]
+    for request_id in (0, 17, "req-9", None):
+        for elapsed in (0.0, 0.1234567, 2.5):
+            for deduped in (False, True):
+                for result in results:
+                    encoded = json.dumps(result, sort_keys=True, separators=(",", ":"))
+                    assert fast_ok_frame(
+                        request_id, encoded, deduped=deduped, elapsed_s=elapsed
+                    ) == encode(ok_response(
+                        request_id, result,
+                        cached=True, deduped=deduped, elapsed_s=elapsed,
+                    ))
+
+
+def test_pipelined_batches_stay_ordered_and_counters_stay_exact(server):
+    """N clients x M pipelined identical frames: no dropped or misordered
+    responses, and the ``service_*`` counters add up exactly."""
+    counters.reset()
+    clients, per_client = 6, 20
+
+    # Warm the cache with one sequential request (counts as 1 submit,
+    # 1 completion, 1 miss).
+    sock, reader = _raw_conn(server)
+    sock.sendall(encode(make_request("synth", SYNTH, request_id=0)))
+    assert json.loads(reader.readline())["ok"] is True
+    sock.close()
+
+    failures: list[str] = []
+
+    def _storm(conn_index: int) -> None:
+        sock, reader = _raw_conn(server)
+        try:
+            sock.sendall(b"".join(
+                encode(make_request("synth", SYNTH, request_id=i))
+                for i in range(per_client)
+            ))
+            for i in range(per_client):
+                frame = json.loads(reader.readline())
+                if not frame.get("ok"):
+                    failures.append(f"conn {conn_index} frame {i}: {frame}")
+                elif frame["id"] != i:
+                    failures.append(
+                        f"conn {conn_index}: expected id {i}, got {frame['id']}"
+                    )
+                elif frame["cached"] is not True:
+                    failures.append(f"conn {conn_index} frame {i}: not cached")
+        finally:
+            sock.close()
+
+    threads = [threading.Thread(target=_storm, args=(c,)) for c in range(clients)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    assert not failures, failures[:5]
+
+    total = clients * per_client
+    snap = counters.snapshot()
+    # Every admitted request counts exactly once, whichever path served it.
+    assert snap["service_jobs_submitted"] == total + 1
+    assert snap["service_jobs_completed"] == 1
+    assert snap.get("service_cache_misses", 0) == 1
+    # Each storm response was a cache hit or coalesced onto one within
+    # its pipelined batch; nothing was deduped (no jobs were in flight).
+    hits = snap.get("service_cache_hits", 0)
+    coalesced = snap.get("service_batch_coalesced", 0)
+    assert hits + coalesced == total
+    assert coalesced >= 1  # at least some frames shared a batch lookup
+    assert snap.get("service_dedup_hits", 0) == 0
+
+
+def test_distinct_pipelined_frames_are_not_coalesced(server):
+    counters.reset()
+    sock, reader = _raw_conn(server)
+    exprs = ["a & b", "a | b", "a ^ b"]
+    sock.sendall(b"".join(
+        encode(make_request("synth", {"expr": expr}, request_id=i))
+        for i, expr in enumerate(exprs)
+    ))
+    for i in range(len(exprs)):
+        frame = json.loads(reader.readline())
+        assert frame["ok"] is True and frame["id"] == i
+    sock.close()
+    assert counters.get("service_batch_coalesced") == 0
+    assert counters.get("service_jobs_submitted") == len(exprs)
+
+
+def test_frames_after_drain_get_structured_draining_errors():
+    """A frame admitted after drain begins is answered with a structured
+    ``draining`` error on a live connection — never a torn socket."""
+    server = ServiceServer(("tcp", "127.0.0.1", 0), jobs=1, queue_size=8,
+                           drain_timeout=30.0)
+    server.start()
+    sock, reader = _raw_conn(server)
+    try:
+        sock.sendall(encode(make_request("ping", {}, request_id=1)))
+        assert json.loads(reader.readline())["ok"] is True
+
+        # A slow job keeps the engine draining long enough to race frames in.
+        slow_sock, slow_reader = _raw_conn(server)
+        slow_sock.sendall(encode(make_request("sleep", {"seconds": 2.0},
+                                              request_id=2)))
+        deadline = time.monotonic() + 10.0
+        while not server.engine.stats()["active_jobs"]:
+            assert time.monotonic() < deadline, "sleep job never started"
+            time.sleep(0.02)
+
+        stopper = threading.Thread(target=server.stop)
+        stopper.start()
+        deadline = time.monotonic() + 10.0
+        while not server._draining:
+            assert time.monotonic() < deadline, "drain never began"
+            time.sleep(0.02)
+
+        # Job frames arriving mid-drain: structured error, same connection.
+        sock.sendall(encode(make_request("synth", {"expr": "a & b"},
+                                         request_id=3)))
+        frame = json.loads(reader.readline())
+        assert frame["ok"] is False
+        assert frame["error"]["code"] == "draining"
+        # ping/stats are still answered while draining.
+        sock.sendall(encode(make_request("ping", {}, request_id=4)))
+        assert json.loads(reader.readline())["ok"] is True
+
+        # The in-flight job still completes cleanly.
+        slow_frame = json.loads(slow_reader.readline())
+        assert slow_frame["ok"] is True
+        assert slow_frame["result"]["slept_s"] == 2.0
+        slow_sock.close()
+        stopper.join(timeout=30)
+        assert not stopper.is_alive()
+    finally:
+        sock.close()
+        server.stop()
+
+
+def _replay_raw(server_cls, trace: list[dict]) -> list[bytes]:
+    """Replay a trace sequentially over one raw socket; returns frames."""
+    server = server_cls(("tcp", "127.0.0.1", 0), jobs=2, queue_size=16)
+    server.start()
+    try:
+        sock, reader = _raw_conn(server)
+        frames = []
+        for i, entry in enumerate(trace):
+            sock.sendall(encode(make_request(entry["method"], entry["params"],
+                                             request_id=i)))
+            frames.append(reader.readline())
+        sock.close()
+        return frames
+    finally:
+        server.stop()
+
+
+def test_async_front_is_byte_identical_to_threaded_front():
+    """Acceptance: the two fronts produce byte-identical responses on the
+    trace-replay suite (modulo the measured ``elapsed_s``)."""
+    trace = build_trace(requests=30, repeat_rate=0.5, seed=3)
+    threaded = _replay_raw(ThreadedServiceServer, trace)
+    async_frames = _replay_raw(ServiceServer, trace)
+    assert len(threaded) == len(async_frames) == len(trace)
+    # elapsed_s and synth_time_s are measured wall times; everything
+    # else must match byte for byte.
+    scrub = re.compile(rb'"(elapsed_s|synth_time_s)":[0-9eE.+-]+')
+    for i, (a, b) in enumerate(zip(threaded, async_frames)):
+        assert scrub.sub(b'"elapsed_s":0', a) == scrub.sub(b'"elapsed_s":0', b), (
+            f"frame {i} differs between fronts"
+        )
+
+
+def test_threaded_front_shares_the_drain_and_bounded_wait_fixes():
+    with ThreadedServiceServer(("tcp", "127.0.0.1", 0), jobs=1) as server:
+        assert server.stats()["server"]["front"] == "threaded"
+        sock, reader = _raw_conn(server)
+        sock.sendall(encode(make_request("ping", {}, request_id=1)))
+        assert json.loads(reader.readline())["ok"] is True
+        server._begin_drain()
+        sock.sendall(encode(make_request("synth", {"expr": "a"}, request_id=2)))
+        frame = json.loads(reader.readline())
+        assert frame["ok"] is False and frame["error"]["code"] == "draining"
+        sock.close()
+
+
+def test_oversized_frame_is_rejected_with_protocol_error(server):
+    sock, reader = _raw_conn(server)
+    # A single frame larger than the limit, sent without a newline first:
+    # the server must answer with a protocol error rather than buffer it.
+    from repro.service.protocol import MAX_LINE_BYTES
+
+    sock.sendall(b'{"v": 1, "id": 1, "method": "ping", "params": {"x": "')
+    chunk = b"a" * (1 << 20)
+    sent = 0
+    try:
+        while sent <= MAX_LINE_BYTES:
+            sock.sendall(chunk)
+            sent += len(chunk)
+    except (BrokenPipeError, ConnectionResetError):
+        pass  # server already gave up on the frame; fine
+    frame = json.loads(reader.readline())
+    assert frame["ok"] is False
+    assert frame["error"]["code"] == "protocol_error"
+    sock.close()

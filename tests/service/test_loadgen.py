@@ -1,0 +1,101 @@
+"""Fleet load generator: deterministic mixes, tiny end-to-end runs,
+multi-node fleets, front comparison, and the CLI gates.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.service.loadgen import MIXES, build_mix, compare_fronts, run_load
+
+
+def test_build_mix_is_deterministic_and_seed_sensitive():
+    a = build_mix("cached", connections=4, requests_per_conn=10, seed=5)
+    b = build_mix("cached", connections=4, requests_per_conn=10, seed=5)
+    assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+    c = build_mix("cached", connections=4, requests_per_conn=10, seed=6)
+    assert json.dumps(c, sort_keys=True) != json.dumps(a, sort_keys=True)
+    assert len(a["schedules"]) == 4
+    assert all(len(s) == 10 for s in a["schedules"])
+    assert a["warmup"]  # the cached mix warms its whole pool
+
+
+def test_build_mix_rejects_unknown_mixes_and_bad_sizes():
+    with pytest.raises(ValueError):
+        build_mix("nonsense", 4, 10)
+    with pytest.raises(ValueError):
+        build_mix("cached", 0, 10)
+    assert set(MIXES) == {"cached", "synth-heavy", "validate-heavy", "fault-storm"}
+
+
+def test_cached_mix_runs_clean_and_fully_cached():
+    report = run_load(mix="cached", connections=4, requests_per_conn=6,
+                      pipeline=2, front="async", jobs=1)
+    assert report["requests"] == 24
+    assert report["errors"] == 0 and report["error_rate"] == 0.0
+    assert report["hit_rate"] == 1.0  # warmed pool: pure cache traffic
+    assert report["rps"] > 0
+    assert report["latency_ms"]["p50"] <= report["latency_ms"]["p99"]
+    assert report["counters"].get("service_jobs_submitted") == 24
+
+
+def test_fault_storm_mix_exercises_fault_map_keys():
+    report = run_load(mix="fault-storm", connections=3, requests_per_conn=4,
+                      pipeline=2, front="async", jobs=1)
+    assert report["errors"] == 0
+    # The storm is mostly distinct maps: some misses must reach the
+    # engine (if the fault map were missing from the cache key, every
+    # request would collide onto one entry and hit).
+    assert 0.0 < report["hit_rate"] < 1.0
+    assert report["counters"].get("service_jobs_completed", 0) >= 1
+
+
+def test_multi_node_fleet_shares_one_result_space():
+    report = run_load(mix="cached", connections=4, requests_per_conn=5,
+                      pipeline=2, node_count=2, front="async", jobs=1)
+    assert report["nodes"] == 2
+    assert report["errors"] == 0
+    assert report["hit_rate"] == 1.0
+
+
+def test_compare_fronts_reports_both_and_the_speedup():
+    block = compare_fronts(mix="cached", connections=4, requests_per_conn=5,
+                           pipeline=2, jobs=1)
+    assert block["threaded"]["front"] == "threaded"
+    assert block["async"]["front"] == "async"
+    assert block["threaded"]["errors"] == 0
+    assert block["async"]["errors"] == 0
+    assert block["speedup_rps"] > 0
+
+
+def test_cli_load_generator_gates(capsys):
+    args = ["bench", "service", "--load", "cached", "--connections", "3",
+            "--requests-per-conn", "4", "--pipeline", "2", "--jobs", "1"]
+    assert main(args + ["--rps-floor", "1", "--max-error-rate", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "cached mix" in out
+    # An absurd floor turns the same healthy run into a failure.
+    assert main(args + ["--rps-floor", "1e12"]) == 1
+    assert "below the" in capsys.readouterr().err
+
+
+def test_cli_load_generator_merges_into_perf_json(tmp_path):
+    baseline = {
+        "schema": "repro-bench-perf/1",
+        "suite_tier": "fast", "gamma": 0.5, "jobs": 1,
+        "totals": {"circuits": 0, "wall_time_s": 0.0},
+        "circuits": [],
+    }
+    path = tmp_path / "BENCH.json"
+    path.write_text(json.dumps(baseline))
+    assert main(["bench", "service", "--load", "cached", "--connections", "2",
+                 "--requests-per-conn", "3", "--pipeline", "2", "--jobs", "1",
+                 "--perf-json", str(path)]) == 0
+    merged = json.loads(path.read_text())
+    block = merged["service_load"]
+    assert block["mix"] == "cached"
+    assert block["requests"] == 6
+    assert block["ok"] + block["errors"] == block["requests"]

@@ -17,7 +17,7 @@ import pytest
 from repro.perf import counters
 from repro.service import ServiceClient, ServiceClientError
 from repro.service.bench import build_trace, run_service_bench
-from repro.service.server import ServiceServer, parse_address
+from repro.service.server import ServiceServer, format_address, parse_address
 
 
 @pytest.fixture
@@ -43,6 +43,39 @@ def test_parse_address():
         parse_address(None, "no-port")
     with pytest.raises(ValueError):
         parse_address(None, "host:not-a-number")
+
+
+def test_parse_address_accepts_bracketed_ipv6():
+    assert parse_address(None, "[::1]:8080") == ("tcp", "::1", 8080)
+    assert parse_address(None, "[fe80::1%eth0]:9000") == ("tcp", "fe80::1%eth0", 9000)
+    # Mismatched or stray brackets are rejected, not silently kept.
+    for bad in ("[::1:8080", "::1]:8080", "[]:8080"):
+        with pytest.raises(ValueError):
+            parse_address(None, bad)
+
+
+def test_format_address_round_trips():
+    for tcp in ("127.0.0.1:8111", "[::1]:8080"):
+        assert format_address(parse_address(None, tcp)) == tcp
+    assert format_address(("unix", "/tmp/x.sock")) == "/tmp/x.sock"
+
+
+def test_client_strips_ipv6_brackets_and_serves_over_ipv6():
+    if not socket.has_ipv6:  # pragma: no cover - IPv6-less CI runner
+        pytest.skip("no IPv6 support")
+    try:
+        server = ServiceServer(parse_address(None, "[::1]:0"), jobs=1)
+        server.start()
+    except OSError:  # pragma: no cover - IPv6 disabled at runtime
+        pytest.skip("cannot bind ::1")
+    try:
+        _kind, host, port = server.address
+        assert host == "::1"
+        # Bracketed host, as the CLI would hand it over.
+        with ServiceClient(tcp=(f"[{host}]", port)) as client:
+            assert client.ping() is True
+    finally:
+        server.stop()
 
 
 def test_ping_stats_and_synth_over_tcp(server):
